@@ -1,0 +1,124 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! identify-strategy evaluation counts, sampler families, extrapolators,
+//! and the related-work baselines (history-based, chunked-dynamic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbwp_core::prelude::*;
+use nbwp_datasets::Dataset;
+
+const SCALE: f64 = 0.01;
+
+fn platform() -> Platform {
+    Platform::k40c_xeon_e5_2650().scaled_for(SCALE)
+}
+
+/// Ablation 1: identify strategies — wall-clock of each search on the same
+/// sample-size workload (their *simulated* eval budgets are printed by the
+/// fig harnesses; this tracks the real cost of running them).
+fn bench_identify_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_identify");
+    group.sample_size(10);
+    let d = Dataset::by_name("cop20k_A").unwrap();
+    let w = SpmmWorkload::new(d.matrix(SCALE, 42), platform());
+    for (name, strategy) in [
+        ("coarse_to_fine", IdentifyStrategy::CoarseToFine),
+        ("race_then_fine", IdentifyStrategy::RaceThenFine),
+        ("gradient_descent", IdentifyStrategy::GradientDescent { max_evals: 24 }),
+        ("exhaustive", IdentifyStrategy::Exhaustive),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| estimate(&w, SampleSpec::default(), strategy, 7));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2: sampler family for CC — contraction vs faithful induced.
+fn bench_sampler_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sampler");
+    group.sample_size(10);
+    let d = Dataset::by_name("webbase-1M").unwrap();
+    let g = d.graph(SCALE, 42);
+    let contract = CcWorkload::new(g.clone(), platform());
+    let induced = CcWorkload::new(g, platform()).with_sampler(CcSampler::Induced);
+    group.bench_function("cc_contract_sampler", |b| {
+        b.iter(|| estimate(&contract, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7));
+    });
+    group.bench_function("cc_induced_sampler", |b| {
+        b.iter(|| estimate(&induced, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7));
+    });
+    group.finish();
+}
+
+/// Ablation 3: extrapolators for scale-free spmm.
+fn bench_extrapolator_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_extrapolator");
+    group.sample_size(10);
+    let d = Dataset::by_name("web-BerkStan").unwrap();
+    let m = d.matrix(SCALE, 42);
+    for (name, ex) in [
+        ("degree_quantile", Extrapolator::DegreeQuantile),
+        ("square_law", Extrapolator::Square),
+        ("identity", Extrapolator::Identity),
+    ] {
+        let w = HhWorkload::new(m.clone(), platform()).with_extrapolator(ex);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                estimate(
+                    &w,
+                    SampleSpec::default(),
+                    IdentifyStrategy::GradientDescent { max_evals: 24 },
+                    7,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: related-work baselines' decision cost.
+fn bench_baseline_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_baselines");
+    group.sample_size(10);
+    let d = Dataset::by_name("shipsec1").unwrap();
+    let w = SpmmWorkload::new(d.matrix(SCALE, 42), platform());
+    group.bench_function("naive_static", |b| {
+        b.iter(|| nbwp_core::baselines::naive_static_for(&w));
+    });
+    group.bench_function("history_training_run", |b| {
+        b.iter(|| {
+            let mut h = nbwp_core::baselines::HistoryBased::new();
+            h.threshold_for(&w)
+        });
+    });
+    group.bench_function("chunked_dynamic_16", |b| {
+        b.iter(|| nbwp_core::baselines::chunked_dynamic(&w, 16, SimTime::from_micros(50.0)));
+    });
+    group.finish();
+}
+
+/// Ablation 5: SpGEMM accumulator — SPA (hash-free dense accumulator) vs
+/// ESC (expand-sort-compress), on a regular and a skewed matrix.
+fn bench_accumulator_ablation(c: &mut Criterion) {
+    use nbwp_sparse::gen;
+    use nbwp_sparse::spgemm::{spgemm, spgemm_esc};
+    let mut group = c.benchmark_group("ablation_accumulator");
+    group.sample_size(10);
+    let regular = gen::block_regular(2000, 16, 3);
+    let skewed = gen::power_law(2000, 16, 2.0, 3);
+    group.bench_function("spa_regular", |b| b.iter(|| spgemm(&regular, &regular)));
+    group.bench_function("esc_regular", |b| b.iter(|| spgemm_esc(&regular, &regular)));
+    group.bench_function("spa_skewed", |b| b.iter(|| spgemm(&skewed, &skewed)));
+    group.bench_function("esc_skewed", |b| b.iter(|| spgemm_esc(&skewed, &skewed)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_identify_strategies,
+    bench_sampler_ablation,
+    bench_extrapolator_ablation,
+    bench_baseline_ablation,
+    bench_accumulator_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion microbenchmarks of the computational kernels (real wall-clock
+//! of this implementation, complementing the simulated-time harnesses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbwp_dense::gemm::{gemm_blocked, gemm_parallel};
+use nbwp_dense::DenseMatrix;
+use nbwp_graph::cc::{cc_dfs, cc_sv, cc_union_find};
+use nbwp_graph::gen as ggen;
+use nbwp_sparse::gen;
+use nbwp_sparse::ops::{load_vector, transpose};
+use nbwp_sparse::spgemm::{row_profile, spgemm, spgemm_parallel};
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let a = gen::uniform_random(n, 16, 42);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &a, |b, a| {
+            b.iter(|| spgemm(a, a));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &a, |b, a| {
+            b.iter(|| spgemm_parallel(a, a, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("symbolic_profile", n), &a, |b, a| {
+            b.iter(|| row_profile(a, a));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_ops");
+    group.sample_size(20);
+    let a = gen::power_law(20_000, 12, 2.1, 7);
+    group.bench_function("transpose_20k", |b| b.iter(|| transpose(&a)));
+    group.bench_function("load_vector_20k", |b| b.iter(|| load_vector(&a, &a)));
+    group.finish();
+}
+
+fn bench_cc_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc");
+    group.sample_size(10);
+    let web = ggen::web(50_000, 8, 42);
+    let road = ggen::road(50_000, 42);
+    group.bench_function("dfs_web_50k", |b| b.iter(|| cc_dfs(&web)));
+    group.bench_function("sv_web_50k", |b| b.iter(|| cc_sv(&web, 4)));
+    group.bench_function("sv_road_50k", |b| b.iter(|| cc_sv(&road, 4)));
+    group.bench_function("union_find_web_50k", |b| b.iter(|| cc_union_find(&web)));
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_gemm");
+    group.sample_size(10);
+    let a = DenseMatrix::random(256, 256, 1);
+    group.bench_function("blocked_256", |b| b.iter(|| gemm_blocked(&a, &a)));
+    group.bench_function("parallel4_256", |b| b.iter(|| gemm_parallel(&a, &a, 4)));
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    use nbwp_sparse::sample::{sample_rows_contract, sample_submatrix_frac};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("samplers");
+    group.sample_size(20);
+    let a = gen::power_law(50_000, 10, 2.1, 9);
+    group.bench_function("submatrix_quarter_50k", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            sample_submatrix_frac(&a, 0.25, &mut rng)
+        });
+    });
+    group.bench_function("rows_contract_sqrt_50k", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            sample_rows_contract(&a, 224, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_sort_kernels(c: &mut Criterion) {
+    use nbwp_sort::cpu::merge_sort;
+    use nbwp_sort::gpu::radix_sort;
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(10);
+    let wide = nbwp_sort::gen::uniform(200_000, 1);
+    let narrow = nbwp_sort::gen::narrow_range(200_000, 1);
+    group.bench_function("mergesort_200k", |b| b.iter(|| merge_sort(&wide, 8)));
+    group.bench_function("radix_wide_200k", |b| b.iter(|| radix_sort(&wide)));
+    group.bench_function("radix_narrow_200k", |b| b.iter(|| radix_sort(&narrow)));
+    group.finish();
+}
+
+fn bench_list_ranking(c: &mut Criterion) {
+    use nbwp_graph::list::{hybrid_rank, LinkedLists};
+    use nbwp_sim::Platform;
+    let mut group = c.benchmark_group("list_ranking");
+    group.sample_size(10);
+    let l = LinkedLists::random(100_000, 2, 5);
+    let p = Platform::k40c_xeon_e5_2650();
+    group.bench_function("sequential_100k", |b| b.iter(|| l.rank_sequential()));
+    group.bench_function("hybrid_t40_100k", |b| b.iter(|| hybrid_rank(&l, 40.0, &p, 9)));
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    use nbwp_sparse::spmv::spmv;
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    let a = gen::banded_fem(50_000, 500, 40, 3);
+    let x = vec![1.0; 50_000];
+    group.bench_function("banded_50k", |b| b.iter(|| spmv(&a, &x)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spgemm,
+    bench_sparse_ops,
+    bench_cc_kernels,
+    bench_dense,
+    bench_samplers,
+    bench_sort_kernels,
+    bench_list_ranking,
+    bench_spmv
+);
+criterion_main!(benches);

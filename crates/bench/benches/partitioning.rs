@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the partitioning machinery itself: what does it
+//! cost (in real wall-clock) to estimate a threshold by sampling vs to
+//! search exhaustively, and how fast are threshold sweeps over the analytic
+//! profiles?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nbwp_core::prelude::*;
+use nbwp_datasets::Dataset;
+
+const SCALE: f64 = 0.01;
+
+fn platform() -> Platform {
+    Platform::k40c_xeon_e5_2650().scaled_for(SCALE)
+}
+
+fn bench_estimation_vs_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_vs_exhaustive");
+    group.sample_size(10);
+    let d = Dataset::by_name("webbase-1M").unwrap();
+
+    let cc = CcWorkload::new(d.graph(SCALE, 42), platform());
+    group.bench_function("cc_sampling_estimate", |b| {
+        b.iter(|| estimate(&cc, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7));
+    });
+    group.bench_function("cc_exhaustive_step8", |b| {
+        b.iter(|| exhaustive(&cc, 8.0));
+    });
+
+    let spmm = SpmmWorkload::new(d.matrix(SCALE, 42), platform());
+    group.bench_function("spmm_sampling_estimate", |b| {
+        b.iter(|| estimate(&spmm, SampleSpec::default(), IdentifyStrategy::RaceThenFine, 7));
+    });
+    group.bench_function("spmm_exhaustive_step1", |b| {
+        b.iter(|| exhaustive(&spmm, 1.0));
+    });
+    group.finish();
+}
+
+fn bench_threshold_sweep_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_eval");
+    group.sample_size(20);
+    let d = Dataset::by_name("pwtk").unwrap();
+    let spmm = SpmmWorkload::new(d.matrix(SCALE, 42), platform());
+    // One analytic evaluation: prefix-sum stats + device models.
+    group.bench_function("spmm_one_eval_analytic", |b| {
+        b.iter(|| spmm.run(37.0));
+    });
+    let cc = CcWorkload::new(d.graph(SCALE, 42), platform());
+    // One CC evaluation re-executes the real hybrid algorithm.
+    group.bench_function("cc_one_eval_executed", |b| {
+        b.iter(|| cc.run(37.0));
+    });
+    group.finish();
+}
+
+fn bench_workload_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_setup");
+    group.sample_size(10);
+    let d = Dataset::by_name("consph").unwrap();
+    let m = d.matrix(SCALE, 42);
+    group.bench_function("spmm_profile_pass", |b| {
+        b.iter(|| SpmmWorkload::new(m.clone(), platform()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimation_vs_exhaustive,
+    bench_threshold_sweep_cost,
+    bench_workload_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Extension harness (paper §II, final paragraph): threshold *vectors* on a
+//! platform with one CPU and several accelerators. Compares equal shares,
+//! FLOPS-proportional shares (vector NaiveStatic), the balanced vector
+//! found on the full input, and the vector estimated from an n/4 sample.
+
+use nbwp_bench::Opts;
+use nbwp_core::prelude::*;
+use nbwp_datasets::Dataset;
+
+fn fmt(shares: &Shares) -> String {
+    let parts: Vec<String> = shares.0.iter().map(|s| format!("{s:.0}")).collect();
+    format!("[{}]", parts.join("/"))
+}
+
+fn main() {
+    let opts = Opts::parse();
+    println!(
+        "Multi-device spmm (threshold vector), scale = {}, seed = {}",
+        opts.scale, opts.seed
+    );
+    for (label, platform) in [
+        ("Xeon + 2×K40c", MultiPlatform::xeon_with_k40cs(2)),
+        ("Xeon + K40c + iGPU", MultiPlatform::xeon_k40c_plus_integrated()),
+    ] {
+        println!("\n== {label} ==");
+        println!(
+            "{:<14} {:>14} {:>12} {:>12} {:>12} {:>12}",
+            "dataset", "shares", "equal", "FLOPS", "balanced", "estimated"
+        );
+        for name in ["cant", "cop20k_A", "webbase-1M"] {
+            let d = Dataset::by_name(name).expect("Table II entry");
+            let w = MultiSpmmWorkload::new(
+                d.matrix(opts.scale, opts.seed),
+                platform.clone().scaled_for(opts.scale),
+            );
+            let k = w.devices();
+            let equal = Shares::equal(k);
+            let flops = Shares::flops_proportional(w.platform());
+            let balanced = w.rebalance(&equal, 6);
+            let (estimated, est_cost) = w.estimate(opts.seed);
+            println!(
+                "{:<14} {:>14} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms  est {} (cost {})",
+                name,
+                fmt(&balanced),
+                w.time_at(&equal).as_millis(),
+                w.time_at(&flops).as_millis(),
+                w.time_at(&balanced).as_millis(),
+                w.time_at(&estimated).as_millis(),
+                fmt(&estimated),
+                est_cost,
+            );
+        }
+    }
+    println!("\nExpected shape: balanced ≈ estimated < FLOPS < equal on irregular inputs.");
+}

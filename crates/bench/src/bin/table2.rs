@@ -1,0 +1,31 @@
+//! Regenerates Table II: the dataset registry, with the published sizes and
+//! the actually generated (scaled) sizes + structural features.
+
+use nbwp_bench::Opts;
+use nbwp_datasets::Dataset;
+use nbwp_sparse::features::Features;
+
+fn main() {
+    let opts = Opts::parse();
+    println!("Table II — datasets (scale = {}, seed = {})", opts.scale, opts.seed);
+    println!(
+        "{:<18} {:>10} {:>11} | {:>9} {:>10} {:>8} {:>7} {:>6}",
+        "Graph/Matrix", "paper n", "paper nnz", "gen n", "gen nnz", "avg deg", "gini", "SF?"
+    );
+    println!("{}", "-".repeat(92));
+    for d in Dataset::all() {
+        let m = d.matrix(opts.scale, opts.seed);
+        let f = Features::of(&m);
+        println!(
+            "{:<18} {:>10} {:>11} | {:>9} {:>10} {:>8.1} {:>7.3} {:>6}",
+            d.name,
+            d.paper_n,
+            d.paper_nnz,
+            m.rows(),
+            m.nnz(),
+            f.mean_degree,
+            f.gini,
+            if d.scale_free { "yes" } else { "no" }
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! # nbwp-cli — command-line interface
+//!
+//! `nbwp` brings the sampling-based partitioner to the shell: generate the
+//! synthetic Table II datasets as Matrix Market files, and estimate
+//! CPU/GPU work-split thresholds for any Matrix Market input.
+//!
+//! ```text
+//! nbwp datasets
+//! nbwp gen --dataset cant --scale 0.02 --out cant.mtx
+//! nbwp estimate cc   --input cant.mtx
+//! nbwp estimate spmm --input cant.mtx --seed 7
+//! nbwp estimate hh   --input web.mtx
+//! ```
+//!
+//! The binary is a thin shell over [`run`], which is unit-tested directly.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use nbwp_core::prelude::*;
+use nbwp_datasets::Dataset;
+use nbwp_graph::Graph;
+use nbwp_sparse::{io, Csr};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the Table II registry.
+    Datasets,
+    /// Generate a dataset to a Matrix Market file.
+    Gen {
+        /// Registry name.
+        dataset: String,
+        /// Scale in (0, 1].
+        scale: f64,
+        /// Seed.
+        seed: u64,
+        /// Output path.
+        out: String,
+    },
+    /// Estimate a threshold for a Matrix Market input.
+    Estimate {
+        /// Case study: "cc", "spmm", or "hh".
+        workload: String,
+        /// Input path.
+        input: String,
+        /// Sampling seed.
+        seed: u64,
+        /// Compare against the exhaustive best (slower).
+        exhaustive: bool,
+    },
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+/// Returns a usage message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| err(USAGE))?;
+    match sub.as_str() {
+        "datasets" => Ok(Command::Datasets),
+        "gen" => {
+            let mut dataset = None;
+            let mut scale = 0.02;
+            let mut seed = 42;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--dataset" => dataset = Some(next_val(&mut it, flag)?),
+                    "--scale" => scale = parse_num(&next_val(&mut it, flag)?)?,
+                    "--seed" => seed = parse_num(&next_val(&mut it, flag)?)?,
+                    "--out" => out = Some(next_val(&mut it, flag)?),
+                    other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Gen {
+                dataset: dataset.ok_or_else(|| err("gen requires --dataset"))?,
+                scale,
+                seed,
+                out: out.ok_or_else(|| err("gen requires --out"))?,
+            })
+        }
+        "estimate" => {
+            let workload = it
+                .next()
+                .ok_or_else(|| err("estimate requires a workload: cc | spmm | hh"))?
+                .clone();
+            if !matches!(workload.as_str(), "cc" | "spmm" | "hh") {
+                return Err(err(format!("unknown workload {workload}; use cc | spmm | hh")));
+            }
+            let mut input = None;
+            let mut seed = 42;
+            let mut exhaustive = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--input" => input = Some(next_val(&mut it, flag)?),
+                    "--seed" => seed = parse_num(&next_val(&mut it, flag)?)?,
+                    "--exhaustive" => exhaustive = true,
+                    other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Estimate {
+                workload,
+                input: input.ok_or_else(|| err("estimate requires --input"))?,
+                seed,
+                exhaustive,
+            })
+        }
+        "--help" | "-h" | "help" => Err(err(USAGE)),
+        other => Err(err(format!("unknown subcommand {other}\n{USAGE}"))),
+    }
+}
+
+/// CLI usage text.
+pub const USAGE: &str = "usage:
+  nbwp datasets
+  nbwp gen --dataset <name> [--scale f] [--seed u64] --out <file.mtx>
+  nbwp estimate <cc|spmm|hh> --input <file.mtx> [--seed u64] [--exhaustive]";
+
+fn next_val<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| err(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| err(format!("bad numeric value {s}")))
+}
+
+/// Executes a command, returning the text to print.
+///
+/// # Errors
+/// Returns a [`CliError`] on I/O or input problems.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Datasets => Ok(list_datasets()),
+        Command::Gen {
+            dataset,
+            scale,
+            seed,
+            out,
+        } => gen_dataset(dataset, *scale, *seed, out),
+        Command::Estimate {
+            workload,
+            input,
+            seed,
+            exhaustive,
+        } => estimate_cmd(workload, input, *seed, *exhaustive),
+    }
+}
+
+fn list_datasets() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<18} {:>10} {:>11} {:>8} {:>6}", "name", "n", "nnz", "family", "SF?");
+    for d in Dataset::all() {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10} {:>11} {:>8} {:>6}",
+            d.name,
+            d.paper_n,
+            d.paper_nnz,
+            format!("{:?}", d.family),
+            if d.scale_free { "yes" } else { "no" }
+        );
+    }
+    out
+}
+
+fn gen_dataset(name: &str, scale: f64, seed: u64, out: &str) -> Result<String, CliError> {
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(err(format!("--scale must be in (0, 1], got {scale}")));
+    }
+    let d = Dataset::by_name(name)
+        .ok_or_else(|| err(format!("unknown dataset {name}; run `nbwp datasets`")))?;
+    let m = d.matrix(scale, seed);
+    let file = File::create(Path::new(out)).map_err(|e| err(format!("cannot create {out}: {e}")))?;
+    io::write_matrix_market(&m, BufWriter::new(file))
+        .map_err(|e| err(format!("write failed: {e}")))?;
+    Ok(format!(
+        "wrote {} ({} rows, {} nonzeros, scale {scale}, seed {seed})\n",
+        out,
+        m.rows(),
+        m.nnz()
+    ))
+}
+
+fn load_matrix(path: &str) -> Result<Csr, CliError> {
+    let file = File::open(Path::new(path)).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+    io::read_matrix_market(BufReader::new(file)).map_err(|e| err(format!("parse failed: {e}")))
+}
+
+fn estimate_cmd(
+    workload: &str,
+    input: &str,
+    seed: u64,
+    exhaustive: bool,
+) -> Result<String, CliError> {
+    let a = load_matrix(input)?;
+    if a.rows() != a.cols() {
+        return Err(err(format!(
+            "{input} is {}x{}; the case studies need a square matrix",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let platform = Platform::k40c_xeon_e5_2650();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{input}: {} rows, {} nonzeros — {} on the simulated K40c + Xeon",
+        a.rows(),
+        a.nnz(),
+        workload
+    );
+    match workload {
+        "cc" => {
+            let w = CcWorkload::new(Graph::from_matrix(&a), platform);
+            let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, seed);
+            report_scalar(&mut out, &w, &est, "CPU vertex share %", exhaustive);
+        }
+        "spmm" => {
+            let w = SpmmWorkload::new(a, platform);
+            let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, seed);
+            report_scalar(&mut out, &w, &est, "CPU work share %", exhaustive);
+        }
+        "hh" => {
+            let w = HhWorkload::new(a, platform);
+            let est = estimate(
+                &w,
+                SampleSpec::default(),
+                IdentifyStrategy::GradientDescent { max_evals: 24 },
+                seed,
+            );
+            report_scalar(&mut out, &w, &est, "row-density threshold", exhaustive);
+        }
+        other => return Err(err(format!("unknown workload {other}"))),
+    }
+    Ok(out)
+}
+
+fn report_scalar<W: PartitionedWorkload>(
+    out: &mut String,
+    w: &W,
+    est: &SamplingEstimate,
+    unit: &str,
+    exhaustive: bool,
+) {
+    let _ = writeln!(
+        out,
+        "estimated threshold: {:.1} ({unit})\n  sample size {}, {} miniature runs, estimation cost {}",
+        est.threshold, est.sample_size, est.evaluations, est.overhead
+    );
+    let _ = writeln!(out, "  run at estimated threshold: {}", w.time_at(est.threshold));
+    if exhaustive {
+        let step = if w.space().logarithmic { 1.15 } else { 1.0 };
+        let best = nbwp_core::search::exhaustive(w, step);
+        let _ = writeln!(
+            out,
+            "  exhaustive best: {:.1} → {} ({} full runs; penalty of the estimate: {:.1}%)",
+            best.best_t,
+            best.best_time,
+            best.evaluations(),
+            w.time_at(est.threshold).pct_diff_from(best.best_time)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_all_subcommands() {
+        assert_eq!(parse_args(&args("datasets")).unwrap(), Command::Datasets);
+        let g = parse_args(&args("gen --dataset cant --scale 0.01 --seed 7 --out /tmp/x.mtx")).unwrap();
+        assert_eq!(
+            g,
+            Command::Gen {
+                dataset: "cant".into(),
+                scale: 0.01,
+                seed: 7,
+                out: "/tmp/x.mtx".into()
+            }
+        );
+        let e = parse_args(&args("estimate spmm --input /tmp/x.mtx --exhaustive")).unwrap();
+        assert_eq!(
+            e,
+            Command::Estimate {
+                workload: "spmm".into(),
+                input: "/tmp/x.mtx".into(),
+                seed: 42,
+                exhaustive: true
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("estimate sorting --input x")).is_err());
+        assert!(parse_args(&args("gen --dataset cant")).is_err(), "missing --out");
+        assert!(parse_args(&args("gen --scale abc --out x --dataset cant")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn datasets_listing_contains_the_registry() {
+        let text = run(&Command::Datasets).unwrap();
+        assert!(text.contains("cant"));
+        assert!(text.contains("asia_osm"));
+        assert!(text.lines().count() >= 16);
+    }
+
+    #[test]
+    fn gen_then_estimate_roundtrip() {
+        let dir = std::env::temp_dir().join("nbwp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rma10.mtx");
+        let path_s = path.to_str().unwrap().to_string();
+        let msg = run(&Command::Gen {
+            dataset: "rma10".into(),
+            scale: 0.005,
+            seed: 3,
+            out: path_s.clone(),
+        })
+        .unwrap();
+        assert!(msg.contains("wrote"));
+
+        for wl in ["cc", "spmm", "hh"] {
+            let text = run(&Command::Estimate {
+                workload: wl.into(),
+                input: path_s.clone(),
+                seed: 3,
+                exhaustive: false,
+            })
+            .unwrap();
+            assert!(text.contains("estimated threshold"), "{wl}: {text}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gen_rejects_unknown_dataset_and_bad_scale() {
+        assert!(run(&Command::Gen {
+            dataset: "nope".into(),
+            scale: 0.01,
+            seed: 1,
+            out: "/tmp/x.mtx".into()
+        })
+        .is_err());
+        assert!(run(&Command::Gen {
+            dataset: "cant".into(),
+            scale: 2.0,
+            seed: 1,
+            out: "/tmp/x.mtx".into()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn estimate_rejects_missing_file() {
+        assert!(run(&Command::Estimate {
+            workload: "cc".into(),
+            input: "/nonexistent/file.mtx".into(),
+            seed: 1,
+            exhaustive: false
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! The `nbwp` binary: see [`nbwp_cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nbwp_cli::parse_args(&args).and_then(|cmd| nbwp_cli::run(&cmd)) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

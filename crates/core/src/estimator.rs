@@ -1,0 +1,365 @@
+//! The sampling-based threshold estimator — the paper's contribution,
+//! assembling Sample → Identify → Extrapolate into one call.
+
+use nbwp_sim::SimTime;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec};
+use crate::search::{self, SearchOutcome};
+
+/// Which Identify strategy (§II Step 2) to run on the sampled input.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdentifyStrategy {
+    /// Coarse stride then fine stride (the paper's CC choice: 8 → 1).
+    CoarseToFine,
+    /// Device-race rough split then fine search (the paper's spmm choice).
+    RaceThenFine,
+    /// Discrete hill climbing (the paper's scale-free choice) with an
+    /// evaluation budget.
+    GradientDescent {
+        /// Maximum candidate evaluations.
+        max_evals: usize,
+    },
+    /// Exhaustive search on the sample (upper bound on identify quality).
+    Exhaustive,
+}
+
+/// Result of one sampling-based estimation.
+#[derive(Clone, Debug)]
+pub struct SamplingEstimate {
+    /// The threshold recommended for the *full* input (after extrapolation).
+    pub threshold: f64,
+    /// The best threshold found on the sample (before extrapolation).
+    pub sample_threshold: f64,
+    /// Simulated cost of the whole estimation: sample construction plus
+    /// every run on the sampled input — the paper's "Overhead" column.
+    pub overhead: SimTime,
+    /// Number of candidate runs performed on the sample.
+    pub evaluations: usize,
+    /// Sample problem size (rows / vertices).
+    pub sample_size: usize,
+}
+
+/// Runs the full sampling pipeline on `workload`.
+///
+/// `seed` controls the uniform sampling (Step 1); everything downstream is
+/// deterministic.
+#[must_use]
+pub fn estimate<W: Sampleable>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+) -> SamplingEstimate {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Step 1: Sample.
+    let sample = workload.sample(spec, &mut rng);
+    // Step 2: Identify on the sample.
+    let outcome: SearchOutcome = match strategy {
+        IdentifyStrategy::CoarseToFine => search::coarse_to_fine(&sample),
+        IdentifyStrategy::RaceThenFine => search::race_then_fine(&sample),
+        IdentifyStrategy::GradientDescent { max_evals } => {
+            search::gradient_descent(&sample, max_evals)
+        }
+        IdentifyStrategy::Exhaustive => {
+            let step = sample.space().fine_step;
+            search::exhaustive(&sample, step)
+        }
+    };
+    // Step 3: Extrapolate.
+    let threshold = workload
+        .space()
+        .clamp(workload.extrapolate(outcome.best_t, &sample));
+    SamplingEstimate {
+        threshold,
+        sample_threshold: outcome.best_t,
+        overhead: workload.sampling_cost() + outcome.search_cost,
+        evaluations: outcome.evaluations(),
+        sample_size: sample.size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::ThresholdSpace;
+    use nbwp_sim::{RunBreakdown, RunReport};
+
+
+    fn test_platform() -> &'static nbwp_sim::Platform {
+        static P: std::sync::OnceLock<nbwp_sim::Platform> = std::sync::OnceLock::new();
+        P.get_or_init(nbwp_sim::Platform::k40c_xeon_e5_2650)
+    }
+    /// Synthetic sampleable workload: V-shaped cost with optimum `opt`;
+    /// its sample has the same optimum but runs 100× faster, and
+    /// extrapolation is identity.
+    struct SynthWorkload {
+        opt: f64,
+        cost_scale: f64,
+        n: usize,
+    }
+
+    impl PartitionedWorkload for SynthWorkload {
+        fn platform(&self) -> &nbwp_sim::Platform {
+            test_platform()
+        }
+        fn run(&self, t: f64) -> RunReport {
+            let ms = self.cost_scale * (1.0 + (t - self.opt).abs() / 50.0);
+            RunReport {
+                breakdown: RunBreakdown {
+                    cpu_compute: SimTime::from_millis(ms),
+                    ..RunBreakdown::default()
+                },
+                ..RunReport::default()
+            }
+        }
+        fn space(&self) -> ThresholdSpace {
+            ThresholdSpace::percentage()
+        }
+        fn size(&self) -> usize {
+            self.n
+        }
+    }
+
+    impl Sampleable for SynthWorkload {
+        type Sample = SynthWorkload;
+        fn sample(&self, spec: SampleSpec, _rng: &mut SmallRng) -> SynthWorkload {
+            SynthWorkload {
+                opt: self.opt,
+                cost_scale: self.cost_scale / 100.0,
+                n: ((self.n as f64).sqrt() * spec.factor) as usize,
+            }
+        }
+        fn extrapolate(&self, t: f64, _sample: &SynthWorkload) -> f64 {
+            t
+        }
+        fn sampling_cost(&self) -> SimTime {
+            SimTime::from_micros(self.n as f64 / 1000.0)
+        }
+    }
+
+    #[test]
+    fn estimate_recovers_the_optimum() {
+        let w = SynthWorkload {
+            opt: 23.0,
+            cost_scale: 10.0,
+            n: 1 << 20,
+        };
+        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+        assert_eq!(est.threshold, 23.0);
+        assert_eq!(est.sample_threshold, 23.0);
+    }
+
+    #[test]
+    fn overhead_is_far_below_one_full_run() {
+        let w = SynthWorkload {
+            opt: 40.0,
+            cost_scale: 10.0,
+            n: 1 << 20,
+        };
+        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+        let full_run = w.time_at(est.threshold);
+        // ~30 sample evals at 1/100 cost each ≈ 0.3 full runs; require < 1.
+        assert!(
+            est.overhead < full_run,
+            "overhead {} vs full run {}",
+            est.overhead,
+            full_run
+        );
+        assert!(est.overhead > SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_strategies_find_a_reasonable_threshold() {
+        let w = SynthWorkload {
+            opt: 64.0,
+            cost_scale: 5.0,
+            n: 1 << 16,
+        };
+        for strategy in [
+            IdentifyStrategy::CoarseToFine,
+            IdentifyStrategy::RaceThenFine,
+            IdentifyStrategy::GradientDescent { max_evals: 30 },
+            IdentifyStrategy::Exhaustive,
+        ] {
+            let est = estimate(&w, SampleSpec::default(), strategy, 7);
+            assert!(
+                (est.threshold - 64.0).abs() <= 8.0,
+                "{strategy:?} found {}",
+                est.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_on_sample_uses_more_evals_than_coarse_to_fine() {
+        let w = SynthWorkload {
+            opt: 10.0,
+            cost_scale: 1.0,
+            n: 4096,
+        };
+        let ctf = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 3);
+        let exh = estimate(&w, SampleSpec::default(), IdentifyStrategy::Exhaustive, 3);
+        assert!(exh.evaluations > ctf.evaluations);
+        assert!(exh.overhead > ctf.overhead);
+    }
+
+    #[test]
+    fn sample_size_scales_with_spec() {
+        let w = SynthWorkload {
+            opt: 10.0,
+            cost_scale: 1.0,
+            n: 1 << 16,
+        };
+        let small = estimate(&w, SampleSpec::scaled(0.25), IdentifyStrategy::CoarseToFine, 3);
+        let big = estimate(&w, SampleSpec::scaled(4.0), IdentifyStrategy::CoarseToFine, 3);
+        assert!(big.sample_size > small.sample_size);
+    }
+}
+
+/// Runs [`estimate`] on `repeats` independent samples and returns the
+/// median-threshold estimate, with the overheads of *all* repeats summed
+/// (every miniature run costs simulated time).
+///
+/// The paper motivates this directly: "since the size of the sampled input
+/// is expected to be small, our method allows us the freedom to conduct
+/// multiple runs of the algorithm on the sampled input" (§II). Repeats
+/// suppress sampling variance; they cannot remove systematic bias.
+///
+/// # Panics
+/// Panics if `repeats == 0`.
+#[must_use]
+pub fn estimate_repeated<W: Sampleable>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    repeats: usize,
+) -> SamplingEstimate {
+    assert!(repeats > 0, "need at least one repeat");
+    let mut runs: Vec<SamplingEstimate> = (0..repeats)
+        .map(|k| estimate(workload, spec, strategy, seed.wrapping_add(k as u64)))
+        .collect();
+    runs.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
+    let total_overhead: SimTime = runs.iter().map(|r| r.overhead).sum();
+    let total_evals: usize = runs.iter().map(|r| r.evaluations).sum();
+    let median = runs.swap_remove(runs.len() / 2);
+    SamplingEstimate {
+        overhead: total_overhead,
+        evaluations: total_evals,
+        ..median
+    }
+}
+
+#[cfg(test)]
+mod repeat_tests {
+    use super::*;
+    use crate::framework::{PartitionedWorkload, ThresholdSpace};
+    use nbwp_sim::{RunBreakdown, RunReport};
+
+    fn test_platform() -> &'static nbwp_sim::Platform {
+        static P: std::sync::OnceLock<nbwp_sim::Platform> = std::sync::OnceLock::new();
+        P.get_or_init(nbwp_sim::Platform::k40c_xeon_e5_2650)
+    }
+
+    /// Workload whose sample optimum jitters with the seed: opt + noise.
+    struct Jittery {
+        opt: f64,
+        noise: f64,
+    }
+
+    impl PartitionedWorkload for Jittery {
+        fn run(&self, t: f64) -> RunReport {
+            let ms = 1.0 + (t - (self.opt + self.noise)).abs() / 50.0;
+            RunReport {
+                breakdown: RunBreakdown {
+                    cpu_compute: SimTime::from_millis(ms),
+                    ..RunBreakdown::default()
+                },
+                ..RunReport::default()
+            }
+        }
+        fn space(&self) -> ThresholdSpace {
+            ThresholdSpace::percentage()
+        }
+        fn size(&self) -> usize {
+            10_000
+        }
+        fn platform(&self) -> &nbwp_sim::Platform {
+            test_platform()
+        }
+    }
+
+    impl Sampleable for Jittery {
+        type Sample = Jittery;
+        fn sample(&self, _spec: SampleSpec, rng: &mut SmallRng) -> Jittery {
+            use rand::Rng;
+            Jittery {
+                opt: self.opt,
+                noise: rng.gen_range(-20.0..20.0),
+            }
+        }
+        fn extrapolate(&self, t: f64, _sample: &Jittery) -> f64 {
+            t
+        }
+        fn sampling_cost(&self) -> SimTime {
+            SimTime::from_micros(1.0)
+        }
+    }
+
+    #[test]
+    fn median_of_repeats_beats_a_single_noisy_sample_on_average() {
+        let w = Jittery {
+            opt: 50.0,
+            noise: 0.0,
+        };
+        let mut err1 = 0.0;
+        let mut err5 = 0.0;
+        for seed in 0..12 {
+            let single = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, seed);
+            let multi = estimate_repeated(
+                &w,
+                SampleSpec::default(),
+                IdentifyStrategy::CoarseToFine,
+                seed,
+                5,
+            );
+            err1 += (single.threshold - 50.0).abs();
+            err5 += (multi.threshold - 50.0).abs();
+        }
+        assert!(
+            err5 < err1,
+            "median-of-5 error {err5:.1} should beat single-sample {err1:.1}"
+        );
+    }
+
+    #[test]
+    fn repeated_overhead_is_the_sum() {
+        let w = Jittery {
+            opt: 30.0,
+            noise: 0.0,
+        };
+        let single = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 3);
+        let multi = estimate_repeated(
+            &w,
+            SampleSpec::default(),
+            IdentifyStrategy::CoarseToFine,
+            3,
+            4,
+        );
+        assert!(multi.overhead > single.overhead * 3.0);
+        assert!(multi.evaluations >= single.evaluations * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repeat")]
+    fn zero_repeats_rejected() {
+        let w = Jittery {
+            opt: 30.0,
+            noise: 0.0,
+        };
+        let _ = estimate_repeated(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 3, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # nbwp-core — nearly balanced work partitioning
+//!
+//! Reproduction of *"Nearly Balanced Work Partitioning for Heterogeneous
+//! Algorithms"* (ICPP 2017): a sampling-based technique for choosing the
+//! work-split threshold of hand-crafted heterogeneous (CPU+GPU) algorithms.
+//!
+//! The pipeline is **Sample → Identify → Extrapolate** (§II of the paper):
+//!
+//! 1. [`framework::Sampleable::sample`] builds a miniature input by uniform
+//!    random sampling;
+//! 2. a [`search`] strategy (coarse-to-fine, device race, or gradient
+//!    descent) finds the best threshold *on the sample*;
+//! 3. an [`extrapolate::Extrapolator`] maps it back to the full input.
+//!
+//! Four workloads implement the framework: hybrid graph connected
+//! components, row-row spmm, scale-free spmm (Algorithm HH-CPU), and dense
+//! GEMM — see [`workloads`]. Baselines (NaiveStatic, NaiveAverage,
+//! GPU-only, Qilin-style history, Boyer-style chunked-dynamic) live in
+//! [`baselines`], and [`experiment`] drives the paper's figures and tables.
+//!
+//! ```
+//! use nbwp_core::prelude::*;
+//! use nbwp_graph::gen;
+//!
+//! let g = gen::web(4_000, 6, 42);
+//! let w = CcWorkload::new(g, Platform::k40c_xeon_e5_2650());
+//! // Estimate the CC threshold with the paper's method:
+//! let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7);
+//! assert!((0.0..=100.0).contains(&est.threshold));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baselines;
+pub mod energy;
+pub mod estimator;
+pub mod experiment;
+pub mod extrapolate;
+pub mod framework;
+pub mod report;
+pub mod search;
+pub mod workloads;
+
+/// One-stop imports for examples, tests and harnesses.
+pub mod prelude {
+    pub use crate::baselines::{self, naive_average, naive_static};
+    pub use crate::estimator::{estimate, estimate_repeated, IdentifyStrategy, SamplingEstimate};
+    pub use crate::experiment::{
+        fill_naive_average, run_one, sensitivity, summarize, ExperimentConfig, ExperimentRow,
+        SensitivityPoint, Summary,
+    };
+    pub use crate::energy::{exhaustive_energy, EnergySweep, PowerModel};
+    pub use crate::extrapolate::{calibrate_extrapolator, fit_power, Extrapolator};
+    pub use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+    pub use crate::search::{coarse_to_fine, exhaustive, gradient_descent, race_then_fine};
+    pub use crate::workloads::{
+        CcSampler, CcWorkload, DenseGemmWorkload, HhSampler, HhWorkload, ListRankingWorkload,
+        MultiPlatform,
+        MultiRunReport, MultiSpmmWorkload, Shares, SortWorkload, SpmmWorkload, SpmvWorkload,
+    };
+    pub use nbwp_sim::{Platform, SimTime};
+}

@@ -1,0 +1,226 @@
+//! Text rendering of experiment results: the aligned tables the harness
+//! binaries print for each paper figure, plus JSON export.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{ExperimentRow, SensitivityPoint, Summary};
+
+fn fmt_opt(v: Option<f64>, width: usize, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.prec$}"),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+/// Renders the threshold comparison table of a Fig. 3(a)/5(a)/8(a)-style
+/// panel: per dataset, Exhaustive / Estimated / NaiveStatic / NaiveAverage
+/// thresholds and the threshold difference on the secondary axis.
+#[must_use]
+pub fn threshold_table(rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>9} {:>10} {:>12} {:>13} {:>10}",
+        "dataset", "Exhaust.", "Estimated", "NaiveStatic", "NaiveAverage", "|diff|%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9.1} {:>10.1} {:>12} {:>13} {:>10.2}",
+            r.dataset,
+            r.exhaustive_t,
+            r.estimated_t,
+            fmt_opt(r.naive_static_t, 12, 1),
+            fmt_opt(r.naive_average_t, 13, 1),
+            r.threshold_diff_pct(),
+        );
+    }
+    let avg: f64 =
+        rows.iter().map(ExperimentRow::threshold_diff_pct).sum::<f64>() / rows.len().max(1) as f64;
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    let _ = writeln!(out, "{:<18} {:>66.2}", "avg |diff|%", avg);
+    out
+}
+
+/// Renders the time comparison table of a Fig. 3(b)/5(b)/8(b)-style panel:
+/// per dataset, simulated times (ms) at each method's threshold, the
+/// GPU-only naive time, the estimation overhead, and the time difference.
+#[must_use]
+pub fn time_table(rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>11} {:>12} {:>9} {:>9} {:>8} {:>8}",
+        "dataset",
+        "Exhaust.",
+        "Estimated",
+        "NaiveStat.",
+        "NaiveAvg.",
+        "GpuOnly",
+        "Ovhd(ms)",
+        "dT%",
+        "ovhd%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(102));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10.3} {:>10.3} {:>11} {:>12} {:>9.3} {:>9.3} {:>8.2} {:>8.2}",
+            r.dataset,
+            r.time_exhaustive_ms,
+            r.time_estimated_ms,
+            fmt_opt(r.time_naive_static_ms, 11, 3),
+            fmt_opt(r.time_naive_average_ms, 12, 3),
+            r.time_gpu_only_ms,
+            r.overhead_ms,
+            r.time_diff_pct(),
+            r.overhead_pct(),
+        );
+    }
+    let n = rows.len().max(1) as f64;
+    let avg_dt: f64 = rows.iter().map(ExperimentRow::time_diff_pct).sum::<f64>() / n;
+    let avg_ov: f64 = rows.iter().map(ExperimentRow::overhead_pct).sum::<f64>() / n;
+    let _ = writeln!(out, "{}", "-".repeat(102));
+    let _ = writeln!(
+        out,
+        "{:<18} {:>75.2} {:>8.2}",
+        "avg dT% / ovhd%", avg_dt, avg_ov
+    );
+    out
+}
+
+/// Renders a sensitivity sweep (Figs. 4/6/9): sample-size factor vs
+/// estimation and total times.
+#[must_use]
+pub fn sensitivity_table(label: &str, points: &[SensitivityPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "sensitivity: {label}");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>15} {:>12} {:>12}",
+        "factor", "sample size", "estimation(ms)", "total(ms)", "threshold"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>8.2} {:>12} {:>15.3} {:>12.3} {:>12.2}",
+            p.factor, p.sample_size, p.estimation_ms, p.total_ms, p.estimated_t
+        );
+    }
+    out
+}
+
+/// Renders Table I.
+#[must_use]
+pub fn summary_table(summaries: &[Summary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>18} {:>16} {:>12}",
+        "Workload", "Threshold Diff(%)", "Time Diff(%)", "Overhead(%)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(68));
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>18.2} {:>16.2} {:>12.2}",
+            s.workload, s.threshold_diff_pct, s.time_diff_pct, s.overhead_pct
+        );
+    }
+    out
+}
+
+/// Serializes any experiment payload to pretty JSON.
+///
+/// # Errors
+/// Propagates `serde_json` failures.
+pub fn to_json<T: serde::Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str) -> ExperimentRow {
+        ExperimentRow {
+            dataset: name.into(),
+            n: 1000,
+            exhaustive_t: 12.0,
+            estimated_t: 15.0,
+            naive_static_t: Some(11.6),
+            naive_average_t: Some(14.0),
+            time_exhaustive_ms: 10.0,
+            time_estimated_ms: 10.5,
+            time_naive_static_ms: Some(11.0),
+            time_naive_average_ms: Some(10.8),
+            time_gpu_only_ms: 14.0,
+            overhead_ms: 0.9,
+            evaluations: 22,
+            sample_size: 32,
+            relative_threshold_diff: false,
+            space_lo: 0.0,
+            space_hi: 100.0,
+        }
+    }
+
+    #[test]
+    fn threshold_table_renders_all_rows() {
+        let t = threshold_table(&[row("cant"), row("pwtk")]);
+        assert!(t.contains("cant"));
+        assert!(t.contains("pwtk"));
+        assert!(t.contains("avg |diff|%"));
+        assert!(t.contains("3.00"), "diff column: {t}");
+    }
+
+    #[test]
+    fn time_table_renders_overheads() {
+        let t = time_table(&[row("cant")]);
+        assert!(t.contains("cant"));
+        assert!(t.contains("10.500"));
+        assert!(t.contains("ovhd%"));
+    }
+
+    #[test]
+    fn missing_baselines_render_as_dash() {
+        let mut r = row("x");
+        r.naive_static_t = None;
+        r.time_naive_static_ms = None;
+        let t = threshold_table(&[r.clone()]);
+        assert!(t.contains(" - "), "table: {t}");
+        let t2 = time_table(&[r]);
+        assert!(t2.contains(" - "), "table: {t2}");
+    }
+
+    #[test]
+    fn sensitivity_and_summary_render() {
+        let p = SensitivityPoint {
+            factor: 1.0,
+            sample_size: 100,
+            estimation_ms: 0.5,
+            total_ms: 11.0,
+            estimated_t: 13.0,
+        };
+        let t = sensitivity_table("web-BerkStan", &[p]);
+        assert!(t.contains("web-BerkStan"));
+        let s = Summary {
+            workload: "CC".into(),
+            threshold_diff_pct: 7.5,
+            time_diff_pct: 4.0,
+            overhead_pct: 9.0,
+        };
+        let t = summary_table(&[s]);
+        assert!(t.contains("CC"));
+        assert!(t.contains("7.50"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rows = vec![row("a")];
+        let json = to_json(&rows).unwrap();
+        let back: Vec<ExperimentRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back[0].dataset, "a");
+    }
+}

@@ -1,0 +1,388 @@
+//! Step 2 ("Identify") — threshold search strategies.
+//!
+//! * [`exhaustive`] — evaluate every grid point: the paper's reference
+//!   "best possible threshold" (impractical on the full input, used to
+//!   measure the quality of everything else).
+//! * [`coarse_to_fine`] — the paper's CC identify step: stride 8, then
+//!   stride 1 around the best coarse point (§III.A.2).
+//! * [`race_then_fine`] — the paper's spmm identify step: estimate a rough
+//!   split from the two devices' standalone rates (the "race"), then fine
+//!   search around it (§IV.A(b)).
+//! * [`gradient_descent`] — the paper's scale-free identify step: discrete
+//!   hill climbing with a shrinking step (§V.A.2).
+//!
+//! Every strategy records each candidate it evaluated and the *simulated
+//! cost* of those evaluations; that cost is the estimation overhead the
+//! paper's Table I reports.
+
+use nbwp_sim::SimTime;
+
+use crate::framework::{PartitionedWorkload, ThresholdSpace};
+
+/// Outcome of a threshold search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The best threshold found.
+    pub best_t: f64,
+    /// Simulated time of a run at `best_t`.
+    pub best_time: SimTime,
+    /// Every `(threshold, total time)` pair evaluated, in evaluation order.
+    pub evals: Vec<(f64, SimTime)>,
+    /// Total simulated cost of the evaluations (Σ run totals).
+    pub search_cost: SimTime,
+}
+
+impl SearchOutcome {
+    fn from_evals(evals: Vec<(f64, SimTime)>) -> Self {
+        assert!(!evals.is_empty(), "search evaluated no candidates");
+        let (best_t, best_time) = evals
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.cmp(&b.1))
+            .expect("non-empty");
+        let search_cost = evals.iter().map(|&(_, t)| t).sum();
+        SearchOutcome {
+            best_t,
+            best_time,
+            evals,
+            search_cost,
+        }
+    }
+
+    /// Number of candidate evaluations performed.
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.evals.len()
+    }
+}
+
+fn eval_grid(w: &impl PartitionedWorkload, grid: &[f64]) -> Vec<(f64, SimTime)> {
+    grid.iter().map(|&t| (t, w.time_at(t))).collect()
+}
+
+/// Exhaustive search over the whole space at `step` granularity
+/// (`step = space.fine_step` reproduces the paper's "best possible"
+/// reference at percent granularity).
+#[must_use]
+pub fn exhaustive(w: &impl PartitionedWorkload, step: f64) -> SearchOutcome {
+    assert!(step > 0.0, "step must be positive");
+    let space = w.space();
+    let mut grid = Vec::new();
+    if space.logarithmic {
+        assert!(step > 1.0, "logarithmic spaces need a multiplicative step > 1");
+        let mut t = space.lo.max(1e-9);
+        while t < space.hi {
+            grid.push(t);
+            t *= step;
+        }
+        grid.push(space.hi);
+    } else {
+        let mut t = space.lo;
+        while t < space.hi {
+            grid.push(t);
+            t += step;
+        }
+        grid.push(space.hi);
+    }
+    SearchOutcome::from_evals(eval_grid(w, &grid))
+}
+
+/// The paper's coarse-to-fine search: evaluate the coarse grid, then the
+/// fine grid around the best coarse candidate.
+///
+/// ```
+/// use nbwp_core::prelude::*;
+/// use nbwp_sparse::gen;
+/// let w = SpmmWorkload::new(gen::uniform_random(200, 6, 1), Platform::k40c_xeon_e5_2650());
+/// let out = coarse_to_fine(&w);
+/// assert!((0.0..=100.0).contains(&out.best_t));
+/// assert!(out.evaluations() < 101); // far fewer than exhaustive
+/// ```
+#[must_use]
+pub fn coarse_to_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
+    let space = w.space();
+    let mut evals = eval_grid(w, &space.coarse_grid());
+    let (center, _) = evals
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.cmp(&b.1))
+        .expect("coarse grid non-empty");
+    let fine: Vec<f64> = space
+        .fine_grid(center)
+        .into_iter()
+        .filter(|t| !evals.iter().any(|&(seen, _)| close(seen, *t, &space)))
+        .collect();
+    evals.extend(eval_grid(w, &fine));
+    SearchOutcome::from_evals(evals)
+}
+
+/// The paper's spmm identify step (§IV.A(b)): the *race* runs the whole
+/// (sample) input on both devices concurrently and stops when the first
+/// finishes — one overlapped run, costing `min(T_cpu, T_gpu)` — yielding
+/// the balance estimate `r₀ = 100 · T_gpu / (T_cpu + T_gpu)`. A handful of
+/// fine probes around `r₀` then pin the split.
+#[must_use]
+pub fn race_then_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
+    let space = w.space();
+    let all_cpu = w.run(space.hi).breakdown.phase2();
+    let all_gpu = w.run(space.lo).breakdown.phase2();
+    // Both device runs overlap; the race ends at the first finisher.
+    let race_cost = all_cpu.min(all_gpu);
+    let denom = all_cpu + all_gpu;
+    let frac = if denom.is_zero() {
+        0.5
+    } else {
+        all_gpu / denom
+    };
+    let r0 = space.clamp(space.lo + (space.hi - space.lo) * frac);
+    // Five probes at ±2 fine strides around the race estimate.
+    let step = space.fine_step * 2.0;
+    let probes: Vec<f64> = if space.logarithmic {
+        [-2.0f64, -1.0, 0.0, 1.0, 2.0]
+            .iter()
+            .map(|&k| space.clamp(r0 * step.powf(k)))
+            .collect()
+    } else {
+        [-2.0f64, -1.0, 0.0, 1.0, 2.0]
+            .iter()
+            .map(|&k| space.clamp(r0 + k * step))
+            .collect()
+    };
+    let mut dedup: Vec<f64> = Vec::new();
+    for t in probes {
+        if !dedup.iter().any(|&seen| close(seen, t, &space)) {
+            dedup.push(t);
+        }
+    }
+    let mut out = SearchOutcome::from_evals(eval_grid(w, &dedup));
+    out.search_cost += race_cost;
+    out
+}
+
+/// The paper's scale-free identify step: discrete hill climbing ("gradient
+/// descent based approach", §V.A.2) with a step that shrinks when no
+/// neighbor improves. Runs three descents — from the low end, the middle,
+/// and the high end of the space — sharing one evaluation budget, because
+/// HH-CPU cost landscapes are bimodal (an interior hub-offloading basin and
+/// an all-GPU basin at the maximum degree).
+#[must_use]
+pub fn gradient_descent(w: &impl PartitionedWorkload, max_evals: usize) -> SearchOutcome {
+    assert!(max_evals >= 3, "need at least 3 evaluations");
+    let space = w.space();
+    let mut evals: Vec<(f64, SimTime)> = Vec::new();
+    let cached_eval = |t: f64, evals: &mut Vec<(f64, SimTime)>| -> SimTime {
+        if let Some(&(_, cost)) = evals.iter().find(|&&(seen, _)| close(seen, t, &space)) {
+            return cost;
+        }
+        let cost = w.time_at(t);
+        evals.push((t, cost));
+        cost
+    };
+
+    let mid = if space.logarithmic {
+        (space.lo.max(1e-9) * space.hi.max(1e-9)).sqrt()
+    } else {
+        (space.lo + space.hi) / 2.0
+    };
+    let starts = [mid, space.hi, space.lo.max(if space.logarithmic { 1.0 } else { space.lo })];
+    let budget_each = (max_evals / starts.len()).max(3);
+
+    for &start in &starts {
+        let mut current = start;
+        let mut stride = if space.logarithmic {
+            (space.hi / space.lo.max(1e-9)).powf(0.25).max(1.1)
+        } else {
+            (space.hi - space.lo) / 4.0
+        };
+        let mut best = cached_eval(current, &mut evals);
+        let deadline = evals.len().saturating_add(budget_each).min(max_evals);
+        while evals.len() < deadline {
+            let (left, right) = if space.logarithmic {
+                (space.clamp(current / stride), space.clamp(current * stride))
+            } else {
+                (space.clamp(current - stride), space.clamp(current + stride))
+            };
+            let tl = cached_eval(left, &mut evals);
+            if evals.len() >= deadline {
+                break;
+            }
+            let tr = cached_eval(right, &mut evals);
+            if tl < best && tl <= tr {
+                current = left;
+                best = tl;
+            } else if tr < best {
+                current = right;
+                best = tr;
+            } else {
+                // No improvement: shrink the step; stop at fine resolution.
+                if space.logarithmic {
+                    stride = stride.sqrt();
+                    if stride <= space.fine_step {
+                        break;
+                    }
+                } else {
+                    stride /= 2.0;
+                    if stride < space.fine_step {
+                        break;
+                    }
+                }
+            }
+        }
+        if evals.len() >= max_evals {
+            break;
+        }
+    }
+    SearchOutcome::from_evals(evals)
+}
+
+/// Tolerant equality for grid membership (absolute for linear spaces,
+/// relative for logarithmic ones).
+fn close(a: f64, b: f64, space: &ThresholdSpace) -> bool {
+    if space.logarithmic {
+        (a / b - 1.0).abs() < 1e-6
+    } else {
+        (a - b).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbwp_sim::{RunBreakdown, RunReport};
+
+
+    fn test_platform() -> &'static nbwp_sim::Platform {
+        static P: std::sync::OnceLock<nbwp_sim::Platform> = std::sync::OnceLock::new();
+        P.get_or_init(nbwp_sim::Platform::k40c_xeon_e5_2650)
+    }
+    /// A synthetic workload with a V-shaped time curve minimized at `opt`.
+    struct Valley {
+        opt: f64,
+        space: ThresholdSpace,
+    }
+
+    impl PartitionedWorkload for Valley {
+        fn platform(&self) -> &nbwp_sim::Platform {
+            test_platform()
+        }
+        fn run(&self, t: f64) -> RunReport {
+            let cost = 1.0 + (t - self.opt).abs() / 100.0;
+            RunReport {
+                breakdown: RunBreakdown {
+                    cpu_compute: SimTime::from_millis(cost),
+                    ..RunBreakdown::default()
+                },
+                ..RunReport::default()
+            }
+        }
+        fn space(&self) -> ThresholdSpace {
+            self.space
+        }
+        fn size(&self) -> usize {
+            1000
+        }
+    }
+
+    fn valley(opt: f64) -> Valley {
+        Valley {
+            opt,
+            space: ThresholdSpace::percentage(),
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_the_optimum() {
+        let w = valley(37.0);
+        let out = exhaustive(&w, 1.0);
+        assert_eq!(out.best_t, 37.0);
+        assert_eq!(out.evaluations(), 101);
+    }
+
+    #[test]
+    fn coarse_to_fine_finds_the_optimum_with_far_fewer_evals() {
+        let w = valley(37.0);
+        let out = coarse_to_fine(&w);
+        assert_eq!(out.best_t, 37.0);
+        assert!(
+            out.evaluations() < 35,
+            "coarse-to-fine used {} evals",
+            out.evaluations()
+        );
+    }
+
+    #[test]
+    fn race_then_fine_lands_near_optimum_for_balanced_valley() {
+        // Valley at 50: the race estimate (equal device times) is 50 here
+        // because the synthetic cost is symmetric.
+        let w = valley(50.0);
+        let out = race_then_fine(&w);
+        assert!((out.best_t - 50.0).abs() <= 8.0, "best = {}", out.best_t);
+    }
+
+    #[test]
+    fn gradient_descent_converges_on_unimodal_curve() {
+        let w = valley(62.0);
+        let out = gradient_descent(&w, 40);
+        assert!(
+            (out.best_t - 62.0).abs() <= 2.0,
+            "gradient descent found {}",
+            out.best_t
+        );
+        assert!(out.evaluations() <= 40);
+    }
+
+    #[test]
+    fn gradient_descent_respects_eval_budget() {
+        let w = valley(10.0);
+        let out = gradient_descent(&w, 5);
+        assert!(out.evaluations() <= 5);
+    }
+
+    #[test]
+    fn search_cost_is_sum_of_evals() {
+        let w = valley(20.0);
+        let out = coarse_to_fine(&w);
+        let sum: SimTime = out.evals.iter().map(|&(_, t)| t).sum();
+        assert_eq!(out.search_cost, sum);
+        assert!(out.search_cost > out.best_time);
+    }
+
+    #[test]
+    fn logarithmic_space_searches() {
+        struct LogValley;
+        impl PartitionedWorkload for LogValley {
+        fn platform(&self) -> &nbwp_sim::Platform {
+            test_platform()
+        }
+            fn run(&self, t: f64) -> RunReport {
+                // Minimum at t = 64 on a log scale.
+                let cost = 1.0 + (t.ln() - 64.0f64.ln()).abs();
+                RunReport {
+                    breakdown: RunBreakdown {
+                        cpu_compute: SimTime::from_millis(cost),
+                        ..RunBreakdown::default()
+                    },
+                    ..RunReport::default()
+                }
+            }
+            fn space(&self) -> ThresholdSpace {
+                ThresholdSpace::degrees(1.0, 4096.0)
+            }
+            fn size(&self) -> usize {
+                4096
+            }
+        }
+        let out = coarse_to_fine(&LogValley);
+        assert!(
+            (out.best_t / 64.0 - 1.0).abs() < 0.2,
+            "log search found {}",
+            out.best_t
+        );
+        let gd = gradient_descent(&LogValley, 40);
+        assert!(
+            (gd.best_t / 64.0 - 1.0).abs() < 0.3,
+            "gradient descent found {}",
+            gd.best_t
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Case study I (§III): graph connected components as a partitioned
+//! workload. The threshold `t` is the percentage of vertices handed to the
+//! CPU (Algorithm 1, line 2).
+
+use std::sync::Arc;
+
+use nbwp_graph::cc::hybrid_cc;
+use nbwp_graph::{sample as gsample, Graph};
+use nbwp_sim::{KernelStats, Platform, RunReport, SimTime};
+use rand::rngs::SmallRng;
+
+use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+
+/// How Step 1 builds the miniature graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum CcSampler {
+    /// Contraction sampling (default; see `DESIGN.md` "CC sampling").
+    #[default]
+    Contract,
+    /// Faithful induced-subgraph sampling `G[S]` — degenerates on sparse
+    /// graphs; kept to demonstrate why.
+    Induced,
+}
+
+/// The hybrid CC workload over a fixed input graph and platform.
+#[derive(Clone)]
+pub struct CcWorkload {
+    graph: Arc<Graph>,
+    platform: Platform,
+    sampler: CcSampler,
+    /// Host threads used to execute the (simulated-GPU) SV kernel — affects
+    /// wall-clock only.
+    host_threads: usize,
+}
+
+impl CcWorkload {
+    /// Wraps a graph on a platform with the default (contraction) sampler.
+    #[must_use]
+    pub fn new(graph: Graph, platform: Platform) -> Self {
+        CcWorkload {
+            graph: Arc::new(graph),
+            platform,
+            sampler: CcSampler::default(),
+            host_threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        }
+    }
+
+    /// Selects the sampling mode (builder style).
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: CcSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Default sample size: `⌈√n⌉` vertices (§III.A.1), scaled by `factor`.
+    #[must_use]
+    pub fn sample_size(&self, factor: f64) -> usize {
+        (((self.graph.n() as f64).sqrt() * factor).ceil() as usize).clamp(4, self.graph.n())
+    }
+
+    /// Full run returning the complete hybrid outcome (labels included).
+    #[must_use]
+    pub fn run_full(&self, t: f64) -> nbwp_graph::cc::HybridCcOutcome {
+        hybrid_cc(&self.graph, t, &self.platform, self.host_threads)
+    }
+}
+
+impl PartitionedWorkload for CcWorkload {
+    fn run(&self, t: f64) -> RunReport {
+        self.run_full(t).report
+    }
+
+    fn space(&self) -> ThresholdSpace {
+        ThresholdSpace::percentage()
+    }
+
+    fn size(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+impl Sampleable for CcWorkload {
+    type Sample = CcWorkload;
+
+    fn sample(&self, spec: SampleSpec, rng: &mut SmallRng) -> CcWorkload {
+        let s = self.sample_size(spec.factor);
+        let g = match self.sampler {
+            CcSampler::Contract => gsample::sample_contract(&self.graph, s, rng),
+            CcSampler::Induced => gsample::sample_induced(&self.graph, s, rng),
+        };
+        // Sample runs see fixed costs scaled to the miniature's *measured*
+        // work (see `Platform::sample_scaled` and DESIGN.md).
+        let ratio = ((g.arcs() + g.n()) as f64
+            / (self.graph.arcs() + self.graph.n()).max(1) as f64)
+            .clamp(1e-6, 1.0);
+        CcWorkload {
+            graph: Arc::new(g),
+            platform: self.platform.sample_scaled(ratio),
+            sampler: self.sampler,
+            host_threads: self.host_threads,
+        }
+    }
+
+    fn extrapolate(&self, t_sample: f64, _sample: &CcWorkload) -> f64 {
+        // §III.A.3: "we expect that t should be identical to t'".
+        t_sample
+    }
+
+    fn sampling_cost(&self) -> SimTime {
+        // One streaming pass over the adjacency to draw and relabel the
+        // sampled vertices, on the host CPU.
+        let stats = KernelStats {
+            int_ops: self.graph.arcs() as u64 + self.graph.n() as u64,
+            mem_read_bytes: 4 * self.graph.arcs() as u64 + 8 * self.graph.n() as u64,
+            mem_write_bytes: 8 * self.sample_size(1.0) as u64,
+            parallel_items: self.platform.cpu.cores as u64,
+            working_set_bytes: self.graph.size_bytes(),
+            ..KernelStats::default()
+        };
+        self.platform.cpu_time(&stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{estimate, IdentifyStrategy};
+    use crate::search;
+    use nbwp_graph::gen;
+    use rand::SeedableRng;
+
+    fn workload(g: Graph) -> CcWorkload {
+        CcWorkload::new(g, Platform::k40c_xeon_e5_2650())
+    }
+
+    #[test]
+    fn run_reports_nonzero_time() {
+        let w = workload(gen::web(3000, 6, 1));
+        let r = w.run(20.0);
+        assert!(r.total().as_secs() > 0.0);
+        assert!(!r.gpu_stats.is_empty());
+        assert!(!r.cpu_stats.is_empty());
+    }
+
+    #[test]
+    fn sample_is_much_smaller() {
+        let w = workload(gen::web(10_000, 6, 2));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = w.sample(SampleSpec::default(), &mut rng);
+        assert_eq!(s.size(), 100);
+        assert!(s.graph().m() < w.graph().m() / 10);
+    }
+
+    #[test]
+    fn induced_sampler_degenerates() {
+        let w = workload(gen::web(10_000, 6, 3)).with_sampler(CcSampler::Induced);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = w.sample(SampleSpec::default(), &mut rng);
+        assert!(
+            s.graph().m() < 5,
+            "induced √n sample should be nearly empty, m = {}",
+            s.graph().m()
+        );
+    }
+
+    #[test]
+    fn estimation_overhead_is_fraction_of_exhaustive_search() {
+        let w = workload(gen::web(8000, 8, 4));
+        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+        let exhaustive = search::exhaustive(&w, 1.0);
+        assert!(
+            est.overhead < exhaustive.search_cost / 10.0,
+            "sampling overhead {} vs exhaustive cost {}",
+            est.overhead,
+            exhaustive.search_cost
+        );
+        assert!((0.0..=100.0).contains(&est.threshold));
+    }
+
+    #[test]
+    fn sampling_cost_scales_with_graph() {
+        let small = workload(gen::web(2000, 6, 5));
+        let big = workload(gen::web(20_000, 6, 5));
+        assert!(big.sampling_cost() > small.sampling_cost());
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload adapters: the paper's three case studies plus the dense-GEMM
+//! motivating workload, each implementing [`crate::framework`]'s traits.
+
+pub mod cc;
+pub mod dense;
+pub mod list;
+pub mod multi;
+pub mod scalefree;
+pub mod sort;
+pub mod spmm;
+pub mod spmv;
+
+pub use cc::{CcSampler, CcWorkload};
+pub use list::ListRankingWorkload;
+pub use sort::SortWorkload;
+pub use spmv::SpmvWorkload;
+pub use multi::{MultiPlatform, MultiRunReport, MultiSpmmWorkload, Shares};
+pub use dense::DenseGemmWorkload;
+pub use scalefree::{HhSampler, HhWorkload};
+pub use spmm::SpmmWorkload;

@@ -1,0 +1,561 @@
+//! Multi-device extension (paper §II: "Our technique can be extended to
+//! other heterogeneous platforms naturally. In a way, the values of the
+//! threshold(s) now can be treated as a vector, unlike a scalar in the
+//! simple CPU+GPU case.").
+//!
+//! The workload here is spmm over a platform with one CPU and `k` GPUs: the
+//! threshold is a vector of work shares (percent, summing to 100), realized
+//! as contiguous row ranges through the load vector exactly like the scalar
+//! Algorithm 2. Identification on the sampled input generalizes the race:
+//! every device processes the whole miniature alone, and shares are set
+//! inversely proportional to the measured standalone times, then refined by
+//! fixed-point rebalancing.
+
+use std::sync::Arc;
+
+use nbwp_sim::{GpuModel, KernelStats, Platform, SimTime};
+use nbwp_sparse::ops::{prefix_sums, split_row_for_load};
+use nbwp_sparse::sample::sample_submatrix_frac;
+use nbwp_sparse::spgemm::{row_profile, stats_for_rows, RowCost, ENTRY_BYTES};
+use nbwp_sparse::Csr;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A heterogeneous platform with one CPU and several accelerators.
+#[derive(Clone, Debug)]
+pub struct MultiPlatform {
+    /// Base CPU+link models (the CPU and PCIe come from here).
+    pub base: Platform,
+    /// The accelerators (device 1..=k; device 0 is the CPU).
+    pub gpus: Vec<GpuModel>,
+}
+
+impl MultiPlatform {
+    /// One Xeon + `k` identical K40c GPUs.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn xeon_with_k40cs(k: usize) -> Self {
+        assert!(k > 0, "need at least one accelerator");
+        MultiPlatform {
+            base: Platform::k40c_xeon_e5_2650(),
+            gpus: vec![GpuModel::tesla_k40c(); k],
+        }
+    }
+
+    /// One Xeon + one K40c + one small integrated GPU — an *asymmetric*
+    /// accelerator mix, where equal shares are clearly wrong.
+    #[must_use]
+    pub fn xeon_k40c_plus_integrated() -> Self {
+        MultiPlatform {
+            base: Platform::k40c_xeon_e5_2650(),
+            gpus: vec![GpuModel::tesla_k40c(), GpuModel::integrated_small()],
+        }
+    }
+
+    /// Number of devices (CPU + accelerators).
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        1 + self.gpus.len()
+    }
+
+    /// Scales extensive parameters like [`Platform::scaled_for`].
+    #[must_use]
+    pub fn scaled_for(mut self, scale: f64) -> Self {
+        self.base = self.base.scaled_for(scale);
+        for g in &mut self.gpus {
+            g.launch_overhead_us *= scale;
+            g.rate_scale *= scale;
+        }
+        self
+    }
+}
+
+/// A work-share vector over the devices (percent, summing to 100).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shares(pub Vec<f64>);
+
+impl Shares {
+    /// Equal shares across `devices`.
+    #[must_use]
+    pub fn equal(devices: usize) -> Self {
+        assert!(devices > 0, "need at least one device");
+        Shares(vec![100.0 / devices as f64; devices])
+    }
+
+    /// Shares proportional to spec-sheet FLOPS (vector NaiveStatic).
+    #[must_use]
+    pub fn flops_proportional(platform: &MultiPlatform) -> Self {
+        let mut peaks = vec![platform.base.cpu.peak_gflops()];
+        peaks.extend(platform.gpus.iter().map(GpuModel::peak_gflops));
+        let total: f64 = peaks.iter().sum();
+        Shares(peaks.into_iter().map(|p| p / total * 100.0).collect())
+    }
+
+    /// Validates: correct arity, non-negative, sums to ~100.
+    ///
+    /// # Panics
+    /// Panics on violation.
+    pub fn validate(&self, devices: usize) {
+        assert_eq!(self.0.len(), devices, "share vector arity mismatch");
+        assert!(self.0.iter().all(|&s| s >= -1e-9), "negative share");
+        let sum: f64 = self.0.iter().sum();
+        assert!(
+            (sum - 100.0).abs() < 1e-6,
+            "shares must sum to 100, got {sum}"
+        );
+    }
+
+    /// Renormalizes non-negative weights into a share vector.
+    #[must_use]
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "weights must have positive mass");
+        Shares(weights.iter().map(|&w| w.max(0.0) / total * 100.0).collect())
+    }
+}
+
+/// Report of one multi-device run.
+#[derive(Clone, Debug)]
+pub struct MultiRunReport {
+    /// Per-device busy time (device 0 = CPU), transfers included for
+    /// accelerators.
+    pub device_times: Vec<SimTime>,
+    /// Partition (load-vector) prologue.
+    pub partition: SimTime,
+}
+
+impl MultiRunReport {
+    /// End-to-end time: prologue plus the slowest device.
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        self.partition
+            + self
+                .device_times
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Imbalance: 1 − fastest/slowest busy device.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<SimTime> = self
+            .device_times
+            .iter()
+            .copied()
+            .filter(|t| !t.is_zero())
+            .collect();
+        if busy.len() < 2 {
+            return 0.0;
+        }
+        let slow = busy.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let fast = busy.iter().copied().fold(slow, SimTime::min);
+        1.0 - fast / slow
+    }
+}
+
+/// spmm (`A × A`) across one CPU and `k` GPUs, partitioned by a share
+/// vector through the load vector.
+#[derive(Clone)]
+pub struct MultiSpmmWorkload {
+    a: Arc<Csr>,
+    profile: Arc<Vec<RowCost>>,
+    load_prefix: Arc<Vec<u64>>,
+    platform: MultiPlatform,
+}
+
+impl MultiSpmmWorkload {
+    /// Builds the workload (one symbolic profile pass).
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    #[must_use]
+    pub fn new(a: Csr, platform: MultiPlatform) -> Self {
+        assert_eq!(a.rows(), a.cols(), "multi-device spmm multiplies A by itself");
+        let profile = row_profile(&a, &a);
+        let load: Vec<u64> = profile.iter().map(|c| c.b_entries).collect();
+        MultiSpmmWorkload {
+            a: Arc::new(a),
+            profile: Arc::new(profile),
+            load_prefix: Arc::new(prefix_sums(&load)),
+            platform,
+        }
+    }
+
+    /// The device count of the underlying platform.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.platform.devices()
+    }
+
+    /// The multi-device platform.
+    #[must_use]
+    pub fn platform(&self) -> &MultiPlatform {
+        &self.platform
+    }
+
+    /// Problem size (rows).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Maps a share vector to contiguous row ranges `[start, end)` per
+    /// device via cumulative work percentages.
+    #[must_use]
+    pub fn row_ranges(&self, shares: &Shares) -> Vec<(usize, usize)> {
+        shares.validate(self.devices());
+        let mut ranges = Vec::with_capacity(shares.0.len());
+        let mut acc = 0.0;
+        let mut start = 0usize;
+        for (i, &s) in shares.0.iter().enumerate() {
+            acc += s;
+            let end = if i + 1 == shares.0.len() {
+                self.a.rows()
+            } else {
+                split_row_for_load(&self.load_prefix, acc.min(100.0))
+            };
+            let end = end.max(start);
+            ranges.push((start, end));
+            start = end;
+        }
+        ranges
+    }
+
+    /// Prices one run at the given share vector.
+    #[must_use]
+    pub fn run(&self, shares: &Shares) -> MultiRunReport {
+        let ranges = self.row_ranges(shares);
+        let b_bytes = self.a.size_bytes();
+        let mut device_times = Vec::with_capacity(ranges.len());
+        for (dev, &(lo, hi)) in ranges.iter().enumerate() {
+            let stats = stats_for_rows(&self.profile[lo..hi], b_bytes);
+            let t = if dev == 0 {
+                self.platform.base.cpu_time(&stats)
+            } else if stats.is_empty() {
+                SimTime::ZERO
+            } else {
+                let gpu = &self.platform.gpus[dev - 1];
+                let a_bytes: u64 = self.profile[lo..hi]
+                    .iter()
+                    .map(|c| c.a_nnz * ENTRY_BYTES)
+                    .sum();
+                let c_bytes: u64 = self.profile[lo..hi]
+                    .iter()
+                    .map(|c| c.c_nnz * ENTRY_BYTES)
+                    .sum();
+                gpu.time(&stats)
+                    + self.platform.base.transfer(a_bytes + b_bytes)
+                    + self.platform.base.transfer(c_bytes)
+            };
+            device_times.push(t);
+        }
+        // Load-vector prologue, on GPU 0 (as in the scalar Algorithm 2).
+        let nnz = self.a.nnz() as u64;
+        let n = self.a.rows() as u64;
+        let partition_stats = KernelStats {
+            flops: 2 * nnz,
+            int_ops: 2 * nnz + 2 * n,
+            mem_read_bytes: ENTRY_BYTES * nnz + 8 * n,
+            irregular_bytes: 8 * nnz,
+            simd_padded_flops: 2 * nnz,
+            mem_write_bytes: 8 * n,
+            kernel_launches: 2,
+            parallel_items: n,
+            working_set_bytes: self.a.size_bytes(),
+            ..KernelStats::default()
+        };
+        MultiRunReport {
+            device_times,
+            partition: self.platform.gpus[0].time(&partition_stats),
+        }
+    }
+
+    /// Total time at a share vector.
+    #[must_use]
+    pub fn time_at(&self, shares: &Shares) -> SimTime {
+        self.run(shares).total()
+    }
+
+    /// Time of device `dev` when it alone is given `share`% of the work
+    /// (the remainder is parked on device 0, or device 1 when probing the
+    /// CPU — only `dev`'s own time is read).
+    fn device_time_at(&self, dev: usize, share: f64) -> SimTime {
+        let k = self.devices();
+        let mut v = vec![0.0; k];
+        v[dev] = share;
+        let other = usize::from(dev == 0);
+        v[other] = 100.0 - share;
+        self.run(&Shares(v)).device_times[dev]
+    }
+
+    /// Balances shares under an affine per-device cost model
+    /// `t_d(s) = c_d + r_d · s`, fitted from two probes per device, by
+    /// binary-searching the common finish time `T` with
+    /// `Σ_d clamp((T − c_d)/r_d, 0, 100) = 100`.
+    ///
+    /// Fixed costs (a GPU's whole-`B` transfer, kernel launches) are what
+    /// break naive proportional rebalancing; the affine fit handles them.
+    #[must_use]
+    pub fn balance_affine(&self) -> Shares {
+        let k = self.devices();
+        let (lo_s, hi_s) = (25.0, 75.0);
+        let mut c = Vec::with_capacity(k);
+        let mut r = Vec::with_capacity(k);
+        for d in 0..k {
+            let t_lo = self.device_time_at(d, lo_s).as_millis();
+            let t_hi = self.device_time_at(d, hi_s).as_millis();
+            let rate = ((t_hi - t_lo) / (hi_s - lo_s)).max(1e-9);
+            r.push(rate);
+            c.push((t_lo - rate * lo_s).max(0.0));
+        }
+        let share_at = |t: f64| -> f64 {
+            (0..k)
+                .map(|d| ((t - c[d]) / r[d]).clamp(0.0, 100.0))
+                .sum()
+        };
+        let mut lo = 0.0f64;
+        let mut hi = c
+            .iter()
+            .zip(&r)
+            .map(|(&cd, &rd)| cd + rd * 100.0)
+            .fold(0.0f64, f64::max);
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if share_at(mid) < 100.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t_star = (lo + hi) / 2.0;
+        let raw: Vec<f64> = (0..k)
+            .map(|d| ((t_star - c[d]) / r[d]).clamp(0.0, 100.0))
+            .collect();
+        Shares::from_weights(&raw)
+    }
+
+    /// Greedy simplex refinement: repeatedly move `delta` share from the
+    /// bottleneck device to the fastest one, keeping moves that reduce the
+    /// total and halving `delta` otherwise. Handles the non-affine features
+    /// (cache cliffs, occupancy knees) the affine fit misses.
+    #[must_use]
+    pub fn refine_greedy(&self, init: &Shares, mut delta: f64) -> Shares {
+        let mut shares = init.clone();
+        let mut best = self.time_at(&shares);
+        while delta >= 0.5 {
+            let report = self.run(&shares);
+            let (slowest, _) = report
+                .device_times
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1))
+                .expect("non-empty");
+            let (fastest, _) = report
+                .device_times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1))
+                .expect("non-empty");
+            if slowest == fastest || shares.0[slowest] < delta {
+                delta /= 2.0;
+                continue;
+            }
+            let mut candidate = shares.clone();
+            candidate.0[slowest] -= delta;
+            candidate.0[fastest] += delta;
+            let t = self.time_at(&candidate);
+            if t < best {
+                shares = candidate;
+                best = t;
+            } else {
+                delta /= 2.0;
+            }
+        }
+        shares
+    }
+
+    /// Balances shares: the affine fit, a few fixed-point polish rounds
+    /// (share ∝ share/time), then greedy simplex refinement — starting from
+    /// `init` or the affine solution, whichever prices better.
+    #[must_use]
+    pub fn rebalance(&self, init: &Shares, rounds: usize) -> Shares {
+        let affine = self.balance_affine();
+        let mut shares = if self.time_at(&affine) <= self.time_at(init) {
+            affine
+        } else {
+            init.clone()
+        };
+        for _ in 0..rounds {
+            let report = self.run(&shares);
+            let weights: Vec<f64> = shares
+                .0
+                .iter()
+                .zip(&report.device_times)
+                .map(|(&s, &t)| {
+                    if t.is_zero() {
+                        0.5
+                    } else {
+                        s.max(0.5) / t.as_millis().max(1e-9)
+                    }
+                })
+                .collect();
+            let next = Shares::from_weights(&weights);
+            if self.time_at(&next) >= self.time_at(&shares) {
+                break; // fixed-point step stopped helping
+            }
+            shares = next;
+        }
+        self.refine_greedy(&shares, 16.0)
+    }
+
+    /// The full sampling pipeline for the vector threshold: sample an
+    /// n/4-scale miniature, identify a balanced share vector on it (race
+    /// init + rebalancing), and extrapolate identically.
+    #[must_use]
+    pub fn estimate(&self, seed: u64) -> (Shares, SimTime) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sampled = sample_submatrix_frac(&self.a, 0.25, &mut rng);
+        let sample_work: u64 = sampled_work(&sampled);
+        let full_work = self.load_prefix.last().copied().unwrap_or(1).max(1);
+        let ratio = (sample_work as f64 / full_work as f64).clamp(1e-6, 1.0);
+        let mini = MultiSpmmWorkload::new(
+            sampled,
+            MultiPlatform {
+                base: self.platform.base.sample_scaled(ratio),
+                gpus: self.platform.gpus.clone(),
+            },
+        );
+        // Race init: each device alone → share ∝ 1/t.
+        let k = self.devices();
+        let mut standalone = Vec::with_capacity(k);
+        let mut race_cost = SimTime::ZERO;
+        for d in 0..k {
+            let mut v = vec![0.0; k];
+            v[d] = 100.0;
+            let t = mini.time_at(&Shares(v));
+            race_cost += t; // sequential probes on the miniature
+            standalone.push(1.0 / t.as_millis().max(1e-9));
+        }
+        let init = Shares::from_weights(&standalone);
+        let mut cost = race_cost;
+        let refined = {
+            let shares = mini.rebalance(&init, 4);
+            // Each rebalancing round costs one miniature run.
+            cost += mini.time_at(&init) * 4.0;
+            shares
+        };
+        (refined, cost)
+    }
+}
+
+fn sampled_work(a: &Csr) -> u64 {
+    nbwp_sparse::ops::load_vector(a, a).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbwp_sparse::gen;
+
+    fn workload(k: usize) -> MultiSpmmWorkload {
+        let a = gen::uniform_random(3000, 10, 7);
+        MultiSpmmWorkload::new(a, MultiPlatform::xeon_with_k40cs(k).scaled_for(0.05))
+    }
+
+    #[test]
+    fn shares_helpers() {
+        let eq = Shares::equal(4);
+        eq.validate(4);
+        assert!((eq.0[0] - 25.0).abs() < 1e-12);
+        let p = MultiPlatform::xeon_with_k40cs(2);
+        let fl = Shares::flops_proportional(&p);
+        fl.validate(3);
+        assert!(fl.0[1] > fl.0[0], "each K40c outranks the Xeon on FLOPS");
+        assert!((fl.0[1] - fl.0[2]).abs() < 1e-9, "identical GPUs tie");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn share_sum_validated() {
+        Shares(vec![50.0, 10.0]).validate(2);
+    }
+
+    #[test]
+    fn row_ranges_partition_the_matrix() {
+        let w = workload(2);
+        let ranges = w.row_ranges(&Shares::equal(3));
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges[2].1, w.size());
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "ranges must be contiguous");
+        }
+    }
+
+    #[test]
+    fn rebalancing_improves_total_time_and_imbalance() {
+        let w = workload(2);
+        let start = Shares::equal(3);
+        let before = w.run(&start);
+        let balanced = w.rebalance(&start, 6);
+        let after = w.run(&balanced);
+        assert!(
+            after.total() < before.total() * 0.85,
+            "total {} → {} should drop ≥15%",
+            before.total(),
+            after.total()
+        );
+        assert!(after.imbalance() <= before.imbalance() + 1e-9);
+    }
+
+    #[test]
+    fn two_gpus_beat_one() {
+        let a = gen::uniform_random(3000, 10, 7);
+        let one = MultiSpmmWorkload::new(a.clone(), MultiPlatform::xeon_with_k40cs(1).scaled_for(0.05));
+        let two = MultiSpmmWorkload::new(a, MultiPlatform::xeon_with_k40cs(2).scaled_for(0.05));
+        let t1 = one.time_at(&one.rebalance(&Shares::equal(2), 6));
+        let t2 = two.time_at(&two.rebalance(&Shares::equal(3), 6));
+        assert!(
+            t2 < t1,
+            "adding a K40c should help: 1 GPU {t1}, 2 GPUs {t2}"
+        );
+    }
+
+    #[test]
+    fn sampling_estimate_is_close_to_rebalanced_optimum() {
+        let w = workload(2);
+        let (est, cost) = w.estimate(42);
+        est.validate(3);
+        let best = w.rebalance(&Shares::equal(3), 8);
+        let penalty = w.time_at(&est).pct_diff_from(w.time_at(&best));
+        assert!(penalty < 25.0, "estimated shares {est:?} penalty {penalty:.1}%");
+        assert!(cost < w.time_at(&best) * 3.0, "estimation cost {cost} too high");
+    }
+
+    #[test]
+    fn asymmetric_platform_gets_asymmetric_shares() {
+        // A banded matrix: device-memory-bound SpGEMM with small outputs,
+        // so the 4.8× device-bandwidth gap between the K40c and the
+        // integrated GPU actually shows (an ultra-sparse input would be
+        // PCIe-bound and the accelerators would tie).
+        let a = gen::banded_fem(3000, 30, 24, 9);
+        let w = MultiSpmmWorkload::new(
+            a,
+            MultiPlatform::xeon_k40c_plus_integrated().scaled_for(0.05),
+        );
+        let shares = w.rebalance(&Shares::equal(3), 8);
+        // Device 1 (K40c) carries more than device 2 (small integrated GPU),
+        // and the balanced vector beats the FLOPS-proportional baseline.
+        assert!(
+            shares.0[1] > shares.0[2],
+            "K40c {:.1}% vs integrated {:.1}%",
+            shares.0[1],
+            shares.0[2]
+        );
+        let flops = Shares::flops_proportional(w.platform());
+        assert!(w.time_at(&shares) <= w.time_at(&flops) * 1.02);
+    }
+}

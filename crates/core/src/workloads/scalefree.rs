@@ -1,0 +1,420 @@
+//! Case study III (§V): spmm on scale-free matrices via Algorithm HH-CPU.
+//! The threshold `t` is a *row density* (nonzeros per row): rows with more
+//! than `t` nonzeros are "high" and processed on the CPU, the rest on the
+//! GPU, with the four masked partial products of Phases II/III.
+
+use std::sync::Arc;
+
+use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sparse::masked::{masked_row_profile, DensitySplit, HhProducts};
+use nbwp_sparse::sample::{sample_rows_contract, sample_rows_importance};
+use nbwp_sparse::spgemm::{stats_for_rows, spgemm, ENTRY_BYTES};
+use nbwp_sparse::Csr;
+use rand::rngs::SmallRng;
+
+use crate::extrapolate::Extrapolator;
+use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+
+/// The offline best-fit extrapolation (§V.A.3): finds the fraction of
+/// sample rows classified low-density by `t_sample` and returns the degree
+/// realizing the same fraction on the full input. On an ideal Pareto tail
+/// with a √n-row sample this reduces to the paper's `t = t'²` square law.
+fn degree_quantile_map(t_sample: f64, sample: &Csr, full: &Csr) -> f64 {
+    // Work-weighted quantile (row weight ≈ d², its SpGEMM work on A×A):
+    // thresholds matter through the *work balance* they induce, so we match
+    // the fraction of work classified low-density, not the row count.
+    let work_below = |m: &Csr, t: f64| -> (f64, f64) {
+        let mut below = 0.0;
+        let mut total = 0.0;
+        for r in 0..m.rows() {
+            let d = m.row_nnz(r) as f64;
+            let w = d * d;
+            total += w;
+            if d <= t {
+                below += w;
+            }
+        }
+        (below, total.max(1.0))
+    };
+    let (below, total) = work_below(sample, t_sample);
+    let q = below / total;
+    // Invert on the full input: smallest degree threshold whose low-density
+    // side carries at least fraction q of the work.
+    let mut degrees: Vec<u64> = (0..full.rows()).map(|r| full.row_nnz(r) as u64).collect();
+    degrees.sort_unstable();
+    if degrees.is_empty() {
+        return t_sample;
+    }
+    let total_full: f64 = degrees.iter().map(|&d| (d as f64) * (d as f64)).sum();
+    let target = q * total_full.max(1.0);
+    let mut acc = 0.0;
+    for &d in &degrees {
+        acc += (d as f64) * (d as f64);
+        if acc >= target {
+            return (d as f64).max(1.0);
+        }
+    }
+    (*degrees.last().unwrap() as f64).max(1.0)
+}
+
+/// Pattern equality plus element-wise closeness (the four partial products
+/// accumulate in a different order than the reference, so values can differ
+/// by floating-point rounding).
+fn csr_approx_eq(a: &Csr, b: &Csr, tol: f64) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.row_ptr() == b.row_ptr()
+        && a.col_indices() == b.col_indices()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0))
+}
+
+/// Step-1 strategy for the HH case study.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum HhSampler {
+    /// Uniform row sampling (§V.A.1 — the paper's choice).
+    #[default]
+    Uniform,
+    /// Degree-weighted (importance) row sampling — the paper's stated
+    /// future work. Hubs enter the miniature with high probability, which
+    /// repairs the threshold estimate on genuinely scale-free inputs.
+    Importance,
+}
+
+/// The HH-CPU workload over a fixed scale-free matrix (`B = A`) and
+/// platform.
+#[derive(Clone)]
+pub struct HhWorkload {
+    a: Arc<Csr>,
+    max_degree: u64,
+    platform: Platform,
+    extrapolator: Extrapolator,
+    sampler: HhSampler,
+}
+
+impl HhWorkload {
+    /// Builds the workload for HH-CPU on `A × A` with the paper's square-law
+    /// extrapolator.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    #[must_use]
+    pub fn new(a: Csr, platform: Platform) -> Self {
+        assert_eq!(a.rows(), a.cols(), "HH-CPU case study multiplies A by itself");
+        let max_degree = (0..a.rows()).map(|r| a.row_nnz(r) as u64).max().unwrap_or(1);
+        HhWorkload {
+            a: Arc::new(a),
+            max_degree: max_degree.max(1),
+            platform,
+            extrapolator: Extrapolator::DegreeQuantile,
+            sampler: HhSampler::default(),
+        }
+    }
+
+    /// Overrides the extrapolator (for the extrapolator ablation bench).
+    #[must_use]
+    pub fn with_extrapolator(mut self, e: Extrapolator) -> Self {
+        self.extrapolator = e;
+        self
+    }
+
+    /// Selects the Step-1 sampler (builder style).
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: HhSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// The input matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+
+    /// Maximum row degree (upper end of the threshold space).
+    #[must_use]
+    pub fn max_degree(&self) -> u64 {
+        self.max_degree
+    }
+
+    /// Physically executes Algorithm HH-CPU at threshold `t` and checks the
+    /// combined product against the plain SpGEMM reference.
+    ///
+    /// # Panics
+    /// Panics if Phase IV's combination differs from `A × A`.
+    #[must_use]
+    pub fn run_numeric(&self, t: f64) -> (Csr, RunReport) {
+        let products = HhProducts::compute(&self.a, &self.a, t as u64, t as u64);
+        let combined = products.combine();
+        let reference = spgemm(&self.a, &self.a);
+        assert!(
+            csr_approx_eq(&combined, &reference, 1e-9),
+            "HH-CPU Phase IV must reconstruct the full product"
+        );
+        (combined, self.run(t))
+    }
+}
+
+impl PartitionedWorkload for HhWorkload {
+    fn run(&self, t: f64) -> RunReport {
+        let t = t.max(0.0) as u64;
+        let split = DensitySplit::at_threshold(&self.a, t);
+        let (hi, lo) = (split.high.clone(), split.low());
+        let b_bytes = self.a.size_bytes();
+
+        // Phase II: A_H×B_H on CPU, A_L×B_L on GPU.
+        // Phase III: A_H×B_L on CPU, A_L×B_H on GPU.
+        let p_hh = masked_row_profile(&self.a, &self.a, &hi, &hi);
+        let p_hl = masked_row_profile(&self.a, &self.a, &hi, &lo);
+        let p_lh = masked_row_profile(&self.a, &self.a, &lo, &hi);
+        let p_ll = masked_row_profile(&self.a, &self.a, &lo, &lo);
+
+        let nonzero_rows = |p: &[nbwp_sparse::spgemm::RowCost]| {
+            p.iter().filter(|c| c.a_nnz > 0).cloned().collect::<Vec<_>>()
+        };
+        let mut cpu_stats = stats_for_rows(&nonzero_rows(&p_hh), b_bytes)
+            + stats_for_rows(&nonzero_rows(&p_hl), b_bytes);
+        // The CPU side may hold only a handful of (very dense) rows, but a
+        // CPU SpGEMM splits rows across cores by nonzero ranges — its
+        // parallel slack is work-bound, not row-bound.
+        cpu_stats.parallel_items = cpu_stats.parallel_items.max(cpu_stats.flops / 1024);
+        let gpu_stats = stats_for_rows(&nonzero_rows(&p_ll), b_bytes)
+            + stats_for_rows(&nonzero_rows(&p_lh), b_bytes);
+
+        // Phase I: classify rows by degree, on the GPU (one pass over the
+        // row-pointer array plus a compaction).
+        let n = self.a.rows() as u64;
+        let partition_stats = KernelStats {
+            int_ops: 3 * n,
+            mem_read_bytes: 8 * n,
+            mem_write_bytes: n,
+            kernel_launches: 1,
+            parallel_items: n,
+            working_set_bytes: 9 * n,
+            ..KernelStats::default()
+        };
+
+        // Transfers: the GPU side needs the low rows of A plus all of B.
+        let low_a_bytes: u64 = (0..self.a.rows())
+            .filter(|&r| !split.high[r])
+            .map(|r| self.a.row_nnz(r) as u64 * ENTRY_BYTES)
+            .sum();
+        let gpu_active = !gpu_stats.is_empty();
+        let transfer_in = if gpu_active {
+            self.platform.transfer(low_a_bytes + b_bytes)
+        } else {
+            SimTime::ZERO
+        };
+        let gpu_c_bytes = (p_ll.iter().chain(&p_lh))
+            .map(|c| c.c_nnz * ENTRY_BYTES)
+            .sum::<u64>();
+
+        // Phase IV: four-way CSR addition on the CPU (streaming merge).
+        let total_c: u64 = (p_hh.iter().chain(&p_hl).chain(&p_lh).chain(&p_ll))
+            .map(|c| c.c_nnz)
+            .sum();
+        let merge_stats = KernelStats {
+            int_ops: 4 * total_c,
+            mem_read_bytes: 2 * total_c * ENTRY_BYTES,
+            mem_write_bytes: total_c * ENTRY_BYTES,
+            parallel_items: n,
+            working_set_bytes: 3 * total_c * ENTRY_BYTES,
+            ..KernelStats::default()
+        };
+
+        RunReport {
+            breakdown: RunBreakdown {
+                partition: self.platform.gpu_time(&partition_stats),
+                transfer_in,
+                cpu_compute: self.platform.cpu_time(&cpu_stats),
+                gpu_compute: self.platform.gpu_time(&gpu_stats),
+                transfer_out: self.platform.transfer(gpu_c_bytes),
+                merge: self.platform.cpu_time(&merge_stats),
+            },
+            cpu_stats,
+            gpu_stats,
+        }
+    }
+
+    fn space(&self) -> ThresholdSpace {
+        ThresholdSpace::degrees(1.0, self.max_degree as f64)
+    }
+
+    fn size(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+impl Sampleable for HhWorkload {
+    type Sample = HhWorkload;
+
+    fn sample(&self, spec: SampleSpec, rng: &mut SmallRng) -> HhWorkload {
+        // §V.A.1: √n rows with column indices transformed into 1..√n. Row
+        // degrees survive up to bucket saturation, and for a power-law tail
+        // the largest degree among √n sampled rows is ≈ √(largest overall)
+        // — the order-statistics fact behind the paper's offline best-fit
+        // t_A = t_s × t_s (realized here by the Square extrapolator).
+        let s = (((self.a.rows() as f64).sqrt() * spec.factor).ceil() as usize)
+            .clamp(4, self.a.rows());
+        let sampled = match self.sampler {
+            HhSampler::Uniform => sample_rows_contract(&self.a, s, rng),
+            HhSampler::Importance => sample_rows_importance(&self.a, s, rng).0,
+        };
+        // Fixed costs are scaled by the measured work ratio (Σd² proxy for
+        // SpGEMM work); see `Platform::sample_scaled` and DESIGN.md.
+        let work = |m: &Csr| -> f64 {
+            (0..m.rows())
+                .map(|r| {
+                    let d = m.row_nnz(r) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                .max(1.0)
+        };
+        let ratio = (work(&sampled) / work(&self.a)).clamp(1e-6, 1.0);
+        HhWorkload::new(sampled, self.platform.sample_scaled(ratio))
+            .with_extrapolator(self.extrapolator)
+            .with_sampler(self.sampler)
+    }
+
+    fn extrapolate(&self, t_sample: f64, sample: &HhWorkload) -> f64 {
+        match self.extrapolator {
+            Extrapolator::DegreeQuantile => {
+                degree_quantile_map(t_sample, sample.matrix(), &self.a)
+            }
+            other => other.apply(t_sample),
+        }
+    }
+
+    fn sampling_cost(&self) -> SimTime {
+        let stats = KernelStats {
+            int_ops: self.a.nnz() as u64,
+            mem_read_bytes: ENTRY_BYTES * self.a.nnz() as u64,
+            mem_write_bytes: ENTRY_BYTES * (self.a.nnz() as f64).sqrt() as u64,
+            parallel_items: self.platform.cpu.cores as u64,
+            working_set_bytes: self.a.size_bytes(),
+            ..KernelStats::default()
+        };
+        self.platform.cpu_time(&stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{estimate, IdentifyStrategy};
+    use rand::SeedableRng;
+    use nbwp_sparse::gen;
+
+    fn workload(a: Csr) -> HhWorkload {
+        HhWorkload::new(a, Platform::k40c_xeon_e5_2650())
+    }
+
+    #[test]
+    fn numeric_run_reconstructs_product() {
+        let w = workload(gen::power_law(150, 8, 2.1, 1));
+        for t in [1.0, 4.0, 16.0] {
+            let (_, report) = w.run_numeric(t);
+            assert!(report.total().as_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn threshold_extremes_shift_work_between_devices() {
+        let w = workload(gen::power_law(500, 10, 2.1, 2));
+        // t ≥ max degree: every row is low-density → all work on the GPU.
+        let all_low = w.run(w.max_degree() as f64 + 1.0);
+        assert!(all_low.cpu_stats.is_empty());
+        assert!(!all_low.gpu_stats.is_empty());
+        // t = 0: every nonempty row is high-density → all work on the CPU.
+        let all_high = w.run(0.0);
+        assert!(all_high.gpu_stats.is_empty());
+        assert!(!all_high.cpu_stats.is_empty());
+    }
+
+    #[test]
+    fn work_is_conserved_across_thresholds() {
+        let w = workload(gen::power_law(400, 10, 2.2, 3));
+        let total_at = |t: f64| {
+            let r = w.run(t);
+            r.cpu_stats.flops + r.gpu_stats.flops
+        };
+        let reference = total_at(0.0);
+        for t in [1.0, 3.0, 9.0, 30.0] {
+            assert_eq!(total_at(t), reference, "flops conserved at t = {t}");
+        }
+    }
+
+    #[test]
+    fn space_is_logarithmic_over_degrees() {
+        let w = workload(gen::power_law(400, 10, 2.1, 4));
+        let s = w.space();
+        assert!(s.logarithmic);
+        assert_eq!(s.lo, 1.0);
+        assert_eq!(s.hi, w.max_degree() as f64);
+    }
+
+    #[test]
+    fn sampled_max_degree_tracks_sqrt_of_full_max() {
+        // Order statistics of a power-law tail: the densest of √n sampled
+        // rows has ≈ √(densest overall) nonzeros — the basis of the
+        // paper's t_A = t_s² extrapolation.
+        let w = workload(gen::power_law(40_000, 12, 2.0, 5));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = w.sample(SampleSpec::default(), &mut rng);
+        assert_eq!(s.size(), 200);
+        let expect = (w.max_degree() as f64).sqrt();
+        let got = s.max_degree() as f64;
+        assert!(
+            got > expect / 4.0 && got < expect * 4.0,
+            "sample max degree {got} vs √(full max) {expect}"
+        );
+    }
+
+    #[test]
+    fn quantile_extrapolation_is_default_and_square_is_selectable() {
+        let w = workload(gen::power_law(4000, 10, 2.1, 6));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = w.sample(SampleSpec::default(), &mut rng);
+        // Quantile mapping: a sample threshold at the sample's max degree
+        // (everything low) maps to the full input's max degree.
+        let t = w.extrapolate(s.max_degree() as f64, &s);
+        assert_eq!(t, w.max_degree() as f64);
+        // Square stays available for the ablation.
+        let sq = w.clone().with_extrapolator(Extrapolator::Square);
+        assert_eq!(sq.extrapolate(7.0, &s), 49.0);
+    }
+
+    #[test]
+    fn quantile_map_is_monotone() {
+        let w = workload(gen::power_law(4000, 10, 2.1, 8));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = w.sample(SampleSpec::default(), &mut rng);
+        let mut last = 0.0f64;
+        for t in [1.0, 2.0, 4.0, 8.0, s.max_degree() as f64] {
+            let mapped = w.extrapolate(t, &s);
+            assert!(mapped >= last, "quantile map must be monotone");
+            last = mapped;
+        }
+    }
+
+    #[test]
+    fn gradient_descent_estimation_stays_in_space() {
+        let w = workload(gen::power_law(2000, 12, 2.1, 7));
+        let est = estimate(
+            &w,
+            SampleSpec::default(),
+            IdentifyStrategy::GradientDescent { max_evals: 24 },
+            3,
+        );
+        let space = w.space();
+        assert!(est.threshold >= space.lo && est.threshold <= space.hi);
+        assert!(est.evaluations <= 24);
+    }
+}

@@ -1,0 +1,271 @@
+//! Case study II (§IV): unstructured sparse matrix–matrix multiplication
+//! (`C = A × A`, row-row algorithm of Algorithm 2). The threshold `r` is
+//! the percentage of *work volume* (not rows) assigned to the CPU; the
+//! load vector `L_AB` maps it to a split row index.
+
+use std::sync::Arc;
+
+use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sparse::ops::{load_vector, prefix_sums, split_row_for_load};
+use nbwp_sparse::sample::sample_submatrix_frac;
+use nbwp_sparse::spgemm::{row_profile, spgemm_range, stats_for_rows, RowCost, ENTRY_BYTES};
+use nbwp_sparse::Csr;
+use rand::rngs::SmallRng;
+
+use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+
+/// The spmm workload over a fixed matrix (`B = A`, as in the paper) and
+/// platform. The exact per-row cost profile is computed once (a symbolic
+/// SpGEMM pass) so threshold sweeps price runs in O(rows) — the profile is
+/// provably identical to the counters a physical run reports
+/// ([`SpmmWorkload::run_numeric`] asserts this).
+#[derive(Clone)]
+pub struct SpmmWorkload {
+    a: Arc<Csr>,
+    profile: Arc<Vec<RowCost>>,
+    load_prefix: Arc<Vec<u64>>,
+    platform: Platform,
+}
+
+impl SpmmWorkload {
+    /// Builds the workload for `C = A × A`.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    #[must_use]
+    pub fn new(a: Csr, platform: Platform) -> Self {
+        assert_eq!(a.rows(), a.cols(), "spmm case study multiplies A by itself");
+        let profile = row_profile(&a, &a);
+        let load: Vec<u64> = profile.iter().map(|c| c.b_entries).collect();
+        SpmmWorkload {
+            a: Arc::new(a),
+            profile: Arc::new(profile),
+            load_prefix: Arc::new(prefix_sums(&load)),
+            platform,
+        }
+    }
+
+    /// The input matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+
+    /// Split row index realizing CPU work share `r` (Algorithm 2, line 3).
+    #[must_use]
+    pub fn split_row(&self, r: f64) -> usize {
+        split_row_for_load(&self.load_prefix, r)
+    }
+
+    /// Phase I cost: computing `L_AB = A × V_B` and locating the split row,
+    /// on the GPU (Algorithm 2, lines 1–3).
+    fn partition_cost(&self) -> SimTime {
+        let nnz = self.a.nnz() as u64;
+        let n = self.a.rows() as u64;
+        let stats = KernelStats {
+            flops: 2 * nnz,
+            int_ops: 2 * nnz + 2 * n,
+            mem_read_bytes: ENTRY_BYTES * nnz + 8 * n,
+            irregular_bytes: 8 * nnz, // gathers V_B[k] through A's columns
+            simd_padded_flops: 2 * nnz,
+            mem_write_bytes: 8 * n,
+            kernel_launches: 2, // load-vector kernel + scan/split kernel
+            parallel_items: n,
+            working_set_bytes: self.a.size_bytes(),
+            ..KernelStats::default()
+        };
+        self.platform.gpu_time(&stats)
+    }
+
+    fn report_for_split(&self, split: usize) -> RunReport {
+        let b_bytes = self.a.size_bytes();
+        let cpu_stats = stats_for_rows(&self.profile[..split], b_bytes);
+        let gpu_stats = stats_for_rows(&self.profile[split..], b_bytes);
+        let gpu_rows = self.a.rows() - split;
+        // GPU needs its slice of A plus all of B (reachable rows are not
+        // known in advance, so B ships whole — as real implementations do).
+        let transfer_in = if gpu_rows == 0 {
+            SimTime::ZERO
+        } else {
+            let a2_bytes: u64 = self.profile[split..]
+                .iter()
+                .map(|c| c.a_nnz * ENTRY_BYTES)
+                .sum::<u64>()
+                + 8 * gpu_rows as u64;
+            self.platform.transfer(a2_bytes + b_bytes)
+        };
+        let c2_bytes: u64 = self.profile[split..]
+            .iter()
+            .map(|c| c.c_nnz * ENTRY_BYTES)
+            .sum();
+        RunReport {
+            breakdown: RunBreakdown {
+                partition: self.partition_cost(),
+                transfer_in,
+                cpu_compute: self.platform.cpu_time(&cpu_stats),
+                gpu_compute: self.platform.gpu_time(&gpu_stats),
+                transfer_out: self.platform.transfer(c2_bytes),
+                merge: SimTime::ZERO, // line 7: results concatenate
+            },
+            cpu_stats,
+            gpu_stats,
+        }
+    }
+
+    /// Physically executes the partitioned multiply at split percentage `r`,
+    /// returning the product and the report.
+    ///
+    /// # Panics
+    /// Panics if the measured per-row costs disagree with the stored
+    /// profile — the analytic/measured agreement guarantee.
+    #[must_use]
+    pub fn run_numeric(&self, r: f64) -> (Csr, RunReport) {
+        let split = self.split_row(r);
+        let (c1, costs1) = spgemm_range(&self.a, &self.a, 0, split);
+        let (c2, costs2) = spgemm_range(&self.a, &self.a, split, self.a.rows());
+        assert_eq!(costs1.as_slice(), &self.profile[..split], "profile mismatch (CPU part)");
+        assert_eq!(costs2.as_slice(), &self.profile[split..], "profile mismatch (GPU part)");
+        // Stitch rows: C = [C1; C2].
+        let mut row_ptr = Vec::with_capacity(self.a.rows() + 1);
+        let mut col_idx = Vec::with_capacity(c1.nnz() + c2.nnz());
+        let mut vals = Vec::with_capacity(c1.nnz() + c2.nnz());
+        row_ptr.push(0);
+        for part in [&c1, &c2] {
+            let base = col_idx.len();
+            for rp in &part.row_ptr()[1..] {
+                row_ptr.push(base + rp);
+            }
+            col_idx.extend_from_slice(part.col_indices());
+            vals.extend_from_slice(part.values());
+        }
+        let c = Csr::from_raw(self.a.rows(), self.a.cols(), row_ptr, col_idx, vals);
+        (c, self.report_for_split(split))
+    }
+}
+
+impl PartitionedWorkload for SpmmWorkload {
+    fn run(&self, r: f64) -> RunReport {
+        self.report_for_split(self.split_row(r))
+    }
+
+    fn space(&self) -> ThresholdSpace {
+        ThresholdSpace::percentage()
+    }
+
+    fn size(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+impl Sampleable for SpmmWorkload {
+    type Sample = SpmmWorkload;
+
+    fn sample(&self, spec: SampleSpec, rng: &mut SmallRng) -> SpmmWorkload {
+        // Paper default: an n/4 × n/4 submatrix (K = 4), i.e. fraction 1/4.
+        let frac = (0.25 * spec.factor).clamp(1e-3, 1.0);
+        let sampled = sample_submatrix_frac(&self.a, frac, rng);
+        // Fixed costs are scaled by the *measured* work ratio of the
+        // miniature (see `Platform::sample_scaled`).
+        let sample_work: u64 = load_vector(&sampled, &sampled).iter().sum();
+        let full_work = self.load_prefix.last().copied().unwrap_or(1).max(1);
+        let ratio = (sample_work as f64 / full_work as f64).clamp(1e-6, 1.0);
+        SpmmWorkload::new(sampled, self.platform.sample_scaled(ratio))
+    }
+
+    fn extrapolate(&self, r_sample: f64, _sample: &SpmmWorkload) -> f64 {
+        // §IV.A(c): "we expect that r should be identical to r'".
+        r_sample
+    }
+
+    fn sampling_cost(&self) -> SimTime {
+        let stats = KernelStats {
+            int_ops: self.a.nnz() as u64,
+            mem_read_bytes: ENTRY_BYTES * self.a.nnz() as u64,
+            mem_write_bytes: ENTRY_BYTES * (self.a.nnz() as u64) / 16,
+            parallel_items: self.platform.cpu.cores as u64,
+            working_set_bytes: self.a.size_bytes(),
+            ..KernelStats::default()
+        };
+        self.platform.cpu_time(&stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{estimate, IdentifyStrategy};
+    use rand::SeedableRng;
+    use nbwp_sparse::gen;
+    use nbwp_sparse::spgemm::spgemm;
+
+    fn workload(a: Csr) -> SpmmWorkload {
+        SpmmWorkload::new(a, Platform::k40c_xeon_e5_2650())
+    }
+
+    #[test]
+    fn split_row_tracks_work_share() {
+        let w = workload(gen::uniform_random(1000, 8, 1));
+        assert_eq!(w.split_row(0.0), 0);
+        assert_eq!(w.split_row(100.0), 1000);
+        let half = w.split_row(50.0);
+        assert!((400..600).contains(&half), "50% work split at row {half}");
+    }
+
+    #[test]
+    fn numeric_run_equals_unpartitioned_product() {
+        let a = gen::uniform_random(200, 6, 2);
+        let reference = spgemm(&a, &a);
+        let w = workload(a);
+        for r in [0.0, 30.0, 70.0, 100.0] {
+            let (c, _) = w.run_numeric(r);
+            assert_eq!(c, reference, "split {r}");
+        }
+    }
+
+    #[test]
+    fn numeric_and_analytic_reports_agree() {
+        let w = workload(gen::power_law(300, 10, 2.2, 3));
+        for r in [0.0, 25.0, 60.0, 100.0] {
+            let (_, numeric_report) = w.run_numeric(r);
+            assert_eq!(numeric_report, w.run(r), "split {r}");
+        }
+    }
+
+    #[test]
+    fn extreme_splits_have_empty_sides() {
+        let w = workload(gen::uniform_random(500, 8, 4));
+        let all_gpu = w.run(0.0);
+        assert!(all_gpu.cpu_stats.is_empty());
+        let all_cpu = w.run(100.0);
+        assert!(all_cpu.gpu_stats.is_empty());
+        assert!(all_cpu.breakdown.transfer_in.is_zero());
+    }
+
+    #[test]
+    fn sample_shrinks_quadratically() {
+        let w = workload(gen::uniform_random(2000, 12, 5));
+        let mut rng = SmallRng::seed_from_u64(9);
+        let s = w.sample(SampleSpec::default(), &mut rng);
+        assert_eq!(s.size(), 500);
+        assert!(s.matrix().nnz() < w.matrix().nnz() / 8);
+    }
+
+    #[test]
+    fn estimation_is_cheap_and_in_range() {
+        let w = workload(gen::uniform_random(3000, 10, 6));
+        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, 2);
+        assert!((0.0..=100.0).contains(&est.threshold));
+        // Sampling overhead must be far below one full GPU-only run.
+        assert!(est.overhead < w.time_at(0.0) * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplies A by itself")]
+    fn rejects_non_square() {
+        let _ = workload(Csr::zero(3, 4));
+    }
+}

@@ -1,0 +1,234 @@
+//! # nbwp-datasets — synthetic Table II registry
+//!
+//! The paper evaluates on 15 University of Florida matrices (its Table II).
+//! Those files are not bundled here; instead each entry is regenerated
+//! *synthetically* by a family-matched, seeded generator at the published
+//! `(n, nnz)` when `scale = 1.0`, or proportionally smaller for fast runs
+//! (see `DESIGN.md`, "Hardware substitution" → Datasets).
+//!
+//! ```
+//! use nbwp_datasets::Dataset;
+//!
+//! let cant = Dataset::by_name("cant").unwrap();
+//! let m = cant.matrix(0.02, 42); // 2% scale, seeded
+//! assert_eq!(m.rows(), cant.scaled_n(0.02));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use nbwp_graph::Graph;
+use nbwp_sparse::{gen, Csr};
+
+/// Structural family of a dataset, selecting its generator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// FEM / structural matrices (banded, locally dense): cant, consph,
+    /// pdb1HYS, pwtk, rma10, shipsec1, cop20k_A.
+    Fem,
+    /// Planar mesh: delaunay_n22.
+    Mesh,
+    /// Lattice QCD operator (perfectly regular rows): qcd5_4.
+    Qcd,
+    /// Web graph (power-law row degrees): web-BerkStan, webbase-1M.
+    Web,
+    /// Road network (degree ≈ 2.5, huge diameter): `*_osm`.
+    Road,
+}
+
+/// One Table II dataset with its published size and synthetic generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// Name as printed in the paper's Table II.
+    pub name: &'static str,
+    /// Generator family.
+    pub family: Family,
+    /// Published row / vertex count.
+    pub paper_n: usize,
+    /// Published nonzero / edge count.
+    pub paper_nnz: usize,
+    /// Whether the paper's §V treats this matrix as scale-free (rows 1–11
+    /// of Table II excluding delaunay_n22 and qcd5_4).
+    pub scale_free: bool,
+}
+
+/// The 15 datasets of Table II, in the paper's order.
+pub const TABLE2: [Dataset; 15] = [
+    Dataset { name: "cant", family: Family::Fem, paper_n: 62_451, paper_nnz: 4_007_383, scale_free: true },
+    Dataset { name: "consph", family: Family::Fem, paper_n: 83_334, paper_nnz: 6_010_480, scale_free: true },
+    Dataset { name: "cop20k_A", family: Family::Fem, paper_n: 121_192, paper_nnz: 2_624_331, scale_free: true },
+    Dataset { name: "delaunay_n22", family: Family::Mesh, paper_n: 4_194_304, paper_nnz: 25_165_738, scale_free: false },
+    Dataset { name: "pdb1HYS", family: Family::Fem, paper_n: 36_417, paper_nnz: 4_344_765, scale_free: true },
+    Dataset { name: "pwtk", family: Family::Fem, paper_n: 217_918, paper_nnz: 11_634_424, scale_free: true },
+    Dataset { name: "qcd5_4", family: Family::Qcd, paper_n: 49_152, paper_nnz: 1_916_928, scale_free: false },
+    Dataset { name: "rma10", family: Family::Fem, paper_n: 46_835, paper_nnz: 2_374_001, scale_free: true },
+    Dataset { name: "shipsec1", family: Family::Fem, paper_n: 140_874, paper_nnz: 7_813_404, scale_free: true },
+    Dataset { name: "web-BerkStan", family: Family::Web, paper_n: 685_230, paper_nnz: 7_600_595, scale_free: true },
+    Dataset { name: "webbase-1M", family: Family::Web, paper_n: 1_000_005, paper_nnz: 3_105_536, scale_free: true },
+    Dataset { name: "asia_osm", family: Family::Road, paper_n: 11_950_757, paper_nnz: 25_423_206, scale_free: false },
+    Dataset { name: "germany_osm", family: Family::Road, paper_n: 11_548_845, paper_nnz: 24_738_362, scale_free: false },
+    Dataset { name: "italy_osm", family: Family::Road, paper_n: 6_686_493, paper_nnz: 14_027_956, scale_free: false },
+    Dataset { name: "netherlands_osm", family: Family::Road, paper_n: 2_216_688, paper_nnz: 4_882_476, scale_free: false },
+];
+
+impl Dataset {
+    /// Looks a dataset up by its Table II name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<&'static Dataset> {
+        TABLE2.iter().find(|d| d.name == name)
+    }
+
+    /// All 15 datasets (CC and spmm suites use all of them).
+    #[must_use]
+    pub fn all() -> &'static [Dataset] {
+        &TABLE2
+    }
+
+    /// The scale-free subset used by the paper's §V (HH-CPU study).
+    pub fn scale_free_suite() -> impl Iterator<Item = &'static Dataset> {
+        TABLE2.iter().filter(|d| d.scale_free)
+    }
+
+    /// Average nonzeros per row at any scale (degree is scale-invariant).
+    #[must_use]
+    pub fn avg_degree(&self) -> usize {
+        (self.paper_nnz as f64 / self.paper_n as f64).round().max(1.0) as usize
+    }
+
+    /// Row count at `scale` (clamped below at 64 so miniatures stay
+    /// non-degenerate).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]`.
+    #[must_use]
+    pub fn scaled_n(&self, scale: f64) -> usize {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
+        ((self.paper_n as f64 * scale).round() as usize).max(64)
+    }
+
+    /// Generates the dataset as a sparse matrix at `scale`, deterministically
+    /// in `seed`.
+    #[must_use]
+    pub fn matrix(&self, scale: f64, seed: u64) -> Csr {
+        let n = self.scaled_n(scale);
+        let avg = self.avg_degree();
+        // Per-dataset seed so different entries never alias.
+        let seed = seed ^ fnv(self.name);
+        match self.family {
+            Family::Fem => {
+                // Bandwidth ~2% of n, but always wide enough to hold the
+                // published row density (tiny scales would otherwise cap
+                // the degree at the band width).
+                let band = (n / 50).max(avg).max(8);
+                gen::banded_fem(n, band, avg, seed)
+            }
+            Family::Mesh => gen::mesh2d(n, seed),
+            Family::Qcd => gen::block_regular(n, avg, seed),
+            Family::Web => gen::power_law(n, avg, 2.1, seed),
+            Family::Road => gen::road_network(n, seed),
+        }
+    }
+
+    /// Generates the dataset as an undirected graph at `scale` (the CC
+    /// reading of the same matrix).
+    #[must_use]
+    pub fn graph(&self, scale: f64, seed: u64) -> Graph {
+        Graph::from_matrix(&self.matrix(scale, seed))
+    }
+}
+
+/// Tiny FNV-1a string hash for per-dataset seed separation.
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table2() {
+        assert_eq!(TABLE2.len(), 15);
+        let cant = Dataset::by_name("cant").unwrap();
+        assert_eq!(cant.paper_n, 62_451);
+        assert_eq!(cant.paper_nnz, 4_007_383);
+        assert!(Dataset::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn scale_free_suite_is_nine_entries() {
+        // Rows 1–11 of Table II minus delaunay_n22 and qcd5_4.
+        let suite: Vec<_> = Dataset::scale_free_suite().map(|d| d.name).collect();
+        assert_eq!(suite.len(), 9);
+        assert!(!suite.contains(&"delaunay_n22"));
+        assert!(!suite.contains(&"qcd5_4"));
+        assert!(!suite.contains(&"asia_osm"));
+        assert!(suite.contains(&"web-BerkStan"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let d = Dataset::by_name("cop20k_A").unwrap();
+        assert_eq!(d.matrix(0.01, 1), d.matrix(0.01, 1));
+        assert_ne!(d.matrix(0.01, 1), d.matrix(0.01, 2));
+    }
+
+    #[test]
+    fn different_datasets_differ_under_same_seed() {
+        let a = Dataset::by_name("asia_osm").unwrap().matrix(0.001, 7);
+        let b = Dataset::by_name("germany_osm").unwrap().matrix(0.001, 7);
+        assert_ne!(a, b, "per-name seed separation");
+    }
+
+    #[test]
+    fn scaled_size_tracks_paper_size() {
+        let d = Dataset::by_name("pwtk").unwrap();
+        let m = d.matrix(0.02, 3);
+        assert_eq!(m.rows(), (217_918.0f64 * 0.02).round() as usize);
+        // Density within 2x of the paper's (generators dedupe a little).
+        let avg = m.nnz() as f64 / m.rows() as f64;
+        let want = d.avg_degree() as f64;
+        assert!(
+            avg > want * 0.5 && avg < want * 2.0,
+            "avg degree {avg}, want ≈ {want}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn scale_validated() {
+        let _ = Dataset::by_name("cant").unwrap().scaled_n(0.0);
+    }
+
+    #[test]
+    fn families_have_expected_structure() {
+        use nbwp_sparse::features::Features;
+        let web = Dataset::by_name("webbase-1M").unwrap().matrix(0.01, 5);
+        let qcd = Dataset::by_name("qcd5_4").unwrap().matrix(0.1, 5);
+        let f_web = Features::of(&web);
+        let f_qcd = Features::of(&qcd);
+        assert!(f_web.gini > 0.3, "web gini = {}", f_web.gini);
+        assert!(f_qcd.gini < 0.05, "qcd gini = {}", f_qcd.gini);
+    }
+
+    #[test]
+    fn road_graph_has_large_diameter() {
+        let g = Dataset::by_name("netherlands_osm").unwrap().graph(0.002, 9);
+        let d = nbwp_graph::features::approx_diameter(&g);
+        assert!(d > 50, "road diameter = {d}");
+    }
+
+    #[test]
+    fn min_scale_floor() {
+        let d = Dataset::by_name("pdb1HYS").unwrap();
+        assert_eq!(d.scaled_n(0.000001), 64);
+    }
+}

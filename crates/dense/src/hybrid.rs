@@ -1,0 +1,154 @@
+//! Row-split hybrid dense GEMM — the paper's Fig. 1 motivating experiment
+//! (MKL on the CPU + cuBLAS on the GPU, split by rows of `A`).
+//!
+//! `t ∈ [0, 100]` is the percentage of rows assigned to the CPU. Because
+//! the workload is regular, the per-device stats are closed forms
+//! ([`crate::gemm::stats_for_rows`]) and the FLOPS-ratio split is already
+//! near-optimal — the contrast the paper draws with irregular workloads.
+
+use nbwp_sim::{Platform, RunBreakdown, RunReport};
+
+use crate::gemm::{gemm_range, stats_for_rows};
+use crate::DenseMatrix;
+
+/// Outcome of one hybrid GEMM run.
+#[derive(Clone, Debug)]
+pub struct HybridGemmOutcome {
+    /// The product `A × B` (present only when executed numerically).
+    pub product: Option<DenseMatrix>,
+    /// Timing + counters.
+    pub report: RunReport,
+    /// Rows assigned to the CPU.
+    pub cpu_rows: usize,
+}
+
+/// Prices a hybrid GEMM at threshold `t_pct` (CPU row share, in percent)
+/// without executing it — exact for this regular workload.
+///
+/// # Panics
+/// Panics if shapes are incompatible or `t_pct ∉ [0, 100]`.
+#[must_use]
+pub fn hybrid_gemm_cost(
+    n: usize,
+    k: usize,
+    m: usize,
+    t_pct: f64,
+    platform: &Platform,
+) -> RunReport {
+    assert!(
+        (0.0..=100.0).contains(&t_pct),
+        "threshold {t_pct} out of [0, 100]"
+    );
+    let cpu_rows = ((n as f64 * t_pct / 100.0).round() as usize).min(n);
+    let gpu_rows = n - cpu_rows;
+    let b_bytes = (8 * k * m) as u64;
+    let cpu_stats = stats_for_rows(cpu_rows, k, m, b_bytes);
+    let gpu_stats = stats_for_rows(gpu_rows, k, m, b_bytes);
+    // No transfer at all when the GPU gets no rows.
+    let gpu_in_bytes = if gpu_rows == 0 {
+        0
+    } else {
+        b_bytes + (8 * gpu_rows * k) as u64
+    };
+    let gpu_out_bytes = (8 * gpu_rows * m) as u64;
+    RunReport {
+        breakdown: RunBreakdown {
+            partition: nbwp_sim::SimTime::ZERO, // a row offset: free
+            transfer_in: platform.transfer(gpu_in_bytes),
+            cpu_compute: platform.cpu_time(&cpu_stats),
+            gpu_compute: platform.gpu_time(&gpu_stats),
+            transfer_out: platform.transfer(gpu_out_bytes),
+            merge: nbwp_sim::SimTime::ZERO, // results land disjoint
+        },
+        cpu_stats,
+        gpu_stats,
+    }
+}
+
+/// Executes the hybrid GEMM numerically (both parts run on the host; the
+/// simulated report is identical to [`hybrid_gemm_cost`]).
+#[must_use]
+pub fn hybrid_gemm(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    t_pct: f64,
+    platform: &Platform,
+) -> HybridGemmOutcome {
+    let report = hybrid_gemm_cost(a.rows(), a.cols(), b.cols(), t_pct, platform);
+    let cpu_rows = ((a.rows() as f64 * t_pct / 100.0).round() as usize).min(a.rows());
+    let top = gemm_range(a, b, 0, cpu_rows);
+    let bot = gemm_range(a, b, cpu_rows, a.rows());
+    let mut data = Vec::with_capacity(a.rows() * b.cols());
+    data.extend_from_slice(top.data());
+    data.extend_from_slice(bot.data());
+    HybridGemmOutcome {
+        product: Some(DenseMatrix::from_vec(a.rows(), b.cols(), data)),
+        report,
+        cpu_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+
+    fn platform() -> Platform {
+        Platform::k40c_xeon_e5_2650()
+    }
+
+    #[test]
+    fn executed_product_is_correct_at_any_split() {
+        let a = DenseMatrix::random(30, 30, 1);
+        let reference = gemm(&a, &a);
+        for t in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            let out = hybrid_gemm(&a, &a, t, &platform());
+            assert!(out.product.unwrap().max_abs_diff(&reference) < 1e-10, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn cost_and_executed_reports_agree() {
+        let a = DenseMatrix::random(40, 40, 2);
+        let cost = hybrid_gemm_cost(40, 40, 40, 30.0, &platform());
+        let run = hybrid_gemm(&a, &a, 30.0, &platform());
+        assert_eq!(cost, run.report);
+    }
+
+    #[test]
+    fn optimum_sits_near_the_flops_ratio() {
+        // For a large regular GEMM the best CPU share tracks the CPU's
+        // share of total FLOPS (~12% on the K40c+Xeon platform).
+        let p = platform();
+        let n = 4096;
+        let best_t = (0..=100)
+            .min_by_key(|&t| {
+                let r = hybrid_gemm_cost(n, n, n, f64::from(t), &p);
+                (r.total().as_secs() * 1e12) as u64
+            })
+            .unwrap();
+        let flops_t = (1.0 - p.gpu_flops_share()) * 100.0;
+        assert!(
+            (f64::from(best_t) - flops_t).abs() < 8.0,
+            "best {best_t} vs flops split {flops_t:.1}"
+        );
+    }
+
+    #[test]
+    fn all_gpu_and_all_cpu_extremes() {
+        let p = platform();
+        let all_gpu = hybrid_gemm_cost(512, 512, 512, 0.0, &p);
+        assert!(all_gpu.breakdown.cpu_compute.is_zero());
+        let all_cpu = hybrid_gemm_cost(512, 512, 512, 100.0, &p);
+        assert!(all_cpu.breakdown.gpu_compute.is_zero());
+        assert!(all_cpu.breakdown.transfer_in.is_zero());
+    }
+
+    #[test]
+    fn more_rows_cost_more() {
+        let p = platform();
+        let small = hybrid_gemm_cost(256, 256, 256, 50.0, &p);
+        let big = hybrid_gemm_cost(1024, 256, 256, 50.0, &p);
+        assert!(big.total() > small.total());
+    }
+}

@@ -1,0 +1,208 @@
+//! Sequential depth-first-search connected components — the CPU-side kernel
+//! of the paper's Algorithm 1 (line 8), following CLRS as cited.
+//!
+//! The hybrid algorithm divides the CPU subgraph into `c` contiguous chunks
+//! (Algorithm 1, line 6), runs DFS independently per chunk using only
+//! intra-chunk edges, and defers inter-chunk edges to the merge step.
+
+use nbwp_sim::KernelStats;
+
+use crate::Graph;
+
+/// Irregular bytes charged per arc inspection: the adjacency entry (4 B)
+/// plus the dependent random `visited`/label probe it triggers — one
+/// latency-bound access per arc under the shared accounting convention.
+const ARC_IRREGULAR_BYTES: u64 = 8;
+
+/// Result of a (chunked) DFS labeling.
+#[derive(Clone, Debug)]
+pub struct DfsOutcome {
+    /// Per-vertex labels; the label of a component is its smallest-id
+    /// visited root within the owning chunk.
+    pub labels: Vec<u32>,
+    /// Edges crossing chunk boundaries (deferred to the merge step);
+    /// empty when run with a single chunk.
+    pub deferred_edges: Vec<(u32, u32)>,
+    /// Execution counters under the shared accounting convention.
+    pub stats: KernelStats,
+}
+
+/// Plain single-chunk DFS over the whole graph.
+#[must_use]
+pub fn cc_dfs(g: &Graph) -> DfsOutcome {
+    cc_dfs_chunked(g, 1)
+}
+
+/// Chunked DFS: the vertex range is split into `chunks` contiguous pieces;
+/// each piece is labeled independently using only edges internal to it, and
+/// edges between pieces are returned as `deferred_edges` (each once).
+///
+/// With `chunks = c` this models the paper's `G_CPU1 … G_CPUc`; the labels
+/// are correct for the *union* of the pieces only after the deferred edges
+/// are merged (which the hybrid driver does together with the GPU cross
+/// edges).
+///
+/// # Panics
+/// Panics if `chunks == 0`.
+#[must_use]
+pub fn cc_dfs_chunked(g: &Graph, chunks: usize) -> DfsOutcome {
+    assert!(chunks > 0, "need at least one chunk");
+    let n = g.n();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut deferred = Vec::new();
+    let mut stats = KernelStats::new();
+    if n == 0 {
+        return DfsOutcome {
+            labels,
+            deferred_edges: deferred,
+            stats,
+        };
+    }
+    let chunks = chunks.min(n);
+    let chunk_len = n.div_ceil(chunks);
+    let mut stack: Vec<u32> = Vec::new();
+    let mut visited = vec![false; n];
+    // Per-chunk work (arc inspections + vertex visits): the threads run
+    // concurrently but the phase lasts as long as its heaviest chunk, so
+    // effective parallelism is total work over max chunk work.
+    let mut chunk_work = vec![0u64; chunks];
+
+    for (c, work) in chunk_work.iter_mut().enumerate() {
+        let lo = c * chunk_len;
+        let hi = ((c + 1) * chunk_len).min(n);
+        for root in lo..hi {
+            if visited[root] {
+                continue;
+            }
+            visited[root] = true;
+            labels[root] = root as u32;
+            stack.push(root as u32);
+            while let Some(u) = stack.pop() {
+                // Vertex visit: label write + adjacency pointer reads.
+                stats.int_ops += 4;
+                stats.mem_read_bytes += 16; // two row-pointer entries
+                stats.mem_write_bytes += 4; // label store
+                *work += 2;
+                for &v in g.neighbors(u as usize) {
+                    let vu = v as usize;
+                    // Every arc inspection is a dependent, irregular read.
+                    stats.int_ops += 2;
+                    stats.mem_read_bytes += ARC_IRREGULAR_BYTES;
+                    stats.irregular_bytes += ARC_IRREGULAR_BYTES;
+                    *work += 1;
+                    if vu < lo || vu >= hi {
+                        // Inter-chunk edge: defer, reported once (from the
+                        // lower-id endpoint's side).
+                        if (u as usize) < vu {
+                            deferred.push((u, v));
+                        }
+                        continue;
+                    }
+                    if !visited[vu] {
+                        visited[vu] = true;
+                        labels[vu] = root as u32;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+    }
+    // Effective parallelism under load imbalance: Σ work / max chunk work
+    // (equals `chunks` for perfectly balanced graphs, collapses toward 1
+    // when one chunk holds the hubs).
+    let total_work: u64 = chunk_work.iter().sum();
+    let max_work = chunk_work.iter().copied().max().unwrap_or(0);
+    stats.parallel_items = if max_work == 0 {
+        chunks as u64
+    } else {
+        (total_work as f64 / max_work as f64).round().max(1.0) as u64
+    };
+    stats.kernel_launches = 0; // host-side code: no device launches
+    stats.working_set_bytes = g.size_bytes() + 5 * n as u64; // labels + visited
+    DfsOutcome {
+        labels,
+        deferred_edges: deferred,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::union_find::{cc_union_find, UnionFind};
+    use crate::csr_graph::{count_components, normalize_labels};
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn single_chunk_matches_oracle() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 3)]);
+        let out = cc_dfs(&g);
+        assert!(out.deferred_edges.is_empty());
+        assert_eq!(
+            normalize_labels(&out.labels),
+            normalize_labels(&cc_union_find(&g))
+        );
+    }
+
+    #[test]
+    fn chunked_defers_cross_chunk_edges() {
+        // Path of 8 in 2 chunks: edge (3,4) crosses the boundary.
+        let g = path(8);
+        let out = cc_dfs_chunked(&g, 2);
+        assert_eq!(out.deferred_edges, vec![(3, 4)]);
+        // Within chunks, both halves are single components.
+        assert_eq!(count_components(&out.labels), 2);
+    }
+
+    #[test]
+    fn chunked_plus_merge_recovers_full_components() {
+        let g = path(20);
+        for chunks in [1, 2, 3, 5, 20] {
+            let out = cc_dfs_chunked(&g, chunks);
+            // Merge deferred edges like the hybrid driver does.
+            let mut uf = UnionFind::new(g.n());
+            for (v, &l) in out.labels.iter().enumerate() {
+                uf.union(v as u32, l);
+            }
+            for (u, v) in out.deferred_edges {
+                uf.union(u, v);
+            }
+            assert_eq!(count_components(&uf.labels()), 1, "chunks = {chunks}");
+        }
+    }
+
+    #[test]
+    fn stats_scale_with_graph_size() {
+        let small = cc_dfs(&path(10)).stats;
+        let big = cc_dfs(&path(1000)).stats;
+        assert!(big.int_ops > small.int_ops);
+        assert!(big.irregular_bytes > small.irregular_bytes);
+        assert_eq!(small.kernel_launches, 0);
+    }
+
+    #[test]
+    fn parallel_items_equals_chunk_count() {
+        let g = path(100);
+        assert_eq!(cc_dfs_chunked(&g, 8).stats.parallel_items, 8);
+        assert_eq!(cc_dfs(&g).stats.parallel_items, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        let out = cc_dfs(&g);
+        assert!(out.labels.is_empty());
+        assert!(out.stats.is_empty() || out.stats.total_ops() == 0);
+    }
+
+    #[test]
+    fn chunks_capped_at_vertex_count() {
+        let g = path(3);
+        let out = cc_dfs_chunked(&g, 10);
+        assert_eq!(out.stats.parallel_items, 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Connected-components kernels: the CPU algorithm (DFS), the GPU algorithm
+//! (Shiloach–Vishkin), a BFS cross-check, the union-find oracle, and the
+//! paper's hybrid Algorithm 1 combining them.
+
+pub mod bfs;
+pub mod dfs;
+pub mod hybrid;
+pub mod sv;
+pub mod union_find;
+
+pub use bfs::{cc_bfs, BfsOutcome};
+pub use dfs::{cc_dfs, cc_dfs_chunked, DfsOutcome};
+pub use hybrid::{hybrid_cc, hybrid_cc_with, CpuCcAlgo, HybridCcOutcome};
+pub use sv::{cc_sv, SvOutcome};
+pub use union_find::{cc_union_find, UnionFind};

@@ -1,0 +1,283 @@
+//! Shiloach–Vishkin connected components — the GPU-side kernel of the
+//! paper's Algorithm 1 (line 7), after Shiloach & Vishkin (1982) and the
+//! GPU formulation of Soman et al. cited by the paper.
+//!
+//! The implementation is *synchronous*: every round performs
+//!
+//! 1. **root hooking** — for every edge `{u, v}` whose endpoints lie in
+//!    different trees, the larger root is a candidate to hook onto the
+//!    smaller label; candidates are min-reduced per root, so the outcome is
+//!    deterministic and independent of traversal or thread order;
+//! 2. **full pointer jumping** — `parent[v] ← parent[parent[v]]` repeated
+//!    until idempotent (each pass is Jacobi-style, reading the previous
+//!    array and writing a fresh one).
+//!
+//! Because hooking merges *trees* (not just labels), the number of live
+//! roots at least halves every round on any pathological numbering, giving
+//! the textbook O(log n) round bound — asserted by a property test. Round
+//! and pass counts drive the simulated GPU kernel-launch cost, so their
+//! determinism matters as much as the labels'.
+
+use nbwp_sim::KernelStats;
+
+use crate::Graph;
+
+/// Result of a Shiloach–Vishkin run.
+#[derive(Clone, Debug)]
+pub struct SvOutcome {
+    /// Per-vertex labels: the minimum vertex id of the component.
+    pub labels: Vec<u32>,
+    /// Outer hook+compress rounds executed (≥ 1 on non-empty graphs).
+    pub rounds: u32,
+    /// Pointer-doubling passes executed across all rounds.
+    pub doubling_passes: u32,
+    /// Execution counters under the shared accounting convention.
+    pub stats: KernelStats,
+}
+
+/// Vertices below which the parallel compression path is not worth the
+/// thread overhead.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+/// Runs synchronous Shiloach–Vishkin on `g` with up to `threads` workers
+/// (used for the compression passes). Labels, round counts, and stats are
+/// identical for every thread count.
+#[must_use]
+pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
+    let n = g.n();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut stats = KernelStats::new();
+    let mut rounds = 0u32;
+    let mut doubling_passes = 0u32;
+    if n == 0 {
+        return SvOutcome {
+            labels: parent,
+            rounds,
+            doubling_passes,
+            stats,
+        };
+    }
+    let workers = if n < PARALLEL_THRESHOLD { 1 } else { threads.max(1) };
+    stats.mem_write_bytes += 4 * n as u64; // init parents
+    stats.kernel_launches += 1;
+    let mut cand: Vec<u32> = vec![0; n];
+
+    loop {
+        rounds += 1;
+        // --- Hook: min-reduce, per root, of smaller neighbor-tree labels.
+        // (Sequential min-reduction; a device would do this with atomicMin —
+        // the result is identical because min is commutative.)
+        cand.copy_from_slice(&parent);
+        for u in 0..n {
+            let ru = parent[u] as usize;
+            for &v in g.neighbors(u) {
+                let rv = parent[v as usize];
+                if rv < cand[ru] {
+                    cand[ru] = rv;
+                }
+            }
+        }
+        let mut hooked = false;
+        for r in 0..n {
+            if cand[r] < parent[r] {
+                parent[r] = cand[r];
+                hooked = true;
+            }
+        }
+        stats.kernel_launches += 2; // hook kernel + apply kernel
+        stats.sync_rounds += 1;
+        stats.int_ops += 2 * g.arcs() as u64 + 2 * n as u64;
+        stats.mem_read_bytes += (8 * g.arcs() + 8 * n) as u64;
+        stats.irregular_bytes += 8 * g.arcs() as u64; // gather both labels
+        stats.mem_write_bytes += 8 * n as u64;
+
+        // --- Compress: pointer doubling until idempotent.
+        let mut compressed_any = false;
+        loop {
+            let (compressed, changed) = double_pass(&parent, workers);
+            doubling_passes += 1;
+            stats.kernel_launches += 1;
+            stats.int_ops += 2 * n as u64;
+            stats.mem_read_bytes += 8 * n as u64;
+            stats.irregular_bytes += 4 * n as u64; // gather parent[parent[v]]
+            stats.mem_write_bytes += 4 * n as u64;
+            parent = compressed;
+            compressed_any |= changed;
+            if !changed {
+                break;
+            }
+        }
+        if !hooked && !compressed_any {
+            break;
+        }
+    }
+    stats.parallel_items = g.arcs().max(n) as u64;
+    stats.working_set_bytes = g.size_bytes() + 8 * n as u64;
+    SvOutcome {
+        labels: parent,
+        rounds,
+        doubling_passes,
+        stats,
+    }
+}
+
+/// One pointer-doubling pass: `out[v] = f[f[v]]`. Returns the new array and
+/// whether anything changed. Vertex-parallel and Jacobi-style, so the
+/// result is thread-count independent.
+fn double_pass(f: &[u32], workers: usize) -> (Vec<u32>, bool) {
+    let n = f.len();
+    let mut out = vec![0u32; n];
+    if workers <= 1 {
+        let mut changed = false;
+        for v in 0..n {
+            let x = f[f[v] as usize];
+            changed |= x != f[v];
+            out[v] = x;
+        }
+        return (out, changed);
+    }
+    let chunk = n.div_ceil(workers);
+    let mut flags = vec![false; workers];
+    std::thread::scope(|scope| {
+        for ((tid, slice), flag) in out.chunks_mut(chunk).enumerate().zip(flags.iter_mut()) {
+            let lo = tid * chunk;
+            scope.spawn(move || {
+                let mut changed = false;
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    let v = lo + i;
+                    let x = f[f[v] as usize];
+                    changed |= x != f[v];
+                    *slot = x;
+                }
+                *flag = changed;
+            });
+        }
+    });
+    (out, flags.into_iter().any(|c| c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::union_find::cc_union_find;
+    use crate::csr_graph::{count_components, normalize_labels};
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = Graph::from_edges(6, &[(5, 4), (4, 3), (0, 1)]);
+        let out = cc_sv(&g, 1);
+        assert_eq!(out.labels, vec![0, 0, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn matches_oracle_on_structured_graphs() {
+        for g in [
+            path(50),
+            Graph::from_edges(10, &[]),
+            Graph::from_edges(8, &[(0, 7), (1, 6), (2, 5), (3, 4), (0, 3)]),
+        ] {
+            let sv = normalize_labels(&cc_sv(&g, 1).labels);
+            let oracle = normalize_labels(&cc_union_find(&g));
+            assert_eq!(sv, oracle);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_anything() {
+        // Build a graph above the parallel threshold so threads engage.
+        let n = 300_000;
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        for i in (0..n as u32).step_by(97) {
+            edges.push((i, (i * 7 + 13) % n as u32));
+        }
+        let g = Graph::from_edges(n, &edges);
+        assert!(g.n() >= PARALLEL_THRESHOLD);
+        let a = cc_sv(&g, 1);
+        let b = cc_sv(&g, 4);
+        let c = cc_sv(&g, 8);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(b.labels, c.labels);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.doubling_passes, c.doubling_passes);
+        assert_eq!(a.stats, c.stats);
+    }
+
+    #[test]
+    fn rounds_stay_logarithmic_on_adversarial_numbering() {
+        // Zig-zag numbered path: per-vertex min propagation would need
+        // Θ(n) rounds here; root hooking must stay O(log n).
+        let n = 20_000u32;
+        let order: Vec<u32> = (0..n)
+            .map(|i| if i % 2 == 0 { i + 1 } else { i - 1 })
+            .map(|v| v.min(n - 1))
+            .collect();
+        let edges: Vec<(u32, u32)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        let g = Graph::from_edges(n as usize, &edges);
+        let out = cc_sv(&g, 1);
+        let bound = (n as f64).log2().ceil() as u32 + 3;
+        assert!(
+            out.rounds <= bound,
+            "rounds {} exceed log bound {}",
+            out.rounds,
+            bound
+        );
+    }
+
+    #[test]
+    fn suffix_subgraphs_converge_fast() {
+        // Regression: vertex-interval suffixes of strip graphs previously
+        // took Θ(n) rounds under per-vertex min hooking.
+        let g = path(10_000);
+        let (suffix, _) = g.vertex_interval_subgraph(2_000, 10_000);
+        let out = cc_sv(&suffix, 1);
+        assert!(out.rounds <= 17, "rounds = {}", out.rounds);
+        assert_eq!(count_components(&out.labels), 1);
+    }
+
+    #[test]
+    fn long_path_needs_more_doubling_than_star() {
+        let p = path(4096);
+        let star = Graph::from_edges(
+            4096,
+            &(1..4096u32).map(|v| (0, v)).collect::<Vec<_>>(),
+        );
+        let out_p = cc_sv(&p, 1);
+        let out_s = cc_sv(&star, 1);
+        assert_eq!(count_components(&out_p.labels), 1);
+        assert_eq!(count_components(&out_s.labels), 1);
+        assert!(
+            out_p.doubling_passes > out_s.doubling_passes,
+            "path {} vs star {}",
+            out_p.doubling_passes,
+            out_s.doubling_passes
+        );
+    }
+
+    #[test]
+    fn stats_count_launches_per_round() {
+        let g = path(100);
+        let out = cc_sv(&g, 1);
+        // 1 init + 2 per round (hook, apply) + 1 per doubling pass.
+        assert_eq!(
+            out.stats.kernel_launches,
+            1 + 2 * u64::from(out.rounds) + u64::from(out.doubling_passes)
+        );
+        assert_eq!(out.stats.sync_rounds, u64::from(out.rounds));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Graph::from_edges(0, &[]);
+        let out = cc_sv(&empty, 4);
+        assert!(out.labels.is_empty());
+        assert_eq!(out.rounds, 0);
+        let single = Graph::from_edges(1, &[]);
+        let out = cc_sv(&single, 4);
+        assert_eq!(out.labels, vec![0]);
+    }
+}

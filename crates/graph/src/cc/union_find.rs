@@ -1,0 +1,110 @@
+//! Union–find (disjoint set union) with path halving and union by rank.
+//!
+//! Serves two roles: the *oracle* every parallel CC kernel is tested
+//! against, and the merge structure of the hybrid algorithm's Phase II
+//! cross-edge step (Algorithm 1, line 9).
+
+use crate::Graph;
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `v`'s set (path halving).
+    pub fn find(&mut self, v: u32) -> u32 {
+        let mut v = v;
+        while self.parent[v as usize] != v {
+            let grand = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grand;
+            v = grand;
+        }
+        v
+    }
+
+    /// Unites the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (ra, rb) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[rb as usize] = ra;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[ra as usize] += 1;
+        }
+        true
+    }
+
+    /// Labels every element with its set representative.
+    pub fn labels(&mut self) -> Vec<u32> {
+        (0..self.parent.len() as u32).map(|v| self.find(v)).collect()
+    }
+}
+
+/// Sequential connected components via union-find — the correctness oracle.
+/// Returns per-vertex labels (each component labeled by a representative).
+#[must_use]
+pub fn cc_union_find(g: &Graph) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr_graph::{count_components, normalize_labels};
+
+    #[test]
+    fn singletons_and_unions() {
+        let mut uf = UnionFind::new(4);
+        assert_ne!(uf.find(0), uf.find(1));
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already united");
+        assert_eq!(uf.find(0), uf.find(1));
+        assert!(uf.union(2, 3));
+        assert_ne!(uf.find(0), uf.find(2));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+    }
+
+    #[test]
+    fn cc_on_path_is_one_component() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let labels = cc_union_find(&g);
+        assert_eq!(count_components(&labels), 1);
+    }
+
+    #[test]
+    fn cc_on_disjoint_pieces() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3)]);
+        let labels = normalize_labels(&cc_union_find(&g));
+        assert_eq!(labels, vec![0, 0, 2, 2, 4, 5]);
+        assert_eq!(count_components(&cc_union_find(&g)), 4);
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let g = Graph::from_edges(3, &[]);
+        assert_eq!(count_components(&cc_union_find(&g)), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Graph generators matching the CC dataset families of Table II
+//! (web graphs, road networks, meshes, FEM matrices viewed as graphs).
+//!
+//! All wrap the seeded matrix generators of `nbwp-sparse` and symmetrize.
+
+use nbwp_sparse::gen as mgen;
+
+use crate::Graph;
+
+/// Erdős–Rényi style random graph with average degree ≈ `avg_deg`.
+#[must_use]
+pub fn random(n: usize, avg_deg: usize, seed: u64) -> Graph {
+    Graph::from_matrix(&mgen::uniform_random(n, avg_deg.max(1), seed))
+}
+
+/// Web graph (web-BerkStan / webbase-1M family): power-law hubs + locality.
+/// Low effective diameter — the GPU-friendly end of the spectrum.
+#[must_use]
+pub fn web(n: usize, avg_deg: usize, seed: u64) -> Graph {
+    Graph::from_matrix(&mgen::web_graph(n, avg_deg.max(1), seed))
+}
+
+/// Road network (`*_osm` family): average degree ≈ 2.5, enormous diameter —
+/// the GPU-hostile end of the spectrum (many Shiloach–Vishkin compressions).
+#[must_use]
+pub fn road(n: usize, seed: u64) -> Graph {
+    Graph::from_matrix(&mgen::road_network(n, seed))
+}
+
+/// Planar mesh (delaunay_n22 family): regular degree ~4, moderate diameter.
+#[must_use]
+pub fn mesh(n: usize, seed: u64) -> Graph {
+    Graph::from_matrix(&mgen::mesh2d(n, seed))
+}
+
+/// FEM matrix viewed as a graph (cant / consph / … family): banded,
+/// locally dense, degree varying by region.
+#[must_use]
+pub fn fem(n: usize, bandwidth: usize, avg_deg: usize, seed: u64) -> Graph {
+    Graph::from_matrix(&mgen::banded_fem(n, bandwidth, avg_deg.max(2), seed))
+}
+
+/// A graph with `pieces` disjoint random components (tests component
+/// counting through partition boundaries).
+#[must_use]
+pub fn disjoint_pieces(n: usize, pieces: usize, avg_deg: usize, seed: u64) -> Graph {
+    assert!(pieces > 0 && pieces <= n, "invalid piece count");
+    let piece_len = n / pieces;
+    let mut edges = Vec::new();
+    let base_graph = random(n, avg_deg, seed);
+    for (u, v) in base_graph.edges() {
+        // Keep only edges within the same piece.
+        if piece_len > 0 && (u as usize / piece_len) == (v as usize / piece_len) {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::cc_union_find;
+    use crate::csr_graph::count_components;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(web(500, 6, 3), web(500, 6, 3));
+        assert_eq!(road(500, 3), road(500, 3));
+    }
+
+    #[test]
+    fn road_degree_is_low() {
+        let g = road(2000, 5);
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!((1.0..4.0).contains(&avg), "avg degree = {avg}");
+    }
+
+    #[test]
+    fn web_has_hubs() {
+        let g = web(2000, 6, 7);
+        let max_deg = (0..g.n()).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 50, "hub degree = {max_deg}");
+    }
+
+    #[test]
+    fn mesh_degree_bounded_by_four() {
+        let g = mesh(900, 1);
+        assert!((0..g.n()).all(|v| g.degree(v) <= 4));
+    }
+
+    #[test]
+    fn disjoint_pieces_have_at_least_that_many_components() {
+        let g = disjoint_pieces(1000, 5, 8, 11);
+        let comps = count_components(&cc_union_find(&g));
+        assert!(comps >= 5, "components = {comps}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Vertex sampling for the CC case study — Step 1 of the framework (§III.A).
+//!
+//! The paper samples `√n` vertices uniformly at random and takes the
+//! induced subgraph `G' = G[S]`. For sparse graphs that subgraph is empty in
+//! expectation (`E[m'] = m·(s/n)²`), so the faithful sampler is provided for
+//! the degeneracy study while the default is *contraction* sampling — the
+//! same column-index transformation the paper itself uses for scale-free
+//! spmm (§V.A.1) — which preserves degree structure on expectation. See
+//! `DESIGN.md`, "CC sampling".
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::Graph;
+
+/// Picks `count` distinct vertices uniformly at random, sorted ascending.
+#[must_use]
+pub fn uniform_vertex_sample<R: Rng>(n: usize, count: usize, rng: &mut R) -> Vec<usize> {
+    let count = count.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    // partial_shuffle places `count` uniformly chosen elements in the
+    // *first returned slice* (they live at the tail of `idx`).
+    let (chosen, _) = idx.partial_shuffle(rng, count);
+    let mut picked = chosen.to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+/// Faithful paper sampler: the induced subgraph on `s` uniformly chosen
+/// vertices. Degenerates to a near-empty graph when `s ≪ n·√(1/density)`.
+#[must_use]
+pub fn sample_induced<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Graph {
+    let set = uniform_vertex_sample(g.n(), s, rng);
+    g.induced_subgraph(&set)
+}
+
+/// Default sampler: `s` uniformly chosen vertices with their adjacency
+/// lists kept and neighbor ids *contracted* into `0..s`
+/// (`v ↦ ⌊v·s/n⌋`, duplicates merged, self-loops dropped). Preserves the
+/// degree distribution (bounded by `s`) and locality class of `G`.
+#[must_use]
+pub fn sample_contract<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Graph {
+    let n = g.n();
+    let s = s.min(n).max(1);
+    let picked = uniform_vertex_sample(n, s, rng);
+    let sn = s;
+    let mut edges = Vec::new();
+    for (new_u, &u) in picked.iter().enumerate() {
+        for &v in g.neighbors(u) {
+            // Keep each arc with probability 1/2: a sampled vertex both
+            // emits its own arcs and receives ≈ mean-degree contracted
+            // incoming arcs, so halving restores the degree scale.
+            if !rng.gen_bool(0.5) {
+                continue;
+            }
+            let mut cv = ((v as u128 * s as u128) / n as u128) as u32;
+            if cv as usize == new_u {
+                // Locality collision: u and its neighbor fall in the same
+                // bucket (ubiquitous on path-like road networks, where it
+                // would delete the chain). Redirect to the adjacent bucket
+                // in the neighbor's direction to preserve the topology.
+                if v as usize > u && (new_u + 1) < sn {
+                    cv = new_u as u32 + 1;
+                } else if (v as usize) < u && new_u > 0 {
+                    cv = new_u as u32 - 1;
+                } else {
+                    continue;
+                }
+            }
+            edges.push((new_u as u32, cv));
+        }
+    }
+    Graph::from_edges(s, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn vertex_sample_is_sorted_distinct_bounded() {
+        let s = uniform_vertex_sample(1000, 50, &mut rng(1));
+        assert_eq!(s.len(), 50);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(*s.last().unwrap() < 1000);
+        // Requesting more than n clamps.
+        assert_eq!(uniform_vertex_sample(10, 100, &mut rng(2)).len(), 10);
+    }
+
+    #[test]
+    fn induced_sample_degenerates_on_sparse_graphs() {
+        let g = gen::random(10_000, 8, 3);
+        let s = sample_induced(&g, 100, &mut rng(3));
+        assert!(
+            s.m() < 10,
+            "induced sample of a sparse graph should be nearly empty, got m = {}",
+            s.m()
+        );
+    }
+
+    #[test]
+    fn contract_sample_preserves_degree_scale() {
+        let g = gen::random(10_000, 8, 5);
+        let s = sample_contract(&g, 100, &mut rng(4));
+        assert_eq!(s.n(), 100);
+        let avg_orig = 2.0 * g.m() as f64 / g.n() as f64;
+        let avg_samp = 2.0 * s.m() as f64 / s.n() as f64;
+        assert!(
+            (avg_samp - avg_orig).abs() < avg_orig * 0.5,
+            "orig {avg_orig}, sample {avg_samp}"
+        );
+    }
+
+    #[test]
+    fn contract_sample_keeps_family_contrast() {
+        // Road sample stays sparse; web sample keeps hubs.
+        let road = gen::road(8000, 7);
+        let web = gen::web(8000, 8, 7);
+        let sr = sample_contract(&road, 90, &mut rng(5));
+        let sw = sample_contract(&web, 90, &mut rng(5));
+        let max_r = (0..sr.n()).map(|v| sr.degree(v)).max().unwrap();
+        let max_w = (0..sw.n()).map(|v| sw.degree(v)).max().unwrap();
+        assert!(
+            max_w > 2 * max_r,
+            "web sample hub {max_w} should dwarf road sample max {max_r}"
+        );
+    }
+
+    #[test]
+    fn samplers_are_seed_deterministic() {
+        let g = gen::web(3000, 6, 9);
+        let a = sample_contract(&g, 55, &mut rng(42));
+        let b = sample_contract(&g, 55, &mut rng(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,50 @@
+//! Property-based tests for hybrid list ranking.
+
+use nbwp_graph::list::{hybrid_rank, LinkedLists};
+use nbwp_sim::Platform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hybrid_matches_sequential_oracle(
+        n in 2usize..1500,
+        lists in 1usize..8,
+        t in 0.0f64..=100.0,
+        seed in 0u64..1000,
+    ) {
+        let lists = lists.min(n);
+        let l = LinkedLists::random(n, lists, seed);
+        let out = hybrid_rank(&l, t, &Platform::k40c_xeon_e5_2650(), seed ^ 99);
+        prop_assert_eq!(out.ranks, l.rank_sequential());
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_within_each_list(n in 2usize..800, seed in 0u64..500) {
+        let l = LinkedLists::random(n, 1, seed);
+        let ranks = l.rank_sequential();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(sorted, expect, "one list ⇒ ranks are 0..n");
+    }
+
+    #[test]
+    fn splitter_count_tracks_threshold(n in 100usize..2000, seed in 0u64..100) {
+        let l = LinkedLists::random(n, 1, seed);
+        let p = Platform::k40c_xeon_e5_2650();
+        let few = hybrid_rank(&l, 2.0, &p, seed).splitters;
+        let many = hybrid_rank(&l, 80.0, &p, seed).splitters;
+        prop_assert!(many > few);
+        prop_assert!(many <= n);
+    }
+
+    #[test]
+    fn wyllie_rounds_stay_logarithmic(n in 100usize..3000, t in 1.0f64..=100.0, seed in 0u64..100) {
+        let l = LinkedLists::random(n, 1, seed);
+        let out = hybrid_rank(&l, t, &Platform::k40c_xeon_e5_2650(), seed);
+        let bound = (n as f64).log2().ceil() as u32 + 3;
+        prop_assert!(out.wyllie_rounds <= bound, "{} rounds", out.wyllie_rounds);
+    }
+}

@@ -1,0 +1,254 @@
+//! Multi-core CPU cost model.
+//!
+//! A roofline-style model: a kernel's simulated time on the CPU is the
+//! maximum of its compute time and its memory time, where memory time
+//! depends on whether the working set fits the last-level cache and on how
+//! much of the traffic is irregular (latency-bound gathers instead of
+//! streaming loads). Parallel speedup follows a fixed efficiency factor and
+//! is capped by the number of available independent work items.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{KernelStats, SimTime};
+
+/// Analytic performance model of a multi-core CPU.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Physical cores available to the runtime.
+    pub cores: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Peak double-precision flops per cycle per core (SIMD width × FMA).
+    pub flops_per_cycle: f64,
+    /// Scalar integer/index operations retired per cycle per core.
+    pub int_ops_per_cycle: f64,
+    /// Sustained streaming memory bandwidth in GB/s (all cores combined).
+    pub mem_bw_gbs: f64,
+    /// Last-level cache size in bytes; working sets below this enjoy
+    /// `cache_bw_multiplier` × the DRAM bandwidth.
+    pub llc_bytes: u64,
+    /// Bandwidth multiplier for cache-resident working sets.
+    pub cache_bw_multiplier: f64,
+    /// Average latency of an irregular (cache-missing) access in ns.
+    pub random_access_latency_ns: f64,
+    /// Memory-level parallelism: outstanding misses hidden per core.
+    pub mlp: f64,
+    /// Useful bytes delivered per irregular access (a gather touches a
+    /// whole cache line but typically uses only a few bytes of it).
+    pub irregular_access_bytes: f64,
+    /// Fraction of ideal linear speedup actually achieved by threading.
+    pub parallel_efficiency: f64,
+    /// Fixed cost of spinning up a parallel region, in microseconds.
+    pub parallel_region_overhead_us: f64,
+    /// Global throughput multiplier used by scaled-down simulation
+    /// ([`crate::Platform::scaled_for`]): all rates (compute, bandwidth,
+    /// outstanding-miss capacity) are multiplied by this factor while
+    /// latencies stay physical. 1.0 for a full-size device.
+    pub rate_scale: f64,
+}
+
+impl CpuModel {
+    /// Dual-socket Intel Xeon E5-2650 (the paper's host): 2 × 10 cores at
+    /// 2.34 GHz, ~187 DP Gflop/s peak, ~95 GB/s sustained, 2 × 25 MB LLC.
+    #[must_use]
+    pub fn xeon_e5_2650_dual() -> Self {
+        CpuModel {
+            cores: 20,
+            freq_ghz: 2.34,
+            flops_per_cycle: 4.0, // AVX (4 DP lanes), FMA not counted: SNB-era
+            int_ops_per_cycle: 2.0,
+            mem_bw_gbs: 95.0,
+            llc_bytes: 50 * 1024 * 1024,
+            cache_bw_multiplier: 4.0,
+            random_access_latency_ns: 100.0,
+            mlp: 1.0,
+            irregular_access_bytes: 8.0,
+            parallel_efficiency: 0.75,
+            parallel_region_overhead_us: 8.0,
+            rate_scale: 1.0,
+        }
+    }
+
+    /// A small laptop-class CPU, handy for tests that need a weak CPU.
+    #[must_use]
+    pub fn laptop_quad() -> Self {
+        CpuModel {
+            cores: 4,
+            freq_ghz: 2.8,
+            flops_per_cycle: 4.0,
+            int_ops_per_cycle: 2.0,
+            mem_bw_gbs: 25.0,
+            llc_bytes: 8 * 1024 * 1024,
+            cache_bw_multiplier: 3.0,
+            random_access_latency_ns: 90.0,
+            mlp: 1.2,
+            irregular_access_bytes: 8.0,
+            parallel_efficiency: 0.8,
+            parallel_region_overhead_us: 4.0,
+            rate_scale: 1.0,
+        }
+    }
+
+    /// Peak double-precision Gflop/s — the number a "FLOPS-proportional"
+    /// static partitioner (the paper's *NaiveStatic*) would read off the
+    /// spec sheet.
+    #[must_use]
+    pub fn peak_gflops(&self) -> f64 {
+        self.cores as f64 * self.freq_ghz * self.flops_per_cycle
+    }
+
+    /// Simulated execution time of a kernel described by `stats`, run with
+    /// `threads` worker threads.
+    ///
+    /// Returns [`SimTime::ZERO`] for an empty record: an empty partition
+    /// costs nothing (no parallel region is even entered).
+    #[must_use]
+    pub fn time(&self, stats: &KernelStats, threads: usize) -> SimTime {
+        if stats.is_empty() {
+            return SimTime::ZERO;
+        }
+        let threads = threads.clamp(1, self.cores) as f64;
+        // Parallelism cannot exceed the number of independent items.
+        let usable = if stats.parallel_items == 0 {
+            1.0
+        } else {
+            threads.min(stats.parallel_items as f64)
+        };
+        let eff = if usable > 1.0 {
+            usable * self.parallel_efficiency
+        } else {
+            1.0
+        };
+
+        // Compute roof.
+        let flop_rate =
+            self.peak_gflops() / self.cores as f64 * eff * 1e9 * self.rate_scale;
+        let int_rate = self.freq_ghz * self.int_ops_per_cycle * eff * 1e9 * self.rate_scale;
+        let compute_s = stats.flops as f64 / flop_rate + stats.int_ops as f64 / int_rate;
+
+        // Memory roof: streaming traffic at (possibly cache-boosted)
+        // bandwidth, plus latency-bound irregular traffic.
+        let in_cache = stats.working_set_bytes <= self.llc_bytes;
+        let bw = if in_cache {
+            self.mem_bw_gbs * self.cache_bw_multiplier
+        } else {
+            self.mem_bw_gbs
+        } * 1e9
+            * self.rate_scale;
+        let streaming = stats.total_bytes().saturating_sub(stats.irregular_bytes);
+        let stream_s = streaming as f64 / bw;
+        // Irregular accesses: one cache line per ~64 bytes, each paying the
+        // miss latency, overlapped mlp-deep per participating core.
+        let miss_lat = if in_cache {
+            self.random_access_latency_ns * 0.25 // LLC hit, not DRAM
+        } else {
+            self.random_access_latency_ns
+        };
+        let accesses = stats.irregular_bytes as f64 / self.irregular_access_bytes;
+        let random_s = accesses * miss_lat * 1e-9 / (self.mlp * usable * self.rate_scale);
+        let memory_s = stream_s + random_s;
+
+        let overhead_s = if usable > 1.0 {
+            self.parallel_region_overhead_us * 1e-6
+        } else {
+            0.0
+        };
+        SimTime::from_secs(compute_s.max(memory_s) + overhead_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flops_only(flops: u64, items: u64) -> KernelStats {
+        KernelStats {
+            flops,
+            parallel_items: items,
+            ..KernelStats::default()
+        }
+    }
+
+    #[test]
+    fn empty_kernel_is_free() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        assert_eq!(cpu.time(&KernelStats::default(), 20), SimTime::ZERO);
+    }
+
+    #[test]
+    fn peak_flops_matches_spec() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        // 20 cores * 2.34 GHz * 4 = 187.2 Gflop/s
+        assert!((cpu.peak_gflops() - 187.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_threads_is_faster_up_to_core_count() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        let s = flops_only(10_000_000_000, 1 << 20);
+        let t1 = cpu.time(&s, 1);
+        let t10 = cpu.time(&s, 10);
+        let t20 = cpu.time(&s, 20);
+        let t40 = cpu.time(&s, 40); // clamped to 20 cores
+        assert!(t10 < t1);
+        assert!(t20 < t10);
+        assert_eq!(t20, t40);
+    }
+
+    #[test]
+    fn parallelism_capped_by_items() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        let narrow = flops_only(1_000_000_000, 2);
+        let wide = flops_only(1_000_000_000, 1000);
+        assert!(cpu.time(&wide, 20) < cpu.time(&narrow, 20));
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        let small = flops_only(1_000_000, 100);
+        let big = flops_only(100_000_000, 100);
+        assert!(cpu.time(&big, 8) > cpu.time(&small, 8));
+    }
+
+    #[test]
+    fn cache_resident_working_set_is_faster() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        let mut hot = KernelStats {
+            mem_read_bytes: 1 << 30,
+            parallel_items: 1 << 16,
+            working_set_bytes: 1 << 20, // 1 MiB, fits LLC
+            ..KernelStats::default()
+        };
+        let cold = KernelStats {
+            working_set_bytes: 1 << 31, // 2 GiB, spills
+            ..hot
+        };
+        hot.working_set_bytes = 1 << 20;
+        assert!(cpu.time(&hot, 20) < cpu.time(&cold, 20));
+    }
+
+    #[test]
+    fn irregular_traffic_is_slower_than_streaming() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        let streaming = KernelStats {
+            mem_read_bytes: 1 << 28,
+            parallel_items: 1 << 16,
+            working_set_bytes: 1 << 31,
+            ..KernelStats::default()
+        };
+        let irregular = KernelStats {
+            irregular_bytes: 1 << 28,
+            ..streaming
+        };
+        assert!(cpu.time(&irregular, 20) > cpu.time(&streaming, 20));
+    }
+
+    #[test]
+    fn single_thread_pays_no_region_overhead() {
+        let cpu = CpuModel::xeon_e5_2650_dual();
+        let tiny = flops_only(100, 1);
+        // With one usable item, time is essentially pure compute.
+        assert!(cpu.time(&tiny, 20).as_micros() < 1.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Many-core GPU (SIMT) cost model.
+//!
+//! Captures the four effects that make GPU time hard to predict from FLOPS
+//! alone — the phenomenon motivating the paper:
+//!
+//! 1. **Warp divergence** — compute is charged at the warp-padded flop count
+//!    ([`crate::warp_padded_cost`]), so irregular per-item work (skewed row
+//!    degrees) wastes lanes.
+//! 2. **Coalescing** — irregular bytes move at a fraction of peak bandwidth.
+//! 3. **Occupancy** — small inputs cannot fill thousands of cores; time
+//!    degrades inversely with achieved occupancy.
+//! 4. **Launch overhead** — every kernel launch / synchronization round pays
+//!    a fixed cost, penalising iterative algorithms (Shiloach–Vishkin) on
+//!    high-diameter inputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{KernelStats, SimTime};
+
+/// Analytic performance model of a discrete GPU.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Peak double-precision flops per cycle per core.
+    pub flops_per_cycle: f64,
+    /// Integer operations per cycle per core.
+    pub int_ops_per_cycle: f64,
+    /// Peak device memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fraction of peak bandwidth achieved by uncoalesced traffic.
+    pub uncoalesced_bw_fraction: f64,
+    /// SIMT warp width (lanes executing in lockstep).
+    pub warp_size: usize,
+    /// Fixed cost per kernel launch, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Amortized cost of one global atomic at full throughput (thousands in
+    /// flight), in nanoseconds.
+    pub atomic_ns: f64,
+    /// Resident threads needed per core to hide latency; occupancy is
+    /// `items / (cores * latency_hiding_factor)` clamped to 1.
+    pub latency_hiding_factor: f64,
+    /// Global throughput multiplier used by scaled-down simulation
+    /// ([`crate::Platform::scaled_for`]): compute rate, bandwidth, atomic
+    /// throughput, and the occupancy denominator all scale by this factor.
+    /// 1.0 for a full-size device.
+    pub rate_scale: f64,
+}
+
+impl GpuModel {
+    /// NVIDIA Tesla K40c (the paper's accelerator): 15 SMX × 192 cores at
+    /// 0.745 GHz, 1.43 DP Tflop/s peak, 288 GB/s GDDR5.
+    #[must_use]
+    pub fn tesla_k40c() -> Self {
+        GpuModel {
+            sms: 15,
+            cores_per_sm: 192,
+            freq_ghz: 0.745,
+            // 2880 cores * 0.745 GHz * x = 1430 Gflop/s  =>  x = 0.666
+            flops_per_cycle: 0.666,
+            int_ops_per_cycle: 0.666,
+            mem_bw_gbs: 288.0,
+            uncoalesced_bw_fraction: 0.25,
+            warp_size: 32,
+            launch_overhead_us: 7.0,
+            atomic_ns: 0.4,
+            latency_hiding_factor: 4.0,
+            rate_scale: 1.0,
+        }
+    }
+
+    /// Intel Xeon Phi 5110P modeled as a throughput device (the paper's
+    /// introduction names the Phi alongside GPUs as a target accelerator):
+    /// 60 cores × 8-lane vectors at 1.053 GHz ≈ 1.01 DP Tflop/s, 320 GB/s
+    /// GDDR5, higher offload latency and weaker latency hiding than a GPU.
+    #[must_use]
+    pub fn xeon_phi_5110p() -> Self {
+        GpuModel {
+            sms: 60,
+            cores_per_sm: 8,
+            freq_ghz: 1.053,
+            flops_per_cycle: 2.0,
+            int_ops_per_cycle: 1.0,
+            mem_bw_gbs: 320.0,
+            uncoalesced_bw_fraction: 0.35,
+            warp_size: 8,
+            launch_overhead_us: 15.0,
+            atomic_ns: 1.0,
+            latency_hiding_factor: 8.0,
+            rate_scale: 1.0,
+        }
+    }
+
+    /// A small integrated-class GPU, handy for tests that need a weak GPU.
+    #[must_use]
+    pub fn integrated_small() -> Self {
+        GpuModel {
+            sms: 4,
+            cores_per_sm: 64,
+            freq_ghz: 1.0,
+            flops_per_cycle: 1.0,
+            int_ops_per_cycle: 1.0,
+            mem_bw_gbs: 60.0,
+            uncoalesced_bw_fraction: 0.2,
+            warp_size: 32,
+            launch_overhead_us: 4.0,
+            atomic_ns: 0.8,
+            latency_hiding_factor: 4.0,
+            rate_scale: 1.0,
+        }
+    }
+
+    /// Total CUDA cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.sms * self.cores_per_sm
+    }
+
+    /// Peak double-precision Gflop/s, the spec-sheet number used by a
+    /// FLOPS-proportional static partitioner.
+    #[must_use]
+    pub fn peak_gflops(&self) -> f64 {
+        self.cores() as f64 * self.freq_ghz * self.flops_per_cycle
+    }
+
+    /// Achieved occupancy in `(0, 1]` for a kernel exposing `items`
+    /// independent work items.
+    #[must_use]
+    pub fn occupancy(&self, items: u64) -> f64 {
+        if items == 0 {
+            return 1.0; // nothing to run; avoids 0/0 downstream
+        }
+        let needed = self.cores() as f64 * self.latency_hiding_factor * self.rate_scale;
+        (items as f64 / needed).clamp(1e-3, 1.0)
+    }
+
+    /// Simulated execution time of a kernel described by `stats`.
+    ///
+    /// Returns [`SimTime::ZERO`] for an empty record (no work was offloaded,
+    /// so no launch happens).
+    #[must_use]
+    pub fn time(&self, stats: &KernelStats) -> SimTime {
+        if stats.is_empty() {
+            return SimTime::ZERO;
+        }
+        let occ = self.occupancy(stats.parallel_items);
+
+        // Compute roof at the warp-padded cost (divergence penalty).
+        let padded = stats.simd_padded_flops.max(stats.flops);
+        let flop_rate = self.peak_gflops() * 1e9 * self.rate_scale;
+        let int_rate = self.cores() as f64
+            * self.freq_ghz
+            * self.int_ops_per_cycle
+            * 1e9
+            * self.rate_scale;
+        let compute_s = padded as f64 / flop_rate + stats.int_ops as f64 / int_rate;
+
+        // Memory roof: coalesced traffic at peak, irregular at a fraction.
+        let streaming = stats.total_bytes().saturating_sub(stats.irregular_bytes);
+        let stream_s = streaming as f64 / (self.mem_bw_gbs * self.rate_scale * 1e9);
+        let irregular_s = stats.irregular_bytes as f64
+            / (self.mem_bw_gbs * self.rate_scale * self.uncoalesced_bw_fraction * 1e9);
+        let memory_s = stream_s + irregular_s;
+
+        let atomics_s = stats.atomic_ops as f64 * self.atomic_ns * 1e-9 / self.rate_scale;
+        let launches_s = stats.kernel_launches as f64 * self.launch_overhead_us * 1e-6;
+
+        SimTime::from_secs(compute_s.max(memory_s) / occ + atomics_s + launches_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regular(flops: u64, items: u64) -> KernelStats {
+        KernelStats {
+            flops,
+            simd_padded_flops: flops,
+            parallel_items: items,
+            kernel_launches: 1,
+            ..KernelStats::default()
+        }
+    }
+
+    #[test]
+    fn empty_kernel_is_free() {
+        let gpu = GpuModel::tesla_k40c();
+        assert_eq!(gpu.time(&KernelStats::default()), SimTime::ZERO);
+    }
+
+    #[test]
+    fn xeon_phi_peak_matches_spec() {
+        let phi = GpuModel::xeon_phi_5110p();
+        // 60 × 8 × 1.053 × 2 ≈ 1011 Gflop/s.
+        assert!((phi.peak_gflops() - 1010.9).abs() < 1.0, "{}", phi.peak_gflops());
+    }
+
+    #[test]
+    fn k40c_peak_matches_spec() {
+        let gpu = GpuModel::tesla_k40c();
+        assert_eq!(gpu.cores(), 2880);
+        assert!((gpu.peak_gflops() - 1428.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn flops_ratio_vs_xeon_gives_gpu_88_percent() {
+        // The paper: "the GPU having a higher FLOPS rating gets the bigger
+        // of the two partitions which is 88% on average."
+        let gpu = GpuModel::tesla_k40c().peak_gflops();
+        let cpu = crate::CpuModel::xeon_e5_2650_dual().peak_gflops();
+        let share = gpu / (gpu + cpu) * 100.0;
+        assert!((87.0..90.0).contains(&share), "gpu share = {share}");
+    }
+
+    #[test]
+    fn occupancy_is_clamped_and_monotone() {
+        let gpu = GpuModel::tesla_k40c();
+        assert_eq!(gpu.occupancy(10_000_000), 1.0);
+        let low = gpu.occupancy(100);
+        let mid = gpu.occupancy(5000);
+        assert!(low > 0.0 && low < mid && mid < 1.0);
+        assert_eq!(gpu.occupancy(0), 1.0);
+    }
+
+    #[test]
+    fn small_inputs_underutilize_the_gpu() {
+        let gpu = GpuModel::tesla_k40c();
+        // Same flops, different widths: wide work saturates, narrow doesn't.
+        let narrow = regular(1_000_000_000, 512);
+        let wide = regular(1_000_000_000, 10_000_000);
+        assert!(gpu.time(&narrow) > gpu.time(&wide));
+    }
+
+    #[test]
+    fn divergence_costs_time() {
+        let gpu = GpuModel::tesla_k40c();
+        let uniform = regular(1_000_000_000, 10_000_000);
+        let divergent = KernelStats {
+            simd_padded_flops: 4_000_000_000, // 4x padding from skew
+            ..uniform
+        };
+        assert!(gpu.time(&divergent) > gpu.time(&uniform));
+    }
+
+    #[test]
+    fn launches_cost_fixed_overhead() {
+        let gpu = GpuModel::tesla_k40c();
+        let one = regular(1000, 1000);
+        let many = KernelStats {
+            kernel_launches: 100,
+            ..one
+        };
+        let diff = gpu.time(&many) - gpu.time(&one);
+        // 99 extra launches at 7 µs each.
+        assert!((diff.as_micros() - 99.0 * 7.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn uncoalesced_traffic_is_much_slower() {
+        let gpu = GpuModel::tesla_k40c();
+        let coalesced = KernelStats {
+            mem_read_bytes: 1 << 30,
+            parallel_items: 10_000_000,
+            ..KernelStats::default()
+        };
+        let scattered = KernelStats {
+            irregular_bytes: 1 << 30,
+            ..coalesced
+        };
+        let ratio = gpu.time(&scattered) / gpu.time(&coalesced);
+        assert!(ratio > 3.0, "uncoalesced should be >3x slower, got {ratio}");
+    }
+}

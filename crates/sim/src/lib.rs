@@ -1,0 +1,49 @@
+//! # nbwp-sim — heterogeneous platform simulator
+//!
+//! Substrate crate for the *Nearly Balanced Work Partitioning* reproduction.
+//! The paper's experiments ran on a Tesla K40c + dual Xeon E5-2650; this
+//! crate replaces that hardware with deterministic analytic cost models so
+//! the whole study is reproducible on any host (see `DESIGN.md`,
+//! "Hardware substitution").
+//!
+//! The flow is:
+//!
+//! 1. Algorithms in `nbwp-sparse` / `nbwp-graph` / `nbwp-dense` execute for
+//!    real on the host and report [`KernelStats`] counters.
+//! 2. A [`Platform`] (CPU model + GPU model + PCIe model) converts the same
+//!    counters into device-specific [`SimTime`].
+//! 3. Heterogeneous runs compose phases with [`RunBreakdown`], overlapping
+//!    the two device sides like the paper's Algorithms 1–3 do.
+//!
+//! ```
+//! use nbwp_sim::{KernelStats, Platform};
+//!
+//! let platform = Platform::k40c_xeon_e5_2650();
+//! let kernel = KernelStats {
+//!     flops: 1_000_000_000,
+//!     simd_padded_flops: 1_000_000_000,
+//!     parallel_items: 1 << 20,
+//!     kernel_launches: 1,
+//!     ..KernelStats::default()
+//! };
+//! // The K40c is ~7.6x the Xeon on regular flops:
+//! assert!(platform.gpu_time(&kernel) < platform.cpu_time(&kernel));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod counters;
+mod cpu;
+mod gpu;
+mod pcie;
+mod platform;
+mod time;
+pub mod timeline;
+
+pub use counters::{warp_padded_cost, KernelStats};
+pub use cpu::CpuModel;
+pub use gpu::GpuModel;
+pub use pcie::PcieModel;
+pub use platform::{Platform, RunBreakdown, RunReport};
+pub use time::SimTime;

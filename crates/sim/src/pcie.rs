@@ -1,0 +1,84 @@
+//! PCI Express transfer model.
+//!
+//! Heterogeneous algorithms pay to ship each partition to its device and to
+//! bring results back. The model is affine: a fixed per-transfer latency
+//! plus bytes divided by sustained bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// Host ↔ device interconnect model.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PcieModel {
+    /// Fixed latency per transfer, in microseconds (driver + DMA setup).
+    pub latency_us: f64,
+    /// Sustained bandwidth in GB/s.
+    pub bw_gbs: f64,
+}
+
+impl PcieModel {
+    /// PCIe 3.0 x16 as on the paper's platform: ~12 GB/s sustained.
+    #[must_use]
+    pub fn gen3_x16() -> Self {
+        PcieModel {
+            latency_us: 10.0,
+            bw_gbs: 12.0,
+        }
+    }
+
+    /// Slower PCIe 2.0 x16 link (~6 GB/s) for ablations.
+    #[must_use]
+    pub fn gen2_x16() -> Self {
+        PcieModel {
+            latency_us: 15.0,
+            bw_gbs: 6.0,
+        }
+    }
+
+    /// Time to move `bytes` in one transfer. Zero bytes cost zero (no
+    /// transfer is issued at all).
+    #[must_use]
+    pub fn transfer(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs(self.latency_us * 1e-6 + bytes as f64 / (self.bw_gbs * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(PcieModel::gen3_x16().transfer(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn latency_floor() {
+        let p = PcieModel::gen3_x16();
+        // A single byte still pays the 10 µs setup latency.
+        assert!(p.transfer(1).as_micros() >= 10.0);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let p = PcieModel::gen3_x16();
+        let t = p.transfer(12_000_000_000); // 12 GB at 12 GB/s ≈ 1 s
+        assert!((t.as_secs() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn monotone_in_bytes() {
+        let p = PcieModel::gen3_x16();
+        assert!(p.transfer(1 << 20) < p.transfer(1 << 24));
+    }
+
+    #[test]
+    fn gen2_is_slower_than_gen3() {
+        let big = 1u64 << 28;
+        assert!(PcieModel::gen2_x16().transfer(big) > PcieModel::gen3_x16().transfer(big));
+    }
+}

@@ -1,0 +1,293 @@
+//! Heterogeneous platform: one CPU + one GPU + the link between them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CpuModel, GpuModel, KernelStats, PcieModel, SimTime};
+
+/// A heterogeneous CPU+GPU computing platform.
+///
+/// The paper's exposition assumes "a simple heterogeneous system with one
+/// CPU attached to one GPU" (§II); so does this type. Extension to a vector
+/// of devices would generalize [`Platform::overlap`] to a max over devices.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// The multi-core CPU model.
+    pub cpu: CpuModel,
+    /// The discrete GPU model.
+    pub gpu: GpuModel,
+    /// The host-device interconnect model.
+    pub pcie: PcieModel,
+}
+
+impl Platform {
+    /// The paper's experimental platform (§III-B.1): Tesla K40c attached to
+    /// a dual-socket Xeon E5-2650 over PCIe 3.0.
+    #[must_use]
+    pub fn k40c_xeon_e5_2650() -> Self {
+        Platform {
+            cpu: CpuModel::xeon_e5_2650_dual(),
+            gpu: GpuModel::tesla_k40c(),
+            pcie: PcieModel::gen3_x16(),
+        }
+    }
+
+    /// A deliberately balanced platform (CPU ≈ GPU peak) for tests and
+    /// ablations where the optimal split should sit near 50%.
+    #[must_use]
+    pub fn balanced() -> Self {
+        let mut cpu = CpuModel::xeon_e5_2650_dual();
+        let gpu = GpuModel::integrated_small();
+        // Match CPU peak to the small GPU's (256 Gflop/s).
+        cpu.cores = 16;
+        cpu.freq_ghz = 2.0;
+        cpu.flops_per_cycle = 8.0;
+        Platform {
+            cpu,
+            gpu,
+            pcie: PcieModel::gen3_x16(),
+        }
+    }
+
+    /// Weak CPU + strong GPU (skews optima toward the GPU).
+    #[must_use]
+    pub fn gpu_heavy() -> Self {
+        Platform {
+            cpu: CpuModel::laptop_quad(),
+            gpu: GpuModel::tesla_k40c(),
+            pcie: PcieModel::gen3_x16(),
+        }
+    }
+
+    /// Strong CPU + weak GPU over a slow link (skews optima toward the CPU).
+    #[must_use]
+    pub fn cpu_heavy() -> Self {
+        Platform {
+            cpu: CpuModel::xeon_e5_2650_dual(),
+            gpu: GpuModel::integrated_small(),
+            pcie: PcieModel::gen2_x16(),
+        }
+    }
+
+    /// Scales the platform's *capacity and fixed-overhead* parameters for a
+    /// `scale`-sized replica of a full-size input (scaled-down simulation):
+    /// cache capacity, kernel-launch overhead, PCIe latency, and parallel
+    /// region overhead all shrink by `scale`, while rates (bandwidths,
+    /// FLOPS, latencies per access) stay put. This keeps the device time
+    /// *ratios* of a miniature input representative of the full-size run —
+    /// see `DESIGN.md`.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]`.
+    #[must_use]
+    pub fn scaled_for(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        // Extensive parameters (capacity, throughput, fixed overheads)
+        // scale; intensive ones (frequencies, latencies, widths) stay.
+        self.cpu.llc_bytes = ((self.cpu.llc_bytes as f64 * scale) as u64).max(1 << 14);
+        self.cpu.parallel_region_overhead_us *= scale;
+        self.cpu.rate_scale *= scale;
+        self.gpu.launch_overhead_us *= scale;
+        self.gpu.rate_scale *= scale;
+        self.pcie.latency_us *= scale;
+        self.pcie.bw_gbs *= scale;
+        self
+    }
+
+    /// Scales only the *fixed-cost and capacity* parameters (kernel-launch
+    /// overhead, PCIe latency, parallel-region overhead, cache capacity,
+    /// occupancy denominator) by `ratio`, leaving all throughputs alone.
+    ///
+    /// This is how sample runs are priced during the Identify step: a
+    /// `ratio`-sized miniature then sees the same *relative* cost landscape
+    /// as the full input (no fixed-cost floor drowning the signal), while
+    /// its absolute run time still shrinks only linearly with its size — so
+    /// the estimation-cost-vs-sample-size trade-off of the paper's
+    /// sensitivity studies (Figs. 4/6/9) is preserved.
+    ///
+    /// # Panics
+    /// Panics if `ratio` is not in `(0, 1]`.
+    #[must_use]
+    pub fn sample_scaled(mut self, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        self.cpu.llc_bytes = ((self.cpu.llc_bytes as f64 * ratio) as u64).max(1 << 8);
+        self.cpu.parallel_region_overhead_us *= ratio;
+        self.gpu.launch_overhead_us *= ratio;
+        self.gpu.latency_hiding_factor *= ratio;
+        self.pcie.latency_us *= ratio;
+        self
+    }
+
+    /// Fraction of total spec-sheet FLOPS contributed by the GPU, in
+    /// `[0, 1]`. This is what the paper's *NaiveStatic* partitioner uses.
+    #[must_use]
+    pub fn gpu_flops_share(&self) -> f64 {
+        let g = self.gpu.peak_gflops();
+        let c = self.cpu.peak_gflops();
+        g / (g + c)
+    }
+
+    /// CPU time for a kernel using all cores.
+    #[must_use]
+    pub fn cpu_time(&self, stats: &KernelStats) -> SimTime {
+        self.cpu.time(stats, self.cpu.cores)
+    }
+
+    /// GPU time for a kernel.
+    #[must_use]
+    pub fn gpu_time(&self, stats: &KernelStats) -> SimTime {
+        self.gpu.time(stats)
+    }
+
+    /// Host → device (or back) transfer time.
+    #[must_use]
+    pub fn transfer(&self, bytes: u64) -> SimTime {
+        self.pcie.transfer(bytes)
+    }
+
+    /// Overlapped execution of two device-resident phases: both devices run
+    /// concurrently, so the platform finishes when the slower one does.
+    #[must_use]
+    pub fn overlap(cpu: SimTime, gpu: SimTime) -> SimTime {
+        cpu.max(gpu)
+    }
+}
+
+/// Timing breakdown of one heterogeneous run, mirroring the phase structure
+/// of the paper's Algorithms 1–3: a partitioning prologue, an overlapped
+/// compute phase (CPU side incl. its share of transfers vs GPU side), and a
+/// merge/combine epilogue.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunBreakdown {
+    /// Phase I: computing and applying the partition (includes threshold
+    /// estimation time when the sampling method is used).
+    pub partition: SimTime,
+    /// Host → GPU input transfer (serial with GPU compute).
+    pub transfer_in: SimTime,
+    /// CPU-side compute of Phase II.
+    pub cpu_compute: SimTime,
+    /// GPU-side compute of Phase II.
+    pub gpu_compute: SimTime,
+    /// GPU → host result transfer.
+    pub transfer_out: SimTime,
+    /// Phase III/IV: merging per-device results.
+    pub merge: SimTime,
+}
+
+impl RunBreakdown {
+    /// End-to-end simulated time: partition, then CPU work overlapped with
+    /// (transfer in → GPU work → transfer out), then merge.
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        let gpu_side = self.transfer_in + self.gpu_compute + self.transfer_out;
+        self.partition + Platform::overlap(self.cpu_compute, gpu_side) + self.merge
+    }
+
+    /// Time of Phase II alone (the overlapped heterogeneous computation),
+    /// used by the paper's Figure 3(b) secondary axis.
+    #[must_use]
+    pub fn phase2(&self) -> SimTime {
+        let gpu_side = self.transfer_in + self.gpu_compute + self.transfer_out;
+        Platform::overlap(self.cpu_compute, gpu_side)
+    }
+
+    /// Imbalance between device sides as a fraction of the slower side:
+    /// `0.0` means perfectly balanced. A "nearly balanced work partition"
+    /// (the paper's goal) keeps this small.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let gpu_side = self.transfer_in + self.gpu_compute + self.transfer_out;
+        let slow = self.cpu_compute.max(gpu_side);
+        if slow.is_zero() {
+            return 0.0;
+        }
+        let fast = self.cpu_compute.min(gpu_side);
+        1.0 - fast / slow
+    }
+}
+
+/// Complete record of one heterogeneous run: timing plus the counters each
+/// device executed. Workload adapters in `nbwp-core` return this.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-phase timing.
+    pub breakdown: RunBreakdown,
+    /// Counters executed on the CPU side.
+    pub cpu_stats: KernelStats,
+    /// Counters executed on the GPU side.
+    pub gpu_stats: KernelStats,
+}
+
+impl RunReport {
+    /// End-to-end simulated time.
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        self.breakdown.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_max() {
+        let a = SimTime::from_millis(3.0);
+        let b = SimTime::from_millis(5.0);
+        assert_eq!(Platform::overlap(a, b), b);
+        assert!(Platform::overlap(a, b) <= a + b);
+    }
+
+    #[test]
+    fn k40c_platform_flops_share() {
+        let p = Platform::k40c_xeon_e5_2650();
+        let share = p.gpu_flops_share() * 100.0;
+        assert!((87.0..90.0).contains(&share), "share = {share}");
+    }
+
+    #[test]
+    fn balanced_platform_is_roughly_even() {
+        let p = Platform::balanced();
+        let share = p.gpu_flops_share();
+        assert!((0.4..0.6).contains(&share), "share = {share}");
+    }
+
+    #[test]
+    fn breakdown_total_composes_phases() {
+        let b = RunBreakdown {
+            partition: SimTime::from_millis(1.0),
+            transfer_in: SimTime::from_millis(2.0),
+            cpu_compute: SimTime::from_millis(10.0),
+            gpu_compute: SimTime::from_millis(5.0),
+            transfer_out: SimTime::from_millis(1.0),
+            merge: SimTime::from_millis(0.5),
+        };
+        // GPU side = 2 + 5 + 1 = 8 < CPU 10, so phase2 = 10.
+        assert_eq!(b.phase2(), SimTime::from_millis(10.0));
+        assert_eq!(b.total(), SimTime::from_millis(11.5));
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let balanced = RunBreakdown {
+            cpu_compute: SimTime::from_millis(4.0),
+            gpu_compute: SimTime::from_millis(4.0),
+            ..RunBreakdown::default()
+        };
+        assert!(balanced.imbalance().abs() < 1e-12);
+
+        let skewed = RunBreakdown {
+            cpu_compute: SimTime::from_millis(1.0),
+            gpu_compute: SimTime::from_millis(4.0),
+            ..RunBreakdown::default()
+        };
+        assert!((skewed.imbalance() - 0.75).abs() < 1e-12);
+
+        assert_eq!(RunBreakdown::default().imbalance(), 0.0);
+    }
+
+    #[test]
+    fn cpu_heavy_vs_gpu_heavy_shift_shares() {
+        assert!(Platform::cpu_heavy().gpu_flops_share() < 0.6);
+        assert!(Platform::gpu_heavy().gpu_flops_share() > 0.9);
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulated time.
+//!
+//! All device cost models produce [`SimTime`] values rather than wall-clock
+//! durations. Simulated time is deterministic: the same input, seed, and
+//! platform always produce exactly the same `SimTime`, which makes exhaustive
+//! threshold searches and paper-figure regeneration reproducible on any host.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative span of simulated time, stored in seconds.
+///
+/// `SimTime` behaves like a small physical-quantity type: it supports
+/// addition, subtraction (saturating at zero), scaling by `f64`, and division
+/// by another `SimTime` (yielding a dimensionless ratio).
+#[derive(Copy, Clone, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a `SimTime` from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite: simulated durations are
+    /// physical quantities and a NaN would silently poison every downstream
+    /// comparison in a threshold search.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// Creates a `SimTime` from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a `SimTime` from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Creates a `SimTime` from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns * 1e-9)
+    }
+
+    /// This duration in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// This duration in milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// This duration in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the larger of two durations (used to overlap device work).
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is the zero duration.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Relative difference `|self - other| / other` as a percentage.
+    ///
+    /// Returns 0.0 when both are zero. This is the "Time Difference (%)"
+    /// metric of the paper's Table I.
+    #[must_use]
+    pub fn pct_diff_from(self, baseline: SimTime) -> f64 {
+        if baseline.is_zero() {
+            if self.is_zero() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.0 - baseline.0).abs() / baseline.0 * 100.0
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating subtraction: durations never go negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 / rhs)
+    }
+}
+
+impl Div for SimTime {
+    type Output = f64;
+    /// Dimensionless ratio of two durations.
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Construction forbids NaN, so total order is safe.
+        self.partial_cmp(other).expect("SimTime is never NaN")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({self})")
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Formats with an auto-selected unit: ns, µs, ms, or s.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s == 0.0 {
+            write!(f, "0s")
+        } else if s < 1e-6 {
+            write!(f, "{:.2}ns", s * 1e9)
+        } else if s < 1e-3 {
+            write!(f, "{:.2}µs", s * 1e6)
+        } else if s < 1.0 {
+            write!(f, "{:.2}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}s", s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(SimTime::from_millis(1.0).as_secs(), 1e-3);
+        assert_eq!(SimTime::from_micros(1.0).as_secs(), 1e-6);
+        assert_eq!(SimTime::from_nanos(1.0).as_secs(), 1e-9);
+        assert_eq!(SimTime::from_secs(2.0).as_millis(), 2000.0);
+        assert_eq!(SimTime::from_secs(2.0).as_micros(), 2e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.5);
+        assert_eq!((a + b).as_secs(), 3.5);
+        assert_eq!((b - a).as_secs(), 1.5);
+        // Saturating subtraction.
+        assert_eq!((a - b).as_secs(), 0.0);
+        assert_eq!((a * 4.0).as_secs(), 4.0);
+        assert_eq!((b / 2.5).as_secs(), 1.0);
+        assert!((b / a - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_and_ordering() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(a < b);
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_secs(f64::from(i))).sum();
+        assert_eq!(total.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn pct_diff() {
+        let base = SimTime::from_secs(10.0);
+        let v = SimTime::from_secs(11.0);
+        assert!((v.pct_diff_from(base) - 10.0).abs() < 1e-12);
+        assert_eq!(SimTime::ZERO.pct_diff_from(SimTime::ZERO), 0.0);
+        assert!(v.pct_diff_from(SimTime::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime::ZERO), "0s");
+        assert_eq!(format!("{}", SimTime::from_nanos(5.0)), "5.00ns");
+        assert_eq!(format!("{}", SimTime::from_micros(5.0)), "5.00µs");
+        assert_eq!(format!("{}", SimTime::from_millis(5.0)), "5.00ms");
+        assert_eq!(format!("{}", SimTime::from_secs(5.0)), "5.000s");
+    }
+}

@@ -1,0 +1,121 @@
+//! ASCII timeline rendering of a heterogeneous run — a quick visual check
+//! of where a partition's time goes (used by examples and debugging).
+
+use crate::{RunBreakdown, SimTime};
+
+/// Renders a [`RunBreakdown`] as a two-lane ASCII Gantt chart, `width`
+/// characters wide.
+///
+/// ```
+/// use nbwp_sim::{timeline, RunBreakdown, SimTime};
+///
+/// let b = RunBreakdown {
+///     partition: SimTime::from_millis(1.0),
+///     transfer_in: SimTime::from_millis(2.0),
+///     cpu_compute: SimTime::from_millis(8.0),
+///     gpu_compute: SimTime::from_millis(5.0),
+///     transfer_out: SimTime::from_millis(1.0),
+///     merge: SimTime::from_millis(1.0),
+/// };
+/// let chart = timeline::render(&b, 40);
+/// assert!(chart.contains("CPU"));
+/// assert!(chart.contains("GPU"));
+/// ```
+#[must_use]
+pub fn render(b: &RunBreakdown, width: usize) -> String {
+    let width = width.max(20);
+    let total = b.total();
+    if total.is_zero() {
+        return "(empty run)\n".to_string();
+    }
+    let scale = |t: SimTime| -> usize {
+        ((t / total) * width as f64).round() as usize
+    };
+
+    let p = scale(b.partition);
+    let m = scale(b.merge);
+    let cpu = scale(b.cpu_compute);
+    let tin = scale(b.transfer_in);
+    let gpu = scale(b.gpu_compute);
+    let tout = scale(b.transfer_out);
+    let span = scale(b.phase2());
+
+    let mut out = String::new();
+    let pad = |n: usize| " ".repeat(n);
+    let bar = |c: char, n: usize| c.to_string().repeat(n);
+
+    // Lane 1: CPU — partition prologue, then compute, idle to the span end.
+    out.push_str("CPU |");
+    out.push_str(&bar('p', p));
+    out.push_str(&bar('#', cpu));
+    out.push_str(&pad(span.saturating_sub(cpu)));
+    out.push_str(&bar('m', m));
+    out.push_str("|\n");
+
+    // Lane 2: GPU — idle during partition, transfer in, compute, out.
+    out.push_str("GPU |");
+    out.push_str(&pad(p));
+    out.push_str(&bar('>', tin));
+    out.push_str(&bar('#', gpu));
+    out.push_str(&bar('<', tout));
+    out.push_str(&pad(span.saturating_sub(tin + gpu + tout)));
+    out.push_str(&pad(m));
+    out.push_str("|\n");
+
+    out.push_str(&format!(
+        "      p=partition  #=compute  >=<=transfer  m=merge   total {total}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_lanes() {
+        let b = RunBreakdown {
+            partition: SimTime::from_millis(1.0),
+            transfer_in: SimTime::from_millis(1.0),
+            cpu_compute: SimTime::from_millis(6.0),
+            gpu_compute: SimTime::from_millis(3.0),
+            transfer_out: SimTime::from_millis(1.0),
+            merge: SimTime::from_millis(1.0),
+        };
+        let s = render(&b, 40);
+        assert!(s.contains("CPU |"));
+        assert!(s.contains("GPU |"));
+        assert!(s.contains('#'));
+        assert!(s.contains('>'));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn empty_run() {
+        assert_eq!(render(&RunBreakdown::default(), 40), "(empty run)\n");
+    }
+
+    #[test]
+    fn cpu_bound_run_shows_gpu_idle() {
+        let b = RunBreakdown {
+            cpu_compute: SimTime::from_millis(10.0),
+            gpu_compute: SimTime::from_millis(1.0),
+            ..RunBreakdown::default()
+        };
+        let s = render(&b, 60);
+        let gpu_line = s.lines().nth(1).unwrap();
+        // GPU lane is mostly blank (idle).
+        let blanks = gpu_line.chars().filter(|&c| c == ' ').count();
+        assert!(blanks > 40, "gpu lane: {gpu_line}");
+    }
+
+    #[test]
+    fn width_floor() {
+        let b = RunBreakdown {
+            cpu_compute: SimTime::from_millis(1.0),
+            ..RunBreakdown::default()
+        };
+        let s = render(&b, 1); // clamped to 20
+        assert!(s.lines().next().unwrap().len() >= 10);
+    }
+}

@@ -1,0 +1,152 @@
+//! Counted bottom-up mergesort — the CPU-side kernel.
+//!
+//! Runs for real (result is verified in tests) and reports counters under
+//! the shared accounting convention: each merge level streams the whole
+//! array once (reads + writes, sequential), one comparison per element per
+//! level. The work decomposes over `chunks` independent pieces for the
+//! chunk-local levels, then pairwise merges close the gap — so the
+//! reported `parallel_items` shrinks as merging proceeds, captured by an
+//! effective-parallelism estimate like the chunked-DFS model.
+
+use nbwp_sim::KernelStats;
+
+/// Result of a counted mergesort.
+#[derive(Clone, Debug)]
+pub struct SortOutcome {
+    /// The sorted keys.
+    pub sorted: Vec<u64>,
+    /// Execution counters.
+    pub stats: KernelStats,
+}
+
+/// Sorts `data` with bottom-up mergesort using `chunks`-way task
+/// decomposition for the accounting (execution itself is host-sequential,
+/// like every kernel in this reproduction).
+///
+/// # Panics
+/// Panics if `chunks == 0`.
+#[must_use]
+pub fn merge_sort(data: &[u64], chunks: usize) -> SortOutcome {
+    assert!(chunks > 0, "need at least one chunk");
+    let n = data.len();
+    let mut cur = data.to_vec();
+    let mut tmp = vec![0u64; n];
+    let mut stats = KernelStats::new();
+    if n <= 1 {
+        return SortOutcome { sorted: cur, stats };
+    }
+
+    let mut width = 1usize;
+    let mut level_count = 0u64;
+    while width < n {
+        let mut lo = 0;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            merge_into(&cur[lo..mid], &cur[mid..hi], &mut tmp[lo..hi]);
+            lo = hi;
+        }
+        std::mem::swap(&mut cur, &mut tmp);
+        // Per level: stream the array once each way, one compare/element.
+        stats.mem_read_bytes += 8 * n as u64;
+        stats.mem_write_bytes += 8 * n as u64;
+        stats.int_ops += 2 * n as u64;
+        level_count += 1;
+        width *= 2;
+    }
+
+    // Effective parallelism: chunk-local levels are `chunks`-wide, the
+    // final log2(chunks) merge levels narrow to 1 — average the widths.
+    let levels = level_count.max(1);
+    let chunk_levels = ((n / chunks.max(1)).max(2) as f64).log2().ceil() as u64;
+    let wide = chunk_levels.min(levels);
+    let narrow = levels - wide;
+    let avg_parallel =
+        (wide as f64 * chunks as f64 + narrow as f64 * 2.0) / levels as f64;
+    stats.parallel_items = avg_parallel.round().max(1.0) as u64;
+    stats.working_set_bytes = 16 * n as u64;
+    SortOutcome { sorted: cur, stats }
+}
+
+fn merge_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out[k] = a[i];
+            i += 1;
+        } else {
+            out[k] = b[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    out[k..k + a.len() - i].copy_from_slice(&a[i..]);
+    k += a.len() - i;
+    out[k..k + b.len() - j].copy_from_slice(&b[j..]);
+}
+
+/// Counted two-run merge (the hybrid's combine step).
+#[must_use]
+pub fn merge_runs(a: &[u64], b: &[u64]) -> SortOutcome {
+    let mut out = vec![0u64; a.len() + b.len()];
+    merge_into(a, b, &mut out);
+    let n = out.len() as u64;
+    let stats = KernelStats {
+        mem_read_bytes: 8 * n,
+        mem_write_bytes: 8 * n,
+        int_ops: 2 * n,
+        parallel_items: 1, // a two-pointer merge is a serial scan
+        working_set_bytes: 16 * n,
+        ..KernelStats::default()
+    };
+    SortOutcome { sorted: out, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn sorts_correctly_against_std() {
+        for seed in [1, 2, 3] {
+            let data = gen::uniform(5000, seed);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            assert_eq!(merge_sort(&data, 8).sorted, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn handles_edge_cases() {
+        assert!(merge_sort(&[], 4).sorted.is_empty());
+        assert_eq!(merge_sort(&[7], 4).sorted, vec![7]);
+        assert_eq!(merge_sort(&[2, 1], 1).sorted, vec![1, 2]);
+        let dup = vec![5u64; 100];
+        assert_eq!(merge_sort(&dup, 4).sorted, dup);
+    }
+
+    #[test]
+    fn stats_scale_n_log_n() {
+        let small = merge_sort(&gen::uniform(1000, 1), 4).stats;
+        let big = merge_sort(&gen::uniform(8000, 1), 4).stats;
+        // 8x elements, +3 levels: bytes grow by more than 8x.
+        assert!(big.mem_read_bytes > 8 * small.mem_read_bytes);
+    }
+
+    #[test]
+    fn more_chunks_expose_more_parallelism() {
+        let data = gen::uniform(4096, 2);
+        let p1 = merge_sort(&data, 1).stats.parallel_items;
+        let p16 = merge_sort(&data, 16).stats.parallel_items;
+        assert!(p16 > p1, "chunks 16 → {p16} vs 1 → {p1}");
+    }
+
+    #[test]
+    fn merge_runs_merges() {
+        let a = vec![1u64, 3, 5];
+        let b = vec![2u64, 3, 9];
+        assert_eq!(merge_runs(&a, &b).sorted, vec![1, 2, 3, 3, 5, 9]);
+        assert_eq!(merge_runs(&[], &b).sorted, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Seeded input distributions for the sorting case study. The threshold's
+//! optimum depends on the distribution: radix sort skips passes whose byte
+//! is constant across all keys, so narrow-range inputs are much cheaper on
+//! the GPU than full-range ones — the input dependence the sampling method
+//! must detect.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform keys over the full `u64` range (all 8 radix passes needed).
+#[must_use]
+pub fn uniform(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Keys confined to a 16-bit range (6 of 8 radix passes skippable).
+#[must_use]
+pub fn narrow_range(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| u64::from(rng.gen::<u16>())).collect()
+}
+
+/// Nearly sorted: ascending with a small fraction of random swaps.
+#[must_use]
+pub fn nearly_sorted(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..n as u64).map(|i| i << 16).collect();
+    for _ in 0..n / 50 {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Heavily duplicated keys (few distinct values).
+#[must_use]
+pub fn duplicates(n: usize, distinct: usize, seed: u64) -> Vec<u64> {
+    assert!(distinct > 0, "need at least one distinct value");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let values: Vec<u64> = (0..distinct).map(|_| rng.gen()).collect();
+    (0..n).map(|_| values[rng.gen_range(0..distinct)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_seeded_and_sized() {
+        assert_eq!(uniform(100, 1), uniform(100, 1));
+        assert_ne!(uniform(100, 1), uniform(100, 2));
+        assert_eq!(narrow_range(64, 3).len(), 64);
+    }
+
+    #[test]
+    fn narrow_range_keys_fit_16_bits() {
+        assert!(narrow_range(1000, 5).iter().all(|&k| k <= u64::from(u16::MAX)));
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_ascending() {
+        let v = nearly_sorted(10_000, 7);
+        let inversions = v.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions < v.len() / 10, "{inversions} inversions");
+    }
+
+    #[test]
+    fn duplicates_have_few_distinct_values() {
+        let v = duplicates(5000, 7, 9);
+        let mut u = v.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert!(u.len() <= 7);
+    }
+}

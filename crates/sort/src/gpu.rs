@@ -1,0 +1,113 @@
+//! Counted LSD radix sort — the GPU-side kernel.
+//!
+//! Runs for real, one byte per pass (8 passes for `u64`), **skipping passes
+//! whose byte is constant across all keys** — the real optimization that
+//! makes radix cost input-dependent: narrow-range keys need 2 passes, full
+//! 64-bit keys need 8. Each executed pass is two device kernels (histogram
+//! plus scatter); the scatter is uncoalesced, which is what the GPU model
+//! penalizes.
+
+use nbwp_sim::KernelStats;
+
+use crate::cpu::SortOutcome;
+
+/// Sorts `data` with byte-wise LSD radix sort, counting executed passes.
+#[must_use]
+pub fn radix_sort(data: &[u64]) -> SortOutcome {
+    let n = data.len();
+    let mut cur = data.to_vec();
+    let mut tmp = vec![0u64; n];
+    let mut stats = KernelStats::new();
+    if n <= 1 {
+        return SortOutcome { sorted: cur, stats };
+    }
+    // Which bytes actually vary? (One streaming inspection pass.)
+    let mut or_acc = 0u64;
+    let mut and_acc = u64::MAX;
+    for &k in &cur {
+        or_acc |= k;
+        and_acc &= k;
+    }
+    let varying = or_acc ^ and_acc;
+    stats.mem_read_bytes += 8 * n as u64;
+    stats.int_ops += 2 * n as u64;
+    stats.kernel_launches += 1;
+
+    for byte in 0..8 {
+        if (varying >> (8 * byte)) & 0xFF == 0 {
+            continue; // constant byte: pass skipped
+        }
+        let shift = 8 * byte;
+        let mut hist = [0usize; 256];
+        for &k in &cur {
+            hist[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for (o, &h) in offsets.iter_mut().zip(&hist) {
+            *o = acc;
+            acc += h;
+        }
+        for &k in &cur {
+            let b = ((k >> shift) & 0xFF) as usize;
+            tmp[offsets[b]] = k;
+            offsets[b] += 1;
+        }
+        std::mem::swap(&mut cur, &mut tmp);
+        // Histogram kernel: streaming read; scatter kernel: streaming read
+        // + uncoalesced write.
+        stats.mem_read_bytes += 16 * n as u64;
+        stats.mem_write_bytes += 8 * n as u64;
+        stats.irregular_bytes += 8 * n as u64;
+        stats.int_ops += 4 * n as u64;
+        stats.kernel_launches += 2;
+        stats.sync_rounds += 1;
+    }
+    stats.parallel_items = n as u64;
+    stats.working_set_bytes = 16 * n as u64;
+    SortOutcome { sorted: cur, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn sorts_correctly_against_std() {
+        for make in [gen::uniform, gen::nearly_sorted] {
+            let data = make(5000, 11);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            assert_eq!(radix_sort(&data).sorted, expect);
+        }
+    }
+
+    #[test]
+    fn handles_edge_cases() {
+        assert!(radix_sort(&[]).sorted.is_empty());
+        assert_eq!(radix_sort(&[3]).sorted, vec![3]);
+        let dup = vec![9u64; 64];
+        assert_eq!(radix_sort(&dup).sorted, dup);
+    }
+
+    #[test]
+    fn narrow_keys_skip_passes() {
+        let wide = radix_sort(&gen::uniform(4000, 3)).stats;
+        let narrow = radix_sort(&gen::narrow_range(4000, 3)).stats;
+        assert!(wide.sync_rounds >= 7, "wide passes = {}", wide.sync_rounds);
+        assert!(
+            narrow.sync_rounds <= 2,
+            "narrow passes = {}",
+            narrow.sync_rounds
+        );
+        assert!(narrow.mem_write_bytes < wide.mem_write_bytes / 3);
+    }
+
+    #[test]
+    fn constant_input_needs_no_scatter_pass() {
+        let stats = radix_sort(&vec![42u64; 1000]).stats;
+        assert_eq!(stats.sync_rounds, 0);
+        assert_eq!(stats.mem_write_bytes, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the sorting substrate.
+
+use nbwp_sim::Platform;
+use nbwp_sort::cpu::{merge_runs, merge_sort};
+use nbwp_sort::gpu::radix_sort;
+use nbwp_sort::hybrid::hybrid_sort;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_sort_equals_std(mut data in prop::collection::vec(any::<u64>(), 0..2000), chunks in 1usize..16) {
+        let out = merge_sort(&data, chunks);
+        data.sort_unstable();
+        prop_assert_eq!(out.sorted, data);
+    }
+
+    #[test]
+    fn radix_sort_equals_std(mut data in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let out = radix_sort(&data);
+        data.sort_unstable();
+        prop_assert_eq!(out.sorted, data);
+    }
+
+    #[test]
+    fn hybrid_equals_std_at_any_threshold(
+        mut data in prop::collection::vec(any::<u64>(), 0..1500),
+        t in 0.0f64..=100.0,
+    ) {
+        let out = hybrid_sort(&data, t, &Platform::k40c_xeon_e5_2650());
+        data.sort_unstable();
+        prop_assert_eq!(out.sorted, data);
+    }
+
+    #[test]
+    fn merge_runs_is_a_sorted_merge(
+        mut a in prop::collection::vec(any::<u64>(), 0..500),
+        mut b in prop::collection::vec(any::<u64>(), 0..500),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let merged = merge_runs(&a, &b).sorted;
+        prop_assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn radix_pass_count_bounded_by_varying_bytes(data in prop::collection::vec(0u64..1 << 24, 1..500)) {
+        // Keys within 24 bits: at most 3 scatter passes.
+        let out = radix_sort(&data);
+        prop_assert!(out.stats.sync_rounds <= 3, "passes = {}", out.stats.sync_rounds);
+    }
+
+    #[test]
+    fn sort_stats_are_monotone_in_input_size(n1 in 16usize..500, n2 in 500usize..2000) {
+        let a1 = nbwp_sort::gen::uniform(n1, 1);
+        let a2 = nbwp_sort::gen::uniform(n2, 1);
+        prop_assert!(merge_sort(&a2, 4).stats.mem_read_bytes > merge_sort(&a1, 4).stats.mem_read_bytes);
+        prop_assert!(radix_sort(&a2).stats.total_bytes() >= radix_sort(&a1).stats.total_bytes());
+    }
+}

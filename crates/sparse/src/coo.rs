@@ -1,0 +1,179 @@
+//! Coordinate (triplet) builder for sparse matrices.
+//!
+//! Generators and samplers accumulate `(row, col, value)` triplets in any
+//! order — possibly with duplicates — and convert to [`Csr`] once, which
+//! sorts rows, sorts columns within rows, and sums duplicates.
+
+use crate::Csr;
+
+/// A mutable triplet accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// An empty accumulator for a `rows × cols` matrix.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Like [`Coo::new`] with capacity pre-reserved for `nnz` entries.
+    #[must_use]
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Adds one entry. Duplicates are allowed and summed at conversion.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds coordinates.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "entry ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row as u32, col as u32, val));
+    }
+
+    /// Adds `(row, col)` and its mirror `(col, row)` (for symmetric inputs).
+    pub fn push_symmetric(&mut self, row: usize, col: usize, val: f64) {
+        self.push(row, col, val);
+        if row != col {
+            self.push(col, row, val);
+        }
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries were pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR: sorts by (row, col) and sums duplicate coordinates.
+    /// Entries whose duplicates sum to exactly 0.0 are kept (explicit
+    /// zeros), matching common sparse library behaviour.
+    #[must_use]
+    pub fn into_csr(mut self) -> Csr {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(self.entries.len());
+        row_ptr.push(0);
+        let mut current_row = 0usize;
+        for (r, c, v) in self.entries {
+            let r = r as usize;
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if col_idx.len() > row_ptr[current_row] && *col_idx.last().unwrap() == c {
+                // Duplicate coordinate within the same row: accumulate.
+                *vals.last_mut().unwrap() += v;
+            } else {
+                col_idx.push(c);
+                vals.push(v);
+            }
+        }
+        while current_row < self.rows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        Csr::from_raw(self.rows, self.cols, row_ptr, col_idx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_coo_gives_zero_matrix() {
+        let m = Coo::new(3, 4).into_csr();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut c = Coo::new(2, 3);
+        c.push(1, 2, 5.0);
+        c.push(0, 1, 2.0);
+        c.push(1, 0, 3.0);
+        c.push(0, 0, 1.0);
+        let m = c.into_csr();
+        assert_eq!(m.row(0), (&[0u32, 1][..], &[1.0, 2.0][..]));
+        assert_eq!(m.row(1), (&[0u32, 2][..], &[3.0, 5.0][..]));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut c = Coo::new(1, 2);
+        c.push(0, 1, 1.0);
+        c.push(0, 1, 2.5);
+        c.push(0, 0, 4.0);
+        c.push(0, 1, 0.5);
+        let m = c.into_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn symmetric_push_mirrors_off_diagonal_only() {
+        let mut c = Coo::new(3, 3);
+        c.push_symmetric(0, 2, 1.5);
+        c.push_symmetric(1, 1, 9.0);
+        let m = c.into_csr();
+        assert_eq!(m.get(0, 2), 1.5);
+        assert_eq!(m.get(2, 0), 1.5);
+        assert_eq!(m.get(1, 1), 9.0);
+        assert_eq!(m.nnz(), 3);
+        assert!(m.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn trailing_empty_rows_are_closed() {
+        let mut c = Coo::new(5, 5);
+        c.push(1, 1, 1.0);
+        let m = c.into_csr();
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.row_nnz(4), 0);
+        assert_eq!(m.row_nnz(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        Coo::new(2, 2).push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut c = Coo::with_capacity(2, 2, 8);
+        assert!(c.is_empty());
+        c.push(0, 0, 1.0);
+        assert_eq!(c.len(), 1);
+    }
+}

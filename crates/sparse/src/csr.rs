@@ -1,0 +1,455 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The storage format shared by every sparse kernel in the reproduction:
+//! `row_ptr` (length `rows + 1`) indexes into parallel `col_idx` / `vals`
+//! arrays. Column indices are `u32` (the paper's largest input has ~12 M
+//! columns) and are kept **sorted and duplicate-free within each row** —
+//! every constructor enforces or establishes this invariant, and the kernels
+//! rely on it.
+
+use std::fmt;
+
+/// A sparse matrix in CSR format with `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+/// Errors produced when validating raw CSR arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_ptr.len() != rows + 1` or it does not start at 0 / end at nnz.
+    BadRowPtr(String),
+    /// `col_idx.len() != vals.len()`.
+    LengthMismatch {
+        /// Length of the column-index array.
+        col_idx: usize,
+        /// Length of the values array.
+        vals: usize,
+    },
+    /// A column index is out of bounds.
+    ColumnOutOfBounds {
+        /// Row containing the offending entry.
+        row: usize,
+        /// The out-of-bounds column index.
+        col: u32,
+        /// The matrix column count.
+        cols: usize,
+    },
+    /// Row entries are not strictly increasing by column.
+    UnsortedRow {
+        /// The offending row.
+        row: usize,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::BadRowPtr(msg) => write!(f, "bad row_ptr: {msg}"),
+            CsrError::LengthMismatch { col_idx, vals } => {
+                write!(f, "col_idx has {col_idx} entries but vals has {vals}")
+            }
+            CsrError::ColumnOutOfBounds { row, col, cols } => {
+                write!(f, "row {row} has column {col} >= {cols}")
+            }
+            CsrError::UnsortedRow { row } => {
+                write!(f, "row {row} is not strictly increasing by column")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+impl Csr {
+    /// Builds a CSR matrix from raw arrays, validating every invariant.
+    ///
+    /// # Errors
+    /// Returns a [`CsrError`] describing the first violated invariant.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Result<Self, CsrError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(CsrError::BadRowPtr(format!(
+                "expected {} entries, got {}",
+                rows + 1,
+                row_ptr.len()
+            )));
+        }
+        if row_ptr[0] != 0 {
+            return Err(CsrError::BadRowPtr("must start at 0".into()));
+        }
+        if *row_ptr.last().expect("non-empty") != col_idx.len() {
+            return Err(CsrError::BadRowPtr(format!(
+                "last entry {} != nnz {}",
+                row_ptr.last().unwrap(),
+                col_idx.len()
+            )));
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CsrError::BadRowPtr("must be non-decreasing".into()));
+        }
+        if col_idx.len() != vals.len() {
+            return Err(CsrError::LengthMismatch {
+                col_idx: col_idx.len(),
+                vals: vals.len(),
+            });
+        }
+        for r in 0..rows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(CsrError::UnsortedRow { row: r });
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= cols {
+                    return Err(CsrError::ColumnOutOfBounds {
+                        row: r,
+                        col: last,
+                        cols,
+                    });
+                }
+            }
+        }
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// Builds a CSR matrix from raw arrays without validation.
+    ///
+    /// # Panics
+    /// Debug builds assert the invariants; release builds trust the caller.
+    /// Kernels in this workspace only call this with arrays they constructed
+    /// sorted and in-bounds.
+    #[must_use]
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        debug_assert!(
+            Csr::try_new(rows, cols, row_ptr.clone(), col_idx.clone(), vals.clone()).is_ok(),
+            "from_raw called with invalid CSR arrays"
+        );
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// The empty `rows × cols` matrix.
+    #[must_use]
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// Builds from a dense row-major slice (test helper; O(rows·cols)).
+    #[must_use]
+    pub fn from_dense(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense data has wrong length");
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = data[r * cols + c];
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    #[must_use]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All column indices, concatenated row by row.
+    #[must_use]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// All values, parallel to [`Csr::col_indices`].
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Column indices and values of row `r`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[s..e], &self.vals[s..e])
+    }
+
+    /// Number of nonzeros in row `r`.
+    #[must_use]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Iterator over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Per-row nonzero counts — the paper's `V_B` vector (§IV).
+    #[must_use]
+    pub fn row_nnz_vector(&self) -> Vec<u64> {
+        (0..self.rows).map(|r| self.row_nnz(r) as u64).collect()
+    }
+
+    /// Estimated bytes of the CSR representation (what a PCIe transfer of
+    /// this matrix moves).
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        (self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Converts to a dense row-major vector (test helper; O(rows·cols)).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        for (r, c, v) in self.iter() {
+            out[r * self.cols + c as usize] = v;
+        }
+        out
+    }
+
+    /// Value at `(r, c)` (binary search within the row; 0.0 if absent).
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Keeps rows `lo..hi` as a new `(hi - lo) × cols` matrix.
+    #[must_use]
+    pub fn row_slice(&self, lo: usize, hi: usize) -> Csr {
+        assert!(lo <= hi && hi <= self.rows, "row slice out of bounds");
+        let (s, e) = (self.row_ptr[lo], self.row_ptr[hi]);
+        let row_ptr = self.row_ptr[lo..=hi].iter().map(|p| p - s).collect();
+        Csr {
+            rows: hi - lo,
+            cols: self.cols,
+            row_ptr,
+            col_idx: self.col_idx[s..e].to_vec(),
+            vals: self.vals[s..e].to_vec(),
+        }
+    }
+
+    /// True if the matrix pattern is symmetric (test helper).
+    #[must_use]
+    pub fn is_pattern_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.iter().all(|(r, c, _)| self.get(c as usize, r) != 0.0)
+    }
+}
+
+impl fmt::Debug for Csr {
+    /// Compact Debug: shape + nnz, never the full payload.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Csr({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr::try_new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = small();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row(2), (&[0u32, 1][..], &[3.0, 4.0][..]));
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.row_nnz_vector(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        let d = m.to_dense();
+        assert_eq!(d, vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0]);
+        let back = Csr::from_dense(3, 3, &d);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let i = Csr::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.get(2, 2), 1.0);
+        assert_eq!(i.get(2, 3), 0.0);
+        let z = Csr::zero(2, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_row_ptr() {
+        let err = Csr::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, CsrError::BadRowPtr(_)));
+        let err = Csr::try_new(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, CsrError::BadRowPtr(_)));
+        let err = Csr::try_new(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, CsrError::BadRowPtr(_)));
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_and_duplicate_columns() {
+        let err =
+            Csr::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, CsrError::UnsortedRow { row: 0 });
+        let err =
+            Csr::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, CsrError::UnsortedRow { row: 0 });
+    }
+
+    #[test]
+    fn validation_rejects_out_of_bounds_column() {
+        let err = Csr::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, CsrError::ColumnOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_length_mismatch() {
+        let err = Csr::try_new(1, 3, vec![0, 1], vec![0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, CsrError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn row_slice_keeps_contents() {
+        let m = small();
+        let s = m.row_slice(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.row_nnz(0), 0);
+        assert_eq!(s.row(1), (&[0u32, 1][..], &[3.0, 4.0][..]));
+        let all = m.row_slice(0, 3);
+        assert_eq!(all, m);
+        let empty = m.row_slice(1, 1);
+        assert_eq!(empty.rows(), 0);
+    }
+
+    #[test]
+    fn iter_yields_all_triplets_in_order() {
+        let m = small();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(
+            triplets,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+
+    #[test]
+    fn size_bytes_positive_and_scales() {
+        let m = small();
+        assert!(m.size_bytes() > 0);
+        assert!(Csr::identity(100).size_bytes() > Csr::identity(10).size_bytes());
+    }
+
+    #[test]
+    fn pattern_symmetry() {
+        assert!(Csr::identity(3).is_pattern_symmetric());
+        assert!(!small().is_pattern_symmetric());
+        assert!(!Csr::zero(2, 3).is_pattern_symmetric());
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        assert_eq!(format!("{:?}", small()), "Csr(3x3, nnz=4)");
+    }
+}

@@ -1,0 +1,384 @@
+//! Seeded sparse matrix generators, one per dataset family of the paper's
+//! Table II (see `nbwp-datasets` for the named registry).
+//!
+//! Every generator is deterministic in its seed and O(nnz). Families differ
+//! in the structural features that drive heterogeneous performance — row
+//! degree distribution (regular, banded, power-law), locality (banded vs
+//! scattered columns), and, when viewed as graphs, diameter (meshes and
+//! road networks vs web graphs).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Coo, Csr};
+
+/// Value range for generated nonzeros: away from zero so products do not
+/// cancel, matching "elements chosen uniformly at random" in the paper.
+fn value(rng: &mut SmallRng) -> f64 {
+    rng.gen_range(0.5..1.5)
+}
+
+/// Uniformly random (Erdős–Rényi style) matrix: each row draws ~`avg_nnz`
+/// columns uniformly at random. Models the paper's "unstructured" case.
+#[must_use]
+pub fn uniform_random(n: usize, avg_nnz: usize, seed: u64) -> Csr {
+    assert!(n > 0, "matrix must be non-empty");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, n * avg_nnz);
+    for i in 0..n {
+        // Poisson-ish jitter around the mean, at least 1.
+        let d = jitter(avg_nnz, &mut rng).min(n);
+        for _ in 0..d {
+            coo.push(i, rng.gen_range(0..n), value(&mut rng));
+        }
+    }
+    coo.into_csr()
+}
+
+/// FEM-style banded matrix (cant / consph / pdb1HYS / pwtk / shipsec1 /
+/// rma10 family): symmetric pattern, columns within a band around the
+/// diagonal, and density that varies smoothly along the matrix (real FEM
+/// meshes have denser and sparser regions — this variation is what makes
+/// *predetermined* sampling biased in Fig. 7).
+#[must_use]
+pub fn banded_fem(n: usize, bandwidth: usize, avg_nnz: usize, seed: u64) -> Csr {
+    assert!(n > 1, "matrix must have at least two rows");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, n * avg_nnz);
+    let band = bandwidth.max(1);
+    for i in 0..n {
+        // Density modulation: ±40% over 2.5 waves along the row index, so
+        // contiguous quarters of the matrix have genuinely different mean
+        // density (the bias behind the paper's Fig. 7).
+        let phase = i as f64 / n as f64 * std::f64::consts::TAU * 2.5;
+        let local = (avg_nnz as f64 * (1.0 + 0.4 * phase.sin())).max(1.0) as usize;
+        coo.push(i, i, value(&mut rng) + 2.0); // strong diagonal
+        let half = local / 2;
+        for _ in 0..half {
+            let lo = i.saturating_sub(band);
+            let hi = (i + band).min(n - 1);
+            let j = rng.gen_range(lo..=hi);
+            if j > i {
+                coo.push_symmetric(i, j, value(&mut rng));
+            } else if j < i {
+                // Only emit upper-triangle draws; mirror handles the rest.
+                coo.push_symmetric(j, i, value(&mut rng));
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// Scale-free matrix (web-BerkStan / webbase-1M family and the HH-CPU case
+/// study): row degrees follow a truncated power law with exponent `alpha`
+/// (typically 2.1–2.5), so a few rows are very dense and most are sparse.
+#[must_use]
+pub fn power_law(n: usize, avg_nnz: usize, alpha: f64, seed: u64) -> Csr {
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(alpha > 1.0, "power-law exponent must exceed 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Draw raw Pareto degrees, then rescale to hit the requested mean.
+    // Because the tail is heavy and degrees are capped at n-1, a naive
+    // mean normalization undershoots badly; instead binary-search the
+    // scale whose *truncated* degree sum matches the target.
+    let exponent = 1.0 / (alpha - 1.0);
+    let raw: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            u.powf(-exponent)
+        })
+        .collect();
+    let cap = (n - 1).max(1) as f64;
+    let truncated_sum = |scale: f64| -> f64 {
+        raw.iter()
+            .map(|&r| ((r * scale).round().max(1.0)).min(cap))
+            .sum()
+    };
+    let target = (n * avg_nnz) as f64;
+    let (mut lo, mut hi) = (1e-6f64, 1e6f64);
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt();
+        if truncated_sum(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let scale = (lo * hi).sqrt();
+    let mut coo = Coo::with_capacity(n, n, n * avg_nnz);
+    for (i, &r) in raw.iter().enumerate() {
+        let d = ((r * scale).round().max(1.0)).min(cap) as usize;
+        for _ in 0..d {
+            coo.push(i, rng.gen_range(0..n), value(&mut rng));
+        }
+    }
+    coo.into_csr()
+}
+
+/// Road-network graph adjacency (asia/germany/italy/netherlands_osm
+/// family): a long, thin lattice with average degree ≈ 2.5 and enormous
+/// diameter. Symmetric.
+#[must_use]
+pub fn road_network(n: usize, seed: u64) -> Csr {
+    assert!(n >= 4, "road network needs at least 4 nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Strip of height ~ n^(1/3): diameter stays Θ(n^(2/3)) — "long" like
+    // real road networks, unlike a square grid.
+    let h = ((n as f64).powf(1.0 / 3.0).round() as usize).clamp(2, n / 2);
+    let w = n.div_ceil(h);
+    let idx = |x: usize, y: usize| -> Option<usize> {
+        let v = y * w + x;
+        (x < w && y < h && v < n).then_some(v)
+    };
+    let mut coo = Coo::with_capacity(n, n, 3 * n);
+    for y in 0..h {
+        for x in 0..w {
+            let Some(v) = idx(x, y) else { continue };
+            if let Some(r) = idx(x + 1, y) {
+                coo.push_symmetric(v, r, value(&mut rng));
+            }
+            // Vertical links are sparse (bridges between long roads).
+            if let Some(d) = idx(x, y + 1) {
+                if rng.gen_bool(0.3) {
+                    coo.push_symmetric(v, d, value(&mut rng));
+                }
+            }
+        }
+    }
+    // Keep the graph connected enough: chain row ends together.
+    for y in 1..h {
+        if let (Some(a), Some(b)) = (idx(0, y - 1), idx(0, y)) {
+            coo.push_symmetric(a, b, value(&mut rng));
+        }
+    }
+    coo.into_csr()
+}
+
+/// Planar mesh (delaunay_n22 family): a 2D five-point stencil over a
+/// near-square grid — regular degree ~4, moderate diameter. Symmetric.
+#[must_use]
+pub fn mesh2d(n: usize, seed: u64) -> Csr {
+    assert!(n >= 4, "mesh needs at least 4 nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let w = (n as f64).sqrt().round() as usize;
+    let w = w.max(2);
+    let h = n.div_ceil(w);
+    let idx = |x: usize, y: usize| -> Option<usize> {
+        let v = y * w + x;
+        (x < w && y < h && v < n).then_some(v)
+    };
+    let mut coo = Coo::with_capacity(n, n, 4 * n);
+    for y in 0..h {
+        for x in 0..w {
+            let Some(v) = idx(x, y) else { continue };
+            if let Some(r) = idx(x + 1, y) {
+                coo.push_symmetric(v, r, value(&mut rng));
+            }
+            if let Some(d) = idx(x, y + 1) {
+                coo.push_symmetric(v, d, value(&mut rng));
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// Block-regular matrix (qcd5_4 family): every row has exactly
+/// `nnz_per_row` entries at regular stencil offsets — a lattice QCD
+/// operator is perfectly regular, which makes it GPU-friendly.
+#[must_use]
+pub fn block_regular(n: usize, nnz_per_row: usize, seed: u64) -> Csr {
+    assert!(n > 0, "matrix must be non-empty");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let d = nnz_per_row.min(n);
+    let mut coo = Coo::with_capacity(n, n, n * d);
+    // Fixed stride pattern shared by all rows (seeded once).
+    let strides: Vec<usize> = (0..d)
+        .map(|k| {
+            if k == 0 {
+                0
+            } else {
+                rng.gen_range(1..n.max(2))
+            }
+        })
+        .collect();
+    let mut vrng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for i in 0..n {
+        for &s in &strides {
+            coo.push(i, (i + s) % n, value(&mut vrng));
+        }
+    }
+    coo.into_csr()
+}
+
+/// Web graph (web-BerkStan family): power-law hubs plus local banded links
+/// (pages link mostly within their site, a few to global hubs). Produces
+/// both skewed degrees and nontrivial locality. Also used (symmetrized by
+/// `nbwp-graph`) as the web-graph CC input.
+#[must_use]
+pub fn web_graph(n: usize, avg_nnz: usize, seed: u64) -> Csr {
+    assert!(n > 4, "web graph needs more than 4 nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hubs = (n / 100).max(1);
+    // Hubs are scattered over the id space (multiplicative hashing), so a
+    // vertex-prefix partition gets a fair share of them.
+    let hub_id = |k: usize| -> usize { (k.wrapping_mul(0x9E37_79B9) >> 7) % n };
+    let mut coo = Coo::with_capacity(n, n, n * avg_nnz);
+    for i in 0..n {
+        let d = jitter(avg_nnz, &mut rng).min(n);
+        for _ in 0..d {
+            let j = if rng.gen_bool(0.3) {
+                // Link to a hub.
+                hub_id(rng.gen_range(0..hubs))
+            } else if rng.gen_bool(0.7) {
+                // Local link within a window of ±n/64.
+                let win = (n / 64).max(1);
+                let lo = i.saturating_sub(win);
+                let hi = (i + win).min(n - 1);
+                rng.gen_range(lo..=hi)
+            } else {
+                rng.gen_range(0..n)
+            };
+            coo.push(i, j, value(&mut rng));
+        }
+    }
+    coo.into_csr()
+}
+
+/// Degree jitter: uniform in `[avg/2, 3·avg/2]`, at least 1 — cheap stand-in
+/// for Poisson sampling that keeps generators O(nnz) and seed-stable.
+fn jitter(avg: usize, rng: &mut SmallRng) -> usize {
+    if avg <= 1 {
+        return 1;
+    }
+    rng.gen_range(avg / 2..=avg + avg / 2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_hits_target_density() {
+        let m = uniform_random(1000, 16, 42);
+        assert_eq!(m.rows(), 1000);
+        let avg = m.nnz() as f64 / 1000.0;
+        // Dedup of uniform draws loses a little; allow a band.
+        assert!((10.0..=18.0).contains(&avg), "avg = {avg}");
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        assert_eq!(uniform_random(500, 8, 7), uniform_random(500, 8, 7));
+        assert_eq!(power_law(500, 8, 2.2, 7), power_law(500, 8, 2.2, 7));
+        assert_eq!(banded_fem(500, 20, 8, 7), banded_fem(500, 20, 8, 7));
+        assert_eq!(road_network(500, 7), road_network(500, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform_random(500, 8, 1), uniform_random(500, 8, 2));
+    }
+
+    #[test]
+    fn banded_fem_is_symmetric_and_banded() {
+        let band = 25;
+        let m = banded_fem(400, band, 12, 3);
+        assert!(m.is_pattern_symmetric());
+        for (r, c, _) in m.iter() {
+            assert!(
+                (r as i64 - i64::from(c)).unsigned_abs() as usize <= band,
+                "entry ({r},{c}) outside band"
+            );
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let m = power_law(2000, 10, 2.1, 9);
+        let degs = m.row_nnz_vector();
+        let max = *degs.iter().max().unwrap();
+        let mean = degs.iter().sum::<u64>() as f64 / degs.len() as f64;
+        assert!(
+            max as f64 > 8.0 * mean,
+            "scale-free max degree {max} should dwarf mean {mean}"
+        );
+    }
+
+    #[test]
+    fn road_network_is_sparse_symmetric_low_degree() {
+        let m = road_network(2000, 11);
+        assert!(m.is_pattern_symmetric());
+        let avg = m.nnz() as f64 / 2000.0;
+        assert!((1.5..=4.0).contains(&avg), "road avg degree = {avg}");
+    }
+
+    #[test]
+    fn mesh2d_degree_at_most_four() {
+        let m = mesh2d(900, 5);
+        assert!(m.is_pattern_symmetric());
+        assert!(m.row_nnz_vector().iter().all(|&d| d <= 4));
+        let avg = m.nnz() as f64 / 900.0;
+        assert!(avg > 3.0, "interior mesh nodes have degree 4, avg = {avg}");
+    }
+
+    #[test]
+    fn block_regular_is_perfectly_regular() {
+        let m = block_regular(300, 9, 13);
+        let degs = m.row_nnz_vector();
+        let d0 = degs[0];
+        assert!(degs.iter().all(|&d| d == d0), "all rows equal degree");
+        assert!(d0 <= 9 && d0 >= 7, "dedup may drop a collision: {d0}");
+    }
+
+    #[test]
+    fn web_graph_has_hub_columns() {
+        let m = web_graph(2000, 8, 17);
+        let t = crate::ops::transpose(&m);
+        let mut in_degs = t.row_nnz_vector();
+        in_degs.sort_unstable_by(|a, b| b.cmp(a));
+        let hub_max = in_degs[0];
+        let tail_mean =
+            in_degs[100..].iter().sum::<u64>() as f64 / (in_degs.len() - 100) as f64;
+        assert!(
+            hub_max as f64 > 10.0 * tail_mean,
+            "hubs ({hub_max}) should dominate tail mean ({tail_mean})"
+        );
+    }
+
+    #[test]
+    fn web_graph_hubs_are_scattered_across_id_space() {
+        let m = web_graph(4000, 8, 23);
+        let t = crate::ops::transpose(&m);
+        let in_degs = t.row_nnz_vector();
+        let mean = in_degs.iter().sum::<u64>() as f64 / in_degs.len() as f64;
+        let hub_ids: Vec<usize> = in_degs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d as f64 > 10.0 * mean)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(hub_ids.len() >= 3, "found {} hubs", hub_ids.len());
+        // Hubs must not all sit in the low-id prefix.
+        assert!(
+            hub_ids.iter().any(|&i| i > 2000),
+            "hubs {hub_ids:?} are all in the prefix"
+        );
+    }
+
+    #[test]
+    fn fem_density_varies_along_rows() {
+        let m = banded_fem(4000, 30, 20, 21);
+        let degs = m.row_nnz_vector();
+        let chunk = 500;
+        let means: Vec<f64> = degs
+            .chunks(chunk)
+            .map(|c| c.iter().sum::<u64>() as f64 / c.len() as f64)
+            .collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            hi > 1.3 * lo,
+            "regional density should vary (lo={lo:.1}, hi={hi:.1})"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! Masked SpGEMM — the building block of Algorithm HH-CPU (paper §V).
+//!
+//! HH-CPU splits both operands of `C = A × B` by *row density*: rows with
+//! more than `t` nonzeros are "high" (`A_H`, `B_H`), the rest "low"
+//! (`A_L`, `B_L`). Because `A = A_H + A_L` (row split) and every
+//! contribution to `C` flows through a row of `B` selected by a column of
+//! `A`, the product decomposes exactly into four masked products:
+//!
+//! `C = A_H×B_H  +  A_H×B_L  +  A_L×B_H  +  A_L×B_L`
+//!
+//! `spgemm_masked(a, b, a_keep, b_keep)` computes one term: rows of `A`
+//! outside `a_keep` are skipped entirely, and within a kept row, entries
+//! whose column `k` falls outside `b_keep` are skipped (they belong to a
+//! different term). The four terms therefore partition the multiply-add
+//! work exactly — property-tested in `tests/masked_props.rs`.
+
+use crate::spgemm::RowCost;
+use crate::Csr;
+
+/// Classification of rows by the HH density threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DensitySplit {
+    /// `high[i]` is true when row `i` has **more than** `t` nonzeros.
+    pub high: Vec<bool>,
+    /// Number of high rows.
+    pub n_high: usize,
+    /// The threshold used.
+    pub threshold: u64,
+}
+
+impl DensitySplit {
+    /// Splits the rows of `m` at degree threshold `t` (paper Phase I).
+    #[must_use]
+    pub fn at_threshold(m: &Csr, t: u64) -> Self {
+        let high: Vec<bool> = (0..m.rows()).map(|r| m.row_nnz(r) as u64 > t).collect();
+        let n_high = high.iter().filter(|&&h| h).count();
+        DensitySplit {
+            high,
+            n_high,
+            threshold: t,
+        }
+    }
+
+    /// The complementary (low-density) mask.
+    #[must_use]
+    pub fn low(&self) -> Vec<bool> {
+        self.high.iter().map(|&h| !h).collect()
+    }
+
+    /// Number of low rows.
+    #[must_use]
+    pub fn n_low(&self) -> usize {
+        self.high.len() - self.n_high
+    }
+}
+
+/// Computes the masked product: rows of `A` where `a_keep` is false yield
+/// empty output rows; entries `(i, k)` of `A` with `b_keep[k]` false are
+/// skipped. Returns the full-shape `a.rows() × b.cols()` partial product and
+/// its per-row costs (skipped rows report zero cost).
+///
+/// # Panics
+/// Panics on shape mismatch or wrong mask lengths.
+#[must_use]
+pub fn spgemm_masked(
+    a: &Csr,
+    b: &Csr,
+    a_keep: &[bool],
+    b_keep: &[bool],
+) -> (Csr, Vec<RowCost>) {
+    assert_eq!(a.cols(), b.rows(), "incompatible shapes in masked spgemm");
+    assert_eq!(a_keep.len(), a.rows(), "a_keep length mismatch");
+    assert_eq!(b_keep.len(), b.rows(), "b_keep length mismatch");
+
+    let mut values = vec![0.0f64; b.cols()];
+    let mut stamp = vec![0u32; b.cols()];
+    let mut generation = 0u32;
+    let mut active: Vec<u32> = Vec::new();
+
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut costs = Vec::with_capacity(a.rows());
+    row_ptr.push(0);
+
+    for (i, &keep) in a_keep.iter().enumerate() {
+        if !keep {
+            row_ptr.push(col_idx.len());
+            costs.push(RowCost::default());
+            continue;
+        }
+        generation = generation.wrapping_add(1);
+        if generation == 0 {
+            stamp.fill(0);
+            generation = 1;
+        }
+        active.clear();
+        let (acols, avals) = a.row(i);
+        let mut b_entries = 0u64;
+        let mut a_used = 0u64;
+        for (&k, &av) in acols.iter().zip(avals) {
+            if !b_keep[k as usize] {
+                continue;
+            }
+            a_used += 1;
+            let (bcols, bvals) = b.row(k as usize);
+            b_entries += bcols.len() as u64;
+            for (&j, &bv) in bcols.iter().zip(bvals) {
+                let c = j as usize;
+                if stamp[c] == generation {
+                    values[c] += av * bv;
+                } else {
+                    stamp[c] = generation;
+                    values[c] = av * bv;
+                    active.push(j);
+                }
+            }
+        }
+        active.sort_unstable();
+        for &c in &active {
+            col_idx.push(c);
+            vals.push(values[c as usize]);
+        }
+        row_ptr.push(col_idx.len());
+        costs.push(RowCost {
+            a_nnz: a_used,
+            b_entries,
+            c_nnz: active.len() as u64,
+        });
+    }
+    (
+        Csr::from_raw(a.rows(), b.cols(), row_ptr, col_idx, vals),
+        costs,
+    )
+}
+
+/// Symbolic (structure-only) version of [`spgemm_masked`]'s cost report:
+/// exact per-row [`RowCost`]s without the numeric multiply. Agrees with the
+/// measured costs by construction.
+#[must_use]
+pub fn masked_row_profile(
+    a: &Csr,
+    b: &Csr,
+    a_keep: &[bool],
+    b_keep: &[bool],
+) -> Vec<RowCost> {
+    assert_eq!(a.cols(), b.rows(), "incompatible shapes in masked profile");
+    assert_eq!(a_keep.len(), a.rows(), "a_keep length mismatch");
+    assert_eq!(b_keep.len(), b.rows(), "b_keep length mismatch");
+    let mut stamp = vec![0u32; b.cols()];
+    let mut generation = 0u32;
+    let mut costs = Vec::with_capacity(a.rows());
+    for (i, &keep) in a_keep.iter().enumerate() {
+        if !keep {
+            costs.push(RowCost::default());
+            continue;
+        }
+        generation = generation.wrapping_add(1);
+        if generation == 0 {
+            stamp.fill(0);
+            generation = 1;
+        }
+        let (acols, _) = a.row(i);
+        let mut b_entries = 0u64;
+        let mut a_used = 0u64;
+        let mut c_nnz = 0u64;
+        for &k in acols {
+            if !b_keep[k as usize] {
+                continue;
+            }
+            a_used += 1;
+            let (bcols, _) = b.row(k as usize);
+            b_entries += bcols.len() as u64;
+            for &j in bcols {
+                if stamp[j as usize] != generation {
+                    stamp[j as usize] = generation;
+                    c_nnz += 1;
+                }
+            }
+        }
+        costs.push(RowCost {
+            a_nnz: a_used,
+            b_entries,
+            c_nnz,
+        });
+    }
+    costs
+}
+
+/// The four partial products of Algorithm HH-CPU for one threshold pair.
+#[derive(Clone, Debug)]
+pub struct HhProducts {
+    /// `A_H × B_H` (Phase II, CPU).
+    pub hh: (Csr, Vec<RowCost>),
+    /// `A_H × B_L` (Phase III, CPU side).
+    pub hl: (Csr, Vec<RowCost>),
+    /// `A_L × B_H` (Phase III, GPU side).
+    pub lh: (Csr, Vec<RowCost>),
+    /// `A_L × B_L` (Phase II, GPU).
+    pub ll: (Csr, Vec<RowCost>),
+}
+
+impl HhProducts {
+    /// Computes all four masked products of `A × B` at thresholds
+    /// `(t_a, t_b)` (Phase I + the multiplies of Phases II/III).
+///
+    /// ```
+    /// use nbwp_sparse::{gen, masked::HhProducts, spgemm::spgemm};
+    /// let a = gen::power_law(60, 5, 2.2, 3);
+    /// let p = HhProducts::compute(&a, &a, 4, 4);
+    /// // Phase IV reconstructs the full product's sparsity pattern.
+    /// assert_eq!(p.combine().row_ptr(), spgemm(&a, &a).row_ptr());
+    /// ```
+    #[must_use]
+    pub fn compute(a: &Csr, b: &Csr, t_a: u64, t_b: u64) -> Self {
+        let sa = DensitySplit::at_threshold(a, t_a);
+        let sb = DensitySplit::at_threshold(b, t_b);
+        let (a_hi, a_lo) = (sa.high.clone(), sa.low());
+        let (b_hi, b_lo) = (sb.high.clone(), sb.low());
+        HhProducts {
+            hh: spgemm_masked(a, b, &a_hi, &b_hi),
+            hl: spgemm_masked(a, b, &a_hi, &b_lo),
+            lh: spgemm_masked(a, b, &a_lo, &b_hi),
+            ll: spgemm_masked(a, b, &a_lo, &b_lo),
+        }
+    }
+
+    /// Phase IV: combines the four partial products into `A × B`.
+    #[must_use]
+    pub fn combine(&self) -> Csr {
+        use crate::ops::add;
+        add(&add(&self.hh.0, &self.hl.0), &add(&self.lh.0, &self.ll.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spgemm::spgemm;
+
+    fn sample() -> Csr {
+        // Rows with varying density: row 0 dense(3), row 1 empty,
+        // row 2 medium(2), row 3 light(1).
+        Csr::from_dense(
+            4,
+            4,
+            &[
+                1.0, 2.0, 0.0, 3.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 4.0, 5.0, 0.0, //
+                6.0, 0.0, 0.0, 0.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn density_split_thresholds() {
+        let m = sample();
+        let s = DensitySplit::at_threshold(&m, 1);
+        assert_eq!(s.high, vec![true, false, true, false]);
+        assert_eq!(s.n_high, 2);
+        assert_eq!(s.n_low(), 2);
+        assert_eq!(s.low(), vec![false, true, false, true]);
+
+        let all_low = DensitySplit::at_threshold(&m, 100);
+        assert_eq!(all_low.n_high, 0);
+        let all_high = DensitySplit::at_threshold(&m, 0);
+        assert_eq!(all_high.n_high, 3, "empty rows are never 'high'");
+    }
+
+    #[test]
+    fn full_masks_reproduce_plain_spgemm() {
+        let a = sample();
+        let keep = vec![true; 4];
+        let (c, _) = spgemm_masked(&a, &a, &keep, &keep);
+        assert_eq!(c, spgemm(&a, &a));
+    }
+
+    #[test]
+    fn empty_masks_give_zero() {
+        let a = sample();
+        let none = vec![false; 4];
+        let all = vec![true; 4];
+        let (c1, costs) = spgemm_masked(&a, &a, &none, &all);
+        assert_eq!(c1.nnz(), 0);
+        assert!(costs.iter().all(|c| *c == RowCost::default()));
+        let (c2, _) = spgemm_masked(&a, &a, &all, &none);
+        assert_eq!(c2.nnz(), 0);
+    }
+
+    #[test]
+    fn four_way_split_sums_to_full_product() {
+        let a = sample();
+        for t in 0..=3u64 {
+            let products = HhProducts::compute(&a, &a, t, t);
+            let combined = products.combine();
+            let reference = spgemm(&a, &a);
+            assert_eq!(
+                combined.to_dense(),
+                reference.to_dense(),
+                "threshold {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_thresholds_also_sum() {
+        let a = sample();
+        let products = HhProducts::compute(&a, &a, 1, 2);
+        assert_eq!(
+            products.combine().to_dense(),
+            spgemm(&a, &a).to_dense()
+        );
+    }
+
+    #[test]
+    fn masked_profile_matches_measured() {
+        let a = sample();
+        let s = DensitySplit::at_threshold(&a, 1);
+        let (hi, lo) = (s.high.clone(), s.low());
+        let (_, measured) = spgemm_masked(&a, &a, &hi, &lo);
+        let predicted = masked_row_profile(&a, &a, &hi, &lo);
+        assert_eq!(measured, predicted);
+    }
+
+    #[test]
+    fn work_partitions_exactly_across_terms() {
+        let a = sample();
+        let full = crate::spgemm::row_profile(&a, &a);
+        let p = HhProducts::compute(&a, &a, 1, 1);
+        for i in 0..a.rows() {
+            let sum_b = p.hh.1[i].b_entries
+                + p.hl.1[i].b_entries
+                + p.lh.1[i].b_entries
+                + p.ll.1[i].b_entries;
+            assert_eq!(sum_b, full[i].b_entries, "row {i} work must partition");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a_keep length mismatch")]
+    fn wrong_mask_length_panics() {
+        let a = sample();
+        let _ = spgemm_masked(&a, &a, &[true], &[true; 4]);
+    }
+}

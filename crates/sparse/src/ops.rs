@@ -1,0 +1,288 @@
+//! Structural and arithmetic operations on CSR matrices.
+//!
+//! Includes the paper's load-vector machinery (§IV): for `C = A × B`, the
+//! vector `L_AB` with `L_AB[i] = Σ_{k ∈ row i of A} nnz(B_k)` gives the exact
+//! multiply-add work of row `i`, and its prefix sums let Algorithm 2 find
+//! the split row realizing any work percentage `r`.
+
+use crate::Csr;
+
+/// Transposes a CSR matrix (counting sort by column; O(nnz + rows + cols)).
+#[must_use]
+pub fn transpose(a: &Csr) -> Csr {
+    let mut counts = vec![0usize; a.cols() + 1];
+    for &c in a.col_indices() {
+        counts[c as usize + 1] += 1;
+    }
+    for i in 0..a.cols() {
+        counts[i + 1] += counts[i];
+    }
+    let row_ptr = counts.clone();
+    let mut col_idx = vec![0u32; a.nnz()];
+    let mut vals = vec![0.0f64; a.nnz()];
+    let mut cursor = counts;
+    for (r, c, v) in a.iter() {
+        let slot = cursor[c as usize];
+        col_idx[slot] = r as u32;
+        vals[slot] = v;
+        cursor[c as usize] += 1;
+    }
+    Csr::from_raw(a.cols(), a.rows(), row_ptr, col_idx, vals)
+}
+
+/// Adds two same-shape CSR matrices (row-wise two-pointer merge).
+///
+/// # Panics
+/// Panics if shapes differ.
+#[must_use]
+pub fn add(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.rows(), b.rows(), "row count mismatch in add");
+    assert_eq!(a.cols(), b.cols(), "column count mismatch in add");
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    let mut col_idx = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals = Vec::with_capacity(a.nnz() + b.nnz());
+    row_ptr.push(0);
+    for r in 0..a.rows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0, 0);
+        while i < ac.len() || j < bc.len() {
+            let pick_a = j >= bc.len() || (i < ac.len() && ac[i] < bc[j]);
+            let pick_b = i >= ac.len() || (j < bc.len() && bc[j] < ac[i]);
+            if pick_a {
+                col_idx.push(ac[i]);
+                vals.push(av[i]);
+                i += 1;
+            } else if pick_b {
+                col_idx.push(bc[j]);
+                vals.push(bv[j]);
+                j += 1;
+            } else {
+                col_idx.push(ac[i]);
+                vals.push(av[i] + bv[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(a.rows(), a.cols(), row_ptr, col_idx, vals)
+}
+
+/// The paper's work-volume vector (§IV): `L_AB[i]` is the number of
+/// multiply-adds row `i` of `A` contributes to `A × B`, computed as
+/// `A × V_B` where `V_B[k] = nnz(B_k)`.
+///
+/// ```
+/// use nbwp_sparse::{gen, ops::load_vector};
+/// let a = gen::uniform_random(32, 3, 7);
+/// let load = load_vector(&a, &a);
+/// assert_eq!(load.len(), 32);
+/// // Total load equals the multiply-add work of A × A.
+/// assert!(load.iter().sum::<u64>() > 0);
+/// ```
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` (the matrices are incompatible).
+#[must_use]
+pub fn load_vector(a: &Csr, b: &Csr) -> Vec<u64> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "incompatible shapes for load vector: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let vb = b.row_nnz_vector();
+    (0..a.rows())
+        .map(|r| {
+            let (cols, _) = a.row(r);
+            cols.iter().map(|&k| vb[k as usize]).sum()
+        })
+        .collect()
+}
+
+/// Inclusive prefix sums of a work vector; entry `i` is the work of rows
+/// `0..=i`. An empty input yields an empty output.
+#[must_use]
+pub fn prefix_sums(work: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(work.len());
+    let mut acc = 0u64;
+    for &w in work {
+        acc += w;
+        out.push(acc);
+    }
+    out
+}
+
+/// Algorithm 2, line 3: given inclusive prefix sums of the load vector and a
+/// CPU work percentage `r ∈ [0, 100]`, returns the split row index `i` such
+/// that rows `0..i` (the CPU part) carry the work volume closest to
+/// `r% · total`. Returns a value in `0..=n`.
+#[must_use]
+pub fn split_row_for_load(prefix: &[u64], r_pct: f64) -> usize {
+    assert!((0.0..=100.0).contains(&r_pct), "split percentage {r_pct} out of range");
+    let n = prefix.len();
+    if n == 0 {
+        return 0;
+    }
+    let total = prefix[n - 1];
+    let target = total as f64 * r_pct / 100.0;
+    // partition_point: first index whose prefix >= target.
+    let idx = prefix.partition_point(|&p| (p as f64) < target);
+    // `idx` rows 0..=idx-1 carry prefix[idx-1] < target <= prefix[idx].
+    // Choose between idx and idx+1 rows by whichever load is closer.
+    let load_at = |rows: usize| -> f64 {
+        if rows == 0 {
+            0.0
+        } else {
+            prefix[rows - 1] as f64
+        }
+    };
+    let lo_rows = idx;
+    let hi_rows = (idx + 1).min(n);
+    if (target - load_at(lo_rows)).abs() <= (load_at(hi_rows) - target).abs() {
+        lo_rows
+    } else {
+        hi_rows
+    }
+}
+
+/// Scales all values by a constant (returns a new matrix).
+#[must_use]
+pub fn scale(a: &Csr, factor: f64) -> Csr {
+    Csr::from_raw(
+        a.rows(),
+        a.cols(),
+        a.row_ptr().to_vec(),
+        a.col_indices().to_vec(),
+        a.values().iter().map(|v| v * factor).collect(),
+    )
+}
+
+/// Maximum absolute element-wise difference between two same-shape matrices
+/// (test helper; compares via dense conversion on small inputs only).
+#[must_use]
+pub fn max_abs_diff(a: &Csr, b: &Csr) -> f64 {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let da = a.to_dense();
+    let db = b.to_dense();
+    da.iter()
+        .zip(&db)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr::from_dense(3, 3, &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0])
+    }
+
+    #[test]
+    fn transpose_small() {
+        let t = transpose(&small());
+        let expected = Csr::from_dense(3, 3, &[1.0, 0.0, 3.0, 0.0, 0.0, 4.0, 2.0, 0.0, 0.0]);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = small();
+        assert_eq!(transpose(&transpose(&m)), m);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let m = Csr::from_dense(2, 3, &[1.0, 2.0, 0.0, 0.0, 0.0, 3.0]);
+        let t = transpose(&m);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 3.0);
+        assert_eq!(t.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn add_merges_disjoint_and_overlapping() {
+        let a = small();
+        let b = Csr::from_dense(3, 3, &[0.0, 5.0, 1.0, 0.0, 0.0, 0.0, -3.0, 0.0, 0.0]);
+        let c = add(&a, &b);
+        assert_eq!(c.get(0, 1), 5.0);
+        assert_eq!(c.get(0, 2), 3.0);
+        assert_eq!(c.get(2, 0), 0.0); // 3 + -3: explicit zero kept
+        assert_eq!(c.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn add_identity_like() {
+        let a = small();
+        let z = Csr::zero(3, 3);
+        assert_eq!(max_abs_diff(&add(&a, &z), &a), 0.0);
+    }
+
+    #[test]
+    fn load_vector_counts_work() {
+        // A = small(), B = small(): row nnz of B = [2, 0, 2].
+        // L[0] = vb[0] + vb[2] = 2 + 2 = 4 (A row 0 has cols 0, 2)
+        // L[1] = 0
+        // L[2] = vb[0] + vb[1] = 2 + 0 = 2
+        let a = small();
+        assert_eq!(load_vector(&a, &a), vec![4, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn load_vector_rejects_incompatible() {
+        let a = small();
+        let b = Csr::zero(2, 3);
+        let _ = load_vector(&a, &b);
+    }
+
+    #[test]
+    fn prefix_sums_inclusive() {
+        assert_eq!(prefix_sums(&[1, 2, 3]), vec![1, 3, 6]);
+        assert_eq!(prefix_sums(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn split_row_targets_work_percentage() {
+        // Work per row: [10, 10, 10, 10], prefixes [10, 20, 30, 40].
+        let prefix = prefix_sums(&[10, 10, 10, 10]);
+        assert_eq!(split_row_for_load(&prefix, 0.0), 0);
+        assert_eq!(split_row_for_load(&prefix, 50.0), 2);
+        assert_eq!(split_row_for_load(&prefix, 100.0), 4);
+        // 30% of 40 = 12, closest achievable is 10 (1 row) vs 20 (2 rows).
+        assert_eq!(split_row_for_load(&prefix, 30.0), 1);
+    }
+
+    #[test]
+    fn split_row_with_skewed_work() {
+        // One heavy first row: [100, 1, 1], prefixes [100, 101, 102].
+        let prefix = prefix_sums(&[100, 1, 1]);
+        // 50% of 102 = 51: 0 rows carry 0, 1 row carries 100; 100 closer.
+        assert_eq!(split_row_for_load(&prefix, 50.0), 1);
+        // 10% = 10.2: closest to 0 rows.
+        assert_eq!(split_row_for_load(&prefix, 10.0), 0);
+    }
+
+    #[test]
+    fn split_row_empty_matrix() {
+        assert_eq!(split_row_for_load(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn scale_values() {
+        let s = scale(&small(), 2.0);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(2, 1), 8.0);
+        assert_eq!(s.nnz(), small().nnz());
+    }
+}

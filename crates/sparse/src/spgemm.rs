@@ -1,0 +1,542 @@
+//! Row-row (Gustavson) sparse matrix–matrix multiplication.
+//!
+//! This is the kernel of the paper's Algorithms 2 and 3. Each output row
+//! `C_i = Σ_{k ∈ A_i} a_ik · B_k` is computed independently with a sparse
+//! accumulator, which is what makes row-wise work partitioning across
+//! CPU and GPU possible.
+//!
+//! Every variant reports its work through the same *accounting convention*
+//! ([`RowCost`] → [`stats_for_rows`]), so an analytic profile computed once
+//! from the matrix structure agrees **exactly** with counters measured
+//! during a physical run of any row range. `nbwp-core` exploits this to
+//! sweep thresholds in O(rows) instead of re-running the multiply.
+
+use nbwp_sim::{warp_padded_cost, KernelStats};
+
+use crate::Csr;
+
+/// Bytes of one stored CSR entry (u32 column index + f64 value).
+pub const ENTRY_BYTES: u64 = 12;
+
+/// GPU warp width used for divergence accounting.
+pub const WARP: usize = 32;
+
+/// Exact per-row work of a row of `A` in the product `A × B`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowCost {
+    /// Nonzeros of `A` in this row.
+    pub a_nnz: u64,
+    /// Total entries of `B` touched: `Σ_{k ∈ row} nnz(B_k)` — the paper's
+    /// load-vector value `L_AB[i]`.
+    pub b_entries: u64,
+    /// Distinct output columns (nnz of the result row).
+    pub c_nnz: u64,
+}
+
+impl RowCost {
+    /// Floating-point operations of this row (one multiply + one add per
+    /// touched `B` entry).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.b_entries
+    }
+}
+
+/// A reusable sparse accumulator (SPA) sized to the output column count.
+///
+/// Uses a generation-stamped marker array so clearing between rows is O(1).
+struct Spa {
+    values: Vec<f64>,
+    stamp: Vec<u32>,
+    generation: u32,
+    active: Vec<u32>,
+}
+
+impl Spa {
+    fn new(cols: usize) -> Self {
+        Spa {
+            values: vec![0.0; cols],
+            stamp: vec![0; cols],
+            generation: 0,
+            active: Vec::new(),
+        }
+    }
+
+    /// Begins a new output row.
+    fn reset(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrapped: lazily invalidate everything once per 2^32 rows.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.active.clear();
+    }
+
+    #[inline]
+    fn accumulate(&mut self, col: u32, val: f64) {
+        let c = col as usize;
+        if self.stamp[c] == self.generation {
+            self.values[c] += val;
+        } else {
+            self.stamp[c] = self.generation;
+            self.values[c] = val;
+            self.active.push(col);
+        }
+    }
+
+    /// Drains the accumulated row, sorted by column.
+    fn drain_sorted(&mut self, col_out: &mut Vec<u32>, val_out: &mut Vec<f64>) {
+        self.active.sort_unstable();
+        for &c in &self.active {
+            col_out.push(c);
+            val_out.push(self.values[c as usize]);
+        }
+    }
+
+    fn nnz(&self) -> u64 {
+        self.active.len() as u64
+    }
+}
+
+/// Multiplies `A × B` (full product, no instrumentation).
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+///
+/// ```
+/// use nbwp_sparse::{gen, spgemm::spgemm};
+/// let a = gen::uniform_random(64, 4, 1);
+/// let c = spgemm(&a, &a);
+/// assert_eq!(c.rows(), 64);
+/// assert_eq!(c.cols(), 64);
+/// ```
+#[must_use]
+pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
+    spgemm_range(a, b, 0, a.rows()).0
+}
+
+/// Multiplies rows `lo..hi` of `A` by `B`, returning the `(hi-lo) × b.cols()`
+/// partial product and its exact per-row costs.
+///
+/// This is the "physically executed" kernel: the returned [`RowCost`]s come
+/// from the actual accumulator, not from a structural prediction.
+#[must_use]
+pub fn spgemm_range(a: &Csr, b: &Csr, lo: usize, hi: usize) -> (Csr, Vec<RowCost>) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "incompatible shapes: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert!(lo <= hi && hi <= a.rows(), "row range out of bounds");
+    let mut spa = Spa::new(b.cols());
+    let mut row_ptr = Vec::with_capacity(hi - lo + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut costs = Vec::with_capacity(hi - lo);
+    row_ptr.push(0);
+    for i in lo..hi {
+        spa.reset();
+        let (acols, avals) = a.row(i);
+        let mut b_entries = 0u64;
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k as usize);
+            b_entries += bcols.len() as u64;
+            for (&j, &bv) in bcols.iter().zip(bvals) {
+                spa.accumulate(j, av * bv);
+            }
+        }
+        let c_nnz = spa.nnz();
+        spa.drain_sorted(&mut col_idx, &mut vals);
+        row_ptr.push(col_idx.len());
+        costs.push(RowCost {
+            a_nnz: acols.len() as u64,
+            b_entries,
+            c_nnz,
+        });
+    }
+    (
+        Csr::from_raw(hi - lo, b.cols(), row_ptr, col_idx, vals),
+        costs,
+    )
+}
+
+/// Computes the exact per-row cost profile of `A × B` *without* the numeric
+/// multiply (symbolic pass: same traversal, marker-only accumulator).
+///
+/// Guaranteed to equal the costs returned by [`spgemm_range`] over the full
+/// row range — this is the analytic/measured agreement the threshold sweeps
+/// rely on, and it is tested in `tests/` and in `nbwp-core`.
+#[must_use]
+pub fn row_profile(a: &Csr, b: &Csr) -> Vec<RowCost> {
+    assert_eq!(a.cols(), b.rows(), "incompatible shapes for row profile");
+    let mut stamp = vec![0u32; b.cols()];
+    let mut generation = 0u32;
+    let mut costs = Vec::with_capacity(a.rows());
+    for i in 0..a.rows() {
+        generation = generation.wrapping_add(1);
+        if generation == 0 {
+            stamp.fill(0);
+            generation = 1;
+        }
+        let (acols, _) = a.row(i);
+        let mut b_entries = 0u64;
+        let mut c_nnz = 0u64;
+        for &k in acols {
+            let (bcols, _) = b.row(k as usize);
+            b_entries += bcols.len() as u64;
+            for &j in bcols {
+                if stamp[j as usize] != generation {
+                    stamp[j as usize] = generation;
+                    c_nnz += 1;
+                }
+            }
+        }
+        costs.push(RowCost {
+            a_nnz: acols.len() as u64,
+            b_entries,
+            c_nnz,
+        });
+    }
+    costs
+}
+
+/// Converts the per-row costs of a contiguous row range into the shared
+/// [`KernelStats`] accounting convention.
+///
+/// * `b_bytes` — resident size of `B` (it is read by every partition and
+///   dominates the working set).
+///
+/// Accounting, per row `i` in the range:
+/// * reads: `a_nnz · 12` streaming for the `A` row, `b_entries · 12` for
+///   the gathered `B` rows — of which only the *row starts* are
+///   latency-bound (`a_nnz · 12` irregular): Gustavson streams each `B`
+///   row once located;
+/// * writes: `c_nnz · 12` streaming (the accumulator scatter lands in the
+///   small cache-resident SPA array, not DRAM);
+/// * flops: `2 · b_entries`; integer ops: per-entry index handling;
+/// * divergence: warp-padded per-row flops at width [`WARP`].
+#[must_use]
+pub fn stats_for_rows(costs: &[RowCost], b_bytes: u64) -> KernelStats {
+    let mut s = KernelStats::new();
+    let mut per_row_flops = Vec::with_capacity(costs.len());
+    for c in costs {
+        s.flops += c.flops();
+        s.int_ops += 2 * c.a_nnz + 2 * c.b_entries + c.c_nnz;
+        s.mem_read_bytes += (c.a_nnz + c.b_entries) * ENTRY_BYTES;
+        s.irregular_bytes += c.a_nnz * ENTRY_BYTES;
+        s.mem_write_bytes += c.c_nnz * ENTRY_BYTES;
+        per_row_flops.push(c.flops());
+    }
+    s.simd_padded_flops = warp_padded_cost(&per_row_flops, WARP);
+    s.kernel_launches = u64::from(!costs.is_empty());
+    s.parallel_items = costs.len() as u64;
+    let partition_bytes: u64 = costs
+        .iter()
+        .map(|c| (c.a_nnz + c.c_nnz) * ENTRY_BYTES)
+        .sum();
+    s.working_set_bytes = b_bytes + partition_bytes;
+    s
+}
+
+/// Multiplies `A × B` using `threads` worker threads over row blocks,
+/// returning the full product. The result is identical to [`spgemm`]
+/// regardless of thread count (rows are independent).
+#[must_use]
+pub fn spgemm_parallel(a: &Csr, b: &Csr, threads: usize) -> Csr {
+    assert!(threads > 0, "thread count must be positive");
+    assert_eq!(a.cols(), b.rows(), "incompatible shapes");
+    let n = a.rows();
+    if threads == 1 || n < 2 * threads {
+        return spgemm(a, b);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Option<Csr>> = Vec::new();
+    parts.resize_with(threads, || None);
+    std::thread::scope(|scope| {
+        for (tid, slot) in parts.iter_mut().enumerate() {
+            let lo = (tid * chunk).min(n);
+            let hi = ((tid + 1) * chunk).min(n);
+            scope.spawn(move || {
+                *slot = Some(spgemm_range(a, b, lo, hi).0);
+            });
+        }
+    });
+    // Stitch the partial CSRs (concatenate rows).
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for part in parts.into_iter().map(|p| p.expect("thread finished")) {
+        let base = col_idx.len();
+        for r in 0..part.rows() {
+            let (c, v) = part.row(r);
+            col_idx.extend_from_slice(c);
+            vals.extend_from_slice(v);
+            let _ = r;
+            row_ptr.push(base + part.row_ptr()[r + 1]);
+        }
+    }
+    Csr::from_raw(n, b.cols(), row_ptr, col_idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference multiply for cross-checking.
+    fn dense_mul(a: &Csr, b: &Csr) -> Vec<f64> {
+        let (n, k, m) = (a.rows(), a.cols(), b.cols());
+        let da = a.to_dense();
+        let db = b.to_dense();
+        let mut out = vec![0.0; n * m];
+        for i in 0..n {
+            for p in 0..k {
+                let av = da[i * k + p];
+                if av != 0.0 {
+                    for j in 0..m {
+                        out[i * m + j] += av * db[p * m + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn small_a() -> Csr {
+        Csr::from_dense(3, 3, &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0])
+    }
+
+    fn small_b() -> Csr {
+        Csr::from_dense(3, 2, &[1.0, 2.0, 0.0, 1.0, 3.0, 0.0])
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = small_a();
+        let b = small_b();
+        let c = spgemm(&a, &b);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.to_dense(), dense_mul(&a, &b));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = small_a();
+        let i = Csr::identity(3);
+        assert_eq!(spgemm(&a, &i), a);
+        assert_eq!(spgemm(&i, &a), a);
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let a = small_a();
+        let z = Csr::zero(3, 4);
+        let c = spgemm(&a, &z);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn shape_mismatch_panics() {
+        let _ = spgemm(&small_a(), &Csr::zero(2, 2));
+    }
+
+    #[test]
+    fn range_product_stitches_to_full() {
+        let a = small_a();
+        let b = small_b();
+        let full = spgemm(&a, &b);
+        let (top, _) = spgemm_range(&a, &b, 0, 2);
+        let (bot, _) = spgemm_range(&a, &b, 2, 3);
+        assert_eq!(top.to_dense(), full.row_slice(0, 2).to_dense());
+        assert_eq!(bot.to_dense(), full.row_slice(2, 3).to_dense());
+    }
+
+    #[test]
+    fn measured_costs_match_symbolic_profile() {
+        let a = small_a();
+        let b = small_b();
+        let (_, measured) = spgemm_range(&a, &b, 0, 3);
+        let predicted = row_profile(&a, &b);
+        assert_eq!(measured, predicted);
+    }
+
+    #[test]
+    fn row_cost_values() {
+        let a = small_a();
+        let costs = row_profile(&a, &a);
+        // Row 0 of A has cols {0,2}; B rows 0 and 2 have 2 entries each.
+        assert_eq!(
+            costs[0],
+            RowCost {
+                a_nnz: 2,
+                b_entries: 4,
+                c_nnz: 3 // cols {0,2} ∪ {0,1} = {0,1,2}
+            }
+        );
+        assert_eq!(costs[1], RowCost::default());
+        assert_eq!(costs[0].flops(), 8);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let a = small_a();
+        let costs = row_profile(&a, &a);
+        let s = stats_for_rows(&costs, a.size_bytes());
+        let b_entries: u64 = costs.iter().map(|c| c.b_entries).sum();
+        let c_nnz: u64 = costs.iter().map(|c| c.c_nnz).sum();
+        let a_nnz: u64 = costs.iter().map(|c| c.a_nnz).sum();
+        assert_eq!(s.flops, 2 * b_entries);
+        assert_eq!(s.irregular_bytes, a_nnz * ENTRY_BYTES);
+        assert_eq!(s.mem_write_bytes, c_nnz * ENTRY_BYTES);
+        assert_eq!(s.parallel_items, 3);
+        assert_eq!(s.kernel_launches, 1);
+        assert!(s.simd_padded_flops >= s.flops);
+        assert!(s.working_set_bytes > a.size_bytes());
+    }
+
+    #[test]
+    fn stats_for_empty_range() {
+        let s = stats_for_rows(&[], 100);
+        assert_eq!(s.kernel_launches, 0);
+        assert_eq!(s.flops, 0);
+        assert_eq!(s.parallel_items, 0);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        // A modest random-ish deterministic matrix via from_dense pattern.
+        let n = 64;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if (i * 7 + j * 13) % 11 == 0 {
+                    data[i * n + j] = (i + j) as f64 / 10.0 + 1.0;
+                }
+            }
+        }
+        let a = Csr::from_dense(n, n, &data);
+        let seq = spgemm(&a, &a);
+        for threads in [1, 2, 3, 4, 8] {
+            let par = spgemm_parallel(&a, &a, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_tiny_input_falls_back() {
+        let a = small_a();
+        assert_eq!(spgemm_parallel(&a, &a, 16), spgemm(&a, &a));
+    }
+}
+
+/// ESC-style (expand–sort–compress) SpGEMM: per output row, gather all
+/// scaled `B` entries into a buffer, sort by column, and compress runs.
+///
+/// The GPU-preferred formulation (no random-access accumulator, only sorts
+/// and scans) — provided as the second accumulator strategy next to the
+/// SPA-based [`spgemm`], with identical results. Useful for comparing
+/// accumulator behaviour on skewed rows (`benches/ablations.rs`) and as an
+/// independent implementation for cross-checking.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn spgemm_esc(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "incompatible shapes: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut buffer: Vec<(u32, f64)> = Vec::new();
+    row_ptr.push(0);
+    for i in 0..a.rows() {
+        buffer.clear();
+        let (acols, avals) = a.row(i);
+        // Expand.
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k as usize);
+            for (&j, &bv) in bcols.iter().zip(bvals) {
+                buffer.push((j, av * bv));
+            }
+        }
+        // Sort.
+        buffer.sort_unstable_by_key(|&(j, _)| j);
+        // Compress.
+        let mut iter = buffer.iter();
+        if let Some(&(mut cur_col, mut acc)) = iter.next() {
+            for &(j, v) in iter {
+                if j == cur_col {
+                    acc += v;
+                } else {
+                    col_idx.push(cur_col);
+                    vals.push(acc);
+                    cur_col = j;
+                    acc = v;
+                }
+            }
+            col_idx.push(cur_col);
+            vals.push(acc);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(a.rows(), b.cols(), row_ptr, col_idx, vals)
+}
+
+#[cfg(test)]
+mod esc_tests {
+    use super::*;
+    use crate::gen;
+
+    fn close(a: &Csr, b: &Csr) -> bool {
+        a.rows() == b.rows()
+            && a.row_ptr() == b.row_ptr()
+            && a.col_indices() == b.col_indices()
+            && a.values()
+                .iter()
+                .zip(b.values())
+                .all(|(x, y)| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0))
+    }
+
+    #[test]
+    fn esc_equals_spa_on_random_matrices() {
+        for seed in [1, 2, 3] {
+            let a = gen::uniform_random(300, 8, seed);
+            assert!(close(&spgemm_esc(&a, &a), &spgemm(&a, &a)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn esc_equals_spa_on_skewed_matrices() {
+        let a = gen::power_law(500, 10, 2.0, 7);
+        assert!(close(&spgemm_esc(&a, &a), &spgemm(&a, &a)));
+    }
+
+    #[test]
+    fn esc_handles_identity_and_empty() {
+        let i = Csr::identity(5);
+        assert_eq!(spgemm_esc(&i, &i), i);
+        let z = Csr::zero(4, 4);
+        assert_eq!(spgemm_esc(&z, &z).nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn esc_checks_shapes() {
+        let _ = spgemm_esc(&Csr::zero(2, 3), &Csr::zero(2, 2));
+    }
+}

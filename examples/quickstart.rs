@@ -1,0 +1,51 @@
+//! Quickstart: estimate a near-balanced work partition for a heterogeneous
+//! connected-components run in a dozen lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nbwp_core::prelude::*;
+use nbwp_graph::gen;
+
+fn main() {
+    // 1. A web-graph input and the paper's K40c + Xeon platform.
+    let graph = gen::web(50_000, 8, 42);
+    let platform = Platform::k40c_xeon_e5_2650();
+    let workload = CcWorkload::new(graph, platform);
+
+    // 2. Sample → Identify → Extrapolate: pick the CPU/GPU split threshold
+    //    from a √n-sized miniature of the input.
+    let est = estimate(
+        &workload,
+        SampleSpec::default(),            // √n vertices, the paper's choice
+        IdentifyStrategy::CoarseToFine,   // stride 8, then stride 1
+        7,                                // sampling seed
+    );
+    println!(
+        "sampling recommends giving the CPU {:.0}% of the vertices \
+         (found in {} miniature runs, {} estimation overhead)",
+        est.threshold, est.evaluations, est.overhead
+    );
+
+    // 3. Compare with what an exhaustive search would have found.
+    let best = exhaustive(&workload, 1.0);
+    println!(
+        "exhaustive search (101 full runs!) says {:.0}%",
+        best.best_t
+    );
+
+    // 4. Run the hybrid algorithm at the estimated threshold.
+    let outcome = workload.run_full(est.threshold);
+    println!(
+        "hybrid CC at the estimated threshold: {} components in {} \
+         (vs {} at the exhaustive threshold, {} GPU-only)",
+        outcome.components,
+        outcome.report.total(),
+        best.best_time,
+        workload.time_at(0.0),
+    );
+
+    let penalty = workload.time_at(est.threshold).pct_diff_from(best.best_time);
+    println!("time penalty vs the best possible threshold: {penalty:.1}%");
+}

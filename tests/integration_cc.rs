@@ -1,0 +1,103 @@
+//! Cross-crate integration: the CC case study end to end — datasets →
+//! graphs → hybrid algorithm → sampling framework → experiment rows.
+
+use nbwp_core::prelude::*;
+use nbwp_datasets::Dataset;
+use nbwp_graph::{cc, normalize_labels};
+
+const SCALE: f64 = 0.005;
+const SEED: u64 = 42;
+
+fn platform() -> Platform {
+    Platform::k40c_xeon_e5_2650().scaled_for(SCALE)
+}
+
+#[test]
+fn hybrid_cc_is_exact_on_every_dataset_family() {
+    for name in ["cant", "webbase-1M", "netherlands_osm", "delaunay_n22", "qcd5_4"] {
+        let d = Dataset::by_name(name).unwrap();
+        let g = d.graph(SCALE, SEED);
+        let oracle = normalize_labels(&cc::cc_union_find(&g));
+        let w = CcWorkload::new(g, platform());
+        for t in [0.0, 23.0, 77.0, 100.0] {
+            let out = w.run_full(t);
+            assert_eq!(out.labels, oracle, "{name} at t = {t}");
+        }
+    }
+}
+
+#[test]
+fn sampling_beats_exhaustive_on_search_cost_by_an_order_of_magnitude() {
+    let d = Dataset::by_name("web-BerkStan").unwrap();
+    let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
+    let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, SEED);
+    let exh = exhaustive(&w, 1.0);
+    assert!(
+        est.overhead * 10.0 < exh.search_cost,
+        "sampling {} vs exhaustive {}",
+        est.overhead,
+        exh.search_cost
+    );
+}
+
+#[test]
+fn estimated_threshold_is_close_in_time_to_the_best() {
+    // The headline claim, CC flavor: the estimated threshold's run time is
+    // within a modest factor of the best possible.
+    let mut total_penalty = 0.0;
+    let names = ["cant", "webbase-1M", "netherlands_osm"];
+    for name in names {
+        let d = Dataset::by_name(name).unwrap();
+        let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
+        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, SEED);
+        let best = exhaustive(&w, 1.0);
+        let penalty = w.time_at(est.threshold).pct_diff_from(best.best_time);
+        assert!(penalty < 120.0, "{name}: penalty {penalty:.1}% too large");
+        total_penalty += penalty;
+    }
+    let avg = total_penalty / names.len() as f64;
+    assert!(avg < 60.0, "average penalty {avg:.1}% too large");
+}
+
+#[test]
+fn experiment_row_is_internally_consistent() {
+    let d = Dataset::by_name("qcd5_4").unwrap();
+    let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
+    let row = run_one("qcd5_4", &w, &ExperimentConfig::cc(SEED));
+    // Exhaustive can never lose to any other method on its own grid.
+    assert!(row.time_exhaustive_ms <= row.time_estimated_ms + 1e-9);
+    if let Some(ns) = row.time_naive_static_ms {
+        assert!(row.time_exhaustive_ms <= ns + 1e-9);
+    }
+    assert!(row.overhead_ms > 0.0);
+    assert!(row.sample_size > 0);
+    assert!((0.0..=100.0).contains(&row.estimated_t));
+}
+
+#[test]
+fn induced_sampler_collapses_but_contract_sampler_does_not() {
+    let d = Dataset::by_name("webbase-1M").unwrap();
+    let g = d.graph(SCALE, SEED);
+    let w_contract = CcWorkload::new(g.clone(), platform());
+    let w_induced = w_contract.clone().with_sampler(CcSampler::Induced);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(SEED);
+    let s_contract = Sampleable::sample(&w_contract, SampleSpec::default(), &mut rng);
+    let s_induced = Sampleable::sample(&w_induced, SampleSpec::default(), &mut rng);
+    assert!(
+        s_induced.graph().m() * 10 < s_contract.graph().m().max(10),
+        "induced m = {}, contract m = {}",
+        s_induced.graph().m(),
+        s_contract.graph().m()
+    );
+}
+
+#[test]
+fn seeds_change_the_sample_but_not_the_input() {
+    let d = Dataset::by_name("cant").unwrap();
+    let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
+    let a = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+    let b = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+    assert_eq!(a.threshold, b.threshold, "same seed → same estimate");
+    // Full-input runs are seed-independent.
+    assert_eq!(w.run(50.0), w.run(50.0));
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration: the synthetic Table II registry feeding every
+//! case study with family-correct structure.
+
+use nbwp_datasets::{Dataset, Family};
+use nbwp_graph::features::approx_diameter;
+use nbwp_sparse::features::{power_law_exponent, Features};
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 42;
+
+#[test]
+fn every_dataset_generates_and_matches_its_scaled_size() {
+    for d in Dataset::all() {
+        let m = d.matrix(SCALE, SEED);
+        assert_eq!(m.rows(), d.scaled_n(SCALE), "{}", d.name);
+        assert!(m.nnz() > 0, "{} is empty", d.name);
+        // Density within 2x of the published average degree.
+        let avg = m.nnz() as f64 / m.rows() as f64;
+        let want = d.avg_degree() as f64;
+        assert!(
+            avg > want * 0.4 && avg < want * 2.5,
+            "{}: avg {avg:.1} vs published {want:.1}",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn web_family_is_scale_free_and_fem_is_not() {
+    let web = Dataset::by_name("web-BerkStan").unwrap().matrix(SCALE, SEED);
+    let fem = Dataset::by_name("pwtk").unwrap().matrix(SCALE, SEED);
+    let f_web = Features::of(&web);
+    let f_fem = Features::of(&fem);
+    assert!(f_web.gini > 0.4, "web gini = {}", f_web.gini);
+    assert!(f_fem.gini < 0.3, "fem gini = {}", f_fem.gini);
+    assert!(
+        power_law_exponent(&web.row_nnz_vector()).is_some(),
+        "web tail should fit a power law"
+    );
+}
+
+#[test]
+fn fem_family_is_banded() {
+    let m = Dataset::by_name("shipsec1").unwrap().matrix(SCALE, SEED);
+    let f = Features::of(&m);
+    assert!(f.band_fraction > 0.9, "band fraction = {}", f.band_fraction);
+}
+
+#[test]
+fn road_family_has_extreme_diameter_web_family_does_not() {
+    let road = Dataset::by_name("italy_osm").unwrap().graph(SCALE * 0.3, SEED);
+    let web = Dataset::by_name("web-BerkStan").unwrap().graph(SCALE, SEED);
+    let d_road = approx_diameter(&road);
+    let d_web = approx_diameter(&web);
+    assert!(
+        d_road > 10 * d_web.max(1),
+        "road diameter {d_road} vs web {d_web}"
+    );
+}
+
+#[test]
+fn qcd_family_is_perfectly_regular() {
+    let m = Dataset::by_name("qcd5_4").unwrap().matrix(SCALE, SEED);
+    let degs = m.row_nnz_vector();
+    let d0 = degs[0];
+    assert!(degs.iter().all(|&d| d == d0), "qcd rows must be uniform");
+}
+
+#[test]
+fn family_assignment_matches_registry() {
+    assert_eq!(Dataset::by_name("cant").unwrap().family, Family::Fem);
+    assert_eq!(Dataset::by_name("delaunay_n22").unwrap().family, Family::Mesh);
+    assert_eq!(Dataset::by_name("qcd5_4").unwrap().family, Family::Qcd);
+    assert_eq!(Dataset::by_name("webbase-1M").unwrap().family, Family::Web);
+    assert_eq!(Dataset::by_name("asia_osm").unwrap().family, Family::Road);
+}
+
+#[test]
+fn graph_reading_symmetrizes_the_matrix() {
+    let d = Dataset::by_name("webbase-1M").unwrap();
+    let g = d.graph(SCALE, SEED);
+    assert_eq!(g.n(), d.scaled_n(SCALE));
+    // Every edge is reported from both endpoints in CSR adjacency.
+    for v in 0..g.n().min(200) {
+        for &u in g.neighbors(v) {
+            assert!(
+                g.neighbors(u as usize).contains(&(v as u32)),
+                "missing reverse arc {u} -> {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_market_roundtrip_of_a_dataset() {
+    let m = Dataset::by_name("rma10").unwrap().matrix(0.005, SEED);
+    let mut buf = Vec::new();
+    nbwp_sparse::io::write_matrix_market(&m, &mut buf).unwrap();
+    let back = nbwp_sparse::io::read_matrix_market(std::io::BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(back, m);
+}

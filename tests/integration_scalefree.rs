@@ -1,0 +1,106 @@
+//! Cross-crate integration: Algorithm HH-CPU end to end — the four-way
+//! masked decomposition, threshold behaviour, and quantile extrapolation.
+
+use nbwp_core::prelude::*;
+use nbwp_datasets::Dataset;
+use nbwp_sparse::masked::HhProducts;
+use nbwp_sparse::spgemm::spgemm;
+
+const SCALE: f64 = 0.004;
+const SEED: u64 = 42;
+
+fn platform() -> Platform {
+    Platform::k40c_xeon_e5_2650().scaled_for(SCALE)
+}
+
+#[test]
+fn phase_four_reconstructs_the_product_on_real_datasets() {
+    for name in ["web-BerkStan", "cant"] {
+        let d = Dataset::by_name(name).unwrap();
+        let a = d.matrix(SCALE, SEED);
+        let reference = spgemm(&a, &a);
+        for t in [1, 8, 64] {
+            let combined = HhProducts::compute(&a, &a, t, t).combine();
+            // Same pattern; values equal up to accumulation-order rounding.
+            assert_eq!(combined.row_ptr(), reference.row_ptr(), "{name} t={t}");
+            assert_eq!(combined.col_indices(), reference.col_indices());
+            let close = combined
+                .values()
+                .iter()
+                .zip(reference.values())
+                .all(|(x, y)| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0));
+            assert!(close, "{name} t={t}: values drifted");
+        }
+    }
+}
+
+#[test]
+fn flops_are_conserved_and_shift_monotonically_to_the_gpu() {
+    let d = Dataset::by_name("webbase-1M").unwrap();
+    let w = HhWorkload::new(d.matrix(SCALE, SEED), platform());
+    let total = {
+        let r = w.run(1.0);
+        r.cpu_stats.flops + r.gpu_stats.flops
+    };
+    let mut last_gpu = 0;
+    for t in [1.0, 4.0, 16.0, 256.0, w.max_degree() as f64] {
+        let r = w.run(t);
+        assert_eq!(r.cpu_stats.flops + r.gpu_stats.flops, total, "t = {t}");
+        assert!(r.gpu_stats.flops >= last_gpu, "raising t moves work GPU-ward");
+        last_gpu = r.gpu_stats.flops;
+    }
+}
+
+#[test]
+fn estimation_overhead_is_tiny_as_the_paper_reports() {
+    // Paper Table I: ~1% overhead for the scale-free study (√n-row sample).
+    let d = Dataset::by_name("web-BerkStan").unwrap();
+    let w = HhWorkload::new(d.matrix(SCALE, SEED), platform());
+    let est = estimate(
+        &w,
+        SampleSpec::default(),
+        IdentifyStrategy::GradientDescent { max_evals: 24 },
+        SEED,
+    );
+    let run = w.time_at(est.threshold);
+    let overhead_pct = est.overhead / (est.overhead + run) * 100.0;
+    assert!(overhead_pct < 25.0, "overhead = {overhead_pct:.1}%");
+}
+
+#[test]
+fn quantile_extrapolation_hits_the_distribution_extremes() {
+    let d = Dataset::by_name("webbase-1M").unwrap();
+    let w = HhWorkload::new(d.matrix(SCALE, SEED), platform());
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(SEED);
+    let s = Sampleable::sample(&w, SampleSpec::default(), &mut rng);
+    // Everything-low on the sample maps to everything-low on the input.
+    let hi = w.extrapolate(s.max_degree() as f64, &s);
+    assert_eq!(hi, w.max_degree() as f64);
+    // Below the sample's minimum degree maps near the input's low end.
+    let lo = w.extrapolate(0.5, &s);
+    assert!(lo <= 4.0, "low quantile mapped to {lo}");
+}
+
+#[test]
+fn square_extrapolator_remains_available_for_the_ablation() {
+    let d = Dataset::by_name("web-BerkStan").unwrap();
+    let w = HhWorkload::new(d.matrix(SCALE, SEED), platform())
+        .with_extrapolator(Extrapolator::Square);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(SEED);
+    let s = Sampleable::sample(&w, SampleSpec::default(), &mut rng);
+    assert_eq!(w.extrapolate(6.0, &s), 36.0);
+}
+
+#[test]
+fn best_fit_recovers_a_power_law_from_calibration_pairs() {
+    // The paper's offline best-fit procedure (§V.A.3), run on synthetic
+    // calibration data that follows the square law exactly.
+    let pairs: Vec<(f64, f64)> = (2..30).map(|t| (f64::from(t), f64::from(t * t))).collect();
+    match fit_power(&pairs) {
+        Some(Extrapolator::Power { a, b }) => {
+            assert!((a - 1.0).abs() < 1e-6);
+            assert!((b - 2.0).abs() < 1e-6);
+        }
+        other => panic!("expected a power fit, got {other:?}"),
+    }
+}
