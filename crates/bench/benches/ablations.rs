@@ -23,7 +23,10 @@ fn bench_identify_strategies(c: &mut Criterion) {
     for (name, strategy) in [
         ("coarse_to_fine", IdentifyStrategy::CoarseToFine),
         ("race_then_fine", IdentifyStrategy::RaceThenFine),
-        ("gradient_descent", IdentifyStrategy::GradientDescent { max_evals: 24 }),
+        (
+            "gradient_descent",
+            IdentifyStrategy::GradientDescent { max_evals: 24 },
+        ),
         ("exhaustive", IdentifyStrategy::Exhaustive),
     ] {
         group.bench_function(name, |b| {
@@ -42,10 +45,24 @@ fn bench_sampler_ablation(c: &mut Criterion) {
     let contract = CcWorkload::new(g.clone(), platform());
     let induced = CcWorkload::new(g, platform()).with_sampler(CcSampler::Induced);
     group.bench_function("cc_contract_sampler", |b| {
-        b.iter(|| estimate(&contract, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7));
+        b.iter(|| {
+            estimate(
+                &contract,
+                SampleSpec::default(),
+                IdentifyStrategy::CoarseToFine,
+                7,
+            )
+        });
     });
     group.bench_function("cc_induced_sampler", |b| {
-        b.iter(|| estimate(&induced, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7));
+        b.iter(|| {
+            estimate(
+                &induced,
+                SampleSpec::default(),
+                IdentifyStrategy::CoarseToFine,
+                7,
+            )
+        });
     });
     group.finish();
 }

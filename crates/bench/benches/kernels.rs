@@ -101,7 +101,9 @@ fn bench_list_ranking(c: &mut Criterion) {
     let l = LinkedLists::random(100_000, 2, 5);
     let p = Platform::k40c_xeon_e5_2650();
     group.bench_function("sequential_100k", |b| b.iter(|| l.rank_sequential()));
-    group.bench_function("hybrid_t40_100k", |b| b.iter(|| hybrid_rank(&l, 40.0, &p, 9)));
+    group.bench_function("hybrid_t40_100k", |b| {
+        b.iter(|| hybrid_rank(&l, 40.0, &p, 9))
+    });
     group.finish();
 }
 

@@ -20,7 +20,14 @@ fn bench_estimation_vs_exhaustive(c: &mut Criterion) {
 
     let cc = CcWorkload::new(d.graph(SCALE, 42), platform());
     group.bench_function("cc_sampling_estimate", |b| {
-        b.iter(|| estimate(&cc, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7));
+        b.iter(|| {
+            estimate(
+                &cc,
+                SampleSpec::default(),
+                IdentifyStrategy::CoarseToFine,
+                7,
+            )
+        });
     });
     group.bench_function("cc_exhaustive_step8", |b| {
         b.iter(|| exhaustive(&cc, 8.0));
@@ -28,7 +35,14 @@ fn bench_estimation_vs_exhaustive(c: &mut Criterion) {
 
     let spmm = SpmmWorkload::new(d.matrix(SCALE, 42), platform());
     group.bench_function("spmm_sampling_estimate", |b| {
-        b.iter(|| estimate(&spmm, SampleSpec::default(), IdentifyStrategy::RaceThenFine, 7));
+        b.iter(|| {
+            estimate(
+                &spmm,
+                SampleSpec::default(),
+                IdentifyStrategy::RaceThenFine,
+                7,
+            )
+        });
     });
     group.bench_function("spmm_exhaustive_step1", |b| {
         b.iter(|| exhaustive(&spmm, 1.0));

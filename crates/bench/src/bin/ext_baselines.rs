@@ -34,7 +34,12 @@ fn main() {
     let (mut s_pen, mut st_pen, mut h_pen, mut d_pen) = (0.0, 0.0, 0.0, 0.0);
     for (name, w) in &suite {
         let best = exhaustive(w, 1.0);
-        let est = estimate(w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, opts.seed);
+        let est = estimate(
+            w,
+            SampleSpec::default(),
+            IdentifyStrategy::RaceThenFine,
+            opts.seed,
+        );
         let t_sampling = w.time_at(est.threshold);
         let t_static = w.time_at(naive_static_for(w));
         let t_history = w.time_at(history.threshold_for(w));
@@ -64,5 +69,7 @@ fn main() {
         h_pen / k,
         d_pen / k
     );
-    println!("\nExpected shape: sampling < history/static; dynamic competitive only without overhead.");
+    println!(
+        "\nExpected shape: sampling < history/static; dynamic competitive only without overhead."
+    );
 }

@@ -27,10 +27,18 @@ fn main() {
         total_saved += saved;
         println!(
             "{:<16} {:>9.1} {:>9.1} {:>11.4} {:>12.4} {:>9.2}",
-            name, sweep.time_best_t, sweep.best_t, sweep.joules_at_time_best, sweep.best_joules, saved
+            name,
+            sweep.time_best_t,
+            sweep.best_t,
+            sweep.joules_at_time_best,
+            sweep.best_joules,
+            saved
         );
     }
     println!("{}", "-".repeat(72));
-    println!("average energy saved by energy-aware thresholds: {:.2}%", total_saved / suite.len() as f64);
+    println!(
+        "average energy saved by energy-aware thresholds: {:.2}%",
+        total_saved / suite.len() as f64
+    );
     println!("\nExpected shape: energy optima shift CPU-ward (the K40c burns 235 W vs 190 W).");
 }

@@ -20,7 +20,10 @@ fn main() {
     );
     for (label, platform) in [
         ("Xeon + 2×K40c", MultiPlatform::xeon_with_k40cs(2)),
-        ("Xeon + K40c + iGPU", MultiPlatform::xeon_k40c_plus_integrated()),
+        (
+            "Xeon + K40c + iGPU",
+            MultiPlatform::xeon_k40c_plus_integrated(),
+        ),
     ] {
         println!("\n== {label} ==");
         println!(

@@ -13,12 +13,18 @@ fn main() {
     // Element count scales like the dataset registry does.
     let n = ((2_000_000.0 * opts.scale) as usize).max(10_000);
     let platform = opts.platform();
-    println!("hybrid sort, n = {n} keys, scale = {}, seed = {}\n", opts.scale, opts.seed);
+    println!(
+        "hybrid sort, n = {n} keys, scale = {}, seed = {}\n",
+        opts.scale, opts.seed
+    );
 
     let suite: Vec<(String, SortWorkload)> = vec![
         ("uniform-u64".to_string(), gen::uniform(n, opts.seed)),
         ("narrow-16bit".to_string(), gen::narrow_range(n, opts.seed)),
-        ("nearly-sorted".to_string(), gen::nearly_sorted(n, opts.seed)),
+        (
+            "nearly-sorted".to_string(),
+            gen::nearly_sorted(n, opts.seed),
+        ),
         ("dup-heavy".to_string(), gen::duplicates(n, 37, opts.seed)),
     ]
     .into_iter()

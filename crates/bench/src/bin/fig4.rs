@@ -17,7 +17,10 @@ fn main() {
         let w = CcWorkload::new(d.graph(opts.scale, opts.seed), platform);
         eprintln!("  sweeping {name}...");
         let points = sensitivity(&w, &factors, IdentifyStrategy::CoarseToFine, opts.seed);
-        println!("{}", sensitivity_table(&format!("CC / {name} (factor 1.0 = √n)"), &points));
+        println!(
+            "{}",
+            sensitivity_table(&format!("CC / {name} (factor 1.0 = √n)"), &points)
+        );
         all.push((name, points));
     }
     println!("Expected shape: concave total time with the minimum near factor 1.0 (√n).");

@@ -18,7 +18,10 @@ fn main() {
         let w = SpmmWorkload::new(d.matrix(opts.scale, opts.seed), platform);
         eprintln!("  sweeping {name}...");
         let points = sensitivity(&w, &factors, IdentifyStrategy::RaceThenFine, opts.seed);
-        println!("{}", sensitivity_table(&format!("spmm / {name} (factor 1.0 = n/4)"), &points));
+        println!(
+            "{}",
+            sensitivity_table(&format!("spmm / {name} (factor 1.0 = n/4)"), &points)
+        );
         all.push((name, points));
     }
     println!("Expected shape: near-concave total time, minimum around factor 1.0 (n/4).");

@@ -47,10 +47,7 @@ fn main() {
             name, best, random, blocks[0], blocks[1], blocks[2], blocks[3], max_err
         );
         let rand_err = (random - best).abs();
-        assert!(
-            blocks.iter().all(|t| (t - best).abs() >= 0.0),
-            "sanity"
-        );
+        assert!(blocks.iter().all(|t| (t - best).abs() >= 0.0), "sanity");
         dump.push((name, best, random, blocks.clone(), max_err));
         println!(
             "{:<12} random |err| = {:.1}, predetermined spread = {:.1}–{:.1}",

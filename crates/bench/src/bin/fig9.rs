@@ -22,7 +22,10 @@ fn main() {
             IdentifyStrategy::GradientDescent { max_evals: 24 },
             opts.seed,
         );
-        println!("{}", sensitivity_table(&format!("HH / {name} (factor 1.0 = √n rows)"), &points));
+        println!(
+            "{}",
+            sensitivity_table(&format!("HH / {name} (factor 1.0 = √n rows)"), &points)
+        );
         all.push((name, points));
     }
     println!("Expected shape: total time minimized near factor 1.0 (√n rows).");

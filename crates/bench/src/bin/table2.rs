@@ -7,7 +7,10 @@ use nbwp_sparse::features::Features;
 
 fn main() {
     let opts = Opts::parse();
-    println!("Table II — datasets (scale = {}, seed = {})", opts.scale, opts.seed);
+    println!(
+        "Table II — datasets (scale = {}, seed = {})",
+        opts.scale, opts.seed
+    );
     println!(
         "{:<18} {:>10} {:>11} | {:>9} {:>10} {:>8} {:>7} {:>6}",
         "Graph/Matrix", "paper n", "paper nnz", "gen n", "gen nnz", "avg deg", "gini", "SF?"

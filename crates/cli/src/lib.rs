@@ -10,7 +10,16 @@
 //! nbwp estimate cc   --input cant.mtx
 //! nbwp estimate spmm --input cant.mtx --seed 7
 //! nbwp estimate hh   --input web.mtx
+//! # Capture a Chrome trace of the whole pipeline and check it:
+//! nbwp estimate cc --input cant.mtx --trace-out cc-trace.json --metrics
+//! nbwp trace cc-trace.json
 //! ```
+//!
+//! `--trace-out` writes Chrome trace-event JSON (open it in Perfetto or
+//! `chrome://tracing`); a path ending in `.jsonl` selects the JSONL stream
+//! format instead. `--metrics` prints the metrics/summary view to stdout.
+//! `nbwp trace <file>` validates a captured Chrome trace structurally
+//! (used by CI).
 //!
 //! The binary is a thin shell over [`run`], which is unit-tested directly.
 
@@ -69,6 +78,16 @@ pub enum Command {
         seed: u64,
         /// Compare against the exhaustive best (slower).
         exhaustive: bool,
+        /// Write a trace of the estimation pipeline to this path (Chrome
+        /// trace-event JSON, or JSONL when the path ends in `.jsonl`).
+        trace_out: Option<String>,
+        /// Print the metrics / summary view to stdout.
+        metrics: bool,
+    },
+    /// Validate a Chrome trace captured with `estimate --trace-out`.
+    Trace {
+        /// Path of the trace JSON file.
+        input: String,
     },
 }
 
@@ -108,16 +127,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| err("estimate requires a workload: cc | spmm | hh"))?
                 .clone();
             if !matches!(workload.as_str(), "cc" | "spmm" | "hh") {
-                return Err(err(format!("unknown workload {workload}; use cc | spmm | hh")));
+                return Err(err(format!(
+                    "unknown workload {workload}; use cc | spmm | hh"
+                )));
             }
             let mut input = None;
             let mut seed = 42;
             let mut exhaustive = false;
+            let mut trace_out = None;
+            let mut metrics = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--input" => input = Some(next_val(&mut it, flag)?),
                     "--seed" => seed = parse_num(&next_val(&mut it, flag)?)?,
                     "--exhaustive" => exhaustive = true,
+                    "--trace-out" => trace_out = Some(next_val(&mut it, flag)?),
+                    "--metrics" => metrics = true,
                     other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
                 }
             }
@@ -126,7 +151,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 input: input.ok_or_else(|| err("estimate requires --input"))?,
                 seed,
                 exhaustive,
+                trace_out,
+                metrics,
             })
+        }
+        "trace" => {
+            let input = it
+                .next()
+                .ok_or_else(|| err("trace requires a file: nbwp trace <trace.json>"))?
+                .clone();
+            if let Some(extra) = it.next() {
+                return Err(err(format!("unexpected argument {extra}\n{USAGE}")));
+            }
+            Ok(Command::Trace { input })
         }
         "--help" | "-h" | "help" => Err(err(USAGE)),
         other => Err(err(format!("unknown subcommand {other}\n{USAGE}"))),
@@ -137,12 +174,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 pub const USAGE: &str = "usage:
   nbwp datasets
   nbwp gen --dataset <name> [--scale f] [--seed u64] --out <file.mtx>
-  nbwp estimate <cc|spmm|hh> --input <file.mtx> [--seed u64] [--exhaustive]";
+  nbwp estimate <cc|spmm|hh> --input <file.mtx> [--seed u64] [--exhaustive]
+                [--trace-out <trace.json|trace.jsonl>] [--metrics]
+  nbwp trace <trace.json>";
 
-fn next_val<'a>(
-    it: &mut impl Iterator<Item = &'a String>,
-    flag: &str,
-) -> Result<String, CliError> {
+fn next_val<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<String, CliError> {
     it.next()
         .cloned()
         .ok_or_else(|| err(format!("{flag} needs a value")))
@@ -170,13 +206,27 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             input,
             seed,
             exhaustive,
-        } => estimate_cmd(workload, input, *seed, *exhaustive),
+            trace_out,
+            metrics,
+        } => estimate_cmd(
+            workload,
+            input,
+            *seed,
+            *exhaustive,
+            trace_out.as_deref(),
+            *metrics,
+        ),
+        Command::Trace { input } => trace_cmd(input),
     }
 }
 
 fn list_datasets() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18} {:>10} {:>11} {:>8} {:>6}", "name", "n", "nnz", "family", "SF?");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>11} {:>8} {:>6}",
+        "name", "n", "nnz", "family", "SF?"
+    );
     for d in Dataset::all() {
         let _ = writeln!(
             out,
@@ -198,7 +248,8 @@ fn gen_dataset(name: &str, scale: f64, seed: u64, out: &str) -> Result<String, C
     let d = Dataset::by_name(name)
         .ok_or_else(|| err(format!("unknown dataset {name}; run `nbwp datasets`")))?;
     let m = d.matrix(scale, seed);
-    let file = File::create(Path::new(out)).map_err(|e| err(format!("cannot create {out}: {e}")))?;
+    let file =
+        File::create(Path::new(out)).map_err(|e| err(format!("cannot create {out}: {e}")))?;
     io::write_matrix_market(&m, BufWriter::new(file))
         .map_err(|e| err(format!("write failed: {e}")))?;
     Ok(format!(
@@ -219,6 +270,8 @@ fn estimate_cmd(
     input: &str,
     seed: u64,
     exhaustive: bool,
+    trace_out: Option<&str>,
+    metrics: bool,
 ) -> Result<String, CliError> {
     let a = load_matrix(input)?;
     if a.rows() != a.cols() {
@@ -229,6 +282,11 @@ fn estimate_cmd(
         )));
     }
     let platform = Platform::k40c_xeon_e5_2650();
+    let rec = if trace_out.is_some() || metrics {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -240,27 +298,102 @@ fn estimate_cmd(
     match workload {
         "cc" => {
             let w = CcWorkload::new(Graph::from_matrix(&a), platform);
-            let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, seed);
-            report_scalar(&mut out, &w, &est, "CPU vertex share %", exhaustive);
+            let est = estimate_with(
+                &w,
+                SampleSpec::default(),
+                IdentifyStrategy::CoarseToFine,
+                seed,
+                &rec,
+            );
+            report_scalar(&mut out, &w, &est, "CPU vertex share %", exhaustive, &rec);
         }
         "spmm" => {
             let w = SpmmWorkload::new(a, platform);
-            let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, seed);
-            report_scalar(&mut out, &w, &est, "CPU work share %", exhaustive);
+            let est = estimate_with(
+                &w,
+                SampleSpec::default(),
+                IdentifyStrategy::RaceThenFine,
+                seed,
+                &rec,
+            );
+            report_scalar(&mut out, &w, &est, "CPU work share %", exhaustive, &rec);
         }
         "hh" => {
             let w = HhWorkload::new(a, platform);
-            let est = estimate(
+            let est = estimate_with(
                 &w,
                 SampleSpec::default(),
                 IdentifyStrategy::GradientDescent { max_evals: 24 },
                 seed,
+                &rec,
             );
-            report_scalar(&mut out, &w, &est, "row-density threshold", exhaustive);
+            report_scalar(
+                &mut out,
+                &w,
+                &est,
+                "row-density threshold",
+                exhaustive,
+                &rec,
+            );
         }
         other => return Err(err(format!("unknown workload {other}"))),
     }
+    let trace = rec.finish();
+    if metrics {
+        out.push('\n');
+        out.push_str(&trace.summary(60));
+    }
+    if let Some(path) = trace_out {
+        let text = if path.ends_with(".jsonl") {
+            trace.to_jsonl()
+        } else {
+            trace.to_chrome_trace()
+        };
+        std::fs::write(Path::new(path), text)
+            .map_err(|e| err(format!("cannot write trace to {path}: {e}")))?;
+        let _ = writeln!(out, "wrote trace ({} spans) to {path}", trace.spans.len());
+    }
     Ok(out)
+}
+
+/// Lane and pipeline span names every `estimate --trace-out` capture must
+/// contain (checked by `nbwp trace`, exercised in CI).
+const REQUIRED_SPANS: [&str; 11] = [
+    "estimate",
+    "sample",
+    "identify",
+    "identify.eval",
+    "extrapolate",
+    "partition",
+    "transfer_in",
+    "cpu_compute",
+    "gpu_compute",
+    "transfer_out",
+    "merge",
+];
+
+fn trace_cmd(input: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(Path::new(input))
+        .map_err(|e| err(format!("cannot read {input}: {e}")))?;
+    let check = nbwp_trace::validate_chrome_trace(&text)
+        .map_err(|e| err(format!("{input}: invalid trace: {e}")))?;
+    let missing: Vec<&str> = REQUIRED_SPANS
+        .iter()
+        .copied()
+        .filter(|name| check.count(name) == 0)
+        .collect();
+    if !missing.is_empty() {
+        return Err(err(format!(
+            "{input}: structurally valid but missing expected spans: {}",
+            missing.join(", ")
+        )));
+    }
+    Ok(format!(
+        "{input}: valid Chrome trace — {} events, {} spans, {} candidate evaluations\n",
+        check.events,
+        check.complete_spans,
+        check.count("identify.eval")
+    ))
 }
 
 fn report_scalar<W: PartitionedWorkload>(
@@ -269,16 +402,22 @@ fn report_scalar<W: PartitionedWorkload>(
     est: &SamplingEstimate,
     unit: &str,
     exhaustive: bool,
+    rec: &Recorder,
 ) {
     let _ = writeln!(
         out,
         "estimated threshold: {:.1} ({unit})\n  sample size {}, {} miniature runs, estimation cost {}",
         est.threshold, est.sample_size, est.evaluations, est.overhead
     );
-    let _ = writeln!(out, "  run at estimated threshold: {}", w.time_at(est.threshold));
+    let _ = writeln!(
+        out,
+        "  run at estimated threshold: {}",
+        w.time_at(est.threshold)
+    );
     if exhaustive {
         let step = if w.space().logarithmic { 1.15 } else { 1.0 };
         let best = nbwp_core::search::exhaustive(w, step);
+        rec.gauge_set("threshold.diff_pct", (est.threshold - best.best_t).abs());
         let _ = writeln!(
             out,
             "  exhaustive best: {:.1} → {} ({} full runs; penalty of the estimate: {:.1}%)",
@@ -301,7 +440,10 @@ mod tests {
     #[test]
     fn parse_all_subcommands() {
         assert_eq!(parse_args(&args("datasets")).unwrap(), Command::Datasets);
-        let g = parse_args(&args("gen --dataset cant --scale 0.01 --seed 7 --out /tmp/x.mtx")).unwrap();
+        let g = parse_args(&args(
+            "gen --dataset cant --scale 0.01 --seed 7 --out /tmp/x.mtx",
+        ))
+        .unwrap();
         assert_eq!(
             g,
             Command::Gen {
@@ -318,7 +460,30 @@ mod tests {
                 workload: "spmm".into(),
                 input: "/tmp/x.mtx".into(),
                 seed: 42,
-                exhaustive: true
+                exhaustive: true,
+                trace_out: None,
+                metrics: false
+            }
+        );
+        let t = parse_args(&args(
+            "estimate cc --input x.mtx --trace-out t.json --metrics",
+        ))
+        .unwrap();
+        assert_eq!(
+            t,
+            Command::Estimate {
+                workload: "cc".into(),
+                input: "x.mtx".into(),
+                seed: 42,
+                exhaustive: false,
+                trace_out: Some("t.json".into()),
+                metrics: true
+            }
+        );
+        assert_eq!(
+            parse_args(&args("trace t.json")).unwrap(),
+            Command::Trace {
+                input: "t.json".into()
             }
         );
     }
@@ -327,8 +492,14 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(parse_args(&args("frobnicate")).is_err());
         assert!(parse_args(&args("estimate sorting --input x")).is_err());
-        assert!(parse_args(&args("gen --dataset cant")).is_err(), "missing --out");
+        assert!(
+            parse_args(&args("gen --dataset cant")).is_err(),
+            "missing --out"
+        );
         assert!(parse_args(&args("gen --scale abc --out x --dataset cant")).is_err());
+        assert!(parse_args(&args("trace")).is_err(), "trace needs a file");
+        assert!(parse_args(&args("trace a.json b.json")).is_err());
+        assert!(parse_args(&args("estimate cc --input x --trace-out")).is_err());
         assert!(parse_args(&[]).is_err());
     }
 
@@ -361,11 +532,93 @@ mod tests {
                 input: path_s.clone(),
                 seed: 3,
                 exhaustive: false,
+                trace_out: None,
+                metrics: false,
             })
             .unwrap();
             assert!(text.contains("estimated threshold"), "{wl}: {text}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn estimate_traces_validate_and_are_deterministic() {
+        let dir = std::env::temp_dir().join("nbwp_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("cant.mtx");
+        let mtx_s = mtx.to_str().unwrap().to_string();
+        run(&Command::Gen {
+            dataset: "cant".into(),
+            scale: 0.004,
+            seed: 5,
+            out: mtx_s.clone(),
+        })
+        .unwrap();
+
+        let capture = |trace_path: &std::path::Path, wl: &str| -> String {
+            let text = run(&Command::Estimate {
+                workload: wl.into(),
+                input: mtx_s.clone(),
+                seed: 5,
+                exhaustive: false,
+                trace_out: Some(trace_path.to_str().unwrap().into()),
+                metrics: true,
+            })
+            .unwrap();
+            assert!(text.contains("wrote trace"), "{text}");
+            std::fs::read_to_string(trace_path).unwrap()
+        };
+
+        for wl in ["cc", "spmm", "hh"] {
+            let t1 = dir.join(format!("{wl}-1.json"));
+            let t2 = dir.join(format!("{wl}-2.json"));
+            let first = capture(&t1, wl);
+            let second = capture(&t2, wl);
+            // Same seed, same input ⇒ byte-identical traces.
+            assert_eq!(first, second, "{wl} trace not reproducible");
+            // The capture passes the structural validator and contains all
+            // pipeline + lane spans.
+            let report = run(&Command::Trace {
+                input: t1.to_str().unwrap().into(),
+            })
+            .unwrap();
+            assert!(report.contains("valid Chrome trace"), "{wl}: {report}");
+            std::fs::remove_file(&t1).ok();
+            std::fs::remove_file(&t2).ok();
+        }
+
+        // JSONL flavor writes one object per line.
+        let jl = dir.join("cc.jsonl");
+        capture(&jl, "cc");
+        let text = std::fs::read_to_string(&jl).unwrap();
+        assert!(text.lines().count() > 3);
+        assert!(text.lines().next().unwrap().contains("\"type\":\"trace\""));
+        std::fs::remove_file(&jl).ok();
+        std::fs::remove_file(&mtx).ok();
+    }
+
+    #[test]
+    fn trace_cmd_rejects_invalid_and_incomplete_traces() {
+        let dir = std::env::temp_dir().join("nbwp_cli_trace_reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(run(&Command::Trace {
+            input: bad.to_str().unwrap().into()
+        })
+        .is_err());
+        // Structurally valid but missing the pipeline spans.
+        std::fs::write(
+            &bad,
+            r#"[{"name":"a","ph":"X","pid":0,"tid":0,"ts":0.0,"dur":1.0}]"#,
+        )
+        .unwrap();
+        let e = run(&Command::Trace {
+            input: bad.to_str().unwrap().into(),
+        })
+        .unwrap_err();
+        assert!(e.0.contains("missing expected spans"), "{e}");
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]
@@ -392,7 +645,9 @@ mod tests {
             workload: "cc".into(),
             input: "/nonexistent/file.mtx".into(),
             seed: 1,
-            exhaustive: false
+            exhaustive: false,
+            trace_out: None,
+            metrics: false
         })
         .is_err());
     }

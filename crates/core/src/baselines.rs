@@ -147,7 +147,6 @@ mod tests {
     use crate::framework::ThresholdSpace;
     use nbwp_sim::{RunBreakdown, RunReport};
 
-
     fn test_platform() -> &'static nbwp_sim::Platform {
         static P: std::sync::OnceLock<nbwp_sim::Platform> = std::sync::OnceLock::new();
         P.get_or_init(nbwp_sim::Platform::k40c_xeon_e5_2650)

@@ -49,8 +49,8 @@ impl PowerModel {
         let span = b.cpu_compute.max(gpu_side);
         let cpu_energy = self.cpu_busy_w * b.cpu_compute.as_secs()
             + self.cpu_idle_w * (span - b.cpu_compute).as_secs();
-        let gpu_energy = self.gpu_busy_w * gpu_side.as_secs()
-            + self.gpu_idle_w * (span - gpu_side).as_secs();
+        let gpu_energy =
+            self.gpu_busy_w * gpu_side.as_secs() + self.gpu_idle_w * (span - gpu_side).as_secs();
         let serial = b.partition + b.merge;
         cpu_energy + gpu_energy + serial.as_secs() * (self.cpu_busy_w + self.gpu_idle_w)
     }
@@ -83,7 +83,10 @@ pub fn exhaustive_energy<W: PartitionedWorkload>(
     let space = w.space();
     let mut grid = Vec::new();
     if space.logarithmic {
-        assert!(step > 1.0, "logarithmic spaces need a multiplicative step > 1");
+        assert!(
+            step > 1.0,
+            "logarithmic spaces need a multiplicative step > 1"
+        );
         let mut t = space.lo.max(1e-9);
         while t < space.hi {
             grid.push(t);

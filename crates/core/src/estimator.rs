@@ -2,11 +2,12 @@
 //! assembling Sample → Identify → Extrapolate into one call.
 
 use nbwp_sim::SimTime;
+use nbwp_trace::{ArgValue, Recorder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
 use crate::search::{self, SearchOutcome};
 
 /// Which Identify strategy (§II Step 2) to run on the sampled input.
@@ -24,6 +25,19 @@ pub enum IdentifyStrategy {
     },
     /// Exhaustive search on the sample (upper bound on identify quality).
     Exhaustive,
+}
+
+impl IdentifyStrategy {
+    /// Stable snake_case name, used as a span argument in traces.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            IdentifyStrategy::CoarseToFine => "coarse_to_fine",
+            IdentifyStrategy::RaceThenFine => "race_then_fine",
+            IdentifyStrategy::GradientDescent { .. } => "gradient_descent",
+            IdentifyStrategy::Exhaustive => "exhaustive",
+        }
+    }
 }
 
 /// Result of one sampling-based estimation.
@@ -53,25 +67,81 @@ pub fn estimate<W: Sampleable>(
     strategy: IdentifyStrategy,
     seed: u64,
 ) -> SamplingEstimate {
+    estimate_with(workload, spec, strategy, seed, &Recorder::disabled())
+}
+
+/// [`estimate`], tracing the whole pipeline into `rec`: an `estimate` span
+/// containing `sample` (duration = sample construction cost), `identify`
+/// (duration = search cost, one `identify.eval` child per candidate run),
+/// and `extrapolate` (instantaneous — it is pure arithmetic), plus the
+/// `sample.rate` and `search.cost_ms` gauges.
+#[must_use]
+pub fn estimate_with<W: Sampleable>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    rec: &Recorder,
+) -> SamplingEstimate {
     let mut rng = SmallRng::seed_from_u64(seed);
+    let estimate_span = rec.open_with(
+        "estimate",
+        vec![
+            ("strategy".to_string(), ArgValue::from(strategy.name())),
+            ("seed".to_string(), ArgValue::U64(seed)),
+        ],
+    );
     // Step 1: Sample.
+    let sample_span = rec.open("sample");
     let sample = workload.sample(spec, &mut rng);
+    rec.advance(workload.sampling_cost());
+    rec.annotate(
+        sample_span,
+        vec![("sample_size".to_string(), ArgValue::from(sample.size()))],
+    );
+    rec.close(sample_span);
+    if workload.size() > 0 {
+        rec.gauge_set("sample.rate", sample.size() as f64 / workload.size() as f64);
+    }
     // Step 2: Identify on the sample.
+    let identify_span = rec.open("identify");
     let outcome: SearchOutcome = match strategy {
-        IdentifyStrategy::CoarseToFine => search::coarse_to_fine(&sample),
-        IdentifyStrategy::RaceThenFine => search::race_then_fine(&sample),
+        IdentifyStrategy::CoarseToFine => search::coarse_to_fine_with(&sample, rec),
+        IdentifyStrategy::RaceThenFine => search::race_then_fine_with(&sample, rec),
         IdentifyStrategy::GradientDescent { max_evals } => {
-            search::gradient_descent(&sample, max_evals)
+            search::gradient_descent_with(&sample, max_evals, rec)
         }
         IdentifyStrategy::Exhaustive => {
             let step = sample.space().fine_step;
-            search::exhaustive(&sample, step)
+            search::exhaustive_with(&sample, step, rec)
         }
     };
+    rec.annotate(
+        identify_span,
+        vec![
+            ("best_t".to_string(), ArgValue::F64(outcome.best_t)),
+            (
+                "evaluations".to_string(),
+                ArgValue::from(outcome.evaluations()),
+            ),
+        ],
+    );
+    rec.close(identify_span);
+    rec.gauge_set("search.cost_ms", outcome.search_cost.as_millis());
     // Step 3: Extrapolate.
+    let extrapolate_span = rec.open("extrapolate");
     let threshold = workload
         .space()
         .clamp(workload.extrapolate(outcome.best_t, &sample));
+    rec.annotate(
+        extrapolate_span,
+        vec![
+            ("sample_t".to_string(), ArgValue::F64(outcome.best_t)),
+            ("threshold".to_string(), ArgValue::F64(threshold)),
+        ],
+    );
+    rec.close(extrapolate_span);
+    rec.close(estimate_span);
     SamplingEstimate {
         threshold,
         sample_threshold: outcome.best_t,
@@ -86,7 +156,6 @@ mod tests {
     use super::*;
     use crate::framework::ThresholdSpace;
     use nbwp_sim::{RunBreakdown, RunReport};
-
 
     fn test_platform() -> &'static nbwp_sim::Platform {
         static P: std::sync::OnceLock<nbwp_sim::Platform> = std::sync::OnceLock::new();
@@ -213,8 +282,18 @@ mod tests {
             cost_scale: 1.0,
             n: 1 << 16,
         };
-        let small = estimate(&w, SampleSpec::scaled(0.25), IdentifyStrategy::CoarseToFine, 3);
-        let big = estimate(&w, SampleSpec::scaled(4.0), IdentifyStrategy::CoarseToFine, 3);
+        let small = estimate(
+            &w,
+            SampleSpec::scaled(0.25),
+            IdentifyStrategy::CoarseToFine,
+            3,
+        );
+        let big = estimate(
+            &w,
+            SampleSpec::scaled(4.0),
+            IdentifyStrategy::CoarseToFine,
+            3,
+        );
         assert!(big.sample_size > small.sample_size);
     }
 }
@@ -318,7 +397,12 @@ mod repeat_tests {
         let mut err1 = 0.0;
         let mut err5 = 0.0;
         for seed in 0..12 {
-            let single = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, seed);
+            let single = estimate(
+                &w,
+                SampleSpec::default(),
+                IdentifyStrategy::CoarseToFine,
+                seed,
+            );
             let multi = estimate_repeated(
                 &w,
                 SampleSpec::default(),
@@ -360,6 +444,12 @@ mod repeat_tests {
             opt: 30.0,
             noise: 0.0,
         };
-        let _ = estimate_repeated(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 3, 0);
+        let _ = estimate_repeated(
+            &w,
+            SampleSpec::default(),
+            IdentifyStrategy::CoarseToFine,
+            3,
+            0,
+        );
     }
 }

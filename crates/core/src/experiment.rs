@@ -3,11 +3,12 @@
 //! and Table I aggregation.
 
 use nbwp_sim::SimTime;
+use nbwp_trace::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::baselines;
-use crate::estimator::{estimate, IdentifyStrategy, SamplingEstimate};
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec};
+use crate::estimator::{estimate, estimate_with, IdentifyStrategy, SamplingEstimate};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
 use crate::search;
 
 /// Configuration of one experiment run.
@@ -118,7 +119,9 @@ impl ExperimentRow {
             let lo = self.space_lo.max(1e-9);
             let hi = self.space_hi.max(lo * (1.0 + 1e-9));
             let axis = (hi / lo).ln();
-            let d = (self.estimated_t.max(lo) / self.exhaustive_t.max(lo)).ln().abs();
+            let d = (self.estimated_t.max(lo) / self.exhaustive_t.max(lo))
+                .ln()
+                .abs();
             (d / axis * 100.0).min(100.0)
         } else {
             (self.estimated_t - self.exhaustive_t).abs()
@@ -131,8 +134,7 @@ impl ExperimentRow {
         if self.time_exhaustive_ms == 0.0 {
             return 0.0;
         }
-        (self.time_estimated_ms - self.time_exhaustive_ms).abs() / self.time_exhaustive_ms
-            * 100.0
+        (self.time_estimated_ms - self.time_exhaustive_ms).abs() / self.time_exhaustive_ms * 100.0
     }
 
     /// Paper metric: estimation overhead as a share of the overall time
@@ -161,15 +163,28 @@ impl ExperimentRow {
 /// Runs the full method comparison for one dataset.
 #[must_use]
 pub fn run_one<W: Sampleable>(name: &str, w: &W, config: &ExperimentConfig) -> ExperimentRow {
+    run_one_with(name, w, config, &Recorder::disabled())
+}
+
+/// [`run_one`], tracing the sampling estimate into `rec` and recording the
+/// paper's quality metrics (`threshold.diff_pct`, `time.diff_pct`) as
+/// gauges once the exhaustive reference is known.
+#[must_use]
+pub fn run_one_with<W: Sampleable>(
+    name: &str,
+    w: &W,
+    config: &ExperimentConfig,
+    rec: &Recorder,
+) -> ExperimentRow {
     let exhaustive = search::exhaustive(w, config.exhaustive_step);
-    let est: SamplingEstimate = estimate(w, config.spec, config.strategy, config.seed);
+    let est: SamplingEstimate = estimate_with(w, config.spec, config.strategy, config.seed, rec);
     let space = w.space();
     let naive_static_t = if space.logarithmic {
         None
     } else {
         Some(baselines::naive_static_for(w))
     };
-    ExperimentRow {
+    let row = ExperimentRow {
         dataset: name.to_string(),
         n: w.size(),
         exhaustive_t: exhaustive.best_t,
@@ -187,7 +202,10 @@ pub fn run_one<W: Sampleable>(name: &str, w: &W, config: &ExperimentConfig) -> E
         relative_threshold_diff: config.relative_threshold_diff,
         space_lo: space.lo,
         space_hi: space.hi,
-    }
+    };
+    rec.gauge_set("threshold.diff_pct", row.threshold_diff_pct());
+    rec.gauge_set("time.diff_pct", row.time_diff_pct());
+    row
 }
 
 /// Second pass for *NaiveAverage*: averages the exhaustive thresholds over
@@ -203,9 +221,7 @@ pub fn fill_naive_average<W: PartitionedWorkload>(rows: &mut [ExperimentRow], wo
         let s: f64 = rows.iter().map(|r| r.exhaustive_t.max(1e-9).ln()).sum();
         (s / rows.len() as f64).exp()
     } else {
-        baselines::naive_average(
-            &rows.iter().map(|r| r.exhaustive_t).collect::<Vec<_>>(),
-        )
+        baselines::naive_average(&rows.iter().map(|r| r.exhaustive_t).collect::<Vec<_>>())
     };
     for (row, w) in rows.iter_mut().zip(workloads) {
         let t = w.space().clamp(avg);
@@ -277,7 +293,11 @@ pub fn summarize(workload: &str, rows: &[ExperimentRow]) -> Summary {
     let n = rows.len() as f64;
     Summary {
         workload: workload.to_string(),
-        threshold_diff_pct: rows.iter().map(ExperimentRow::threshold_diff_pct).sum::<f64>() / n,
+        threshold_diff_pct: rows
+            .iter()
+            .map(ExperimentRow::threshold_diff_pct)
+            .sum::<f64>()
+            / n,
         time_diff_pct: rows.iter().map(ExperimentRow::time_diff_pct).sum::<f64>() / n,
         overhead_pct: rows.iter().map(ExperimentRow::overhead_pct).sum::<f64>() / n,
     }
@@ -316,10 +336,7 @@ mod tests {
     fn naive_average_fill() {
         let ws = [dense(256), dense(512)];
         let cfg = ExperimentConfig::cc(2);
-        let mut rows: Vec<ExperimentRow> = ws
-            .iter()
-            .map(|w| run_one("d", w, &cfg))
-            .collect();
+        let mut rows: Vec<ExperimentRow> = ws.iter().map(|w| run_one("d", w, &cfg)).collect();
         fill_naive_average(&mut rows, &ws);
         let avg = (rows[0].exhaustive_t + rows[1].exhaustive_t) / 2.0;
         assert_eq!(rows[0].naive_average_t, Some(avg));

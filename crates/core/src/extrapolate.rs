@@ -132,8 +132,14 @@ mod tests {
     fn fit_rejects_degenerate_input() {
         assert!(fit_power(&[]).is_none());
         assert!(fit_power(&[(1.0, 2.0)]).is_none());
-        assert!(fit_power(&[(5.0, 2.0), (5.0, 3.0)]).is_none(), "no x spread");
-        assert!(fit_power(&[(0.0, 2.0), (-1.0, 3.0)]).is_none(), "non-positive");
+        assert!(
+            fit_power(&[(5.0, 2.0), (5.0, 3.0)]).is_none(),
+            "no x spread"
+        );
+        assert!(
+            fit_power(&[(0.0, 2.0), (-1.0, 3.0)]).is_none(),
+            "non-positive"
+        );
     }
 }
 
@@ -154,9 +160,8 @@ pub fn calibrate_extrapolator<W: crate::framework::Sampleable>(
     use crate::search;
     let mut pairs = Vec::with_capacity(corpus.len());
     for (k, w) in corpus.iter().enumerate() {
-        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(
-            seed.wrapping_add(k as u64),
-        );
+        let mut rng =
+            <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed.wrapping_add(k as u64));
         let sample = w.sample(crate::framework::SampleSpec::default(), &mut rng);
         let sample_best = match strategy {
             crate::estimator::IdentifyStrategy::CoarseToFine => {
@@ -193,9 +198,7 @@ mod calibration_tests {
         let platform = Platform::k40c_xeon_e5_2650().scaled_for(0.01);
         let corpus: Vec<HhWorkload> = [(4000usize, 1u64), (6000, 2), (8000, 3)]
             .iter()
-            .map(|&(n, seed)| {
-                HhWorkload::new(gen::power_law(n, 10, 2.1, seed), platform)
-            })
+            .map(|&(n, seed)| HhWorkload::new(gen::power_law(n, 10, 2.1, seed), platform))
             .collect();
         let fitted = calibrate_extrapolator(
             &corpus,

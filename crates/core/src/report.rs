@@ -36,8 +36,11 @@ pub fn threshold_table(rows: &[ExperimentRow]) -> String {
             r.threshold_diff_pct(),
         );
     }
-    let avg: f64 =
-        rows.iter().map(ExperimentRow::threshold_diff_pct).sum::<f64>() / rows.len().max(1) as f64;
+    let avg: f64 = rows
+        .iter()
+        .map(ExperimentRow::threshold_diff_pct)
+        .sum::<f64>()
+        / rows.len().max(1) as f64;
     let _ = writeln!(out, "{}", "-".repeat(78));
     let _ = writeln!(out, "{:<18} {:>66.2}", "avg |diff|%", avg);
     out

@@ -16,6 +16,7 @@
 //! paper's Table I reports.
 
 use nbwp_sim::SimTime;
+use nbwp_trace::{ArgValue, Recorder};
 
 use crate::framework::{PartitionedWorkload, ThresholdSpace};
 
@@ -56,8 +57,29 @@ impl SearchOutcome {
     }
 }
 
-fn eval_grid(w: &impl PartitionedWorkload, grid: &[f64]) -> Vec<(f64, SimTime)> {
-    grid.iter().map(|&t| (t, w.time_at(t))).collect()
+/// Evaluates one candidate threshold, tracing it when `rec` is enabled:
+/// an `identify.eval` span wrapping the run's six lane spans, plus the
+/// `search.evaluations` counter and the `identify.eval_ms` histogram.
+fn eval_one(w: &impl PartitionedWorkload, t: f64, rec: &Recorder) -> (f64, SimTime) {
+    if !rec.is_enabled() {
+        return (t, w.time_at(t));
+    }
+    let report = w.run(t);
+    let total = report.total();
+    let span = rec.open_with("identify.eval", vec![("t".to_string(), ArgValue::F64(t))]);
+    rec.record_run(&report);
+    rec.annotate(
+        span,
+        vec![("total_ms".to_string(), ArgValue::F64(total.as_millis()))],
+    );
+    rec.close(span);
+    rec.counter_add("search.evaluations", 1);
+    rec.histogram_record("identify.eval_ms", total.as_millis());
+    (t, total)
+}
+
+fn eval_grid(w: &impl PartitionedWorkload, grid: &[f64], rec: &Recorder) -> Vec<(f64, SimTime)> {
+    grid.iter().map(|&t| eval_one(w, t, rec)).collect()
 }
 
 /// Exhaustive search over the whole space at `step` granularity
@@ -65,11 +87,20 @@ fn eval_grid(w: &impl PartitionedWorkload, grid: &[f64]) -> Vec<(f64, SimTime)> 
 /// reference at percent granularity).
 #[must_use]
 pub fn exhaustive(w: &impl PartitionedWorkload, step: f64) -> SearchOutcome {
+    exhaustive_with(w, step, &Recorder::disabled())
+}
+
+/// [`exhaustive`], tracing every candidate evaluation into `rec`.
+#[must_use]
+pub fn exhaustive_with(w: &impl PartitionedWorkload, step: f64, rec: &Recorder) -> SearchOutcome {
     assert!(step > 0.0, "step must be positive");
     let space = w.space();
     let mut grid = Vec::new();
     if space.logarithmic {
-        assert!(step > 1.0, "logarithmic spaces need a multiplicative step > 1");
+        assert!(
+            step > 1.0,
+            "logarithmic spaces need a multiplicative step > 1"
+        );
         let mut t = space.lo.max(1e-9);
         while t < space.hi {
             grid.push(t);
@@ -84,7 +115,7 @@ pub fn exhaustive(w: &impl PartitionedWorkload, step: f64) -> SearchOutcome {
         }
         grid.push(space.hi);
     }
-    SearchOutcome::from_evals(eval_grid(w, &grid))
+    SearchOutcome::from_evals(eval_grid(w, &grid, rec))
 }
 
 /// The paper's coarse-to-fine search: evaluate the coarse grid, then the
@@ -100,8 +131,14 @@ pub fn exhaustive(w: &impl PartitionedWorkload, step: f64) -> SearchOutcome {
 /// ```
 #[must_use]
 pub fn coarse_to_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
+    coarse_to_fine_with(w, &Recorder::disabled())
+}
+
+/// [`coarse_to_fine`], tracing every candidate evaluation into `rec`.
+#[must_use]
+pub fn coarse_to_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
     let space = w.space();
-    let mut evals = eval_grid(w, &space.coarse_grid());
+    let mut evals = eval_grid(w, &space.coarse_grid(), rec);
     let (center, _) = evals
         .iter()
         .copied()
@@ -112,7 +149,7 @@ pub fn coarse_to_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
         .into_iter()
         .filter(|t| !evals.iter().any(|&(seen, _)| close(seen, *t, &space)))
         .collect();
-    evals.extend(eval_grid(w, &fine));
+    evals.extend(eval_grid(w, &fine, rec));
     SearchOutcome::from_evals(evals)
 }
 
@@ -123,11 +160,30 @@ pub fn coarse_to_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
 /// fine probes around `r₀` then pin the split.
 #[must_use]
 pub fn race_then_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
+    race_then_fine_with(w, &Recorder::disabled())
+}
+
+/// [`race_then_fine`], tracing into `rec`: the race itself becomes a single
+/// `race` span (its duration is the race's overlapped cost — it is *not* an
+/// `identify.eval`, since the two boundary runs are not candidate
+/// evaluations), followed by one `identify.eval` span per fine probe.
+#[must_use]
+pub fn race_then_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
     let space = w.space();
+    let race_span = rec.open("race");
     let all_cpu = w.run(space.hi).breakdown.phase2();
     let all_gpu = w.run(space.lo).breakdown.phase2();
     // Both device runs overlap; the race ends at the first finisher.
     let race_cost = all_cpu.min(all_gpu);
+    rec.annotate(
+        race_span,
+        vec![
+            ("all_cpu_ms".to_string(), ArgValue::F64(all_cpu.as_millis())),
+            ("all_gpu_ms".to_string(), ArgValue::F64(all_gpu.as_millis())),
+        ],
+    );
+    rec.advance(race_cost);
+    rec.close(race_span);
     let denom = all_cpu + all_gpu;
     let frac = if denom.is_zero() {
         0.5
@@ -154,7 +210,7 @@ pub fn race_then_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
             dedup.push(t);
         }
     }
-    let mut out = SearchOutcome::from_evals(eval_grid(w, &dedup));
+    let mut out = SearchOutcome::from_evals(eval_grid(w, &dedup, rec));
     out.search_cost += race_cost;
     out
 }
@@ -167,6 +223,18 @@ pub fn race_then_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
 /// an all-GPU basin at the maximum degree).
 #[must_use]
 pub fn gradient_descent(w: &impl PartitionedWorkload, max_evals: usize) -> SearchOutcome {
+    gradient_descent_with(w, max_evals, &Recorder::disabled())
+}
+
+/// [`gradient_descent`], tracing every *fresh* candidate evaluation into
+/// `rec` (cache hits re-use the earlier result and emit nothing, so the
+/// `identify.eval` span count stays equal to [`SearchOutcome::evaluations`]).
+#[must_use]
+pub fn gradient_descent_with(
+    w: &impl PartitionedWorkload,
+    max_evals: usize,
+    rec: &Recorder,
+) -> SearchOutcome {
     assert!(max_evals >= 3, "need at least 3 evaluations");
     let space = w.space();
     let mut evals: Vec<(f64, SimTime)> = Vec::new();
@@ -174,7 +242,7 @@ pub fn gradient_descent(w: &impl PartitionedWorkload, max_evals: usize) -> Searc
         if let Some(&(_, cost)) = evals.iter().find(|&&(seen, _)| close(seen, t, &space)) {
             return cost;
         }
-        let cost = w.time_at(t);
+        let (t, cost) = eval_one(w, t, rec);
         evals.push((t, cost));
         cost
     };
@@ -184,7 +252,11 @@ pub fn gradient_descent(w: &impl PartitionedWorkload, max_evals: usize) -> Searc
     } else {
         (space.lo + space.hi) / 2.0
     };
-    let starts = [mid, space.hi, space.lo.max(if space.logarithmic { 1.0 } else { space.lo })];
+    let starts = [
+        mid,
+        space.hi,
+        space.lo.max(if space.logarithmic { 1.0 } else { space.lo }),
+    ];
     let budget_each = (max_evals / starts.len()).max(3);
 
     for &start in &starts {
@@ -249,7 +321,6 @@ fn close(a: f64, b: f64, space: &ThresholdSpace) -> bool {
 mod tests {
     use super::*;
     use nbwp_sim::{RunBreakdown, RunReport};
-
 
     fn test_platform() -> &'static nbwp_sim::Platform {
         static P: std::sync::OnceLock<nbwp_sim::Platform> = std::sync::OnceLock::new();
@@ -351,9 +422,9 @@ mod tests {
     fn logarithmic_space_searches() {
         struct LogValley;
         impl PartitionedWorkload for LogValley {
-        fn platform(&self) -> &nbwp_sim::Platform {
-            test_platform()
-        }
+            fn platform(&self) -> &nbwp_sim::Platform {
+                test_platform()
+            }
             fn run(&self, t: f64) -> RunReport {
                 // Minimum at t = 64 on a log scale.
                 let cost = 1.0 + (t.ln() - 64.0f64.ln()).abs();

@@ -5,7 +5,7 @@ use nbwp_dense::hybrid::hybrid_gemm_cost;
 use nbwp_sim::{KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
 
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 
 /// Hybrid dense GEMM (`C = A × B`, all square `n × n`) as a partitioned
 /// workload. Being perfectly regular, its cost is a closed form and no
@@ -70,10 +70,7 @@ impl Sampleable for DenseGemmWorkload {
         // problem's transfer/compute balance (a quarter-size GEMM on the
         // real link would look spuriously transfer-bound).
         platform.pcie.bw_gbs /= dim_ratio;
-        DenseGemmWorkload {
-            n: s,
-            platform,
-        }
+        DenseGemmWorkload { n: s, platform }
     }
 
     fn extrapolate(&self, t_sample: f64, _sample: &DenseGemmWorkload) -> f64 {

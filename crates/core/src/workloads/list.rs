@@ -15,7 +15,7 @@ use nbwp_sim::{KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 
 /// Hybrid list ranking over a fixed list structure and platform.
 #[derive(Clone)]
@@ -86,8 +86,8 @@ impl Sampleable for ListRankingWorkload {
         let s = self.sample_size(spec.factor);
         let n = self.lists.n().max(1);
         // Keep the lists-per-node density of the original.
-        let lists = ((self.lists.lists() as f64 * s as f64 / n as f64).round() as usize)
-            .clamp(1, s);
+        let lists =
+            ((self.lists.lists() as f64 * s as f64 / n as f64).round() as usize).clamp(1, s);
         let mini = LinkedLists::random(s, lists, rng.gen());
         let ratio = (s as f64 / n as f64).min(1.0);
         ListRankingWorkload {
@@ -174,7 +174,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let s = w.sample(SampleSpec::default(), &mut rng);
         // 40 lists / 40k nodes = 1 per 1000; sample of ~1600 → ~2 lists.
-        assert!(s.lists().lists() <= 8, "sampled lists = {}", s.lists().lists());
+        assert!(
+            s.lists().lists() <= 8,
+            "sampled lists = {}",
+            s.lists().lists()
+        );
         assert!(s.size() < w.size() / 10);
     }
 }

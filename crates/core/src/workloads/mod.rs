@@ -11,10 +11,10 @@ pub mod spmm;
 pub mod spmv;
 
 pub use cc::{CcSampler, CcWorkload};
-pub use list::ListRankingWorkload;
-pub use sort::SortWorkload;
-pub use spmv::SpmvWorkload;
-pub use multi::{MultiPlatform, MultiRunReport, MultiSpmmWorkload, Shares};
 pub use dense::DenseGemmWorkload;
+pub use list::ListRankingWorkload;
+pub use multi::{MultiPlatform, MultiRunReport, MultiSpmmWorkload, Shares};
 pub use scalefree::{HhSampler, HhWorkload};
+pub use sort::SortWorkload;
 pub use spmm::SpmmWorkload;
+pub use spmv::SpmvWorkload;

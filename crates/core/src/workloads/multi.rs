@@ -112,7 +112,12 @@ impl Shares {
     pub fn from_weights(weights: &[f64]) -> Self {
         let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
         assert!(total > 0.0, "weights must have positive mass");
-        Shares(weights.iter().map(|&w| w.max(0.0) / total * 100.0).collect())
+        Shares(
+            weights
+                .iter()
+                .map(|&w| w.max(0.0) / total * 100.0)
+                .collect(),
+        )
     }
 }
 
@@ -173,7 +178,11 @@ impl MultiSpmmWorkload {
     /// Panics if `a` is not square.
     #[must_use]
     pub fn new(a: Csr, platform: MultiPlatform) -> Self {
-        assert_eq!(a.rows(), a.cols(), "multi-device spmm multiplies A by itself");
+        assert_eq!(
+            a.rows(),
+            a.cols(),
+            "multi-device spmm multiplies A by itself"
+        );
         let profile = row_profile(&a, &a);
         let load: Vec<u64> = profile.iter().map(|c| c.b_entries).collect();
         MultiSpmmWorkload {
@@ -311,11 +320,8 @@ impl MultiSpmmWorkload {
             r.push(rate);
             c.push((t_lo - rate * lo_s).max(0.0));
         }
-        let share_at = |t: f64| -> f64 {
-            (0..k)
-                .map(|d| ((t - c[d]) / r[d]).clamp(0.0, 100.0))
-                .sum()
-        };
+        let share_at =
+            |t: f64| -> f64 { (0..k).map(|d| ((t - c[d]) / r[d]).clamp(0.0, 100.0)).sum() };
         let mut lo = 0.0f64;
         let mut hi = c
             .iter()
@@ -514,7 +520,10 @@ mod tests {
     #[test]
     fn two_gpus_beat_one() {
         let a = gen::uniform_random(3000, 10, 7);
-        let one = MultiSpmmWorkload::new(a.clone(), MultiPlatform::xeon_with_k40cs(1).scaled_for(0.05));
+        let one = MultiSpmmWorkload::new(
+            a.clone(),
+            MultiPlatform::xeon_with_k40cs(1).scaled_for(0.05),
+        );
         let two = MultiSpmmWorkload::new(a, MultiPlatform::xeon_with_k40cs(2).scaled_for(0.05));
         let t1 = one.time_at(&one.rebalance(&Shares::equal(2), 6));
         let t2 = two.time_at(&two.rebalance(&Shares::equal(3), 6));
@@ -531,8 +540,14 @@ mod tests {
         est.validate(3);
         let best = w.rebalance(&Shares::equal(3), 8);
         let penalty = w.time_at(&est).pct_diff_from(w.time_at(&best));
-        assert!(penalty < 25.0, "estimated shares {est:?} penalty {penalty:.1}%");
-        assert!(cost < w.time_at(&best) * 3.0, "estimation cost {cost} too high");
+        assert!(
+            penalty < 25.0,
+            "estimated shares {est:?} penalty {penalty:.1}%"
+        );
+        assert!(
+            cost < w.time_at(&best) * 3.0,
+            "estimation cost {cost} too high"
+        );
     }
 
     #[test]

@@ -8,12 +8,12 @@ use std::sync::Arc;
 use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport, SimTime};
 use nbwp_sparse::masked::{masked_row_profile, DensitySplit, HhProducts};
 use nbwp_sparse::sample::{sample_rows_contract, sample_rows_importance};
-use nbwp_sparse::spgemm::{stats_for_rows, spgemm, ENTRY_BYTES};
+use nbwp_sparse::spgemm::{spgemm, stats_for_rows, ENTRY_BYTES};
 use nbwp_sparse::Csr;
 use rand::rngs::SmallRng;
 
 use crate::extrapolate::Extrapolator;
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 
 /// The offline best-fit extrapolation (§V.A.3): finds the fraction of
 /// sample rows classified low-density by `t_sample` and returns the degree
@@ -102,8 +102,15 @@ impl HhWorkload {
     /// Panics if `a` is not square.
     #[must_use]
     pub fn new(a: Csr, platform: Platform) -> Self {
-        assert_eq!(a.rows(), a.cols(), "HH-CPU case study multiplies A by itself");
-        let max_degree = (0..a.rows()).map(|r| a.row_nnz(r) as u64).max().unwrap_or(1);
+        assert_eq!(
+            a.rows(),
+            a.cols(),
+            "HH-CPU case study multiplies A by itself"
+        );
+        let max_degree = (0..a.rows())
+            .map(|r| a.row_nnz(r) as u64)
+            .max()
+            .unwrap_or(1);
         HhWorkload {
             a: Arc::new(a),
             max_degree: max_degree.max(1),
@@ -172,7 +179,10 @@ impl PartitionedWorkload for HhWorkload {
         let p_ll = masked_row_profile(&self.a, &self.a, &lo, &lo);
 
         let nonzero_rows = |p: &[nbwp_sparse::spgemm::RowCost]| {
-            p.iter().filter(|c| c.a_nnz > 0).cloned().collect::<Vec<_>>()
+            p.iter()
+                .filter(|c| c.a_nnz > 0)
+                .cloned()
+                .collect::<Vec<_>>()
         };
         let mut cpu_stats = stats_for_rows(&nonzero_rows(&p_hh), b_bytes)
             + stats_for_rows(&nonzero_rows(&p_hl), b_bytes);
@@ -260,8 +270,8 @@ impl Sampleable for HhWorkload {
         // the largest degree among √n sampled rows is ≈ √(largest overall)
         // — the order-statistics fact behind the paper's offline best-fit
         // t_A = t_s × t_s (realized here by the Square extrapolator).
-        let s = (((self.a.rows() as f64).sqrt() * spec.factor).ceil() as usize)
-            .clamp(4, self.a.rows());
+        let s =
+            (((self.a.rows() as f64).sqrt() * spec.factor).ceil() as usize).clamp(4, self.a.rows());
         let sampled = match self.sampler {
             HhSampler::Uniform => sample_rows_contract(&self.a, s, rng),
             HhSampler::Importance => sample_rows_importance(&self.a, s, rng).0,
@@ -285,9 +295,7 @@ impl Sampleable for HhWorkload {
 
     fn extrapolate(&self, t_sample: f64, sample: &HhWorkload) -> f64 {
         match self.extrapolator {
-            Extrapolator::DegreeQuantile => {
-                degree_quantile_map(t_sample, sample.matrix(), &self.a)
-            }
+            Extrapolator::DegreeQuantile => degree_quantile_map(t_sample, sample.matrix(), &self.a),
             other => other.apply(t_sample),
         }
     }
@@ -309,8 +317,8 @@ impl Sampleable for HhWorkload {
 mod tests {
     use super::*;
     use crate::estimator::{estimate, IdentifyStrategy};
-    use rand::SeedableRng;
     use nbwp_sparse::gen;
+    use rand::SeedableRng;
 
     fn workload(a: Csr) -> HhWorkload {
         HhWorkload::new(a, Platform::k40c_xeon_e5_2650())

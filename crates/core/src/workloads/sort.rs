@@ -14,7 +14,7 @@ use nbwp_sort::hybrid::hybrid_sort;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 
 /// Hybrid sorting over a fixed key array and platform.
 #[derive(Clone)]

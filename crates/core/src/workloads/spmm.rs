@@ -12,7 +12,7 @@ use nbwp_sparse::spgemm::{row_profile, spgemm_range, stats_for_rows, RowCost, EN
 use nbwp_sparse::Csr;
 use rand::rngs::SmallRng;
 
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 
 /// The spmm workload over a fixed matrix (`B = A`, as in the paper) and
 /// platform. The exact per-row cost profile is computed once (a symbolic
@@ -123,8 +123,16 @@ impl SpmmWorkload {
         let split = self.split_row(r);
         let (c1, costs1) = spgemm_range(&self.a, &self.a, 0, split);
         let (c2, costs2) = spgemm_range(&self.a, &self.a, split, self.a.rows());
-        assert_eq!(costs1.as_slice(), &self.profile[..split], "profile mismatch (CPU part)");
-        assert_eq!(costs2.as_slice(), &self.profile[split..], "profile mismatch (GPU part)");
+        assert_eq!(
+            costs1.as_slice(),
+            &self.profile[..split],
+            "profile mismatch (CPU part)"
+        );
+        assert_eq!(
+            costs2.as_slice(),
+            &self.profile[split..],
+            "profile mismatch (GPU part)"
+        );
         // Stitch rows: C = [C1; C2].
         let mut row_ptr = Vec::with_capacity(self.a.rows() + 1);
         let mut col_idx = Vec::with_capacity(c1.nnz() + c2.nnz());
@@ -198,9 +206,9 @@ impl Sampleable for SpmmWorkload {
 mod tests {
     use super::*;
     use crate::estimator::{estimate, IdentifyStrategy};
-    use rand::SeedableRng;
     use nbwp_sparse::gen;
     use nbwp_sparse::spgemm::spgemm;
+    use rand::SeedableRng;
 
     fn workload(a: Csr) -> SpmmWorkload {
         SpmmWorkload::new(a, Platform::k40c_xeon_e5_2650())

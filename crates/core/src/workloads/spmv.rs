@@ -13,7 +13,7 @@ use nbwp_sparse::spmv::{spmv_range, stats_for_row_range};
 use nbwp_sparse::Csr;
 use rand::rngs::SmallRng;
 
-use crate::framework::{PartitionedWorkload, Sampleable, SampleSpec, ThresholdSpace};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 
 /// SpMV over a fixed matrix and platform (`x` is an internal unit vector —
 /// its values never affect cost, only the structure of `A` does).
@@ -128,8 +128,7 @@ impl Sampleable for SpmvWorkload {
         // linear in nnz, so the measured ratio is the nnz ratio.
         let frac = (0.25 * spec.factor).clamp(1e-3, 1.0);
         let sampled = sample_submatrix_frac(&self.a, frac, rng);
-        let ratio =
-            (sampled.nnz() as f64 / self.a.nnz().max(1) as f64).clamp(1e-6, 1.0);
+        let ratio = (sampled.nnz() as f64 / self.a.nnz().max(1) as f64).clamp(1e-6, 1.0);
         SpmvWorkload::new(sampled, self.platform.sample_scaled(ratio))
     }
 
@@ -204,8 +203,7 @@ mod tests {
         let best = search::exhaustive(&w, 1.0);
         let race = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, 7);
         let ctf = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7);
-        let pen =
-            |t: f64| w.time_at(t).pct_diff_from(best.best_time);
+        let pen = |t: f64| w.time_at(t).pct_diff_from(best.best_time);
         assert!(
             pen(ctf.threshold) <= pen(race.threshold) + 1.0,
             "coarse-to-fine {:.1}% should not lose to race {:.1}%",

@@ -12,13 +12,13 @@ fn platform() -> Platform {
 }
 
 fn arb_matrix() -> impl Strategy<Value = nbwp_sparse::Csr> {
-    (64usize..400, 2usize..12, 0u64..1000, 0usize..3).prop_map(|(n, deg, seed, family)| {
-        match family {
+    (64usize..400, 2usize..12, 0u64..1000, 0usize..3).prop_map(
+        |(n, deg, seed, family)| match family {
             0 => gen::uniform_random(n, deg, seed),
             1 => gen::power_law(n, deg, 2.2, seed),
             _ => gen::banded_fem(n, (n / 20).max(4), deg.max(3), seed),
-        }
-    })
+        },
+    )
 }
 
 proptest! {

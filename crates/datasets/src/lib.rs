@@ -54,21 +54,111 @@ pub struct Dataset {
 
 /// The 15 datasets of Table II, in the paper's order.
 pub const TABLE2: [Dataset; 15] = [
-    Dataset { name: "cant", family: Family::Fem, paper_n: 62_451, paper_nnz: 4_007_383, scale_free: true },
-    Dataset { name: "consph", family: Family::Fem, paper_n: 83_334, paper_nnz: 6_010_480, scale_free: true },
-    Dataset { name: "cop20k_A", family: Family::Fem, paper_n: 121_192, paper_nnz: 2_624_331, scale_free: true },
-    Dataset { name: "delaunay_n22", family: Family::Mesh, paper_n: 4_194_304, paper_nnz: 25_165_738, scale_free: false },
-    Dataset { name: "pdb1HYS", family: Family::Fem, paper_n: 36_417, paper_nnz: 4_344_765, scale_free: true },
-    Dataset { name: "pwtk", family: Family::Fem, paper_n: 217_918, paper_nnz: 11_634_424, scale_free: true },
-    Dataset { name: "qcd5_4", family: Family::Qcd, paper_n: 49_152, paper_nnz: 1_916_928, scale_free: false },
-    Dataset { name: "rma10", family: Family::Fem, paper_n: 46_835, paper_nnz: 2_374_001, scale_free: true },
-    Dataset { name: "shipsec1", family: Family::Fem, paper_n: 140_874, paper_nnz: 7_813_404, scale_free: true },
-    Dataset { name: "web-BerkStan", family: Family::Web, paper_n: 685_230, paper_nnz: 7_600_595, scale_free: true },
-    Dataset { name: "webbase-1M", family: Family::Web, paper_n: 1_000_005, paper_nnz: 3_105_536, scale_free: true },
-    Dataset { name: "asia_osm", family: Family::Road, paper_n: 11_950_757, paper_nnz: 25_423_206, scale_free: false },
-    Dataset { name: "germany_osm", family: Family::Road, paper_n: 11_548_845, paper_nnz: 24_738_362, scale_free: false },
-    Dataset { name: "italy_osm", family: Family::Road, paper_n: 6_686_493, paper_nnz: 14_027_956, scale_free: false },
-    Dataset { name: "netherlands_osm", family: Family::Road, paper_n: 2_216_688, paper_nnz: 4_882_476, scale_free: false },
+    Dataset {
+        name: "cant",
+        family: Family::Fem,
+        paper_n: 62_451,
+        paper_nnz: 4_007_383,
+        scale_free: true,
+    },
+    Dataset {
+        name: "consph",
+        family: Family::Fem,
+        paper_n: 83_334,
+        paper_nnz: 6_010_480,
+        scale_free: true,
+    },
+    Dataset {
+        name: "cop20k_A",
+        family: Family::Fem,
+        paper_n: 121_192,
+        paper_nnz: 2_624_331,
+        scale_free: true,
+    },
+    Dataset {
+        name: "delaunay_n22",
+        family: Family::Mesh,
+        paper_n: 4_194_304,
+        paper_nnz: 25_165_738,
+        scale_free: false,
+    },
+    Dataset {
+        name: "pdb1HYS",
+        family: Family::Fem,
+        paper_n: 36_417,
+        paper_nnz: 4_344_765,
+        scale_free: true,
+    },
+    Dataset {
+        name: "pwtk",
+        family: Family::Fem,
+        paper_n: 217_918,
+        paper_nnz: 11_634_424,
+        scale_free: true,
+    },
+    Dataset {
+        name: "qcd5_4",
+        family: Family::Qcd,
+        paper_n: 49_152,
+        paper_nnz: 1_916_928,
+        scale_free: false,
+    },
+    Dataset {
+        name: "rma10",
+        family: Family::Fem,
+        paper_n: 46_835,
+        paper_nnz: 2_374_001,
+        scale_free: true,
+    },
+    Dataset {
+        name: "shipsec1",
+        family: Family::Fem,
+        paper_n: 140_874,
+        paper_nnz: 7_813_404,
+        scale_free: true,
+    },
+    Dataset {
+        name: "web-BerkStan",
+        family: Family::Web,
+        paper_n: 685_230,
+        paper_nnz: 7_600_595,
+        scale_free: true,
+    },
+    Dataset {
+        name: "webbase-1M",
+        family: Family::Web,
+        paper_n: 1_000_005,
+        paper_nnz: 3_105_536,
+        scale_free: true,
+    },
+    Dataset {
+        name: "asia_osm",
+        family: Family::Road,
+        paper_n: 11_950_757,
+        paper_nnz: 25_423_206,
+        scale_free: false,
+    },
+    Dataset {
+        name: "germany_osm",
+        family: Family::Road,
+        paper_n: 11_548_845,
+        paper_nnz: 24_738_362,
+        scale_free: false,
+    },
+    Dataset {
+        name: "italy_osm",
+        family: Family::Road,
+        paper_n: 6_686_493,
+        paper_nnz: 14_027_956,
+        scale_free: false,
+    },
+    Dataset {
+        name: "netherlands_osm",
+        family: Family::Road,
+        paper_n: 2_216_688,
+        paper_nnz: 4_882_476,
+        scale_free: false,
+    },
 ];
 
 impl Dataset {
@@ -92,7 +182,9 @@ impl Dataset {
     /// Average nonzeros per row at any scale (degree is scale-invariant).
     #[must_use]
     pub fn avg_degree(&self) -> usize {
-        (self.paper_nnz as f64 / self.paper_n as f64).round().max(1.0) as usize
+        (self.paper_nnz as f64 / self.paper_n as f64)
+            .round()
+            .max(1.0) as usize
     }
 
     /// Row count at `scale` (clamped below at 64 so miniatures stay

@@ -169,7 +169,10 @@ mod tests {
         let b = DenseMatrix::random(48, 32, 6);
         let seq = gemm(&a, &b);
         for t in [1, 2, 3, 4, 7] {
-            assert!(gemm_parallel(&a, &b, t).max_abs_diff(&seq) < 1e-10, "t = {t}");
+            assert!(
+                gemm_parallel(&a, &b, t).max_abs_diff(&seq) < 1e-10,
+                "t = {t}"
+            );
         }
     }
 

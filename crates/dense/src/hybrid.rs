@@ -103,7 +103,10 @@ mod tests {
         let reference = gemm(&a, &a);
         for t in [0.0, 25.0, 50.0, 75.0, 100.0] {
             let out = hybrid_gemm(&a, &a, t, &platform());
-            assert!(out.product.unwrap().max_abs_diff(&reference) < 1e-10, "t = {t}");
+            assert!(
+                out.product.unwrap().max_abs_diff(&reference) < 1e-10,
+                "t = {t}"
+            );
         }
     }
 

@@ -63,7 +63,12 @@ pub struct HybridCcOutcome {
 /// # Panics
 /// Panics if `t_pct` is outside `[0, 100]`.
 #[must_use]
-pub fn hybrid_cc(g: &Graph, t_pct: f64, platform: &Platform, host_threads: usize) -> HybridCcOutcome {
+pub fn hybrid_cc(
+    g: &Graph,
+    t_pct: f64,
+    platform: &Platform,
+    host_threads: usize,
+) -> HybridCcOutcome {
     hybrid_cc_with(g, t_pct, platform, host_threads, CpuCcAlgo::DfsChunked)
 }
 
@@ -157,8 +162,7 @@ pub fn hybrid_cc_with(
         working_set_bytes: 8 * n as u64,
         ..KernelStats::default()
     };
-    let merge =
-        platform.transfer(4 * n_cpu as u64) + platform.gpu_time(&merge_stats);
+    let merge = platform.transfer(4 * n_cpu as u64) + platform.gpu_time(&merge_stats);
 
     let report = RunReport {
         breakdown: RunBreakdown {

@@ -57,7 +57,11 @@ pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
             stats,
         };
     }
-    let workers = if n < PARALLEL_THRESHOLD { 1 } else { threads.max(1) };
+    let workers = if n < PARALLEL_THRESHOLD {
+        1
+    } else {
+        threads.max(1)
+    };
     stats.mem_write_bytes += 4 * n as u64; // init parents
     stats.kernel_launches += 1;
     let mut cand: Vec<u32> = vec![0; n];
@@ -242,10 +246,7 @@ mod tests {
     #[test]
     fn long_path_needs_more_doubling_than_star() {
         let p = path(4096);
-        let star = Graph::from_edges(
-            4096,
-            &(1..4096u32).map(|v| (0, v)).collect::<Vec<_>>(),
-        );
+        let star = Graph::from_edges(4096, &(1..4096u32).map(|v| (0, v)).collect::<Vec<_>>());
         let out_p = cc_sv(&p, 1);
         let out_s = cc_sv(&star, 1);
         assert_eq!(count_components(&out_p.labels), 1);

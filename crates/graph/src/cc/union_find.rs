@@ -54,7 +54,9 @@ impl UnionFind {
 
     /// Labels every element with its set representative.
     pub fn labels(&mut self) -> Vec<u32> {
-        (0..self.parent.len() as u32).map(|v| self.find(v)).collect()
+        (0..self.parent.len() as u32)
+            .map(|v| self.find(v))
+            .collect()
     }
 }
 

@@ -47,7 +47,9 @@ impl LinkedLists {
                 assert!(indegree[s as usize] <= 1, "node {s} has two predecessors");
             }
         }
-        let heads: Vec<u32> = (0..n as u32).filter(|&v| indegree[v as usize] == 0).collect();
+        let heads: Vec<u32> = (0..n as u32)
+            .filter(|&v| indegree[v as usize] == 0)
+            .collect();
         // Cycle check: total nodes reachable from heads must be n.
         let mut seen = 0usize;
         for &h in &heads {

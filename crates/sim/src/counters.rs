@@ -91,6 +91,19 @@ impl KernelStats {
         self.flops + self.int_ops
     }
 
+    /// Arithmetic intensity: operations per byte moved (`total_ops /
+    /// total_bytes`), the roofline-model x-axis. Returns `0.0` when no
+    /// bytes were moved — a kernel that touches no memory has no meaningful
+    /// intensity, and callers plotting rooflines treat it as off-chart.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.total_ops() as f64 / bytes as f64
+    }
+
     /// True when no work at all was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -218,6 +231,23 @@ mod tests {
         assert_eq!(s.total_ops(), 150);
         assert!(!s.is_empty());
         assert!(KernelStats::default().is_empty());
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_ops_per_byte() {
+        let s = sample();
+        // 150 ops over 1200 bytes.
+        assert!((s.arithmetic_intensity() - 150.0 / 1200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_intensity_guards_zero_bytes() {
+        let s = KernelStats {
+            flops: 1000,
+            ..KernelStats::default()
+        };
+        assert_eq!(s.arithmetic_intensity(), 0.0);
+        assert_eq!(KernelStats::default().arithmetic_intensity(), 0.0);
     }
 
     #[test]

@@ -121,8 +121,7 @@ impl CpuModel {
         };
 
         // Compute roof.
-        let flop_rate =
-            self.peak_gflops() / self.cores as f64 * eff * 1e9 * self.rate_scale;
+        let flop_rate = self.peak_gflops() / self.cores as f64 * eff * 1e9 * self.rate_scale;
         let int_rate = self.freq_ghz * self.int_ops_per_cycle * eff * 1e9 * self.rate_scale;
         let compute_s = stats.flops as f64 / flop_rate + stats.int_ops as f64 / int_rate;
 

@@ -152,11 +152,8 @@ impl GpuModel {
         // Compute roof at the warp-padded cost (divergence penalty).
         let padded = stats.simd_padded_flops.max(stats.flops);
         let flop_rate = self.peak_gflops() * 1e9 * self.rate_scale;
-        let int_rate = self.cores() as f64
-            * self.freq_ghz
-            * self.int_ops_per_cycle
-            * 1e9
-            * self.rate_scale;
+        let int_rate =
+            self.cores() as f64 * self.freq_ghz * self.int_ops_per_cycle * 1e9 * self.rate_scale;
         let compute_s = padded as f64 / flop_rate + stats.int_ops as f64 / int_rate;
 
         // Memory roof: coalesced traffic at peak, irregular at a fraction.
@@ -197,7 +194,11 @@ mod tests {
     fn xeon_phi_peak_matches_spec() {
         let phi = GpuModel::xeon_phi_5110p();
         // 60 × 8 × 1.053 × 2 ≈ 1011 Gflop/s.
-        assert!((phi.peak_gflops() - 1010.9).abs() < 1.0, "{}", phi.peak_gflops());
+        assert!(
+            (phi.peak_gflops() - 1010.9).abs() < 1.0,
+            "{}",
+            phi.peak_gflops()
+        );
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use counters::{warp_padded_cost, KernelStats};
 pub use cpu::CpuModel;
 pub use gpu::GpuModel;
 pub use pcie::PcieModel;
-pub use platform::{Platform, RunBreakdown, RunReport};
+pub use platform::{Lane, Platform, RunBreakdown, RunReport};
 pub use time::SimTime;

@@ -173,6 +173,63 @@ pub struct RunBreakdown {
     pub merge: SimTime,
 }
 
+/// One of the six timing lanes of a [`RunBreakdown`], in pipeline order.
+///
+/// A lane names *where* a slice of a heterogeneous run's time goes; the
+/// companion [`RunBreakdown::lanes`] method gives each lane its start offset
+/// and duration so observability layers can lay the run out on a timeline
+/// without re-deriving the overlap structure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lane {
+    /// Phase I: computing and applying the partition (host side).
+    Partition,
+    /// Host → GPU input transfer.
+    TransferIn,
+    /// CPU-side compute of Phase II.
+    CpuCompute,
+    /// GPU-side compute of Phase II.
+    GpuCompute,
+    /// GPU → host result transfer.
+    TransferOut,
+    /// Phase III/IV: merging per-device results (host side).
+    Merge,
+}
+
+impl Lane {
+    /// All six lanes in pipeline order.
+    pub const ALL: [Lane; 6] = [
+        Lane::Partition,
+        Lane::TransferIn,
+        Lane::CpuCompute,
+        Lane::GpuCompute,
+        Lane::TransferOut,
+        Lane::Merge,
+    ];
+
+    /// Stable snake_case name (used as the span name in trace exports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Partition => "partition",
+            Lane::TransferIn => "transfer_in",
+            Lane::CpuCompute => "cpu_compute",
+            Lane::GpuCompute => "gpu_compute",
+            Lane::TransferOut => "transfer_out",
+            Lane::Merge => "merge",
+        }
+    }
+
+    /// Whether this lane occupies the GPU side of the pipeline (transfers
+    /// ride the GPU side because they serialize with GPU compute).
+    #[must_use]
+    pub fn on_gpu(self) -> bool {
+        matches!(
+            self,
+            Lane::TransferIn | Lane::GpuCompute | Lane::TransferOut
+        )
+    }
+}
+
 impl RunBreakdown {
     /// End-to-end simulated time: partition, then CPU work overlapped with
     /// (transfer in → GPU work → transfer out), then merge.
@@ -188,6 +245,29 @@ impl RunBreakdown {
     pub fn phase2(&self) -> SimTime {
         let gpu_side = self.transfer_in + self.gpu_compute + self.transfer_out;
         Platform::overlap(self.cpu_compute, gpu_side)
+    }
+
+    /// Lays the six lanes out on a timeline relative to the run's start:
+    /// `(lane, start offset, duration)`, in [`Lane::ALL`] order.
+    ///
+    /// Encodes the same overlap structure as [`RunBreakdown::total`]: the
+    /// CPU compute and the transfer-in → GPU compute → transfer-out chain
+    /// both start when partitioning ends, and the merge starts when the
+    /// slower of the two sides finishes.
+    #[must_use]
+    pub fn lanes(&self) -> [(Lane, SimTime, SimTime); 6] {
+        let phase2_start = self.partition;
+        let gpu_compute_start = phase2_start + self.transfer_in;
+        let transfer_out_start = gpu_compute_start + self.gpu_compute;
+        let merge_start = phase2_start + self.phase2();
+        [
+            (Lane::Partition, SimTime::ZERO, self.partition),
+            (Lane::TransferIn, phase2_start, self.transfer_in),
+            (Lane::CpuCompute, phase2_start, self.cpu_compute),
+            (Lane::GpuCompute, gpu_compute_start, self.gpu_compute),
+            (Lane::TransferOut, transfer_out_start, self.transfer_out),
+            (Lane::Merge, merge_start, self.merge),
+        ]
     }
 
     /// Imbalance between device sides as a fraction of the slower side:
@@ -283,6 +363,49 @@ mod tests {
         assert!((skewed.imbalance() - 0.75).abs() < 1e-12);
 
         assert_eq!(RunBreakdown::default().imbalance(), 0.0);
+    }
+
+    #[test]
+    fn lanes_cover_the_breakdown_geometry() {
+        let b = RunBreakdown {
+            partition: SimTime::from_millis(1.0),
+            transfer_in: SimTime::from_millis(2.0),
+            cpu_compute: SimTime::from_millis(10.0),
+            gpu_compute: SimTime::from_millis(5.0),
+            transfer_out: SimTime::from_millis(1.0),
+            merge: SimTime::from_millis(0.5),
+        };
+        let lanes = b.lanes();
+        // Pipeline order, names stable.
+        let names: Vec<&str> = lanes.iter().map(|&(l, _, _)| l.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "partition",
+                "transfer_in",
+                "cpu_compute",
+                "gpu_compute",
+                "transfer_out",
+                "merge"
+            ]
+        );
+        // Every lane ends no later than the run ends, and the latest lane
+        // end *is* the run end.
+        let total = b.total();
+        let latest = lanes
+            .iter()
+            .map(|&(_, start, dur)| start + dur)
+            .max()
+            .unwrap();
+        assert_eq!(latest, total);
+        // GPU chain is contiguous: in → compute → out.
+        assert_eq!(lanes[3].1, lanes[1].1 + lanes[1].2);
+        assert_eq!(lanes[4].1, lanes[3].1 + lanes[3].2);
+        // Merge starts when the slower side (CPU here) finishes.
+        assert_eq!(lanes[5].1, lanes[2].1 + lanes[2].2);
+        // Device assignment.
+        assert!(!Lane::Partition.on_gpu() && !Lane::CpuCompute.on_gpu());
+        assert!(Lane::TransferIn.on_gpu() && Lane::TransferOut.on_gpu());
     }
 
     #[test]

@@ -28,42 +28,39 @@ pub fn render(b: &RunBreakdown, width: usize) -> String {
     if total.is_zero() {
         return "(empty run)\n".to_string();
     }
-    let scale = |t: SimTime| -> usize {
-        ((t / total) * width as f64).round() as usize
+    // Map absolute sim times to character columns. Scaling *positions*
+    // (not individual segment widths) means rounding can never make a lane
+    // overflow `width`: every lane is painted into the same fixed canvas.
+    let col = |t: SimTime| -> usize { ((t / total) * width as f64).round() as usize };
+    let paint = |canvas: &mut [u8], c: u8, from: SimTime, dur: SimTime| {
+        let (a, z) = (col(from), col(from + dur).min(canvas.len()));
+        canvas[a..z].fill(c);
     };
 
-    let p = scale(b.partition);
-    let m = scale(b.merge);
-    let cpu = scale(b.cpu_compute);
-    let tin = scale(b.transfer_in);
-    let gpu = scale(b.gpu_compute);
-    let tout = scale(b.transfer_out);
-    let span = scale(b.phase2());
+    let p_end = b.partition;
+    let gpu_in_end = p_end + b.transfer_in;
+    let gpu_c_end = gpu_in_end + b.gpu_compute;
+    let merge_start = p_end + b.phase2();
+
+    let mut cpu_lane = vec![b' '; width];
+    paint(&mut cpu_lane, b'p', SimTime::ZERO, b.partition);
+    paint(&mut cpu_lane, b'#', p_end, b.cpu_compute);
+    paint(&mut cpu_lane, b'm', merge_start, b.merge);
+
+    let mut gpu_lane = vec![b' '; width];
+    paint(&mut gpu_lane, b'>', p_end, b.transfer_in);
+    paint(&mut gpu_lane, b'#', gpu_in_end, b.gpu_compute);
+    paint(&mut gpu_lane, b'<', gpu_c_end, b.transfer_out);
 
     let mut out = String::new();
-    let pad = |n: usize| " ".repeat(n);
-    let bar = |c: char, n: usize| c.to_string().repeat(n);
-
-    // Lane 1: CPU — partition prologue, then compute, idle to the span end.
     out.push_str("CPU |");
-    out.push_str(&bar('p', p));
-    out.push_str(&bar('#', cpu));
-    out.push_str(&pad(span.saturating_sub(cpu)));
-    out.push_str(&bar('m', m));
+    out.push_str(std::str::from_utf8(&cpu_lane).expect("ascii"));
     out.push_str("|\n");
-
-    // Lane 2: GPU — idle during partition, transfer in, compute, out.
     out.push_str("GPU |");
-    out.push_str(&pad(p));
-    out.push_str(&bar('>', tin));
-    out.push_str(&bar('#', gpu));
-    out.push_str(&bar('<', tout));
-    out.push_str(&pad(span.saturating_sub(tin + gpu + tout)));
-    out.push_str(&pad(m));
+    out.push_str(std::str::from_utf8(&gpu_lane).expect("ascii"));
     out.push_str("|\n");
-
     out.push_str(&format!(
-        "      p=partition  #=compute  >=<=transfer  m=merge   total {total}\n"
+        "      p=partition  #=compute  >=xfer-in  <=xfer-out  m=merge   total {total}\n"
     ));
     out
 }
@@ -117,5 +114,54 @@ mod tests {
         };
         let s = render(&b, 1); // clamped to 20
         assert!(s.lines().next().unwrap().len() >= 10);
+    }
+
+    #[test]
+    fn lanes_never_overflow_requested_width() {
+        // Segment-wise rounding used to let lanes exceed `width` (each
+        // segment could round up by half a column); position-based painting
+        // pins every lane to exactly `width` columns plus the gutters.
+        let awkward = [
+            RunBreakdown {
+                partition: SimTime::from_millis(1.3),
+                transfer_in: SimTime::from_millis(0.7),
+                cpu_compute: SimTime::from_millis(3.1),
+                gpu_compute: SimTime::from_millis(2.9),
+                transfer_out: SimTime::from_millis(0.9),
+                merge: SimTime::from_millis(1.1),
+            },
+            RunBreakdown {
+                partition: SimTime::from_micros(3.0),
+                transfer_in: SimTime::from_micros(5.0),
+                cpu_compute: SimTime::from_micros(5.0),
+                gpu_compute: SimTime::from_micros(5.0),
+                transfer_out: SimTime::from_micros(5.0),
+                merge: SimTime::from_micros(3.0),
+            },
+        ];
+        for b in &awkward {
+            for width in [20usize, 33, 40, 61, 80] {
+                let s = render(b, width);
+                for line in s.lines().take(2) {
+                    assert_eq!(
+                        line.len(),
+                        width + "CPU |".len() + 1,
+                        "lane width drifted at width {width}: {line:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legend_names_both_transfer_directions() {
+        let b = RunBreakdown {
+            cpu_compute: SimTime::from_millis(1.0),
+            ..RunBreakdown::default()
+        };
+        let s = render(&b, 40);
+        assert!(s.contains(">=xfer-in"), "legend: {s}");
+        assert!(s.contains("<=xfer-out"), "legend: {s}");
+        assert!(!s.contains(">=<="), "old broken legend resurfaced: {s}");
     }
 }

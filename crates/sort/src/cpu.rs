@@ -61,8 +61,7 @@ pub fn merge_sort(data: &[u64], chunks: usize) -> SortOutcome {
     let chunk_levels = ((n / chunks.max(1)).max(2) as f64).log2().ceil() as u64;
     let wide = chunk_levels.min(levels);
     let narrow = levels - wide;
-    let avg_parallel =
-        (wide as f64 * chunks as f64 + narrow as f64 * 2.0) / levels as f64;
+    let avg_parallel = (wide as f64 * chunks as f64 + narrow as f64 * 2.0) / levels as f64;
     stats.parallel_items = avg_parallel.round().max(1.0) as u64;
     stats.working_set_bytes = 16 * n as u64;
     SortOutcome { sorted: cur, stats }

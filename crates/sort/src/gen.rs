@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn narrow_range_keys_fit_16_bits() {
-        assert!(narrow_range(1000, 5).iter().all(|&k| k <= u64::from(u16::MAX)));
+        assert!(narrow_range(1000, 5)
+            .iter()
+            .all(|&k| k <= u64::from(u16::MAX)));
     }
 
     #[test]

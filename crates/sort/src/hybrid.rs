@@ -92,8 +92,14 @@ mod tests {
     fn narrow_keys_make_the_gpu_side_cheaper() {
         let wide = gen::uniform(20_000, 9);
         let narrow = gen::narrow_range(20_000, 9);
-        let t_wide = hybrid_sort(&wide, 0.0, &platform()).report.breakdown.gpu_compute;
-        let t_narrow = hybrid_sort(&narrow, 0.0, &platform()).report.breakdown.gpu_compute;
+        let t_wide = hybrid_sort(&wide, 0.0, &platform())
+            .report
+            .breakdown
+            .gpu_compute;
+        let t_narrow = hybrid_sort(&narrow, 0.0, &platform())
+            .report
+            .breakdown
+            .gpu_compute;
         assert!(
             t_narrow < t_wide / 2.0,
             "narrow {t_narrow} should be far below wide {t_wide}"

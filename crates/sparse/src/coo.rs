@@ -74,8 +74,7 @@ impl Coo {
     /// zeros), matching common sparse library behaviour.
     #[must_use]
     pub fn into_csr(mut self) -> Csr {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut vals: Vec<f64> = Vec::with_capacity(self.entries.len());

@@ -340,7 +340,14 @@ mod tests {
         // [1 0 2]
         // [0 0 0]
         // [3 4 0]
-        Csr::try_new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+        Csr::try_new(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -390,11 +397,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_unsorted_and_duplicate_columns() {
-        let err =
-            Csr::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
+        let err = Csr::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).unwrap_err();
         assert_eq!(err, CsrError::UnsortedRow { row: 0 });
-        let err =
-            Csr::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        let err = Csr::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
         assert_eq!(err, CsrError::UnsortedRow { row: 0 });
     }
 

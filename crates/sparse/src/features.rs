@@ -99,7 +99,11 @@ pub fn power_law_exponent(degrees: &[u64]) -> Option<f64> {
     }
     let mean = degrees.iter().sum::<u64>() as f64 / degrees.len() as f64;
     // Complementary CDF points at distinct degrees above the mean.
-    let mut tail: Vec<u64> = degrees.iter().copied().filter(|&d| d as f64 > mean).collect();
+    let mut tail: Vec<u64> = degrees
+        .iter()
+        .copied()
+        .filter(|&d| d as f64 > mean)
+        .collect();
     if tail.len() < 3 {
         return None;
     }
@@ -178,7 +182,11 @@ mod tests {
         assert!(f.band_fraction > 0.95, "band = {}", f.band_fraction);
         let u = gen::uniform_random(2000, 12, 3);
         let fu = Features::of(&u);
-        assert!(fu.band_fraction < 0.3, "uniform band = {}", fu.band_fraction);
+        assert!(
+            fu.band_fraction < 0.3,
+            "uniform band = {}",
+            fu.band_fraction
+        );
     }
 
     #[test]

@@ -327,7 +327,7 @@ mod tests {
         let degs = m.row_nnz_vector();
         let d0 = degs[0];
         assert!(degs.iter().all(|&d| d == d0), "all rows equal degree");
-        assert!(d0 <= 9 && d0 >= 7, "dedup may drop a collision: {d0}");
+        assert!((7..=9).contains(&d0), "dedup may drop a collision: {d0}");
     }
 
     #[test]
@@ -337,8 +337,7 @@ mod tests {
         let mut in_degs = t.row_nnz_vector();
         in_degs.sort_unstable_by(|a, b| b.cmp(a));
         let hub_max = in_degs[0];
-        let tail_mean =
-            in_degs[100..].iter().sum::<u64>() as f64 / (in_degs.len() - 100) as f64;
+        let tail_mean = in_degs[100..].iter().sum::<u64>() as f64 / (in_degs.len() - 100) as f64;
         assert!(
             hub_max as f64 > 10.0 * tail_mean,
             "hubs ({hub_max}) should dominate tail mean ({tail_mean})"

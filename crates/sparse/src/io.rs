@@ -85,7 +85,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MmError> {
     let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size token {t}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(format!("bad size token {t}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err("size line must have rows cols nnz"));

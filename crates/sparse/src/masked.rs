@@ -62,12 +62,7 @@ impl DensitySplit {
 /// # Panics
 /// Panics on shape mismatch or wrong mask lengths.
 #[must_use]
-pub fn spgemm_masked(
-    a: &Csr,
-    b: &Csr,
-    a_keep: &[bool],
-    b_keep: &[bool],
-) -> (Csr, Vec<RowCost>) {
+pub fn spgemm_masked(a: &Csr, b: &Csr, a_keep: &[bool], b_keep: &[bool]) -> (Csr, Vec<RowCost>) {
     assert_eq!(a.cols(), b.rows(), "incompatible shapes in masked spgemm");
     assert_eq!(a_keep.len(), a.rows(), "a_keep length mismatch");
     assert_eq!(b_keep.len(), b.rows(), "b_keep length mismatch");
@@ -138,12 +133,7 @@ pub fn spgemm_masked(
 /// exact per-row [`RowCost`]s without the numeric multiply. Agrees with the
 /// measured costs by construction.
 #[must_use]
-pub fn masked_row_profile(
-    a: &Csr,
-    b: &Csr,
-    a_keep: &[bool],
-    b_keep: &[bool],
-) -> Vec<RowCost> {
+pub fn masked_row_profile(a: &Csr, b: &Csr, a_keep: &[bool], b_keep: &[bool]) -> Vec<RowCost> {
     assert_eq!(a.cols(), b.rows(), "incompatible shapes in masked profile");
     assert_eq!(a_keep.len(), a.rows(), "a_keep length mismatch");
     assert_eq!(b_keep.len(), b.rows(), "b_keep length mismatch");
@@ -203,7 +193,7 @@ pub struct HhProducts {
 impl HhProducts {
     /// Computes all four masked products of `A × B` at thresholds
     /// `(t_a, t_b)` (Phase I + the multiplies of Phases II/III).
-///
+    ///
     /// ```
     /// use nbwp_sparse::{gen, masked::HhProducts, spgemm::spgemm};
     /// let a = gen::power_law(60, 5, 2.2, 3);
@@ -295,11 +285,7 @@ mod tests {
             let products = HhProducts::compute(&a, &a, t, t);
             let combined = products.combine();
             let reference = spgemm(&a, &a);
-            assert_eq!(
-                combined.to_dense(),
-                reference.to_dense(),
-                "threshold {t}"
-            );
+            assert_eq!(combined.to_dense(), reference.to_dense(), "threshold {t}");
         }
     }
 
@@ -307,10 +293,7 @@ mod tests {
     fn asymmetric_thresholds_also_sum() {
         let a = sample();
         let products = HhProducts::compute(&a, &a, 1, 2);
-        assert_eq!(
-            products.combine().to_dense(),
-            spgemm(&a, &a).to_dense()
-        );
+        assert_eq!(products.combine().to_dense(), spgemm(&a, &a).to_dense());
     }
 
     #[test]
@@ -328,12 +311,12 @@ mod tests {
         let a = sample();
         let full = crate::spgemm::row_profile(&a, &a);
         let p = HhProducts::compute(&a, &a, 1, 1);
-        for i in 0..a.rows() {
+        for (i, row) in full.iter().enumerate() {
             let sum_b = p.hh.1[i].b_entries
                 + p.hl.1[i].b_entries
                 + p.lh.1[i].b_entries
                 + p.ll.1[i].b_entries;
-            assert_eq!(sum_b, full[i].b_entries, "row {i} work must partition");
+            assert_eq!(sum_b, row.b_entries, "row {i} work must partition");
         }
     }
 

@@ -123,7 +123,10 @@ pub fn prefix_sums(work: &[u64]) -> Vec<u64> {
 /// `r% · total`. Returns a value in `0..=n`.
 #[must_use]
 pub fn split_row_for_load(prefix: &[u64], r_pct: f64) -> usize {
-    assert!((0.0..=100.0).contains(&r_pct), "split percentage {r_pct} out of range");
+    assert!(
+        (0.0..=100.0).contains(&r_pct),
+        "split percentage {r_pct} out of range"
+    );
     let n = prefix.len();
     if n == 0 {
         return 0;

@@ -66,7 +66,11 @@ pub fn sample_submatrix<R: Rng>(a: &Csr, k: usize, rng: &mut R) -> Csr {
 #[must_use]
 pub fn sample_submatrix_frac<R: Rng>(a: &Csr, frac: f64, rng: &mut R) -> Csr {
     assert!(frac > 0.0 && frac <= 1.0, "fraction {frac} out of (0, 1]");
-    assert_eq!(a.rows(), a.cols(), "submatrix sampling expects a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "submatrix sampling expects a square matrix"
+    );
     let n = a.rows();
     let s = ((n as f64 * frac).ceil() as usize).clamp(1, n);
     let picked = choose_sorted(n, s, rng);
@@ -183,7 +187,11 @@ pub fn predetermined_submatrix(a: &Csr, k: usize, block: usize) -> Csr {
 #[must_use]
 pub fn sample_induced<R: Rng>(a: &Csr, s: usize, rng: &mut R) -> Csr {
     assert!(s > 0, "sample size must be positive");
-    assert_eq!(a.rows(), a.cols(), "induced sampling expects a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "induced sampling expects a square matrix"
+    );
     let n = a.rows();
     let s = s.min(n);
     let picked = choose_sorted(n, s, rng);
@@ -393,12 +401,21 @@ mod importance_tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let uni = sample_rows_contract(&a, 140, &mut rng);
         let max_imp = (0..imp.rows()).map(|r| imp.row_nnz(r)).max().unwrap();
-        let max_uni = (0..uni.rows()).map(|r| uni.row_nnz(r)).max().unwrap();
-        // The hub's contracted degree saturates near the sample size; the
-        // uniform sample's max stays far below it.
+        // Contraction caps every row's degree at the sample size, so a lucky
+        // uniform draw can tie the *max*; the robust signal is total sampled
+        // structure. Importance keeps ~the s heaviest rows, each saturating
+        // the contracted buckets, while uniform keeps mean-degree rows.
         assert!(
-            max_imp > 2 * max_uni,
-            "importance max {max_imp} vs uniform max {max_uni} (full {max_full})"
+            imp.nnz() > 3 * uni.nnz(),
+            "importance nnz {} vs uniform nnz {} (full max degree {max_full})",
+            imp.nnz(),
+            uni.nnz()
+        );
+        // And the global hub itself saturates the contracted sample.
+        assert!(
+            max_imp as f64 >= 0.8 * imp.rows() as f64,
+            "hub row should saturate: max contracted degree {max_imp} of {}",
+            imp.rows()
         );
     }
 

@@ -95,10 +95,7 @@ mod tests {
         let x: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
         let y = spmv(&a, &x);
         let want = dense_spmv(&a, &x);
-        assert!(y
-            .iter()
-            .zip(&want)
-            .all(|(u, v)| (u - v).abs() < 1e-9));
+        assert!(y.iter().zip(&want).all(|(u, v)| (u - v).abs() < 1e-9));
     }
 
     #[test]

@@ -102,10 +102,10 @@ proptest! {
     fn hh_work_partitions_exactly(a in arb_csr(20, 60), t in 0u64..8) {
         let p = HhProducts::compute(&a, &a, t, t);
         let full = row_profile(&a, &a);
-        for i in 0..a.rows() {
+        for (i, row) in full.iter().enumerate() {
             let sum = p.hh.1[i].b_entries + p.hl.1[i].b_entries
                 + p.lh.1[i].b_entries + p.ll.1[i].b_entries;
-            prop_assert_eq!(sum, full[i].b_entries);
+            prop_assert_eq!(sum, row.b_entries);
         }
     }
 

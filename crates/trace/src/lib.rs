@@ -1,0 +1,105 @@
+//! # nbwp-trace — structured observability for the partitioning pipeline
+//!
+//! Lightweight span tracing and metrics for the *Nearly Balanced Work
+//! Partitioning* reproduction. The estimation pipeline in `nbwp-core`
+//! (Sample → Identify → Extrapolate) and the heterogeneous runs it prices
+//! are instrumented with a [`Recorder`]; finishing one yields a [`Trace`]
+//! that exports to:
+//!
+//! * **Chrome trace-event JSON** ([`Trace::to_chrome_trace`]) — open in
+//!   [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`; the CPU and
+//!   GPU sides of each run render as separate threads, so the overlap
+//!   structure of the paper's Algorithms 1–3 is directly visible;
+//! * **JSONL** ([`Trace::to_jsonl`]) — one JSON object per line for
+//!   streaming consumers;
+//! * **text summary** ([`Trace::summary`]) — phases, per-lane occupancy
+//!   bars, and metrics at a glance.
+//!
+//! Two properties hold by construction:
+//!
+//! * **Deterministic.** Spans are keyed to [`SimTime`], never wall clock,
+//!   and every map serializes in a fixed order — the same input, seed, and
+//!   platform produce byte-identical traces.
+//! * **Free when off.** [`Recorder::disabled`] reduces every call to one
+//!   `Option` check; instrumented code paths need no `cfg` gates.
+//!
+//! ```
+//! use nbwp_sim::{RunBreakdown, RunReport, SimTime};
+//! use nbwp_trace::Recorder;
+//!
+//! let rec = Recorder::new();
+//! let estimate = rec.open("estimate");
+//! let eval = rec.open("identify.eval");
+//! rec.record_run(&RunReport {
+//!     breakdown: RunBreakdown {
+//!         cpu_compute: SimTime::from_millis(4.0),
+//!         gpu_compute: SimTime::from_millis(3.0),
+//!         ..RunBreakdown::default()
+//!     },
+//!     ..RunReport::default()
+//! });
+//! rec.close(eval);
+//! rec.close(estimate);
+//!
+//! let trace = rec.finish();
+//! assert_eq!(trace.count_named("identify.eval"), 1);
+//! let json = trace.to_chrome_trace();
+//! assert!(json.contains("cpu_compute"));
+//! nbwp_trace::validate_chrome_trace(&json).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+
+use nbwp_sim::SimTime;
+
+pub use export::{chrome_trace, jsonl, summary, validate_chrome_trace, ChromeCheck};
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{ArgValue, Recorder, Span, SpanId, Track};
+
+/// A finished recording: every span, the final metrics snapshot, and the
+/// closing value of the simulated clock. Produced by [`Recorder::finish`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// All recorded spans, in recording order (parents before children).
+    pub spans: Vec<Span>,
+    /// Final metrics snapshot (name-sorted).
+    pub metrics: MetricsSnapshot,
+    /// Simulated time at which recording finished.
+    pub clock: SimTime,
+}
+
+impl Trace {
+    /// Exports as Chrome trace-event JSON (see [`export::chrome_trace`]).
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        export::chrome_trace(self)
+    }
+
+    /// Exports as JSONL (see [`export::jsonl`]).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        export::jsonl(self)
+    }
+
+    /// Renders the human-readable summary (see [`export::summary`]).
+    #[must_use]
+    pub fn summary(&self, width: usize) -> String {
+        export::summary(self, width)
+    }
+
+    /// Number of spans with the given name.
+    #[must_use]
+    pub fn count_named(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Spans with the given name, in recording order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}

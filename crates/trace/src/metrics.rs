@@ -1,0 +1,218 @@
+//! Named metrics: counters, gauges, and histograms.
+//!
+//! A [`MetricsRegistry`] accumulates scalar observability signals alongside
+//! the span timeline: monotonic counters (`search.evaluations`), last-write
+//! gauges (`sample.rate`, `threshold.diff_pct`, per-device utilization), and
+//! min/max/sum histograms (`identify.eval_ms`). Registries live inside a
+//! [`crate::Recorder`]; call sites never talk to them directly.
+//!
+//! Snapshots are deterministic: names are emitted in sorted (BTreeMap)
+//! order, so two runs that record the same values serialize byte-for-byte
+//! identically.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulator for named counters, gauges, and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistAcc>,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct HistAcc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn histogram_record(&mut self, name: &str, value: f64) {
+        let h = self.histograms.entry(name.to_string()).or_insert(HistAcc {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        });
+        h.count += 1;
+        h.sum += value;
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Freezes the current state into a serializable, name-sorted snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: self.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSummary {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time, name-sorted view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Count / sum / min / max summary of one histogram.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Mean observation (0.0 for an empty histogram).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("search.evaluations", 3);
+        m.counter_add("search.evaluations", 2);
+        assert_eq!(m.snapshot().counter("search.evaluations"), Some(5));
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("sample.rate", 0.05);
+        m.gauge_set("sample.rate", 0.01);
+        assert_eq!(m.snapshot().gauge("sample.rate"), Some(0.01));
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max() {
+        let mut m = MetricsRegistry::new();
+        for v in [4.0, 1.0, 7.0] {
+            m.histogram_record("eval_ms", v);
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("eval_ms").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 12.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 7.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("zeta", 1);
+        m.counter_add("alpha", 1);
+        m.gauge_set("mid", 0.5);
+        let a = m.snapshot();
+        let b = m.snapshot();
+        assert_eq!(a, b);
+        let names: Vec<&str> = a.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        let empty = HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+        assert_eq!(empty.mean(), 0.0);
+    }
+}

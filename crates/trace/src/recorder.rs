@@ -1,0 +1,544 @@
+//! The span recorder: hierarchical spans keyed to simulated time.
+//!
+//! A [`Recorder`] carries a simulated-time clock ([`Recorder::clock`]), an
+//! open-span stack, and a [`MetricsRegistry`]. Instrumented code opens and
+//! closes named spans on the *pipeline* track, and hands full heterogeneous
+//! runs to [`Recorder::record_run`], which lays the six [`nbwp_sim::Lane`]s
+//! out on separate CPU/GPU tracks using the overlap geometry from
+//! [`nbwp_sim::RunBreakdown::lanes`].
+//!
+//! Everything is driven by [`SimTime`], never wall clock, so traces are
+//! byte-reproducible: same input + seed + platform ⇒ same trace.
+//!
+//! [`Recorder::disabled`] yields a recorder whose every method is a cheap
+//! no-op (one `Option` check, no allocation), so instrumented hot paths cost
+//! nothing when tracing is off.
+
+use std::cell::RefCell;
+
+use nbwp_sim::{KernelStats, Lane, RunReport, SimTime};
+
+use crate::metrics::MetricsRegistry;
+use crate::Trace;
+
+/// Which timeline row a span belongs to — a "thread" in Chrome-trace terms.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Track {
+    /// The estimation pipeline itself (sample / identify / extrapolate).
+    Pipeline,
+    /// CPU-side lanes of heterogeneous runs (partition, cpu_compute, merge).
+    Cpu,
+    /// GPU-side lanes (transfer_in, gpu_compute, transfer_out).
+    Gpu,
+}
+
+impl Track {
+    /// All tracks, in thread-id order.
+    pub const ALL: [Track; 3] = [Track::Pipeline, Track::Cpu, Track::Gpu];
+
+    /// Stable Chrome-trace thread id.
+    #[must_use]
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Pipeline => 0,
+            Track::Cpu => 1,
+            Track::Gpu => 2,
+        }
+    }
+
+    /// Human-readable track name for exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Pipeline => "pipeline",
+            Track::Cpu => "cpu",
+            Track::Gpu => "gpu",
+        }
+    }
+}
+
+/// A typed span argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (counters, byte counts).
+    U64(u64),
+    /// Floating-point (times, rates, intensities).
+    F64(f64),
+    /// Free-form text (strategy names, labels).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded span: a named interval on one track, with nesting depth and
+/// optional key/value arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Span name (e.g. `"identify.eval"`, `"cpu_compute"`).
+    pub name: String,
+    /// Timeline row the span occupies.
+    pub track: Track,
+    /// Start, in simulated time from the trace origin.
+    pub start: SimTime,
+    /// Duration in simulated time.
+    pub dur: SimTime,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: usize,
+    /// Attached key/value arguments (kernel counters, parameters).
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl Span {
+    /// The span's end time (`start + dur`).
+    #[must_use]
+    pub fn end(&self) -> SimTime {
+        self.start + self.dur
+    }
+}
+
+/// Opaque handle returned by [`Recorder::open`], consumed by
+/// [`Recorder::close`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+const DISABLED_SPAN: SpanId = SpanId(usize::MAX);
+
+struct Inner {
+    spans: Vec<Span>,
+    stack: Vec<usize>,
+    clock: SimTime,
+    cpu_busy: SimTime,
+    gpu_busy: SimTime,
+    metrics: MetricsRegistry,
+}
+
+/// Records spans and metrics against a simulated-time clock.
+///
+/// See the [module docs](self) for the full model. A `Recorder` built with
+/// [`Recorder::disabled`] (also the `Default`) ignores every call.
+pub struct Recorder {
+    inner: Option<RefCell<Inner>>,
+}
+
+impl Default for Recorder {
+    /// The default recorder is disabled — instrumented code paths pay
+    /// nothing unless a caller explicitly opts in with [`Recorder::new`].
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with the clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(RefCell::new(Inner {
+                spans: Vec::new(),
+                stack: Vec::new(),
+                clock: SimTime::ZERO,
+                cpu_busy: SimTime::ZERO,
+                gpu_busy: SimTime::ZERO,
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// A recorder that ignores every call at near-zero cost.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder actually records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current simulated time (always zero when disabled).
+    #[must_use]
+    pub fn clock(&self) -> SimTime {
+        match &self.inner {
+            Some(inner) => inner.borrow().clock,
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Advances the simulated clock by `dt`.
+    pub fn advance(&self, dt: SimTime) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().clock += dt;
+        }
+    }
+
+    /// Opens a span on the pipeline track at the current clock.
+    pub fn open(&self, name: &str) -> SpanId {
+        self.open_with(name, Vec::new())
+    }
+
+    /// Opens a span on the pipeline track with attached arguments.
+    pub fn open_with(&self, name: &str, args: Vec<(String, ArgValue)>) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return DISABLED_SPAN;
+        };
+        let mut g = inner.borrow_mut();
+        let idx = g.spans.len();
+        let span = Span {
+            name: name.to_string(),
+            track: Track::Pipeline,
+            start: g.clock,
+            dur: SimTime::ZERO,
+            depth: g.stack.len(),
+            args,
+        };
+        g.spans.push(span);
+        g.stack.push(idx);
+        SpanId(idx)
+    }
+
+    /// Closes an open span at the current clock, setting its duration.
+    ///
+    /// Spans must close innermost-first; any children still open when their
+    /// parent closes are closed along with it (at the same clock).
+    pub fn close(&self, id: SpanId) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut g = inner.borrow_mut();
+        if !g.stack.contains(&id.0) {
+            return; // already closed (or a disabled-span handle)
+        }
+        let clock = g.clock;
+        while let Some(top) = g.stack.pop() {
+            let start = g.spans[top].start;
+            g.spans[top].dur = clock - start;
+            if top == id.0 {
+                break;
+            }
+        }
+    }
+
+    /// Appends arguments to an open span (e.g. results known only at close
+    /// time, like the best threshold found by a search).
+    pub fn annotate(&self, id: SpanId, args: Vec<(String, ArgValue)>) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut g = inner.borrow_mut();
+        if let Some(span) = g.spans.get_mut(id.0) {
+            span.args.extend(args);
+        }
+    }
+
+    /// Records one heterogeneous run: emits its six [`Lane`] spans on the
+    /// CPU/GPU tracks starting at the current clock (with kernel counters
+    /// attached to the compute lanes), accumulates per-device busy time, and
+    /// advances the clock by the run's total.
+    pub fn record_run(&self, report: &RunReport) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut g = inner.borrow_mut();
+        let base = g.clock;
+        let depth = g.stack.len();
+        let b = &report.breakdown;
+        for (lane, offset, dur) in b.lanes() {
+            let track = if lane.on_gpu() {
+                Track::Gpu
+            } else {
+                Track::Cpu
+            };
+            let args = match lane {
+                Lane::CpuCompute => stats_args(&report.cpu_stats),
+                Lane::GpuCompute => stats_args(&report.gpu_stats),
+                _ => Vec::new(),
+            };
+            g.spans.push(Span {
+                name: lane.name().to_string(),
+                track,
+                start: base + offset,
+                dur,
+                depth,
+                args,
+            });
+        }
+        g.cpu_busy += b.partition + b.cpu_compute + b.merge;
+        g.gpu_busy += b.transfer_in + b.gpu_compute + b.transfer_out;
+        g.clock += b.total();
+    }
+
+    /// Adds to a named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Sets a named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Records one observation into a named histogram.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.histogram_record(name, value);
+        }
+    }
+
+    /// Finishes recording: closes any still-open spans at the current clock,
+    /// derives the per-device utilization gauges, and returns the trace.
+    ///
+    /// A disabled recorder returns an empty [`Trace`].
+    #[must_use]
+    pub fn finish(self) -> Trace {
+        let Some(inner) = self.inner else {
+            return Trace::default();
+        };
+        let mut g = inner.into_inner();
+        while let Some(top) = g.stack.pop() {
+            let start = g.spans[top].start;
+            g.spans[top].dur = g.clock - start;
+        }
+        if !g.clock.is_zero() {
+            g.metrics
+                .gauge_set("device.cpu.utilization", g.cpu_busy / g.clock);
+            g.metrics
+                .gauge_set("device.gpu.utilization", g.gpu_busy / g.clock);
+        }
+        Trace {
+            spans: g.spans,
+            metrics: g.metrics.snapshot(),
+            clock: g.clock,
+        }
+    }
+}
+
+/// Kernel counters attached to compute-lane spans.
+fn stats_args(stats: &KernelStats) -> Vec<(String, ArgValue)> {
+    vec![
+        ("flops".to_string(), ArgValue::U64(stats.flops)),
+        ("int_ops".to_string(), ArgValue::U64(stats.int_ops)),
+        ("bytes".to_string(), ArgValue::U64(stats.total_bytes())),
+        (
+            "arithmetic_intensity".to_string(),
+            ArgValue::F64(stats.arithmetic_intensity()),
+        ),
+        (
+            "kernel_launches".to_string(),
+            ArgValue::U64(stats.kernel_launches),
+        ),
+        (
+            "parallel_items".to_string(),
+            ArgValue::U64(stats.parallel_items),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use nbwp_sim::RunBreakdown;
+
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            breakdown: RunBreakdown {
+                partition: SimTime::from_millis(1.0),
+                transfer_in: SimTime::from_millis(2.0),
+                cpu_compute: SimTime::from_millis(10.0),
+                gpu_compute: SimTime::from_millis(5.0),
+                transfer_out: SimTime::from_millis(1.0),
+                merge: SimTime::from_millis(0.5),
+            },
+            cpu_stats: KernelStats {
+                flops: 100,
+                mem_read_bytes: 400,
+                ..KernelStats::default()
+            },
+            gpu_stats: KernelStats {
+                flops: 900,
+                mem_read_bytes: 300,
+                ..KernelStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let id = rec.open("estimate");
+        rec.advance(SimTime::from_millis(5.0));
+        rec.record_run(&sample_report());
+        rec.counter_add("c", 1);
+        rec.close(id);
+        assert_eq!(rec.clock(), SimTime::ZERO);
+        let trace = rec.finish();
+        assert!(trace.spans.is_empty());
+        assert_eq!(trace.clock, SimTime::ZERO);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_close_with_durations() {
+        let rec = Recorder::new();
+        let outer = rec.open("estimate");
+        rec.advance(SimTime::from_millis(1.0));
+        let inner = rec.open("identify");
+        rec.advance(SimTime::from_millis(4.0));
+        rec.close(inner);
+        rec.close(outer);
+        let trace = rec.finish();
+        assert_eq!(trace.spans.len(), 2);
+        let (o, i) = (&trace.spans[0], &trace.spans[1]);
+        assert_eq!(o.name, "estimate");
+        assert_eq!(o.depth, 0);
+        assert_eq!(o.dur, SimTime::from_millis(5.0));
+        assert_eq!(i.name, "identify");
+        assert_eq!(i.depth, 1);
+        assert_eq!(i.start, SimTime::from_millis(1.0));
+        assert_eq!(i.dur, SimTime::from_millis(4.0));
+        // Child interval is contained in the parent's.
+        assert!(o.start <= i.start && i.end() <= o.end());
+    }
+
+    #[test]
+    fn closing_a_parent_closes_open_children() {
+        let rec = Recorder::new();
+        let outer = rec.open("outer");
+        let _leaked = rec.open("leaked-child");
+        rec.advance(SimTime::from_millis(2.0));
+        rec.close(outer);
+        let trace = rec.finish();
+        assert_eq!(trace.spans[1].dur, SimTime::from_millis(2.0));
+        assert_eq!(trace.spans[0].dur, SimTime::from_millis(2.0));
+    }
+
+    #[test]
+    fn record_run_emits_all_six_lanes_and_advances_clock() {
+        let rec = Recorder::new();
+        let report = sample_report();
+        rec.record_run(&report);
+        assert_eq!(rec.clock(), report.total());
+        let trace = rec.finish();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "partition",
+                "transfer_in",
+                "cpu_compute",
+                "gpu_compute",
+                "transfer_out",
+                "merge"
+            ]
+        );
+        // CPU lanes on the CPU track, GPU chain on the GPU track.
+        assert_eq!(trace.spans[0].track, Track::Cpu);
+        assert_eq!(trace.spans[1].track, Track::Gpu);
+        assert_eq!(trace.spans[2].track, Track::Cpu);
+        assert_eq!(trace.spans[3].track, Track::Gpu);
+        // Compute lanes carry kernel counters.
+        let cpu = &trace.spans[2];
+        assert!(cpu
+            .args
+            .iter()
+            .any(|(k, v)| k == "flops" && *v == ArgValue::U64(100)));
+        let gpu = &trace.spans[3];
+        assert!(gpu
+            .args
+            .iter()
+            .any(|(k, v)| k == "flops" && *v == ArgValue::U64(900)));
+        // Latest lane end equals the run total.
+        let latest = trace.spans.iter().map(Span::end).max().unwrap();
+        assert_eq!(latest, report.total());
+    }
+
+    #[test]
+    fn consecutive_runs_do_not_overlap() {
+        let rec = Recorder::new();
+        let report = sample_report();
+        rec.record_run(&report);
+        rec.record_run(&report);
+        let trace = rec.finish();
+        assert_eq!(trace.spans.len(), 12);
+        // Second run's partition starts exactly where the first run ended.
+        assert_eq!(trace.spans[6].start, report.total());
+    }
+
+    #[test]
+    fn utilization_gauges_derive_from_busy_time() {
+        let rec = Recorder::new();
+        let report = sample_report();
+        rec.record_run(&report);
+        let trace = rec.finish();
+        // Total = 1 + max(10, 2 + 5 + 1) + 0.5 = 11.5ms; the CPU is busy
+        // for all of it (partition + compute + merge), the GPU for 8ms.
+        let cpu = trace.metrics.gauge("device.cpu.utilization").unwrap();
+        assert!((cpu - 1.0).abs() < 1e-12, "cpu = {cpu}");
+        let gpu = trace.metrics.gauge("device.gpu.utilization").unwrap();
+        assert!((gpu - 8.0 / 11.5).abs() < 1e-12, "gpu = {gpu}");
+    }
+
+    #[test]
+    fn identical_recordings_produce_equal_traces() {
+        let build = || {
+            let rec = Recorder::new();
+            let id = rec.open("estimate");
+            rec.record_run(&sample_report());
+            rec.counter_add("search.evaluations", 1);
+            rec.close(id);
+            rec.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn annotate_appends_args_to_open_span() {
+        let rec = Recorder::new();
+        let id = rec.open("identify");
+        rec.annotate(id, vec![("best_t".to_string(), ArgValue::F64(0.25))]);
+        rec.close(id);
+        let trace = rec.finish();
+        assert_eq!(
+            trace.spans[0].args,
+            vec![("best_t".to_string(), ArgValue::F64(0.25))]
+        );
+    }
+}

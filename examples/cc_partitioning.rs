@@ -28,7 +28,12 @@ fn main() {
 
         // The methods under comparison.
         let best = exhaustive(&w, 1.0).best_t;
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, seed);
+        let est = estimate(
+            &w,
+            SampleSpec::default(),
+            IdentifyStrategy::CoarseToFine,
+            seed,
+        );
         let stat = naive_static(w.platform());
         let gpu_only_t = w.space().lo;
 
@@ -42,7 +47,10 @@ fn main() {
             est.evaluations
         );
         println!("  NaiveStatic      t = {stat:>5.1}  →  {}", t_of(stat));
-        println!("  GPU-only         t = {gpu_only_t:>5.1}  →  {}", t_of(gpu_only_t));
+        println!(
+            "  GPU-only         t = {gpu_only_t:>5.1}  →  {}",
+            t_of(gpu_only_t)
+        );
 
         // Verify the algorithm is exact at the chosen threshold: labels
         // must match union-find regardless of the partition.

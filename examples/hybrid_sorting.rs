@@ -22,7 +22,10 @@ fn main() {
         let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7);
         let best = exhaustive(&w, 1.0);
         let out = w.run_full(est.threshold);
-        assert!(out.sorted.windows(2).all(|p| p[0] <= p[1]), "must be sorted");
+        assert!(
+            out.sorted.windows(2).all(|p| p[0] <= p[1]),
+            "must be sorted"
+        );
         println!(
             "{label:<22} estimated t = {:>5.1} (best {:>3.0}), run {} vs best {}, \
              radix passes on GPU side: {}",

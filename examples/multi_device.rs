@@ -33,7 +33,11 @@ fn main() {
 
     // Baselines.
     show("equal shares", &w, &Shares::equal(3));
-    show("FLOPS-proportional", &w, &Shares::flops_proportional(w.platform()));
+    show(
+        "FLOPS-proportional",
+        &w,
+        &Shares::flops_proportional(w.platform()),
+    );
 
     // Balanced on the full input (expensive reference).
     let balanced = w.rebalance(&Shares::equal(3), 6);

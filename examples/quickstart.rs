@@ -18,9 +18,9 @@ fn main() {
     //    from a √n-sized miniature of the input.
     let est = estimate(
         &workload,
-        SampleSpec::default(),            // √n vertices, the paper's choice
-        IdentifyStrategy::CoarseToFine,   // stride 8, then stride 1
-        7,                                // sampling seed
+        SampleSpec::default(),          // √n vertices, the paper's choice
+        IdentifyStrategy::CoarseToFine, // stride 8, then stride 1
+        7,                              // sampling seed
     );
     println!(
         "sampling recommends giving the CPU {:.0}% of the vertices \
@@ -46,6 +46,8 @@ fn main() {
         workload.time_at(0.0),
     );
 
-    let penalty = workload.time_at(est.threshold).pct_diff_from(best.best_time);
+    let penalty = workload
+        .time_at(est.threshold)
+        .pct_diff_from(best.best_time);
     println!("time penalty vs the best possible threshold: {penalty:.1}%");
 }

@@ -37,7 +37,12 @@ fn main() {
     }
 
     // Identify via the device race on the n/4 miniature.
-    let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, seed);
+    let est = estimate(
+        &w,
+        SampleSpec::default(),
+        IdentifyStrategy::RaceThenFine,
+        seed,
+    );
     let best = exhaustive(&w, 1.0);
     println!(
         "\nrace + fine probes on the n/4 sample → r' = {:.1}% \

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_baselines-42fb1c1f990563a2.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/debug/deps/ext_baselines-42fb1c1f990563a2: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

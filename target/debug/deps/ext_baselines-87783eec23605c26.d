@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_baselines-87783eec23605c26.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/debug/deps/ext_baselines-87783eec23605c26: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_baselines-be96e3b564304c3b.d: crates/bench/src/bin/ext_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_baselines-be96e3b564304c3b.rmeta: crates/bench/src/bin/ext_baselines.rs Cargo.toml
+
+crates/bench/src/bin/ext_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

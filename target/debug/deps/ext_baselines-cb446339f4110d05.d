@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_baselines-cb446339f4110d05.d: crates/bench/src/bin/ext_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_baselines-cb446339f4110d05.rmeta: crates/bench/src/bin/ext_baselines.rs Cargo.toml
+
+crates/bench/src/bin/ext_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

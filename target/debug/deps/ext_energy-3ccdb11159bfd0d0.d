@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_energy-3ccdb11159bfd0d0.d: crates/bench/src/bin/ext_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_energy-3ccdb11159bfd0d0.rmeta: crates/bench/src/bin/ext_energy.rs Cargo.toml
+
+crates/bench/src/bin/ext_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

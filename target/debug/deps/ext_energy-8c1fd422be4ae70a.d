@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_energy-8c1fd422be4ae70a.d: crates/bench/src/bin/ext_energy.rs
+
+/root/repo/target/debug/deps/ext_energy-8c1fd422be4ae70a: crates/bench/src/bin/ext_energy.rs
+
+crates/bench/src/bin/ext_energy.rs:

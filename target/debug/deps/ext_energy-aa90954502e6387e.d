@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_energy-aa90954502e6387e.d: crates/bench/src/bin/ext_energy.rs
+
+/root/repo/target/debug/deps/ext_energy-aa90954502e6387e: crates/bench/src/bin/ext_energy.rs
+
+crates/bench/src/bin/ext_energy.rs:

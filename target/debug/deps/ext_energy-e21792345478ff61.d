@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_energy-e21792345478ff61.d: crates/bench/src/bin/ext_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_energy-e21792345478ff61.rmeta: crates/bench/src/bin/ext_energy.rs Cargo.toml
+
+crates/bench/src/bin/ext_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

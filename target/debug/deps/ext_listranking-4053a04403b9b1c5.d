@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_listranking-4053a04403b9b1c5.d: crates/bench/src/bin/ext_listranking.rs
+
+/root/repo/target/debug/deps/ext_listranking-4053a04403b9b1c5: crates/bench/src/bin/ext_listranking.rs
+
+crates/bench/src/bin/ext_listranking.rs:

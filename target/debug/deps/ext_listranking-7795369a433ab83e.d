@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_listranking-7795369a433ab83e.d: crates/bench/src/bin/ext_listranking.rs
+
+/root/repo/target/debug/deps/ext_listranking-7795369a433ab83e: crates/bench/src/bin/ext_listranking.rs
+
+crates/bench/src/bin/ext_listranking.rs:

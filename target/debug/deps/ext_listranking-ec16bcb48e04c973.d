@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_listranking-ec16bcb48e04c973.d: crates/bench/src/bin/ext_listranking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_listranking-ec16bcb48e04c973.rmeta: crates/bench/src/bin/ext_listranking.rs Cargo.toml
+
+crates/bench/src/bin/ext_listranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

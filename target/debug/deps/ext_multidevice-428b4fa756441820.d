@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multidevice-428b4fa756441820.d: crates/bench/src/bin/ext_multidevice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multidevice-428b4fa756441820.rmeta: crates/bench/src/bin/ext_multidevice.rs Cargo.toml
+
+crates/bench/src/bin/ext_multidevice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multidevice-6f5315d619eb7e83.d: crates/bench/src/bin/ext_multidevice.rs
+
+/root/repo/target/debug/deps/ext_multidevice-6f5315d619eb7e83: crates/bench/src/bin/ext_multidevice.rs
+
+crates/bench/src/bin/ext_multidevice.rs:

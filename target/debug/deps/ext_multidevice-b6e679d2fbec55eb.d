@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_multidevice-b6e679d2fbec55eb.d: crates/bench/src/bin/ext_multidevice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_multidevice-b6e679d2fbec55eb.rmeta: crates/bench/src/bin/ext_multidevice.rs Cargo.toml
+
+crates/bench/src/bin/ext_multidevice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_multidevice-cbb25c4046495de4.d: crates/bench/src/bin/ext_multidevice.rs
+
+/root/repo/target/debug/deps/ext_multidevice-cbb25c4046495de4: crates/bench/src/bin/ext_multidevice.rs
+
+crates/bench/src/bin/ext_multidevice.rs:

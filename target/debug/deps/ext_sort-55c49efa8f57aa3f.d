@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sort-55c49efa8f57aa3f.d: crates/bench/src/bin/ext_sort.rs
+
+/root/repo/target/debug/deps/ext_sort-55c49efa8f57aa3f: crates/bench/src/bin/ext_sort.rs
+
+crates/bench/src/bin/ext_sort.rs:

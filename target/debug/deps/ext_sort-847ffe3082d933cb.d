@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sort-847ffe3082d933cb.d: crates/bench/src/bin/ext_sort.rs
+
+/root/repo/target/debug/deps/ext_sort-847ffe3082d933cb: crates/bench/src/bin/ext_sort.rs
+
+crates/bench/src/bin/ext_sort.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sort-e17c147134b9c907.d: crates/bench/src/bin/ext_sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sort-e17c147134b9c907.rmeta: crates/bench/src/bin/ext_sort.rs Cargo.toml
+
+crates/bench/src/bin/ext_sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

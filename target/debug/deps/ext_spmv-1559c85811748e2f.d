@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_spmv-1559c85811748e2f.d: crates/bench/src/bin/ext_spmv.rs
+
+/root/repo/target/debug/deps/ext_spmv-1559c85811748e2f: crates/bench/src/bin/ext_spmv.rs
+
+crates/bench/src/bin/ext_spmv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_spmv-507b7c27c028d5e4.d: crates/bench/src/bin/ext_spmv.rs
+
+/root/repo/target/debug/deps/ext_spmv-507b7c27c028d5e4: crates/bench/src/bin/ext_spmv.rs
+
+crates/bench/src/bin/ext_spmv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_spmv-eb2f782a3a2d85cd.d: crates/bench/src/bin/ext_spmv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_spmv-eb2f782a3a2d85cd.rmeta: crates/bench/src/bin/ext_spmv.rs Cargo.toml
+
+crates/bench/src/bin/ext_spmv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

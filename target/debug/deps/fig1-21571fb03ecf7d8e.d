@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-21571fb03ecf7d8e.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-21571fb03ecf7d8e: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-69e140c325ed6679.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-69e140c325ed6679: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

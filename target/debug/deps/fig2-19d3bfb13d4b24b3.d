@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-19d3bfb13d4b24b3.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-19d3bfb13d4b24b3: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-e4694925b745787a.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-e4694925b745787a: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

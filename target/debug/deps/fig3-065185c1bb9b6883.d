@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-065185c1bb9b6883.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-065185c1bb9b6883: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-58191f7f109242e8.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-58191f7f109242e8: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

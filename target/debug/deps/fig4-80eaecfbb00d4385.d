@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-80eaecfbb00d4385.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-80eaecfbb00d4385: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-d8f63073b04a5548.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-d8f63073b04a5548: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2e18a0f9c9d9ebf5.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2e18a0f9c9d9ebf5: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

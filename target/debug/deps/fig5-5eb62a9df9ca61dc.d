@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5eb62a9df9ca61dc.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-5eb62a9df9ca61dc: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ac6e87f43e88a08e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ac6e87f43e88a08e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

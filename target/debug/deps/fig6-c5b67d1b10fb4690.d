@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c5b67d1b10fb4690.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c5b67d1b10fb4690: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3a1e9bfd425a48b0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3a1e9bfd425a48b0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-43500e2b28767188.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-43500e2b28767188: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-56c08b878660e6e6.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-56c08b878660e6e6: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ea8dc9fa011ee20e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ea8dc9fa011ee20e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-146e562d95ccff90.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-146e562d95ccff90: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

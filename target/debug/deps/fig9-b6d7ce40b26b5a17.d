@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b6d7ce40b26b5a17.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b6d7ce40b26b5a17: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

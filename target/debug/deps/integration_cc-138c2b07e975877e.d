@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_cc-138c2b07e975877e.d: crates/core/../../tests/integration_cc.rs
+
+/root/repo/target/debug/deps/integration_cc-138c2b07e975877e: crates/core/../../tests/integration_cc.rs
+
+crates/core/../../tests/integration_cc.rs:

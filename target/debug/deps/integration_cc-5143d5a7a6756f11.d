@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_cc-5143d5a7a6756f11.d: crates/core/../../tests/integration_cc.rs
+
+/root/repo/target/debug/deps/integration_cc-5143d5a7a6756f11: crates/core/../../tests/integration_cc.rs
+
+crates/core/../../tests/integration_cc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_cc-a0cf4f09ef636a75.d: crates/core/../../tests/integration_cc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_cc-a0cf4f09ef636a75.rmeta: crates/core/../../tests/integration_cc.rs Cargo.toml
+
+crates/core/../../tests/integration_cc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_datasets-226083755dcf9f39.d: crates/core/../../tests/integration_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_datasets-226083755dcf9f39.rmeta: crates/core/../../tests/integration_datasets.rs Cargo.toml
+
+crates/core/../../tests/integration_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

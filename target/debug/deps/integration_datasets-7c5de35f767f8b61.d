@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_datasets-7c5de35f767f8b61.d: crates/core/../../tests/integration_datasets.rs
+
+/root/repo/target/debug/deps/integration_datasets-7c5de35f767f8b61: crates/core/../../tests/integration_datasets.rs
+
+crates/core/../../tests/integration_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_datasets-fe50cedee892da64.d: crates/core/../../tests/integration_datasets.rs
+
+/root/repo/target/debug/deps/integration_datasets-fe50cedee892da64: crates/core/../../tests/integration_datasets.rs
+
+crates/core/../../tests/integration_datasets.rs:

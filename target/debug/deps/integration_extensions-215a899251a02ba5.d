@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-215a899251a02ba5.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-215a899251a02ba5: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-db4e219616d8e2b4.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-db4e219616d8e2b4: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_framework-0ff60d86f1e5b417.d: crates/core/../../tests/integration_framework.rs
+
+/root/repo/target/debug/deps/integration_framework-0ff60d86f1e5b417: crates/core/../../tests/integration_framework.rs
+
+crates/core/../../tests/integration_framework.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_framework-90fc9801918e6898.d: crates/core/../../tests/integration_framework.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_framework-90fc9801918e6898.rmeta: crates/core/../../tests/integration_framework.rs Cargo.toml
+
+crates/core/../../tests/integration_framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

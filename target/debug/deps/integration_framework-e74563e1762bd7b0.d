@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_framework-e74563e1762bd7b0.d: crates/core/../../tests/integration_framework.rs
+
+/root/repo/target/debug/deps/integration_framework-e74563e1762bd7b0: crates/core/../../tests/integration_framework.rs
+
+crates/core/../../tests/integration_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_scalefree-1adbf4d5115930bb.d: crates/core/../../tests/integration_scalefree.rs
+
+/root/repo/target/debug/deps/integration_scalefree-1adbf4d5115930bb: crates/core/../../tests/integration_scalefree.rs
+
+crates/core/../../tests/integration_scalefree.rs:

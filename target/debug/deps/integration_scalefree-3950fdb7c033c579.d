@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_scalefree-3950fdb7c033c579.d: crates/core/../../tests/integration_scalefree.rs
+
+/root/repo/target/debug/deps/integration_scalefree-3950fdb7c033c579: crates/core/../../tests/integration_scalefree.rs
+
+crates/core/../../tests/integration_scalefree.rs:

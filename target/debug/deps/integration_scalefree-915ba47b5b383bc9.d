@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_scalefree-915ba47b5b383bc9.d: crates/core/../../tests/integration_scalefree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_scalefree-915ba47b5b383bc9.rmeta: crates/core/../../tests/integration_scalefree.rs Cargo.toml
+
+crates/core/../../tests/integration_scalefree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_spmm-0597524f2ddddb71.d: crates/core/../../tests/integration_spmm.rs
+
+/root/repo/target/debug/deps/integration_spmm-0597524f2ddddb71: crates/core/../../tests/integration_spmm.rs
+
+crates/core/../../tests/integration_spmm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_spmm-4edec4b90d3ea741.d: crates/core/../../tests/integration_spmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_spmm-4edec4b90d3ea741.rmeta: crates/core/../../tests/integration_spmm.rs Cargo.toml
+
+crates/core/../../tests/integration_spmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

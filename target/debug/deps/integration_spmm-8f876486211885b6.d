@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_spmm-8f876486211885b6.d: crates/core/../../tests/integration_spmm.rs
+
+/root/repo/target/debug/deps/integration_spmm-8f876486211885b6: crates/core/../../tests/integration_spmm.rs
+
+crates/core/../../tests/integration_spmm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_trace-662bf106be3feff2.d: crates/core/../../tests/integration_trace.rs
+
+/root/repo/target/debug/deps/integration_trace-662bf106be3feff2: crates/core/../../tests/integration_trace.rs
+
+crates/core/../../tests/integration_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/list_properties-1997f38e34b0482d.d: crates/graph/tests/list_properties.rs
+
+/root/repo/target/debug/deps/list_properties-1997f38e34b0482d: crates/graph/tests/list_properties.rs
+
+crates/graph/tests/list_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/list_properties-664157a1dc21bac4.d: crates/graph/tests/list_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblist_properties-664157a1dc21bac4.rmeta: crates/graph/tests/list_properties.rs Cargo.toml
+
+crates/graph/tests/list_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

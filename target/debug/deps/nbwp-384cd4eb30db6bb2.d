@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp-384cd4eb30db6bb2.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/nbwp-384cd4eb30db6bb2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp-6188be6275587126.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/nbwp-6188be6275587126: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp-7d3eb29ea94d7a2c.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/nbwp-7d3eb29ea94d7a2c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

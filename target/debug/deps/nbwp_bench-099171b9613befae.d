@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nbwp_bench-099171b9613befae.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_bench-099171b9613befae.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

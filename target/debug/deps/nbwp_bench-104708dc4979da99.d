@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nbwp_bench-104708dc4979da99.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_bench-104708dc4979da99.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_bench-104708dc4979da99.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nbwp_bench-2a93af16e4ef751f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_bench-2a93af16e4ef751f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp_bench-85c1e3d95bf1cb2b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nbwp_bench-85c1e3d95bf1cb2b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nbwp_bench-8720162c8dca2125.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_bench-8720162c8dca2125.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_bench-8720162c8dca2125.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp_bench-f54ce3a7a1b22beb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nbwp_bench-f54ce3a7a1b22beb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

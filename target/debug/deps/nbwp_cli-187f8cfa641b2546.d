@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nbwp_cli-187f8cfa641b2546.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_cli-187f8cfa641b2546.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp_cli-2ac979ec9c924805.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/nbwp_cli-2ac979ec9c924805: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nbwp_cli-44a203bb94c52418.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_cli-44a203bb94c52418.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_cli-44a203bb94c52418.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

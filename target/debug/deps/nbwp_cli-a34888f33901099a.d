@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp_cli-a34888f33901099a.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/nbwp_cli-a34888f33901099a: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nbwp_cli-e0d5928cf23c0f7d.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_cli-e0d5928cf23c0f7d.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_cli-e0d5928cf23c0f7d.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

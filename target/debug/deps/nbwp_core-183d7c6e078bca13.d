@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/nbwp_core-183d7c6e078bca13.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/energy.rs crates/core/src/estimator.rs crates/core/src/experiment.rs crates/core/src/extrapolate.rs crates/core/src/framework.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/cc.rs crates/core/src/workloads/dense.rs crates/core/src/workloads/list.rs crates/core/src/workloads/multi.rs crates/core/src/workloads/scalefree.rs crates/core/src/workloads/sort.rs crates/core/src/workloads/spmm.rs crates/core/src/workloads/spmv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_core-183d7c6e078bca13.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/energy.rs crates/core/src/estimator.rs crates/core/src/experiment.rs crates/core/src/extrapolate.rs crates/core/src/framework.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/workloads/mod.rs crates/core/src/workloads/cc.rs crates/core/src/workloads/dense.rs crates/core/src/workloads/list.rs crates/core/src/workloads/multi.rs crates/core/src/workloads/scalefree.rs crates/core/src/workloads/sort.rs crates/core/src/workloads/spmm.rs crates/core/src/workloads/spmv.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/energy.rs:
+crates/core/src/estimator.rs:
+crates/core/src/experiment.rs:
+crates/core/src/extrapolate.rs:
+crates/core/src/framework.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/workloads/mod.rs:
+crates/core/src/workloads/cc.rs:
+crates/core/src/workloads/dense.rs:
+crates/core/src/workloads/list.rs:
+crates/core/src/workloads/multi.rs:
+crates/core/src/workloads/scalefree.rs:
+crates/core/src/workloads/sort.rs:
+crates/core/src/workloads/spmm.rs:
+crates/core/src/workloads/spmv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

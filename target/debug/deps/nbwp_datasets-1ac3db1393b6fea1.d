@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nbwp_datasets-1ac3db1393b6fea1.d: crates/datasets/src/lib.rs
+
+/root/repo/target/debug/deps/nbwp_datasets-1ac3db1393b6fea1: crates/datasets/src/lib.rs
+
+crates/datasets/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nbwp_datasets-51a93b45fb1694d7.d: crates/datasets/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_datasets-51a93b45fb1694d7.rlib: crates/datasets/src/lib.rs
+
+/root/repo/target/debug/deps/libnbwp_datasets-51a93b45fb1694d7.rmeta: crates/datasets/src/lib.rs
+
+crates/datasets/src/lib.rs:

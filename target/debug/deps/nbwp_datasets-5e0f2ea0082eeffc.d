@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nbwp_datasets-5e0f2ea0082eeffc.d: crates/datasets/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_datasets-5e0f2ea0082eeffc.rmeta: crates/datasets/src/lib.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nbwp_datasets-623ab318c4ea1a9a.d: crates/datasets/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_datasets-623ab318c4ea1a9a.rmeta: crates/datasets/src/lib.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

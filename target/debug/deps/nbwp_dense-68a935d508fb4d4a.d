@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nbwp_dense-68a935d508fb4d4a.d: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+/root/repo/target/debug/deps/nbwp_dense-68a935d508fb4d4a: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/gemm.rs:
+crates/dense/src/hybrid.rs:
+crates/dense/src/matrix.rs:

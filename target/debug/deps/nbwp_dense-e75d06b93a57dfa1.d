@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nbwp_dense-e75d06b93a57dfa1.d: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+/root/repo/target/debug/deps/libnbwp_dense-e75d06b93a57dfa1.rlib: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+/root/repo/target/debug/deps/libnbwp_dense-e75d06b93a57dfa1.rmeta: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/gemm.rs:
+crates/dense/src/hybrid.rs:
+crates/dense/src/matrix.rs:

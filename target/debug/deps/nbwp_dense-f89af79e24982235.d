@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nbwp_dense-f89af79e24982235.d: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_dense-f89af79e24982235.rmeta: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs Cargo.toml
+
+crates/dense/src/lib.rs:
+crates/dense/src/gemm.rs:
+crates/dense/src/hybrid.rs:
+crates/dense/src/matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

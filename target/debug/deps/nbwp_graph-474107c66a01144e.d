@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nbwp_graph-474107c66a01144e.d: crates/graph/src/lib.rs crates/graph/src/cc/mod.rs crates/graph/src/cc/bfs.rs crates/graph/src/cc/dfs.rs crates/graph/src/cc/hybrid.rs crates/graph/src/cc/sv.rs crates/graph/src/cc/union_find.rs crates/graph/src/csr_graph.rs crates/graph/src/features.rs crates/graph/src/gen.rs crates/graph/src/list.rs crates/graph/src/sample.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_graph-474107c66a01144e.rmeta: crates/graph/src/lib.rs crates/graph/src/cc/mod.rs crates/graph/src/cc/bfs.rs crates/graph/src/cc/dfs.rs crates/graph/src/cc/hybrid.rs crates/graph/src/cc/sv.rs crates/graph/src/cc/union_find.rs crates/graph/src/csr_graph.rs crates/graph/src/features.rs crates/graph/src/gen.rs crates/graph/src/list.rs crates/graph/src/sample.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/cc/mod.rs:
+crates/graph/src/cc/bfs.rs:
+crates/graph/src/cc/dfs.rs:
+crates/graph/src/cc/hybrid.rs:
+crates/graph/src/cc/sv.rs:
+crates/graph/src/cc/union_find.rs:
+crates/graph/src/csr_graph.rs:
+crates/graph/src/features.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/list.rs:
+crates/graph/src/sample.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nbwp_graph-76ba1e1b17f2e9bf.d: crates/graph/src/lib.rs crates/graph/src/cc/mod.rs crates/graph/src/cc/bfs.rs crates/graph/src/cc/dfs.rs crates/graph/src/cc/hybrid.rs crates/graph/src/cc/sv.rs crates/graph/src/cc/union_find.rs crates/graph/src/csr_graph.rs crates/graph/src/features.rs crates/graph/src/gen.rs crates/graph/src/list.rs crates/graph/src/sample.rs
+
+/root/repo/target/debug/deps/nbwp_graph-76ba1e1b17f2e9bf: crates/graph/src/lib.rs crates/graph/src/cc/mod.rs crates/graph/src/cc/bfs.rs crates/graph/src/cc/dfs.rs crates/graph/src/cc/hybrid.rs crates/graph/src/cc/sv.rs crates/graph/src/cc/union_find.rs crates/graph/src/csr_graph.rs crates/graph/src/features.rs crates/graph/src/gen.rs crates/graph/src/list.rs crates/graph/src/sample.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/cc/mod.rs:
+crates/graph/src/cc/bfs.rs:
+crates/graph/src/cc/dfs.rs:
+crates/graph/src/cc/hybrid.rs:
+crates/graph/src/cc/sv.rs:
+crates/graph/src/cc/union_find.rs:
+crates/graph/src/csr_graph.rs:
+crates/graph/src/features.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/list.rs:
+crates/graph/src/sample.rs:

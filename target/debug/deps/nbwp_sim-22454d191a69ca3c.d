@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nbwp_sim-22454d191a69ca3c.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_sim-22454d191a69ca3c.rmeta: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/pcie.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/time.rs:
+crates/sim/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nbwp_sim-de451e81f188fefb.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libnbwp_sim-de451e81f188fefb.rlib: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libnbwp_sim-de451e81f188fefb.rmeta: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/pcie.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/time.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nbwp_sim-fd7ddb4c7d228c46.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/nbwp_sim-fd7ddb4c7d228c46: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/pcie.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/time.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nbwp_sort-585a41983d3443d6.d: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+/root/repo/target/debug/deps/libnbwp_sort-585a41983d3443d6.rlib: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+/root/repo/target/debug/deps/libnbwp_sort-585a41983d3443d6.rmeta: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+crates/sort/src/lib.rs:
+crates/sort/src/cpu.rs:
+crates/sort/src/gen.rs:
+crates/sort/src/gpu.rs:
+crates/sort/src/hybrid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nbwp_sort-686c1efcb65f8c9f.d: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+/root/repo/target/debug/deps/nbwp_sort-686c1efcb65f8c9f: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+crates/sort/src/lib.rs:
+crates/sort/src/cpu.rs:
+crates/sort/src/gen.rs:
+crates/sort/src/gpu.rs:
+crates/sort/src/hybrid.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nbwp_sort-c15a89a80d92d033.d: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_sort-c15a89a80d92d033.rmeta: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs Cargo.toml
+
+crates/sort/src/lib.rs:
+crates/sort/src/cpu.rs:
+crates/sort/src/gen.rs:
+crates/sort/src/gpu.rs:
+crates/sort/src/hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

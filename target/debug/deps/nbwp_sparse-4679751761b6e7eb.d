@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/nbwp_sparse-4679751761b6e7eb.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/features.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/masked.rs crates/sparse/src/ops.rs crates/sparse/src/sample.rs crates/sparse/src/spgemm.rs crates/sparse/src/spmv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnbwp_sparse-4679751761b6e7eb.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/features.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/masked.rs crates/sparse/src/ops.rs crates/sparse/src/sample.rs crates/sparse/src/spgemm.rs crates/sparse/src/spmv.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/features.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/masked.rs:
+crates/sparse/src/ops.rs:
+crates/sparse/src/sample.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/spmv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nbwp_sparse-9c8c4832b3fb3e79.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/features.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/masked.rs crates/sparse/src/ops.rs crates/sparse/src/sample.rs crates/sparse/src/spgemm.rs crates/sparse/src/spmv.rs
+
+/root/repo/target/debug/deps/nbwp_sparse-9c8c4832b3fb3e79: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/features.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/masked.rs crates/sparse/src/ops.rs crates/sparse/src/sample.rs crates/sparse/src/spgemm.rs crates/sparse/src/spmv.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/features.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/masked.rs:
+crates/sparse/src/ops.rs:
+crates/sparse/src/sample.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/spmv.rs:

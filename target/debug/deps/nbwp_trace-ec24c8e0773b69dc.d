@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nbwp_trace-ec24c8e0773b69dc.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/libnbwp_trace-ec24c8e0773b69dc.rlib: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/libnbwp_trace-ec24c8e0773b69dc.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

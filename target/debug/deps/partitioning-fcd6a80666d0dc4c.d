@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partitioning-fcd6a80666d0dc4c.d: crates/bench/benches/partitioning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartitioning-fcd6a80666d0dc4c.rmeta: crates/bench/benches/partitioning.rs Cargo.toml
+
+crates/bench/benches/partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-14ac8723b99ce53b.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-14ac8723b99ce53b: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-281e636e90b77ae7.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-281e636e90b77ae7: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

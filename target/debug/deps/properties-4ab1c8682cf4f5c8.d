@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4ab1c8682cf4f5c8.d: crates/sort/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4ab1c8682cf4f5c8: crates/sort/tests/properties.rs
+
+crates/sort/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4f4fb42af39f4aa3.d: crates/sort/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4f4fb42af39f4aa3.rmeta: crates/sort/tests/properties.rs Cargo.toml
+
+crates/sort/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

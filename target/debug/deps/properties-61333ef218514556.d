@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-61333ef218514556.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-61333ef218514556: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

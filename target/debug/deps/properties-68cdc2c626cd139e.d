@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-68cdc2c626cd139e.d: crates/sparse/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-68cdc2c626cd139e.rmeta: crates/sparse/tests/properties.rs Cargo.toml
+
+crates/sparse/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6ab59f8d8002947a.d: crates/graph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6ab59f8d8002947a.rmeta: crates/graph/tests/properties.rs Cargo.toml
+
+crates/graph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

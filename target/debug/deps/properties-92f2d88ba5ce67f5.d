@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-92f2d88ba5ce67f5.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-92f2d88ba5ce67f5: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

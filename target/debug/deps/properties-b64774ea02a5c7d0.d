@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b64774ea02a5c7d0.d: crates/sparse/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b64774ea02a5c7d0: crates/sparse/tests/properties.rs
+
+crates/sparse/tests/properties.rs:

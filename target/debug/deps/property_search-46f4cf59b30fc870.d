@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_search-46f4cf59b30fc870.d: crates/core/../../tests/property_search.rs
+
+/root/repo/target/debug/deps/property_search-46f4cf59b30fc870: crates/core/../../tests/property_search.rs
+
+crates/core/../../tests/property_search.rs:

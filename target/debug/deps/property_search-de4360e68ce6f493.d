@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_search-de4360e68ce6f493.d: crates/core/../../tests/property_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_search-de4360e68ce6f493.rmeta: crates/core/../../tests/property_search.rs Cargo.toml
+
+crates/core/../../tests/property_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-971a4a589cbcdcad.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-971a4a589cbcdcad: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

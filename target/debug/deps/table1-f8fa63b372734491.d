@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f8fa63b372734491.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f8fa63b372734491: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-070670f12579e9e8.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-070670f12579e9e8: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-808c369f93dec725.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-808c369f93dec725: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

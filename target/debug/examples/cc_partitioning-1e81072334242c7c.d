@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cc_partitioning-1e81072334242c7c.d: crates/core/../../examples/cc_partitioning.rs
+
+/root/repo/target/debug/examples/cc_partitioning-1e81072334242c7c: crates/core/../../examples/cc_partitioning.rs
+
+crates/core/../../examples/cc_partitioning.rs:

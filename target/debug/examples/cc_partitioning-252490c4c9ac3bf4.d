@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cc_partitioning-252490c4c9ac3bf4.d: crates/core/../../examples/cc_partitioning.rs
+
+/root/repo/target/debug/examples/cc_partitioning-252490c4c9ac3bf4: crates/core/../../examples/cc_partitioning.rs
+
+crates/core/../../examples/cc_partitioning.rs:

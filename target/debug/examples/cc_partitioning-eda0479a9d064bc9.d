@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cc_partitioning-eda0479a9d064bc9.d: crates/core/../../examples/cc_partitioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcc_partitioning-eda0479a9d064bc9.rmeta: crates/core/../../examples/cc_partitioning.rs Cargo.toml
+
+crates/core/../../examples/cc_partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

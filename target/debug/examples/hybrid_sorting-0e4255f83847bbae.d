@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_sorting-0e4255f83847bbae.d: crates/core/../../examples/hybrid_sorting.rs
+
+/root/repo/target/debug/examples/hybrid_sorting-0e4255f83847bbae: crates/core/../../examples/hybrid_sorting.rs
+
+crates/core/../../examples/hybrid_sorting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_sorting-215486e638100a3e.d: crates/core/../../examples/hybrid_sorting.rs
+
+/root/repo/target/debug/examples/hybrid_sorting-215486e638100a3e: crates/core/../../examples/hybrid_sorting.rs
+
+crates/core/../../examples/hybrid_sorting.rs:

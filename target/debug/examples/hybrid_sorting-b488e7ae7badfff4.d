@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_sorting-b488e7ae7badfff4.d: crates/core/../../examples/hybrid_sorting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_sorting-b488e7ae7badfff4.rmeta: crates/core/../../examples/hybrid_sorting.rs Cargo.toml
+
+crates/core/../../examples/hybrid_sorting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

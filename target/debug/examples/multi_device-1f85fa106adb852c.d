@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_device-1f85fa106adb852c.d: crates/core/../../examples/multi_device.rs
+
+/root/repo/target/debug/examples/multi_device-1f85fa106adb852c: crates/core/../../examples/multi_device.rs
+
+crates/core/../../examples/multi_device.rs:

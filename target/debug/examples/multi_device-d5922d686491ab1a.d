@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_device-d5922d686491ab1a.d: crates/core/../../examples/multi_device.rs
+
+/root/repo/target/debug/examples/multi_device-d5922d686491ab1a: crates/core/../../examples/multi_device.rs
+
+crates/core/../../examples/multi_device.rs:

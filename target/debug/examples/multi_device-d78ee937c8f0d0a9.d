@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_device-d78ee937c8f0d0a9.d: crates/core/../../examples/multi_device.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_device-d78ee937c8f0d0a9.rmeta: crates/core/../../examples/multi_device.rs Cargo.toml
+
+crates/core/../../examples/multi_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

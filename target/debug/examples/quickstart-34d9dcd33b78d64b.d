@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-34d9dcd33b78d64b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-34d9dcd33b78d64b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

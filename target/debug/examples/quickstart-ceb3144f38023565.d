@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ceb3144f38023565.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ceb3144f38023565: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

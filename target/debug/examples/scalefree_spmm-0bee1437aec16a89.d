@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalefree_spmm-0bee1437aec16a89.d: crates/core/../../examples/scalefree_spmm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalefree_spmm-0bee1437aec16a89.rmeta: crates/core/../../examples/scalefree_spmm.rs Cargo.toml
+
+crates/core/../../examples/scalefree_spmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

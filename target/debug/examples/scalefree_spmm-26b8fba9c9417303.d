@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalefree_spmm-26b8fba9c9417303.d: crates/core/../../examples/scalefree_spmm.rs
+
+/root/repo/target/debug/examples/scalefree_spmm-26b8fba9c9417303: crates/core/../../examples/scalefree_spmm.rs
+
+crates/core/../../examples/scalefree_spmm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalefree_spmm-582b207bdaa3878e.d: crates/core/../../examples/scalefree_spmm.rs
+
+/root/repo/target/debug/examples/scalefree_spmm-582b207bdaa3878e: crates/core/../../examples/scalefree_spmm.rs
+
+crates/core/../../examples/scalefree_spmm.rs:

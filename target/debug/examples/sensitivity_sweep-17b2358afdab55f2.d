@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensitivity_sweep-17b2358afdab55f2.d: crates/core/../../examples/sensitivity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensitivity_sweep-17b2358afdab55f2.rmeta: crates/core/../../examples/sensitivity_sweep.rs Cargo.toml
+
+crates/core/../../examples/sensitivity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

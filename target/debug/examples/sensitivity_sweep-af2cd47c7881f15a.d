@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity_sweep-af2cd47c7881f15a.d: crates/core/../../examples/sensitivity_sweep.rs
+
+/root/repo/target/debug/examples/sensitivity_sweep-af2cd47c7881f15a: crates/core/../../examples/sensitivity_sweep.rs
+
+crates/core/../../examples/sensitivity_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity_sweep-d79a1e0375f85e0c.d: crates/core/../../examples/sensitivity_sweep.rs
+
+/root/repo/target/debug/examples/sensitivity_sweep-d79a1e0375f85e0c: crates/core/../../examples/sensitivity_sweep.rs
+
+crates/core/../../examples/sensitivity_sweep.rs:

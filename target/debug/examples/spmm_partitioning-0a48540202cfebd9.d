@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spmm_partitioning-0a48540202cfebd9.d: crates/core/../../examples/spmm_partitioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspmm_partitioning-0a48540202cfebd9.rmeta: crates/core/../../examples/spmm_partitioning.rs Cargo.toml
+
+crates/core/../../examples/spmm_partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

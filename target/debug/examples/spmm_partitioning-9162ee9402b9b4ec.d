@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spmm_partitioning-9162ee9402b9b4ec.d: crates/core/../../examples/spmm_partitioning.rs
+
+/root/repo/target/debug/examples/spmm_partitioning-9162ee9402b9b4ec: crates/core/../../examples/spmm_partitioning.rs
+
+crates/core/../../examples/spmm_partitioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spmm_partitioning-a23cb0c54aa609a8.d: crates/core/../../examples/spmm_partitioning.rs
+
+/root/repo/target/debug/examples/spmm_partitioning-a23cb0c54aa609a8: crates/core/../../examples/spmm_partitioning.rs
+
+crates/core/../../examples/spmm_partitioning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_capture-30aa7b4f41944285.d: crates/core/../../examples/trace_capture.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_capture-30aa7b4f41944285.rmeta: crates/core/../../examples/trace_capture.rs Cargo.toml
+
+crates/core/../../examples/trace_capture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_capture-c5e4e01543b2a155.d: crates/core/../../examples/trace_capture.rs
+
+/root/repo/target/debug/examples/trace_capture-c5e4e01543b2a155: crates/core/../../examples/trace_capture.rs
+
+crates/core/../../examples/trace_capture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_baselines-1aa0063e438fc7d1.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/release/deps/ext_baselines-1aa0063e438fc7d1: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_baselines-ef20f7f940c9baff.d: crates/bench/src/bin/ext_baselines.rs
+
+/root/repo/target/release/deps/ext_baselines-ef20f7f940c9baff: crates/bench/src/bin/ext_baselines.rs
+
+crates/bench/src/bin/ext_baselines.rs:

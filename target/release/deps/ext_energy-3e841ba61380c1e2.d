@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_energy-3e841ba61380c1e2.d: crates/bench/src/bin/ext_energy.rs
+
+/root/repo/target/release/deps/ext_energy-3e841ba61380c1e2: crates/bench/src/bin/ext_energy.rs
+
+crates/bench/src/bin/ext_energy.rs:

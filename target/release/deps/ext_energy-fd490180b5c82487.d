@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_energy-fd490180b5c82487.d: crates/bench/src/bin/ext_energy.rs
+
+/root/repo/target/release/deps/ext_energy-fd490180b5c82487: crates/bench/src/bin/ext_energy.rs
+
+crates/bench/src/bin/ext_energy.rs:

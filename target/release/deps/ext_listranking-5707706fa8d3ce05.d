@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_listranking-5707706fa8d3ce05.d: crates/bench/src/bin/ext_listranking.rs
+
+/root/repo/target/release/deps/ext_listranking-5707706fa8d3ce05: crates/bench/src/bin/ext_listranking.rs
+
+crates/bench/src/bin/ext_listranking.rs:

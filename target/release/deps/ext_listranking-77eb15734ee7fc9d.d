@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_listranking-77eb15734ee7fc9d.d: crates/bench/src/bin/ext_listranking.rs
+
+/root/repo/target/release/deps/ext_listranking-77eb15734ee7fc9d: crates/bench/src/bin/ext_listranking.rs
+
+crates/bench/src/bin/ext_listranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multidevice-44d05b508408f2ae.d: crates/bench/src/bin/ext_multidevice.rs
+
+/root/repo/target/release/deps/ext_multidevice-44d05b508408f2ae: crates/bench/src/bin/ext_multidevice.rs
+
+crates/bench/src/bin/ext_multidevice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_multidevice-a4ad4743bf3b1ddb.d: crates/bench/src/bin/ext_multidevice.rs
+
+/root/repo/target/release/deps/ext_multidevice-a4ad4743bf3b1ddb: crates/bench/src/bin/ext_multidevice.rs
+
+crates/bench/src/bin/ext_multidevice.rs:

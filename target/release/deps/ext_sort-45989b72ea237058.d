@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sort-45989b72ea237058.d: crates/bench/src/bin/ext_sort.rs
+
+/root/repo/target/release/deps/ext_sort-45989b72ea237058: crates/bench/src/bin/ext_sort.rs
+
+crates/bench/src/bin/ext_sort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sort-e2a94b7a69ec2f6d.d: crates/bench/src/bin/ext_sort.rs
+
+/root/repo/target/release/deps/ext_sort-e2a94b7a69ec2f6d: crates/bench/src/bin/ext_sort.rs
+
+crates/bench/src/bin/ext_sort.rs:

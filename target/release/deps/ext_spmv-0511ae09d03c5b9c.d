@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_spmv-0511ae09d03c5b9c.d: crates/bench/src/bin/ext_spmv.rs
+
+/root/repo/target/release/deps/ext_spmv-0511ae09d03c5b9c: crates/bench/src/bin/ext_spmv.rs
+
+crates/bench/src/bin/ext_spmv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_spmv-6ae3c148e1e04f48.d: crates/bench/src/bin/ext_spmv.rs
+
+/root/repo/target/release/deps/ext_spmv-6ae3c148e1e04f48: crates/bench/src/bin/ext_spmv.rs
+
+crates/bench/src/bin/ext_spmv.rs:

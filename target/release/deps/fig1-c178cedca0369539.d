@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-c178cedca0369539.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-c178cedca0369539: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-cad54c31688f4ac8.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-cad54c31688f4ac8: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

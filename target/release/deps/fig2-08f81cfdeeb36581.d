@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-08f81cfdeeb36581.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-08f81cfdeeb36581: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-221b4fdb80bbc8ff.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-221b4fdb80bbc8ff: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-4217ae33c456e486.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-4217ae33c456e486: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-71f938ed8342a586.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-71f938ed8342a586: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-1c0b2be58374e357.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-1c0b2be58374e357: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

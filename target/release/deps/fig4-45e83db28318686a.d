@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-45e83db28318686a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-45e83db28318686a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

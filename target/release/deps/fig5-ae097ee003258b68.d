@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-ae097ee003258b68.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-ae097ee003258b68: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

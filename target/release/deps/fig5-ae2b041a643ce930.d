@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-ae2b041a643ce930.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-ae2b041a643ce930: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-5347ca3ce7d98ae9.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-5347ca3ce7d98ae9: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-f316aa71b6c2c071.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-f316aa71b6c2c071: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

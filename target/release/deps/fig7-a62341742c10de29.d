@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-a62341742c10de29.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-a62341742c10de29: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

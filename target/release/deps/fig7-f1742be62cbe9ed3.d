@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-f1742be62cbe9ed3.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-f1742be62cbe9ed3: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-65e5bad13a51a8b2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-65e5bad13a51a8b2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-a3efbdfa67a51ad6.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-a3efbdfa67a51ad6: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

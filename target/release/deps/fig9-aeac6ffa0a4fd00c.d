@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-aeac6ffa0a4fd00c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-aeac6ffa0a4fd00c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

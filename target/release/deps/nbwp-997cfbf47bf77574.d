@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nbwp-997cfbf47bf77574.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/nbwp-997cfbf47bf77574: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nbwp-d70ed695c2468616.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/nbwp-d70ed695c2468616: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nbwp_bench-82e64537c6e22acc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_bench-82e64537c6e22acc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_bench-82e64537c6e22acc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nbwp_bench-e36ac87f96e31217.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_bench-e36ac87f96e31217.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_bench-e36ac87f96e31217.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

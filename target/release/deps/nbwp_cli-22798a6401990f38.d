@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nbwp_cli-22798a6401990f38.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_cli-22798a6401990f38.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_cli-22798a6401990f38.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nbwp_cli-a2ee8804e45cab86.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_cli-a2ee8804e45cab86.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_cli-a2ee8804e45cab86.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nbwp_datasets-425436ba9de01b15.d: crates/datasets/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_datasets-425436ba9de01b15.rlib: crates/datasets/src/lib.rs
+
+/root/repo/target/release/deps/libnbwp_datasets-425436ba9de01b15.rmeta: crates/datasets/src/lib.rs
+
+crates/datasets/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nbwp_dense-72e4bc9becda1aaf.d: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+/root/repo/target/release/deps/libnbwp_dense-72e4bc9becda1aaf.rlib: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+/root/repo/target/release/deps/libnbwp_dense-72e4bc9becda1aaf.rmeta: crates/dense/src/lib.rs crates/dense/src/gemm.rs crates/dense/src/hybrid.rs crates/dense/src/matrix.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/gemm.rs:
+crates/dense/src/hybrid.rs:
+crates/dense/src/matrix.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/nbwp_graph-8d54bf77187a6a1a.d: crates/graph/src/lib.rs crates/graph/src/cc/mod.rs crates/graph/src/cc/bfs.rs crates/graph/src/cc/dfs.rs crates/graph/src/cc/hybrid.rs crates/graph/src/cc/sv.rs crates/graph/src/cc/union_find.rs crates/graph/src/csr_graph.rs crates/graph/src/features.rs crates/graph/src/gen.rs crates/graph/src/list.rs crates/graph/src/sample.rs
+
+/root/repo/target/release/deps/libnbwp_graph-8d54bf77187a6a1a.rlib: crates/graph/src/lib.rs crates/graph/src/cc/mod.rs crates/graph/src/cc/bfs.rs crates/graph/src/cc/dfs.rs crates/graph/src/cc/hybrid.rs crates/graph/src/cc/sv.rs crates/graph/src/cc/union_find.rs crates/graph/src/csr_graph.rs crates/graph/src/features.rs crates/graph/src/gen.rs crates/graph/src/list.rs crates/graph/src/sample.rs
+
+/root/repo/target/release/deps/libnbwp_graph-8d54bf77187a6a1a.rmeta: crates/graph/src/lib.rs crates/graph/src/cc/mod.rs crates/graph/src/cc/bfs.rs crates/graph/src/cc/dfs.rs crates/graph/src/cc/hybrid.rs crates/graph/src/cc/sv.rs crates/graph/src/cc/union_find.rs crates/graph/src/csr_graph.rs crates/graph/src/features.rs crates/graph/src/gen.rs crates/graph/src/list.rs crates/graph/src/sample.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/cc/mod.rs:
+crates/graph/src/cc/bfs.rs:
+crates/graph/src/cc/dfs.rs:
+crates/graph/src/cc/hybrid.rs:
+crates/graph/src/cc/sv.rs:
+crates/graph/src/cc/union_find.rs:
+crates/graph/src/csr_graph.rs:
+crates/graph/src/features.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/list.rs:
+crates/graph/src/sample.rs:

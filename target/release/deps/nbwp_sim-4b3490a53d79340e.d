@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nbwp_sim-4b3490a53d79340e.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libnbwp_sim-4b3490a53d79340e.rlib: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libnbwp_sim-4b3490a53d79340e.rmeta: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/cpu.rs crates/sim/src/gpu.rs crates/sim/src/pcie.rs crates/sim/src/platform.rs crates/sim/src/time.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/gpu.rs:
+crates/sim/src/pcie.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/time.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nbwp_sort-d62eda6237308c68.d: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+/root/repo/target/release/deps/libnbwp_sort-d62eda6237308c68.rlib: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+/root/repo/target/release/deps/libnbwp_sort-d62eda6237308c68.rmeta: crates/sort/src/lib.rs crates/sort/src/cpu.rs crates/sort/src/gen.rs crates/sort/src/gpu.rs crates/sort/src/hybrid.rs
+
+crates/sort/src/lib.rs:
+crates/sort/src/cpu.rs:
+crates/sort/src/gen.rs:
+crates/sort/src/gpu.rs:
+crates/sort/src/hybrid.rs:

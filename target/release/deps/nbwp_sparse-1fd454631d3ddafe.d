@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/nbwp_sparse-1fd454631d3ddafe.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/features.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/masked.rs crates/sparse/src/ops.rs crates/sparse/src/sample.rs crates/sparse/src/spgemm.rs crates/sparse/src/spmv.rs
+
+/root/repo/target/release/deps/libnbwp_sparse-1fd454631d3ddafe.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/features.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/masked.rs crates/sparse/src/ops.rs crates/sparse/src/sample.rs crates/sparse/src/spgemm.rs crates/sparse/src/spmv.rs
+
+/root/repo/target/release/deps/libnbwp_sparse-1fd454631d3ddafe.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/features.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/masked.rs crates/sparse/src/ops.rs crates/sparse/src/sample.rs crates/sparse/src/spgemm.rs crates/sparse/src/spmv.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/features.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/masked.rs:
+crates/sparse/src/ops.rs:
+crates/sparse/src/sample.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/spmv.rs:

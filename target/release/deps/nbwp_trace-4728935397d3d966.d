@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nbwp_trace-4728935397d3d966.d: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libnbwp_trace-4728935397d3d966.rlib: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libnbwp_trace-4728935397d3d966.rmeta: crates/trace/src/lib.rs crates/trace/src/export.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/export.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

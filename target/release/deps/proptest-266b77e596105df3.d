@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-266b77e596105df3.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-266b77e596105df3.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-266b77e596105df3.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

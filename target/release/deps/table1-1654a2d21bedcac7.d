@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1654a2d21bedcac7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1654a2d21bedcac7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

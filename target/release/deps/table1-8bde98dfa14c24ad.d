@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-8bde98dfa14c24ad.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-8bde98dfa14c24ad: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

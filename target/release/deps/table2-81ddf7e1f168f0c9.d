@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-81ddf7e1f168f0c9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-81ddf7e1f168f0c9: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-fa9d93b79b53fdc1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-fa9d93b79b53fdc1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

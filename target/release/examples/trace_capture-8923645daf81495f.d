@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_capture-8923645daf81495f.d: crates/core/../../examples/trace_capture.rs
+
+/root/repo/target/release/examples/trace_capture-8923645daf81495f: crates/core/../../examples/trace_capture.rs
+
+crates/core/../../examples/trace_capture.rs:

@@ -14,7 +14,13 @@ fn platform() -> Platform {
 
 #[test]
 fn hybrid_cc_is_exact_on_every_dataset_family() {
-    for name in ["cant", "webbase-1M", "netherlands_osm", "delaunay_n22", "qcd5_4"] {
+    for name in [
+        "cant",
+        "webbase-1M",
+        "netherlands_osm",
+        "delaunay_n22",
+        "qcd5_4",
+    ] {
         let d = Dataset::by_name(name).unwrap();
         let g = d.graph(SCALE, SEED);
         let oracle = normalize_labels(&cc::cc_union_find(&g));
@@ -30,7 +36,12 @@ fn hybrid_cc_is_exact_on_every_dataset_family() {
 fn sampling_beats_exhaustive_on_search_cost_by_an_order_of_magnitude() {
     let d = Dataset::by_name("web-BerkStan").unwrap();
     let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
-    let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, SEED);
+    let est = estimate(
+        &w,
+        SampleSpec::default(),
+        IdentifyStrategy::CoarseToFine,
+        SEED,
+    );
     let exh = exhaustive(&w, 1.0);
     assert!(
         est.overhead * 10.0 < exh.search_cost,
@@ -49,7 +60,12 @@ fn estimated_threshold_is_close_in_time_to_the_best() {
     for name in names {
         let d = Dataset::by_name(name).unwrap();
         let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, SEED);
+        let est = estimate(
+            &w,
+            SampleSpec::default(),
+            IdentifyStrategy::CoarseToFine,
+            SEED,
+        );
         let best = exhaustive(&w, 1.0);
         let penalty = w.time_at(est.threshold).pct_diff_from(best.best_time);
         assert!(penalty < 120.0, "{name}: penalty {penalty:.1}% too large");

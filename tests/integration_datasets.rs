@@ -27,7 +27,9 @@ fn every_dataset_generates_and_matches_its_scaled_size() {
 
 #[test]
 fn web_family_is_scale_free_and_fem_is_not() {
-    let web = Dataset::by_name("web-BerkStan").unwrap().matrix(SCALE, SEED);
+    let web = Dataset::by_name("web-BerkStan")
+        .unwrap()
+        .matrix(SCALE, SEED);
     let fem = Dataset::by_name("pwtk").unwrap().matrix(SCALE, SEED);
     let f_web = Features::of(&web);
     let f_fem = Features::of(&fem);
@@ -48,7 +50,9 @@ fn fem_family_is_banded() {
 
 #[test]
 fn road_family_has_extreme_diameter_web_family_does_not() {
-    let road = Dataset::by_name("italy_osm").unwrap().graph(SCALE * 0.3, SEED);
+    let road = Dataset::by_name("italy_osm")
+        .unwrap()
+        .graph(SCALE * 0.3, SEED);
     let web = Dataset::by_name("web-BerkStan").unwrap().graph(SCALE, SEED);
     let d_road = approx_diameter(&road);
     let d_web = approx_diameter(&web);
@@ -69,7 +73,10 @@ fn qcd_family_is_perfectly_regular() {
 #[test]
 fn family_assignment_matches_registry() {
     assert_eq!(Dataset::by_name("cant").unwrap().family, Family::Fem);
-    assert_eq!(Dataset::by_name("delaunay_n22").unwrap().family, Family::Mesh);
+    assert_eq!(
+        Dataset::by_name("delaunay_n22").unwrap().family,
+        Family::Mesh
+    );
     assert_eq!(Dataset::by_name("qcd5_4").unwrap().family, Family::Qcd);
     assert_eq!(Dataset::by_name("webbase-1M").unwrap().family, Family::Web);
     assert_eq!(Dataset::by_name("asia_osm").unwrap().family, Family::Road);
@@ -96,6 +103,7 @@ fn matrix_market_roundtrip_of_a_dataset() {
     let m = Dataset::by_name("rma10").unwrap().matrix(0.005, SEED);
     let mut buf = Vec::new();
     nbwp_sparse::io::write_matrix_market(&m, &mut buf).unwrap();
-    let back = nbwp_sparse::io::read_matrix_market(std::io::BufReader::new(buf.as_slice())).unwrap();
+    let back =
+        nbwp_sparse::io::read_matrix_market(std::io::BufReader::new(buf.as_slice())).unwrap();
     assert_eq!(back, m);
 }

@@ -38,7 +38,10 @@ fn all_identify_strategies_work_on_all_percentage_workloads() {
         let e1 = estimate(&cc, SampleSpec::default(), strategy, SEED);
         assert!((0.0..=100.0).contains(&e1.threshold), "{strategy:?} on CC");
         let e2 = estimate(&spmm, SampleSpec::default(), strategy, SEED);
-        assert!((0.0..=100.0).contains(&e2.threshold), "{strategy:?} on spmm");
+        assert!(
+            (0.0..=100.0).contains(&e2.threshold),
+            "{strategy:?} on spmm"
+        );
     }
 }
 
@@ -74,7 +77,12 @@ fn history_baseline_ports_badly_across_families() {
     let reused = history.threshold_for(&web);
     assert_eq!(trained, reused, "history reuses its training threshold");
     // Input-aware sampling on the web matrix should do at least as well.
-    let est = estimate(&web, SampleSpec::default(), IdentifyStrategy::RaceThenFine, SEED);
+    let est = estimate(
+        &web,
+        SampleSpec::default(),
+        IdentifyStrategy::RaceThenFine,
+        SEED,
+    );
     assert!(web.time_at(est.threshold) <= web.time_at(reused) * 1.10);
 }
 
@@ -83,8 +91,7 @@ fn chunked_dynamic_baseline_pays_communication_overhead() {
     let d = Dataset::by_name("consph").unwrap();
     let w = SpmmWorkload::new(d.matrix(SCALE, SEED), platform());
     let free = nbwp_core::baselines::chunked_dynamic(&w, 16, SimTime::ZERO);
-    let taxed =
-        nbwp_core::baselines::chunked_dynamic(&w, 16, SimTime::from_micros(200.0));
+    let taxed = nbwp_core::baselines::chunked_dynamic(&w, 16, SimTime::from_micros(200.0));
     assert!(taxed > free);
 }
 
@@ -98,10 +105,7 @@ fn summaries_and_tables_render_from_real_rows() {
         })
         .collect();
     let cfg = ExperimentConfig::cc(SEED);
-    let mut rows: Vec<ExperimentRow> = suite
-        .iter()
-        .map(|(n, w)| run_one(n, w, &cfg))
-        .collect();
+    let mut rows: Vec<ExperimentRow> = suite.iter().map(|(n, w)| run_one(n, w, &cfg)).collect();
     let ws: Vec<CcWorkload> = suite.into_iter().map(|(_, w)| w).collect();
     fill_naive_average(&mut rows, &ws);
 

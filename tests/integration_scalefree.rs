@@ -46,7 +46,10 @@ fn flops_are_conserved_and_shift_monotonically_to_the_gpu() {
     for t in [1.0, 4.0, 16.0, 256.0, w.max_degree() as f64] {
         let r = w.run(t);
         assert_eq!(r.cpu_stats.flops + r.gpu_stats.flops, total, "t = {t}");
-        assert!(r.gpu_stats.flops >= last_gpu, "raising t moves work GPU-ward");
+        assert!(
+            r.gpu_stats.flops >= last_gpu,
+            "raising t moves work GPU-ward"
+        );
         last_gpu = r.gpu_stats.flops;
     }
 }
@@ -84,8 +87,8 @@ fn quantile_extrapolation_hits_the_distribution_extremes() {
 #[test]
 fn square_extrapolator_remains_available_for_the_ablation() {
     let d = Dataset::by_name("web-BerkStan").unwrap();
-    let w = HhWorkload::new(d.matrix(SCALE, SEED), platform())
-        .with_extrapolator(Extrapolator::Square);
+    let w =
+        HhWorkload::new(d.matrix(SCALE, SEED), platform()).with_extrapolator(Extrapolator::Square);
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(SEED);
     let s = Sampleable::sample(&w, SampleSpec::default(), &mut rng);
     assert_eq!(w.extrapolate(6.0, &s), 36.0);

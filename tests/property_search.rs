@@ -1,0 +1,182 @@
+//! Property tests for the search accounting contract (satellite of the
+//! observability PR): on a synthetic convex workload, every strategy's
+//! `search_cost` reconciles with its recorded evaluations, `best_t` is the
+//! argmin of those evaluations, and the trace layer observes without
+//! perturbing any of it.
+
+use nbwp_core::prelude::*;
+use nbwp_core::search::SearchOutcome;
+use nbwp_sim::{KernelStats, RunBreakdown, RunReport};
+use proptest::prelude::*;
+
+/// One boxed strategy invocation, borrowing the workload under test.
+type StrategyRun<'a> = Box<dyn Fn(&Recorder) -> SearchOutcome + 'a>;
+
+/// A synthetic workload whose total time is convex in the threshold:
+/// CPU time grows linearly with the CPU share `t`, the GPU chain shrinks
+/// linearly, and `total = partition + max(cpu, gpu chain) + merge` is the
+/// max of an increasing and a decreasing affine function plus constants.
+struct ConvexWorkload {
+    platform: Platform,
+    partition_us: f64,
+    merge_us: f64,
+    transfer_us: f64,
+    cpu_us_per_pct: f64,
+    gpu_us_per_pct: f64,
+}
+
+impl ConvexWorkload {
+    fn new(
+        partition_us: f64,
+        merge_us: f64,
+        transfer_us: f64,
+        cpu_us_per_pct: f64,
+        gpu_us_per_pct: f64,
+    ) -> Self {
+        ConvexWorkload {
+            platform: Platform::k40c_xeon_e5_2650(),
+            partition_us,
+            merge_us,
+            transfer_us,
+            cpu_us_per_pct,
+            gpu_us_per_pct,
+        }
+    }
+
+    /// Analytic minimiser: where the CPU lane meets the GPU chain.
+    fn analytic_best_t(&self) -> f64 {
+        let t = (1.5 * self.transfer_us + 100.0 * self.gpu_us_per_pct)
+            / (self.cpu_us_per_pct + self.gpu_us_per_pct);
+        t.clamp(0.0, 100.0)
+    }
+}
+
+impl PartitionedWorkload for ConvexWorkload {
+    fn run(&self, t: f64) -> RunReport {
+        let breakdown = RunBreakdown {
+            partition: SimTime::from_micros(self.partition_us),
+            transfer_in: SimTime::from_micros(self.transfer_us),
+            cpu_compute: SimTime::from_micros(self.cpu_us_per_pct * t),
+            gpu_compute: SimTime::from_micros(self.gpu_us_per_pct * (100.0 - t)),
+            transfer_out: SimTime::from_micros(self.transfer_us * 0.5),
+            merge: SimTime::from_micros(self.merge_us),
+        };
+        RunReport {
+            breakdown,
+            cpu_stats: KernelStats::default(),
+            gpu_stats: KernelStats::default(),
+        }
+    }
+
+    fn space(&self) -> ThresholdSpace {
+        ThresholdSpace::percentage()
+    }
+
+    fn size(&self) -> usize {
+        10_000
+    }
+
+    fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = (f64, f64, f64, f64, f64)> {
+    (
+        1.0f64..200.0, // partition µs
+        1.0f64..100.0, // merge µs
+        1.0f64..500.0, // transfer µs
+        0.5f64..40.0,  // CPU µs per percent
+        0.5f64..40.0,  // GPU µs per percent
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn search_cost_is_the_sum_of_eval_times_and_best_is_argmin(p in arb_workload()) {
+        let w = ConvexWorkload::new(p.0, p.1, p.2, p.3, p.4);
+        let outcomes = [
+            ("exhaustive", exhaustive(&w, 1.0)),
+            ("coarse_to_fine", coarse_to_fine(&w)),
+            ("gradient_descent", gradient_descent(&w, 24)),
+        ];
+        for (name, out) in &outcomes {
+            // search_cost is exactly the sum of the recorded evaluations.
+            let sum: SimTime = out.evals.iter().map(|&(_, t)| t).sum();
+            prop_assert_eq!(out.search_cost, sum, "{}", name);
+            check_argmin(name, out, &w);
+        }
+
+        // The race surcharge: race_then_fine pays for the two boundary
+        // device runs *in addition to* its recorded evaluations, so only
+        // `>=` (strictly `>` here, all phases being positive) holds.
+        let race = race_then_fine(&w);
+        let sum: SimTime = race.evals.iter().map(|&(_, t)| t).sum();
+        let race_cost = w.run(100.0).breakdown.phase2().min(w.run(0.0).breakdown.phase2());
+        prop_assert!(race.search_cost > sum);
+        prop_assert_eq!(race.search_cost, sum + race_cost);
+        check_argmin("race_then_fine", &race, &w);
+    }
+
+    #[test]
+    fn exhaustive_lands_within_one_step_of_the_analytic_optimum(p in arb_workload()) {
+        let w = ConvexWorkload::new(p.0, p.1, p.2, p.3, p.4);
+        let out = exhaustive(&w, 1.0);
+        let t_star = w.analytic_best_t();
+        // The integer grid brackets the convex minimum to within one step.
+        prop_assert!(
+            (out.best_t - t_star).abs() <= 1.0 + 1e-9,
+            "best_t {} vs analytic {}",
+            out.best_t,
+            t_star
+        );
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing(p in arb_workload()) {
+        let w = ConvexWorkload::new(p.0, p.1, p.2, p.3, p.4);
+        let runs: [(&str, StrategyRun<'_>); 4] = [
+            ("exhaustive", Box::new(|r: &Recorder| exhaustive_with(&w, 4.0, r))),
+            ("coarse_to_fine", Box::new(|r: &Recorder| coarse_to_fine_with(&w, r))),
+            ("race_then_fine", Box::new(|r: &Recorder| race_then_fine_with(&w, r))),
+            ("gradient_descent", Box::new(|r: &Recorder| gradient_descent_with(&w, 16, r))),
+        ];
+        for (name, run) in &runs {
+            let rec = Recorder::new();
+            let traced = run(&rec);
+            let trace = rec.finish();
+            let silent = run(&Recorder::disabled());
+            prop_assert_eq!(traced.best_t, silent.best_t, "{}", name);
+            prop_assert_eq!(traced.search_cost, silent.search_cost, "{}", name);
+            // One identify.eval span per recorded evaluation; the trace
+            // clock advanced by the search cost (tolerance: the clock and
+            // `search_cost` sum the same terms in different orders).
+            prop_assert_eq!(trace.count_named("identify.eval"), traced.evaluations(), "{}", name);
+            let drift = (trace.clock.as_secs() - traced.search_cost.as_secs()).abs();
+            prop_assert!(
+                drift <= 1e-12 * traced.search_cost.as_secs().max(1e-9),
+                "{}: clock {} vs search_cost {}",
+                name,
+                trace.clock,
+                traced.search_cost
+            );
+        }
+    }
+}
+
+fn check_argmin(name: &str, out: &SearchOutcome, w: &ConvexWorkload) {
+    // best is drawn from the evals and no eval beats it.
+    assert!(
+        out.evals
+            .iter()
+            .any(|&(t, d)| t == out.best_t && d == out.best_time),
+        "{name}: best not among evals"
+    );
+    for &(t, d) in &out.evals {
+        assert!(d >= out.best_time, "{name}: eval at {t} beats best");
+    }
+    // And the reported best_time is the true price of best_t.
+    assert_eq!(out.best_time, w.time_at(out.best_t), "{name}");
+}

@@ -1,0 +1,422 @@
+//! Offline stub of `proptest`: seeded random property testing.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, integer/float range
+//! strategies, tuple strategies up to seven elements, `collection::vec`,
+//! `any::<T>()`, `Just`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros. No shrinking: a failing case
+//! fails the test directly with the sampled inputs in the panic message
+//! (cases are deterministic per test name, so failures reproduce exactly).
+
+#![allow(clippy::all)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and samples it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and [`any`] entry point.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rand::Rng::gen::<$t>(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Finite values spanning a wide magnitude range.
+            let mag: f64 = rand::Rng::gen(rng);
+            let exp = rand::Rng::gen_range(rng, -300i32..300) as f64;
+            let sign = if rand::Rng::gen_bool(rng, 0.5) {
+                -1.0
+            } else {
+                1.0
+            };
+            sign * mag * 10f64.powf(exp / 10.0)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size bound for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the deterministic case RNG.
+
+    pub use rand::rngs::SmallRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Configuration block accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A deterministic RNG seeded from the property's name, so every run
+    /// replays the identical case sequence (the stub's stand-in for
+    /// persisted failure regressions).
+    pub fn new_rng(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` path alias used as `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests: each `fn name(args in strategies) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each property fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident($($params:tt)*) $body:block
+      $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::new_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bind! { (__rng) ($($params)*) $body }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `pat in strategy` params.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( ($rng:ident) () $body:block ) => { $body };
+    ( ($rng:ident) (mut $pat:ident in $strat:expr, $($rest:tt)*) $body:block ) => {
+        let mut $pat = $crate::strategy::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_bind! { ($rng) ($($rest)*) $body }
+    };
+    ( ($rng:ident) (mut $pat:ident in $strat:expr) $body:block ) => {
+        let mut $pat = $crate::strategy::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_bind! { ($rng) () $body }
+    };
+    ( ($rng:ident) ($pat:ident in $strat:expr, $($rest:tt)*) $body:block ) => {
+        let $pat = $crate::strategy::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_bind! { ($rng) ($($rest)*) $body }
+    };
+    ( ($rng:ident) ($pat:ident in $strat:expr) $body:block ) => {
+        let $pat = $crate::strategy::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_bind! { ($rng) () $body }
+    };
+}
+
+/// Asserts a condition inside a property, with optional context message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a property, with optional context message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Asserts inequality inside a property, with optional context message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..100).prop_flat_map(|a| (Just(a), a..a + 10))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -4i32..=4, z in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.5..2.0).contains(&z));
+        }
+
+        #[test]
+        fn flat_map_dependency_holds(p in pair()) {
+            prop_assert!(p.1 >= p.0 && p.1 < p.0 + 10);
+        }
+
+        #[test]
+        fn vec_sizes_respected(mut xs in prop::collection::vec(0u64..5, 2..6)) {
+            xs.sort_unstable();
+            prop_assert!(xs.len() >= 2 && xs.len() < 6, "len {}", xs.len());
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::new_rng("t");
+        let mut b = crate::test_runner::new_rng("t");
+        let s = crate::collection::vec(0u64..1000, 3..=3);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! stub serde's concrete [`Value`] data model. The parser walks the raw
+//! `proc_macro::TokenStream` directly (no `syn`/`quote`, since the build
+//! container has no registry access) and supports the shapes this workspace
+//! actually derives on: plain structs with named fields, tuple structs, and
+//! enums with unit / tuple / struct variants. Generics are rejected.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<String>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (stub data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (stub data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn skip_attributes(it: &mut TokenIter) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next(); // '#'
+                   // Outer attribute bracket group.
+        match it.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("malformed attribute near {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        // `pub(crate)` / `pub(super)` carry a parenthesized group.
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it: TokenIter = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("stub serde_derive does not support generic type `{name}`");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_types(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+/// Collects tokens of one type up to a top-level comma (angle brackets
+/// tracked manually: `<`/`>` are plain puncts in a token stream).
+fn collect_type(it: &mut TokenIter) -> String {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while let Some(tok) = it.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if depth == 0 => break,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        ty.push_str(&it.next().expect("peeked").to_string());
+        ty.push(' ');
+    }
+    // Consume the separating comma, if any.
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        it.next();
+    }
+    ty.trim().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        let ty = collect_type(&mut it);
+        fields.push(Field { name, ty });
+    }
+    fields
+}
+
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut types = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        types.push(collect_type(&mut it));
+    }
+    types
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let types = parse_tuple_types(g.stream());
+                it.next();
+                VariantKind::Tuple(types)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(types) if types.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Tuple(types) => {
+            let items: Vec<String> = (0..types.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                                binds = binds.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(types) if types.len() == 1 => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(types) => {
+                            let binds: Vec<String> =
+                                (0..types.len()).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..types.len())
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: <{t} as ::serde::Deserialize>::from_value(match __v.get(\"{n}\") {{ Some(x) => x, None => &::serde::Value::Null }})?,",
+                        n = f.name,
+                        t = f.ty
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join("\n")
+            )
+        }
+        Shape::Tuple(types) if types.len() == 1 => format!(
+            "::std::result::Result::Ok({name}(<{t} as ::serde::Deserialize>::from_value(__v)?))",
+            t = types[0]
+        ),
+        Shape::Tuple(types) => {
+            let n = types.len();
+            let elems: Vec<String> = types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("<{t} as ::serde::Deserialize>::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::DeError(::std::format!(\"expected array for {name}\")))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError(::std::format!(\"expected {n} elements for {name}\"))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{n}: <{t} as ::serde::Deserialize>::from_value(match __inner.get(\"{n}\") {{ Some(x) => x, None => &::serde::Value::Null }})?,",
+                                        n = f.name,
+                                        t = f.ty
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "if let Some(__inner) = __v.get(\"{vn}\") {{ return ::std::result::Result::Ok({name}::{vn} {{ {} }}); }}",
+                                inits.join("\n")
+                            ))
+                        }
+                        VariantKind::Tuple(types) if types.len() == 1 => Some(format!(
+                            "if let Some(__inner) = __v.get(\"{vn}\") {{ return ::std::result::Result::Ok({name}::{vn}(<{t} as ::serde::Deserialize>::from_value(__inner)?)); }}",
+                            t = types[0]
+                        )),
+                        VariantKind::Tuple(types) => {
+                            let n = types.len();
+                            let elems: Vec<String> = types
+                                .iter()
+                                .enumerate()
+                                .map(|(i, t)| {
+                                    format!("<{t} as ::serde::Deserialize>::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "if let Some(__inner) = __v.get(\"{vn}\") {{\n\
+                                 let __items = __inner.as_array().ok_or_else(|| ::serde::DeError(::std::format!(\"expected array for {name}::{vn}\")))?;\n\
+                                 if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError(::std::format!(\"expected {n} elements for {name}::{vn}\"))); }}\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({}));\n}}",
+                                elems.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __v.as_str() {{ match __s {{ {unit} _ => {{}} }} }}\n\
+                 {data}\n\
+                 ::std::result::Result::Err(::serde::DeError(::std::format!(\"no matching variant of {name} in {{__v:?}}\")))",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n  }}\n}}"
+    )
+}
