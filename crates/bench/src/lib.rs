@@ -147,13 +147,12 @@ pub fn run_panel<W: Sampleable>(
     suite: &[(&'static str, W)],
     config: &ExperimentConfig,
 ) -> Vec<ExperimentRow> {
-    let mut rows: Vec<ExperimentRow> = suite
-        .iter()
-        .map(|(name, w)| {
-            eprintln!("  running {name} (n = {})...", w.size());
-            run_one(name, w, config)
-        })
-        .collect();
+    eprintln!(
+        "  dispatching {} datasets across {} worker(s)...",
+        suite.len(),
+        Pool::global().threads()
+    );
+    let mut rows: Vec<ExperimentRow> = run_corpus(suite, config);
     let workloads: Vec<&W> = suite.iter().map(|(_, w)| w).collect();
     fill_naive_average_ref(&mut rows, &workloads);
     rows

@@ -1,6 +1,7 @@
 //! The sampling-based threshold estimator — the paper's contribution,
 //! assembling Sample → Identify → Extrapolate into one call.
 
+use nbwp_par::Pool;
 use nbwp_sim::SimTime;
 use nbwp_trace::{ArgValue, Recorder};
 use rand::rngs::SmallRng;
@@ -83,6 +84,20 @@ pub fn estimate_with<W: Sampleable>(
     seed: u64,
     rec: &Recorder,
 ) -> SamplingEstimate {
+    estimate_pooled(workload, spec, strategy, seed, rec, Pool::global())
+}
+
+/// [`estimate_with`] on an explicit worker pool (see `nbwp_core::search`
+/// for the determinism contract: the pool changes wall-clock time only).
+#[must_use]
+pub fn estimate_pooled<W: Sampleable>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SamplingEstimate {
     let mut rng = SmallRng::seed_from_u64(seed);
     let estimate_span = rec.open_with(
         "estimate",
@@ -106,14 +121,14 @@ pub fn estimate_with<W: Sampleable>(
     // Step 2: Identify on the sample.
     let identify_span = rec.open("identify");
     let outcome: SearchOutcome = match strategy {
-        IdentifyStrategy::CoarseToFine => search::coarse_to_fine_with(&sample, rec),
-        IdentifyStrategy::RaceThenFine => search::race_then_fine_with(&sample, rec),
+        IdentifyStrategy::CoarseToFine => search::coarse_to_fine_pooled(&sample, rec, pool),
+        IdentifyStrategy::RaceThenFine => search::race_then_fine_pooled(&sample, rec, pool),
         IdentifyStrategy::GradientDescent { max_evals } => {
-            search::gradient_descent_with(&sample, max_evals, rec)
+            search::gradient_descent_pooled(&sample, max_evals, rec, pool)
         }
         IdentifyStrategy::Exhaustive => {
             let step = sample.space().fine_step;
-            search::exhaustive_with(&sample, step, rec)
+            search::exhaustive_pooled(&sample, step, rec, pool)
         }
     };
     rec.annotate(
@@ -318,9 +333,11 @@ pub fn estimate_repeated<W: Sampleable>(
     repeats: usize,
 ) -> SamplingEstimate {
     assert!(repeats > 0, "need at least one repeat");
-    let mut runs: Vec<SamplingEstimate> = (0..repeats)
-        .map(|k| estimate(workload, spec, strategy, seed.wrapping_add(k as u64)))
-        .collect();
+    // Repeats are independent estimations on independent samples: dispatch
+    // them across the pool; the ordered map keeps run order = seed order.
+    let mut runs: Vec<SamplingEstimate> = Pool::global().map_indices(repeats, |k| {
+        estimate(workload, spec, strategy, seed.wrapping_add(k as u64))
+    });
     runs.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
     let total_overhead: SimTime = runs.iter().map(|r| r.overhead).sum();
     let total_evals: usize = runs.iter().map(|r| r.evaluations).sum();

@@ -2,6 +2,7 @@
 //! and time (Figs. 3/5/8), sample-size sensitivity sweeps (Figs. 4/6/9),
 //! and Table I aggregation.
 
+use nbwp_par::Pool;
 use nbwp_sim::SimTime;
 use nbwp_trace::Recorder;
 use serde::{Deserialize, Serialize};
@@ -208,6 +209,18 @@ pub fn run_one_with<W: Sampleable>(
     row
 }
 
+/// Runs the full method comparison for every `(name, workload)` pair,
+/// dispatching the independent datasets across the worker pool. Rows come
+/// back in input order and are identical to serial [`run_one`] calls for
+/// any `NBWP_THREADS` (simulated results never depend on the pool).
+#[must_use]
+pub fn run_corpus<S: AsRef<str> + Sync, W: Sampleable>(
+    suite: &[(S, W)],
+    config: &ExperimentConfig,
+) -> Vec<ExperimentRow> {
+    Pool::global().map(suite, |(name, w)| run_one(name.as_ref(), w, config))
+}
+
 /// Second pass for *NaiveAverage*: averages the exhaustive thresholds over
 /// the corpus and re-prices every workload at that single threshold
 /// (geometric mean on logarithmic spaces).
@@ -246,7 +259,9 @@ pub struct SensitivityPoint {
 }
 
 /// Sweeps the sample-size factor and reports estimation / total times —
-/// the concave trade-off curves of Figs. 4, 6 and 9.
+/// the concave trade-off curves of Figs. 4, 6 and 9. The factors are
+/// independent configurations, so the sweep dispatches them across the
+/// worker pool; points come back in factor order.
 #[must_use]
 pub fn sensitivity<W: Sampleable>(
     w: &W,
@@ -254,20 +269,17 @@ pub fn sensitivity<W: Sampleable>(
     strategy: IdentifyStrategy,
     seed: u64,
 ) -> Vec<SensitivityPoint> {
-    factors
-        .iter()
-        .map(|&factor| {
-            let est = estimate(w, SampleSpec::scaled(factor), strategy, seed);
-            let run = w.time_at(est.threshold);
-            SensitivityPoint {
-                factor,
-                sample_size: est.sample_size,
-                estimation_ms: est.overhead.as_millis(),
-                total_ms: (est.overhead + run).as_millis(),
-                estimated_t: est.threshold,
-            }
-        })
-        .collect()
+    Pool::global().map(factors, |&factor| {
+        let est = estimate(w, SampleSpec::scaled(factor), strategy, seed);
+        let run = w.time_at(est.threshold);
+        SensitivityPoint {
+            factor,
+            sample_size: est.sample_size,
+            estimation_ms: est.overhead.as_millis(),
+            total_ms: (est.overhead + run).as_millis(),
+            estimated_t: est.threshold,
+        }
+    })
 }
 
 /// Table I row: workload-level averages.

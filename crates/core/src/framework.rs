@@ -109,7 +109,13 @@ impl ThresholdSpace {
 
 /// A heterogeneous algorithm whose work split is controlled by a scalar
 /// threshold — the object of the paper's study.
-pub trait PartitionedWorkload {
+///
+/// `Sync` is a supertrait because candidate-threshold evaluations are
+/// embarrassingly parallel: the search strategies dispatch [`Self::run`]
+/// calls across the `nbwp-par` worker pool, sharing `&self` between
+/// workers. Workloads are plain immutable data (matrices, graphs,
+/// profiles), so this costs implementors nothing.
+pub trait PartitionedWorkload: Sync {
     /// Executes (or exactly prices) one heterogeneous run at threshold `t`
     /// and reports its simulated timing.
     fn run(&self, t: f64) -> RunReport;

@@ -47,23 +47,26 @@ pub mod prelude {
     pub use crate::baselines::{self, naive_average, naive_static};
     pub use crate::energy::{exhaustive_energy, EnergySweep, PowerModel};
     pub use crate::estimator::{
-        estimate, estimate_repeated, estimate_with, IdentifyStrategy, SamplingEstimate,
+        estimate, estimate_pooled, estimate_repeated, estimate_with, IdentifyStrategy,
+        SamplingEstimate,
     };
     pub use crate::experiment::{
-        fill_naive_average, run_one, run_one_with, sensitivity, summarize, ExperimentConfig,
-        ExperimentRow, SensitivityPoint, Summary,
+        fill_naive_average, run_corpus, run_one, run_one_with, sensitivity, summarize,
+        ExperimentConfig, ExperimentRow, SensitivityPoint, Summary,
     };
     pub use crate::extrapolate::{calibrate_extrapolator, fit_power, Extrapolator};
     pub use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
     pub use crate::search::{
-        coarse_to_fine, coarse_to_fine_with, exhaustive, exhaustive_with, gradient_descent,
-        gradient_descent_with, race_then_fine, race_then_fine_with,
+        coarse_to_fine, coarse_to_fine_pooled, coarse_to_fine_with, exhaustive, exhaustive_pooled,
+        exhaustive_with, gradient_descent, gradient_descent_pooled, gradient_descent_with,
+        race_then_fine, race_then_fine_pooled, race_then_fine_with, SearchOutcome,
     };
     pub use crate::workloads::{
         CcSampler, CcWorkload, DenseGemmWorkload, HhSampler, HhWorkload, ListRankingWorkload,
         MultiPlatform, MultiRunReport, MultiSpmmWorkload, Shares, SortWorkload, SpmmWorkload,
         SpmvWorkload,
     };
+    pub use nbwp_par::Pool;
     pub use nbwp_sim::{Platform, SimTime};
     pub use nbwp_trace::{Recorder, Trace};
 }

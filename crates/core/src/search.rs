@@ -14,8 +14,22 @@
 //! Every strategy records each candidate it evaluated and the *simulated
 //! cost* of those evaluations; that cost is the estimation overhead the
 //! paper's Table I reports.
+//!
+//! ## Parallel evaluation, deterministic results
+//!
+//! Candidate evaluations are independent, so every strategy dispatches its
+//! batches through the [`nbwp_par::Pool`]: the expensive
+//! [`PartitionedWorkload::run`] calls execute on worker threads, then the
+//! resulting [`nbwp_sim::RunReport`]s are *replayed serially in submission
+//! order* into the trace [`Recorder`]. Simulated times come from counters
+//! alone, so `SearchOutcome` (eval order included), `search_cost`, and
+//! trace captures are byte-identical for every `NBWP_THREADS` value —
+//! parallelism buys wall-clock time only. The `*_pooled` variants take an
+//! explicit pool for benchmarks sweeping thread counts in one process; the
+//! plain and `*_with` entry points use [`nbwp_par::Pool::global`].
 
-use nbwp_sim::SimTime;
+use nbwp_par::Pool;
+use nbwp_sim::{RunReport, SimTime};
 use nbwp_trace::{ArgValue, Recorder};
 
 use crate::framework::{PartitionedWorkload, ThresholdSpace};
@@ -34,12 +48,17 @@ pub struct SearchOutcome {
 }
 
 impl SearchOutcome {
+    /// Builds the outcome from the evaluation log. Ties on `SimTime` break
+    /// deterministically toward the **lowest threshold**, so the winner is
+    /// a property of the evaluated set, not of evaluation order — required
+    /// for results to be stable under parallel (or otherwise reordered)
+    /// evaluation.
     fn from_evals(evals: Vec<(f64, SimTime)>) -> Self {
         assert!(!evals.is_empty(), "search evaluated no candidates");
         let (best_t, best_time) = evals
             .iter()
             .copied()
-            .min_by(|a, b| a.1.cmp(&b.1))
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.total_cmp(&b.0)))
             .expect("non-empty");
         let search_cost = evals.iter().map(|&(_, t)| t).sum();
         SearchOutcome {
@@ -57,29 +76,40 @@ impl SearchOutcome {
     }
 }
 
-/// Evaluates one candidate threshold, tracing it when `rec` is enabled:
-/// an `identify.eval` span wrapping the run's six lane spans, plus the
-/// `search.evaluations` counter and the `identify.eval_ms` histogram.
-fn eval_one(w: &impl PartitionedWorkload, t: f64, rec: &Recorder) -> (f64, SimTime) {
-    if !rec.is_enabled() {
-        return (t, w.time_at(t));
-    }
-    let report = w.run(t);
+/// Replays one already-computed candidate run into the recorder (when
+/// enabled): an `identify.eval` span wrapping the run's six lane spans,
+/// plus the `search.evaluations` counter and the `identify.eval_ms`
+/// histogram.
+fn record_eval(t: f64, report: &RunReport, rec: &Recorder) -> (f64, SimTime) {
     let total = report.total();
-    let span = rec.open_with("identify.eval", vec![("t".to_string(), ArgValue::F64(t))]);
-    rec.record_run(&report);
-    rec.annotate(
-        span,
-        vec![("total_ms".to_string(), ArgValue::F64(total.as_millis()))],
-    );
-    rec.close(span);
-    rec.counter_add("search.evaluations", 1);
-    rec.histogram_record("identify.eval_ms", total.as_millis());
+    if rec.is_enabled() {
+        let span = rec.open_with("identify.eval", vec![("t".to_string(), ArgValue::F64(t))]);
+        rec.record_run(report);
+        rec.annotate(
+            span,
+            vec![("total_ms".to_string(), ArgValue::F64(total.as_millis()))],
+        );
+        rec.close(span);
+        rec.counter_add("search.evaluations", 1);
+        rec.histogram_record("identify.eval_ms", total.as_millis());
+    }
     (t, total)
 }
 
-fn eval_grid(w: &impl PartitionedWorkload, grid: &[f64], rec: &Recorder) -> Vec<(f64, SimTime)> {
-    grid.iter().map(|&t| eval_one(w, t, rec)).collect()
+/// Evaluates a batch of candidates: runs execute in parallel on `pool`,
+/// then replay serially into `rec` in submission order — the trace and the
+/// returned eval log are identical to a serial evaluation of `grid`.
+fn eval_grid(
+    w: &impl PartitionedWorkload,
+    grid: &[f64],
+    rec: &Recorder,
+    pool: &Pool,
+) -> Vec<(f64, SimTime)> {
+    let reports = pool.map(grid, |&t| w.run(t));
+    grid.iter()
+        .zip(&reports)
+        .map(|(&t, report)| record_eval(t, report, rec))
+        .collect()
 }
 
 /// Exhaustive search over the whole space at `step` granularity
@@ -93,6 +123,17 @@ pub fn exhaustive(w: &impl PartitionedWorkload, step: f64) -> SearchOutcome {
 /// [`exhaustive`], tracing every candidate evaluation into `rec`.
 #[must_use]
 pub fn exhaustive_with(w: &impl PartitionedWorkload, step: f64, rec: &Recorder) -> SearchOutcome {
+    exhaustive_pooled(w, step, rec, Pool::global())
+}
+
+/// [`exhaustive_with`] on an explicit worker pool.
+#[must_use]
+pub fn exhaustive_pooled(
+    w: &impl PartitionedWorkload,
+    step: f64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
     assert!(step > 0.0, "step must be positive");
     let space = w.space();
     let mut grid = Vec::new();
@@ -115,7 +156,7 @@ pub fn exhaustive_with(w: &impl PartitionedWorkload, step: f64, rec: &Recorder) 
         }
         grid.push(space.hi);
     }
-    SearchOutcome::from_evals(eval_grid(w, &grid, rec))
+    SearchOutcome::from_evals(eval_grid(w, &grid, rec, pool))
 }
 
 /// The paper's coarse-to-fine search: evaluate the coarse grid, then the
@@ -137,19 +178,31 @@ pub fn coarse_to_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
 /// [`coarse_to_fine`], tracing every candidate evaluation into `rec`.
 #[must_use]
 pub fn coarse_to_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
+    coarse_to_fine_pooled(w, rec, Pool::global())
+}
+
+/// [`coarse_to_fine_with`] on an explicit worker pool: the coarse grid is
+/// one parallel batch, the fine refinement around its winner a second.
+#[must_use]
+pub fn coarse_to_fine_pooled(
+    w: &impl PartitionedWorkload,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
     let space = w.space();
-    let mut evals = eval_grid(w, &space.coarse_grid(), rec);
+    let mut evals = eval_grid(w, &space.coarse_grid(), rec, pool);
+    // Same tie-breaking as `from_evals`: lowest time, then lowest threshold.
     let (center, _) = evals
         .iter()
         .copied()
-        .min_by(|a, b| a.1.cmp(&b.1))
+        .min_by(|a, b| a.1.cmp(&b.1).then(a.0.total_cmp(&b.0)))
         .expect("coarse grid non-empty");
     let fine: Vec<f64> = space
         .fine_grid(center)
         .into_iter()
         .filter(|t| !evals.iter().any(|&(seen, _)| close(seen, *t, &space)))
         .collect();
-    evals.extend(eval_grid(w, &fine, rec));
+    evals.extend(eval_grid(w, &fine, rec, pool));
     SearchOutcome::from_evals(evals)
 }
 
@@ -169,10 +222,24 @@ pub fn race_then_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
 /// evaluations), followed by one `identify.eval` span per fine probe.
 #[must_use]
 pub fn race_then_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
+    race_then_fine_pooled(w, rec, Pool::global())
+}
+
+/// [`race_then_fine_with`] on an explicit worker pool: the two boundary
+/// runs of the race execute concurrently, then the fine probes go out as
+/// one parallel batch.
+#[must_use]
+pub fn race_then_fine_pooled(
+    w: &impl PartitionedWorkload,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
     let space = w.space();
     let race_span = rec.open("race");
-    let all_cpu = w.run(space.hi).breakdown.phase2();
-    let all_gpu = w.run(space.lo).breakdown.phase2();
+    let (all_cpu, all_gpu) = pool.join(
+        || w.run(space.hi).breakdown.phase2(),
+        || w.run(space.lo).breakdown.phase2(),
+    );
     // Both device runs overlap; the race ends at the first finisher.
     let race_cost = all_cpu.min(all_gpu);
     rec.annotate(
@@ -210,7 +277,7 @@ pub fn race_then_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> Sear
             dedup.push(t);
         }
     }
-    let mut out = SearchOutcome::from_evals(eval_grid(w, &dedup, rec));
+    let mut out = SearchOutcome::from_evals(eval_grid(w, &dedup, rec, pool));
     out.search_cost += race_cost;
     out
 }
@@ -235,16 +302,30 @@ pub fn gradient_descent_with(
     max_evals: usize,
     rec: &Recorder,
 ) -> SearchOutcome {
+    gradient_descent_pooled(w, max_evals, rec, Pool::global())
+}
+
+/// [`gradient_descent_with`] on an explicit worker pool: the two fresh
+/// neighbor probes of every descent step evaluate concurrently. Which
+/// probes are fresh (and whether the budget admits both) is decided *before*
+/// dispatch from the eval log alone, so the evaluation sequence — and with
+/// it the cache behaviour, budget accounting, and trace — is identical to
+/// the serial descent.
+#[must_use]
+pub fn gradient_descent_pooled(
+    w: &impl PartitionedWorkload,
+    max_evals: usize,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
     assert!(max_evals >= 3, "need at least 3 evaluations");
     let space = w.space();
     let mut evals: Vec<(f64, SimTime)> = Vec::new();
-    let cached_eval = |t: f64, evals: &mut Vec<(f64, SimTime)>| -> SimTime {
-        if let Some(&(_, cost)) = evals.iter().find(|&&(seen, _)| close(seen, t, &space)) {
-            return cost;
-        }
-        let (t, cost) = eval_one(w, t, rec);
-        evals.push((t, cost));
-        cost
+    let lookup = |t: f64, evals: &[(f64, SimTime)]| -> Option<SimTime> {
+        evals
+            .iter()
+            .find(|&&(seen, _)| close(seen, t, &space))
+            .map(|&(_, cost)| cost)
     };
 
     let mid = if space.logarithmic {
@@ -266,7 +347,15 @@ pub fn gradient_descent_with(
         } else {
             (space.hi - space.lo) / 4.0
         };
-        let mut best = cached_eval(current, &mut evals);
+        let mut best = match lookup(current, &evals) {
+            Some(cost) => cost,
+            None => {
+                let fresh = eval_grid(w, &[current], rec, pool);
+                let cost = fresh[0].1;
+                evals.extend(fresh);
+                cost
+            }
+        };
         let deadline = evals.len().saturating_add(budget_each).min(max_evals);
         while evals.len() < deadline {
             let (left, right) = if space.logarithmic {
@@ -274,11 +363,28 @@ pub fn gradient_descent_with(
             } else {
                 (space.clamp(current - stride), space.clamp(current + stride))
             };
-            let tl = cached_eval(left, &mut evals);
-            if evals.len() >= deadline {
+            // Decide the fresh probe set up front (left first, then right
+            // if the budget still admits it), dispatch it as one parallel
+            // batch, and append results in probe order — exactly the
+            // sequence the serial descent would have produced.
+            let fresh_left = lookup(left, &evals).is_none();
+            let len_after_left = evals.len() + usize::from(fresh_left);
+            let fresh_right = len_after_left < deadline
+                && lookup(right, &evals).is_none()
+                && !(fresh_left && close(left, right, &space));
+            let mut batch = Vec::with_capacity(2);
+            if fresh_left {
+                batch.push(left);
+            }
+            if fresh_right {
+                batch.push(right);
+            }
+            evals.extend(eval_grid(w, &batch, rec, pool));
+            if len_after_left >= deadline {
                 break;
             }
-            let tr = cached_eval(right, &mut evals);
+            let tl = lookup(left, &evals).expect("left probe evaluated or cached");
+            let tr = lookup(right, &evals).expect("right probe evaluated or cached");
             if tl < best && tl <= tr {
                 current = left;
                 best = tl;
@@ -358,6 +464,22 @@ mod tests {
         Valley {
             opt,
             space: ThresholdSpace::percentage(),
+        }
+    }
+
+    #[test]
+    fn from_evals_breaks_simtime_ties_toward_the_lowest_threshold() {
+        // Regression: the winner must be a property of the evaluated set,
+        // not of evaluation order, or parallel evaluation could flip it.
+        let tie = SimTime::from_millis(5.0);
+        let lo = SimTime::from_millis(1.0);
+        let evals = vec![(70.0, tie), (10.0, lo), (30.0, tie), (5.0, lo)];
+        let mut reversed = evals.clone();
+        reversed.reverse();
+        for log in [evals, reversed] {
+            let out = SearchOutcome::from_evals(log);
+            assert_eq!(out.best_t, 5.0);
+            assert_eq!(out.best_time, lo);
         }
     }
 

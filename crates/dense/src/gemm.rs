@@ -7,6 +7,7 @@
 //! variants, cross-checked against each other) and report [`KernelStats`]
 //! that match the closed form exactly.
 
+use nbwp_par::Pool;
 use nbwp_sim::KernelStats;
 
 use crate::DenseMatrix;
@@ -43,23 +44,27 @@ pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     gemm_range(a, b, 0, a.rows())
 }
 
-/// Cache-blocked GEMM (tiles of [`TILE`]); identical result to [`gemm`].
+/// Cache-blocked GEMM over rows `lo..hi` (tiles of [`TILE`], with `pp`/`jj`
+/// tiling over the inner dimensions). Per output element the `p` loop runs
+/// ascending across `pp` tiles, so the accumulation order — and therefore
+/// the floating-point result — is bit-identical to [`gemm_range`].
 #[must_use]
-pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+pub fn gemm_blocked_range(a: &DenseMatrix, b: &DenseMatrix, lo: usize, hi: usize) -> DenseMatrix {
     assert_eq!(a.cols(), b.rows(), "incompatible GEMM shapes");
-    let (n, k, m) = (a.rows(), a.cols(), b.cols());
-    let mut c = DenseMatrix::zeros(n, m);
-    for ii in (0..n).step_by(TILE) {
+    assert!(lo <= hi && hi <= a.rows(), "row range out of bounds");
+    let (k, m) = (a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(hi - lo, m);
+    for ii in (lo..hi).step_by(TILE) {
         for pp in (0..k).step_by(TILE) {
             for jj in (0..m).step_by(TILE) {
-                let i_hi = (ii + TILE).min(n);
+                let i_hi = (ii + TILE).min(hi);
                 let p_hi = (pp + TILE).min(k);
                 let j_hi = (jj + TILE).min(m);
                 for i in ii..i_hi {
                     for p in pp..p_hi {
                         let av = a.get(i, p);
                         let brow = b.row(p);
-                        let crow = c.row_mut(i);
+                        let crow = c.row_mut(i - lo);
                         for j in jj..j_hi {
                             crow[j] += av * brow[j];
                         }
@@ -71,8 +76,16 @@ pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     c
 }
 
-/// Thread-parallel blocked GEMM over row bands; identical result to
-/// [`gemm`] for any thread count.
+/// Cache-blocked GEMM (tiles of [`TILE`]); identical result to [`gemm`].
+#[must_use]
+pub fn gemm_blocked(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    gemm_blocked_range(a, b, 0, a.rows())
+}
+
+/// Tile-parallel blocked GEMM: row bands of [`TILE`]-aligned tiles are
+/// dispatched through the work-stealing pool and stitched in band order;
+/// identical result to [`gemm`] for any thread count (each output row is
+/// computed by exactly one task, in the same accumulation order).
 #[must_use]
 pub fn gemm_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> DenseMatrix {
     assert!(threads > 0, "thread count must be positive");
@@ -81,20 +94,13 @@ pub fn gemm_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> DenseM
     if threads == 1 || n < 2 * threads {
         return gemm_blocked(a, b);
     }
-    let chunk = n.div_ceil(threads);
-    let mut parts: Vec<Option<DenseMatrix>> = Vec::new();
-    parts.resize_with(threads, || None);
-    std::thread::scope(|scope| {
-        for (tid, slot) in parts.iter_mut().enumerate() {
-            let lo = (tid * chunk).min(n);
-            let hi = ((tid + 1) * chunk).min(n);
-            scope.spawn(move || {
-                *slot = Some(gemm_range(a, b, lo, hi));
-            });
-        }
+    let pool = Pool::new(threads);
+    let row_tiles = n.div_ceil(TILE);
+    let parts = pool.map_chunks(row_tiles, threads * 4, |band| {
+        gemm_blocked_range(a, b, band.start * TILE, (band.end * TILE).min(n))
     });
     let mut data = Vec::with_capacity(n * b.cols());
-    for part in parts.into_iter().flatten() {
+    for part in parts {
         data.extend_from_slice(part.data());
     }
     DenseMatrix::from_vec(n, b.cols(), data)

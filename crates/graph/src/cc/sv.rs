@@ -18,6 +18,7 @@
 //! and pass counts drive the simulated GPU kernel-launch cost, so their
 //! determinism matters as much as the labels'.
 
+use nbwp_par::Pool;
 use nbwp_sim::KernelStats;
 
 use crate::Graph;
@@ -62,6 +63,7 @@ pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
     } else {
         threads.max(1)
     };
+    let pool = Pool::new(workers);
     stats.mem_write_bytes += 4 * n as u64; // init parents
     stats.kernel_launches += 1;
     let mut cand: Vec<u32> = vec![0; n];
@@ -69,15 +71,37 @@ pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
     loop {
         rounds += 1;
         // --- Hook: min-reduce, per root, of smaller neighbor-tree labels.
-        // (Sequential min-reduction; a device would do this with atomicMin —
+        // (A device would do this with atomicMin; here the vertex-parallel
+        // gather runs on the pool and the per-root min-merge is serial —
         // the result is identical because min is commutative.)
         cand.copy_from_slice(&parent);
-        for u in 0..n {
-            let ru = parent[u] as usize;
-            for &v in g.neighbors(u) {
-                let rv = parent[v as usize];
-                if rv < cand[ru] {
-                    cand[ru] = rv;
+        if pool.threads() <= 1 {
+            for u in 0..n {
+                let ru = parent[u] as usize;
+                for &v in g.neighbors(u) {
+                    let rv = parent[v as usize];
+                    if rv < cand[ru] {
+                        cand[ru] = rv;
+                    }
+                }
+            }
+        } else {
+            let partials = pool.map_chunks(n, workers * 4, |r| {
+                let mut local: Vec<(u32, u32)> = Vec::new();
+                for u in r {
+                    let mut m = u32::MAX;
+                    for &v in g.neighbors(u) {
+                        m = m.min(parent[v as usize]);
+                    }
+                    if m != u32::MAX {
+                        local.push((parent[u], m));
+                    }
+                }
+                local
+            });
+            for (ru, m) in partials.into_iter().flatten() {
+                if m < cand[ru as usize] {
+                    cand[ru as usize] = m;
                 }
             }
         }
@@ -98,7 +122,7 @@ pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
         // --- Compress: pointer doubling until idempotent.
         let mut compressed_any = false;
         loop {
-            let (compressed, changed) = double_pass(&parent, workers);
+            let (compressed, changed) = double_pass(&parent, &pool);
             doubling_passes += 1;
             stats.kernel_launches += 1;
             stats.int_ops += 2 * n as u64;
@@ -126,12 +150,14 @@ pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
 }
 
 /// One pointer-doubling pass: `out[v] = f[f[v]]`. Returns the new array and
-/// whether anything changed. Vertex-parallel and Jacobi-style, so the
-/// result is thread-count independent.
-fn double_pass(f: &[u32], workers: usize) -> (Vec<u32>, bool) {
+/// whether anything changed. Vertex-parallel and Jacobi-style (reads the
+/// previous array, writes fresh chunks), so the result is thread-count
+/// independent; the chunks go through the work-stealing pool at finer
+/// granularity than the worker count so skewed chunks re-balance.
+fn double_pass(f: &[u32], pool: &Pool) -> (Vec<u32>, bool) {
     let n = f.len();
-    let mut out = vec![0u32; n];
-    if workers <= 1 {
+    if pool.threads() <= 1 {
+        let mut out = vec![0u32; n];
         let mut changed = false;
         for v in 0..n {
             let x = f[f[v] as usize];
@@ -140,24 +166,23 @@ fn double_pass(f: &[u32], workers: usize) -> (Vec<u32>, bool) {
         }
         return (out, changed);
     }
-    let chunk = n.div_ceil(workers);
-    let mut flags = vec![false; workers];
-    std::thread::scope(|scope| {
-        for ((tid, slice), flag) in out.chunks_mut(chunk).enumerate().zip(flags.iter_mut()) {
-            let lo = tid * chunk;
-            scope.spawn(move || {
-                let mut changed = false;
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    let v = lo + i;
-                    let x = f[f[v] as usize];
-                    changed |= x != f[v];
-                    *slot = x;
-                }
-                *flag = changed;
-            });
+    let parts = pool.map_chunks(n, pool.threads() * 4, |r| {
+        let mut chunk = Vec::with_capacity(r.len());
+        let mut changed = false;
+        for v in r {
+            let x = f[f[v] as usize];
+            changed |= x != f[v];
+            chunk.push(x);
         }
+        (chunk, changed)
     });
-    (out, flags.into_iter().any(|c| c))
+    let mut out = Vec::with_capacity(n);
+    let mut changed = false;
+    for (chunk, c) in parts {
+        out.extend_from_slice(&chunk);
+        changed |= c;
+    }
+    (out, changed)
 }
 
 #[cfg(test)]

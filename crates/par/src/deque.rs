@@ -1,0 +1,145 @@
+//! Per-worker work-stealing deques over index jobs.
+//!
+//! Each worker owns one [`StealQueue`] seeded with a contiguous block of
+//! item indices. The owner pops from the **front** (its locality-friendly
+//! end); thieves take the **back half** of a victim's queue in one grab, so
+//! a single steal re-balances a large cost skew instead of migrating items
+//! one by one (the batching recommended by the dynamic-load-balancing
+//! literature for irregular workloads).
+//!
+//! The queues are `Mutex<VecDeque<usize>>` underneath: the pool dispatches
+//! coarse jobs (candidate evaluations, row blocks), so contention on the
+//! lock is negligible next to job cost, and the implementation stays
+//! obviously correct — determinism comes from *where results land*
+//! (submission index), never from scheduling order.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// One worker's job queue. Owner pops the front; thieves steal the back.
+#[derive(Debug)]
+pub struct StealQueue {
+    jobs: Mutex<VecDeque<usize>>,
+}
+
+impl StealQueue {
+    /// A queue seeded with the indices of `range`, front-to-back.
+    #[must_use]
+    pub fn seeded(range: Range<usize>) -> Self {
+        StealQueue {
+            jobs: Mutex::new(range.collect()),
+        }
+    }
+
+    /// Owner pop: next job from the front, if any.
+    pub fn pop(&self) -> Option<usize> {
+        self.jobs.lock().expect("queue poisoned").pop_front()
+    }
+
+    /// Steal roughly the back half of this queue (at least one job if the
+    /// queue is non-empty). Returns the stolen batch, back-of-queue order.
+    pub fn steal_half(&self) -> Vec<usize> {
+        let mut q = self.jobs.lock().expect("queue poisoned");
+        let take = q.len().div_ceil(2).min(q.len());
+        let keep = q.len() - take;
+        q.split_off(keep).into()
+    }
+
+    /// Pushes a stolen batch onto the front of this (the thief's) queue.
+    pub fn refill(&self, batch: Vec<usize>) {
+        let mut q = self.jobs.lock().expect("queue poisoned");
+        for idx in batch.into_iter().rev() {
+            q.push_front(idx);
+        }
+    }
+}
+
+/// Worker `id`'s scheduling step: pop locally, else scan victims round-robin
+/// and steal half of the first non-empty queue. Returns `None` only when
+/// every queue is empty — jobs never spawn jobs here, so that is terminal.
+pub fn pop_or_steal(queues: &[StealQueue], id: usize) -> Option<usize> {
+    if let Some(job) = queues[id].pop() {
+        return Some(job);
+    }
+    let w = queues.len();
+    for step in 1..w {
+        let victim = (id + step) % w;
+        let batch = queues[victim].steal_half();
+        if let Some((&first, rest)) = batch.split_first() {
+            queues[id].refill(rest.to_vec());
+            return Some(first);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_front_in_order() {
+        let q = StealQueue::seeded(3..7);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), Some(6));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn steal_takes_the_back_half() {
+        let q = StealQueue::seeded(0..10);
+        let stolen = q.steal_half();
+        assert_eq!(stolen, vec![5, 6, 7, 8, 9]);
+        assert_eq!(q.pop(), Some(0));
+    }
+
+    #[test]
+    fn steal_from_singleton_takes_it() {
+        let q = StealQueue::seeded(7..8);
+        assert_eq!(q.steal_half(), vec![7]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn steal_from_empty_is_empty() {
+        let q = StealQueue::seeded(0..0);
+        assert!(q.steal_half().is_empty());
+    }
+
+    #[test]
+    fn pop_or_steal_drains_every_job_exactly_once() {
+        let queues = [
+            StealQueue::seeded(0..8),
+            StealQueue::seeded(8..8), // empty: must steal
+            StealQueue::seeded(8..11),
+        ];
+        let mut seen = Vec::new();
+        // Simulate worker 1 (empty) interleaved with workers 0 and 2.
+        loop {
+            let mut progressed = false;
+            for id in [1, 0, 2] {
+                if let Some(j) = pop_or_steal(&queues, id) {
+                    seen.push(j);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn refill_preserves_batch_order() {
+        let q = StealQueue::seeded(0..0);
+        q.refill(vec![4, 5, 6]);
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), Some(6));
+    }
+}

@@ -1,0 +1,346 @@
+//! # nbwp-par — deterministic parallel execution for the partitioning pipeline
+//!
+//! A small scoped worker pool built only on `std::thread`, designed around
+//! one contract: **parallelism changes wall-clock time, never results**.
+//! Every API here is an *ordered reduction* — outputs are combined in
+//! submission order regardless of which worker computed what, so callers
+//! (threshold searches, kernels, experiment sweeps) produce byte-identical
+//! results for any thread count.
+//!
+//! ## Scheduling
+//!
+//! Work items are distributed over per-worker [`deque`]s seeded with
+//! contiguous index blocks (for locality). A worker pops from the front of
+//! its own deque; when empty it steals the back half of a victim's deque —
+//! the classic work-stealing discipline, which keeps irregular per-item
+//! costs (skewed SpGEMM rows, mixed-cost candidate evaluations) balanced
+//! without any cost model.
+//!
+//! ## Determinism
+//!
+//! * [`Pool::map`] / [`Pool::map_chunks`] return results indexed by
+//!   submission position; execution order is unconstrained.
+//! * `threads == 1` (or trivially small inputs) takes a plain serial path —
+//!   the reference the property tests compare against.
+//! * Nested calls from inside a pool worker run serially on that worker
+//!   (no recursive thread explosion; the outer ordering guarantee already
+//!   covers the nested region).
+//!
+//! ## Configuration
+//!
+//! [`Pool::global`] is shared, lazily built, and sized by the
+//! `NBWP_THREADS` environment variable (falling back to
+//! `std::thread::available_parallelism`). Explicit sizes are available via
+//! [`Pool::new`] for benchmarks that sweep thread counts in one process.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod deque;
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use deque::StealQueue;
+
+thread_local! {
+    /// Set while the current thread is executing inside a pool worker;
+    /// nested pool calls on such a thread degrade to the serial path.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A deterministic scoped worker pool. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// A pool that runs every dispatch on up to `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        Pool { threads }
+    }
+
+    /// A pool sized by the `NBWP_THREADS` environment variable, falling
+    /// back to the machine's available parallelism (and to 1 if even that
+    /// is unknown). `NBWP_THREADS=0` or garbage falls back the same way.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let configured = std::env::var("NBWP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        let threads = configured.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Pool::new(threads)
+    }
+
+    /// The process-wide shared pool ([`Pool::from_env`], built once).
+    #[must_use]
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(Pool::from_env)
+    }
+
+    /// Worker count this pool dispatches on.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Ordered parallel map over `0..n`: `out[i] == f(i)` for every `i`,
+    /// exactly as the serial loop would produce, for any thread count.
+    pub fn map_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 || IN_WORKER.with(Cell::get) {
+            return (0..n).map(f).collect();
+        }
+        // Seed each worker's deque with a contiguous index block.
+        let block = n.div_ceil(workers);
+        let queues: Vec<StealQueue> = (0..workers)
+            .map(|w| StealQueue::seeded((w * block).min(n)..((w + 1) * block).min(n)))
+            .collect();
+        let mut harvest: Vec<Vec<(usize, R)>> = Vec::new();
+        harvest.resize_with(workers, Vec::new);
+        std::thread::scope(|scope| {
+            for (id, out) in harvest.iter_mut().enumerate() {
+                let queues = &queues;
+                let f = &f;
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    while let Some(i) = deque::pop_or_steal(queues, id) {
+                        out.push((i, f(i)));
+                    }
+                });
+            }
+        });
+        // Ordered reduction: place every result at its submission index.
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(n, || None);
+        for (i, r) in harvest.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index computed exactly once"))
+            .collect()
+    }
+
+    /// Ordered parallel map over a slice.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indices(items.len(), |i| f(&items[i]))
+    }
+
+    /// Splits `0..n` into about `parts` contiguous ranges and maps them in
+    /// parallel, returning the per-range results in range order. Useful for
+    /// block kernels: finer `parts` than workers lets stealing re-balance
+    /// irregular block costs.
+    pub fn map_chunks<R, F>(&self, n: usize, parts: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let parts = parts.clamp(1, n.max(1));
+        let chunk = n.div_ceil(parts);
+        let ranges: Vec<Range<usize>> = (0..parts)
+            .map(|p| (p * chunk).min(n)..((p + 1) * chunk).min(n))
+            .filter(|r| !r.is_empty())
+            .collect();
+        self.map(&ranges, |r| f(r.clone()))
+    }
+
+    /// Runs two closures concurrently (when the pool has spare workers) and
+    /// returns both results, always `(a, b)` in argument order.
+    pub fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        FA: FnOnce() -> RA + Send,
+        FB: FnOnce() -> RB + Send,
+    {
+        if self.threads <= 1 || IN_WORKER.with(Cell::get) {
+            return (fa(), fb());
+        }
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                fb()
+            });
+            let ra = fa();
+            (ra, hb.join().expect("pool worker panicked"))
+        })
+    }
+
+    /// Ordered map-reduce: maps `items` in parallel, then folds the results
+    /// **in submission order** on the calling thread — the reduction is a
+    /// plain left fold, so non-associative combiners (floating-point sums,
+    /// trace replay) behave exactly as in the serial program.
+    pub fn map_reduce<T, R, A, F, G>(&self, items: &[T], f: F, init: A, fold: G) -> A
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        self.map(items, f).into_iter().fold(init, fold)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_submission_order() {
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map_indices(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_over_slice_matches_serial() {
+        let items: Vec<u64> = (0..57).map(|i| i * 3 + 1).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x % 7).collect();
+        for threads in [1, 4] {
+            assert_eq!(Pool::new(threads).map(&items, |&x| x % 7), serial);
+        }
+    }
+
+    #[test]
+    fn irregular_costs_are_balanced_without_reordering() {
+        // Item i sleeps ~(i % 13) microseconds of busywork; ordering must
+        // still be submission order.
+        let pool = Pool::new(4);
+        let out = pool.map_indices(200, |i| {
+            let mut acc = i as u64;
+            for _ in 0..(i % 13) * 500 {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (pos, (i, _)) in out.iter().enumerate() {
+            assert_eq!(pos, *i);
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = Pool::new(8);
+        let out = pool.map_indices(1000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn map_chunks_covers_the_range_in_order() {
+        let pool = Pool::new(4);
+        let ranges = pool.map_chunks(103, 9, |r| r);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, 103);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn map_chunks_results_concatenate_to_serial() {
+        let data: Vec<i64> = (0..250).map(|i| (i * 7 % 31) - 15).collect();
+        let serial: Vec<i64> = data.iter().map(|x| x * 2).collect();
+        for threads in [1, 3, 8] {
+            let parts: Vec<Vec<i64>> =
+                Pool::new(threads).map_chunks(data.len(), threads * 4, |r| {
+                    data[r].iter().map(|x| x * 2).collect()
+                });
+            let stitched: Vec<i64> = parts.into_iter().flatten().collect();
+            assert_eq!(stitched, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn join_returns_in_argument_order() {
+        for threads in [1, 2] {
+            let pool = Pool::new(threads);
+            let (a, b) = pool.join(|| "left", || "right");
+            assert_eq!((a, b), ("left", "right"));
+        }
+    }
+
+    #[test]
+    fn map_reduce_folds_in_submission_order() {
+        let items: Vec<f64> = (0..64).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let serial = items.iter().fold(0.0f64, |a, &x| a + x);
+        for threads in [1, 4] {
+            let folded = Pool::new(threads).map_reduce(&items, |&x| x, 0.0f64, |a, x| a + x);
+            // Same fold order ⇒ bitwise-equal float sum.
+            assert_eq!(folded.to_bits(), serial.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn nested_maps_degrade_to_serial_and_stay_correct() {
+        let pool = Pool::new(4);
+        let out = pool.map_indices(16, |i| {
+            // Nested dispatch from inside a worker: must not deadlock or
+            // spawn recursively, and must keep ordering.
+            Pool::new(4).map_indices(8, move |j| i * 8 + j)
+        });
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..8).map(|j| i * 8 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        assert!(pool.map_indices(0, |i| i).is_empty());
+        assert_eq!(pool.map_indices(1, |i| i + 41), vec![41]);
+        assert!(pool.map_chunks(0, 4, |r| r).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn global_pool_is_stable() {
+        let a = Pool::global().threads();
+        let b = Pool::global().threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+    }
+}

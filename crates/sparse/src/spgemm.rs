@@ -11,6 +11,7 @@
 //! during a physical run of any row range. `nbwp-core` exploits this to
 //! sweep thresholds in O(rows) instead of re-running the multiply.
 
+use nbwp_par::Pool;
 use nbwp_sim::{warp_padded_cost, KernelStats};
 
 use crate::Csr;
@@ -243,9 +244,13 @@ pub fn stats_for_rows(costs: &[RowCost], b_bytes: u64) -> KernelStats {
     s
 }
 
-/// Multiplies `A × B` using `threads` worker threads over row blocks,
+/// Multiplies `A × B` using up to `threads` workers over row blocks,
 /// returning the full product. The result is identical to [`spgemm`]
-/// regardless of thread count (rows are independent).
+/// regardless of thread count (rows are independent; blocks are stitched
+/// in row order). Row blocks are dispatched through the work-stealing
+/// pool at finer granularity than the worker count, so the skewed per-row
+/// costs of power-law matrices re-balance dynamically instead of stalling
+/// on one unlucky static chunk.
 #[must_use]
 pub fn spgemm_parallel(a: &Csr, b: &Csr, threads: usize) -> Csr {
     assert!(threads > 0, "thread count must be positive");
@@ -254,30 +259,18 @@ pub fn spgemm_parallel(a: &Csr, b: &Csr, threads: usize) -> Csr {
     if threads == 1 || n < 2 * threads {
         return spgemm(a, b);
     }
-    let chunk = n.div_ceil(threads);
-    let mut parts: Vec<Option<Csr>> = Vec::new();
-    parts.resize_with(threads, || None);
-    std::thread::scope(|scope| {
-        for (tid, slot) in parts.iter_mut().enumerate() {
-            let lo = (tid * chunk).min(n);
-            let hi = ((tid + 1) * chunk).min(n);
-            scope.spawn(move || {
-                *slot = Some(spgemm_range(a, b, lo, hi).0);
-            });
-        }
-    });
-    // Stitch the partial CSRs (concatenate rows).
+    let pool = Pool::new(threads);
+    let parts = pool.map_chunks(n, threads * 8, |r| spgemm_range(a, b, r.start, r.end).0);
+    // Stitch the partial CSRs (concatenate rows in block order).
     let mut row_ptr = Vec::with_capacity(n + 1);
     let mut col_idx = Vec::new();
     let mut vals = Vec::new();
     row_ptr.push(0);
-    for part in parts.into_iter().map(|p| p.expect("thread finished")) {
+    for part in parts {
         let base = col_idx.len();
+        col_idx.extend_from_slice(part.col_indices());
+        vals.extend_from_slice(part.values());
         for r in 0..part.rows() {
-            let (c, v) = part.row(r);
-            col_idx.extend_from_slice(c);
-            vals.extend_from_slice(v);
-            let _ = r;
             row_ptr.push(base + part.row_ptr()[r + 1]);
         }
     }

@@ -1,0 +1,186 @@
+//! Parallel/serial equivalence properties for the `nbwp-par` execution
+//! layer: every search strategy, the three hot kernels, and the trace
+//! exports must produce *identical* simulated results for any worker count.
+//! Wall-clock is the only thing parallelism is allowed to change.
+
+use nbwp_core::prelude::*;
+use nbwp_dense::gemm::{gemm, gemm_parallel};
+use nbwp_dense::DenseMatrix;
+use nbwp_graph::cc::cc_sv;
+use nbwp_graph::gen as graph_gen;
+use nbwp_sparse::gen as sparse_gen;
+use nbwp_sparse::spgemm::{spgemm, spgemm_parallel};
+use nbwp_trace::{chrome_trace, jsonl};
+use proptest::prelude::*;
+
+/// Bitwise digest of a search outcome: thresholds as raw bits plus the full
+/// evaluation log, so reordering or any numeric drift is caught exactly.
+fn digest(out: &SearchOutcome) -> (u64, SimTime, SimTime, Vec<(u64, SimTime)>) {
+    (
+        out.best_t.to_bits(),
+        out.best_time,
+        out.search_cost,
+        out.evals
+            .iter()
+            .map(|&(t, time)| (t.to_bits(), time))
+            .collect(),
+    )
+}
+
+fn spmm_workload(rows: usize, seed: u64) -> SpmmWorkload {
+    SpmmWorkload::new(
+        sparse_gen::uniform_random(rows, 8, seed),
+        Platform::k40c_xeon_e5_2650(),
+    )
+}
+
+#[test]
+fn every_strategy_is_thread_count_invariant() {
+    let w = spmm_workload(3_000, 7);
+    let rec = Recorder::disabled();
+    let serial = Pool::new(1);
+    for threads in [2, 4, 8] {
+        let pool = Pool::new(threads);
+        assert_eq!(
+            digest(&exhaustive_pooled(&w, 1.0, &rec, &serial)),
+            digest(&exhaustive_pooled(&w, 1.0, &rec, &pool)),
+            "exhaustive, {threads} threads"
+        );
+        assert_eq!(
+            digest(&coarse_to_fine_pooled(&w, &rec, &serial)),
+            digest(&coarse_to_fine_pooled(&w, &rec, &pool)),
+            "coarse_to_fine, {threads} threads"
+        );
+        assert_eq!(
+            digest(&race_then_fine_pooled(&w, &rec, &serial)),
+            digest(&race_then_fine_pooled(&w, &rec, &pool)),
+            "race_then_fine, {threads} threads"
+        );
+        assert_eq!(
+            digest(&gradient_descent_pooled(&w, 20, &rec, &serial)),
+            digest(&gradient_descent_pooled(&w, 20, &rec, &pool)),
+            "gradient_descent, {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn estimate_traces_are_byte_identical_across_pools() {
+    let w = spmm_workload(2_000, 11);
+    let exports = |threads: usize| {
+        let rec = Recorder::new();
+        let est = estimate_pooled(
+            &w,
+            SampleSpec::default(),
+            IdentifyStrategy::CoarseToFine,
+            42,
+            &rec,
+            &Pool::new(threads),
+        );
+        let trace = rec.finish();
+        (est.threshold.to_bits(), chrome_trace(&trace), jsonl(&trace))
+    };
+    let (t1, chrome1, jsonl1) = exports(1);
+    let (t4, chrome4, jsonl4) = exports(4);
+    assert_eq!(t1, t4, "estimated threshold must not depend on the pool");
+    assert_eq!(chrome1, chrome4, "Chrome trace must be byte-identical");
+    assert_eq!(jsonl1, jsonl4, "JSONL trace must be byte-identical");
+}
+
+#[test]
+fn cc_labelings_are_thread_count_invariant_above_the_parallel_threshold() {
+    // Large enough that cc_sv actually engages the pool (1 << 18 vertices).
+    let g = graph_gen::web(280_000, 4, 3);
+    let a = cc_sv(&g, 1);
+    for threads in [2, 4, 8] {
+        let b = cc_sv(&g, threads);
+        assert_eq!(a.labels, b.labels, "{threads} threads");
+        assert_eq!(a.rounds, b.rounds, "{threads} threads");
+        assert_eq!(a.doubling_passes, b.doubling_passes, "{threads} threads");
+        assert_eq!(a.stats, b.stats, "{threads} threads");
+    }
+}
+
+/// Constant-time workload: every threshold ties, so the winner must be the
+/// lowest threshold regardless of evaluation order (serial or pooled).
+/// Regression test for the `from_evals` tie-breaking rule.
+#[test]
+fn ties_break_toward_the_lowest_threshold() {
+    use nbwp_sim::{KernelStats, RunBreakdown, RunReport};
+
+    struct Flat(Platform);
+    impl PartitionedWorkload for Flat {
+        fn run(&self, _t: f64) -> RunReport {
+            RunReport {
+                breakdown: RunBreakdown {
+                    partition: SimTime::from_millis(1.0),
+                    ..RunBreakdown::default()
+                },
+                cpu_stats: KernelStats::default(),
+                gpu_stats: KernelStats::default(),
+            }
+        }
+        fn space(&self) -> ThresholdSpace {
+            ThresholdSpace::percentage()
+        }
+        fn size(&self) -> usize {
+            100
+        }
+        fn platform(&self) -> &Platform {
+            &self.0
+        }
+    }
+
+    let w = Flat(Platform::k40c_xeon_e5_2650());
+    let rec = Recorder::disabled();
+    for threads in [1, 4] {
+        let pool = Pool::new(threads);
+        let out = exhaustive_pooled(&w, 1.0, &rec, &pool);
+        assert_eq!(out.best_t, 0.0, "{threads} threads");
+        let out = coarse_to_fine_pooled(&w, &rec, &pool);
+        assert_eq!(out.best_t, 0.0, "{threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn exhaustive_search_parity_on_random_matrices(
+        rows in 64usize..512,
+        seed in 0u64..1_000,
+        threads in 2usize..9,
+    ) {
+        let w = spmm_workload(rows, seed);
+        let rec = Recorder::disabled();
+        let serial = digest(&exhaustive_pooled(&w, 5.0, &rec, &Pool::new(1)));
+        let pooled = digest(&exhaustive_pooled(&w, 5.0, &rec, &Pool::new(threads)));
+        prop_assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn spgemm_parity_on_random_matrices(
+        n in 1usize..200,
+        avg in 1usize..10,
+        seed in 0u64..1_000,
+        threads in 2usize..9,
+    ) {
+        let a = sparse_gen::power_law(n, avg, 2.5, seed);
+        prop_assert!(spgemm_parallel(&a, &a, threads) == spgemm(&a, &a));
+    }
+
+    #[test]
+    fn gemm_parity_is_bitwise(
+        n in 1usize..96,
+        seed in 0u64..1_000,
+        threads in 2usize..9,
+    ) {
+        let a = DenseMatrix::random(n, n, seed);
+        let b = DenseMatrix::random(n, n, seed.wrapping_add(1));
+        let serial = gemm(&a, &b);
+        let pooled = gemm_parallel(&a, &b, threads);
+        for (x, y) in serial.data().iter().zip(pooled.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
