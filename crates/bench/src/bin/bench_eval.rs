@@ -1,0 +1,299 @@
+//! `bench_eval` — candidate-pricing harness for the cost-profile layer,
+//! emitting machine-readable `BENCH_eval.json`.
+//!
+//! For each workload (hybrid CC, row-row spmm, scale-free HH-CPU, dense
+//! GEMM) and each search strategy, the harness times the search twice:
+//! once pricing every candidate with a direct run (`O(input)` per
+//! candidate) and once through the workload's cost profile plus the shared
+//! eval cache (`O(1)`-ish per candidate after one profile pass). Per-eval
+//! wall-clock, eval counts, and speedups are recorded per configuration.
+//!
+//! The run doubles as an **exactness gate**: before timing, every profiled
+//! report across the coarse grid plus a fine grid around each coarse
+//! candidate is compared against the direct run. Any difference — a single
+//! bit of any `SimTime` or kernel counter — is reported and the process
+//! exits nonzero, so a CI smoke run enforces the exactness contract.
+//!
+//! Usage: `bench_eval [--quick] [--out <path>] [--seed <u64>]`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use nbwp_core::prelude::*;
+use nbwp_core::search;
+use nbwp_graph::gen as graph_gen;
+use nbwp_sparse::gen as sparse_gen;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    workload: String,
+    strategy: String,
+    mode: String,
+    wall_ms: f64,
+    evaluations: usize,
+    per_eval_us: f64,
+    speedup_vs_direct: f64,
+}
+
+#[derive(Serialize)]
+struct WorkloadInfo {
+    workload: String,
+    size: usize,
+    profile_build_ms: f64,
+    parity_points: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    quick: bool,
+    seed: u64,
+    repetitions: usize,
+    exact: bool,
+    mismatches: Vec<String>,
+    workloads: Vec<WorkloadInfo>,
+    entries: Vec<Entry>,
+}
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        quick: false,
+        out: PathBuf::from("BENCH_eval.json"),
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--out" => parsed.out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                parsed.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench_eval [--quick] [--out path] [--seed u64]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}; try --help"),
+        }
+    }
+    parsed
+}
+
+/// The strategies swept per workload, dispatched by name so direct and
+/// profiled runs share one code path.
+const STRATEGIES: [&str; 4] = [
+    "exhaustive",
+    "coarse_to_fine",
+    "race_then_fine",
+    "gradient_descent",
+];
+
+fn run_direct<W: PartitionedWorkload>(w: &W, strategy: &str, pool: &Pool) -> SearchOutcome {
+    let rec = Recorder::disabled();
+    match strategy {
+        "exhaustive" => search::exhaustive_pooled(w, w.space().fine_step, &rec, pool),
+        "coarse_to_fine" => search::coarse_to_fine_pooled(w, &rec, pool),
+        "race_then_fine" => search::race_then_fine_pooled(w, &rec, pool),
+        "gradient_descent" => search::gradient_descent_pooled(w, 24, &rec, pool),
+        other => unreachable!("unknown strategy {other}"),
+    }
+}
+
+/// Exactness gate: profiled reports must equal direct reports bitwise over
+/// the coarse grid plus a fine grid around every coarse candidate.
+fn parity_check<W: Profilable>(
+    name: &str,
+    w: &W,
+    pw: &ProfiledWorkload<W>,
+    mismatches: &mut Vec<String>,
+) -> usize {
+    let space = w.space();
+    let mut grid = space.coarse_grid();
+    for c in space.coarse_grid() {
+        grid.extend(space.fine_grid(c));
+    }
+    let points = grid.len();
+    for t in grid {
+        let direct = w.run(t);
+        let profiled = pw.run(t);
+        if direct != profiled {
+            mismatches.push(format!(
+                "{name}: profiled report at t = {t} differs from direct run"
+            ));
+        }
+        if direct.total() != profiled.total() {
+            mismatches.push(format!(
+                "{name}: profiled SimTime at t = {t} differs from direct run"
+            ));
+        }
+    }
+    points
+}
+
+/// Times direct-vs-profiled searches for one workload across all
+/// strategies. Profiled runs are timed with a cold cache (the
+/// `ProfiledWorkload` is rebuilt outside the timed region each repetition),
+/// so `per_eval_us` measures genuine curve pricing, not cache replay.
+fn sweep_workload<W: Profilable>(
+    name: &str,
+    w: &W,
+    reps: usize,
+    entries: &mut Vec<Entry>,
+    workloads: &mut Vec<WorkloadInfo>,
+    mismatches: &mut Vec<String>,
+) {
+    let pool = Pool::global();
+
+    let started = Instant::now();
+    let pw = ProfiledWorkload::with_pool(w, pool);
+    let profile_build_ms = started.elapsed().as_secs_f64() * 1e3;
+    let parity_points = parity_check(name, w, &pw, mismatches);
+    workloads.push(WorkloadInfo {
+        workload: name.to_string(),
+        size: w.size(),
+        profile_build_ms,
+        parity_points,
+    });
+
+    for strategy in STRATEGIES {
+        let mut direct_ms = f64::INFINITY;
+        let mut evals = 0;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let out = run_direct(w, strategy, pool);
+            direct_ms = direct_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            evals = out.evaluations();
+        }
+        let mut profiled_ms = f64::INFINITY;
+        let mut profiled_evals = 0;
+        for _ in 0..reps {
+            let fresh = ProfiledWorkload::with_pool(w, pool);
+            let started = Instant::now();
+            let out = run_direct(&fresh, strategy, pool);
+            profiled_ms = profiled_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            profiled_evals = out.evaluations();
+        }
+        if evals != profiled_evals {
+            mismatches.push(format!(
+                "{name}/{strategy}: profiled search performed {profiled_evals} evals vs {evals} direct"
+            ));
+        }
+        let per_eval = |ms: f64, n: usize| ms * 1e3 / n.max(1) as f64;
+        let speedup = direct_ms / profiled_ms.max(1e-9);
+        eprintln!(
+            "  {name:<10} {strategy:<17} direct {:9.2} us/eval | profiled {:8.2} us/eval | x{speedup:.1} ({evals} evals)",
+            per_eval(direct_ms, evals),
+            per_eval(profiled_ms, profiled_evals),
+        );
+        entries.push(Entry {
+            workload: name.to_string(),
+            strategy: strategy.to_string(),
+            mode: "direct".to_string(),
+            wall_ms: direct_ms,
+            evaluations: evals,
+            per_eval_us: per_eval(direct_ms, evals),
+            speedup_vs_direct: 1.0,
+        });
+        entries.push(Entry {
+            workload: name.to_string(),
+            strategy: strategy.to_string(),
+            mode: "profiled".to_string(),
+            wall_ms: profiled_ms,
+            evaluations: profiled_evals,
+            per_eval_us: per_eval(profiled_ms, profiled_evals),
+            speedup_vs_direct: speedup,
+        });
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let reps = if args.quick { 2 } else { 3 };
+    let (cc_n, spmm_n, hh_n, gemm_n) = if args.quick {
+        (40_000, 60_000, 8_000, 512)
+    } else {
+        (150_000, 250_000, 30_000, 1024)
+    };
+    eprintln!(
+        "bench_eval: {} mode, seed {}, best of {} rep(s)",
+        if args.quick { "quick" } else { "full" },
+        args.seed,
+        reps
+    );
+
+    let platform = Platform::k40c_xeon_e5_2650();
+    let mut entries = Vec::new();
+    let mut workloads = Vec::new();
+    let mut mismatches = Vec::new();
+
+    eprintln!("building inputs...");
+    let cc = CcWorkload::new(graph_gen::web(cc_n, 8, args.seed), platform);
+    // spmm is deliberately the largest input: the acceptance criterion is
+    // >= 5x cheaper per-candidate pricing for exhaustive search on it.
+    let spmm = SpmmWorkload::new(sparse_gen::uniform_random(spmm_n, 12, args.seed), platform);
+    let hh = HhWorkload::new(sparse_gen::power_law(hh_n, 10, 2.1, args.seed), platform);
+    let gemm = DenseGemmWorkload::new(gemm_n, platform);
+
+    sweep_workload(
+        "cc",
+        &cc,
+        reps,
+        &mut entries,
+        &mut workloads,
+        &mut mismatches,
+    );
+    sweep_workload(
+        "spmm",
+        &spmm,
+        reps,
+        &mut entries,
+        &mut workloads,
+        &mut mismatches,
+    );
+    sweep_workload(
+        "scalefree",
+        &hh,
+        reps,
+        &mut entries,
+        &mut workloads,
+        &mut mismatches,
+    );
+    sweep_workload(
+        "gemm",
+        &gemm,
+        reps,
+        &mut entries,
+        &mut workloads,
+        &mut mismatches,
+    );
+
+    let report = Report {
+        schema: "nbwp-bench-eval/v1",
+        quick: args.quick,
+        seed: args.seed,
+        repetitions: reps,
+        exact: mismatches.is_empty(),
+        mismatches: mismatches.clone(),
+        workloads,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, json + "\n").expect("failed to write report");
+    eprintln!("wrote {}", args.out.display());
+
+    if !mismatches.is_empty() {
+        for m in &mismatches {
+            eprintln!("EXACTNESS VIOLATION: {m}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("all profiled reports bitwise equal to direct runs");
+}

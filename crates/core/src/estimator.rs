@@ -9,6 +9,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
+use crate::profile::Profilable;
 use crate::search::{self, SearchOutcome};
 
 /// Which Identify strategy (§II Step 2) to run on the sampled input.
@@ -98,6 +99,81 @@ pub fn estimate_pooled<W: Sampleable>(
     rec: &Recorder,
     pool: &Pool,
 ) -> SamplingEstimate {
+    estimate_core(
+        workload,
+        spec,
+        strategy,
+        seed,
+        rec,
+        |sample, rec| match strategy {
+            IdentifyStrategy::CoarseToFine => search::coarse_to_fine_pooled(sample, rec, pool),
+            IdentifyStrategy::RaceThenFine => search::race_then_fine_pooled(sample, rec, pool),
+            IdentifyStrategy::GradientDescent { max_evals } => {
+                search::gradient_descent_pooled(sample, max_evals, rec, pool)
+            }
+            IdentifyStrategy::Exhaustive => {
+                let step = sample.space().fine_step;
+                search::exhaustive_pooled(sample, step, rec, pool)
+            }
+        },
+    )
+}
+
+/// [`estimate_pooled`] with the Identify step priced through a cost profile
+/// of the sample (see [`crate::profile::ProfiledWorkload`]).
+///
+/// The returned estimate is **identical** to [`estimate_pooled`]'s — the
+/// profile prices every candidate bitwise equal to a direct run — but each
+/// candidate costs O(1)-ish instead of a full pass over the sample, so the
+/// search's wall-clock cost collapses from O(evals × sample) to
+/// O(sample + evals). Cache hit/miss counters are flushed into `rec`.
+#[must_use]
+pub fn estimate_profiled<W>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SamplingEstimate
+where
+    W: Sampleable,
+    W::Sample: Profilable,
+{
+    estimate_core(
+        workload,
+        spec,
+        strategy,
+        seed,
+        rec,
+        |sample, rec| match strategy {
+            IdentifyStrategy::CoarseToFine => search::coarse_to_fine_profiled(sample, rec, pool),
+            IdentifyStrategy::RaceThenFine => search::race_then_fine_profiled(sample, rec, pool),
+            IdentifyStrategy::GradientDescent { max_evals } => {
+                search::gradient_descent_profiled(sample, max_evals, rec, pool)
+            }
+            IdentifyStrategy::Exhaustive => {
+                let step = sample.space().fine_step;
+                search::exhaustive_profiled(sample, step, rec, pool)
+            }
+        },
+    )
+}
+
+/// The shared Sample → Identify → Extrapolate pipeline; `identify` runs the
+/// chosen search strategy on the sampled input.
+fn estimate_core<W, F>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    rec: &Recorder,
+    identify: F,
+) -> SamplingEstimate
+where
+    W: Sampleable,
+    F: FnOnce(&W::Sample, &Recorder) -> SearchOutcome,
+{
     let mut rng = SmallRng::seed_from_u64(seed);
     let estimate_span = rec.open_with(
         "estimate",
@@ -120,17 +196,7 @@ pub fn estimate_pooled<W: Sampleable>(
     }
     // Step 2: Identify on the sample.
     let identify_span = rec.open("identify");
-    let outcome: SearchOutcome = match strategy {
-        IdentifyStrategy::CoarseToFine => search::coarse_to_fine_pooled(&sample, rec, pool),
-        IdentifyStrategy::RaceThenFine => search::race_then_fine_pooled(&sample, rec, pool),
-        IdentifyStrategy::GradientDescent { max_evals } => {
-            search::gradient_descent_pooled(&sample, max_evals, rec, pool)
-        }
-        IdentifyStrategy::Exhaustive => {
-            let step = sample.space().fine_step;
-            search::exhaustive_pooled(&sample, step, rec, pool)
-        }
-    };
+    let outcome: SearchOutcome = identify(&sample, rec);
     rec.annotate(
         identify_span,
         vec![
@@ -335,9 +401,47 @@ pub fn estimate_repeated<W: Sampleable>(
     assert!(repeats > 0, "need at least one repeat");
     // Repeats are independent estimations on independent samples: dispatch
     // them across the pool; the ordered map keeps run order = seed order.
-    let mut runs: Vec<SamplingEstimate> = Pool::global().map_indices(repeats, |k| {
+    let runs: Vec<SamplingEstimate> = Pool::global().map_indices(repeats, |k| {
         estimate(workload, spec, strategy, seed.wrapping_add(k as u64))
     });
+    median_estimate(runs)
+}
+
+/// [`estimate_repeated`] with every repeat's Identify step priced through a
+/// cost profile of its sample (see [`estimate_profiled`]). Same estimate,
+/// lower wall-clock cost per repeat.
+///
+/// # Panics
+/// Panics if `repeats == 0`.
+#[must_use]
+pub fn estimate_repeated_profiled<W>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    repeats: usize,
+) -> SamplingEstimate
+where
+    W: Sampleable,
+    W::Sample: Profilable,
+{
+    assert!(repeats > 0, "need at least one repeat");
+    let runs: Vec<SamplingEstimate> = Pool::global().map_indices(repeats, |k| {
+        estimate_profiled(
+            workload,
+            spec,
+            strategy,
+            seed.wrapping_add(k as u64),
+            &Recorder::disabled(),
+            Pool::global(),
+        )
+    });
+    median_estimate(runs)
+}
+
+/// Median-threshold estimate of a batch of repeats, with overheads and
+/// evaluation counts summed (every miniature run costs simulated time).
+fn median_estimate(mut runs: Vec<SamplingEstimate>) -> SamplingEstimate {
     runs.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
     let total_overhead: SimTime = runs.iter().map(|r| r.overhead).sum();
     let total_evals: usize = runs.iter().map(|r| r.evaluations).sum();

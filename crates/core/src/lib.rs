@@ -35,9 +35,11 @@
 pub mod baselines;
 pub mod energy;
 pub mod estimator;
+pub mod evalcache;
 pub mod experiment;
 pub mod extrapolate;
 pub mod framework;
+pub mod profile;
 pub mod report;
 pub mod search;
 pub mod workloads;
@@ -47,19 +49,22 @@ pub mod prelude {
     pub use crate::baselines::{self, naive_average, naive_static};
     pub use crate::energy::{exhaustive_energy, EnergySweep, PowerModel};
     pub use crate::estimator::{
-        estimate, estimate_pooled, estimate_repeated, estimate_with, IdentifyStrategy,
-        SamplingEstimate,
+        estimate, estimate_pooled, estimate_profiled, estimate_repeated,
+        estimate_repeated_profiled, estimate_with, IdentifyStrategy, SamplingEstimate,
     };
+    pub use crate::evalcache::EvalCache;
     pub use crate::experiment::{
-        fill_naive_average, run_corpus, run_one, run_one_with, sensitivity, summarize,
-        ExperimentConfig, ExperimentRow, SensitivityPoint, Summary,
+        fill_naive_average, run_corpus, run_one, run_one_profiled, run_one_with, sensitivity,
+        summarize, ExperimentConfig, ExperimentRow, SensitivityPoint, Summary,
     };
     pub use crate::extrapolate::{calibrate_extrapolator, fit_power, Extrapolator};
     pub use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
+    pub use crate::profile::{Profilable, ProfiledWorkload};
     pub use crate::search::{
-        coarse_to_fine, coarse_to_fine_pooled, coarse_to_fine_with, exhaustive, exhaustive_pooled,
-        exhaustive_with, gradient_descent, gradient_descent_pooled, gradient_descent_with,
-        race_then_fine, race_then_fine_pooled, race_then_fine_with, SearchOutcome,
+        coarse_to_fine, coarse_to_fine_pooled, coarse_to_fine_profiled, coarse_to_fine_with,
+        exhaustive, exhaustive_pooled, exhaustive_profiled, exhaustive_with, gradient_descent,
+        gradient_descent_pooled, gradient_descent_profiled, gradient_descent_with, race_then_fine,
+        race_then_fine_pooled, race_then_fine_profiled, race_then_fine_with, SearchOutcome,
     };
     pub use crate::workloads::{
         CcSampler, CcWorkload, DenseGemmWorkload, HhSampler, HhWorkload, ListRankingWorkload,

@@ -1,0 +1,287 @@
+//! Cost-profile evaluation: price thresholds from a one-time profile
+//! instead of re-running the workload per candidate.
+//!
+//! The search strategies evaluate dozens of candidate thresholds, and every
+//! [`PartitionedWorkload::run`] re-walks the input (`O(sample)` per
+//! candidate). A [`Profilable`] workload instead records its per-unit cost
+//! contributions **once** into prefix-sum cost curves; any threshold is
+//! then priced by curve lookups. The contract is *bitwise exactness*:
+//! `run_profiled(&profile, t)` must return a [`RunReport`] equal — every
+//! counter, every `SimTime` — to `run(t)`. Both paths feed identical
+//! integer counters through the same platform pricing functions, so the
+//! equality is structural, not approximate (the property tests assert it
+//! per field on random inputs).
+//!
+//! [`ProfiledWorkload`] packages a profile with a bounded, quantized-key
+//! LRU cache of whole reports (shared across whatever strategies evaluate
+//! it) and implements [`PartitionedWorkload`], so every existing search
+//! strategy, estimator, and baseline runs unchanged on top of it — the
+//! `*_profiled` entry points in [`crate::search`] and
+//! [`crate::estimator`] do exactly that. Search pricing cost drops from
+//! `O(evals × sample)` to `O(sample + evals)`.
+//!
+//! ```
+//! use nbwp_core::prelude::*;
+//! use nbwp_sparse::gen;
+//!
+//! let w = SpmmWorkload::new(gen::uniform_random(300, 6, 1), Platform::k40c_xeon_e5_2650());
+//! let pw = ProfiledWorkload::new(&w);
+//! // Profiled pricing is bitwise-exact:
+//! assert_eq!(pw.run(37.0), w.run(37.0));
+//! // ...and repeated evaluations hit the cache:
+//! let _ = pw.run(37.0);
+//! assert_eq!(pw.cache_hits(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use nbwp_par::Pool;
+use nbwp_sim::{Platform, RunReport};
+use nbwp_trace::Recorder;
+
+use crate::evalcache::{self, EvalCache};
+use crate::framework::{PartitionedWorkload, ThresholdSpace};
+
+/// A workload whose per-threshold cost can be computed from a reusable
+/// profile built in one instrumented pass.
+///
+/// Implementations must uphold the **exactness contract**:
+/// `run_profiled(&self.build_profile(pool), t)` is bitwise equal to
+/// `run(t)` for every admissible `t` — same counters, same `SimTime`s.
+/// The profiled path may only reorganize *where* integer counters come
+/// from (prefix-sum curves, memoized control-flow replays), never change
+/// their values or the pricing functions applied to them.
+pub trait Profilable: PartitionedWorkload {
+    /// The reusable profile. `Send + Sync` so one profile serves parallel
+    /// candidate evaluations.
+    type Profile: Send + Sync;
+
+    /// Builds the profile in one pass over the input. `pool` is available
+    /// for workloads whose profile pass has parallel structure; using it
+    /// must not change the profile (the `nbwp-par` determinism contract).
+    fn build_profile(&self, pool: &Pool) -> Self::Profile;
+
+    /// Prices one run at threshold `t` from the profile. Must be bitwise
+    /// equal to [`PartitionedWorkload::run`] at the same `t`.
+    fn run_profiled(&self, profile: &Self::Profile, t: f64) -> RunReport;
+}
+
+/// A [`Profilable`] workload bundled with its built profile and a bounded
+/// evaluation cache, exposed as a [`PartitionedWorkload`] so the existing
+/// strategies run on it unchanged.
+///
+/// The cache is keyed by [`evalcache::quantize`]d thresholds — the same
+/// buckets the strategies use to dedup candidates, so a strategy-level
+/// "already evaluated" and a cache hit agree by construction. Hit/miss
+/// totals are kept in atomics (the pool shares `&self` across workers) and
+/// exported to a trace recorder via [`ProfiledWorkload::flush_metrics`].
+///
+/// Determinism: strategies dedup each parallel batch by quantized key
+/// before dispatch, so no two in-flight evaluations share a bucket, and
+/// sequential batches observe a settled cache — hit/miss counts (and
+/// therefore flushed metrics) are identical for every `NBWP_THREADS`.
+pub struct ProfiledWorkload<'w, W: Profilable> {
+    inner: &'w W,
+    profile: W::Profile,
+    space: ThresholdSpace,
+    cache: Mutex<EvalCache<RunReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'w, W: Profilable> ProfiledWorkload<'w, W> {
+    /// Profiles `workload` on the global pool with the default cache bound.
+    #[must_use]
+    pub fn new(workload: &'w W) -> Self {
+        Self::with_pool(workload, Pool::global())
+    }
+
+    /// Profiles `workload`, building the profile through `pool`.
+    #[must_use]
+    pub fn with_pool(workload: &'w W, pool: &Pool) -> Self {
+        Self::with_capacity(workload, pool, evalcache::DEFAULT_CAPACITY)
+    }
+
+    /// [`ProfiledWorkload::with_pool`] with an explicit cache bound.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(workload: &'w W, pool: &Pool, capacity: usize) -> Self {
+        ProfiledWorkload {
+            profile: workload.build_profile(pool),
+            space: workload.space(),
+            inner: workload,
+            cache: Mutex::new(EvalCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped workload.
+    #[must_use]
+    pub fn inner(&self) -> &W {
+        self.inner
+    }
+
+    /// The built profile.
+    #[must_use]
+    pub fn profile(&self) -> &W::Profile {
+        &self.profile
+    }
+
+    /// Evaluations answered from the cache so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that had to be priced from the profile so far.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Exports the cache totals into `rec`'s metrics registry as the
+    /// `profile.cache_hit` / `profile.cache_miss` counters. Call once after
+    /// a search completes (the recorder is single-threaded, so the counters
+    /// cannot be bumped from inside the pooled evaluations).
+    pub fn flush_metrics(&self, rec: &Recorder) {
+        rec.counter_add("profile.cache_hit", self.cache_hits());
+        rec.counter_add("profile.cache_miss", self.cache_misses());
+    }
+}
+
+impl<W: Profilable> PartitionedWorkload for ProfiledWorkload<'_, W> {
+    fn run(&self, t: f64) -> RunReport {
+        let key = evalcache::quantize(t, &self.space);
+        if let Some(report) = self.cache.lock().expect("eval cache poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return report;
+        }
+        let report = self.inner.run_profiled(&self.profile, t);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("eval cache poisoned")
+            .insert(key, report.clone());
+        report
+    }
+
+    fn space(&self) -> ThresholdSpace {
+        self.space
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn platform(&self) -> &Platform {
+        self.inner.platform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbwp_sim::{RunBreakdown, SimTime};
+    use std::sync::atomic::AtomicUsize;
+
+    fn test_platform() -> &'static Platform {
+        static P: std::sync::OnceLock<Platform> = std::sync::OnceLock::new();
+        P.get_or_init(Platform::k40c_xeon_e5_2650)
+    }
+
+    /// Counts how often each path executes, to pin the cache behaviour.
+    struct Counting {
+        direct_runs: AtomicUsize,
+        profiled_runs: AtomicUsize,
+    }
+
+    impl Counting {
+        fn new() -> Self {
+            Counting {
+                direct_runs: AtomicUsize::new(0),
+                profiled_runs: AtomicUsize::new(0),
+            }
+        }
+        fn report(t: f64) -> RunReport {
+            RunReport {
+                breakdown: RunBreakdown {
+                    cpu_compute: SimTime::from_millis(1.0 + (t - 40.0).abs()),
+                    ..RunBreakdown::default()
+                },
+                ..RunReport::default()
+            }
+        }
+    }
+
+    impl PartitionedWorkload for Counting {
+        fn run(&self, t: f64) -> RunReport {
+            self.direct_runs.fetch_add(1, Ordering::Relaxed);
+            Self::report(t)
+        }
+        fn space(&self) -> ThresholdSpace {
+            ThresholdSpace::percentage()
+        }
+        fn size(&self) -> usize {
+            100
+        }
+        fn platform(&self) -> &Platform {
+            test_platform()
+        }
+    }
+
+    impl Profilable for Counting {
+        type Profile = ();
+        fn build_profile(&self, _pool: &Pool) {}
+        fn run_profiled(&self, (): &(), t: f64) -> RunReport {
+            self.profiled_runs.fetch_add(1, Ordering::Relaxed);
+            Self::report(t)
+        }
+    }
+
+    #[test]
+    fn cached_evaluations_do_not_recompute() {
+        let w = Counting::new();
+        let pw = ProfiledWorkload::new(&w);
+        let a = pw.run(25.0);
+        let b = pw.run(25.0);
+        let c = pw.run(30.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(w.profiled_runs.load(Ordering::Relaxed), 2);
+        assert_eq!(w.direct_runs.load(Ordering::Relaxed), 0);
+        assert_eq!(pw.cache_hits(), 1);
+        assert_eq!(pw.cache_misses(), 2);
+    }
+
+    #[test]
+    fn metrics_flush_into_the_registry() {
+        let w = Counting::new();
+        let pw = ProfiledWorkload::new(&w);
+        let _ = pw.run(10.0);
+        let _ = pw.run(10.0);
+        let _ = pw.run(20.0);
+        let rec = Recorder::new();
+        pw.flush_metrics(&rec);
+        let trace = rec.finish();
+        assert_eq!(trace.metrics.counter("profile.cache_hit"), Some(1));
+        assert_eq!(trace.metrics.counter("profile.cache_miss"), Some(2));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_still_answers() {
+        let w = Counting::new();
+        let pw = ProfiledWorkload::with_capacity(&w, Pool::global(), 2);
+        for t in [1.0, 2.0, 3.0, 4.0] {
+            let _ = pw.run(t);
+        }
+        // 1.0 and 2.0 were evicted: re-pricing them is a miss.
+        let _ = pw.run(1.0);
+        assert_eq!(pw.cache_misses(), 5);
+        let _ = pw.run(4.0);
+        assert_eq!(pw.cache_hits(), 1);
+    }
+}

@@ -32,7 +32,9 @@ use nbwp_par::Pool;
 use nbwp_sim::{RunReport, SimTime};
 use nbwp_trace::{ArgValue, Recorder};
 
+use crate::evalcache::quantize;
 use crate::framework::{PartitionedWorkload, ThresholdSpace};
+use crate::profile::{Profilable, ProfiledWorkload};
 
 /// Outcome of a threshold search.
 #[derive(Clone, Debug)]
@@ -413,14 +415,69 @@ pub fn gradient_descent_pooled(
     SearchOutcome::from_evals(evals)
 }
 
-/// Tolerant equality for grid membership (absolute for linear spaces,
-/// relative for logarithmic ones).
+/// Tolerant equality for grid membership: two candidates are the same when
+/// they share a quantized threshold bucket (absolute 1e-9 resolution for
+/// linear spaces, relative 1e-6 for logarithmic ones — see
+/// [`crate::evalcache::quantize`]). This is the *same* definition the
+/// profiled evaluation cache keys on, so strategy-level dedup and cache
+/// hits can never disagree about which candidates are distinct.
 fn close(a: f64, b: f64, space: &ThresholdSpace) -> bool {
-    if space.logarithmic {
-        (a / b - 1.0).abs() < 1e-6
-    } else {
-        (a - b).abs() < 1e-9
-    }
+    quantize(a, space) == quantize(b, space)
+}
+
+/// [`exhaustive_pooled`] over a one-time cost profile of `w`: the profile is
+/// built once (through `pool`), every candidate is priced from it — bitwise
+/// equal to direct evaluation — and repeated thresholds come from the
+/// bounded eval cache. Cache totals land in `rec`'s metrics as
+/// `profile.cache_hit` / `profile.cache_miss`.
+#[must_use]
+pub fn exhaustive_profiled(
+    w: &impl Profilable,
+    step: f64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    let pw = ProfiledWorkload::with_pool(w, pool);
+    let out = exhaustive_pooled(&pw, step, rec, pool);
+    pw.flush_metrics(rec);
+    out
+}
+
+/// [`coarse_to_fine_pooled`] over a one-time cost profile of `w` (see
+/// [`exhaustive_profiled`] for the contract).
+#[must_use]
+pub fn coarse_to_fine_profiled(w: &impl Profilable, rec: &Recorder, pool: &Pool) -> SearchOutcome {
+    let pw = ProfiledWorkload::with_pool(w, pool);
+    let out = coarse_to_fine_pooled(&pw, rec, pool);
+    pw.flush_metrics(rec);
+    out
+}
+
+/// [`race_then_fine_pooled`] over a one-time cost profile of `w` (see
+/// [`exhaustive_profiled`] for the contract).
+#[must_use]
+pub fn race_then_fine_profiled(w: &impl Profilable, rec: &Recorder, pool: &Pool) -> SearchOutcome {
+    let pw = ProfiledWorkload::with_pool(w, pool);
+    let out = race_then_fine_pooled(&pw, rec, pool);
+    pw.flush_metrics(rec);
+    out
+}
+
+/// [`gradient_descent_pooled`] over a one-time cost profile of `w` (see
+/// [`exhaustive_profiled`] for the contract). Hill climbing revisits
+/// candidates across its three descents, so the eval cache pays off even
+/// within a single search.
+#[must_use]
+pub fn gradient_descent_profiled(
+    w: &impl Profilable,
+    max_evals: usize,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    let pw = ProfiledWorkload::with_pool(w, pool);
+    let out = gradient_descent_pooled(&pw, max_evals, rec, pool);
+    pw.flush_metrics(rec);
+    out
 }
 
 #[cfg(test)]

@@ -4,12 +4,14 @@
 
 use std::sync::Arc;
 
-use nbwp_graph::cc::hybrid_cc;
+use nbwp_graph::cc::{hybrid_cc, CcCostProfile};
 use nbwp_graph::{sample as gsample, Graph};
+use nbwp_par::Pool;
 use nbwp_sim::{KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
+use crate::profile::Profilable;
 
 /// How Step 1 builds the miniature graph.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -68,6 +70,21 @@ impl CcWorkload {
     #[must_use]
     pub fn run_full(&self, t: f64) -> nbwp_graph::cc::HybridCcOutcome {
         hybrid_cc(&self.graph, t, &self.platform, self.host_threads)
+    }
+}
+
+impl Profilable for CcWorkload {
+    type Profile = CcCostProfile;
+
+    fn build_profile(&self, _pool: &Pool) -> CcCostProfile {
+        // One O(n + arcs) serial pass builds the split-indexed arc curves;
+        // the per-split control-flow residuals (SV rounds, DFS chunk
+        // balance) are replayed lazily and memoized inside the profile.
+        CcCostProfile::new(&self.graph)
+    }
+
+    fn run_profiled(&self, profile: &CcCostProfile, t: f64) -> RunReport {
+        profile.report_at(&self.graph, t, &self.platform)
     }
 }
 
@@ -150,6 +167,15 @@ mod tests {
         assert!(r.total().as_secs() > 0.0);
         assert!(!r.gpu_stats.is_empty());
         assert!(!r.cpu_stats.is_empty());
+    }
+
+    #[test]
+    fn profiled_run_is_bitwise_equal_to_direct() {
+        let w = workload(gen::web(1500, 5, 9));
+        let p = w.build_profile(nbwp_par::Pool::global());
+        for t in [0.0, 1.0, 12.5, 40.0, 77.7, 100.0] {
+            assert_eq!(w.run_profiled(&p, t), w.run(t), "t = {t}");
+        }
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! Regular work — the case where even *NaiveStatic* is near-optimal.
 
 use nbwp_dense::hybrid::hybrid_gemm_cost;
+use nbwp_par::Pool;
 use nbwp_sim::{KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
+use crate::profile::Profilable;
 
 /// Hybrid dense GEMM (`C = A × B`, all square `n × n`) as a partitioned
 /// workload. Being perfectly regular, its cost is a closed form and no
@@ -49,6 +51,21 @@ impl PartitionedWorkload for DenseGemmWorkload {
 
     fn platform(&self) -> &Platform {
         &self.platform
+    }
+}
+
+impl Profilable for DenseGemmWorkload {
+    /// Dense GEMM cost is already a closed form in `(n, k, m, t)` — the
+    /// "curve" is the formula itself, so the profile carries no state and
+    /// profiled pricing delegates to the closed form. Wrapping in
+    /// [`crate::profile::ProfiledWorkload`] still adds the shared eval
+    /// cache (repeated candidates are answered without re-pricing).
+    type Profile = ();
+
+    fn build_profile(&self, _pool: &Pool) -> Self::Profile {}
+
+    fn run_profiled(&self, (): &Self::Profile, t: f64) -> RunReport {
+        self.run(t)
     }
 }
 

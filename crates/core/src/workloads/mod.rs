@@ -14,7 +14,7 @@ pub use cc::{CcSampler, CcWorkload};
 pub use dense::DenseGemmWorkload;
 pub use list::ListRankingWorkload;
 pub use multi::{MultiPlatform, MultiRunReport, MultiSpmmWorkload, Shares};
-pub use scalefree::{HhSampler, HhWorkload};
+pub use scalefree::{HhProfile, HhSampler, HhWorkload};
 pub use sort::SortWorkload;
-pub use spmm::SpmmWorkload;
+pub use spmm::{SpmmProfile, SpmmWorkload};
 pub use spmv::SpmvWorkload;

@@ -3,10 +3,12 @@
 //! than `t` nonzeros are "high" and processed on the CPU, the rest on the
 //! GPU, with the four masked partial products of Phases II/III.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
+use nbwp_par::Pool;
 use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport, SimTime};
-use nbwp_sparse::masked::{masked_row_profile, DensitySplit, HhProducts};
+use nbwp_sparse::masked::{hh_row_profiles, DensitySplit, HhProducts};
 use nbwp_sparse::sample::{sample_rows_contract, sample_rows_importance};
 use nbwp_sparse::spgemm::{spgemm, stats_for_rows, ENTRY_BYTES};
 use nbwp_sparse::Csr;
@@ -14,6 +16,7 @@ use rand::rngs::SmallRng;
 
 use crate::extrapolate::Extrapolator;
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
+use crate::profile::Profilable;
 
 /// The offline best-fit extrapolation (§V.A.3): finds the fraction of
 /// sample rows classified low-density by `t_sample` and returns the degree
@@ -162,21 +165,21 @@ impl HhWorkload {
         );
         (combined, self.run(t))
     }
-}
 
-impl PartitionedWorkload for HhWorkload {
-    fn run(&self, t: f64) -> RunReport {
-        let t = t.max(0.0) as u64;
+    /// Prices Algorithm HH-CPU at the integer degree threshold `t`. The
+    /// report depends on `t` only through the high/low row mask, so it is
+    /// constant on each interval between consecutive distinct row degrees —
+    /// the fact [`HhProfile`] exploits to memoize per degree class.
+    fn report_for_threshold(&self, t: u64) -> RunReport {
         let split = DensitySplit::at_threshold(&self.a, t);
-        let (hi, lo) = (split.high.clone(), split.low());
+        let hi = split.high.clone();
         let b_bytes = self.a.size_bytes();
 
         // Phase II: A_H×B_H on CPU, A_L×B_L on GPU.
         // Phase III: A_H×B_L on CPU, A_L×B_H on GPU.
-        let p_hh = masked_row_profile(&self.a, &self.a, &hi, &hi);
-        let p_hl = masked_row_profile(&self.a, &self.a, &hi, &lo);
-        let p_lh = masked_row_profile(&self.a, &self.a, &lo, &hi);
-        let p_ll = masked_row_profile(&self.a, &self.a, &lo, &lo);
+        // One fused traversal prices all four masked products.
+        let profiles = hh_row_profiles(&self.a, &self.a, &hi, &hi);
+        let (p_hh, p_hl, p_lh, p_ll) = (profiles.hh, profiles.hl, profiles.lh, profiles.ll);
 
         let nonzero_rows = |p: &[nbwp_sparse::spgemm::RowCost]| {
             p.iter()
@@ -247,6 +250,12 @@ impl PartitionedWorkload for HhWorkload {
             gpu_stats,
         }
     }
+}
+
+impl PartitionedWorkload for HhWorkload {
+    fn run(&self, t: f64) -> RunReport {
+        self.report_for_threshold(t.max(0.0) as u64)
+    }
 
     fn space(&self) -> ThresholdSpace {
         ThresholdSpace::degrees(1.0, self.max_degree as f64)
@@ -258,6 +267,67 @@ impl PartitionedWorkload for HhWorkload {
 
     fn platform(&self) -> &Platform {
         &self.platform
+    }
+}
+
+/// Cost profile for [`HhWorkload`]: the sorted distinct row degrees of `A`.
+///
+/// The HH-CPU report depends on the threshold only through the high-row mask
+/// `{r : nnz(r) > t}`, which is constant between consecutive distinct
+/// degrees. The profile therefore maps each threshold to its *degree class*
+/// and memoizes one fused pricing pass per class — every further threshold
+/// in the same class is answered from the memo, bitwise equal to a direct
+/// run.
+pub struct HhProfile {
+    /// Sorted, deduplicated row degrees of `A`.
+    classes: Vec<u64>,
+    /// Reports memoized per degree class (key: `partition_point` index).
+    memo: Mutex<HashMap<usize, RunReport>>,
+}
+
+impl HhProfile {
+    /// Number of distinct degree classes (distinct reports the workload can
+    /// ever produce, plus the everything-low class above the max degree).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes.len() + 1
+    }
+}
+
+impl Profilable for HhWorkload {
+    type Profile = HhProfile;
+
+    fn build_profile(&self, pool: &Pool) -> HhProfile {
+        let n = self.a.rows();
+        let parts = pool.threads().max(1);
+        let mut classes: Vec<u64> = pool
+            .map_chunks(n, parts, |range| {
+                range
+                    .map(|r| self.a.row_nnz(r) as u64)
+                    .collect::<Vec<u64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
+        HhProfile {
+            classes,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn run_profiled(&self, profile: &HhProfile, t: f64) -> RunReport {
+        let t = t.max(0.0) as u64;
+        // All thresholds in the same degree class induce the same high-row
+        // mask, hence the same report.
+        let class = profile.classes.partition_point(|&d| d <= t);
+        if let Some(report) = profile.memo.lock().unwrap().get(&class) {
+            return report.clone();
+        }
+        let report = self.report_for_threshold(t);
+        profile.memo.lock().unwrap().insert(class, report.clone());
+        report
     }
 }
 
@@ -357,6 +427,28 @@ mod tests {
         for t in [1.0, 3.0, 9.0, 30.0] {
             assert_eq!(total_at(t), reference, "flops conserved at t = {t}");
         }
+    }
+
+    #[test]
+    fn profiled_run_is_bitwise_equal_to_direct() {
+        let w = workload(gen::power_law(600, 10, 2.1, 11));
+        let p = w.build_profile(nbwp_par::Pool::global());
+        let max = w.max_degree() as f64;
+        for t in [0.0, 1.0, 2.0, 3.7, 9.0, max / 2.0, max, max + 5.0] {
+            assert_eq!(w.run_profiled(&p, t), w.run(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn degree_classes_bound_distinct_reports() {
+        let w = workload(gen::power_law(300, 8, 2.2, 12));
+        let p = w.build_profile(nbwp_par::Pool::global());
+        // Price every integer threshold: the memo can never hold more
+        // entries than there are degree classes.
+        for t in 0..=(w.max_degree() + 3) {
+            let _ = w.run_profiled(&p, t as f64);
+        }
+        assert!(p.memo.lock().unwrap().len() <= p.classes());
     }
 
     #[test]

@@ -5,14 +5,18 @@
 
 use std::sync::Arc;
 
+use nbwp_par::Pool;
 use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport, SimTime};
 use nbwp_sparse::ops::{load_vector, prefix_sums, split_row_for_load};
 use nbwp_sparse::sample::sample_submatrix_frac;
-use nbwp_sparse::spgemm::{row_profile, spgemm_range, stats_for_rows, RowCost, ENTRY_BYTES};
+use nbwp_sparse::spgemm::{
+    row_profile, spgemm_range, stats_for_rows, RowCost, RowCurves, ENTRY_BYTES,
+};
 use nbwp_sparse::Csr;
 use rand::rngs::SmallRng;
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
+use crate::profile::Profilable;
 
 /// The spmm workload over a fixed matrix (`B = A`, as in the paper) and
 /// platform. The exact per-row cost profile is computed once (a symbolic
@@ -151,6 +155,55 @@ impl SpmmWorkload {
     }
 }
 
+/// Cost profile of an [`SpmmWorkload`]: prefix-sum curves over the per-row
+/// costs (every slice sum in [`stats_for_rows`] and the transfer sizing
+/// becomes an O(1) curve lookup; the warp-padded SIMD term has its own
+/// exact prefix/suffix curves) plus the split-independent Phase I price.
+pub struct SpmmProfile {
+    curves: RowCurves,
+    partition: SimTime,
+}
+
+impl Profilable for SpmmWorkload {
+    type Profile = SpmmProfile;
+
+    fn build_profile(&self, pool: &Pool) -> SpmmProfile {
+        let (curves, partition) = pool.join(
+            || RowCurves::new(&self.profile, self.a.size_bytes()),
+            || self.partition_cost(),
+        );
+        SpmmProfile { curves, partition }
+    }
+
+    fn run_profiled(&self, profile: &SpmmProfile, r: f64) -> RunReport {
+        let split = self.split_row(r);
+        let b_bytes = self.a.size_bytes();
+        let cpu_stats = profile.curves.stats_prefix(split);
+        let gpu_stats = profile.curves.stats_suffix(split);
+        let gpu_rows = self.a.rows() - split;
+        let transfer_in = if gpu_rows == 0 {
+            SimTime::ZERO
+        } else {
+            let a2_bytes =
+                profile.curves.a_nnz().suffix_sum(split) * ENTRY_BYTES + 8 * gpu_rows as u64;
+            self.platform.transfer(a2_bytes + b_bytes)
+        };
+        let c2_bytes = profile.curves.c_nnz().suffix_sum(split) * ENTRY_BYTES;
+        RunReport {
+            breakdown: RunBreakdown {
+                partition: profile.partition,
+                transfer_in,
+                cpu_compute: self.platform.cpu_time(&cpu_stats),
+                gpu_compute: self.platform.gpu_time(&gpu_stats),
+                transfer_out: self.platform.transfer(c2_bytes),
+                merge: SimTime::ZERO,
+            },
+            cpu_stats,
+            gpu_stats,
+        }
+    }
+}
+
 impl PartitionedWorkload for SpmmWorkload {
     fn run(&self, r: f64) -> RunReport {
         self.report_for_split(self.split_row(r))
@@ -251,6 +304,15 @@ mod tests {
         let all_cpu = w.run(100.0);
         assert!(all_cpu.gpu_stats.is_empty());
         assert!(all_cpu.breakdown.transfer_in.is_zero());
+    }
+
+    #[test]
+    fn profiled_run_is_bitwise_equal_to_direct() {
+        let w = workload(gen::power_law(400, 9, 2.1, 7));
+        let p = w.build_profile(Pool::global());
+        for r in [0.0, 0.5, 12.5, 33.0, 50.0, 66.6, 99.0, 100.0] {
+            assert_eq!(w.run_profiled(&p, r), w.run(r), "split {r}");
+        }
     }
 
     #[test]

@@ -106,6 +106,78 @@ pub fn gemm_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> DenseM
     DenseMatrix::from_vec(n, b.cols(), data)
 }
 
+/// Instrumented blocked GEMM over rows `lo..hi`: executes exactly like
+/// [`gemm_blocked_range`] while counting every event under the accounting
+/// conventions of [`stats_for_rows`], so the measured [`KernelStats`] are
+/// **identical** to the closed form (tested below). The conventions, as
+/// counted here:
+///
+/// * `A(i, p)` is charged as a read (and as one `int_op`, and as working-set
+///   first-touch) only at the row's first `jj` tile — later tiles hit cache;
+/// * each `B` tile is charged once per `(ii, pp, jj)` tile visit — `B` is
+///   re-streamed once per row band;
+/// * `C(i, j)` is charged as a write (and first-touch) at its first `pp`
+///   tile — the accumulator stays resident across the `pp` sweep;
+/// * one parallel item per `(i, jj)` tile; `simd_padded == flops` (regular).
+///
+/// `b_bytes` is the resident size of `B`, seeding the working set.
+///
+/// # Panics
+/// Panics on shape mismatch or an out-of-bounds row range.
+#[must_use]
+pub fn gemm_blocked_instrumented(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    lo: usize,
+    hi: usize,
+    b_bytes: u64,
+) -> (DenseMatrix, KernelStats) {
+    assert_eq!(a.cols(), b.rows(), "incompatible GEMM shapes");
+    assert!(lo <= hi && hi <= a.rows(), "row range out of bounds");
+    let (k, m) = (a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(hi - lo, m);
+    let mut s = KernelStats::default();
+    let mut touched_bytes = b_bytes;
+    for ii in (lo..hi).step_by(TILE) {
+        for pp in (0..k).step_by(TILE) {
+            for jj in (0..m).step_by(TILE) {
+                let i_hi = (ii + TILE).min(hi);
+                let p_hi = (pp + TILE).min(k);
+                let j_hi = (jj + TILE).min(m);
+                // B tile streamed once per (ii, pp, jj) visit.
+                s.mem_read_bytes += 8 * ((p_hi - pp) * (j_hi - jj)) as u64;
+                for i in ii..i_hi {
+                    if pp == 0 && jj == 0 {
+                        s.parallel_items += m.div_ceil(TILE) as u64;
+                    }
+                    for p in pp..p_hi {
+                        if jj == 0 {
+                            s.int_ops += 1;
+                            s.mem_read_bytes += 8;
+                            touched_bytes += 8;
+                        }
+                        let av = a.get(i, p);
+                        let brow = b.row(p);
+                        let crow = c.row_mut(i - lo);
+                        for j in jj..j_hi {
+                            crow[j] += av * brow[j];
+                            s.flops += 2;
+                            if p == 0 {
+                                s.mem_write_bytes += 8;
+                                touched_bytes += 8;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    s.simd_padded_flops = s.flops;
+    s.kernel_launches = u64::from(hi > lo);
+    s.working_set_bytes = if hi > lo { touched_bytes } else { 0 };
+    (c, s)
+}
+
 /// Closed-form execution counters for multiplying `rows` rows of an
 /// `(· × k)` by a `(k × m)` matrix — dense GEMM is perfectly regular, so
 /// this *is* the measured profile.
@@ -204,6 +276,32 @@ mod tests {
         }
         let a = DenseMatrix::random(4, 4, 9);
         assert!(gemm(&a, &i4).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn instrumented_measures_the_closed_form() {
+        // Shapes straddling tile boundaries, plus full/empty row ranges.
+        for (n, k, m, lo, hi) in [
+            (70, 65, 40, 0, 70),
+            (64, 32, 32, 0, 64),
+            (33, 17, 50, 5, 33),
+            (40, 40, 40, 8, 8),
+            (40, 40, 40, 12, 31),
+        ] {
+            let a = DenseMatrix::random(n, k, 11);
+            let b = DenseMatrix::random(k, m, 12);
+            let b_bytes = (8 * k * m) as u64;
+            let (c, measured) = gemm_blocked_instrumented(&a, &b, lo, hi, b_bytes);
+            assert_eq!(
+                measured,
+                stats_for_rows(hi - lo, k, m, b_bytes),
+                "shape ({n},{k},{m}) rows {lo}..{hi}"
+            );
+            assert!(
+                c.max_abs_diff(&gemm_blocked_range(&a, &b, lo, hi)) == 0.0,
+                "numeric result must be bit-identical to the uninstrumented kernel"
+            );
+        }
     }
 
     #[test]

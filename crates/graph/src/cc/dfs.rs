@@ -126,6 +126,79 @@ pub fn cc_dfs_chunked(g: &Graph, chunks: usize) -> DfsOutcome {
     }
 }
 
+/// Exact cost of [`cc_dfs_chunked`] on a vertex-prefix subgraph, computed
+/// without materializing the subgraph or labeling anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfsPrefixCost {
+    /// Counters bitwise equal to `cc_dfs_chunked(prefix, chunks).stats`.
+    pub stats: KernelStats,
+    /// Number of inter-chunk deferred edges the run would report.
+    pub deferred_edges: u64,
+}
+
+/// Prices `cc_dfs_chunked(&g.vertex_interval_subgraph(0, split).0, chunks)`
+/// exactly from the parent graph: per-vertex visit and per-arc charges are
+/// linear in the prefix vertex/arc counts, and the only traversal-dependent
+/// outputs — per-chunk work (for the parallelism estimate) and the deferred
+/// inter-chunk edge count — fall out of two binary searches per vertex on
+/// the sorted adjacency (`O(split · log deg)` instead of running the DFS
+/// and building the subgraph).
+///
+/// # Panics
+/// Panics if `chunks == 0` or `split > g.n()`.
+#[must_use]
+pub fn dfs_prefix_cost(g: &Graph, split: usize, chunks: usize) -> DfsPrefixCost {
+    assert!(chunks > 0, "need at least one chunk");
+    assert!(split <= g.n(), "prefix split out of bounds");
+    let mut stats = KernelStats::new();
+    if split == 0 {
+        return DfsPrefixCost {
+            stats,
+            deferred_edges: 0,
+        };
+    }
+    let chunks = chunks.min(split);
+    let chunk_len = split.div_ceil(chunks);
+    let mut arcs_internal = 0u64;
+    let mut deferred = 0u64;
+    let mut chunk_work = vec![0u64; chunks];
+    for (c, work) in chunk_work.iter_mut().enumerate() {
+        let lo = c * chunk_len;
+        let hi = ((c + 1) * chunk_len).min(split);
+        for u in lo..hi {
+            let adj = g.neighbors(u);
+            // Internal degree: neighbors inside the prefix. Deferred edges
+            // are the internal neighbors at or past the chunk end (those
+            // below `lo` are reported from the other endpoint's side, and
+            // a prefix neighbor v ≥ hi always satisfies u < v).
+            let d_int = adj.partition_point(|&v| (v as usize) < split) as u64;
+            let d_below_hi = adj.partition_point(|&v| (v as usize) < hi) as u64;
+            arcs_internal += d_int;
+            deferred += d_int - d_below_hi;
+            *work += 2 + d_int;
+        }
+    }
+    // Per popped vertex (each prefix vertex is popped exactly once).
+    stats.int_ops = 4 * split as u64 + 2 * arcs_internal;
+    stats.mem_read_bytes = 16 * split as u64 + ARC_IRREGULAR_BYTES * arcs_internal;
+    stats.mem_write_bytes = 4 * split as u64;
+    stats.irregular_bytes = ARC_IRREGULAR_BYTES * arcs_internal;
+    let total_work: u64 = chunk_work.iter().sum();
+    let max_work = chunk_work.iter().copied().max().unwrap_or(0);
+    stats.parallel_items = if max_work == 0 {
+        chunks as u64
+    } else {
+        (total_work as f64 / max_work as f64).round().max(1.0) as u64
+    };
+    // Prefix CSR footprint: (split + 1) row pointers + internal arcs.
+    let prefix_size_bytes = 8 * (split as u64 + 1) + 4 * arcs_internal;
+    stats.working_set_bytes = prefix_size_bytes + 5 * split as u64;
+    DfsPrefixCost {
+        stats,
+        deferred_edges: deferred,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +262,32 @@ mod tests {
         let g = path(100);
         assert_eq!(cc_dfs_chunked(&g, 8).stats.parallel_items, 8);
         assert_eq!(cc_dfs(&g).stats.parallel_items, 1);
+    }
+
+    #[test]
+    fn prefix_cost_matches_materialized_run() {
+        let n = 700;
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        for i in (0..n as u32).step_by(11) {
+            edges.push((i, (i * 17 + 5) % n as u32));
+        }
+        let g = Graph::from_edges(n, &edges);
+        for split in [0, 1, 2, 99, 350, 699, 700] {
+            for chunks in [1, 2, 4, 7] {
+                let (prefix, _) = g.vertex_interval_subgraph(0, split);
+                let direct = cc_dfs_chunked(&prefix, chunks);
+                let priced = dfs_prefix_cost(&g, split, chunks);
+                assert_eq!(
+                    priced.stats, direct.stats,
+                    "split = {split}, chunks = {chunks}"
+                );
+                assert_eq!(
+                    priced.deferred_edges,
+                    direct.deferred_edges.len() as u64,
+                    "split = {split}, chunks = {chunks}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Cost profile for hybrid CC: price [`hybrid_cc`](crate::cc::hybrid_cc)'s
+//! [`RunReport`] at any threshold without partitioning the graph or running
+//! the kernels.
+//!
+//! One construction pass over the arcs builds three split-indexed curves
+//! (GPU-internal arcs, cross arcs, and — implicitly, via the DFS replay —
+//! CPU-internal arcs). Pricing a threshold then needs only:
+//!
+//! * curve lookups for every arc/byte-linear counter (partition, transfer,
+//!   merge, and both compute kernels' volume terms);
+//! * a label-only Shiloach–Vishkin replay ([`sv_suffix_counts`]) for the
+//!   GPU round/pass counts, and two binary searches per prefix vertex
+//!   ([`dfs_prefix_cost`]) for the CPU chunk balance and deferred edges —
+//!   both memoized per split, so repeated evaluations at the same
+//!   quantized threshold are O(1).
+//!
+//! The result is **bitwise equal** to the `report` field of a direct
+//! `hybrid_cc` run (asserted per split in the tests): both paths feed
+//! identical integer counters through the same [`Platform`] pricing
+//! functions.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport};
+
+use crate::cc::dfs::{dfs_prefix_cost, DfsPrefixCost};
+use crate::cc::sv::{sv_stats_closed_form, sv_suffix_counts};
+use crate::Graph;
+
+/// Split-indexed cost curves plus memoized control-flow residuals for
+/// pricing hybrid CC thresholds. Build once per graph with
+/// [`CcCostProfile::new`]; price with [`CcCostProfile::report_at`].
+#[derive(Debug)]
+pub struct CcCostProfile {
+    n: usize,
+    arcs: u64,
+    size_bytes: u64,
+    /// `arcs_gpu[s]` = directed arcs internal to the vertex suffix `s..n`.
+    arcs_gpu: Vec<u64>,
+    /// `cross[s]` = directed arcs from `0..s` into `s..n` (one per
+    /// boundary-crossing undirected edge, from the lower endpoint's side).
+    cross: Vec<u64>,
+    /// DFS residual memo keyed by `(split, chunks)`.
+    dfs_memo: Mutex<HashMap<(usize, usize), DfsPrefixCost>>,
+    /// SV `(rounds, doubling_passes)` memo keyed by split.
+    sv_memo: Mutex<HashMap<usize, (u32, u32)>>,
+}
+
+impl CcCostProfile {
+    /// Builds the curves in one `O(n + arcs)` pass over `g`.
+    #[must_use]
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut min_hist = vec![0u64; n + 1];
+        let mut cross_diff = vec![0i64; n + 2];
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                min_hist[u.min(v)] += 1;
+                if u < v {
+                    // Arc (u, v) crosses every split s with u < s <= v.
+                    cross_diff[u + 1] += 1;
+                    cross_diff[v + 1] -= 1;
+                }
+            }
+        }
+        let mut arcs_gpu = vec![0u64; n + 1];
+        for s in (0..n).rev() {
+            arcs_gpu[s] = arcs_gpu[s + 1] + min_hist[s];
+        }
+        let mut cross = vec![0u64; n + 1];
+        let mut acc = 0i64;
+        for (s, slot) in cross.iter_mut().enumerate() {
+            acc += cross_diff[s];
+            *slot = acc as u64;
+        }
+        CcCostProfile {
+            n,
+            arcs: g.arcs() as u64,
+            size_bytes: g.size_bytes(),
+            arcs_gpu,
+            cross,
+            dfs_memo: Mutex::new(HashMap::new()),
+            sv_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of vertices the CPU takes at threshold `t_pct` — the same
+    /// rounding [`hybrid_cc`](crate::cc::hybrid_cc) applies.
+    #[must_use]
+    pub fn split_at(&self, t_pct: f64) -> usize {
+        ((self.n as f64 * t_pct / 100.0).round() as usize).min(self.n)
+    }
+
+    /// Prices the full hybrid CC run at threshold `t_pct`, bitwise equal to
+    /// `hybrid_cc(g, t_pct, platform, _).report`. `g` must be the graph the
+    /// profile was built from.
+    ///
+    /// # Panics
+    /// Panics if `t_pct` is outside `[0, 100]` or `g` has a different
+    /// vertex count than the profiled graph.
+    #[must_use]
+    pub fn report_at(&self, g: &Graph, t_pct: f64, platform: &Platform) -> RunReport {
+        assert!(
+            (0.0..=100.0).contains(&t_pct),
+            "threshold {t_pct} out of [0, 100]"
+        );
+        assert_eq!(g.n(), self.n, "profile built from a different graph");
+        let n = self.n;
+        let n_cpu = self.split_at(t_pct);
+        let n_gpu = n - n_cpu;
+
+        // Phase I: the partition pass streams the whole graph regardless of
+        // the split, so its counters come straight from the scalars.
+        let partition_stats = KernelStats {
+            int_ops: self.arcs,
+            mem_read_bytes: 4 * self.arcs + 8 * (n as u64 + 1),
+            mem_write_bytes: 4 * self.arcs,
+            parallel_items: platform.cpu.cores as u64,
+            working_set_bytes: 2 * self.size_bytes,
+            ..KernelStats::default()
+        };
+        let partition = platform.cpu_time(&partition_stats);
+
+        // Phase II, CPU side: chunked-DFS counters plus the deferred-edge
+        // surcharge the hybrid driver adds before pricing.
+        let chunks = platform.cpu.cores;
+        let dfs = {
+            let mut memo = self.dfs_memo.lock().expect("dfs memo poisoned");
+            memo.entry((n_cpu, chunks))
+                .or_insert_with(|| dfs_prefix_cost(g, n_cpu, chunks))
+                .clone()
+        };
+        let mut cpu_stats = dfs.stats;
+        cpu_stats.int_ops += 8 * dfs.deferred_edges;
+        cpu_stats.mem_read_bytes += 8 * dfs.deferred_edges;
+        cpu_stats.irregular_bytes += 8 * dfs.deferred_edges;
+        let cpu_compute = platform.cpu_time(&cpu_stats);
+
+        // Phase II, GPU side: replayed SV control flow + closed-form stats.
+        let (rounds, passes) = {
+            let mut memo = self.sv_memo.lock().expect("sv memo poisoned");
+            *memo
+                .entry(n_cpu)
+                .or_insert_with(|| sv_suffix_counts(g, n_cpu))
+        };
+        let arcs_gpu = self.arcs_gpu[n_cpu];
+        // Suffix CSR footprint: (n_gpu + 1) row pointers + internal arcs.
+        let gpu_size_bytes = 8 * (n_gpu as u64 + 1) + 4 * arcs_gpu;
+        let gpu_stats = sv_stats_closed_form(n_gpu, arcs_gpu, gpu_size_bytes, rounds, passes);
+        let gpu_compute = platform.gpu_time(&gpu_stats);
+        let transfer_in = platform.transfer(gpu_size_bytes);
+
+        // Merge: cross-edge union + relabel on the GPU after the CPU labels
+        // travel over.
+        let merge_edges = self.cross[n_cpu];
+        let merge_stats = KernelStats {
+            int_ops: 8 * merge_edges + 2 * n as u64,
+            mem_read_bytes: 8 * merge_edges + 8 * n as u64,
+            irregular_bytes: 8 * merge_edges + 4 * n as u64,
+            mem_write_bytes: 4 * n as u64,
+            atomic_ops: 2 * merge_edges,
+            kernel_launches: u64::from(merge_edges > 0 || n > 0),
+            parallel_items: merge_edges.max(n as u64).max(1),
+            working_set_bytes: 8 * n as u64,
+            ..KernelStats::default()
+        };
+        let merge = platform.transfer(4 * n_cpu as u64) + platform.gpu_time(&merge_stats);
+
+        RunReport {
+            breakdown: RunBreakdown {
+                partition,
+                transfer_in,
+                cpu_compute,
+                gpu_compute,
+                transfer_out: platform.transfer(4 * n_gpu as u64),
+                merge,
+            },
+            cpu_stats,
+            gpu_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::hybrid::hybrid_cc;
+    use crate::gen;
+
+    fn platforms() -> Vec<Platform> {
+        vec![Platform::k40c_xeon_e5_2650()]
+    }
+
+    fn graphs() -> Vec<Graph> {
+        let path: Vec<(u32, u32)> = (0..499u32).map(|i| (i, i + 1)).collect();
+        let mut multi: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        multi.extend([(10, 11), (11, 12), (12, 10), (14, 15)]);
+        vec![
+            Graph::from_edges(500, &path),
+            Graph::from_edges(16, &multi),
+            gen::web(800, 4, 7),
+            Graph::from_edges(3, &[]),
+            Graph::from_edges(0, &[]),
+        ]
+    }
+
+    #[test]
+    fn profiled_report_is_bitwise_equal_to_direct() {
+        for g in graphs() {
+            let profile = CcCostProfile::new(&g);
+            for platform in platforms() {
+                for t in [0.0, 0.4, 3.0, 12.5, 37.5, 50.0, 77.3, 99.6, 100.0] {
+                    let direct = hybrid_cc(&g, t, &platform, 2).report;
+                    let profiled = profile.report_at(&g, t, &platform);
+                    assert_eq!(profiled, direct, "n = {}, t = {t}", g.n());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_evaluations_hit_the_memo() {
+        let g = gen::web(300, 3, 1);
+        let profile = CcCostProfile::new(&g);
+        let platform = Platform::k40c_xeon_e5_2650();
+        let a = profile.report_at(&g, 42.0, &platform);
+        let b = profile.report_at(&g, 42.0, &platform);
+        assert_eq!(a, b);
+        assert_eq!(profile.sv_memo.lock().unwrap().len(), 1);
+        assert_eq!(profile.dfs_memo.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn rejects_mismatched_graph() {
+        let g = gen::web(100, 3, 1);
+        let other = gen::web(101, 3, 1);
+        let profile = CcCostProfile::new(&g);
+        let _ = profile.report_at(&other, 50.0, &Platform::k40c_xeon_e5_2650());
+    }
+}

@@ -149,6 +149,114 @@ pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
     }
 }
 
+/// Replays the Shiloach–Vishkin control flow on the vertex-suffix subgraph
+/// `start..n` of `g` *without materializing it*, returning the exact
+/// `(rounds, doubling_passes)` that [`cc_sv`] would report on
+/// `g.vertex_interval_subgraph(start, n)`.
+///
+/// Correctness: adjacency lists are sorted, so the suffix-internal
+/// neighbors of each vertex form a contiguous tail slice (found once by
+/// binary search), and renumbering the suffix to `0..n-start` is a uniform
+/// id shift — every label comparison in hooking and every equality check in
+/// pointer doubling is order-isomorphic under that shift, so the round and
+/// pass sequence is identical. Only the label bookkeeping runs; none of the
+/// subgraph construction, stats accounting, or final normalization does,
+/// which is what makes profiled CC threshold pricing cheaper than a direct
+/// run (and it is memoized per split on top).
+#[must_use]
+pub fn sv_suffix_counts(g: &Graph, start: usize) -> (u32, u32) {
+    let total = g.n();
+    assert!(start <= total, "suffix start out of bounds");
+    let n = total - start;
+    if n == 0 {
+        return (0, 0);
+    }
+    // Tail slice of each suffix vertex's adjacency: neighbors >= start.
+    let tails: Vec<&[u32]> = (start..total)
+        .map(|u| {
+            let adj = g.neighbors(u);
+            let cut = adj.partition_point(|&v| (v as usize) < start);
+            &adj[cut..]
+        })
+        .collect();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut cand: Vec<u32> = vec![0; n];
+    let mut rounds = 0u32;
+    let mut doubling_passes = 0u32;
+    loop {
+        rounds += 1;
+        cand.copy_from_slice(&parent);
+        for (u, tail) in tails.iter().enumerate() {
+            let ru = parent[u] as usize;
+            for &v in *tail {
+                let rv = parent[v as usize - start];
+                if rv < cand[ru] {
+                    cand[ru] = rv;
+                }
+            }
+        }
+        let mut hooked = false;
+        for r in 0..n {
+            if cand[r] < parent[r] {
+                parent[r] = cand[r];
+                hooked = true;
+            }
+        }
+        let mut compressed_any = false;
+        loop {
+            let mut changed = false;
+            let next: Vec<u32> = (0..n)
+                .map(|v| {
+                    let x = parent[parent[v] as usize];
+                    changed |= x != parent[v];
+                    x
+                })
+                .collect();
+            doubling_passes += 1;
+            parent = next;
+            compressed_any |= changed;
+            if !changed {
+                break;
+            }
+        }
+        if !hooked && !compressed_any {
+            break;
+        }
+    }
+    (rounds, doubling_passes)
+}
+
+/// Closed-form [`cc_sv`] counters for a graph with `n` vertices, `arcs`
+/// directed arcs, and CSR footprint `size_bytes`, given the observed
+/// `(rounds, doubling_passes)`. Bitwise equal to the stats [`cc_sv`]
+/// accumulates (each round charges the hook + apply kernels; each doubling
+/// pass one compression kernel), so a cost profile can price the GPU side
+/// of any split from curve lookups plus the replayed counts.
+#[must_use]
+pub fn sv_stats_closed_form(
+    n: usize,
+    arcs: u64,
+    size_bytes: u64,
+    rounds: u32,
+    doubling_passes: u32,
+) -> KernelStats {
+    if n == 0 {
+        return KernelStats::new();
+    }
+    let n = n as u64;
+    let (r, d) = (u64::from(rounds), u64::from(doubling_passes));
+    let mut stats = KernelStats::new();
+    stats.mem_write_bytes = 4 * n + r * 8 * n + d * 4 * n;
+    stats.kernel_launches = 1 + 2 * r + d;
+    stats.sync_rounds = r;
+    stats.int_ops = r * (2 * arcs + 2 * n) + d * 2 * n;
+    stats.mem_read_bytes = r * (8 * arcs + 8 * n) + d * 8 * n;
+    stats.irregular_bytes = r * 8 * arcs + d * 4 * n;
+    stats.parallel_items = arcs.max(n);
+    stats.working_set_bytes = size_bytes + 8 * n;
+    stats
+}
+
 /// One pointer-doubling pass: `out[v] = f[f[v]]`. Returns the new array and
 /// whether anything changed. Vertex-parallel and Jacobi-style (reads the
 /// previous array, writes fresh chunks), so the result is thread-count
@@ -294,6 +402,25 @@ mod tests {
             1 + 2 * u64::from(out.rounds) + u64::from(out.doubling_passes)
         );
         assert_eq!(out.stats.sync_rounds, u64::from(out.rounds));
+    }
+
+    #[test]
+    fn suffix_counts_and_closed_form_match_materialized_run() {
+        let n = 900;
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        for i in (0..n as u32).step_by(13) {
+            edges.push((i, (i * 31 + 7) % n as u32));
+        }
+        let g = Graph::from_edges(n, &edges);
+        for start in [0, 1, 137, 450, 899, 900] {
+            let (sub, _) = g.vertex_interval_subgraph(start, n);
+            let direct = cc_sv(&sub, 1);
+            let (rounds, passes) = sv_suffix_counts(&g, start);
+            assert_eq!((rounds, passes), (direct.rounds, direct.doubling_passes));
+            let closed =
+                sv_stats_closed_form(sub.n(), sub.arcs() as u64, sub.size_bytes(), rounds, passes);
+            assert_eq!(closed, direct.stats, "start = {start}");
+        }
     }
 
     #[test]

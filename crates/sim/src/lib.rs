@@ -38,6 +38,7 @@ mod cpu;
 mod gpu;
 mod pcie;
 mod platform;
+pub mod profile;
 mod time;
 pub mod timeline;
 
@@ -46,4 +47,5 @@ pub use cpu::CpuModel;
 pub use gpu::GpuModel;
 pub use pcie::PcieModel;
 pub use platform::{Lane, Platform, RunBreakdown, RunReport};
+pub use profile::{PrefixCurve, WarpPadCurve};
 pub use time::SimTime;

@@ -1,0 +1,348 @@
+//! Per-item cost curves: O(1) pricing of contiguous prefix/suffix splits.
+//!
+//! A threshold search prices hundreds of candidate splits of the *same*
+//! input. Each candidate only moves the boundary between the CPU prefix and
+//! the GPU suffix, so every additive counter of the two sides is a
+//! difference of prefix sums — computable in O(1) after one O(n) pass over
+//! the per-item profile. The two structures here are the substrate for that
+//! trick:
+//!
+//! * [`PrefixCurve`] — inclusive prefix sums of any additive per-item
+//!   counter (`u64`, so sums are exact and order-independent);
+//! * [`WarpPadCurve`] — the one *non-additive* counter,
+//!   [`warp_padded_cost`]: padding depends on how items group into warps,
+//!   and a split restarts the grouping on the suffix side. The curve stores
+//!   per-warp prefix sums plus a boundary-warp running max (prefix side) and
+//!   a warp-stride suffix DP (suffix side), so both
+//!   `warp_padded_cost(&work[..s], w)` and `warp_padded_cost(&work[s..], w)`
+//!   are reproduced **bitwise** for every split `s` in O(1).
+
+use crate::counters::warp_padded_cost;
+
+/// Inclusive prefix sums of a per-item `u64` counter; any contiguous range
+/// sum is O(1). Sums are exact (no floating point), so a range sum is
+/// bitwise identical to summing the slice directly.
+#[derive(Clone, Debug)]
+pub struct PrefixCurve {
+    /// `prefix[i]` = sum of items `0..i`; `prefix[0] == 0`.
+    prefix: Vec<u64>,
+}
+
+impl PrefixCurve {
+    /// Builds the curve in one pass over the per-item values.
+    #[must_use]
+    pub fn new(items: &[u64]) -> Self {
+        let mut prefix = Vec::with_capacity(items.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &v in items {
+            acc += v;
+            prefix.push(acc);
+        }
+        PrefixCurve { prefix }
+    }
+
+    /// Number of items the curve was built from.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// True when built from an empty item list.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of items `0..split` (the CPU prefix).
+    ///
+    /// # Panics
+    /// Panics if `split > len`.
+    #[must_use]
+    pub fn prefix_sum(&self, split: usize) -> u64 {
+        self.prefix[split]
+    }
+
+    /// Sum of items `split..len` (the GPU suffix).
+    ///
+    /// # Panics
+    /// Panics if `split > len`.
+    #[must_use]
+    pub fn suffix_sum(&self, split: usize) -> u64 {
+        self.total() - self.prefix[split]
+    }
+
+    /// Sum of items `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > len`.
+    #[must_use]
+    pub fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        assert!(lo <= hi, "range lo {lo} > hi {hi}");
+        self.prefix[hi] - self.prefix[lo]
+    }
+
+    /// Sum of all items.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        *self.prefix.last().expect("prefix always has a 0 sentinel")
+    }
+}
+
+/// O(1) reproduction of [`warp_padded_cost`] for every prefix and suffix
+/// split of a fixed per-item work vector.
+///
+/// `warp_padded_cost` is not additive across a split: slicing restarts warp
+/// grouping at the slice start, so `pad(work[..s]) + pad(work[s..])` is in
+/// general `!= pad(work)`. The curve therefore precomputes:
+///
+/// * `full_warp_prefix[j]` — padded cost of the first `j` *complete* warps
+///   (per-warp prefix sums);
+/// * `running_max[i]` — max of the warp-aligned chunk containing item `i`,
+///   up to and including `i` (the boundary-warp correction: a prefix split
+///   mid-warp still pads its partial last warp to full width);
+/// * `suffix_pad[i]` — `warp_padded_cost(&work[i..])`, via the warp-stride
+///   recurrence `suffix_pad[i] = warp·max(work[i..i+warp]) +
+///   suffix_pad[i+warp]` (sliding-window max, one O(n) backward pass).
+///
+/// All quantities are exact `u64` arithmetic, so both query methods return
+/// values bitwise equal to calling [`warp_padded_cost`] on the slice.
+#[derive(Clone, Debug)]
+pub struct WarpPadCurve {
+    warp: usize,
+    /// Padded cost of the first `j` complete warps, `j = 0..=n/warp`.
+    full_warp_prefix: Vec<u64>,
+    /// `running_max[i]` = max of `work[warp·(i/warp) ..= i]`.
+    running_max: Vec<u64>,
+    /// `suffix_pad[i]` = `warp_padded_cost(&work[i..])`; entry `n` is 0.
+    suffix_pad: Vec<u64>,
+}
+
+impl WarpPadCurve {
+    /// Builds the curve in O(n) from the per-item work vector.
+    ///
+    /// # Panics
+    /// Panics if `warp == 0`.
+    #[must_use]
+    pub fn new(work: &[u64], warp: usize) -> Self {
+        assert!(warp > 0, "warp width must be positive");
+        let n = work.len();
+
+        let mut full_warp_prefix = Vec::with_capacity(n / warp + 1);
+        full_warp_prefix.push(0);
+        let mut running_max = Vec::with_capacity(n);
+        let mut chunk_max = 0u64;
+        for (i, &w) in work.iter().enumerate() {
+            if i % warp == 0 {
+                chunk_max = 0;
+            }
+            chunk_max = chunk_max.max(w);
+            running_max.push(chunk_max);
+            if (i + 1) % warp == 0 {
+                let prev = *full_warp_prefix.last().expect("seeded with 0");
+                full_warp_prefix.push(prev + chunk_max * warp as u64);
+            }
+        }
+
+        // Backward pass: sliding-window max over [i, i+warp) via a
+        // monotonically decreasing deque of indices, then the warp-stride DP.
+        let mut suffix_pad = vec![0u64; n + 1];
+        let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for i in (0..n).rev() {
+            while let Some(&back) = deque.back() {
+                if work[back] <= work[i] {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(i);
+            while let Some(&front) = deque.front() {
+                if front >= i + warp {
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let window_max = work[*deque.front().expect("just pushed i")];
+            let next = (i + warp).min(n);
+            suffix_pad[i] = window_max * warp as u64 + suffix_pad[next];
+        }
+
+        WarpPadCurve {
+            warp,
+            full_warp_prefix,
+            running_max,
+            suffix_pad,
+        }
+    }
+
+    /// Number of items the curve was built from.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.suffix_pad.len() - 1
+    }
+
+    /// True when built from an empty work vector.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `warp_padded_cost(&work[..split], warp)`, bitwise, in O(1).
+    ///
+    /// # Panics
+    /// Panics if `split > len`.
+    #[must_use]
+    pub fn prefix_cost(&self, split: usize) -> u64 {
+        assert!(split <= self.len(), "split {split} out of bounds");
+        let full = split / self.warp;
+        let mut cost = self.full_warp_prefix[full];
+        if !split.is_multiple_of(self.warp) {
+            // Partial boundary warp: pads to full width on the max so far.
+            cost += self.running_max[split - 1] * self.warp as u64;
+        }
+        cost
+    }
+
+    /// `warp_padded_cost(&work[split..], warp)`, bitwise, in O(1).
+    ///
+    /// # Panics
+    /// Panics if `split > len`.
+    #[must_use]
+    pub fn suffix_cost(&self, split: usize) -> u64 {
+        self.suffix_pad[split]
+    }
+}
+
+/// Reference check used by tests and debug assertions: both curve queries
+/// against direct slice evaluation for one split.
+#[must_use]
+pub fn pad_curve_matches_direct(work: &[u64], warp: usize, split: usize) -> bool {
+    let curve = WarpPadCurve::new(work, warp);
+    curve.prefix_cost(split) == warp_padded_cost(&work[..split], warp)
+        && curve.suffix_cost(split) == warp_padded_cost(&work[split..], warp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_work(n: usize, seed: u64) -> Vec<u64> {
+        // Simple LCG; heavy-tailed by squaring the low bits occasionally.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let v = state >> 56;
+                if v.is_multiple_of(7) {
+                    v * v
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_curve_matches_slice_sums() {
+        let items = pseudo_random_work(257, 3);
+        let curve = PrefixCurve::new(&items);
+        for split in 0..=items.len() {
+            assert_eq!(curve.prefix_sum(split), items[..split].iter().sum::<u64>());
+            assert_eq!(curve.suffix_sum(split), items[split..].iter().sum::<u64>());
+        }
+        assert_eq!(curve.range_sum(10, 100), items[10..100].iter().sum::<u64>());
+        assert_eq!(curve.total(), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn prefix_curve_empty() {
+        let curve = PrefixCurve::new(&[]);
+        assert!(curve.is_empty());
+        assert_eq!(curve.total(), 0);
+        assert_eq!(curve.prefix_sum(0), 0);
+        assert_eq!(curve.suffix_sum(0), 0);
+    }
+
+    #[test]
+    fn warp_pad_curve_exact_at_every_split() {
+        for (n, warp, seed) in [
+            (0, 32, 1),
+            (1, 32, 2),
+            (31, 32, 3),
+            (32, 32, 4),
+            (100, 32, 5),
+        ] {
+            let work = pseudo_random_work(n, seed);
+            let curve = WarpPadCurve::new(&work, warp);
+            for split in 0..=n {
+                assert_eq!(
+                    curve.prefix_cost(split),
+                    warp_padded_cost(&work[..split], warp),
+                    "prefix n={n} split={split}"
+                );
+                assert_eq!(
+                    curve.suffix_cost(split),
+                    warp_padded_cost(&work[split..], warp),
+                    "suffix n={n} split={split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warp_pad_curve_odd_warp_widths() {
+        let work = pseudo_random_work(97, 11);
+        for warp in [1, 2, 3, 5, 7, 33, 97, 200] {
+            let curve = WarpPadCurve::new(&work, warp);
+            for split in 0..=work.len() {
+                assert_eq!(
+                    curve.prefix_cost(split),
+                    warp_padded_cost(&work[..split], warp),
+                    "warp={warp} split={split}"
+                );
+                assert_eq!(
+                    curve.suffix_cost(split),
+                    warp_padded_cost(&work[split..], warp),
+                    "warp={warp} split={split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warp_pad_boundary_warp_pads_to_full_width() {
+        // Split mid-warp: the partial chunk pays warp * its max.
+        let mut work = vec![1u64; 40];
+        work[3] = 50;
+        let curve = WarpPadCurve::new(&work, 32);
+        // Prefix of 5 items: one partial warp, max 50 -> 50 * 32.
+        assert_eq!(curve.prefix_cost(5), 50 * 32);
+        // Suffix from 35: 5 items of work 1 -> one padded warp of 32.
+        assert_eq!(curve.suffix_cost(35), 32);
+    }
+
+    #[test]
+    fn helper_agrees() {
+        let work = pseudo_random_work(65, 9);
+        for split in [0, 1, 31, 32, 33, 64, 65] {
+            assert!(pad_curve_matches_direct(&work, 32, split));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warp width must be positive")]
+    fn zero_warp_rejected() {
+        let _ = WarpPadCurve::new(&[1, 2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn prefix_cost_bounds_checked() {
+        let curve = WarpPadCurve::new(&[1, 2, 3], 2);
+        let _ = curve.prefix_cost(4);
+    }
+}

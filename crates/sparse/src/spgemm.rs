@@ -12,7 +12,7 @@
 //! sweep thresholds in O(rows) instead of re-running the multiply.
 
 use nbwp_par::Pool;
-use nbwp_sim::{warp_padded_cost, KernelStats};
+use nbwp_sim::{warp_padded_cost, KernelStats, PrefixCurve, WarpPadCurve};
 
 use crate::Csr;
 
@@ -244,6 +244,124 @@ pub fn stats_for_rows(costs: &[RowCost], b_bytes: u64) -> KernelStats {
     s
 }
 
+/// Prefix-sum cost curves over a per-row [`RowCost`] profile: both sides of
+/// any contiguous row split are priced in O(1), **bitwise equal** to calling
+/// [`stats_for_rows`] on the corresponding slice.
+///
+/// Every field of [`stats_for_rows`] is a `u64`-linear combination of the
+/// per-row counters (exact under prefix-sum differences), except
+/// `simd_padded_flops`, which restarts warp grouping at the slice start —
+/// that one is reproduced by a [`WarpPadCurve`] with boundary-warp
+/// correction. See `nbwp-sim::profile` for the exactness argument.
+///
+/// ```
+/// use nbwp_sparse::{gen, spgemm::{row_profile, stats_for_rows, RowCurves}};
+/// let a = gen::power_law(200, 6, 2.2, 1);
+/// let costs = row_profile(&a, &a);
+/// let curves = RowCurves::new(&costs, a.size_bytes());
+/// for split in [0, 31, 32, 100, 200] {
+///     assert_eq!(curves.stats_prefix(split), stats_for_rows(&costs[..split], a.size_bytes()));
+///     assert_eq!(curves.stats_suffix(split), stats_for_rows(&costs[split..], a.size_bytes()));
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RowCurves {
+    a_nnz: PrefixCurve,
+    b_entries: PrefixCurve,
+    c_nnz: PrefixCurve,
+    pad: WarpPadCurve,
+    b_bytes: u64,
+    rows: usize,
+}
+
+impl RowCurves {
+    /// Builds all curves in one O(rows) pass over the profile.
+    #[must_use]
+    pub fn new(costs: &[RowCost], b_bytes: u64) -> Self {
+        let a_nnz: Vec<u64> = costs.iter().map(|c| c.a_nnz).collect();
+        let b_entries: Vec<u64> = costs.iter().map(|c| c.b_entries).collect();
+        let c_nnz: Vec<u64> = costs.iter().map(|c| c.c_nnz).collect();
+        let per_row_flops: Vec<u64> = costs.iter().map(RowCost::flops).collect();
+        RowCurves {
+            a_nnz: PrefixCurve::new(&a_nnz),
+            b_entries: PrefixCurve::new(&b_entries),
+            c_nnz: PrefixCurve::new(&c_nnz),
+            pad: WarpPadCurve::new(&per_row_flops, WARP),
+            b_bytes,
+            rows: costs.len(),
+        }
+    }
+
+    /// Number of rows the curves cover.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Curve over per-row `a_nnz` (used for transfer sizing).
+    #[must_use]
+    pub fn a_nnz(&self) -> &PrefixCurve {
+        &self.a_nnz
+    }
+
+    /// Curve over per-row `c_nnz` (used for transfer sizing).
+    #[must_use]
+    pub fn c_nnz(&self) -> &PrefixCurve {
+        &self.c_nnz
+    }
+
+    fn assemble(
+        &self,
+        n_rows: u64,
+        a_nnz: u64,
+        b_entries: u64,
+        c_nnz: u64,
+        simd_padded: u64,
+    ) -> KernelStats {
+        let mut s = KernelStats::new();
+        s.flops = 2 * b_entries;
+        s.int_ops = 2 * a_nnz + 2 * b_entries + c_nnz;
+        s.mem_read_bytes = (a_nnz + b_entries) * ENTRY_BYTES;
+        s.irregular_bytes = a_nnz * ENTRY_BYTES;
+        s.mem_write_bytes = c_nnz * ENTRY_BYTES;
+        s.simd_padded_flops = simd_padded;
+        s.kernel_launches = u64::from(n_rows > 0);
+        s.parallel_items = n_rows;
+        s.working_set_bytes = self.b_bytes + (a_nnz + c_nnz) * ENTRY_BYTES;
+        s
+    }
+
+    /// `stats_for_rows(&costs[..split], b_bytes)`, bitwise, in O(1).
+    ///
+    /// # Panics
+    /// Panics if `split > rows`.
+    #[must_use]
+    pub fn stats_prefix(&self, split: usize) -> KernelStats {
+        self.assemble(
+            split as u64,
+            self.a_nnz.prefix_sum(split),
+            self.b_entries.prefix_sum(split),
+            self.c_nnz.prefix_sum(split),
+            self.pad.prefix_cost(split),
+        )
+    }
+
+    /// `stats_for_rows(&costs[split..], b_bytes)`, bitwise, in O(1).
+    ///
+    /// # Panics
+    /// Panics if `split > rows`.
+    #[must_use]
+    pub fn stats_suffix(&self, split: usize) -> KernelStats {
+        self.assemble(
+            (self.rows - split) as u64,
+            self.a_nnz.suffix_sum(split),
+            self.b_entries.suffix_sum(split),
+            self.c_nnz.suffix_sum(split),
+            self.pad.suffix_cost(split),
+        )
+    }
+}
+
 /// Multiplies `A × B` using up to `threads` workers over row blocks,
 /// returning the full product. The result is identical to [`spgemm`]
 /// regardless of thread count (rows are independent; blocks are stitched
@@ -401,6 +519,34 @@ mod tests {
         assert_eq!(s.kernel_launches, 0);
         assert_eq!(s.flops, 0);
         assert_eq!(s.parallel_items, 0);
+    }
+
+    #[test]
+    fn row_curves_match_sliced_stats_at_every_split() {
+        let a = crate::gen::power_law(130, 7, 2.1, 5);
+        let costs = row_profile(&a, &a);
+        let b_bytes = a.size_bytes();
+        let curves = RowCurves::new(&costs, b_bytes);
+        for split in 0..=costs.len() {
+            assert_eq!(
+                curves.stats_prefix(split),
+                stats_for_rows(&costs[..split], b_bytes),
+                "prefix split {split}"
+            );
+            assert_eq!(
+                curves.stats_suffix(split),
+                stats_for_rows(&costs[split..], b_bytes),
+                "suffix split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_curves_empty_profile() {
+        let curves = RowCurves::new(&[], 64);
+        assert_eq!(curves.rows(), 0);
+        assert_eq!(curves.stats_prefix(0), stats_for_rows(&[], 64));
+        assert_eq!(curves.stats_suffix(0), stats_for_rows(&[], 64));
     }
 
     #[test]

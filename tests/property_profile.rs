@@ -1,0 +1,173 @@
+//! Property tests for the cost-profile exactness contract (the cost-curve
+//! PR's satellite): for random inputs and thresholds, profiled pricing is
+//! **bitwise equal** to a direct run — including warp-boundary splits and
+//! empty CPU/GPU bands — profiled searches return the exact outcome of
+//! their direct counterparts, and the shared eval cache's hit/miss
+//! counters land in the metrics registry deterministically.
+
+use nbwp_core::prelude::*;
+use nbwp_core::search::SearchOutcome;
+use nbwp_graph::gen as ggen;
+use nbwp_sparse::gen as sgen;
+use proptest::prelude::*;
+
+fn platform() -> Platform {
+    Platform::k40c_xeon_e5_2650()
+}
+
+/// Thresholds that exercise the interesting corners of a percentage space
+/// on an input of `n` rows/vertices: both empty bands, near-boundary
+/// splits, and (for GPU-side pricing) splits landing exactly on warp
+/// (32-row) boundaries of the suffix.
+fn corner_thresholds(n: usize) -> Vec<f64> {
+    let mut ts = vec![0.0, 100.0];
+    if n > 0 {
+        // One row/vertex on either side.
+        ts.push(100.0 / n as f64);
+        ts.push(100.0 * (n as f64 - 1.0) / n as f64);
+        // Splits putting an exact multiple of the 32-wide warp on the GPU.
+        for k in [1usize, 2, 4] {
+            let rows_gpu = 32 * k;
+            if rows_gpu < n {
+                ts.push(100.0 * (n - rows_gpu) as f64 / n as f64);
+            }
+        }
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn profiled_cc_is_bitwise_equal_to_direct(
+        n in 64usize..1200,
+        deg in 1usize..8,
+        seed in 0u64..1000,
+        t_rand in 0.0f64..100.0,
+    ) {
+        let w = CcWorkload::new(ggen::web(n, deg, seed), platform());
+        let p = w.build_profile(Pool::global());
+        let mut ts = corner_thresholds(n);
+        ts.push(t_rand);
+        for t in ts {
+            prop_assert_eq!(w.run_profiled(&p, t), w.run(t), "cc t = {}", t);
+        }
+    }
+
+    #[test]
+    fn profiled_spmm_is_bitwise_equal_to_direct(
+        n in 64usize..800,
+        avg in 2usize..10,
+        seed in 0u64..1000,
+        t_rand in 0.0f64..100.0,
+    ) {
+        let w = SpmmWorkload::new(sgen::power_law(n, avg, 2.1, seed), platform());
+        let p = w.build_profile(Pool::global());
+        let mut ts = corner_thresholds(n);
+        ts.push(t_rand);
+        for t in ts {
+            prop_assert_eq!(w.run_profiled(&p, t), w.run(t), "spmm t = {}", t);
+        }
+    }
+
+    #[test]
+    fn profiled_hh_is_bitwise_equal_to_direct(
+        n in 64usize..500,
+        avg in 2usize..10,
+        seed in 0u64..1000,
+        t_frac in 0.0f64..1.2,
+    ) {
+        let w = HhWorkload::new(sgen::power_law(n, avg, 2.1, seed), platform());
+        let p = w.build_profile(Pool::global());
+        let max = w.max_degree() as f64;
+        // Degree thresholds: both all-CPU and all-GPU bands plus a point
+        // inside (and slightly beyond) the degree range.
+        for t in [0.0, 1.0, max * t_frac, max, max + 1.0] {
+            prop_assert_eq!(w.run_profiled(&p, t), w.run(t), "hh t = {}", t);
+        }
+    }
+
+    #[test]
+    fn profiled_search_returns_the_direct_outcome_and_counts_into_metrics(
+        n in 64usize..600,
+        deg in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        let w = CcWorkload::new(ggen::web(n, deg, seed), platform());
+        let direct = nbwp_core::search::exhaustive(&w, 4.0);
+
+        let rec = Recorder::new();
+        let profiled = exhaustive_profiled(&w, 4.0, &rec, Pool::global());
+        let trace = rec.finish();
+
+        assert_same_outcome(&direct, &profiled);
+        // The exhaustive grid visits each candidate once: all evaluations
+        // miss, and the hit/miss split is flushed into the registry.
+        let hits = trace.metrics.counter("profile.cache_hit").unwrap_or(0);
+        let misses = trace.metrics.counter("profile.cache_miss").unwrap_or(0);
+        prop_assert_eq!(
+            (hits + misses) as usize,
+            profiled.evaluations(),
+            "every eval is either a hit or a miss"
+        );
+        prop_assert!(misses as usize <= profiled.evaluations());
+    }
+
+    #[test]
+    fn profiled_search_and_metrics_are_pool_invariant(
+        n in 64usize..600,
+        avg in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        let w = SpmmWorkload::new(sgen::power_law(n, avg, 2.1, seed), platform());
+        let serial_pool = Pool::new(1);
+        let wide_pool = Pool::new(4);
+
+        let rec1 = Recorder::new();
+        let serial = coarse_to_fine_profiled(&w, &rec1, &serial_pool);
+        let t1 = rec1.finish();
+        let rec4 = Recorder::new();
+        let wide = coarse_to_fine_profiled(&w, &rec4, &wide_pool);
+        let t4 = rec4.finish();
+
+        assert_same_outcome(&serial, &wide);
+        // The cache-hit accounting is part of the determinism contract:
+        // batches are deduplicated on quantized keys before dispatch, so
+        // the counters cannot depend on thread interleaving.
+        for name in ["profile.cache_hit", "profile.cache_miss"] {
+            prop_assert_eq!(
+                t1.metrics.counter(name),
+                t4.metrics.counter(name),
+                "{} must not depend on the pool width",
+                name
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_candidates_hit_the_cache(
+        n in 64usize..400,
+        deg in 2usize..7,
+        seed in 0u64..1000,
+        t in 0.0f64..100.0,
+    ) {
+        let w = CcWorkload::new(ggen::web(n, deg, seed), platform());
+        let pw = ProfiledWorkload::new(&w);
+        let first = pw.run(t);
+        for _ in 0..3 {
+            prop_assert_eq!(&pw.run(t), &first);
+        }
+        prop_assert_eq!(pw.cache_misses(), 1);
+        prop_assert_eq!(pw.cache_hits(), 3);
+    }
+}
+
+/// Profiled searches must reproduce direct searches exactly: same best
+/// threshold, same (bitwise) simulated times, same evaluation sequence.
+fn assert_same_outcome(a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(a.best_t, b.best_t);
+    assert_eq!(a.best_time, b.best_time);
+    assert_eq!(a.search_cost, b.search_cost);
+    assert_eq!(a.evals, b.evals);
+}
