@@ -20,17 +20,14 @@ fn bench_identify_strategies(c: &mut Criterion) {
     group.sample_size(10);
     let d = Dataset::by_name("cop20k_A").unwrap();
     let w = SpmmWorkload::new(d.matrix(SCALE, 42), platform());
-    for (name, strategy) in [
-        ("coarse_to_fine", IdentifyStrategy::CoarseToFine),
-        ("race_then_fine", IdentifyStrategy::RaceThenFine),
-        (
-            "gradient_descent",
-            IdentifyStrategy::GradientDescent { max_evals: 24 },
-        ),
-        ("exhaustive", IdentifyStrategy::Exhaustive),
+    for strategy in [
+        Strategy::CoarseToFine,
+        Strategy::RaceThenFine,
+        Strategy::GradientDescent { max_evals: 24 },
+        Strategy::Exhaustive { step: None },
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| estimate(&w, SampleSpec::default(), strategy, 7));
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| Estimator::new(strategy).seed(7).run(&w));
         });
     }
     group.finish();
@@ -46,23 +43,13 @@ fn bench_sampler_ablation(c: &mut Criterion) {
     let induced = CcWorkload::new(g, platform()).with_sampler(CcSampler::Induced);
     group.bench_function("cc_contract_sampler", |b| {
         b.iter(|| {
-            estimate(
-                &contract,
-                SampleSpec::default(),
-                IdentifyStrategy::CoarseToFine,
-                7,
-            )
+            Estimator::new(Strategy::CoarseToFine)
+                .seed(7)
+                .run(&contract)
         });
     });
     group.bench_function("cc_induced_sampler", |b| {
-        b.iter(|| {
-            estimate(
-                &induced,
-                SampleSpec::default(),
-                IdentifyStrategy::CoarseToFine,
-                7,
-            )
-        });
+        b.iter(|| Estimator::new(Strategy::CoarseToFine).seed(7).run(&induced));
     });
     group.finish();
 }
@@ -81,12 +68,9 @@ fn bench_extrapolator_ablation(c: &mut Criterion) {
         let w = HhWorkload::new(m.clone(), platform()).with_extrapolator(ex);
         group.bench_function(name, |b| {
             b.iter(|| {
-                estimate(
-                    &w,
-                    SampleSpec::default(),
-                    IdentifyStrategy::GradientDescent { max_evals: 24 },
-                    7,
-                )
+                Estimator::new(Strategy::GradientDescent { max_evals: 24 })
+                    .seed(7)
+                    .run(&w)
             });
         });
     }

@@ -20,32 +20,18 @@ fn bench_estimation_vs_exhaustive(c: &mut Criterion) {
 
     let cc = CcWorkload::new(d.graph(SCALE, 42), platform());
     group.bench_function("cc_sampling_estimate", |b| {
-        b.iter(|| {
-            estimate(
-                &cc,
-                SampleSpec::default(),
-                IdentifyStrategy::CoarseToFine,
-                7,
-            )
-        });
+        b.iter(|| Estimator::new(Strategy::CoarseToFine).seed(7).run(&cc));
     });
     group.bench_function("cc_exhaustive_step8", |b| {
-        b.iter(|| exhaustive(&cc, 8.0));
+        b.iter(|| Searcher::new(Strategy::Exhaustive { step: Some(8.0) }).run(&cc));
     });
 
     let spmm = SpmmWorkload::new(d.matrix(SCALE, 42), platform());
     group.bench_function("spmm_sampling_estimate", |b| {
-        b.iter(|| {
-            estimate(
-                &spmm,
-                SampleSpec::default(),
-                IdentifyStrategy::RaceThenFine,
-                7,
-            )
-        });
+        b.iter(|| Estimator::new(Strategy::RaceThenFine).seed(7).run(&spmm));
     });
     group.bench_function("spmm_exhaustive_step1", |b| {
-        b.iter(|| exhaustive(&spmm, 1.0));
+        b.iter(|| Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&spmm));
     });
     group.finish();
 }

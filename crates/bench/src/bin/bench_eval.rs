@@ -20,7 +20,6 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use nbwp_core::prelude::*;
-use nbwp_core::search;
 use nbwp_graph::gen as graph_gen;
 use nbwp_sparse::gen as sparse_gen;
 use serde::Serialize;
@@ -44,6 +43,31 @@ struct WorkloadInfo {
     parity_points: usize,
 }
 
+/// Analytic-vs-numeric descent comparison for one workload: the analytic
+/// row of the acceptance gate. `argmin_match` is bitwise equality with the
+/// exhaustive-profiled argmin; `eval_ratio` is gradient-descent evals over
+/// analytic evals (gated at >= 5).
+#[derive(Serialize)]
+struct AnalyticEntry {
+    workload: String,
+    analytic_evals: usize,
+    analytic_grad_probes: usize,
+    gradient_descent_evals: usize,
+    exhaustive_evals: usize,
+    argmin_match: bool,
+    eval_ratio: f64,
+    wall_ms: f64,
+}
+
+/// One-profile sensitivity sweep accounting: `profile_builds` must be 1
+/// no matter how many sample factors are swept.
+#[derive(Serialize)]
+struct SensitivityInfo {
+    workload: String,
+    factors: usize,
+    profile_builds: u64,
+}
+
 #[derive(Serialize)]
 struct Report {
     schema: &'static str,
@@ -54,6 +78,8 @@ struct Report {
     mismatches: Vec<String>,
     workloads: Vec<WorkloadInfo>,
     entries: Vec<Entry>,
+    analytic: Vec<AnalyticEntry>,
+    sensitivity: Vec<SensitivityInfo>,
 }
 
 struct Args {
@@ -97,14 +123,69 @@ const STRATEGIES: [&str; 4] = [
 ];
 
 fn run_direct<W: PartitionedWorkload>(w: &W, strategy: &str, pool: &Pool) -> SearchOutcome {
-    let rec = Recorder::disabled();
-    match strategy {
-        "exhaustive" => search::exhaustive_pooled(w, w.space().fine_step, &rec, pool),
-        "coarse_to_fine" => search::coarse_to_fine_pooled(w, &rec, pool),
-        "race_then_fine" => search::race_then_fine_pooled(w, &rec, pool),
-        "gradient_descent" => search::gradient_descent_pooled(w, 24, &rec, pool),
-        other => unreachable!("unknown strategy {other}"),
+    let s = match strategy {
+        "gradient_descent" => Strategy::GradientDescent { max_evals: 24 },
+        other => other.parse::<Strategy>().expect("known strategy name"),
+    };
+    Searcher::new(s).pool(pool).run(w)
+}
+
+/// The analytic acceptance row: subgradient descent on the cost curve must
+/// land on the exhaustive-profiled argmin bitwise, in at least 5x fewer
+/// curve evaluations than finite-difference gradient descent.
+fn analytic_gate<W: Profilable>(
+    name: &str,
+    w: &W,
+    pool: &Pool,
+    analytic: &mut Vec<AnalyticEntry>,
+    mismatches: &mut Vec<String>,
+) {
+    let exhaustive = Searcher::new(Strategy::Exhaustive { step: None })
+        .pool(pool)
+        .profiled()
+        .run(w);
+    let gd = Searcher::new(Strategy::GradientDescent { max_evals: 24 })
+        .pool(pool)
+        .profiled()
+        .run(w);
+    let started = Instant::now();
+    let ana = Searcher::new(Strategy::Analytic { step: None })
+        .pool(pool)
+        .profiled()
+        .run(w);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let argmin_match = ana.best_t.to_bits() == exhaustive.best_t.to_bits();
+    let eval_ratio = gd.evaluations() as f64 / ana.evaluations().max(1) as f64;
+    if !argmin_match {
+        mismatches.push(format!(
+            "{name}: analytic argmin {} != exhaustive argmin {}",
+            ana.best_t, exhaustive.best_t
+        ));
     }
+    if eval_ratio < 5.0 {
+        mismatches.push(format!(
+            "{name}: analytic used {} evals vs gradient descent's {} (ratio {eval_ratio:.1} < 5)",
+            ana.evaluations(),
+            gd.evaluations()
+        ));
+    }
+    eprintln!(
+        "  {name:<10} analytic: {} evals (+{} grad probes) vs gd {} | argmin match: {argmin_match} | x{eval_ratio:.1}",
+        ana.evaluations(),
+        ana.grad_probes,
+        gd.evaluations(),
+    );
+    analytic.push(AnalyticEntry {
+        workload: name.to_string(),
+        analytic_evals: ana.evaluations(),
+        analytic_grad_probes: ana.grad_probes,
+        gradient_descent_evals: gd.evaluations(),
+        exhaustive_evals: exhaustive.evaluations(),
+        argmin_match,
+        eval_ratio,
+        wall_ms,
+    });
 }
 
 /// Exactness gate: profiled reports must equal direct reports bitwise over
@@ -233,6 +314,8 @@ fn main() {
     let mut entries = Vec::new();
     let mut workloads = Vec::new();
     let mut mismatches = Vec::new();
+    let mut analytic = Vec::new();
+    let mut sensitivity = Vec::new();
 
     eprintln!("building inputs...");
     let cc = CcWorkload::new(graph_gen::web(cc_n, 8, args.seed), platform);
@@ -275,8 +358,54 @@ fn main() {
         &mut mismatches,
     );
 
+    eprintln!("analytic subgradient descent vs numeric descent...");
+    let pool = Pool::global();
+    analytic_gate("cc", &cc, pool, &mut analytic, &mut mismatches);
+    analytic_gate("spmm", &spmm, pool, &mut analytic, &mut mismatches);
+    analytic_gate("scalefree", &hh, pool, &mut analytic, &mut mismatches);
+    analytic_gate("gemm", &gemm, pool, &mut analytic, &mut mismatches);
+
+    eprintln!("sensitivity sweep via Profile::resample...");
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let rec = Recorder::new();
+    let points = nbwp_core::experiment::sensitivity_resampled(
+        &spmm,
+        &factors,
+        Strategy::Analytic { step: None },
+        args.seed,
+        &rec,
+    );
+    let builds = rec
+        .finish()
+        .metrics
+        .counter("profile.builds")
+        .unwrap_or(u64::MAX);
+    if points.len() != factors.len() {
+        mismatches.push(format!(
+            "spmm sensitivity: {} points for {} factors",
+            points.len(),
+            factors.len()
+        ));
+    }
+    if builds != 1 {
+        mismatches.push(format!(
+            "spmm sensitivity: built {builds} full profiles across {} factors (expected 1)",
+            factors.len()
+        ));
+    }
+    eprintln!(
+        "  spmm: {} factors swept from {} full profile build(s)",
+        factors.len(),
+        builds
+    );
+    sensitivity.push(SensitivityInfo {
+        workload: "spmm".to_string(),
+        factors: factors.len(),
+        profile_builds: builds,
+    });
+
     let report = Report {
-        schema: "nbwp-bench-eval/v1",
+        schema: "nbwp-bench-eval/v2",
         quick: args.quick,
         seed: args.seed,
         repetitions: reps,
@@ -284,6 +413,8 @@ fn main() {
         mismatches: mismatches.clone(),
         workloads,
         entries,
+        analytic,
+        sensitivity,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&args.out, json + "\n").expect("failed to write report");

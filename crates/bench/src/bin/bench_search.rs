@@ -178,7 +178,11 @@ fn main() {
         &mut mismatches,
         |t| {
             let pool = Pool::new(t);
-            search_digest(&exhaustive_pooled(&spmm, 1.0, &Recorder::disabled(), &pool))
+            search_digest(
+                &Searcher::new(Strategy::Exhaustive { step: Some(1.0) })
+                    .pool(&pool)
+                    .run(&spmm),
+            )
         },
     );
     sweep(
@@ -188,7 +192,7 @@ fn main() {
         &mut mismatches,
         |t| {
             let pool = Pool::new(t);
-            search_digest(&coarse_to_fine_pooled(&spmm, &Recorder::disabled(), &pool))
+            search_digest(&Searcher::new(Strategy::CoarseToFine).pool(&pool).run(&spmm))
         },
     );
     sweep("kernel.cc_sv", reps, &mut entries, &mut mismatches, |t| {

@@ -33,13 +33,10 @@ fn main() {
     println!("{}", "-".repeat(78));
     let (mut s_pen, mut st_pen, mut h_pen, mut d_pen) = (0.0, 0.0, 0.0, 0.0);
     for (name, w) in &suite {
-        let best = exhaustive(w, 1.0);
-        let est = estimate(
-            w,
-            SampleSpec::default(),
-            IdentifyStrategy::RaceThenFine,
-            opts.seed,
-        );
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(w);
+        let est = Estimator::new(Strategy::RaceThenFine)
+            .seed(opts.seed)
+            .run(w);
         let t_sampling = w.time_at(est.threshold);
         let t_static = w.time_at(naive_static_for(w));
         let t_history = w.time_at(history.threshold_for(w));

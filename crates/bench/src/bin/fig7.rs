@@ -23,20 +23,19 @@ fn main() {
         let d = Dataset::by_name(name).expect("registry entry");
         let a = d.matrix(opts.scale, opts.seed);
         let w = SpmmWorkload::new(a.clone(), platform);
-        let best = exhaustive(&w, 1.0).best_t;
-        let random = estimate(
-            &w,
-            SampleSpec::default(),
-            IdentifyStrategy::RaceThenFine,
-            opts.seed,
-        )
-        .threshold;
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) })
+            .run(&w)
+            .best_t;
+        let random = Estimator::new(Strategy::RaceThenFine)
+            .seed(opts.seed)
+            .run(&w)
+            .threshold;
         // Identify on each predetermined diagonal block.
         let mut blocks = Vec::new();
         for b in 0..4 {
             let sub = predetermined_submatrix(&a, 4, b);
             let sw = SpmmWorkload::new(sub, platform);
-            blocks.push(race_then_fine(&sw).best_t);
+            blocks.push(Searcher::new(Strategy::RaceThenFine).run(&sw).best_t);
         }
         let max_err = blocks
             .iter()

@@ -78,6 +78,13 @@ pub enum Command {
         seed: u64,
         /// Compare against the exhaustive best (slower).
         exhaustive: bool,
+        /// Identify strategy by name (`exhaustive`, `coarse_to_fine`,
+        /// `race_then_fine`, `gradient_descent`, `analytic`); `None` picks
+        /// the per-workload default.
+        strategy: Option<String>,
+        /// Shorthand for `--strategy analytic` (subgradient descent on the
+        /// profiled cost curve).
+        analytic: bool,
         /// Write a trace of the estimation pipeline to this path (Chrome
         /// trace-event JSON, or JSONL when the path ends in `.jsonl`).
         trace_out: Option<String>,
@@ -134,6 +141,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut input = None;
             let mut seed = 42;
             let mut exhaustive = false;
+            let mut strategy = None;
+            let mut analytic = false;
             let mut trace_out = None;
             let mut metrics = false;
             while let Some(flag) = it.next() {
@@ -141,6 +150,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--input" => input = Some(next_val(&mut it, flag)?),
                     "--seed" => seed = parse_num(&next_val(&mut it, flag)?)?,
                     "--exhaustive" => exhaustive = true,
+                    "--strategy" => strategy = Some(next_val(&mut it, flag)?),
+                    "--analytic" => analytic = true,
                     "--trace-out" => trace_out = Some(next_val(&mut it, flag)?),
                     "--metrics" => metrics = true,
                     other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
@@ -151,6 +162,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 input: input.ok_or_else(|| err("estimate requires --input"))?,
                 seed,
                 exhaustive,
+                strategy,
+                analytic,
                 trace_out,
                 metrics,
             })
@@ -175,7 +188,8 @@ pub const USAGE: &str = "usage:
   nbwp datasets
   nbwp gen --dataset <name> [--scale f] [--seed u64] --out <file.mtx>
   nbwp estimate <cc|spmm|hh> --input <file.mtx> [--seed u64] [--exhaustive]
-                [--trace-out <trace.json|trace.jsonl>] [--metrics]
+                [--strategy <exhaustive|coarse_to_fine|race_then_fine|gradient_descent|analytic>]
+                [--analytic] [--trace-out <trace.json|trace.jsonl>] [--metrics]
   nbwp trace <trace.json>";
 
 fn next_val<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<String, CliError> {
@@ -206,6 +220,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             input,
             seed,
             exhaustive,
+            strategy,
+            analytic,
             trace_out,
             metrics,
         } => estimate_cmd(
@@ -213,6 +229,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             input,
             *seed,
             *exhaustive,
+            strategy.as_deref(),
+            *analytic,
             trace_out.as_deref(),
             *metrics,
         ),
@@ -265,11 +283,57 @@ fn load_matrix(path: &str) -> Result<Csr, CliError> {
     io::read_matrix_market(BufReader::new(file)).map_err(|e| err(format!("parse failed: {e}")))
 }
 
+/// Resolves the Identify strategy for a workload from the CLI flags:
+/// `--analytic` and `--strategy <name>` override the per-workload default
+/// (cc → coarse-to-fine, spmm → race-then-fine, hh → gradient descent).
+fn resolve_strategy(
+    workload: &str,
+    strategy: Option<&str>,
+    analytic: bool,
+) -> Result<Strategy, CliError> {
+    if analytic && strategy.is_some() {
+        return Err(err("--analytic and --strategy are mutually exclusive"));
+    }
+    if analytic {
+        return Ok(Strategy::Analytic { step: None });
+    }
+    match strategy {
+        Some(name) => name
+            .parse::<Strategy>()
+            .map_err(|e| err(format!("{e}\n{USAGE}"))),
+        None => Ok(match workload {
+            "cc" => Strategy::CoarseToFine,
+            "spmm" => Strategy::RaceThenFine,
+            _ => Strategy::GradientDescent {
+                max_evals: DEFAULT_GRADIENT_EVALS,
+            },
+        }),
+    }
+}
+
+/// Runs the estimator, routing [`Strategy::Analytic`] through the profiled
+/// path it requires (subgradients come off the cost-curve profile).
+fn run_estimator<W>(w: &W, strategy: Strategy, seed: u64, rec: &Recorder) -> SamplingEstimate
+where
+    W: Sampleable,
+    W::Sample: Profilable,
+{
+    let e = Estimator::new(strategy).seed(seed).recorder(rec);
+    if matches!(strategy, Strategy::Analytic { .. }) {
+        e.profiled().run(w)
+    } else {
+        e.run(w)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn estimate_cmd(
     workload: &str,
     input: &str,
     seed: u64,
     exhaustive: bool,
+    strategy: Option<&str>,
+    analytic: bool,
     trace_out: Option<&str>,
     metrics: bool,
 ) -> Result<String, CliError> {
@@ -281,6 +345,7 @@ fn estimate_cmd(
             a.cols()
         )));
     }
+    let strategy = resolve_strategy(workload, strategy, analytic)?;
     let platform = Platform::k40c_xeon_e5_2650();
     let rec = if trace_out.is_some() || metrics {
         Recorder::new()
@@ -290,43 +355,26 @@ fn estimate_cmd(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{input}: {} rows, {} nonzeros — {} on the simulated K40c + Xeon",
+        "{input}: {} rows, {} nonzeros — {} ({}) on the simulated K40c + Xeon",
         a.rows(),
         a.nnz(),
-        workload
+        workload,
+        strategy.name()
     );
     match workload {
         "cc" => {
             let w = CcWorkload::new(Graph::from_matrix(&a), platform);
-            let est = estimate_with(
-                &w,
-                SampleSpec::default(),
-                IdentifyStrategy::CoarseToFine,
-                seed,
-                &rec,
-            );
+            let est = run_estimator(&w, strategy, seed, &rec);
             report_scalar(&mut out, &w, &est, "CPU vertex share %", exhaustive, &rec);
         }
         "spmm" => {
             let w = SpmmWorkload::new(a, platform);
-            let est = estimate_with(
-                &w,
-                SampleSpec::default(),
-                IdentifyStrategy::RaceThenFine,
-                seed,
-                &rec,
-            );
+            let est = run_estimator(&w, strategy, seed, &rec);
             report_scalar(&mut out, &w, &est, "CPU work share %", exhaustive, &rec);
         }
         "hh" => {
             let w = HhWorkload::new(a, platform);
-            let est = estimate_with(
-                &w,
-                SampleSpec::default(),
-                IdentifyStrategy::GradientDescent { max_evals: 24 },
-                seed,
-                &rec,
-            );
+            let est = run_estimator(&w, strategy, seed, &rec);
             report_scalar(
                 &mut out,
                 &w,
@@ -416,7 +464,7 @@ fn report_scalar<W: PartitionedWorkload>(
     );
     if exhaustive {
         let step = if w.space().logarithmic { 1.15 } else { 1.0 };
-        let best = nbwp_core::search::exhaustive(w, step);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(step) }).run(w);
         rec.gauge_set("threshold.diff_pct", (est.threshold - best.best_t).abs());
         let _ = writeln!(
             out,
@@ -461,6 +509,8 @@ mod tests {
                 input: "/tmp/x.mtx".into(),
                 seed: 42,
                 exhaustive: true,
+                strategy: None,
+                analytic: false,
                 trace_out: None,
                 metrics: false
             }
@@ -476,6 +526,8 @@ mod tests {
                 input: "x.mtx".into(),
                 seed: 42,
                 exhaustive: false,
+                strategy: None,
+                analytic: false,
                 trace_out: Some("t.json".into()),
                 metrics: true
             }
@@ -486,6 +538,71 @@ mod tests {
                 input: "t.json".into()
             }
         );
+    }
+
+    #[test]
+    fn parse_strategy_flags() {
+        let e = parse_args(&args(
+            "estimate cc --input x.mtx --strategy gradient_descent",
+        ))
+        .unwrap();
+        assert_eq!(
+            e,
+            Command::Estimate {
+                workload: "cc".into(),
+                input: "x.mtx".into(),
+                seed: 42,
+                exhaustive: false,
+                strategy: Some("gradient_descent".into()),
+                analytic: false,
+                trace_out: None,
+                metrics: false
+            }
+        );
+        let a = parse_args(&args("estimate spmm --input x.mtx --analytic")).unwrap();
+        assert_eq!(
+            a,
+            Command::Estimate {
+                workload: "spmm".into(),
+                input: "x.mtx".into(),
+                seed: 42,
+                exhaustive: false,
+                strategy: None,
+                analytic: true,
+                trace_out: None,
+                metrics: false
+            }
+        );
+    }
+
+    #[test]
+    fn resolve_strategy_defaults_names_and_conflicts() {
+        assert_eq!(
+            resolve_strategy("cc", None, false).unwrap(),
+            Strategy::CoarseToFine
+        );
+        assert_eq!(
+            resolve_strategy("spmm", None, false).unwrap(),
+            Strategy::RaceThenFine
+        );
+        assert_eq!(
+            resolve_strategy("hh", None, false).unwrap(),
+            Strategy::GradientDescent {
+                max_evals: DEFAULT_GRADIENT_EVALS
+            }
+        );
+        assert_eq!(
+            resolve_strategy("cc", Some("analytic"), false).unwrap(),
+            Strategy::Analytic { step: None }
+        );
+        assert_eq!(
+            resolve_strategy("cc", None, true).unwrap(),
+            Strategy::Analytic { step: None }
+        );
+        let conflict = resolve_strategy("cc", Some("exhaustive"), true).unwrap_err();
+        assert!(conflict.0.contains("mutually exclusive"), "{}", conflict.0);
+        let unknown = resolve_strategy("cc", Some("simulated_annealing"), false).unwrap_err();
+        assert!(unknown.0.contains("simulated_annealing"), "{}", unknown.0);
     }
 
     #[test]
@@ -532,10 +649,30 @@ mod tests {
                 input: path_s.clone(),
                 seed: 3,
                 exhaustive: false,
+                strategy: None,
+                analytic: false,
                 trace_out: None,
                 metrics: false,
             })
             .unwrap();
+            assert!(text.contains("estimated threshold"), "{wl}: {text}");
+        }
+
+        // Analytic descent routes through the profiled estimator and reports
+        // its strategy name in the header.
+        for wl in ["cc", "spmm", "hh"] {
+            let text = run(&Command::Estimate {
+                workload: wl.into(),
+                input: path_s.clone(),
+                seed: 3,
+                exhaustive: false,
+                strategy: None,
+                analytic: true,
+                trace_out: None,
+                metrics: false,
+            })
+            .unwrap();
+            assert!(text.contains("(analytic)"), "{wl}: {text}");
             assert!(text.contains("estimated threshold"), "{wl}: {text}");
         }
         std::fs::remove_file(&path).ok();
@@ -561,6 +698,8 @@ mod tests {
                 input: mtx_s.clone(),
                 seed: 5,
                 exhaustive: false,
+                strategy: None,
+                analytic: false,
                 trace_out: Some(trace_path.to_str().unwrap().into()),
                 metrics: true,
             })
@@ -646,6 +785,8 @@ mod tests {
             input: "/nonexistent/file.mtx".into(),
             seed: 1,
             exhaustive: false,
+            strategy: None,
+            analytic: false,
             trace_out: None,
             metrics: false
         })

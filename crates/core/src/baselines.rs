@@ -84,7 +84,10 @@ impl HistoryBased {
         if let Some(t) = self.trained {
             return t;
         }
-        let out = crate::search::exhaustive(w, w.space().fine_step.max(1.0));
+        let out = crate::search::Searcher::new(crate::search::Strategy::Exhaustive {
+            step: Some(w.space().fine_step.max(1.0)),
+        })
+        .run(w);
         self.trained = Some(out.best_t);
         out.best_t
     }

@@ -1,5 +1,21 @@
 //! The sampling-based threshold estimator — the paper's contribution,
 //! assembling Sample → Identify → Extrapolate into one call.
+//!
+//! [`Estimator`] is the configured entry point: pick a
+//! [`Strategy`](crate::search::Strategy), optionally set the sample spec,
+//! seed, repeat count, recorder, and pool, then [`Estimator::run`] (or
+//! [`Estimator::profiled`]`().run(…)` to price the Identify step through a
+//! cost profile of the sample). The free `estimate*` functions are
+//! deprecated shims over the builder.
+//!
+//! ```
+//! use nbwp_core::prelude::*;
+//! use nbwp_graph::gen;
+//!
+//! let w = CcWorkload::new(gen::web(4_000, 6, 42), Platform::k40c_xeon_e5_2650());
+//! let est = Estimator::new(Strategy::CoarseToFine).seed(7).run(&w);
+//! assert!((0.0..=100.0).contains(&est.threshold));
+//! ```
 
 use nbwp_par::Pool;
 use nbwp_sim::SimTime;
@@ -10,9 +26,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
 use crate::profile::Profilable;
-use crate::search::{self, SearchOutcome};
+use crate::search::{SearchOutcome, Searcher, Strategy};
 
 /// Which Identify strategy (§II Step 2) to run on the sampled input.
+///
+/// This is the *serializable config-file subset* of
+/// [`Strategy`](crate::search::Strategy) — experiment configs deserialize
+/// it, and [`From`] lifts it into the full strategy enum (which adds the
+/// analytic subgradient search and explicit step overrides).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IdentifyStrategy {
     /// Coarse stride then fine stride (the paper's CC choice: 8 → 1).
@@ -42,8 +63,21 @@ impl IdentifyStrategy {
     }
 }
 
+impl From<IdentifyStrategy> for Strategy {
+    fn from(s: IdentifyStrategy) -> Strategy {
+        match s {
+            IdentifyStrategy::CoarseToFine => Strategy::CoarseToFine,
+            IdentifyStrategy::RaceThenFine => Strategy::RaceThenFine,
+            IdentifyStrategy::GradientDescent { max_evals } => {
+                Strategy::GradientDescent { max_evals }
+            }
+            IdentifyStrategy::Exhaustive => Strategy::Exhaustive { step: None },
+        }
+    }
+}
+
 /// Result of one sampling-based estimation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SamplingEstimate {
     /// The threshold recommended for the *full* input (after extrapolation).
     pub threshold: f64,
@@ -58,10 +92,193 @@ pub struct SamplingEstimate {
     pub sample_size: usize,
 }
 
+/// Configured Sample → Identify → Extrapolate pipeline (builder style).
+///
+/// Defaults: the paper's sample spec ([`SampleSpec::default`]), seed `0`,
+/// one repeat, no tracing, the global pool. With `repeats > 1` the
+/// estimator runs that many independent estimations on independent samples
+/// (seeds `seed..seed + repeats`) concurrently and returns the
+/// median-threshold estimate with overheads and evaluation counts summed —
+/// per-repeat tracing is disabled because the recorder is single-threaded.
+#[derive(Copy, Clone)]
+pub struct Estimator<'a> {
+    strategy: Strategy,
+    spec: SampleSpec,
+    seed: u64,
+    repeats: usize,
+    rec: Option<&'a Recorder>,
+    pool: Option<&'a Pool>,
+}
+
+impl<'a> Estimator<'a> {
+    /// An estimator running `strategy` on the sample, with defaults for
+    /// everything else.
+    #[must_use]
+    pub fn new(strategy: Strategy) -> Self {
+        Estimator {
+            strategy,
+            spec: SampleSpec::default(),
+            seed: 0,
+            repeats: 1,
+            rec: None,
+            pool: None,
+        }
+    }
+
+    /// Sets the sample-size spec (Step 1).
+    #[must_use]
+    pub fn spec(mut self, spec: SampleSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the sampling seed. Everything downstream of Step 1 is
+    /// deterministic.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Estimates on `repeats` independent samples and returns the
+    /// median-threshold estimate (§II: miniature runs are cheap enough to
+    /// repeat). Overheads and evaluation counts are summed.
+    ///
+    /// # Panics
+    /// Panics if `repeats == 0`.
+    #[must_use]
+    pub fn repeats(mut self, repeats: usize) -> Self {
+        assert!(repeats > 0, "need at least one repeat");
+        self.repeats = repeats;
+        self
+    }
+
+    /// Traces the pipeline into `rec`: an `estimate` span containing
+    /// `sample` (duration = sample construction cost), `identify`
+    /// (duration = search cost, one `identify.eval` child per candidate
+    /// run), and `extrapolate` (instantaneous — pure arithmetic), plus the
+    /// `sample.rate` and `search.cost_ms` gauges. Ignored when
+    /// `repeats > 1` (repeats run concurrently).
+    #[must_use]
+    pub fn recorder(mut self, rec: &'a Recorder) -> Self {
+        self.rec = Some(rec);
+        self
+    }
+
+    /// Runs the Identify search on an explicit worker pool (see
+    /// [`crate::search`] for the determinism contract: the pool changes
+    /// wall-clock time only).
+    #[must_use]
+    pub fn pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Prices the Identify step through a cost profile of the sample (see
+    /// [`crate::profile::ProfiledWorkload`]). The estimate is **identical**
+    /// — profiled pricing is bitwise-exact — but each candidate costs
+    /// O(1)-ish instead of a pass over the sample. Required for
+    /// [`Strategy::Analytic`], which descends on the profile's curves.
+    #[must_use]
+    pub fn profiled(self) -> ProfiledEstimator<'a> {
+        ProfiledEstimator { inner: self }
+    }
+
+    /// Runs the configured pipeline on `workload`.
+    #[must_use]
+    pub fn run<W: Sampleable>(&self, workload: &W) -> SamplingEstimate {
+        let pool = self.pool.unwrap_or(Pool::global());
+        if self.repeats == 1 {
+            let disabled = Recorder::disabled();
+            let rec = self.rec.unwrap_or(&disabled);
+            return run_single(workload, self.strategy, self.spec, self.seed, rec, pool);
+        }
+        let (strategy, spec, seed) = (self.strategy, self.spec, self.seed);
+        let runs = pool.map_indices(self.repeats, |k| {
+            let seed = seed.wrapping_add(k as u64);
+            run_single(workload, strategy, spec, seed, &Recorder::disabled(), pool)
+        });
+        median_estimate(runs)
+    }
+}
+
+/// One unprofiled estimation (shared by the single and repeated paths; the
+/// repeated path runs concurrently, so this must not capture the builder).
+fn run_single<W: Sampleable>(
+    workload: &W,
+    strategy: Strategy,
+    spec: SampleSpec,
+    seed: u64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SamplingEstimate {
+    estimate_core(workload, spec, strategy.name(), seed, rec, |sample, rec| {
+        Searcher::new(strategy).recorder(rec).pool(pool).run(sample)
+    })
+}
+
+/// An [`Estimator`] whose Identify step prices candidates through a cost
+/// profile of the sample. Built by [`Estimator::profiled`].
+#[derive(Copy, Clone)]
+pub struct ProfiledEstimator<'a> {
+    inner: Estimator<'a>,
+}
+
+impl ProfiledEstimator<'_> {
+    /// Runs the configured pipeline on `workload`, profiling each sample
+    /// once and searching on the profile.
+    #[must_use]
+    pub fn run<W>(&self, workload: &W) -> SamplingEstimate
+    where
+        W: Sampleable,
+        W::Sample: Profilable,
+    {
+        let cfg = &self.inner;
+        let pool = cfg.pool.unwrap_or(Pool::global());
+        if cfg.repeats == 1 {
+            let disabled = Recorder::disabled();
+            let rec = cfg.rec.unwrap_or(&disabled);
+            return run_single_profiled(workload, cfg.strategy, cfg.spec, cfg.seed, rec, pool);
+        }
+        let (strategy, spec, seed) = (cfg.strategy, cfg.spec, cfg.seed);
+        let runs = pool.map_indices(cfg.repeats, |k| {
+            let seed = seed.wrapping_add(k as u64);
+            run_single_profiled(workload, strategy, spec, seed, &Recorder::disabled(), pool)
+        });
+        median_estimate(runs)
+    }
+}
+
+/// One profiled estimation (see [`run_single`]).
+fn run_single_profiled<W>(
+    workload: &W,
+    strategy: Strategy,
+    spec: SampleSpec,
+    seed: u64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SamplingEstimate
+where
+    W: Sampleable,
+    W::Sample: Profilable,
+{
+    estimate_core(workload, spec, strategy.name(), seed, rec, |sample, rec| {
+        Searcher::new(strategy)
+            .recorder(rec)
+            .pool(pool)
+            .profiled()
+            .run(sample)
+    })
+}
+
 /// Runs the full sampling pipeline on `workload`.
 ///
 /// `seed` controls the uniform sampling (Step 1); everything downstream is
 /// deterministic.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Estimator::new(strategy.into()).spec(spec).seed(seed).run(workload)"
+)]
 #[must_use]
 pub fn estimate<W: Sampleable>(
     workload: &W,
@@ -69,14 +286,17 @@ pub fn estimate<W: Sampleable>(
     strategy: IdentifyStrategy,
     seed: u64,
 ) -> SamplingEstimate {
-    estimate_with(workload, spec, strategy, seed, &Recorder::disabled())
+    Estimator::new(strategy.into())
+        .spec(spec)
+        .seed(seed)
+        .run(workload)
 }
 
-/// [`estimate`], tracing the whole pipeline into `rec`: an `estimate` span
-/// containing `sample` (duration = sample construction cost), `identify`
-/// (duration = search cost, one `identify.eval` child per candidate run),
-/// and `extrapolate` (instantaneous — it is pure arithmetic), plus the
-/// `sample.rate` and `search.cost_ms` gauges.
+/// [`estimate`], tracing the whole pipeline into `rec`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Estimator::new(strategy.into()).spec(spec).seed(seed).recorder(rec).run(workload)"
+)]
 #[must_use]
 pub fn estimate_with<W: Sampleable>(
     workload: &W,
@@ -85,11 +305,18 @@ pub fn estimate_with<W: Sampleable>(
     seed: u64,
     rec: &Recorder,
 ) -> SamplingEstimate {
-    estimate_pooled(workload, spec, strategy, seed, rec, Pool::global())
+    Estimator::new(strategy.into())
+        .spec(spec)
+        .seed(seed)
+        .recorder(rec)
+        .run(workload)
 }
 
-/// [`estimate_with`] on an explicit worker pool (see `nbwp_core::search`
-/// for the determinism contract: the pool changes wall-clock time only).
+/// [`estimate_with`] on an explicit worker pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Estimator::new(strategy.into()).spec(spec).seed(seed).recorder(rec).pool(pool).run(workload)"
+)]
 #[must_use]
 pub fn estimate_pooled<W: Sampleable>(
     workload: &W,
@@ -99,34 +326,20 @@ pub fn estimate_pooled<W: Sampleable>(
     rec: &Recorder,
     pool: &Pool,
 ) -> SamplingEstimate {
-    estimate_core(
-        workload,
-        spec,
-        strategy,
-        seed,
-        rec,
-        |sample, rec| match strategy {
-            IdentifyStrategy::CoarseToFine => search::coarse_to_fine_pooled(sample, rec, pool),
-            IdentifyStrategy::RaceThenFine => search::race_then_fine_pooled(sample, rec, pool),
-            IdentifyStrategy::GradientDescent { max_evals } => {
-                search::gradient_descent_pooled(sample, max_evals, rec, pool)
-            }
-            IdentifyStrategy::Exhaustive => {
-                let step = sample.space().fine_step;
-                search::exhaustive_pooled(sample, step, rec, pool)
-            }
-        },
-    )
+    Estimator::new(strategy.into())
+        .spec(spec)
+        .seed(seed)
+        .recorder(rec)
+        .pool(pool)
+        .run(workload)
 }
 
 /// [`estimate_pooled`] with the Identify step priced through a cost profile
-/// of the sample (see [`crate::profile::ProfiledWorkload`]).
-///
-/// The returned estimate is **identical** to [`estimate_pooled`]'s — the
-/// profile prices every candidate bitwise equal to a direct run — but each
-/// candidate costs O(1)-ish instead of a full pass over the sample, so the
-/// search's wall-clock cost collapses from O(evals × sample) to
-/// O(sample + evals). Cache hit/miss counters are flushed into `rec`.
+/// of the sample.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Estimator::new(strategy.into()).spec(spec).seed(seed).recorder(rec).pool(pool).profiled().run(workload)"
+)]
 #[must_use]
 pub fn estimate_profiled<W>(
     workload: &W,
@@ -140,24 +353,66 @@ where
     W: Sampleable,
     W::Sample: Profilable,
 {
-    estimate_core(
-        workload,
-        spec,
-        strategy,
-        seed,
-        rec,
-        |sample, rec| match strategy {
-            IdentifyStrategy::CoarseToFine => search::coarse_to_fine_profiled(sample, rec, pool),
-            IdentifyStrategy::RaceThenFine => search::race_then_fine_profiled(sample, rec, pool),
-            IdentifyStrategy::GradientDescent { max_evals } => {
-                search::gradient_descent_profiled(sample, max_evals, rec, pool)
-            }
-            IdentifyStrategy::Exhaustive => {
-                let step = sample.space().fine_step;
-                search::exhaustive_profiled(sample, step, rec, pool)
-            }
-        },
-    )
+    Estimator::new(strategy.into())
+        .spec(spec)
+        .seed(seed)
+        .recorder(rec)
+        .pool(pool)
+        .profiled()
+        .run(workload)
+}
+
+/// Runs the estimation on `repeats` independent samples and returns the
+/// median-threshold estimate, with the overheads of *all* repeats summed.
+///
+/// # Panics
+/// Panics if `repeats == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Estimator::new(strategy.into()).spec(spec).seed(seed).repeats(repeats).run(workload)"
+)]
+#[must_use]
+pub fn estimate_repeated<W: Sampleable>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    repeats: usize,
+) -> SamplingEstimate {
+    Estimator::new(strategy.into())
+        .spec(spec)
+        .seed(seed)
+        .repeats(repeats)
+        .run(workload)
+}
+
+/// [`estimate_repeated`] with every repeat's Identify step priced through a
+/// cost profile of its sample.
+///
+/// # Panics
+/// Panics if `repeats == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Estimator::new(strategy.into()).spec(spec).seed(seed).repeats(repeats).profiled().run(workload)"
+)]
+#[must_use]
+pub fn estimate_repeated_profiled<W>(
+    workload: &W,
+    spec: SampleSpec,
+    strategy: IdentifyStrategy,
+    seed: u64,
+    repeats: usize,
+) -> SamplingEstimate
+where
+    W: Sampleable,
+    W::Sample: Profilable,
+{
+    Estimator::new(strategy.into())
+        .spec(spec)
+        .seed(seed)
+        .repeats(repeats)
+        .profiled()
+        .run(workload)
 }
 
 /// The shared Sample → Identify → Extrapolate pipeline; `identify` runs the
@@ -165,7 +420,7 @@ where
 fn estimate_core<W, F>(
     workload: &W,
     spec: SampleSpec,
-    strategy: IdentifyStrategy,
+    strategy_name: &'static str,
     seed: u64,
     rec: &Recorder,
     identify: F,
@@ -178,7 +433,7 @@ where
     let estimate_span = rec.open_with(
         "estimate",
         vec![
-            ("strategy".to_string(), ArgValue::from(strategy.name())),
+            ("strategy".to_string(), ArgValue::from(strategy_name)),
             ("seed".to_string(), ArgValue::U64(seed)),
         ],
     );
@@ -229,6 +484,20 @@ where
         overhead: workload.sampling_cost() + outcome.search_cost,
         evaluations: outcome.evaluations(),
         sample_size: sample.size(),
+    }
+}
+
+/// Median-threshold estimate of a batch of repeats, with overheads and
+/// evaluation counts summed (every miniature run costs simulated time).
+fn median_estimate(mut runs: Vec<SamplingEstimate>) -> SamplingEstimate {
+    runs.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
+    let total_overhead: SimTime = runs.iter().map(|r| r.overhead).sum();
+    let total_evals: usize = runs.iter().map(|r| r.evaluations).sum();
+    let median = runs.swap_remove(runs.len() / 2);
+    SamplingEstimate {
+        overhead: total_overhead,
+        evaluations: total_evals,
+        ..median
     }
 }
 
@@ -297,7 +566,7 @@ mod tests {
             cost_scale: 10.0,
             n: 1 << 20,
         };
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(1).run(&w);
         assert_eq!(est.threshold, 23.0);
         assert_eq!(est.sample_threshold, 23.0);
     }
@@ -309,7 +578,7 @@ mod tests {
             cost_scale: 10.0,
             n: 1 << 20,
         };
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(1).run(&w);
         let full_run = w.time_at(est.threshold);
         // ~30 sample evals at 1/100 cost each ≈ 0.3 full runs; require < 1.
         assert!(
@@ -329,12 +598,12 @@ mod tests {
             n: 1 << 16,
         };
         for strategy in [
-            IdentifyStrategy::CoarseToFine,
-            IdentifyStrategy::RaceThenFine,
-            IdentifyStrategy::GradientDescent { max_evals: 30 },
-            IdentifyStrategy::Exhaustive,
+            Strategy::CoarseToFine,
+            Strategy::RaceThenFine,
+            Strategy::GradientDescent { max_evals: 30 },
+            Strategy::Exhaustive { step: None },
         ] {
-            let est = estimate(&w, SampleSpec::default(), strategy, 7);
+            let est = Estimator::new(strategy).seed(7).run(&w);
             assert!(
                 (est.threshold - 64.0).abs() <= 8.0,
                 "{strategy:?} found {}",
@@ -350,8 +619,10 @@ mod tests {
             cost_scale: 1.0,
             n: 4096,
         };
-        let ctf = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 3);
-        let exh = estimate(&w, SampleSpec::default(), IdentifyStrategy::Exhaustive, 3);
+        let ctf = Estimator::new(Strategy::CoarseToFine).seed(3).run(&w);
+        let exh = Estimator::new(Strategy::Exhaustive { step: None })
+            .seed(3)
+            .run(&w);
         assert!(exh.evaluations > ctf.evaluations);
         assert!(exh.overhead > ctf.overhead);
     }
@@ -363,93 +634,38 @@ mod tests {
             cost_scale: 1.0,
             n: 1 << 16,
         };
-        let small = estimate(
-            &w,
-            SampleSpec::scaled(0.25),
-            IdentifyStrategy::CoarseToFine,
-            3,
-        );
-        let big = estimate(
-            &w,
-            SampleSpec::scaled(4.0),
-            IdentifyStrategy::CoarseToFine,
-            3,
-        );
+        let small = Estimator::new(Strategy::CoarseToFine)
+            .spec(SampleSpec::scaled(0.25))
+            .seed(3)
+            .run(&w);
+        let big = Estimator::new(Strategy::CoarseToFine)
+            .spec(SampleSpec::scaled(4.0))
+            .seed(3)
+            .run(&w);
         assert!(big.sample_size > small.sample_size);
     }
-}
 
-/// Runs [`estimate`] on `repeats` independent samples and returns the
-/// median-threshold estimate, with the overheads of *all* repeats summed
-/// (every miniature run costs simulated time).
-///
-/// The paper motivates this directly: "since the size of the sampled input
-/// is expected to be small, our method allows us the freedom to conduct
-/// multiple runs of the algorithm on the sampled input" (§II). Repeats
-/// suppress sampling variance; they cannot remove systematic bias.
-///
-/// # Panics
-/// Panics if `repeats == 0`.
-#[must_use]
-pub fn estimate_repeated<W: Sampleable>(
-    workload: &W,
-    spec: SampleSpec,
-    strategy: IdentifyStrategy,
-    seed: u64,
-    repeats: usize,
-) -> SamplingEstimate {
-    assert!(repeats > 0, "need at least one repeat");
-    // Repeats are independent estimations on independent samples: dispatch
-    // them across the pool; the ordered map keeps run order = seed order.
-    let runs: Vec<SamplingEstimate> = Pool::global().map_indices(repeats, |k| {
-        estimate(workload, spec, strategy, seed.wrapping_add(k as u64))
-    });
-    median_estimate(runs)
-}
-
-/// [`estimate_repeated`] with every repeat's Identify step priced through a
-/// cost profile of its sample (see [`estimate_profiled`]). Same estimate,
-/// lower wall-clock cost per repeat.
-///
-/// # Panics
-/// Panics if `repeats == 0`.
-#[must_use]
-pub fn estimate_repeated_profiled<W>(
-    workload: &W,
-    spec: SampleSpec,
-    strategy: IdentifyStrategy,
-    seed: u64,
-    repeats: usize,
-) -> SamplingEstimate
-where
-    W: Sampleable,
-    W::Sample: Profilable,
-{
-    assert!(repeats > 0, "need at least one repeat");
-    let runs: Vec<SamplingEstimate> = Pool::global().map_indices(repeats, |k| {
-        estimate_profiled(
-            workload,
-            spec,
-            strategy,
-            seed.wrapping_add(k as u64),
-            &Recorder::disabled(),
-            Pool::global(),
-        )
-    });
-    median_estimate(runs)
-}
-
-/// Median-threshold estimate of a batch of repeats, with overheads and
-/// evaluation counts summed (every miniature run costs simulated time).
-fn median_estimate(mut runs: Vec<SamplingEstimate>) -> SamplingEstimate {
-    runs.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
-    let total_overhead: SimTime = runs.iter().map(|r| r.overhead).sum();
-    let total_evals: usize = runs.iter().map(|r| r.evaluations).sum();
-    let median = runs.swap_remove(runs.len() / 2);
-    SamplingEstimate {
-        overhead: total_overhead,
-        evaluations: total_evals,
-        ..median
+    #[test]
+    fn identify_strategy_lifts_into_strategy() {
+        assert_eq!(
+            Strategy::from(IdentifyStrategy::Exhaustive),
+            Strategy::Exhaustive { step: None }
+        );
+        assert_eq!(
+            Strategy::from(IdentifyStrategy::GradientDescent { max_evals: 9 }),
+            Strategy::GradientDescent { max_evals: 9 }
+        );
+        // Shared names keep trace span args identical across the two enums.
+        for (i, s) in [
+            (IdentifyStrategy::CoarseToFine, Strategy::CoarseToFine),
+            (IdentifyStrategy::RaceThenFine, Strategy::RaceThenFine),
+            (
+                IdentifyStrategy::Exhaustive,
+                Strategy::Exhaustive { step: None },
+            ),
+        ] {
+            assert_eq!(i.name(), s.name());
+        }
     }
 }
 
@@ -518,19 +734,11 @@ mod repeat_tests {
         let mut err1 = 0.0;
         let mut err5 = 0.0;
         for seed in 0..12 {
-            let single = estimate(
-                &w,
-                SampleSpec::default(),
-                IdentifyStrategy::CoarseToFine,
-                seed,
-            );
-            let multi = estimate_repeated(
-                &w,
-                SampleSpec::default(),
-                IdentifyStrategy::CoarseToFine,
-                seed,
-                5,
-            );
+            let single = Estimator::new(Strategy::CoarseToFine).seed(seed).run(&w);
+            let multi = Estimator::new(Strategy::CoarseToFine)
+                .seed(seed)
+                .repeats(5)
+                .run(&w);
             err1 += (single.threshold - 50.0).abs();
             err5 += (multi.threshold - 50.0).abs();
         }
@@ -546,14 +754,11 @@ mod repeat_tests {
             opt: 30.0,
             noise: 0.0,
         };
-        let single = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 3);
-        let multi = estimate_repeated(
-            &w,
-            SampleSpec::default(),
-            IdentifyStrategy::CoarseToFine,
-            3,
-            4,
-        );
+        let single = Estimator::new(Strategy::CoarseToFine).seed(3).run(&w);
+        let multi = Estimator::new(Strategy::CoarseToFine)
+            .seed(3)
+            .repeats(4)
+            .run(&w);
         assert!(multi.overhead > single.overhead * 3.0);
         assert!(multi.evaluations >= single.evaluations * 3);
     }
@@ -561,16 +766,6 @@ mod repeat_tests {
     #[test]
     #[should_panic(expected = "at least one repeat")]
     fn zero_repeats_rejected() {
-        let w = Jittery {
-            opt: 30.0,
-            noise: 0.0,
-        };
-        let _ = estimate_repeated(
-            &w,
-            SampleSpec::default(),
-            IdentifyStrategy::CoarseToFine,
-            3,
-            0,
-        );
+        let _ = Estimator::new(Strategy::CoarseToFine).repeats(0);
     }
 }

@@ -8,12 +8,10 @@ use nbwp_trace::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::baselines;
-use crate::estimator::{
-    estimate, estimate_profiled, estimate_with, IdentifyStrategy, SamplingEstimate,
-};
+use crate::estimator::{Estimator, IdentifyStrategy, SamplingEstimate};
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
-use crate::profile::{Profilable, ProfiledWorkload};
-use crate::search;
+use crate::profile::{Profilable, ProfiledWorkload, Resampleable};
+use crate::search::{Searcher, Strategy};
 
 /// Configuration of one experiment run.
 #[derive(Copy, Clone, Debug)]
@@ -180,8 +178,15 @@ pub fn run_one_with<W: Sampleable>(
     config: &ExperimentConfig,
     rec: &Recorder,
 ) -> ExperimentRow {
-    let exhaustive = search::exhaustive(w, config.exhaustive_step);
-    let est: SamplingEstimate = estimate_with(w, config.spec, config.strategy, config.seed, rec);
+    let exhaustive = Searcher::new(Strategy::Exhaustive {
+        step: Some(config.exhaustive_step),
+    })
+    .run(w);
+    let est: SamplingEstimate = Estimator::new(config.strategy.into())
+        .spec(config.spec)
+        .seed(config.seed)
+        .recorder(rec)
+        .run(w);
     let space = w.space();
     let naive_static_t = if space.logarithmic {
         None
@@ -215,7 +220,7 @@ pub fn run_one_with<W: Sampleable>(
 /// [`run_one_with`] with every full-input pricing — the exhaustive
 /// reference search and all baseline re-pricings — answered through one
 /// cost profile of the workload, and the sampling estimate's Identify step
-/// profiled as well (see [`estimate_profiled`]).
+/// profiled as well (see [`Estimator::profiled`]).
 ///
 /// The row is **identical** to [`run_one_with`]'s (profiled pricing is
 /// bitwise equal to direct runs); only the wall-clock cost of producing it
@@ -236,10 +241,18 @@ where
     let pw = ProfiledWorkload::with_pool(w, pool);
     // Reference search on the full input, priced through the profile. Like
     // `run_one_with`, the reference is not traced eval-by-eval.
-    let exhaustive =
-        search::exhaustive_pooled(&pw, config.exhaustive_step, &Recorder::disabled(), pool);
-    let est: SamplingEstimate =
-        estimate_profiled(w, config.spec, config.strategy, config.seed, rec, pool);
+    let exhaustive = Searcher::new(Strategy::Exhaustive {
+        step: Some(config.exhaustive_step),
+    })
+    .pool(pool)
+    .run(&pw);
+    let est: SamplingEstimate = Estimator::new(config.strategy.into())
+        .spec(config.spec)
+        .seed(config.seed)
+        .recorder(rec)
+        .pool(pool)
+        .profiled()
+        .run(w);
     let space = w.space();
     let naive_static_t = if space.logarithmic {
         None
@@ -332,7 +345,10 @@ pub fn sensitivity<W: Sampleable>(
     seed: u64,
 ) -> Vec<SensitivityPoint> {
     Pool::global().map(factors, |&factor| {
-        let est = estimate(w, SampleSpec::scaled(factor), strategy, seed);
+        let est = Estimator::new(strategy.into())
+            .spec(SampleSpec::scaled(factor))
+            .seed(seed)
+            .run(w);
         let run = w.time_at(est.threshold);
         SensitivityPoint {
             factor,
@@ -342,6 +358,52 @@ pub fn sensitivity<W: Sampleable>(
             estimated_t: est.threshold,
         }
     })
+}
+
+/// [`sensitivity`] for [`Resampleable`] workloads: every factor's miniature
+/// is *derived from one shared cost profile* of the full input instead of
+/// re-sampling the raw input per factor, so the whole sweep performs
+/// exactly one full profile build (`profile.builds == 1` in `rec`'s
+/// metrics) plus one cheap subset pass per factor.
+///
+/// Each miniature's Identify search runs through its own (trivially cheap)
+/// profile, so any [`Strategy`] — including [`Strategy::Analytic`] — is
+/// admissible. Resampleable workloads extrapolate by identity (their
+/// miniatures keep the full input's threshold semantics; see
+/// [`Resampleable`]), so the estimated threshold is the miniature's best,
+/// clamped to the space. The reported `estimation_ms` charges the same
+/// sample-construction cost as [`sensitivity`], keeping the two sweeps'
+/// points directly comparable.
+#[must_use]
+pub fn sensitivity_resampled<W>(
+    w: &W,
+    factors: &[f64],
+    strategy: Strategy,
+    seed: u64,
+    rec: &Recorder,
+) -> Vec<SensitivityPoint>
+where
+    W: Resampleable,
+    W::Resampled: Profilable,
+{
+    let pool = Pool::global();
+    let pw = ProfiledWorkload::with_pool(w, pool);
+    let points = pool.map(factors, |&factor| {
+        let mini = w.resample(pw.profile(), SampleSpec::scaled(factor), seed);
+        let outcome = Searcher::new(strategy).pool(pool).profiled().run(&mini);
+        let threshold = w.space().clamp(outcome.best_t);
+        let overhead = w.sampling_cost() + outcome.search_cost;
+        let run = pw.time_at(threshold);
+        SensitivityPoint {
+            factor,
+            sample_size: mini.size(),
+            estimation_ms: overhead.as_millis(),
+            total_ms: (overhead + run).as_millis(),
+            estimated_t: threshold,
+        }
+    });
+    pw.flush_metrics(rec);
+    points
 }
 
 /// Table I row: workload-level averages.

@@ -157,28 +157,18 @@ pub fn calibrate_extrapolator<W: crate::framework::Sampleable>(
     strategy: crate::estimator::IdentifyStrategy,
     seed: u64,
 ) -> Option<Extrapolator> {
-    use crate::search;
+    use crate::search::{Searcher, Strategy};
     let mut pairs = Vec::with_capacity(corpus.len());
     for (k, w) in corpus.iter().enumerate() {
         let mut rng =
             <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed.wrapping_add(k as u64));
         let sample = w.sample(crate::framework::SampleSpec::default(), &mut rng);
-        let sample_best = match strategy {
-            crate::estimator::IdentifyStrategy::CoarseToFine => {
-                search::coarse_to_fine(&sample).best_t
-            }
-            crate::estimator::IdentifyStrategy::RaceThenFine => {
-                search::race_then_fine(&sample).best_t
-            }
-            crate::estimator::IdentifyStrategy::GradientDescent { max_evals } => {
-                search::gradient_descent(&sample, max_evals).best_t
-            }
-            crate::estimator::IdentifyStrategy::Exhaustive => {
-                let step = crate::framework::PartitionedWorkload::space(&sample).fine_step;
-                search::exhaustive(&sample, step).best_t
-            }
-        };
-        let full_best = search::exhaustive(w, w.space().fine_step.max(1.05)).best_t;
+        let sample_best = Searcher::new(Strategy::from(strategy)).run(&sample).best_t;
+        let full_best = Searcher::new(Strategy::Exhaustive {
+            step: Some(w.space().fine_step.max(1.05)),
+        })
+        .run(w)
+        .best_t;
         pairs.push((sample_best, full_best));
     }
     fit_power(&pairs)

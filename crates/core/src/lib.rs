@@ -25,7 +25,7 @@
 //! let g = gen::web(4_000, 6, 42);
 //! let w = CcWorkload::new(g, Platform::k40c_xeon_e5_2650());
 //! // Estimate the CC threshold with the paper's method:
-//! let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7);
+//! let est = Estimator::new(Strategy::CoarseToFine).seed(7).run(&w);
 //! assert!((0.0..=100.0).contains(&est.threshold));
 //! ```
 
@@ -48,23 +48,31 @@ pub mod workloads;
 pub mod prelude {
     pub use crate::baselines::{self, naive_average, naive_static};
     pub use crate::energy::{exhaustive_energy, EnergySweep, PowerModel};
+    #[allow(deprecated)] // the shims stay importable through the prelude
     pub use crate::estimator::{
         estimate, estimate_pooled, estimate_profiled, estimate_repeated,
-        estimate_repeated_profiled, estimate_with, IdentifyStrategy, SamplingEstimate,
+        estimate_repeated_profiled, estimate_with,
     };
+    pub use crate::estimator::{Estimator, IdentifyStrategy, ProfiledEstimator, SamplingEstimate};
     pub use crate::evalcache::EvalCache;
     pub use crate::experiment::{
         fill_naive_average, run_corpus, run_one, run_one_profiled, run_one_with, sensitivity,
-        summarize, ExperimentConfig, ExperimentRow, SensitivityPoint, Summary,
+        sensitivity_resampled, summarize, ExperimentConfig, ExperimentRow, SensitivityPoint,
+        Summary,
     };
     pub use crate::extrapolate::{calibrate_extrapolator, fit_power, Extrapolator};
     pub use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
-    pub use crate::profile::{Profilable, ProfiledWorkload};
+    pub use crate::profile::{Profilable, ProfiledWorkload, Resampleable};
+    #[allow(deprecated)] // the shims stay importable through the prelude
     pub use crate::search::{
         coarse_to_fine, coarse_to_fine_pooled, coarse_to_fine_profiled, coarse_to_fine_with,
         exhaustive, exhaustive_pooled, exhaustive_profiled, exhaustive_with, gradient_descent,
         gradient_descent_pooled, gradient_descent_profiled, gradient_descent_with, race_then_fine,
-        race_then_fine_pooled, race_then_fine_profiled, race_then_fine_with, SearchOutcome,
+        race_then_fine_pooled, race_then_fine_profiled, race_then_fine_with,
+    };
+    pub use crate::search::{
+        gradient_descent_analytic, ProfiledSearcher, SearchOutcome, Searcher, Strategy,
+        UnknownStrategy, DEFAULT_GRADIENT_EVALS,
     };
     pub use crate::workloads::{
         CcSampler, CcWorkload, DenseGemmWorkload, HhSampler, HhWorkload, ListRankingWorkload,
@@ -72,6 +80,6 @@ pub mod prelude {
         SpmvWorkload,
     };
     pub use nbwp_par::Pool;
-    pub use nbwp_sim::{Platform, SimTime};
+    pub use nbwp_sim::{CurveEval, Platform, SimTime};
     pub use nbwp_trace::{Recorder, Trace};
 }

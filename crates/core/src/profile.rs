@@ -37,11 +37,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use nbwp_par::Pool;
-use nbwp_sim::{Platform, RunReport};
+use nbwp_sim::{CurveEval, Platform, RunReport};
 use nbwp_trace::Recorder;
 
 use crate::evalcache::{self, EvalCache};
-use crate::framework::{PartitionedWorkload, ThresholdSpace};
+use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 
 /// A workload whose per-threshold cost can be computed from a reusable
 /// profile built in one instrumented pass.
@@ -65,6 +65,39 @@ pub trait Profilable: PartitionedWorkload {
     /// Prices one run at threshold `t` from the profile. Must be bitwise
     /// equal to [`PartitionedWorkload::run`] at the same `t`.
     fn run_profiled(&self, profile: &Self::Profile, t: f64) -> RunReport;
+
+    /// The total-cost curve over `profile` as a [`CurveEval`], when the
+    /// workload supports split-indexed pricing. The curve must satisfy
+    /// `total_at(split_for(t)) == run(t).total()` bitwise for every
+    /// admissible `t`; the analytic search strategy relies on it. The
+    /// default (`None`) keeps profile-only workloads working — they simply
+    /// cannot run [`crate::search::Strategy::Analytic`].
+    fn curve<'p>(&'p self, profile: &'p Self::Profile) -> Option<Box<dyn CurveEval + 'p>> {
+        let _ = profile;
+        None
+    }
+}
+
+/// A [`Sampleable`] workload whose miniature can be *derived from the
+/// profile* instead of rebuilt from the raw input.
+///
+/// [`Sampleable::sample`] re-reads the input per miniature (`O(input)`
+/// each), so a sensitivity sweep over `k` sample factors pays `k` full
+/// passes. `resample` instead selects the miniature's per-unit costs out
+/// of an already-built profile — one subset pass over curves that already
+/// exist — so the sweep builds exactly **one** full profile
+/// (`profile.builds == 1`) no matter how many factors it visits.
+///
+/// The resampled miniature prices runs the same way the profiled full
+/// workload does (curve range sums), with fixed costs rescaled by the
+/// miniature's measured work share exactly as `sample` rescales them.
+pub trait Resampleable: Profilable + Sampleable {
+    /// The derived miniature workload type.
+    type Resampled: PartitionedWorkload;
+
+    /// Derives a miniature at `spec.factor` from `profile`, drawing the
+    /// subset with `seed`. Must not touch the raw input.
+    fn resample(&self, profile: &Self::Profile, spec: SampleSpec, seed: u64) -> Self::Resampled;
 }
 
 /// A [`Profilable`] workload bundled with its built profile and a bounded
@@ -144,10 +177,14 @@ impl<'w, W: Profilable> ProfiledWorkload<'w, W> {
     }
 
     /// Exports the cache totals into `rec`'s metrics registry as the
-    /// `profile.cache_hit` / `profile.cache_miss` counters. Call once after
-    /// a search completes (the recorder is single-threaded, so the counters
-    /// cannot be bumped from inside the pooled evaluations).
+    /// `profile.cache_hit` / `profile.cache_miss` counters, and counts
+    /// this wrapper's one-time profile build in `profile.builds` — the
+    /// counter sensitivity sweeps use to prove they profile the full
+    /// input exactly once. Call once after a search completes (the
+    /// recorder is single-threaded, so the counters cannot be bumped from
+    /// inside the pooled evaluations).
     pub fn flush_metrics(&self, rec: &Recorder) {
+        rec.counter_add("profile.builds", 1);
         rec.counter_add("profile.cache_hit", self.cache_hits());
         rec.counter_add("profile.cache_miss", self.cache_misses());
     }

@@ -1,19 +1,40 @@
-//! Step 2 ("Identify") — threshold search strategies.
+//! Step 2 ("Identify") — threshold search strategies behind one builder.
 //!
-//! * [`exhaustive`] — evaluate every grid point: the paper's reference
-//!   "best possible threshold" (impractical on the full input, used to
-//!   measure the quality of everything else).
-//! * [`coarse_to_fine`] — the paper's CC identify step: stride 8, then
-//!   stride 1 around the best coarse point (§III.A.2).
-//! * [`race_then_fine`] — the paper's spmm identify step: estimate a rough
-//!   split from the two devices' standalone rates (the "race"), then fine
-//!   search around it (§IV.A(b)).
-//! * [`gradient_descent`] — the paper's scale-free identify step: discrete
-//!   hill climbing with a shrinking step (§V.A.2).
+//! A search is configured by a [`Strategy`] and run through the
+//! [`Searcher`] builder:
+//!
+//! * [`Strategy::Exhaustive`] — evaluate every grid point: the paper's
+//!   reference "best possible threshold" (impractical on the full input,
+//!   used to measure the quality of everything else).
+//! * [`Strategy::CoarseToFine`] — the paper's CC identify step: stride 8,
+//!   then stride 1 around the best coarse point (§III.A.2).
+//! * [`Strategy::RaceThenFine`] — the paper's spmm identify step: estimate
+//!   a rough split from the two devices' standalone rates (the "race"),
+//!   then fine search around it (§IV.A(b)).
+//! * [`Strategy::GradientDescent`] — the paper's scale-free identify step:
+//!   discrete hill climbing with a shrinking step (§V.A.2), finite-
+//!   differencing `run()`.
+//! * [`Strategy::Analytic`] — subgradient descent on the *cost curve*
+//!   itself ([`nbwp_sim::CurveEval`]): the profile prices every split in
+//!   O(1), so the argmin is located by sign-change bisection on exact
+//!   adjacent-split differences and only the surviving candidates are
+//!   evaluated. Requires [`Searcher::profiled`].
 //!
 //! Every strategy records each candidate it evaluated and the *simulated
 //! cost* of those evaluations; that cost is the estimation overhead the
 //! paper's Table I reports.
+//!
+//! ```
+//! use nbwp_core::prelude::*;
+//! use nbwp_sparse::gen;
+//! let w = SpmmWorkload::new(gen::uniform_random(200, 6, 1), Platform::k40c_xeon_e5_2650());
+//! let out = Searcher::new(Strategy::CoarseToFine).run(&w);
+//! assert!((0.0..=100.0).contains(&out.best_t));
+//! assert!(out.evaluations() < 101); // far fewer than exhaustive
+//! // Analytic descent over the cost profile: same argmin, fewer evals.
+//! let analytic = Searcher::new(Strategy::Analytic { step: None }).profiled().run(&w);
+//! assert_eq!(analytic.best_t, Searcher::new(Strategy::Exhaustive { step: None }).run(&w).best_t);
+//! ```
 //!
 //! ## Parallel evaluation, deterministic results
 //!
@@ -24,12 +45,19 @@
 //! order* into the trace [`Recorder`]. Simulated times come from counters
 //! alone, so `SearchOutcome` (eval order included), `search_cost`, and
 //! trace captures are byte-identical for every `NBWP_THREADS` value —
-//! parallelism buys wall-clock time only. The `*_pooled` variants take an
-//! explicit pool for benchmarks sweeping thread counts in one process; the
-//! plain and `*_with` entry points use [`nbwp_par::Pool::global`].
+//! parallelism buys wall-clock time only. [`Searcher::pool`] takes an
+//! explicit pool for benchmarks sweeping thread counts in one process;
+//! without it the builder uses [`nbwp_par::Pool::global`].
+//!
+//! The pre-builder free functions (`exhaustive`, `coarse_to_fine_with`,
+//! `gradient_descent_profiled`, …) remain as deprecated shims delegating
+//! to the builder — see the README migration table.
+
+use std::fmt;
+use std::str::FromStr;
 
 use nbwp_par::Pool;
-use nbwp_sim::{RunReport, SimTime};
+use nbwp_sim::{CurveEval, RunReport, SimTime};
 use nbwp_trace::{ArgValue, Recorder};
 
 use crate::evalcache::quantize;
@@ -37,7 +65,7 @@ use crate::framework::{PartitionedWorkload, ThresholdSpace};
 use crate::profile::{Profilable, ProfiledWorkload};
 
 /// Outcome of a threshold search.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SearchOutcome {
     /// The best threshold found.
     pub best_t: f64,
@@ -47,6 +75,11 @@ pub struct SearchOutcome {
     pub evals: Vec<(f64, SimTime)>,
     /// Total simulated cost of the evaluations (Σ run totals).
     pub search_cost: SimTime,
+    /// O(1) curve-total probes the analytic strategy spent locating its
+    /// candidates (0 for every other strategy). Probes price a split from
+    /// the profile's range sums; they are not candidate evaluations and
+    /// do not appear in `evals`.
+    pub grad_probes: usize,
 }
 
 impl SearchOutcome {
@@ -68,6 +101,7 @@ impl SearchOutcome {
             best_time,
             evals,
             search_cost,
+            grad_probes: 0,
         }
     }
 
@@ -76,6 +110,216 @@ impl SearchOutcome {
     pub fn evaluations(&self) -> usize {
         self.evals.len()
     }
+}
+
+/// Which search strategy a [`Searcher`] (or `Estimator`) runs.
+///
+/// `step: None` resolves to the space's `fine_step` at run time, matching
+/// the paper's "best possible" grid granularity.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Strategy {
+    /// Every grid point at `step` granularity.
+    Exhaustive {
+        /// Grid step; `None` = the space's fine step.
+        step: Option<f64>,
+    },
+    /// Coarse grid, then fine refinement around the coarse winner.
+    CoarseToFine,
+    /// Device race for a balance estimate, then fine probes around it.
+    RaceThenFine,
+    /// Finite-difference hill climbing under an evaluation budget.
+    GradientDescent {
+        /// Total candidate-evaluation budget (≥ 3).
+        max_evals: usize,
+    },
+    /// Subgradient bisection on the cost curve (profiled runs only).
+    Analytic {
+        /// Candidate-grid step; `None` = the space's fine step.
+        step: Option<f64>,
+    },
+}
+
+/// Default evaluation budget for [`Strategy::GradientDescent`] when parsed
+/// from a name (the scale-free preset the CLI and experiments use).
+pub const DEFAULT_GRADIENT_EVALS: usize = 24;
+
+impl Strategy {
+    /// Stable snake_case name (used for span args, reports, and parsing).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive { .. } => "exhaustive",
+            Strategy::CoarseToFine => "coarse_to_fine",
+            Strategy::RaceThenFine => "race_then_fine",
+            Strategy::GradientDescent { .. } => "gradient_descent",
+            Strategy::Analytic { .. } => "analytic",
+        }
+    }
+}
+
+/// Error for [`Strategy::from_str`]: the name matched no strategy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownStrategy(String);
+
+impl fmt::Display for UnknownStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy '{}' (expected exhaustive, coarse_to_fine, \
+             race_then_fine, gradient_descent, or analytic)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownStrategy {}
+
+impl FromStr for Strategy {
+    type Err = UnknownStrategy;
+
+    /// Parses a strategy by its [`Strategy::name`] (hyphens are accepted
+    /// in place of underscores). Parameterized strategies get their
+    /// defaults: fine-step grids and a [`DEFAULT_GRADIENT_EVALS`] budget.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.replace('-', "_").as_str() {
+            "exhaustive" => Ok(Strategy::Exhaustive { step: None }),
+            "coarse_to_fine" => Ok(Strategy::CoarseToFine),
+            "race_then_fine" => Ok(Strategy::RaceThenFine),
+            "gradient_descent" => Ok(Strategy::GradientDescent {
+                max_evals: DEFAULT_GRADIENT_EVALS,
+            }),
+            "analytic" => Ok(Strategy::Analytic { step: None }),
+            _ => Err(UnknownStrategy(s.to_string())),
+        }
+    }
+}
+
+/// Builder running one search [`Strategy`] over a workload.
+///
+/// Defaults: disabled recorder, [`Pool::global`]. Both attachments borrow,
+/// so the builder is configured and consumed within one scope:
+///
+/// ```
+/// use nbwp_core::prelude::*;
+/// use nbwp_sparse::gen;
+/// let w = SpmmWorkload::new(gen::uniform_random(150, 5, 3), Platform::k40c_xeon_e5_2650());
+/// let rec = Recorder::new();
+/// let pool = Pool::new(2);
+/// let out = Searcher::new(Strategy::Exhaustive { step: Some(4.0) })
+///     .recorder(&rec)
+///     .pool(&pool)
+///     .run(&w);
+/// assert_eq!(out.evaluations(), 26);
+/// ```
+#[derive(Copy, Clone)]
+pub struct Searcher<'a> {
+    strategy: Strategy,
+    rec: Option<&'a Recorder>,
+    pool: Option<&'a Pool>,
+}
+
+impl<'a> Searcher<'a> {
+    /// A searcher running `strategy` with the default recorder and pool.
+    #[must_use]
+    pub fn new(strategy: Strategy) -> Self {
+        Searcher {
+            strategy,
+            rec: None,
+            pool: None,
+        }
+    }
+
+    /// Traces candidate evaluations (and flushed profile metrics) into
+    /// `rec`.
+    #[must_use]
+    pub fn recorder(mut self, rec: &'a Recorder) -> Self {
+        self.rec = Some(rec);
+        self
+    }
+
+    /// Evaluates candidate batches on `pool` instead of the global pool.
+    /// Results are byte-identical for any pool (see the module docs).
+    #[must_use]
+    pub fn pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Switches to profiled evaluation: the run builds one cost profile,
+    /// prices every candidate from it, and flushes cache/build metrics.
+    /// Required for [`Strategy::Analytic`].
+    #[must_use]
+    pub fn profiled(self) -> ProfiledSearcher<'a> {
+        ProfiledSearcher { inner: self }
+    }
+
+    /// Runs the strategy over direct `w.run()` evaluations.
+    ///
+    /// # Panics
+    /// Panics for [`Strategy::Analytic`], which needs a cost profile —
+    /// call [`Searcher::profiled`] first.
+    #[must_use]
+    pub fn run(&self, w: &impl PartitionedWorkload) -> SearchOutcome {
+        let disabled = Recorder::disabled();
+        let rec = self.rec.unwrap_or(&disabled);
+        let pool = self.pool.unwrap_or(Pool::global());
+        match self.strategy {
+            Strategy::Exhaustive { step } => {
+                exhaustive_impl(w, resolve_step(step, &w.space()), rec, pool)
+            }
+            Strategy::CoarseToFine => coarse_to_fine_impl(w, rec, pool),
+            Strategy::RaceThenFine => race_then_fine_impl(w, rec, pool),
+            Strategy::GradientDescent { max_evals } => {
+                gradient_descent_impl(w, max_evals, rec, pool)
+            }
+            Strategy::Analytic { .. } => {
+                panic!("analytic search prices splits from a cost profile; use .profiled().run()")
+            }
+        }
+    }
+}
+
+/// A [`Searcher`] that evaluates through a one-time cost profile of the
+/// workload: the profile is built once (through the pool), every candidate
+/// is priced from it — bitwise equal to direct evaluation — and repeated
+/// thresholds come from the bounded eval cache. Cache and build totals
+/// land in the recorder's metrics as `profile.cache_hit` /
+/// `profile.cache_miss` / `profile.builds`.
+#[derive(Copy, Clone)]
+pub struct ProfiledSearcher<'a> {
+    inner: Searcher<'a>,
+}
+
+impl ProfiledSearcher<'_> {
+    /// Runs the strategy over one cost profile of `w`.
+    #[must_use]
+    pub fn run(&self, w: &impl Profilable) -> SearchOutcome {
+        let disabled = Recorder::disabled();
+        let rec = self.inner.rec.unwrap_or(&disabled);
+        let pool = self.inner.pool.unwrap_or(Pool::global());
+        let pw = ProfiledWorkload::with_pool(w, pool);
+        let out = match self.inner.strategy {
+            Strategy::Exhaustive { step } => {
+                exhaustive_impl(&pw, resolve_step(step, &pw.space()), rec, pool)
+            }
+            Strategy::CoarseToFine => coarse_to_fine_impl(&pw, rec, pool),
+            Strategy::RaceThenFine => race_then_fine_impl(&pw, rec, pool),
+            Strategy::GradientDescent { max_evals } => {
+                gradient_descent_impl(&pw, max_evals, rec, pool)
+            }
+            Strategy::Analytic { step } => {
+                analytic_impl(w, &pw, resolve_step(step, &pw.space()), rec, pool)
+            }
+        };
+        pw.flush_metrics(rec);
+        out
+    }
+}
+
+/// `None` grid steps resolve to the space's fine step (linear or
+/// multiplicative, depending on the space).
+fn resolve_step(step: Option<f64>, space: &ThresholdSpace) -> f64 {
+    step.unwrap_or(space.fine_step)
 }
 
 /// Replays one already-computed candidate run into the recorder (when
@@ -114,30 +358,11 @@ fn eval_grid(
         .collect()
 }
 
-/// Exhaustive search over the whole space at `step` granularity
-/// (`step = space.fine_step` reproduces the paper's "best possible"
-/// reference at percent granularity).
-#[must_use]
-pub fn exhaustive(w: &impl PartitionedWorkload, step: f64) -> SearchOutcome {
-    exhaustive_with(w, step, &Recorder::disabled())
-}
-
-/// [`exhaustive`], tracing every candidate evaluation into `rec`.
-#[must_use]
-pub fn exhaustive_with(w: &impl PartitionedWorkload, step: f64, rec: &Recorder) -> SearchOutcome {
-    exhaustive_pooled(w, step, rec, Pool::global())
-}
-
-/// [`exhaustive_with`] on an explicit worker pool.
-#[must_use]
-pub fn exhaustive_pooled(
-    w: &impl PartitionedWorkload,
-    step: f64,
-    rec: &Recorder,
-    pool: &Pool,
-) -> SearchOutcome {
+/// The full candidate grid of `space` at `step` granularity: additive for
+/// linear spaces, multiplicative for logarithmic ones, always including
+/// the upper bound.
+fn grid_points(space: &ThresholdSpace, step: f64) -> Vec<f64> {
     assert!(step > 0.0, "step must be positive");
-    let space = w.space();
     let mut grid = Vec::new();
     if space.logarithmic {
         assert!(
@@ -158,39 +383,20 @@ pub fn exhaustive_pooled(
         }
         grid.push(space.hi);
     }
-    SearchOutcome::from_evals(eval_grid(w, &grid, rec, pool))
+    grid
 }
 
-/// The paper's coarse-to-fine search: evaluate the coarse grid, then the
-/// fine grid around the best coarse candidate.
-///
-/// ```
-/// use nbwp_core::prelude::*;
-/// use nbwp_sparse::gen;
-/// let w = SpmmWorkload::new(gen::uniform_random(200, 6, 1), Platform::k40c_xeon_e5_2650());
-/// let out = coarse_to_fine(&w);
-/// assert!((0.0..=100.0).contains(&out.best_t));
-/// assert!(out.evaluations() < 101); // far fewer than exhaustive
-/// ```
-#[must_use]
-pub fn coarse_to_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
-    coarse_to_fine_with(w, &Recorder::disabled())
-}
-
-/// [`coarse_to_fine`], tracing every candidate evaluation into `rec`.
-#[must_use]
-pub fn coarse_to_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
-    coarse_to_fine_pooled(w, rec, Pool::global())
-}
-
-/// [`coarse_to_fine_with`] on an explicit worker pool: the coarse grid is
-/// one parallel batch, the fine refinement around its winner a second.
-#[must_use]
-pub fn coarse_to_fine_pooled(
+fn exhaustive_impl(
     w: &impl PartitionedWorkload,
+    step: f64,
     rec: &Recorder,
     pool: &Pool,
 ) -> SearchOutcome {
+    let grid = grid_points(&w.space(), step);
+    SearchOutcome::from_evals(eval_grid(w, &grid, rec, pool))
+}
+
+fn coarse_to_fine_impl(w: &impl PartitionedWorkload, rec: &Recorder, pool: &Pool) -> SearchOutcome {
     let space = w.space();
     let mut evals = eval_grid(w, &space.coarse_grid(), rec, pool);
     // Same tie-breaking as `from_evals`: lowest time, then lowest threshold.
@@ -208,34 +414,7 @@ pub fn coarse_to_fine_pooled(
     SearchOutcome::from_evals(evals)
 }
 
-/// The paper's spmm identify step (§IV.A(b)): the *race* runs the whole
-/// (sample) input on both devices concurrently and stops when the first
-/// finishes — one overlapped run, costing `min(T_cpu, T_gpu)` — yielding
-/// the balance estimate `r₀ = 100 · T_gpu / (T_cpu + T_gpu)`. A handful of
-/// fine probes around `r₀` then pin the split.
-#[must_use]
-pub fn race_then_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
-    race_then_fine_with(w, &Recorder::disabled())
-}
-
-/// [`race_then_fine`], tracing into `rec`: the race itself becomes a single
-/// `race` span (its duration is the race's overlapped cost — it is *not* an
-/// `identify.eval`, since the two boundary runs are not candidate
-/// evaluations), followed by one `identify.eval` span per fine probe.
-#[must_use]
-pub fn race_then_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
-    race_then_fine_pooled(w, rec, Pool::global())
-}
-
-/// [`race_then_fine_with`] on an explicit worker pool: the two boundary
-/// runs of the race execute concurrently, then the fine probes go out as
-/// one parallel batch.
-#[must_use]
-pub fn race_then_fine_pooled(
-    w: &impl PartitionedWorkload,
-    rec: &Recorder,
-    pool: &Pool,
-) -> SearchOutcome {
+fn race_then_fine_impl(w: &impl PartitionedWorkload, rec: &Recorder, pool: &Pool) -> SearchOutcome {
     let space = w.space();
     let race_span = rec.open("race");
     let (all_cpu, all_gpu) = pool.join(
@@ -284,37 +463,7 @@ pub fn race_then_fine_pooled(
     out
 }
 
-/// The paper's scale-free identify step: discrete hill climbing ("gradient
-/// descent based approach", §V.A.2) with a step that shrinks when no
-/// neighbor improves. Runs three descents — from the low end, the middle,
-/// and the high end of the space — sharing one evaluation budget, because
-/// HH-CPU cost landscapes are bimodal (an interior hub-offloading basin and
-/// an all-GPU basin at the maximum degree).
-#[must_use]
-pub fn gradient_descent(w: &impl PartitionedWorkload, max_evals: usize) -> SearchOutcome {
-    gradient_descent_with(w, max_evals, &Recorder::disabled())
-}
-
-/// [`gradient_descent`], tracing every *fresh* candidate evaluation into
-/// `rec` (cache hits re-use the earlier result and emit nothing, so the
-/// `identify.eval` span count stays equal to [`SearchOutcome::evaluations`]).
-#[must_use]
-pub fn gradient_descent_with(
-    w: &impl PartitionedWorkload,
-    max_evals: usize,
-    rec: &Recorder,
-) -> SearchOutcome {
-    gradient_descent_pooled(w, max_evals, rec, Pool::global())
-}
-
-/// [`gradient_descent_with`] on an explicit worker pool: the two fresh
-/// neighbor probes of every descent step evaluate concurrently. Which
-/// probes are fresh (and whether the budget admits both) is decided *before*
-/// dispatch from the eval log alone, so the evaluation sequence — and with
-/// it the cache behaviour, budget accounting, and trace — is identical to
-/// the serial descent.
-#[must_use]
-pub fn gradient_descent_pooled(
+fn gradient_descent_impl(
     w: &impl PartitionedWorkload,
     max_evals: usize,
     rec: &Recorder,
@@ -415,6 +564,154 @@ pub fn gradient_descent_pooled(
     SearchOutcome::from_evals(evals)
 }
 
+/// Memoized curve-total lookups over the candidate list, counting probes.
+struct CurveMemo<'c> {
+    curve: &'c dyn CurveEval,
+    splits: Vec<usize>,
+    totals: Vec<Option<SimTime>>,
+    probes: usize,
+}
+
+impl<'c> CurveMemo<'c> {
+    fn new(curve: &'c dyn CurveEval, cands: &[(f64, usize)]) -> Self {
+        let splits: Vec<usize> = cands.iter().map(|&(_, s)| s).collect();
+        CurveMemo {
+            curve,
+            totals: vec![None; splits.len()],
+            splits,
+            probes: 0,
+        }
+    }
+
+    fn total(&mut self, i: usize) -> SimTime {
+        if let Some(v) = self.totals[i] {
+            return v;
+        }
+        let v = self.curve.total_at(self.splits[i]);
+        self.totals[i] = Some(v);
+        self.probes += 1;
+        v
+    }
+
+    /// True when the curve strictly descends from candidate `i` to
+    /// `i + 1`. Plateaus count as non-descending so bisection settles on
+    /// the *lowest* threshold of a flat minimum — the exhaustive
+    /// tie-break.
+    fn descending(&mut self, i: usize) -> bool {
+        self.total(i + 1) < self.total(i)
+    }
+}
+
+/// Subgradient descent on the cost curve: the candidate grid collapses
+/// onto distinct splits, a stride scan of the adjacent-candidate
+/// subgradient sign finds every descending→ascending bracket, and each
+/// bracket bisects to a local minimum in O(log) probes. Only the surviving
+/// candidates (plus descending/ascending boundary ends) are evaluated as
+/// real candidates through the profiled workload.
+fn analytic_impl<W: Profilable>(
+    w: &W,
+    pw: &ProfiledWorkload<'_, W>,
+    step: f64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    let curve = w
+        .curve(pw.profile())
+        .expect("workload exposes no cost curve; use a profile-free strategy");
+    let space = w.space();
+
+    // Collapse the threshold grid onto distinct splits, keeping the lowest
+    // threshold of each run of equal splits (the exhaustive tie-break
+    // prefers it on the flat stretch they share).
+    let mut cands: Vec<(f64, usize)> = Vec::new();
+    for t in grid_points(&space, step) {
+        let s = curve.split_for(t);
+        debug_assert!(
+            cands.last().is_none_or(|&(_, prev)| prev <= s),
+            "split_for must be monotone in t"
+        );
+        if cands.last().is_none_or(|&(_, prev)| prev != s) {
+            cands.push((t, s));
+        }
+    }
+
+    let m = cands.len();
+    let mut memo = CurveMemo::new(curve.as_ref(), &cands);
+    let mut chosen: Vec<usize> = Vec::new();
+    if m == 1 {
+        chosen.push(0);
+    } else {
+        // Subgradient domain: D(i) = total(i+1) - total(i), i in 0..=m-2.
+        let last_d = m - 2;
+        if !memo.descending(0) {
+            // Non-descending start: the left edge is a local minimum.
+            chosen.push(0);
+        }
+        if memo.descending(last_d) {
+            // Still descending at the end: the right edge is one.
+            chosen.push(m - 1);
+        }
+        // Scan at a stride comparable to the coarse-grid granularity, then
+        // bisect every sign change. Basins narrower than the stride are
+        // the same ones a coarse-to-fine sweep would miss.
+        let stride = (last_d / 12).max(1);
+        let mut scan: Vec<usize> = (0..=last_d).step_by(stride).collect();
+        if *scan.last().expect("non-empty") != last_d {
+            scan.push(last_d);
+        }
+        for pair in scan.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if memo.descending(a) && !memo.descending(b) {
+                let (mut lo, mut hi) = (a, b);
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if memo.descending(mid) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                // total falls into `hi` and does not fall out of it.
+                chosen.push(hi);
+            }
+        }
+        chosen.sort_unstable();
+        chosen.dedup();
+    }
+
+    let thresholds: Vec<f64> = chosen.iter().map(|&i| cands[i].0).collect();
+    let mut out = SearchOutcome::from_evals(eval_grid(pw, &thresholds, rec, pool));
+    out.grad_probes = memo.probes;
+    if rec.is_enabled() {
+        rec.counter_add("search.grad_probes", memo.probes as u64);
+    }
+    out
+}
+
+/// Analytic subgradient search over one cost profile of `w` — the
+/// [`Strategy::Analytic`] entry point as a function, for callers holding
+/// an explicit recorder and pool. Equivalent to
+/// `Searcher::new(Strategy::Analytic { step: Some(step) })` with
+/// `.profiled()`.
+///
+/// The returned argmin is bitwise equal to an exhaustive profiled sweep of
+/// the same grid whenever every basin of the (possibly non-convex) curve
+/// is at least a coarse stride wide — the property tests assert this on
+/// all four case-study workloads.
+#[must_use]
+pub fn gradient_descent_analytic(
+    w: &impl Profilable,
+    step: f64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    Searcher::new(Strategy::Analytic { step: Some(step) })
+        .recorder(rec)
+        .pool(pool)
+        .profiled()
+        .run(w)
+}
+
 /// Tolerant equality for grid membership: two candidates are the same when
 /// they share a quantized threshold bucket (absolute 1e-9 resolution for
 /// linear spaces, relative 1e-6 for logarithmic ones — see
@@ -425,11 +722,176 @@ fn close(a: f64, b: f64, space: &ThresholdSpace) -> bool {
     quantize(a, space) == quantize(b, space)
 }
 
-/// [`exhaustive_pooled`] over a one-time cost profile of `w`: the profile is
-/// built once (through `pool`), every candidate is priced from it — bitwise
-/// equal to direct evaluation — and repeated thresholds come from the
-/// bounded eval cache. Cache totals land in `rec`'s metrics as
-/// `profile.cache_hit` / `profile.cache_miss`.
+// ---------------------------------------------------------------------------
+// Deprecated pre-builder entry points. Each shim delegates to the Searcher
+// builder and returns a bitwise-identical outcome (asserted by
+// tests/parity_shims.rs).
+// ---------------------------------------------------------------------------
+
+/// Exhaustive search over the whole space at `step` granularity.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::Exhaustive { step }).run(w)"
+)]
+#[must_use]
+pub fn exhaustive(w: &impl PartitionedWorkload, step: f64) -> SearchOutcome {
+    Searcher::new(Strategy::Exhaustive { step: Some(step) }).run(w)
+}
+
+/// [`exhaustive`], tracing every candidate evaluation into `rec`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::Exhaustive { step }).recorder(rec).run(w)"
+)]
+#[must_use]
+pub fn exhaustive_with(w: &impl PartitionedWorkload, step: f64, rec: &Recorder) -> SearchOutcome {
+    Searcher::new(Strategy::Exhaustive { step: Some(step) })
+        .recorder(rec)
+        .run(w)
+}
+
+/// [`exhaustive_with`] on an explicit worker pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::Exhaustive { step }).recorder(rec).pool(pool).run(w)"
+)]
+#[must_use]
+pub fn exhaustive_pooled(
+    w: &impl PartitionedWorkload,
+    step: f64,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    Searcher::new(Strategy::Exhaustive { step: Some(step) })
+        .recorder(rec)
+        .pool(pool)
+        .run(w)
+}
+
+/// The paper's coarse-to-fine search (§III.A.2).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::CoarseToFine).run(w)"
+)]
+#[must_use]
+pub fn coarse_to_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
+    Searcher::new(Strategy::CoarseToFine).run(w)
+}
+
+/// [`coarse_to_fine`], tracing every candidate evaluation into `rec`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::CoarseToFine).recorder(rec).run(w)"
+)]
+#[must_use]
+pub fn coarse_to_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
+    Searcher::new(Strategy::CoarseToFine).recorder(rec).run(w)
+}
+
+/// [`coarse_to_fine_with`] on an explicit worker pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::CoarseToFine).recorder(rec).pool(pool).run(w)"
+)]
+#[must_use]
+pub fn coarse_to_fine_pooled(
+    w: &impl PartitionedWorkload,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    Searcher::new(Strategy::CoarseToFine)
+        .recorder(rec)
+        .pool(pool)
+        .run(w)
+}
+
+/// The paper's spmm identify step (§IV.A(b)).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::RaceThenFine).run(w)"
+)]
+#[must_use]
+pub fn race_then_fine(w: &impl PartitionedWorkload) -> SearchOutcome {
+    Searcher::new(Strategy::RaceThenFine).run(w)
+}
+
+/// [`race_then_fine`], tracing into `rec`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::RaceThenFine).recorder(rec).run(w)"
+)]
+#[must_use]
+pub fn race_then_fine_with(w: &impl PartitionedWorkload, rec: &Recorder) -> SearchOutcome {
+    Searcher::new(Strategy::RaceThenFine).recorder(rec).run(w)
+}
+
+/// [`race_then_fine_with`] on an explicit worker pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::RaceThenFine).recorder(rec).pool(pool).run(w)"
+)]
+#[must_use]
+pub fn race_then_fine_pooled(
+    w: &impl PartitionedWorkload,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    Searcher::new(Strategy::RaceThenFine)
+        .recorder(rec)
+        .pool(pool)
+        .run(w)
+}
+
+/// The paper's scale-free identify step (§V.A.2).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::GradientDescent { max_evals }).run(w)"
+)]
+#[must_use]
+pub fn gradient_descent(w: &impl PartitionedWorkload, max_evals: usize) -> SearchOutcome {
+    Searcher::new(Strategy::GradientDescent { max_evals }).run(w)
+}
+
+/// [`gradient_descent`], tracing every *fresh* candidate evaluation into
+/// `rec`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::GradientDescent { max_evals }).recorder(rec).run(w)"
+)]
+#[must_use]
+pub fn gradient_descent_with(
+    w: &impl PartitionedWorkload,
+    max_evals: usize,
+    rec: &Recorder,
+) -> SearchOutcome {
+    Searcher::new(Strategy::GradientDescent { max_evals })
+        .recorder(rec)
+        .run(w)
+}
+
+/// [`gradient_descent_with`] on an explicit worker pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::GradientDescent { max_evals }).recorder(rec).pool(pool).run(w)"
+)]
+#[must_use]
+pub fn gradient_descent_pooled(
+    w: &impl PartitionedWorkload,
+    max_evals: usize,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    Searcher::new(Strategy::GradientDescent { max_evals })
+        .recorder(rec)
+        .pool(pool)
+        .run(w)
+}
+
+/// Exhaustive search over a one-time cost profile of `w`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::Exhaustive { step }).recorder(rec).pool(pool).profiled().run(w)"
+)]
 #[must_use]
 pub fn exhaustive_profiled(
     w: &impl Profilable,
@@ -437,36 +899,46 @@ pub fn exhaustive_profiled(
     rec: &Recorder,
     pool: &Pool,
 ) -> SearchOutcome {
-    let pw = ProfiledWorkload::with_pool(w, pool);
-    let out = exhaustive_pooled(&pw, step, rec, pool);
-    pw.flush_metrics(rec);
-    out
+    Searcher::new(Strategy::Exhaustive { step: Some(step) })
+        .recorder(rec)
+        .pool(pool)
+        .profiled()
+        .run(w)
 }
 
-/// [`coarse_to_fine_pooled`] over a one-time cost profile of `w` (see
-/// [`exhaustive_profiled`] for the contract).
+/// Coarse-to-fine search over a one-time cost profile of `w`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::CoarseToFine).recorder(rec).pool(pool).profiled().run(w)"
+)]
 #[must_use]
 pub fn coarse_to_fine_profiled(w: &impl Profilable, rec: &Recorder, pool: &Pool) -> SearchOutcome {
-    let pw = ProfiledWorkload::with_pool(w, pool);
-    let out = coarse_to_fine_pooled(&pw, rec, pool);
-    pw.flush_metrics(rec);
-    out
+    Searcher::new(Strategy::CoarseToFine)
+        .recorder(rec)
+        .pool(pool)
+        .profiled()
+        .run(w)
 }
 
-/// [`race_then_fine_pooled`] over a one-time cost profile of `w` (see
-/// [`exhaustive_profiled`] for the contract).
+/// Race-then-fine search over a one-time cost profile of `w`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::RaceThenFine).recorder(rec).pool(pool).profiled().run(w)"
+)]
 #[must_use]
 pub fn race_then_fine_profiled(w: &impl Profilable, rec: &Recorder, pool: &Pool) -> SearchOutcome {
-    let pw = ProfiledWorkload::with_pool(w, pool);
-    let out = race_then_fine_pooled(&pw, rec, pool);
-    pw.flush_metrics(rec);
-    out
+    Searcher::new(Strategy::RaceThenFine)
+        .recorder(rec)
+        .pool(pool)
+        .profiled()
+        .run(w)
 }
 
-/// [`gradient_descent_pooled`] over a one-time cost profile of `w` (see
-/// [`exhaustive_profiled`] for the contract). Hill climbing revisits
-/// candidates across its three descents, so the eval cache pays off even
-/// within a single search.
+/// Gradient descent over a one-time cost profile of `w`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Searcher::new(Strategy::GradientDescent { max_evals }).recorder(rec).pool(pool).profiled().run(w)"
+)]
 #[must_use]
 pub fn gradient_descent_profiled(
     w: &impl Profilable,
@@ -474,10 +946,11 @@ pub fn gradient_descent_profiled(
     rec: &Recorder,
     pool: &Pool,
 ) -> SearchOutcome {
-    let pw = ProfiledWorkload::with_pool(w, pool);
-    let out = gradient_descent_pooled(&pw, max_evals, rec, pool);
-    pw.flush_metrics(rec);
-    out
+    Searcher::new(Strategy::GradientDescent { max_evals })
+        .recorder(rec)
+        .pool(pool)
+        .profiled()
+        .run(w)
 }
 
 #[cfg(test)]
@@ -495,11 +968,8 @@ mod tests {
         space: ThresholdSpace,
     }
 
-    impl PartitionedWorkload for Valley {
-        fn platform(&self) -> &nbwp_sim::Platform {
-            test_platform()
-        }
-        fn run(&self, t: f64) -> RunReport {
+    impl Valley {
+        fn report(&self, t: f64) -> RunReport {
             let cost = 1.0 + (t - self.opt).abs() / 100.0;
             RunReport {
                 breakdown: RunBreakdown {
@@ -509,11 +979,47 @@ mod tests {
                 ..RunReport::default()
             }
         }
+    }
+
+    impl PartitionedWorkload for Valley {
+        fn platform(&self) -> &nbwp_sim::Platform {
+            test_platform()
+        }
+        fn run(&self, t: f64) -> RunReport {
+            self.report(t)
+        }
         fn space(&self) -> ThresholdSpace {
             self.space
         }
         fn size(&self) -> usize {
             1000
+        }
+    }
+
+    /// Curve view of the valley: splits are whole-percent thresholds.
+    struct ValleyCurve<'a>(&'a Valley);
+
+    impl CurveEval for ValleyCurve<'_> {
+        fn splits(&self) -> usize {
+            101
+        }
+        fn split_for(&self, t: f64) -> usize {
+            (t.clamp(0.0, 100.0).round()) as usize
+        }
+        fn total_at(&self, split: usize) -> SimTime {
+            self.0.report(split as f64).total()
+        }
+    }
+
+    impl Profilable for Valley {
+        type Profile = ();
+        fn build_profile(&self, _pool: &Pool) {}
+        fn run_profiled(&self, (): &(), t: f64) -> RunReport {
+            // Quantize to the grid the curve view exposes.
+            self.report(t.clamp(0.0, 100.0).round())
+        }
+        fn curve<'p>(&'p self, (): &'p ()) -> Option<Box<dyn CurveEval + 'p>> {
+            Some(Box::new(ValleyCurve(self)))
         }
     }
 
@@ -543,15 +1049,23 @@ mod tests {
     #[test]
     fn exhaustive_finds_the_optimum() {
         let w = valley(37.0);
-        let out = exhaustive(&w, 1.0);
+        let out = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
         assert_eq!(out.best_t, 37.0);
         assert_eq!(out.evaluations(), 101);
     }
 
     #[test]
+    fn default_step_is_the_fine_step() {
+        let w = valley(37.0);
+        let explicit = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
+        let default = Searcher::new(Strategy::Exhaustive { step: None }).run(&w);
+        assert_eq!(explicit, default);
+    }
+
+    #[test]
     fn coarse_to_fine_finds_the_optimum_with_far_fewer_evals() {
         let w = valley(37.0);
-        let out = coarse_to_fine(&w);
+        let out = Searcher::new(Strategy::CoarseToFine).run(&w);
         assert_eq!(out.best_t, 37.0);
         assert!(
             out.evaluations() < 35,
@@ -565,14 +1079,14 @@ mod tests {
         // Valley at 50: the race estimate (equal device times) is 50 here
         // because the synthetic cost is symmetric.
         let w = valley(50.0);
-        let out = race_then_fine(&w);
+        let out = Searcher::new(Strategy::RaceThenFine).run(&w);
         assert!((out.best_t - 50.0).abs() <= 8.0, "best = {}", out.best_t);
     }
 
     #[test]
     fn gradient_descent_converges_on_unimodal_curve() {
         let w = valley(62.0);
-        let out = gradient_descent(&w, 40);
+        let out = Searcher::new(Strategy::GradientDescent { max_evals: 40 }).run(&w);
         assert!(
             (out.best_t - 62.0).abs() <= 2.0,
             "gradient descent found {}",
@@ -584,17 +1098,93 @@ mod tests {
     #[test]
     fn gradient_descent_respects_eval_budget() {
         let w = valley(10.0);
-        let out = gradient_descent(&w, 5);
+        let out = Searcher::new(Strategy::GradientDescent { max_evals: 5 }).run(&w);
         assert!(out.evaluations() <= 5);
     }
 
     #[test]
     fn search_cost_is_sum_of_evals() {
         let w = valley(20.0);
-        let out = coarse_to_fine(&w);
+        let out = Searcher::new(Strategy::CoarseToFine).run(&w);
         let sum: SimTime = out.evals.iter().map(|&(_, t)| t).sum();
         assert_eq!(out.search_cost, sum);
         assert!(out.search_cost > out.best_time);
+    }
+
+    #[test]
+    fn analytic_matches_exhaustive_with_far_fewer_evals() {
+        for opt in [0.0, 13.0, 37.0, 62.0, 99.0, 100.0] {
+            let w = valley(opt);
+            let exh = Searcher::new(Strategy::Exhaustive { step: None })
+                .profiled()
+                .run(&w);
+            let ana = Searcher::new(Strategy::Analytic { step: None })
+                .profiled()
+                .run(&w);
+            assert_eq!(ana.best_t, exh.best_t, "opt {opt}");
+            assert_eq!(ana.best_time, exh.best_time, "opt {opt}");
+            assert!(
+                ana.evaluations() <= 4,
+                "opt {opt}: {} evals",
+                ana.evaluations()
+            );
+            assert!(ana.grad_probes > 0 && ana.grad_probes < 101);
+        }
+    }
+
+    #[test]
+    fn analytic_records_probe_counter() {
+        let w = valley(42.0);
+        let rec = Recorder::new();
+        let out = Searcher::new(Strategy::Analytic { step: None })
+            .recorder(&rec)
+            .profiled()
+            .run(&w);
+        let trace = rec.finish();
+        assert_eq!(
+            trace.metrics.counter("search.grad_probes"),
+            Some(out.grad_probes as u64)
+        );
+        assert_eq!(
+            trace.metrics.counter("search.evaluations"),
+            Some(out.evaluations() as u64)
+        );
+        assert_eq!(trace.metrics.counter("profile.builds"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "analytic search prices splits from a cost profile")]
+    fn analytic_requires_profiled() {
+        let w = valley(42.0);
+        let _ = Searcher::new(Strategy::Analytic { step: None }).run(&w);
+    }
+
+    #[test]
+    fn strategy_parses_by_name() {
+        assert_eq!(
+            "exhaustive".parse::<Strategy>(),
+            Ok(Strategy::Exhaustive { step: None })
+        );
+        assert_eq!(
+            "coarse-to-fine".parse::<Strategy>(),
+            Ok(Strategy::CoarseToFine)
+        );
+        assert_eq!(
+            "race_then_fine".parse::<Strategy>(),
+            Ok(Strategy::RaceThenFine)
+        );
+        assert_eq!(
+            "gradient_descent".parse::<Strategy>(),
+            Ok(Strategy::GradientDescent {
+                max_evals: DEFAULT_GRADIENT_EVALS
+            })
+        );
+        assert_eq!(
+            "analytic".parse::<Strategy>(),
+            Ok(Strategy::Analytic { step: None })
+        );
+        let err = "simulated_annealing".parse::<Strategy>().unwrap_err();
+        assert!(err.to_string().contains("simulated_annealing"));
     }
 
     #[test]
@@ -622,13 +1212,13 @@ mod tests {
                 4096
             }
         }
-        let out = coarse_to_fine(&LogValley);
+        let out = Searcher::new(Strategy::CoarseToFine).run(&LogValley);
         assert!(
             (out.best_t / 64.0 - 1.0).abs() < 0.2,
             "log search found {}",
             out.best_t
         );
-        let gd = gradient_descent(&LogValley, 40);
+        let gd = Searcher::new(Strategy::GradientDescent { max_evals: 40 }).run(&LogValley);
         assert!(
             (gd.best_t / 64.0 - 1.0).abs() < 0.3,
             "gradient descent found {}",

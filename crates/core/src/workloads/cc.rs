@@ -4,10 +4,10 @@
 
 use std::sync::Arc;
 
-use nbwp_graph::cc::{hybrid_cc, CcCostProfile};
+use nbwp_graph::cc::{hybrid_cc, CcCostCurve, CcCostProfile};
 use nbwp_graph::{sample as gsample, Graph};
 use nbwp_par::Pool;
-use nbwp_sim::{KernelStats, Platform, RunReport, SimTime};
+use nbwp_sim::{CurveEval, KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
@@ -86,6 +86,14 @@ impl Profilable for CcWorkload {
     fn run_profiled(&self, profile: &CcCostProfile, t: f64) -> RunReport {
         profile.report_at(&self.graph, t, &self.platform)
     }
+
+    fn curve<'p>(&'p self, profile: &'p CcCostProfile) -> Option<Box<dyn CurveEval + 'p>> {
+        Some(Box::new(CcCostCurve::new(
+            profile,
+            &self.graph,
+            &self.platform,
+        )))
+    }
 }
 
 impl PartitionedWorkload for CcWorkload {
@@ -151,8 +159,8 @@ impl Sampleable for CcWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{estimate, IdentifyStrategy};
-    use crate::search;
+    use crate::estimator::Estimator;
+    use crate::search::{Searcher, Strategy};
     use nbwp_graph::gen;
     use rand::SeedableRng;
 
@@ -206,8 +214,8 @@ mod tests {
     #[test]
     fn estimation_overhead_is_fraction_of_exhaustive_search() {
         let w = workload(gen::web(8000, 8, 4));
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
-        let exhaustive = search::exhaustive(&w, 1.0);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(1).run(&w);
+        let exhaustive = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
         assert!(
             est.overhead < exhaustive.search_cost / 10.0,
             "sampling overhead {} vs exhaustive cost {}",

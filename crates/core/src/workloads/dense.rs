@@ -1,13 +1,14 @@
 //! The motivating workload (Fig. 1): dense square GEMM, split by rows.
 //! Regular work — the case where even *NaiveStatic* is near-optimal.
 
-use nbwp_dense::hybrid::hybrid_gemm_cost;
+use nbwp_dense::hybrid::{hybrid_gemm_cost, GemmCostCurve};
 use nbwp_par::Pool;
-use nbwp_sim::{KernelStats, Platform, RunReport, SimTime};
+use nbwp_sim::{CurveEval, KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
-use crate::profile::Profilable;
+use crate::profile::{Profilable, Resampleable};
 
 /// Hybrid dense GEMM (`C = A × B`, all square `n × n`) as a partitioned
 /// workload. Being perfectly regular, its cost is a closed form and no
@@ -67,6 +68,28 @@ impl Profilable for DenseGemmWorkload {
     fn run_profiled(&self, (): &Self::Profile, t: f64) -> RunReport {
         self.run(t)
     }
+
+    fn curve<'p>(&'p self, (): &'p Self::Profile) -> Option<Box<dyn CurveEval + 'p>> {
+        Some(Box::new(GemmCostCurve::new(
+            self.n,
+            self.n,
+            self.n,
+            &self.platform,
+        )))
+    }
+}
+
+impl Resampleable for DenseGemmWorkload {
+    /// The closed-form cost needs no curves, so the "resampled" miniature
+    /// *is* the sampled workload — derived from `(n, platform)` alone,
+    /// which the profile-free closed form already carries.
+    type Resampled = DenseGemmWorkload;
+
+    fn resample(&self, (): &Self::Profile, spec: SampleSpec, seed: u64) -> DenseGemmWorkload {
+        // `sample` ignores its RNG for dense GEMM (every submatrix of a
+        // uniform dense matrix is alike), so resampling is exact reuse.
+        self.sample(spec, &mut SmallRng::seed_from_u64(seed))
+    }
 }
 
 impl Sampleable for DenseGemmWorkload {
@@ -113,8 +136,8 @@ impl Sampleable for DenseGemmWorkload {
 mod tests {
     use super::*;
     use crate::baselines::naive_static;
-    use crate::estimator::{estimate, IdentifyStrategy};
-    use crate::search;
+    use crate::estimator::Estimator;
+    use crate::search::{Searcher, Strategy};
 
     fn workload(n: usize) -> DenseGemmWorkload {
         DenseGemmWorkload::new(n, Platform::k40c_xeon_e5_2650())
@@ -125,7 +148,9 @@ mod tests {
         // The paper's Fig. 1 message: FLOPS-ratio partitioning works for
         // dense GEMM.
         let w = workload(2048);
-        let best = search::exhaustive(&w, 1.0).best_t;
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) })
+            .run(&w)
+            .best_t;
         let ns = naive_static(w.platform());
         assert!(
             (best - ns).abs() <= 6.0,
@@ -138,8 +163,10 @@ mod tests {
         // Large enough that the quarter-size sample sits in the same
         // compute-dominated regime as the full problem.
         let w = workload(8192);
-        let best = search::exhaustive(&w, 1.0).best_t;
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) })
+            .run(&w)
+            .best_t;
+        let est = Estimator::new(Strategy::CoarseToFine).seed(1).run(&w);
         assert!(
             (est.threshold - best).abs() <= 6.0,
             "estimated {} vs best {}",

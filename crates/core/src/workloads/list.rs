@@ -118,8 +118,8 @@ impl Sampleable for ListRankingWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{estimate, IdentifyStrategy};
-    use crate::search;
+    use crate::estimator::Estimator;
+    use crate::search::{Searcher, Strategy};
     use rand::SeedableRng;
 
     fn platform() -> Platform {
@@ -142,7 +142,7 @@ mod tests {
         // Too few splitters → serial chains dominate; too many → Wyllie
         // rounds and launches dominate. The optimum sits strictly inside.
         let w = workload(30_000, 2);
-        let best = search::exhaustive(&w, 2.0);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(2.0) }).run(&w);
         assert!(
             best.best_t > 0.0 && best.best_t < 100.0,
             "best splitter share = {}",
@@ -156,8 +156,8 @@ mod tests {
     #[test]
     fn estimate_lands_near_the_optimum() {
         let w = workload(30_000, 2);
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 3);
-        let best = search::exhaustive(&w, 1.0);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(3).run(&w);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
         let penalty = w.time_at(est.threshold).pct_diff_from(best.best_time);
         assert!(
             penalty < 40.0,

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use nbwp_par::Pool;
-use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
 use nbwp_sparse::masked::{hh_row_profiles, DensitySplit, HhProducts};
 use nbwp_sparse::sample::{sample_rows_contract, sample_rows_importance};
 use nbwp_sparse::spgemm::{spgemm, stats_for_rows, ENTRY_BYTES};
@@ -329,6 +329,53 @@ impl Profilable for HhWorkload {
         profile.memo.lock().unwrap().insert(class, report.clone());
         report
     }
+
+    fn curve<'p>(&'p self, profile: &'p HhProfile) -> Option<Box<dyn CurveEval + 'p>> {
+        Some(Box::new(HhCostCurve {
+            workload: self,
+            profile,
+        }))
+    }
+}
+
+/// The HH-CPU total-cost curve as a [`CurveEval`] over *degree classes*:
+/// split index `c` is the class whose high-row mask `{r : nnz(r) >
+/// classes[c-1]}` a threshold in that class induces (class 0 = everything
+/// high). The curve is a step function of the threshold — each class is
+/// one flat segment — so subgradients are exact class-to-class report
+/// differences, and pricing memoizes through the profile's per-class memo.
+pub struct HhCostCurve<'a> {
+    workload: &'a HhWorkload,
+    profile: &'a HhProfile,
+}
+
+impl HhCostCurve<'_> {
+    /// A threshold inside class `c` (the class's lowest integer degree).
+    fn repr_t(&self, c: usize) -> f64 {
+        if c == 0 {
+            0.0
+        } else {
+            self.profile.classes[c - 1] as f64
+        }
+    }
+}
+
+impl CurveEval for HhCostCurve<'_> {
+    fn splits(&self) -> usize {
+        self.profile.classes.len() + 1
+    }
+
+    fn split_for(&self, t: f64) -> usize {
+        self.profile
+            .classes
+            .partition_point(|&d| d <= t.max(0.0) as u64)
+    }
+
+    fn total_at(&self, split: usize) -> SimTime {
+        self.workload
+            .run_profiled(self.profile, self.repr_t(split))
+            .total()
+    }
 }
 
 impl Sampleable for HhWorkload {
@@ -386,7 +433,8 @@ impl Sampleable for HhWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{estimate, IdentifyStrategy};
+    use crate::estimator::Estimator;
+    use crate::search::Strategy;
     use nbwp_sparse::gen;
     use rand::SeedableRng;
 
@@ -507,12 +555,9 @@ mod tests {
     #[test]
     fn gradient_descent_estimation_stays_in_space() {
         let w = workload(gen::power_law(2000, 12, 2.1, 7));
-        let est = estimate(
-            &w,
-            SampleSpec::default(),
-            IdentifyStrategy::GradientDescent { max_evals: 24 },
-            3,
-        );
+        let est = Estimator::new(Strategy::GradientDescent { max_evals: 24 })
+            .seed(3)
+            .run(&w);
         let space = w.space();
         assert!(est.threshold >= space.lo && est.threshold <= space.hi);
         assert!(est.evaluations <= 24);

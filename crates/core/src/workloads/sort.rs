@@ -110,8 +110,8 @@ impl Sampleable for SortWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{estimate, IdentifyStrategy};
-    use crate::search;
+    use crate::estimator::Estimator;
+    use crate::search::{Searcher, Strategy};
     use nbwp_sort::gen;
     use rand::SeedableRng;
 
@@ -145,11 +145,15 @@ mod tests {
         let w_wide = SortWorkload::new(gen::uniform(60_000, 3), platform());
         let w_narrow = SortWorkload::new(gen::narrow_range(60_000, 3), platform());
         let est = |w: &SortWorkload| {
-            estimate(w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7).threshold
+            Estimator::new(Strategy::CoarseToFine)
+                .seed(7)
+                .run(w)
+                .threshold
         };
         let (t_wide, t_narrow) = (est(&w_wide), est(&w_narrow));
-        let best_wide = search::exhaustive(&w_wide, 1.0).best_t;
-        let best_narrow = search::exhaustive(&w_narrow, 1.0).best_t;
+        let fine = Searcher::new(Strategy::Exhaustive { step: Some(1.0) });
+        let best_wide = fine.run(&w_wide).best_t;
+        let best_narrow = fine.run(&w_narrow).best_t;
         assert!(
             best_narrow < best_wide,
             "exhaustive: narrow {best_narrow} should be more GPU-heavy than wide {best_wide}"
@@ -163,8 +167,8 @@ mod tests {
     #[test]
     fn estimate_is_near_best_in_time() {
         let w = SortWorkload::new(gen::uniform(60_000, 5), platform());
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 9);
-        let best = search::exhaustive(&w, 1.0);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(9).run(&w);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
         let penalty = w.time_at(est.threshold).pct_diff_from(best.best_time);
         assert!(penalty < 30.0, "penalty {penalty:.1}%");
         assert!(est.overhead < best.search_cost / 5.0);

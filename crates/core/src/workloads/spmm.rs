@@ -6,17 +6,17 @@
 use std::sync::Arc;
 
 use nbwp_par::Pool;
-use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
 use nbwp_sparse::ops::{load_vector, prefix_sums, split_row_for_load};
 use nbwp_sparse::sample::sample_submatrix_frac;
 use nbwp_sparse::spgemm::{
     row_profile, spgemm_range, stats_for_rows, RowCost, RowCurves, ENTRY_BYTES,
 };
-use nbwp_sparse::Csr;
+use nbwp_sparse::{Csr, SpmmCostCurve};
 use rand::rngs::SmallRng;
 
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
-use crate::profile::Profilable;
+use crate::profile::{Profilable, Resampleable};
 
 /// The spmm workload over a fixed matrix (`B = A`, as in the paper) and
 /// platform. The exact per-row cost profile is computed once (a symbolic
@@ -64,21 +64,12 @@ impl SpmmWorkload {
     /// Phase I cost: computing `L_AB = A × V_B` and locating the split row,
     /// on the GPU (Algorithm 2, lines 1–3).
     fn partition_cost(&self) -> SimTime {
-        let nnz = self.a.nnz() as u64;
-        let n = self.a.rows() as u64;
-        let stats = KernelStats {
-            flops: 2 * nnz,
-            int_ops: 2 * nnz + 2 * n,
-            mem_read_bytes: ENTRY_BYTES * nnz + 8 * n,
-            irregular_bytes: 8 * nnz, // gathers V_B[k] through A's columns
-            simd_padded_flops: 2 * nnz,
-            mem_write_bytes: 8 * n,
-            kernel_launches: 2, // load-vector kernel + scan/split kernel
-            parallel_items: n,
-            working_set_bytes: self.a.size_bytes(),
-            ..KernelStats::default()
-        };
-        self.platform.gpu_time(&stats)
+        spmm_partition_cost(
+            self.a.nnz() as u64,
+            self.a.rows() as u64,
+            self.a.size_bytes(),
+            &self.platform,
+        )
     }
 
     fn report_for_split(&self, split: usize) -> RunReport {
@@ -155,6 +146,25 @@ impl SpmmWorkload {
     }
 }
 
+/// The split-independent Phase I price from the input scalars alone, so
+/// profile-derived miniatures ([`ResampledSpmm`]) can recompute it for a
+/// subset without materializing the subset matrix.
+fn spmm_partition_cost(nnz: u64, n: u64, size_bytes: u64, platform: &Platform) -> SimTime {
+    let stats = KernelStats {
+        flops: 2 * nnz,
+        int_ops: 2 * nnz + 2 * n,
+        mem_read_bytes: ENTRY_BYTES * nnz + 8 * n,
+        irregular_bytes: 8 * nnz, // gathers V_B[k] through A's columns
+        simd_padded_flops: 2 * nnz,
+        mem_write_bytes: 8 * n,
+        kernel_launches: 2, // load-vector kernel + scan/split kernel
+        parallel_items: n,
+        working_set_bytes: size_bytes,
+        ..KernelStats::default()
+    };
+    platform.gpu_time(&stats)
+}
+
 /// Cost profile of an [`SpmmWorkload`]: prefix-sum curves over the per-row
 /// costs (every slice sum in [`stats_for_rows`] and the transfer sizing
 /// becomes an O(1) curve lookup; the warp-padded SIMD term has its own
@@ -162,6 +172,20 @@ impl SpmmWorkload {
 pub struct SpmmProfile {
     curves: RowCurves,
     partition: SimTime,
+}
+
+impl SpmmProfile {
+    /// The prefix-sum cost curves.
+    #[must_use]
+    pub fn curves(&self) -> &RowCurves {
+        &self.curves
+    }
+
+    /// The split-independent Phase I price.
+    #[must_use]
+    pub fn partition(&self) -> SimTime {
+        self.partition
+    }
 }
 
 impl Profilable for SpmmWorkload {
@@ -176,30 +200,112 @@ impl Profilable for SpmmWorkload {
     }
 
     fn run_profiled(&self, profile: &SpmmProfile, r: f64) -> RunReport {
-        let split = self.split_row(r);
-        let b_bytes = self.a.size_bytes();
-        let cpu_stats = profile.curves.stats_prefix(split);
-        let gpu_stats = profile.curves.stats_suffix(split);
-        let gpu_rows = self.a.rows() - split;
-        let transfer_in = if gpu_rows == 0 {
-            SimTime::ZERO
-        } else {
-            let a2_bytes =
-                profile.curves.a_nnz().suffix_sum(split) * ENTRY_BYTES + 8 * gpu_rows as u64;
-            self.platform.transfer(a2_bytes + b_bytes)
-        };
-        let c2_bytes = profile.curves.c_nnz().suffix_sum(split) * ENTRY_BYTES;
-        RunReport {
-            breakdown: RunBreakdown {
-                partition: profile.partition,
-                transfer_in,
-                cpu_compute: self.platform.cpu_time(&cpu_stats),
-                gpu_compute: self.platform.gpu_time(&gpu_stats),
-                transfer_out: self.platform.transfer(c2_bytes),
-                merge: SimTime::ZERO,
-            },
-            cpu_stats,
-            gpu_stats,
+        // All split-indexed pricing lives in `SpmmCostCurve` (nbwp-sparse);
+        // delegating keeps run_profiled, the curve, and run() bitwise equal
+        // by construction.
+        SpmmCostCurve::new(
+            &profile.curves,
+            &self.load_prefix,
+            profile.partition,
+            &self.platform,
+        )
+        .report_at(self.split_row(r))
+    }
+
+    fn curve<'p>(&'p self, profile: &'p SpmmProfile) -> Option<Box<dyn CurveEval + 'p>> {
+        Some(Box::new(SpmmCostCurve::new(
+            &profile.curves,
+            &self.load_prefix,
+            profile.partition,
+            &self.platform,
+        )))
+    }
+}
+
+/// A miniature spmm workload derived from a full [`SpmmProfile`] by
+/// [`Resampleable::resample`] — the subset's curves, load vector, and
+/// Phase I price, with fixed costs rescaled to the subset's measured work
+/// share. Prices runs through [`SpmmCostCurve`] without ever touching the
+/// input matrix.
+pub struct ResampledSpmm {
+    curves: RowCurves,
+    load_prefix: Vec<u64>,
+    partition: SimTime,
+    platform: Platform,
+}
+
+impl PartitionedWorkload for ResampledSpmm {
+    fn run(&self, r: f64) -> RunReport {
+        let curve = SpmmCostCurve::new(
+            &self.curves,
+            &self.load_prefix,
+            self.partition,
+            &self.platform,
+        );
+        curve.report_at(curve.split_for(r))
+    }
+
+    fn space(&self) -> ThresholdSpace {
+        ThresholdSpace::percentage()
+    }
+
+    fn size(&self) -> usize {
+        self.curves.rows()
+    }
+
+    fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+impl Profilable for ResampledSpmm {
+    /// The miniature *is* its curves — pricing is already O(1) range sums —
+    /// so the profile carries no extra state. Implementing [`Profilable`]
+    /// lets every strategy (including the analytic subgradient search) run
+    /// on resampled miniatures.
+    type Profile = ();
+
+    fn build_profile(&self, _pool: &Pool) -> Self::Profile {}
+
+    fn run_profiled(&self, (): &Self::Profile, r: f64) -> RunReport {
+        self.run(r)
+    }
+
+    fn curve<'p>(&'p self, (): &'p Self::Profile) -> Option<Box<dyn CurveEval + 'p>> {
+        Some(Box::new(SpmmCostCurve::new(
+            &self.curves,
+            &self.load_prefix,
+            self.partition,
+            &self.platform,
+        )))
+    }
+}
+
+impl Resampleable for SpmmWorkload {
+    type Resampled = ResampledSpmm;
+
+    fn resample(&self, profile: &SpmmProfile, spec: SampleSpec, seed: u64) -> ResampledSpmm {
+        // Same subset fraction as `sample` (paper default: 1/4 of the rows).
+        let frac = (0.25 * spec.factor).clamp(1e-3, 1.0);
+        let curves = profile.curves.resample(frac, seed);
+        // The ops-layout load vector (inclusive, no leading zero) is the
+        // tail of the resampled b_entries prefix curve.
+        let load_prefix = curves.b_entries().as_prefix_slice()[1..].to_vec();
+        let sample_work = load_prefix.last().copied().unwrap_or(0);
+        let full_work = self.load_prefix.last().copied().unwrap_or(1).max(1);
+        let ratio = (sample_work as f64 / full_work as f64).clamp(1e-6, 1.0);
+        let platform = self.platform.sample_scaled(ratio);
+        let partition = spmm_partition_cost(
+            curves.a_nnz().suffix_sum(0),
+            curves.rows() as u64,
+            curves.b_bytes(),
+            &platform,
+        );
+        ResampledSpmm {
+            curves,
+            load_prefix,
+            partition,
+            platform,
         }
     }
 }
@@ -258,7 +364,8 @@ impl Sampleable for SpmmWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{estimate, IdentifyStrategy};
+    use crate::estimator::Estimator;
+    use crate::search::Strategy;
     use nbwp_sparse::gen;
     use nbwp_sparse::spgemm::spgemm;
     use rand::SeedableRng;
@@ -327,7 +434,7 @@ mod tests {
     #[test]
     fn estimation_is_cheap_and_in_range() {
         let w = workload(gen::uniform_random(3000, 10, 6));
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, 2);
+        let est = Estimator::new(Strategy::RaceThenFine).seed(2).run(&w);
         assert!((0.0..=100.0).contains(&est.threshold));
         // Sampling overhead must be far below one full GPU-only run.
         assert!(est.overhead < w.time_at(0.0) * 10.0);

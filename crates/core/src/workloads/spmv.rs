@@ -153,8 +153,8 @@ impl Sampleable for SpmvWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::estimator::{estimate, IdentifyStrategy};
-    use crate::search;
+    use crate::estimator::Estimator;
+    use crate::search::{Searcher, Strategy};
     use nbwp_sparse::gen;
     use nbwp_sparse::spmv::spmv;
 
@@ -189,8 +189,8 @@ mod tests {
         // heuristic's linear-device assumption; the coarse-to-fine grid
         // sees the cliff on the miniature and lands within ~10%.
         let w = SpmvWorkload::new(gen::banded_fem(8000, 160, 40, 3), platform());
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7);
-        let best = search::exhaustive(&w, 1.0);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(7).run(&w);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
         let penalty = w.time_at(est.threshold).pct_diff_from(best.best_time);
         assert!(penalty < 30.0, "penalty {penalty:.1}%");
     }
@@ -200,9 +200,9 @@ mod tests {
         // Documented limitation: the race's linear extrapolation
         // misestimates when the full landscape has a capacity cliff.
         let w = SpmvWorkload::new(gen::banded_fem(8000, 160, 40, 3), platform());
-        let best = search::exhaustive(&w, 1.0);
-        let race = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, 7);
-        let ctf = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
+        let race = Estimator::new(Strategy::RaceThenFine).seed(7).run(&w);
+        let ctf = Estimator::new(Strategy::CoarseToFine).seed(7).run(&w);
         let pen = |t: f64| w.time_at(t).pct_diff_from(best.best_time);
         assert!(
             pen(ctf.threshold) <= pen(race.threshold) + 1.0,

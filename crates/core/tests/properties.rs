@@ -3,15 +3,17 @@
 //! exhaustive, and the report metrics behave.
 
 use nbwp_core::prelude::*;
+use nbwp_core::search::Strategy as SearchStrategy;
 use nbwp_sim::Platform;
 use nbwp_sparse::gen;
 use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
 
 fn platform() -> Platform {
     Platform::k40c_xeon_e5_2650().scaled_for(0.05)
 }
 
-fn arb_matrix() -> impl Strategy<Value = nbwp_sparse::Csr> {
+fn arb_matrix() -> impl proptest::strategy::Strategy<Value = nbwp_sparse::Csr> {
     (64usize..400, 2usize..12, 0u64..1000, 0usize..3).prop_map(
         |(n, deg, seed, family)| match family {
             0 => gen::uniform_random(n, deg, seed),
@@ -32,7 +34,7 @@ proptest! {
             IdentifyStrategy::RaceThenFine,
             IdentifyStrategy::GradientDescent { max_evals: 12 },
         ] {
-            let est = estimate(&w, SampleSpec::default(), strategy, seed);
+            let est = Estimator::new(strategy.into()).seed(seed).run(&w);
             prop_assert!((0.0..=100.0).contains(&est.threshold));
             prop_assert!(est.overhead.as_secs() >= 0.0);
             prop_assert!(est.evaluations > 0);
@@ -43,8 +45,13 @@ proptest! {
     #[test]
     fn exhaustive_is_a_lower_bound_for_every_strategy(a in arb_matrix()) {
         let w = SpmmWorkload::new(a, platform());
-        let best = exhaustive(&w, 1.0);
-        for out in [coarse_to_fine(&w), race_then_fine(&w), gradient_descent(&w, 16)] {
+        let best = Searcher::new(SearchStrategy::Exhaustive { step: Some(1.0) }).run(&w);
+        for strategy in [
+            SearchStrategy::CoarseToFine,
+            SearchStrategy::RaceThenFine,
+            SearchStrategy::GradientDescent { max_evals: 16 },
+        ] {
+            let out = Searcher::new(strategy).run(&w);
             // Any strategy's best candidate cannot beat the exhaustive
             // *integer* grid's best by more than the off-grid slack (the
             // race and gradient descent evaluate fractional thresholds).
@@ -55,8 +62,8 @@ proptest! {
     #[test]
     fn coarse_to_fine_never_misses_badly(a in arb_matrix()) {
         let w = SpmmWorkload::new(a, platform());
-        let full = exhaustive(&w, 1.0);
-        let ctf = coarse_to_fine(&w);
+        let full = Searcher::new(SearchStrategy::Exhaustive { step: Some(1.0) }).run(&w);
+        let ctf = Searcher::new(SearchStrategy::CoarseToFine).run(&w);
         let penalty = ctf.best_time.pct_diff_from(full.best_time);
         prop_assert!(penalty < 15.0, "coarse-to-fine penalty {penalty:.1}%");
     }
@@ -86,8 +93,8 @@ proptest! {
     #[test]
     fn estimates_are_seed_reproducible(a in arb_matrix(), seed in 0u64..50) {
         let w = SpmmWorkload::new(a, platform());
-        let x = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, seed);
-        let y = estimate(&w, SampleSpec::default(), IdentifyStrategy::RaceThenFine, seed);
+        let x = Estimator::new(SearchStrategy::RaceThenFine).seed(seed).run(&w);
+        let y = Estimator::new(SearchStrategy::RaceThenFine).seed(seed).run(&w);
         prop_assert_eq!(x.threshold, y.threshold);
         prop_assert_eq!(x.overhead, y.overhead);
     }
@@ -111,7 +118,7 @@ proptest! {
         // approaches — but does not dramatically beat — the best static
         // split (it has the same device curves to work with).
         let w = SpmmWorkload::new(a, platform());
-        let best_static = exhaustive(&w, 1.0).best_time;
+        let best_static = Searcher::new(SearchStrategy::Exhaustive { step: Some(1.0) }).run(&w).best_time;
         let dynamic = nbwp_core::baselines::chunked_dynamic(&w, 50, SimTime::ZERO);
         // Dynamic ignores partition/transfer prologue accounting, so allow
         // slack; the property is about order of magnitude sanity.

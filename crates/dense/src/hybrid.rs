@@ -6,7 +6,7 @@
 //! ([`crate::gemm::stats_for_rows`]) and the FLOPS-ratio split is already
 //! near-optimal — the contrast the paper draws with irregular workloads.
 
-use nbwp_sim::{Platform, RunBreakdown, RunReport};
+use nbwp_sim::{CurveEval, Platform, RunBreakdown, RunReport, SimTime};
 
 use crate::gemm::{gemm_range, stats_for_rows};
 use crate::DenseMatrix;
@@ -40,6 +40,24 @@ pub fn hybrid_gemm_cost(
         "threshold {t_pct} out of [0, 100]"
     );
     let cpu_rows = ((n as f64 * t_pct / 100.0).round() as usize).min(n);
+    hybrid_gemm_cost_rows(n, k, m, cpu_rows, platform)
+}
+
+/// [`hybrid_gemm_cost`] after threshold-to-row rounding: prices the split
+/// assigning rows `0..cpu_rows` to the CPU. Exposed so split-indexed
+/// consumers ([`GemmCostCurve`]) can price every admissible row split.
+///
+/// # Panics
+/// Panics if `cpu_rows > n`.
+#[must_use]
+pub fn hybrid_gemm_cost_rows(
+    n: usize,
+    k: usize,
+    m: usize,
+    cpu_rows: usize,
+    platform: &Platform,
+) -> RunReport {
+    assert!(cpu_rows <= n, "cpu rows {cpu_rows} exceed row count {n}");
     let gpu_rows = n - cpu_rows;
     let b_bytes = (8 * k * m) as u64;
     let cpu_stats = stats_for_rows(cpu_rows, k, m, b_bytes);
@@ -62,6 +80,40 @@ pub fn hybrid_gemm_cost(
         },
         cpu_stats,
         gpu_stats,
+    }
+}
+
+/// The hybrid GEMM total-cost curve as a [`CurveEval`]: the workload is
+/// regular, so every row split is a closed form
+/// ([`hybrid_gemm_cost_rows`]) — no profile pass needed. Thresholds are
+/// CPU row percentages with the same rounding [`hybrid_gemm_cost`]
+/// applies.
+pub struct GemmCostCurve<'a> {
+    n: usize,
+    k: usize,
+    m: usize,
+    platform: &'a Platform,
+}
+
+impl<'a> GemmCostCurve<'a> {
+    /// Curve for the `n×k · k×m` product priced on `platform`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, m: usize, platform: &'a Platform) -> Self {
+        GemmCostCurve { n, k, m, platform }
+    }
+}
+
+impl CurveEval for GemmCostCurve<'_> {
+    fn splits(&self) -> usize {
+        self.n + 1
+    }
+
+    fn split_for(&self, t: f64) -> usize {
+        ((self.n as f64 * t / 100.0).round() as usize).min(self.n)
+    }
+
+    fn total_at(&self, split: usize) -> SimTime {
+        hybrid_gemm_cost_rows(self.n, self.k, self.m, split, self.platform).total()
     }
 }
 

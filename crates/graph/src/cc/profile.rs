@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use nbwp_sim::{KernelStats, Platform, RunBreakdown, RunReport};
+use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
 
 use crate::cc::dfs::{dfs_prefix_cost, DfsPrefixCost};
 use crate::cc::sv::{sv_stats_closed_form, sv_suffix_counts};
@@ -106,9 +106,22 @@ impl CcCostProfile {
             (0.0..=100.0).contains(&t_pct),
             "threshold {t_pct} out of [0, 100]"
         );
+        self.report_at_split(g, self.split_at(t_pct), platform)
+    }
+
+    /// Prices the full hybrid CC run with `n_cpu` vertices on the CPU —
+    /// [`CcCostProfile::report_at`] after threshold-to-split rounding.
+    /// Exposed so split-indexed consumers (the cost curve) can price every
+    /// admissible split, not only those a `[0, 100]` threshold reaches.
+    ///
+    /// # Panics
+    /// Panics if `n_cpu > n` or `g` has a different vertex count than the
+    /// profiled graph.
+    #[must_use]
+    pub fn report_at_split(&self, g: &Graph, n_cpu: usize, platform: &Platform) -> RunReport {
         assert_eq!(g.n(), self.n, "profile built from a different graph");
+        assert!(n_cpu <= self.n, "split {n_cpu} exceeds vertex count");
         let n = self.n;
-        let n_cpu = self.split_at(t_pct);
         let n_gpu = n - n_cpu;
 
         // Phase I: the partition pass streams the whole graph regardless of
@@ -180,6 +193,48 @@ impl CcCostProfile {
             cpu_stats,
             gpu_stats,
         }
+    }
+}
+
+/// The hybrid CC total-cost curve as a [`CurveEval`]: every vertex split
+/// priced exactly through [`CcCostProfile::report_at_split`] (memoized
+/// control-flow replays make repeat queries cheap). Thresholds are CPU
+/// vertex percentages, mapped by the same rounding `hybrid_cc` applies.
+pub struct CcCostCurve<'a> {
+    profile: &'a CcCostProfile,
+    graph: &'a Graph,
+    platform: &'a Platform,
+}
+
+impl<'a> CcCostCurve<'a> {
+    /// Bundles a built profile with its graph and the pricing platform.
+    ///
+    /// # Panics
+    /// Panics if `graph` has a different vertex count than the profile.
+    #[must_use]
+    pub fn new(profile: &'a CcCostProfile, graph: &'a Graph, platform: &'a Platform) -> Self {
+        assert_eq!(graph.n(), profile.n, "profile built from a different graph");
+        CcCostCurve {
+            profile,
+            graph,
+            platform,
+        }
+    }
+}
+
+impl CurveEval for CcCostCurve<'_> {
+    fn splits(&self) -> usize {
+        self.profile.n + 1
+    }
+
+    fn split_for(&self, t: f64) -> usize {
+        self.profile.split_at(t)
+    }
+
+    fn total_at(&self, split: usize) -> SimTime {
+        self.profile
+            .report_at_split(self.graph, split, self.platform)
+            .total()
     }
 }
 

@@ -1,0 +1,110 @@
+//! [`CurveEval`]: the total-cost curve of a partitioned run as a
+//! first-class, subdifferentiable object.
+//!
+//! A cost profile (see [`crate::profile`]) prices any contiguous split of a
+//! workload in O(1) from prefix-sum range queries. That makes the total
+//! cost as a function of the split index an *evaluable curve* rather than
+//! an oracle: exact values at every split, and therefore exact one-sided
+//! finite differences — the discrete left/right subgradients. Because the
+//! underlying counters are exact `u64` range sums ([`PrefixCurve`] /
+//! [`WarpPadCurve`] reproduce every slice bitwise, including at warp-pad
+//! breakpoints), the subgradients returned here are not approximations of
+//! anything: they *are* the curve's slopes between adjacent admissible
+//! splits.
+//!
+//! Search layers build on this to replace finite-difference probing of
+//! `run()` with sign-change bisection on the true subgradient — see
+//! `gradient_descent_analytic` in `nbwp-core::search`.
+//!
+//! [`PrefixCurve`]: crate::profile::PrefixCurve
+//! [`WarpPadCurve`]: crate::profile::WarpPadCurve
+
+use crate::time::SimTime;
+
+/// Evaluates the total-cost curve of a partitioned workload at any
+/// admissible split index, with exact one-sided subgradients.
+///
+/// Splits index the boundary between the CPU prefix and the GPU suffix:
+/// split `s` assigns units `0..s` to the CPU and `s..n` to the GPU, so a
+/// workload with `n` units has `n + 1` admissible splits. Thresholds from
+/// the search space map onto splits via [`CurveEval::split_for`]; the map
+/// must be monotone non-decreasing in `t`.
+///
+/// The exactness contract mirrors the profile contract: `total_at(s)` must
+/// be bitwise equal to the total of the report a direct run would produce
+/// for any threshold mapping to split `s`.
+pub trait CurveEval {
+    /// Number of admissible split indices (`n + 1` for `n` work units).
+    fn splits(&self) -> usize;
+
+    /// Maps a threshold from the workload's search space to the split it
+    /// induces. Monotone non-decreasing in `t`.
+    fn split_for(&self, t: f64) -> usize;
+
+    /// Exact total cost of the run at `split`.
+    ///
+    /// # Panics
+    /// Panics if `split >= self.splits()`.
+    fn total_at(&self, split: usize) -> SimTime;
+
+    /// Left subgradient at `split` in seconds per split step:
+    /// `total(split) - total(split - 1)`. `None` at the left boundary.
+    fn grad_left(&self, split: usize) -> Option<f64> {
+        if split == 0 {
+            return None;
+        }
+        Some(self.total_at(split).as_secs() - self.total_at(split - 1).as_secs())
+    }
+
+    /// Right subgradient at `split` in seconds per split step:
+    /// `total(split + 1) - total(split)`. `None` at the right boundary.
+    fn grad_right(&self, split: usize) -> Option<f64> {
+        if split + 1 >= self.splits() {
+            return None;
+        }
+        Some(self.total_at(split + 1).as_secs() - self.total_at(split).as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic valley with its minimum at split 5.
+    struct Valley;
+
+    impl CurveEval for Valley {
+        fn splits(&self) -> usize {
+            11
+        }
+        fn split_for(&self, t: f64) -> usize {
+            (t.clamp(0.0, 10.0).round()) as usize
+        }
+        fn total_at(&self, split: usize) -> SimTime {
+            assert!(split < self.splits());
+            let d = split as f64 - 5.0;
+            SimTime::from_secs(1.0 + d * d)
+        }
+    }
+
+    #[test]
+    fn subgradients_are_adjacent_differences() {
+        let c = Valley;
+        // total(3) = 5, total(4) = 2 -> grad_left(4) = -3.
+        assert_eq!(c.grad_left(4), Some(-3.0));
+        // total(5) = 1, total(6) = 2 -> grad_right(5) = 1.
+        assert_eq!(c.grad_right(5), Some(1.0));
+        // Sign change brackets the minimum.
+        assert!(c.grad_left(5).expect("interior") < 0.0);
+        assert!(c.grad_right(5).expect("interior") > 0.0);
+    }
+
+    #[test]
+    fn boundaries_have_no_one_sided_gradient() {
+        let c = Valley;
+        assert_eq!(c.grad_left(0), None);
+        assert_eq!(c.grad_right(10), None);
+        assert!(c.grad_right(0).is_some());
+        assert!(c.grad_left(10).is_some());
+    }
+}

@@ -35,6 +35,7 @@
 
 mod counters;
 mod cpu;
+pub mod curve;
 mod gpu;
 mod pcie;
 mod platform;
@@ -44,6 +45,7 @@ pub mod timeline;
 
 pub use counters::{warp_padded_cost, KernelStats};
 pub use cpu::CpuModel;
+pub use curve::CurveEval;
 pub use gpu::GpuModel;
 pub use pcie::PcieModel;
 pub use platform::{Lane, Platform, RunBreakdown, RunReport};

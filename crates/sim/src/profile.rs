@@ -22,7 +22,7 @@ use crate::counters::warp_padded_cost;
 /// Inclusive prefix sums of a per-item `u64` counter; any contiguous range
 /// sum is O(1). Sums are exact (no floating point), so a range sum is
 /// bitwise identical to summing the slice directly.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PrefixCurve {
     /// `prefix[i]` = sum of items `0..i`; `prefix[0] == 0`.
     prefix: Vec<u64>,
@@ -87,6 +87,14 @@ impl PrefixCurve {
     pub fn total(&self) -> u64 {
         *self.prefix.last().expect("prefix always has a 0 sentinel")
     }
+
+    /// The raw inclusive prefix-sum array: `len() + 1` entries starting at
+    /// 0. Useful where an existing API wants a `&[u64]` prefix vector
+    /// (e.g. load-balanced split search) without copying.
+    #[must_use]
+    pub fn as_prefix_slice(&self) -> &[u64] {
+        &self.prefix
+    }
 }
 
 /// O(1) reproduction of [`warp_padded_cost`] for every prefix and suffix
@@ -107,7 +115,7 @@ impl PrefixCurve {
 ///
 /// All quantities are exact `u64` arithmetic, so both query methods return
 /// values bitwise equal to calling [`warp_padded_cost`] on the slice.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WarpPadCurve {
     warp: usize,
     /// Padded cost of the first `j` complete warps, `j = 0..=n/warp`.

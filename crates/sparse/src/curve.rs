@@ -1,0 +1,151 @@
+//! [`SpmmCostCurve`]: the spmm total-cost curve as a [`CurveEval`].
+//!
+//! Packages the prefix-sum [`RowCurves`] with the split-independent
+//! Phase I price and a platform, so the whole `RunReport` of any row split
+//! — and therefore the total-cost curve and its exact subgradients — is an
+//! O(1) range-sum query. `nbwp-core`'s profiled spmm path delegates its
+//! pricing here, which keeps the curve bitwise equal to both `run()` and
+//! `run_profiled()` by construction.
+
+use nbwp_sim::{CurveEval, Platform, RunBreakdown, RunReport, SimTime};
+
+use crate::ops::split_row_for_load;
+use crate::spgemm::{RowCurves, ENTRY_BYTES};
+
+/// Evaluates the exact cost of every row split of an spmm run from
+/// prefix-sum curves. Thresholds are CPU *work-share* percentages; the
+/// load-prefix vector maps them to split rows (Algorithm 2, line 3).
+pub struct SpmmCostCurve<'a> {
+    curves: &'a RowCurves,
+    load_prefix: &'a [u64],
+    partition: SimTime,
+    platform: &'a Platform,
+}
+
+impl<'a> SpmmCostCurve<'a> {
+    /// Bundles curves, the load-prefix vector (inclusive prefix sums of
+    /// the load vector, one entry per row), the Phase I partition price,
+    /// and the pricing platform.
+    ///
+    /// # Panics
+    /// Panics if `load_prefix` does not have one entry per curve row.
+    #[must_use]
+    pub fn new(
+        curves: &'a RowCurves,
+        load_prefix: &'a [u64],
+        partition: SimTime,
+        platform: &'a Platform,
+    ) -> Self {
+        assert_eq!(
+            load_prefix.len(),
+            curves.rows(),
+            "load prefix must have one entry per row"
+        );
+        SpmmCostCurve {
+            curves,
+            load_prefix,
+            partition,
+            platform,
+        }
+    }
+
+    /// The exact [`RunReport`] of the split assigning rows `0..split` to
+    /// the CPU, every counter an O(1) curve lookup.
+    ///
+    /// # Panics
+    /// Panics if `split > rows`.
+    #[must_use]
+    pub fn report_at(&self, split: usize) -> RunReport {
+        let b_bytes = self.curves.b_bytes();
+        let cpu_stats = self.curves.stats_prefix(split);
+        let gpu_stats = self.curves.stats_suffix(split);
+        let gpu_rows = self.curves.rows() - split;
+        let transfer_in = if gpu_rows == 0 {
+            SimTime::ZERO
+        } else {
+            let a2_bytes =
+                self.curves.a_nnz().suffix_sum(split) * ENTRY_BYTES + 8 * gpu_rows as u64;
+            self.platform.transfer(a2_bytes + b_bytes)
+        };
+        let c2_bytes = self.curves.c_nnz().suffix_sum(split) * ENTRY_BYTES;
+        RunReport {
+            breakdown: RunBreakdown {
+                partition: self.partition,
+                transfer_in,
+                cpu_compute: self.platform.cpu_time(&cpu_stats),
+                gpu_compute: self.platform.gpu_time(&gpu_stats),
+                transfer_out: self.platform.transfer(c2_bytes),
+                merge: SimTime::ZERO, // results concatenate
+            },
+            cpu_stats,
+            gpu_stats,
+        }
+    }
+}
+
+impl CurveEval for SpmmCostCurve<'_> {
+    fn splits(&self) -> usize {
+        self.curves.rows() + 1
+    }
+
+    fn split_for(&self, t: f64) -> usize {
+        split_row_for_load(self.load_prefix, t)
+    }
+
+    fn total_at(&self, split: usize) -> SimTime {
+        self.report_at(split).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::ops::{load_vector, prefix_sums};
+    use crate::spgemm::row_profile;
+
+    #[test]
+    fn split_map_is_monotone_and_totals_are_finite() {
+        let a = gen::power_law(300, 8, 2.2, 5);
+        let costs = row_profile(&a, &a);
+        let curves = RowCurves::new(&costs, a.size_bytes());
+        let load: Vec<u64> = costs.iter().map(|c| c.b_entries).collect();
+        let prefix = prefix_sums(&load);
+        let platform = Platform::k40c_xeon_e5_2650();
+        let curve = SpmmCostCurve::new(&curves, &prefix, SimTime::from_millis(1.0), &platform);
+        let mut last = 0usize;
+        for pct in 0..=100 {
+            let s = curve.split_for(pct as f64);
+            assert!(s >= last, "split map must be monotone");
+            assert!(s < curve.splits());
+            last = s;
+        }
+        assert!(curve.total_at(0) > SimTime::ZERO);
+        // Sanity: the load vector really drives the split.
+        let lv: u64 = load_vector(&a, &a).iter().sum();
+        assert_eq!(prefix.last().copied().unwrap(), lv);
+    }
+
+    #[test]
+    fn subgradient_signs_bracket_the_argmin() {
+        let a = gen::uniform_random(200, 6, 9);
+        let costs = row_profile(&a, &a);
+        let curves = RowCurves::new(&costs, a.size_bytes());
+        let load: Vec<u64> = costs.iter().map(|c| c.b_entries).collect();
+        let prefix = prefix_sums(&load);
+        let platform = Platform::k40c_xeon_e5_2650();
+        let curve = SpmmCostCurve::new(&curves, &prefix, SimTime::ZERO, &platform);
+        // Interior argmin over all splits (skip the all-CPU transfer cliff).
+        let interior = 1..curves.rows();
+        let best = interior
+            .clone()
+            .min_by(|&x, &y| curve.total_at(x).cmp(&curve.total_at(y)))
+            .expect("non-empty");
+        if best > 1 {
+            assert!(curve.grad_left(best).expect("interior") <= 0.0);
+        }
+        if best + 2 < curve.splits() {
+            assert!(curve.grad_right(best).expect("interior") >= 0.0);
+        }
+    }
+}

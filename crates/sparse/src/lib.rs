@@ -22,6 +22,7 @@
 
 mod coo;
 mod csr;
+pub mod curve;
 pub mod features;
 pub mod gen;
 pub mod io;
@@ -33,3 +34,4 @@ pub mod spmv;
 
 pub use coo::Coo;
 pub use csr::{Csr, CsrError};
+pub use curve::SpmmCostCurve;

@@ -13,6 +13,9 @@
 
 use nbwp_par::Pool;
 use nbwp_sim::{warp_padded_cost, KernelStats, PrefixCurve, WarpPadCurve};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 use crate::Csr;
 
@@ -264,7 +267,7 @@ pub fn stats_for_rows(costs: &[RowCost], b_bytes: u64) -> KernelStats {
 ///     assert_eq!(curves.stats_suffix(split), stats_for_rows(&costs[split..], a.size_bytes()));
 /// }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RowCurves {
     a_nnz: PrefixCurve,
     b_entries: PrefixCurve,
@@ -308,6 +311,49 @@ impl RowCurves {
     #[must_use]
     pub fn c_nnz(&self) -> &PrefixCurve {
         &self.c_nnz
+    }
+
+    /// Curve over per-row `b_entries` — the paper's load vector `L_AB`.
+    #[must_use]
+    pub fn b_entries(&self) -> &PrefixCurve {
+        &self.b_entries
+    }
+
+    /// Bytes of `B` charged to every side's working set.
+    #[must_use]
+    pub fn b_bytes(&self) -> u64 {
+        self.b_bytes
+    }
+
+    /// Recovers the exact [`RowCost`] of row `i` by differencing the
+    /// curves (prefix sums are exact `u64`, so this is lossless).
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[must_use]
+    pub fn row_cost(&self, i: usize) -> RowCost {
+        RowCost {
+            a_nnz: self.a_nnz.range_sum(i, i + 1),
+            b_entries: self.b_entries.range_sum(i, i + 1),
+            c_nnz: self.c_nnz.range_sum(i, i + 1),
+        }
+    }
+
+    /// Derives the curves of a `frac`-sized row subsample directly from
+    /// this profile in one pass — no fresh instrumented run. The subset is
+    /// the seeded, sorted row selection of [`resample_indices`]; per-row
+    /// costs are recovered by [`RowCurves::row_cost`] differencing, so the
+    /// result is **identical** to building `RowCurves::new` from those
+    /// rows' costs with `b_bytes` scaled by `frac` (the miniature ships a
+    /// proportionally smaller `B`).
+    ///
+    /// # Panics
+    /// Panics if `frac` is not in `(0, 1]`.
+    #[must_use]
+    pub fn resample(&self, frac: f64, seed: u64) -> RowCurves {
+        let indices = resample_indices(self.rows, frac, seed);
+        let costs: Vec<RowCost> = indices.iter().map(|&i| self.row_cost(i)).collect();
+        RowCurves::new(&costs, scaled_b_bytes(self.b_bytes, frac))
     }
 
     fn assemble(
@@ -360,6 +406,38 @@ impl RowCurves {
             self.pad.suffix_cost(split),
         )
     }
+}
+
+/// Seeded, sorted row subset used by [`RowCurves::resample`]: a partial
+/// Fisher–Yates draw of `ceil(rows · frac)` distinct rows, returned in
+/// ascending order so subset curves keep the original row ordering.
+/// Deterministic in `(rows, frac, seed)`.
+///
+/// # Panics
+/// Panics if `frac` is not in `(0, 1]`.
+#[must_use]
+pub fn resample_indices(rows: usize, frac: f64, seed: u64) -> Vec<usize> {
+    assert!(
+        frac > 0.0 && frac <= 1.0,
+        "resample fraction {frac} out of (0, 1]"
+    );
+    let target = ((rows as f64 * frac).ceil() as usize).min(rows);
+    let mut idx: Vec<usize> = (0..rows).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (chosen, _) = idx.partial_shuffle(&mut rng, target);
+    let mut out = chosen.to_vec();
+    out.sort_unstable();
+    out
+}
+
+/// `B` bytes charged to a `frac`-sized row resample (rounded, at least 1
+/// when the full size is nonzero).
+#[must_use]
+pub fn scaled_b_bytes(b_bytes: u64, frac: f64) -> u64 {
+    if b_bytes == 0 {
+        return 0;
+    }
+    ((b_bytes as f64 * frac).round() as u64).max(1)
 }
 
 /// Multiplies `A × B` using up to `threads` workers over row blocks,

@@ -27,13 +27,10 @@ fn main() {
         let w = CcWorkload::new(g, platform);
 
         // The methods under comparison.
-        let best = exhaustive(&w, 1.0).best_t;
-        let est = estimate(
-            &w,
-            SampleSpec::default(),
-            IdentifyStrategy::CoarseToFine,
-            seed,
-        );
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) })
+            .run(&w)
+            .best_t;
+        let est = Estimator::new(Strategy::CoarseToFine).seed(seed).run(&w);
         let stat = naive_static(w.platform());
         let gpu_only_t = w.space().lo;
 

@@ -19,8 +19,8 @@ fn main() {
         ("duplicate-heavy keys", gen::duplicates(n, 37, 42)),
     ] {
         let w = SortWorkload::new(data, platform);
-        let est = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 7);
-        let best = exhaustive(&w, 1.0);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(7).run(&w);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
         let out = w.run_full(est.threshold);
         assert!(
             out.sorted.windows(2).all(|p| p[0] <= p[1]),

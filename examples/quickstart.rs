@@ -16,12 +16,9 @@ fn main() {
 
     // 2. Sample → Identify → Extrapolate: pick the CPU/GPU split threshold
     //    from a √n-sized miniature of the input.
-    let est = estimate(
-        &workload,
-        SampleSpec::default(),          // √n vertices, the paper's choice
-        IdentifyStrategy::CoarseToFine, // stride 8, then stride 1
-        7,                              // sampling seed
-    );
+    let est = Estimator::new(Strategy::CoarseToFine)
+        .seed(7)
+        .run(&workload);
     println!(
         "sampling recommends giving the CPU {:.0}% of the vertices \
          (found in {} miniature runs, {} estimation overhead)",
@@ -29,7 +26,7 @@ fn main() {
     );
 
     // 3. Compare with what an exhaustive search would have found.
-    let best = exhaustive(&workload, 1.0);
+    let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&workload);
     println!(
         "exhaustive search (101 full runs!) says {:.0}%",
         best.best_t

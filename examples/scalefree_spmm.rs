@@ -39,13 +39,10 @@ fn main() {
 
     // Identify on a √n-row sample with gradient descent, extrapolate by
     // degree-quantile matching (≈ the paper's t' × t' law on Pareto tails).
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::GradientDescent { max_evals: 24 },
-        seed,
-    );
-    let best = exhaustive(&w, 1.15);
+    let est = Estimator::new(Strategy::GradientDescent { max_evals: 24 })
+        .seed(seed)
+        .run(&w);
+    let best = Searcher::new(Strategy::Exhaustive { step: Some(1.15) }).run(&w);
     println!(
         "\nsample of {} rows → t' = {:.1}, extrapolated t = {:.0} \
          (exhaustive best t = {:.0})",

@@ -37,13 +37,8 @@ fn main() {
     }
 
     // Identify via the device race on the n/4 miniature.
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::RaceThenFine,
-        seed,
-    );
-    let best = exhaustive(&w, 1.0);
+    let est = Estimator::new(Strategy::RaceThenFine).seed(seed).run(&w);
+    let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
     println!(
         "\nrace + fine probes on the n/4 sample → r' = {:.1}% \
          (exhaustive best r = {:.1}%)",

@@ -21,17 +21,14 @@ fn main() {
     let graph = gen::web(50_000, 8, 42);
     let workload = CcWorkload::new(graph, Platform::k40c_xeon_e5_2650());
 
-    // 2. Same estimate as `estimate(...)`, but observed by a Recorder:
+    // 2. The same estimate, but observed by a Recorder:
     //    every pipeline phase, candidate evaluation, and device lane
     //    becomes a span on the simulated clock.
     let rec = Recorder::new();
-    let est = estimate_with(
-        &workload,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        7,
-        &rec,
-    );
+    let est = Estimator::new(Strategy::CoarseToFine)
+        .seed(7)
+        .recorder(&rec)
+        .run(&workload);
     let trace = rec.finish();
     println!(
         "estimated threshold {:.0}% in {} evaluations ({} overhead)\n",

@@ -36,13 +36,8 @@ fn hybrid_cc_is_exact_on_every_dataset_family() {
 fn sampling_beats_exhaustive_on_search_cost_by_an_order_of_magnitude() {
     let d = Dataset::by_name("web-BerkStan").unwrap();
     let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        SEED,
-    );
-    let exh = exhaustive(&w, 1.0);
+    let est = Estimator::new(Strategy::CoarseToFine).seed(SEED).run(&w);
+    let exh = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
     assert!(
         est.overhead * 10.0 < exh.search_cost,
         "sampling {} vs exhaustive {}",
@@ -60,13 +55,8 @@ fn estimated_threshold_is_close_in_time_to_the_best() {
     for name in names {
         let d = Dataset::by_name(name).unwrap();
         let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
-        let est = estimate(
-            &w,
-            SampleSpec::default(),
-            IdentifyStrategy::CoarseToFine,
-            SEED,
-        );
-        let best = exhaustive(&w, 1.0);
+        let est = Estimator::new(Strategy::CoarseToFine).seed(SEED).run(&w);
+        let best = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
         let penalty = w.time_at(est.threshold).pct_diff_from(best.best_time);
         assert!(penalty < 120.0, "{name}: penalty {penalty:.1}% too large");
         total_penalty += penalty;
@@ -111,8 +101,8 @@ fn induced_sampler_collapses_but_contract_sampler_does_not() {
 fn seeds_change_the_sample_but_not_the_input() {
     let d = Dataset::by_name("cant").unwrap();
     let w = CcWorkload::new(d.graph(SCALE, SEED), platform());
-    let a = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
-    let b = estimate(&w, SampleSpec::default(), IdentifyStrategy::CoarseToFine, 1);
+    let a = Estimator::new(Strategy::CoarseToFine).seed(1).run(&w);
+    let b = Estimator::new(Strategy::CoarseToFine).seed(1).run(&w);
     assert_eq!(a.threshold, b.threshold, "same seed → same estimate");
     // Full-input runs are seed-independent.
     assert_eq!(w.run(50.0), w.run(50.0));

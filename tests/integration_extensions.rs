@@ -16,12 +16,7 @@ fn platform() -> Platform {
 fn sorting_case_study_end_to_end() {
     let data = nbwp_sort::gen::narrow_range(30_000, SEED);
     let w = SortWorkload::new(data, platform());
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        SEED,
-    );
+    let est = Estimator::new(Strategy::CoarseToFine).seed(SEED).run(&w);
     let out = w.run_full(est.threshold);
     assert!(out.sorted.windows(2).all(|p| p[0] <= p[1]));
     // Narrow keys: the GPU side skips at least 6 of 8 radix passes.
@@ -33,15 +28,10 @@ fn sorting_case_study_end_to_end() {
 fn list_ranking_case_study_end_to_end() {
     let lists = LinkedLists::random(20_000, 4, SEED);
     let w = ListRankingWorkload::new(lists, platform(), SEED);
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        SEED,
-    );
+    let est = Estimator::new(Strategy::CoarseToFine).seed(SEED).run(&w);
     let out = w.run_full(est.threshold);
     assert_eq!(out.ranks, w.lists().rank_sequential());
-    let best = exhaustive(&w, 2.0);
+    let best = Searcher::new(Strategy::Exhaustive { step: Some(2.0) }).run(&w);
     assert!(best.best_t > 0.0 && best.best_t < 100.0, "interior optimum");
 }
 
@@ -49,12 +39,7 @@ fn list_ranking_case_study_end_to_end() {
 fn spmv_case_study_end_to_end() {
     let d = Dataset::by_name("pwtk").unwrap();
     let w = SpmvWorkload::new(d.matrix(SCALE, SEED), platform());
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        SEED,
-    );
+    let est = Estimator::new(Strategy::CoarseToFine).seed(SEED).run(&w);
     let (y, report) = w.run_numeric(est.threshold);
     assert_eq!(y.len(), w.size());
     assert!(report.total().as_secs() > 0.0);
@@ -91,19 +76,11 @@ fn energy_sweep_on_registry_data() {
 fn repeated_estimation_is_consistent_with_single() {
     let d = Dataset::by_name("rma10").unwrap();
     let w = SpmmWorkload::new(d.matrix(SCALE, SEED), platform());
-    let single = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::RaceThenFine,
-        SEED,
-    );
-    let multi = estimate_repeated(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::RaceThenFine,
-        SEED,
-        3,
-    );
+    let single = Estimator::new(Strategy::RaceThenFine).seed(SEED).run(&w);
+    let multi = Estimator::new(Strategy::RaceThenFine)
+        .seed(SEED)
+        .repeats(3)
+        .run(&w);
     assert!((0.0..=100.0).contains(&multi.threshold));
     assert!(multi.overhead > single.overhead);
 }
@@ -140,12 +117,9 @@ fn timeline_renders_for_a_real_run() {
 fn importance_sampler_runs_through_the_estimator() {
     let d = Dataset::by_name("webbase-1M").unwrap();
     let w = HhWorkload::new(d.matrix(SCALE, SEED), platform()).with_sampler(HhSampler::Importance);
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::GradientDescent { max_evals: 18 },
-        SEED,
-    );
+    let est = Estimator::new(Strategy::GradientDescent { max_evals: 18 })
+        .seed(SEED)
+        .run(&w);
     let space = w.space();
     assert!(est.threshold >= space.lo && est.threshold <= space.hi);
 }

@@ -35,9 +35,9 @@ fn all_identify_strategies_work_on_all_percentage_workloads() {
         IdentifyStrategy::GradientDescent { max_evals: 20 },
         IdentifyStrategy::Exhaustive,
     ] {
-        let e1 = estimate(&cc, SampleSpec::default(), strategy, SEED);
+        let e1 = Estimator::new(strategy.into()).seed(SEED).run(&cc);
         assert!((0.0..=100.0).contains(&e1.threshold), "{strategy:?} on CC");
-        let e2 = estimate(&spmm, SampleSpec::default(), strategy, SEED);
+        let e2 = Estimator::new(strategy.into()).seed(SEED).run(&spmm);
         assert!(
             (0.0..=100.0).contains(&e2.threshold),
             "{strategy:?} on spmm"
@@ -49,8 +49,8 @@ fn all_identify_strategies_work_on_all_percentage_workloads() {
 fn coarse_to_fine_matches_exhaustive_within_fine_resolution() {
     let d = Dataset::by_name("webbase-1M").unwrap();
     let w = SpmmWorkload::new(d.matrix(SCALE, SEED), platform());
-    let full = exhaustive(&w, 1.0);
-    let ctf = coarse_to_fine(&w);
+    let full = Searcher::new(Strategy::Exhaustive { step: Some(1.0) }).run(&w);
+    let ctf = Searcher::new(Strategy::CoarseToFine).run(&w);
     let penalty = ctf.best_time.pct_diff_from(full.best_time);
     assert!(
         penalty < 5.0,
@@ -77,12 +77,7 @@ fn history_baseline_ports_badly_across_families() {
     let reused = history.threshold_for(&web);
     assert_eq!(trained, reused, "history reuses its training threshold");
     // Input-aware sampling on the web matrix should do at least as well.
-    let est = estimate(
-        &web,
-        SampleSpec::default(),
-        IdentifyStrategy::RaceThenFine,
-        SEED,
-    );
+    let est = Estimator::new(Strategy::RaceThenFine).seed(SEED).run(&web);
     assert!(web.time_at(est.threshold) <= web.time_at(reused) * 1.10);
 }
 

@@ -59,12 +59,9 @@ fn estimation_overhead_is_tiny_as_the_paper_reports() {
     // Paper Table I: ~1% overhead for the scale-free study (√n-row sample).
     let d = Dataset::by_name("web-BerkStan").unwrap();
     let w = HhWorkload::new(d.matrix(SCALE, SEED), platform());
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::GradientDescent { max_evals: 24 },
-        SEED,
-    );
+    let est = Estimator::new(Strategy::GradientDescent { max_evals: 24 })
+        .seed(SEED)
+        .run(&w);
     let run = w.time_at(est.threshold);
     let overhead_pct = est.overhead / (est.overhead + run) * 100.0;
     assert!(overhead_pct < 25.0, "overhead = {overhead_pct:.1}%");

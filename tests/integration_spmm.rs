@@ -50,12 +50,7 @@ fn parallel_kernel_agrees_with_sequential_on_dataset_matrices() {
 fn race_estimate_lands_inside_the_space_with_few_evals() {
     let d = Dataset::by_name("shipsec1").unwrap();
     let w = SpmmWorkload::new(d.matrix(SCALE, SEED), platform());
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::RaceThenFine,
-        SEED,
-    );
+    let est = Estimator::new(Strategy::RaceThenFine).seed(SEED).run(&w);
     assert!((0.0..=100.0).contains(&est.threshold));
     assert!(
         est.evaluations <= 6,
@@ -83,12 +78,7 @@ fn sampling_estimate_is_no_worse_than_naive_static_on_irregular_input() {
     // beats the FLOPS-ratio split.
     let d = Dataset::by_name("webbase-1M").unwrap();
     let w = SpmmWorkload::new(d.matrix(SCALE, SEED), platform());
-    let est = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::RaceThenFine,
-        SEED,
-    );
+    let est = Estimator::new(Strategy::RaceThenFine).seed(SEED).run(&w);
     let t_est = w.time_at(est.threshold);
     let t_static = w.time_at(nbwp_core::baselines::naive_static_for(&w));
     assert!(

@@ -61,7 +61,10 @@ fn chrome_round_trip_nests_pipeline_spans_for_every_strategy() {
     let w = cc_workload();
     for strategy in STRATEGIES {
         let rec = Recorder::new();
-        let est = estimate_with(&w, SampleSpec::default(), strategy, SEED, &rec);
+        let est = Estimator::new(strategy.into())
+            .seed(SEED)
+            .recorder(&rec)
+            .run(&w);
         let trace = rec.finish();
         let json = trace.to_chrome_trace();
 
@@ -127,7 +130,10 @@ fn trace_durations_reconcile_with_estimate_overhead() {
     let w = cc_workload();
     for strategy in STRATEGIES {
         let rec = Recorder::new();
-        let est = estimate_with(&w, SampleSpec::default(), strategy, SEED, &rec);
+        let est = Estimator::new(strategy.into())
+            .seed(SEED)
+            .recorder(&rec)
+            .run(&w);
         let trace = rec.finish();
         let sample = trace.spans_named("sample").next().unwrap().dur;
         let identify = trace.spans_named("identify").next().unwrap().dur;
@@ -151,7 +157,10 @@ fn same_seed_traces_are_byte_identical() {
     for strategy in STRATEGIES {
         let capture = || {
             let rec = Recorder::new();
-            let _ = estimate_with(&w, SampleSpec::default(), strategy, SEED, &rec);
+            let _ = Estimator::new(strategy.into())
+                .seed(SEED)
+                .recorder(&rec)
+                .run(&w);
             let trace = rec.finish();
             (trace.to_chrome_trace(), trace.to_jsonl())
         };
@@ -172,9 +181,12 @@ fn same_seed_traces_are_byte_identical() {
 fn disabled_recorder_changes_nothing() {
     let w = cc_workload();
     for strategy in STRATEGIES {
-        let plain = estimate(&w, SampleSpec::default(), strategy, SEED);
+        let plain = Estimator::new(strategy.into()).seed(SEED).run(&w);
         let rec = Recorder::disabled();
-        let silent = estimate_with(&w, SampleSpec::default(), strategy, SEED, &rec);
+        let silent = Estimator::new(strategy.into())
+            .seed(SEED)
+            .recorder(&rec)
+            .run(&w);
         assert_eq!(plain.threshold, silent.threshold, "{strategy:?}");
         assert_eq!(plain.overhead, silent.overhead, "{strategy:?}");
         assert_eq!(plain.evaluations, silent.evaluations, "{strategy:?}");
@@ -187,19 +199,13 @@ fn disabled_recorder_changes_nothing() {
     // And the enabled recorder is an observer, not a participant: results
     // match the plain path bit-for-bit.
     let rec = Recorder::new();
-    let traced = estimate_with(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        SEED,
-        &rec,
-    );
-    let plain = estimate(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        SEED,
-    );
+    let traced = Estimator::new(IdentifyStrategy::CoarseToFine.into())
+        .seed(SEED)
+        .recorder(&rec)
+        .run(&w);
+    let plain = Estimator::new(IdentifyStrategy::CoarseToFine.into())
+        .seed(SEED)
+        .run(&w);
     assert_eq!(plain.threshold, traced.threshold);
     assert_eq!(plain.overhead, traced.overhead);
 }
@@ -208,13 +214,10 @@ fn disabled_recorder_changes_nothing() {
 fn metrics_snapshot_reports_search_and_device_figures() {
     let w = cc_workload();
     let rec = Recorder::new();
-    let est = estimate_with(
-        &w,
-        SampleSpec::default(),
-        IdentifyStrategy::CoarseToFine,
-        SEED,
-        &rec,
-    );
+    let est = Estimator::new(IdentifyStrategy::CoarseToFine.into())
+        .seed(SEED)
+        .recorder(&rec)
+        .run(&w);
     let trace = rec.finish();
     let m = &trace.metrics;
     assert_eq!(

@@ -4,6 +4,7 @@
 //! Wall-clock is the only thing parallelism is allowed to change.
 
 use nbwp_core::prelude::*;
+use nbwp_core::search::Strategy as SearchStrategy;
 use nbwp_dense::gemm::{gemm, gemm_parallel};
 use nbwp_dense::DenseMatrix;
 use nbwp_graph::cc::cc_sv;
@@ -39,28 +40,25 @@ fn every_strategy_is_thread_count_invariant() {
     let w = spmm_workload(3_000, 7);
     let rec = Recorder::disabled();
     let serial = Pool::new(1);
+    let strategies = [
+        ("exhaustive", SearchStrategy::Exhaustive { step: Some(1.0) }),
+        ("coarse_to_fine", SearchStrategy::CoarseToFine),
+        ("race_then_fine", SearchStrategy::RaceThenFine),
+        (
+            "gradient_descent",
+            SearchStrategy::GradientDescent { max_evals: 20 },
+        ),
+    ];
     for threads in [2, 4, 8] {
         let pool = Pool::new(threads);
-        assert_eq!(
-            digest(&exhaustive_pooled(&w, 1.0, &rec, &serial)),
-            digest(&exhaustive_pooled(&w, 1.0, &rec, &pool)),
-            "exhaustive, {threads} threads"
-        );
-        assert_eq!(
-            digest(&coarse_to_fine_pooled(&w, &rec, &serial)),
-            digest(&coarse_to_fine_pooled(&w, &rec, &pool)),
-            "coarse_to_fine, {threads} threads"
-        );
-        assert_eq!(
-            digest(&race_then_fine_pooled(&w, &rec, &serial)),
-            digest(&race_then_fine_pooled(&w, &rec, &pool)),
-            "race_then_fine, {threads} threads"
-        );
-        assert_eq!(
-            digest(&gradient_descent_pooled(&w, 20, &rec, &serial)),
-            digest(&gradient_descent_pooled(&w, 20, &rec, &pool)),
-            "gradient_descent, {threads} threads"
-        );
+        for (name, s) in strategies {
+            let base = Searcher::new(s).recorder(&rec);
+            assert_eq!(
+                digest(&base.pool(&serial).run(&w)),
+                digest(&base.pool(&pool).run(&w)),
+                "{name}, {threads} threads"
+            );
+        }
     }
 }
 
@@ -69,14 +67,12 @@ fn estimate_traces_are_byte_identical_across_pools() {
     let w = spmm_workload(2_000, 11);
     let exports = |threads: usize| {
         let rec = Recorder::new();
-        let est = estimate_pooled(
-            &w,
-            SampleSpec::default(),
-            IdentifyStrategy::CoarseToFine,
-            42,
-            &rec,
-            &Pool::new(threads),
-        );
+        let pool = Pool::new(threads);
+        let est = Estimator::new(SearchStrategy::CoarseToFine)
+            .seed(42)
+            .recorder(&rec)
+            .pool(&pool)
+            .run(&w);
         let trace = rec.finish();
         (est.threshold.to_bits(), chrome_trace(&trace), jsonl(&trace))
     };
@@ -135,9 +131,15 @@ fn ties_break_toward_the_lowest_threshold() {
     let rec = Recorder::disabled();
     for threads in [1, 4] {
         let pool = Pool::new(threads);
-        let out = exhaustive_pooled(&w, 1.0, &rec, &pool);
+        let out = Searcher::new(SearchStrategy::Exhaustive { step: Some(1.0) })
+            .recorder(&rec)
+            .pool(&pool)
+            .run(&w);
         assert_eq!(out.best_t, 0.0, "{threads} threads");
-        let out = coarse_to_fine_pooled(&w, &rec, &pool);
+        let out = Searcher::new(SearchStrategy::CoarseToFine)
+            .recorder(&rec)
+            .pool(&pool)
+            .run(&w);
         assert_eq!(out.best_t, 0.0, "{threads} threads");
     }
 }
@@ -153,8 +155,10 @@ proptest! {
     ) {
         let w = spmm_workload(rows, seed);
         let rec = Recorder::disabled();
-        let serial = digest(&exhaustive_pooled(&w, 5.0, &rec, &Pool::new(1)));
-        let pooled = digest(&exhaustive_pooled(&w, 5.0, &rec, &Pool::new(threads)));
+        let base = Searcher::new(SearchStrategy::Exhaustive { step: Some(5.0) }).recorder(&rec);
+        let (p1, pn) = (Pool::new(1), Pool::new(threads));
+        let serial = digest(&base.pool(&p1).run(&w));
+        let pooled = digest(&base.pool(&pn).run(&w));
         prop_assert_eq!(serial, pooled);
     }
 

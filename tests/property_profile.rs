@@ -7,6 +7,7 @@
 
 use nbwp_core::prelude::*;
 use nbwp_core::search::SearchOutcome;
+use nbwp_core::search::Strategy as SearchStrategy;
 use nbwp_graph::gen as ggen;
 use nbwp_sparse::gen as sgen;
 use proptest::prelude::*;
@@ -95,10 +96,11 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let w = CcWorkload::new(ggen::web(n, deg, seed), platform());
-        let direct = nbwp_core::search::exhaustive(&w, 4.0);
+        let coarse = Searcher::new(SearchStrategy::Exhaustive { step: Some(4.0) });
+        let direct = coarse.run(&w);
 
         let rec = Recorder::new();
-        let profiled = exhaustive_profiled(&w, 4.0, &rec, Pool::global());
+        let profiled = coarse.recorder(&rec).pool(Pool::global()).profiled().run(&w);
         let trace = rec.finish();
 
         assert_same_outcome(&direct, &profiled);
@@ -125,10 +127,18 @@ proptest! {
         let wide_pool = Pool::new(4);
 
         let rec1 = Recorder::new();
-        let serial = coarse_to_fine_profiled(&w, &rec1, &serial_pool);
+        let serial = Searcher::new(SearchStrategy::CoarseToFine)
+            .recorder(&rec1)
+            .pool(&serial_pool)
+            .profiled()
+            .run(&w);
         let t1 = rec1.finish();
         let rec4 = Recorder::new();
-        let wide = coarse_to_fine_profiled(&w, &rec4, &wide_pool);
+        let wide = Searcher::new(SearchStrategy::CoarseToFine)
+            .recorder(&rec4)
+            .pool(&wide_pool)
+            .profiled()
+            .run(&w);
         let t4 = rec4.finish();
 
         assert_same_outcome(&serial, &wide);

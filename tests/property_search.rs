@@ -6,6 +6,7 @@
 
 use nbwp_core::prelude::*;
 use nbwp_core::search::SearchOutcome;
+use nbwp_core::search::Strategy as SearchStrategy;
 use nbwp_sim::{KernelStats, RunBreakdown, RunReport};
 use proptest::prelude::*;
 
@@ -81,7 +82,7 @@ impl PartitionedWorkload for ConvexWorkload {
     }
 }
 
-fn arb_workload() -> impl Strategy<Value = (f64, f64, f64, f64, f64)> {
+fn arb_workload() -> impl proptest::strategy::Strategy<Value = (f64, f64, f64, f64, f64)> {
     (
         1.0f64..200.0, // partition µs
         1.0f64..100.0, // merge µs
@@ -98,9 +99,9 @@ proptest! {
     fn search_cost_is_the_sum_of_eval_times_and_best_is_argmin(p in arb_workload()) {
         let w = ConvexWorkload::new(p.0, p.1, p.2, p.3, p.4);
         let outcomes = [
-            ("exhaustive", exhaustive(&w, 1.0)),
-            ("coarse_to_fine", coarse_to_fine(&w)),
-            ("gradient_descent", gradient_descent(&w, 24)),
+            ("exhaustive", Searcher::new(SearchStrategy::Exhaustive { step: Some(1.0) }).run(&w)),
+            ("coarse_to_fine", Searcher::new(SearchStrategy::CoarseToFine).run(&w)),
+            ("gradient_descent", Searcher::new(SearchStrategy::GradientDescent { max_evals: 24 }).run(&w)),
         ];
         for (name, out) in &outcomes {
             // search_cost is exactly the sum of the recorded evaluations.
@@ -112,7 +113,7 @@ proptest! {
         // The race surcharge: race_then_fine pays for the two boundary
         // device runs *in addition to* its recorded evaluations, so only
         // `>=` (strictly `>` here, all phases being positive) holds.
-        let race = race_then_fine(&w);
+        let race = Searcher::new(SearchStrategy::RaceThenFine).run(&w);
         let sum: SimTime = race.evals.iter().map(|&(_, t)| t).sum();
         let race_cost = w.run(100.0).breakdown.phase2().min(w.run(0.0).breakdown.phase2());
         prop_assert!(race.search_cost > sum);
@@ -123,7 +124,7 @@ proptest! {
     #[test]
     fn exhaustive_lands_within_one_step_of_the_analytic_optimum(p in arb_workload()) {
         let w = ConvexWorkload::new(p.0, p.1, p.2, p.3, p.4);
-        let out = exhaustive(&w, 1.0);
+        let out = Searcher::new(SearchStrategy::Exhaustive { step: Some(1.0) }).run(&w);
         let t_star = w.analytic_best_t();
         // The integer grid brackets the convex minimum to within one step.
         prop_assert!(
@@ -137,12 +138,21 @@ proptest! {
     #[test]
     fn tracing_observes_without_perturbing(p in arb_workload()) {
         let w = ConvexWorkload::new(p.0, p.1, p.2, p.3, p.4);
-        let runs: [(&str, StrategyRun<'_>); 4] = [
-            ("exhaustive", Box::new(|r: &Recorder| exhaustive_with(&w, 4.0, r))),
-            ("coarse_to_fine", Box::new(|r: &Recorder| coarse_to_fine_with(&w, r))),
-            ("race_then_fine", Box::new(|r: &Recorder| race_then_fine_with(&w, r))),
-            ("gradient_descent", Box::new(|r: &Recorder| gradient_descent_with(&w, 16, r))),
+        let strategies = [
+            ("exhaustive", SearchStrategy::Exhaustive { step: Some(4.0) }),
+            ("coarse_to_fine", SearchStrategy::CoarseToFine),
+            ("race_then_fine", SearchStrategy::RaceThenFine),
+            ("gradient_descent", SearchStrategy::GradientDescent { max_evals: 16 }),
         ];
+        let wref = &w;
+        let runs: Vec<(&str, StrategyRun<'_>)> = strategies
+            .into_iter()
+            .map(|(name, s)| {
+                let run: StrategyRun<'_> =
+                    Box::new(move |r: &Recorder| Searcher::new(s).recorder(r).run(wref));
+                (name, run)
+            })
+            .collect();
         for (name, run) in &runs {
             let rec = Recorder::new();
             let traced = run(&rec);
