@@ -74,6 +74,7 @@ struct Report {
     quick: bool,
     seed: u64,
     repetitions: usize,
+    available_parallelism: usize,
     exact: bool,
     mismatches: Vec<String>,
     workloads: Vec<WorkloadInfo>,
@@ -303,10 +304,12 @@ fn main() {
     } else {
         (150_000, 250_000, 30_000, 1024)
     };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     eprintln!(
-        "bench_eval: {} mode, seed {}, best of {} rep(s)",
+        "bench_eval: {} mode, seed {}, {} hardware thread(s), best of {} rep(s)",
         if args.quick { "quick" } else { "full" },
         args.seed,
+        cores,
         reps
     );
 
@@ -409,6 +412,7 @@ fn main() {
         quick: args.quick,
         seed: args.seed,
         repetitions: reps,
+        available_parallelism: cores,
         exact: mismatches.is_empty(),
         mismatches: mismatches.clone(),
         workloads,

@@ -46,6 +46,11 @@ struct Report {
     seed: u64,
     thread_counts: Vec<usize>,
     repetitions: usize,
+    /// `"enforced"` when the host has more than one hardware thread (some
+    /// multi-threaded configuration must then beat 1 thread), or
+    /// `"skipped (available_parallelism == 1)"` on single-core hosts, where
+    /// every speedup is vacuously ≈1.0 and a gate would be meaningless.
+    speedup_gate: String,
     deterministic: bool,
     mismatches: Vec<String>,
     entries: Vec<Entry>,
@@ -206,6 +211,31 @@ fn main() {
         gemm_parallel(&gemm_a, &gemm_b, t).data().to_vec()
     });
 
+    let deterministic = mismatches.is_empty();
+
+    // Speedup gate: only meaningful with real parallel hardware. On a
+    // single-core host every thread count collapses onto one CPU, so the
+    // gate is noted as skipped rather than asserted vacuously.
+    let speedup_gate = if cores == 1 {
+        eprintln!("speedup gate: skipped (available_parallelism == 1; speedups are vacuous)");
+        "skipped (available_parallelism == 1)".to_string()
+    } else {
+        let best = entries
+            .iter()
+            .filter(|e| e.threads > 1)
+            .map(|e| e.speedup_vs_1)
+            .fold(0.0f64, f64::max);
+        if best < 1.1 {
+            mismatches.push(format!(
+                "speedup gate: no multi-threaded configuration beat 1 thread \
+                 (best x{best:.2} < x1.1 with {cores} hardware threads)"
+            ));
+        } else {
+            eprintln!("speedup gate: enforced (best multi-threaded speedup x{best:.2})");
+        }
+        "enforced".to_string()
+    };
+
     let report = Report {
         schema: "nbwp-bench-search/v1",
         available_parallelism: cores,
@@ -213,7 +243,8 @@ fn main() {
         seed: args.seed,
         thread_counts: THREAD_COUNTS.to_vec(),
         repetitions: reps,
-        deterministic: mismatches.is_empty(),
+        speedup_gate,
+        deterministic,
         mismatches: mismatches.clone(),
         entries,
     };
@@ -223,7 +254,7 @@ fn main() {
 
     if !mismatches.is_empty() {
         for m in &mismatches {
-            eprintln!("DETERMINISM VIOLATION: {m}");
+            eprintln!("BENCH VIOLATION: {m}");
         }
         std::process::exit(1);
     }

@@ -10,6 +10,9 @@
 //! nbwp estimate cc   --input cant.mtx
 //! nbwp estimate spmm --input cant.mtx --seed 7
 //! nbwp estimate hh   --input web.mtx
+//! # Serve many requests through the fingerprint-deduped batch path with
+//! # a shared threshold cache (one Matrix Market path per line):
+//! nbwp estimate spmm --batch requests.txt --cache-size 64
 //! # Capture a Chrome trace of the whole pipeline and check it:
 //! nbwp estimate cc --input cant.mtx --trace-out cc-trace.json --metrics
 //! nbwp trace cc-trace.json
@@ -72,8 +75,15 @@ pub enum Command {
     Estimate {
         /// Case study: "cc", "spmm", or "hh".
         workload: String,
-        /// Input path.
-        input: String,
+        /// Input path (exactly one of `input` / `batch`).
+        input: Option<String>,
+        /// Batch request file: one Matrix Market path per line (blank lines
+        /// and `#` comments skipped). Served through
+        /// `Estimator::run_batch` behind a shared threshold cache.
+        batch: Option<String>,
+        /// Capacity of the threshold cache used in batch mode (default
+        /// [`ThresholdCache::default`]'s).
+        cache_size: Option<usize>,
         /// Sampling seed.
         seed: u64,
         /// Compare against the exhaustive best (slower).
@@ -139,6 +149,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 )));
             }
             let mut input = None;
+            let mut batch = None;
+            let mut cache_size = None;
             let mut seed = 42;
             let mut exhaustive = false;
             let mut strategy = None;
@@ -148,6 +160,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--input" => input = Some(next_val(&mut it, flag)?),
+                    "--batch" => batch = Some(next_val(&mut it, flag)?),
+                    "--cache-size" => cache_size = Some(parse_num(&next_val(&mut it, flag)?)?),
                     "--seed" => seed = parse_num(&next_val(&mut it, flag)?)?,
                     "--exhaustive" => exhaustive = true,
                     "--strategy" => strategy = Some(next_val(&mut it, flag)?),
@@ -157,9 +171,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
                 }
             }
+            if input.is_some() == batch.is_some() {
+                return Err(err("estimate requires exactly one of --input or --batch"));
+            }
+            if cache_size.is_some() && batch.is_none() {
+                return Err(err("--cache-size requires --batch"));
+            }
+            if exhaustive && batch.is_some() {
+                return Err(err("--exhaustive applies to a single --input"));
+            }
             Ok(Command::Estimate {
                 workload,
-                input: input.ok_or_else(|| err("estimate requires --input"))?,
+                input,
+                batch,
+                cache_size,
                 seed,
                 exhaustive,
                 strategy,
@@ -187,7 +212,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 pub const USAGE: &str = "usage:
   nbwp datasets
   nbwp gen --dataset <name> [--scale f] [--seed u64] --out <file.mtx>
-  nbwp estimate <cc|spmm|hh> --input <file.mtx> [--seed u64] [--exhaustive]
+  nbwp estimate <cc|spmm|hh> (--input <file.mtx> | --batch <requests.txt>)
+                [--cache-size N] [--seed u64] [--exhaustive]
                 [--strategy <exhaustive|coarse_to_fine|race_then_fine|gradient_descent|analytic>]
                 [--analytic] [--trace-out <trace.json|trace.jsonl>] [--metrics]
   nbwp trace <trace.json>";
@@ -218,22 +244,37 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         Command::Estimate {
             workload,
             input,
+            batch,
+            cache_size,
             seed,
             exhaustive,
             strategy,
             analytic,
             trace_out,
             metrics,
-        } => estimate_cmd(
-            workload,
-            input,
-            *seed,
-            *exhaustive,
-            strategy.as_deref(),
-            *analytic,
-            trace_out.as_deref(),
-            *metrics,
-        ),
+        } => match (input, batch) {
+            (Some(input), None) => estimate_cmd(
+                workload,
+                input,
+                *seed,
+                *exhaustive,
+                strategy.as_deref(),
+                *analytic,
+                trace_out.as_deref(),
+                *metrics,
+            ),
+            (None, Some(batch)) => batch_cmd(
+                workload,
+                batch,
+                *cache_size,
+                *seed,
+                strategy.as_deref(),
+                *analytic,
+                trace_out.as_deref(),
+                *metrics,
+            ),
+            _ => Err(err("estimate requires exactly one of --input or --batch")),
+        },
         Command::Trace { input } => trace_cmd(input),
     }
 }
@@ -281,6 +322,18 @@ fn gen_dataset(name: &str, scale: f64, seed: u64, out: &str) -> Result<String, C
 fn load_matrix(path: &str) -> Result<Csr, CliError> {
     let file = File::open(Path::new(path)).map_err(|e| err(format!("cannot open {path}: {e}")))?;
     io::read_matrix_market(BufReader::new(file)).map_err(|e| err(format!("parse failed: {e}")))
+}
+
+fn load_square(path: &str) -> Result<Csr, CliError> {
+    let a = load_matrix(path)?;
+    if a.rows() != a.cols() {
+        return Err(err(format!(
+            "{path} is {}x{}; the case studies need a square matrix",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    Ok(a)
 }
 
 /// Resolves the Identify strategy for a workload from the CLI flags:
@@ -337,14 +390,7 @@ fn estimate_cmd(
     trace_out: Option<&str>,
     metrics: bool,
 ) -> Result<String, CliError> {
-    let a = load_matrix(input)?;
-    if a.rows() != a.cols() {
-        return Err(err(format!(
-            "{input} is {}x{}; the case studies need a square matrix",
-            a.rows(),
-            a.cols()
-        )));
-    }
+    let a = load_square(input)?;
     let strategy = resolve_strategy(workload, strategy, analytic)?;
     let platform = Platform::k40c_xeon_e5_2650();
     let rec = if trace_out.is_some() || metrics {
@@ -382,6 +428,167 @@ fn estimate_cmd(
                 "row-density threshold",
                 exhaustive,
                 &rec,
+            );
+        }
+        other => return Err(err(format!("unknown workload {other}"))),
+    }
+    let trace = rec.finish();
+    if metrics {
+        out.push('\n');
+        out.push_str(&trace.summary(60));
+    }
+    if let Some(path) = trace_out {
+        let text = if path.ends_with(".jsonl") {
+            trace.to_jsonl()
+        } else {
+            trace.to_chrome_trace()
+        };
+        std::fs::write(Path::new(path), text)
+            .map_err(|e| err(format!("cannot write trace to {path}: {e}")))?;
+        let _ = writeln!(out, "wrote trace ({} spans) to {path}", trace.spans.len());
+    }
+    Ok(out)
+}
+
+/// Serves every workload in `ws` through [`Estimator::run_batch`] behind
+/// `cache`, appending one line per request plus the cache totals.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch<W>(
+    out: &mut String,
+    paths: &[String],
+    ws: &[W],
+    strategy: Strategy,
+    seed: u64,
+    cache: &ThresholdCache,
+    rec: &Recorder,
+    unit: &str,
+) where
+    W: Sampleable + Fingerprinted,
+    W::Sample: Profilable,
+{
+    // No recorder on the estimator: `run_batch` would flush (reset) the
+    // cache counters into it before the summary below reads them. The
+    // totals are read first, then flushed to the metrics view by hand.
+    let e = Estimator::new(strategy).seed(seed).cache(cache);
+    let ests = if matches!(strategy, Strategy::Analytic { .. }) {
+        e.profiled().run_batch(ws)
+    } else {
+        e.run_batch(ws)
+    };
+    for (path, est) in paths.iter().zip(&ests) {
+        let _ = writeln!(
+            out,
+            "{path}: threshold {:.1} ({unit}), sample size {}, estimation cost {}",
+            est.threshold, est.sample_size, est.overhead
+        );
+    }
+    // Duplicates inside one batch are deduped by fingerprint before the
+    // cache is consulted, so they never show up in the hit/miss counters.
+    let st = cache.stats();
+    let served = st.exact_hits + st.near_hits + st.misses;
+    let _ = writeln!(
+        out,
+        "cache: {} exact hits, {} warm starts, {} misses; {} of {} requests deduped in-batch",
+        st.exact_hits,
+        st.near_hits,
+        st.misses,
+        paths.len() as u64 - served,
+        paths.len()
+    );
+    cache.flush_metrics(rec);
+}
+
+/// `estimate --batch`: one Matrix Market path per line, served through the
+/// fingerprint-deduped batch path with a shared threshold cache.
+#[allow(clippy::too_many_arguments)]
+fn batch_cmd(
+    workload: &str,
+    batch: &str,
+    cache_size: Option<usize>,
+    seed: u64,
+    strategy: Option<&str>,
+    analytic: bool,
+    trace_out: Option<&str>,
+    metrics: bool,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(Path::new(batch))
+        .map_err(|e| err(format!("cannot read {batch}: {e}")))?;
+    let paths: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    if paths.is_empty() {
+        return Err(err(format!("{batch} lists no inputs")));
+    }
+    let strategy = resolve_strategy(workload, strategy, analytic)?;
+    let platform = Platform::k40c_xeon_e5_2650();
+    let cache = cache_size.map_or_else(ThresholdCache::default, ThresholdCache::new);
+    let rec = if trace_out.is_some() || metrics {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{batch}: {} requests — {} ({}) on the simulated K40c + Xeon",
+        paths.len(),
+        workload,
+        strategy.name()
+    );
+    let mats = paths
+        .iter()
+        .map(|p| load_square(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    match workload {
+        "cc" => {
+            let ws: Vec<CcWorkload> = mats
+                .into_iter()
+                .map(|a| CcWorkload::new(Graph::from_matrix(&a), platform))
+                .collect();
+            serve_batch(
+                &mut out,
+                &paths,
+                &ws,
+                strategy,
+                seed,
+                &cache,
+                &rec,
+                "CPU vertex share %",
+            );
+        }
+        "spmm" => {
+            let ws: Vec<SpmmWorkload> = mats
+                .into_iter()
+                .map(|a| SpmmWorkload::new(a, platform))
+                .collect();
+            serve_batch(
+                &mut out,
+                &paths,
+                &ws,
+                strategy,
+                seed,
+                &cache,
+                &rec,
+                "CPU work share %",
+            );
+        }
+        "hh" => {
+            let ws: Vec<HhWorkload> = mats
+                .into_iter()
+                .map(|a| HhWorkload::new(a, platform))
+                .collect();
+            serve_batch(
+                &mut out,
+                &paths,
+                &ws,
+                strategy,
+                seed,
+                &cache,
+                &rec,
+                "row-density threshold",
             );
         }
         other => return Err(err(format!("unknown workload {other}"))),
@@ -506,7 +713,9 @@ mod tests {
             e,
             Command::Estimate {
                 workload: "spmm".into(),
-                input: "/tmp/x.mtx".into(),
+                input: Some("/tmp/x.mtx".into()),
+                batch: None,
+                cache_size: None,
                 seed: 42,
                 exhaustive: true,
                 strategy: None,
@@ -523,7 +732,9 @@ mod tests {
             t,
             Command::Estimate {
                 workload: "cc".into(),
-                input: "x.mtx".into(),
+                input: Some("x.mtx".into()),
+                batch: None,
+                cache_size: None,
                 seed: 42,
                 exhaustive: false,
                 strategy: None,
@@ -550,7 +761,9 @@ mod tests {
             e,
             Command::Estimate {
                 workload: "cc".into(),
-                input: "x.mtx".into(),
+                input: Some("x.mtx".into()),
+                batch: None,
+                cache_size: None,
                 seed: 42,
                 exhaustive: false,
                 strategy: Some("gradient_descent".into()),
@@ -564,7 +777,9 @@ mod tests {
             a,
             Command::Estimate {
                 workload: "spmm".into(),
-                input: "x.mtx".into(),
+                input: Some("x.mtx".into()),
+                batch: None,
+                cache_size: None,
                 seed: 42,
                 exhaustive: false,
                 strategy: None,
@@ -603,6 +818,108 @@ mod tests {
         assert!(conflict.0.contains("mutually exclusive"), "{}", conflict.0);
         let unknown = resolve_strategy("cc", Some("simulated_annealing"), false).unwrap_err();
         assert!(unknown.0.contains("simulated_annealing"), "{}", unknown.0);
+    }
+
+    #[test]
+    fn parse_batch_flags() {
+        let b = parse_args(&args("estimate spmm --batch reqs.txt --cache-size 64")).unwrap();
+        assert_eq!(
+            b,
+            Command::Estimate {
+                workload: "spmm".into(),
+                input: None,
+                batch: Some("reqs.txt".into()),
+                cache_size: Some(64),
+                seed: 42,
+                exhaustive: false,
+                strategy: None,
+                analytic: false,
+                trace_out: None,
+                metrics: false
+            }
+        );
+        // --input and --batch are mutually exclusive; one is required.
+        assert!(parse_args(&args("estimate cc --input x.mtx --batch b.txt")).is_err());
+        assert!(parse_args(&args("estimate cc")).is_err());
+        // --cache-size and --exhaustive are single/batch specific.
+        assert!(parse_args(&args("estimate cc --input x.mtx --cache-size 8")).is_err());
+        assert!(parse_args(&args("estimate cc --batch b.txt --exhaustive")).is_err());
+    }
+
+    #[test]
+    fn batch_estimate_serves_and_reports_cache_totals() {
+        let dir = std::env::temp_dir().join("nbwp_cli_batch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = dir.join("rma10.mtx");
+        let m2 = dir.join("cant.mtx");
+        for (name, path) in [("rma10", &m1), ("cant", &m2)] {
+            run(&Command::Gen {
+                dataset: name.into(),
+                scale: 0.005,
+                seed: 3,
+                out: path.to_str().unwrap().into(),
+            })
+            .unwrap();
+        }
+        // Duplicates, blank lines, and comments in the request file.
+        let reqs = dir.join("reqs.txt");
+        let (p1, p2) = (m1.to_str().unwrap(), m2.to_str().unwrap());
+        std::fs::write(&reqs, format!("# batch\n{p1}\n\n{p2}\n{p1}\n{p1}\n")).unwrap();
+
+        for analytic in [false, true] {
+            let text = run(&Command::Estimate {
+                workload: "spmm".into(),
+                input: None,
+                batch: Some(reqs.to_str().unwrap().into()),
+                cache_size: Some(8),
+                seed: 3,
+                exhaustive: false,
+                strategy: None,
+                analytic,
+                trace_out: None,
+                metrics: false,
+            })
+            .unwrap();
+            assert!(text.contains("4 requests"), "{text}");
+            assert_eq!(text.matches("threshold").count(), 4, "{text}");
+            // Two distinct inputs → two misses; the two duplicate requests
+            // are deduped inside the batch before the cache is consulted.
+            assert!(text.contains("2 misses"), "{text}");
+            assert!(text.contains("2 of 4 requests deduped in-batch"), "{text}");
+        }
+
+        // An unreadable request file and an empty one both fail loudly.
+        assert!(run(&Command::Estimate {
+            workload: "spmm".into(),
+            input: None,
+            batch: Some(dir.join("nope.txt").to_str().unwrap().into()),
+            cache_size: None,
+            seed: 3,
+            exhaustive: false,
+            strategy: None,
+            analytic: false,
+            trace_out: None,
+            metrics: false,
+        })
+        .is_err());
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "# nothing\n\n").unwrap();
+        assert!(run(&Command::Estimate {
+            workload: "spmm".into(),
+            input: None,
+            batch: Some(empty.to_str().unwrap().into()),
+            cache_size: None,
+            seed: 3,
+            exhaustive: false,
+            strategy: None,
+            analytic: false,
+            trace_out: None,
+            metrics: false,
+        })
+        .is_err());
+        for f in [&m1, &m2, &reqs, &empty] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]
@@ -646,7 +963,9 @@ mod tests {
         for wl in ["cc", "spmm", "hh"] {
             let text = run(&Command::Estimate {
                 workload: wl.into(),
-                input: path_s.clone(),
+                input: Some(path_s.clone()),
+                batch: None,
+                cache_size: None,
                 seed: 3,
                 exhaustive: false,
                 strategy: None,
@@ -663,7 +982,9 @@ mod tests {
         for wl in ["cc", "spmm", "hh"] {
             let text = run(&Command::Estimate {
                 workload: wl.into(),
-                input: path_s.clone(),
+                input: Some(path_s.clone()),
+                batch: None,
+                cache_size: None,
                 seed: 3,
                 exhaustive: false,
                 strategy: None,
@@ -695,7 +1016,9 @@ mod tests {
         let capture = |trace_path: &std::path::Path, wl: &str| -> String {
             let text = run(&Command::Estimate {
                 workload: wl.into(),
-                input: mtx_s.clone(),
+                input: Some(mtx_s.clone()),
+                batch: None,
+                cache_size: None,
                 seed: 5,
                 exhaustive: false,
                 strategy: None,
@@ -782,7 +1105,9 @@ mod tests {
     fn estimate_rejects_missing_file() {
         assert!(run(&Command::Estimate {
             workload: "cc".into(),
-            input: "/nonexistent/file.mtx".into(),
+            input: Some("/nonexistent/file.mtx".into()),
+            batch: None,
+            cache_size: None,
             seed: 1,
             exhaustive: false,
             strategy: None,

@@ -17,6 +17,8 @@
 //! assert!((0.0..=100.0).contains(&est.threshold));
 //! ```
 
+use std::collections::HashMap;
+
 use nbwp_par::Pool;
 use nbwp_sim::SimTime;
 use nbwp_trace::{ArgValue, Recorder};
@@ -24,9 +26,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::fingerprint::Fingerprinted;
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
 use crate::profile::Profilable;
 use crate::search::{SearchOutcome, Searcher, Strategy};
+use crate::threshold_cache::{CacheKey, ConfigKey, NearCacheKey, ThresholdCache};
 
 /// Which Identify strategy (§II Step 2) to run on the sampled input.
 ///
@@ -90,6 +94,10 @@ pub struct SamplingEstimate {
     pub evaluations: usize,
     /// Sample problem size (rows / vertices).
     pub sample_size: usize,
+    /// O(1) curve-total probes spent by [`Strategy::Analytic`] locating its
+    /// candidates (0 for every other strategy; summed across repeats). Warm
+    /// starts show up here as measurably fewer probes.
+    pub grad_probes: usize,
 }
 
 /// Configured Sample → Identify → Extrapolate pipeline (builder style).
@@ -108,6 +116,7 @@ pub struct Estimator<'a> {
     repeats: usize,
     rec: Option<&'a Recorder>,
     pool: Option<&'a Pool>,
+    cache: Option<&'a ThresholdCache>,
 }
 
 impl<'a> Estimator<'a> {
@@ -122,7 +131,18 @@ impl<'a> Estimator<'a> {
             repeats: 1,
             rec: None,
             pool: None,
+            cache: None,
         }
+    }
+
+    /// Attaches a [`ThresholdCache`]: [`Estimator::run_cached`] and
+    /// [`Estimator::run_batch`] consult it before sampling and insert every
+    /// freshly computed decision. ([`Estimator::run`] never touches the
+    /// cache.)
+    #[must_use]
+    pub fn cache(mut self, cache: &'a ThresholdCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Sets the sample-size spec (Step 1).
@@ -200,6 +220,101 @@ impl<'a> Estimator<'a> {
         });
         median_estimate(runs)
     }
+
+    /// [`Estimator::run`] behind the attached [`ThresholdCache`]: an
+    /// exact-key hit skips sample + search entirely and returns a clone of
+    /// the cached estimate (bitwise-identical to the run that populated
+    /// it); a miss runs cold and inserts. Without an attached cache this
+    /// *is* [`Estimator::run`].
+    #[must_use]
+    pub fn run_cached<W: Sampleable + Fingerprinted>(&self, workload: &W) -> SamplingEstimate {
+        let Some(cache) = self.cache else {
+            return self.run(workload);
+        };
+        let fp = workload.fingerprint();
+        let key = CacheKey {
+            input: fp.exact_key(),
+            config: ConfigKey::of(self.strategy, self.spec, self.seed, self.repeats),
+        };
+        let est = match cache.get_exact(&key) {
+            Some(est) => est,
+            None => {
+                cache.record_miss();
+                let est = self.run(workload);
+                cache.insert(key, NearCacheKey::of(fp.near_key(), self.strategy), &est);
+                est
+            }
+        };
+        if let Some(rec) = self.rec {
+            cache.flush_metrics(rec);
+        }
+        est
+    }
+
+    /// Serves a batch of requests: items are deduplicated by fingerprint +
+    /// configuration, each distinct class is estimated once (through the
+    /// worker pool and the attached cache, when any), and every duplicate
+    /// receives a clone of its class representative's estimate. Per item
+    /// the result equals a sequential [`Estimator::run_cached`] — the
+    /// determinism contract makes identical inputs produce identical
+    /// estimates, so sharing one computation per class is observationally
+    /// pure. Per-item tracing is disabled (items run concurrently); cache
+    /// metrics are flushed once at the end.
+    #[must_use]
+    pub fn run_batch<W: Sampleable + Fingerprinted>(
+        &self,
+        workloads: &[W],
+    ) -> Vec<SamplingEstimate> {
+        let pool = self.pool.unwrap_or(Pool::global());
+        let config = ConfigKey::of(self.strategy, self.spec, self.seed, self.repeats);
+        let (reps, group_of) = batch_groups(workloads, config);
+        // Rebuild a recorder-free estimator inside the closure: the
+        // recorder is single-threaded, everything else is `Sync`.
+        let (strategy, spec, seed, repeats, cache) = (
+            self.strategy,
+            self.spec,
+            self.seed,
+            self.repeats,
+            self.cache,
+        );
+        let results = pool.map(&reps, |&i| {
+            let e = Estimator {
+                strategy,
+                spec,
+                seed,
+                repeats,
+                rec: None,
+                pool: Some(pool),
+                cache,
+            };
+            e.run_cached(&workloads[i])
+        });
+        if let (Some(rec), Some(cache)) = (self.rec, self.cache) {
+            cache.flush_metrics(rec);
+        }
+        group_of.into_iter().map(|g| results[g].clone()).collect()
+    }
+}
+
+/// Groups batch items by (exact fingerprint key, configuration): returns
+/// the representative item index per distinct class and, per item, the
+/// index *into the representative list* of its class.
+fn batch_groups<W: Fingerprinted>(workloads: &[W], config: ConfigKey) -> (Vec<usize>, Vec<usize>) {
+    let mut first: HashMap<CacheKey, usize> = HashMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    let mut group_of: Vec<usize> = Vec::with_capacity(workloads.len());
+    for (i, w) in workloads.iter().enumerate() {
+        let key = CacheKey {
+            input: w.fingerprint().exact_key(),
+            config,
+        };
+        let slot = *first.entry(key).or_insert_with(|| {
+            reps.push(i);
+            reps.len() - 1
+        });
+        group_of.push(slot);
+    }
+    (reps, group_of)
 }
 
 /// One unprofiled estimation (shared by the single and repeated paths; the
@@ -233,28 +348,149 @@ impl ProfiledEstimator<'_> {
         W: Sampleable,
         W::Sample: Profilable,
     {
+        self.run_with_hint(workload, None)
+    }
+
+    /// [`ProfiledEstimator::run`] behind the attached [`ThresholdCache`]:
+    /// an exact-key hit skips sample + search entirely (bitwise-identical
+    /// clone of the cached estimate); on a miss, a near-key hit under
+    /// [`Strategy::Analytic`] warm-starts the search from the cached
+    /// split's bracket — same pipeline, measurably fewer `grad_probes` —
+    /// and the probe savings are credited to the cache's counters. Without
+    /// an attached cache this *is* [`ProfiledEstimator::run`].
+    #[must_use]
+    pub fn run_cached<W>(&self, workload: &W) -> SamplingEstimate
+    where
+        W: Sampleable + Fingerprinted,
+        W::Sample: Profilable,
+    {
+        let cfg = &self.inner;
+        let Some(cache) = cfg.cache else {
+            return self.run(workload);
+        };
+        let fp = workload.fingerprint();
+        let key = CacheKey {
+            input: fp.exact_key(),
+            config: ConfigKey::of(cfg.strategy, cfg.spec, cfg.seed, cfg.repeats),
+        };
+        let near = NearCacheKey::of(fp.near_key(), cfg.strategy);
+        let est = match cache.get_exact(&key) {
+            Some(est) => est,
+            None => {
+                cache.record_miss();
+                let warm = if matches!(cfg.strategy, Strategy::Analytic { .. }) {
+                    cache.get_near(&near)
+                } else {
+                    None
+                };
+                let est = match warm {
+                    Some(hint) => {
+                        let est = self.run_with_hint(workload, Some(hint.sample_threshold));
+                        cache.record_probes_saved(
+                            hint.cold_probes.saturating_sub(est.grad_probes) as u64
+                        );
+                        est
+                    }
+                    None => self.run(workload),
+                };
+                cache.insert(key, near, &est);
+                est
+            }
+        };
+        if let Some(rec) = cfg.rec {
+            cache.flush_metrics(rec);
+        }
+        est
+    }
+
+    /// Serves a batch of requests through the profiled pipeline — the
+    /// profiled counterpart of [`Estimator::run_batch`]: dedupe by
+    /// fingerprint + configuration, one (cached, possibly warm-started)
+    /// estimation per distinct class on the worker pool, clones fanned out
+    /// to duplicates.
+    #[must_use]
+    pub fn run_batch<W>(&self, workloads: &[W]) -> Vec<SamplingEstimate>
+    where
+        W: Sampleable + Fingerprinted,
+        W::Sample: Profilable,
+    {
+        let cfg = &self.inner;
+        let pool = cfg.pool.unwrap_or(Pool::global());
+        let config = ConfigKey::of(cfg.strategy, cfg.spec, cfg.seed, cfg.repeats);
+        let (reps, group_of) = batch_groups(workloads, config);
+        // Rebuild a recorder-free estimator inside the closure: the
+        // recorder is single-threaded, everything else is `Sync`.
+        let (strategy, spec, seed, repeats, cache) =
+            (cfg.strategy, cfg.spec, cfg.seed, cfg.repeats, cfg.cache);
+        let results = pool.map(&reps, |&i| {
+            let e = ProfiledEstimator {
+                inner: Estimator {
+                    strategy,
+                    spec,
+                    seed,
+                    repeats,
+                    rec: None,
+                    pool: Some(pool),
+                    cache,
+                },
+            };
+            e.run_cached(&workloads[i])
+        });
+        if let (Some(rec), Some(cache)) = (cfg.rec, cfg.cache) {
+            cache.flush_metrics(rec);
+        }
+        group_of.into_iter().map(|g| results[g].clone()).collect()
+    }
+
+    /// Shared body of [`ProfiledEstimator::run`] (no hint) and the
+    /// warm-started path (hint from a near-key cache hit). With repeats,
+    /// every repeat warm-starts from the same hint — the hint brackets the
+    /// input class, not one particular sample.
+    fn run_with_hint<W>(&self, workload: &W, warm: Option<f64>) -> SamplingEstimate
+    where
+        W: Sampleable,
+        W::Sample: Profilable,
+    {
         let cfg = &self.inner;
         let pool = cfg.pool.unwrap_or(Pool::global());
         if cfg.repeats == 1 {
             let disabled = Recorder::disabled();
             let rec = cfg.rec.unwrap_or(&disabled);
-            return run_single_profiled(workload, cfg.strategy, cfg.spec, cfg.seed, rec, pool);
+            return run_single_profiled(
+                workload,
+                cfg.strategy,
+                cfg.spec,
+                cfg.seed,
+                warm,
+                rec,
+                pool,
+            );
         }
         let (strategy, spec, seed) = (cfg.strategy, cfg.spec, cfg.seed);
         let runs = pool.map_indices(cfg.repeats, |k| {
             let seed = seed.wrapping_add(k as u64);
-            run_single_profiled(workload, strategy, spec, seed, &Recorder::disabled(), pool)
+            run_single_profiled(
+                workload,
+                strategy,
+                spec,
+                seed,
+                warm,
+                &Recorder::disabled(),
+                pool,
+            )
         });
         median_estimate(runs)
     }
 }
 
-/// One profiled estimation (see [`run_single`]).
+/// One profiled estimation (see [`run_single`]); `warm` threads a near-hit
+/// hint into the analytic search.
 fn run_single_profiled<W>(
     workload: &W,
     strategy: Strategy,
     spec: SampleSpec,
     seed: u64,
+    warm: Option<f64>,
     rec: &Recorder,
     pool: &Pool,
 ) -> SamplingEstimate
@@ -263,11 +499,11 @@ where
     W::Sample: Profilable,
 {
     estimate_core(workload, spec, strategy.name(), seed, rec, |sample, rec| {
-        Searcher::new(strategy)
-            .recorder(rec)
-            .pool(pool)
-            .profiled()
-            .run(sample)
+        let mut searcher = Searcher::new(strategy).recorder(rec).pool(pool);
+        if let Some(hint) = warm {
+            searcher = searcher.warm_hint(hint);
+        }
+        searcher.profiled().run(sample)
     })
 }
 
@@ -484,6 +720,7 @@ where
         overhead: workload.sampling_cost() + outcome.search_cost,
         evaluations: outcome.evaluations(),
         sample_size: sample.size(),
+        grad_probes: outcome.grad_probes,
     }
 }
 
@@ -493,10 +730,12 @@ fn median_estimate(mut runs: Vec<SamplingEstimate>) -> SamplingEstimate {
     runs.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
     let total_overhead: SimTime = runs.iter().map(|r| r.overhead).sum();
     let total_evals: usize = runs.iter().map(|r| r.evaluations).sum();
+    let total_probes: usize = runs.iter().map(|r| r.grad_probes).sum();
     let median = runs.swap_remove(runs.len() / 2);
     SamplingEstimate {
         overhead: total_overhead,
         evaluations: total_evals,
+        grad_probes: total_probes,
         ..median
     }
 }

@@ -1,0 +1,248 @@
+//! Input fingerprints: one-pass structural sketches with quantized cache keys.
+//!
+//! A [`Fingerprint`] summarizes a workload input (size, degree moments, a
+//! log2 quantile sketch, density class) together with a content digest that
+//! also mixes in the platform and workload configuration. Two keys are
+//! derived from it:
+//!
+//! * [`Fingerprint::exact_key`] — digest-grade identity. Two workloads with
+//!   equal exact keys are interchangeable inputs (same structure, platform,
+//!   and configuration), so a cached `SamplingEstimate` can be served
+//!   **bitwise-identically** without re-sampling.
+//! * [`Fingerprint::near_key`] — a coarse quantized class (log2 sizes,
+//!   quantized degree CV, density class). Workloads sharing a near key are
+//!   *structurally similar*: a previously found split is a good warm-start
+//!   bracket for `Strategy::Analytic`, though not a guaranteed-identical
+//!   answer.
+//!
+//! See DESIGN.md, "Fingerprints & amortized serving".
+
+/// Coarse fill-density class of an input, part of the near key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DensityClass {
+    /// Fill density below `1e-3` (typical graph / FEM inputs).
+    Sparse,
+    /// Fill density in `[1e-3, 5e-2)`.
+    Moderate,
+    /// Fill density of `5e-2` and above (dense-leaning kernels).
+    Dense,
+}
+
+impl DensityClass {
+    /// Classifies a fill density `m / (n · cols)`.
+    #[must_use]
+    pub fn of(density: f64) -> DensityClass {
+        if density < 1e-3 {
+            DensityClass::Sparse
+        } else if density < 5e-2 {
+            DensityClass::Moderate
+        } else {
+            DensityClass::Dense
+        }
+    }
+}
+
+/// Exact-identity cache key: workload kind plus sizes and the content
+/// digest. Equal keys ⇒ interchangeable inputs (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExactKey {
+    /// Workload kind tag (e.g. `"cc"`, `"spmm"`).
+    pub kind: &'static str,
+    /// Element count (vertices / rows).
+    pub n: usize,
+    /// Work count (arcs / nonzeros).
+    pub m: usize,
+    /// Content digest (structure + platform + configuration).
+    pub digest: u64,
+}
+
+/// Similarity cache key: quantized structural class. Equal keys ⇒ the
+/// inputs are close enough that one's split warm-starts the other's search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NearKey {
+    /// Workload kind tag.
+    pub kind: &'static str,
+    /// `⌈log2 n⌉` size class.
+    pub log2_n: u32,
+    /// `⌈log2 m⌉` work class.
+    pub log2_m: u32,
+    /// Degree CV quantized to steps of 0.25.
+    pub cv_q: i64,
+    /// Fill-density class.
+    pub density: DensityClass,
+}
+
+/// One-pass structural sketch of a workload input with quantized cache keys.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fingerprint {
+    /// Workload kind tag (static so keys stay `Copy` + allocation-free).
+    pub kind: &'static str,
+    /// Element count (vertices / rows / matrix dimension).
+    pub n: usize,
+    /// Work count (arcs / nonzeros / FLOP proxy).
+    pub m: usize,
+    /// Mean degree (work per element).
+    pub mean_degree: f64,
+    /// Coefficient of variation of the degree distribution.
+    pub degree_cv: f64,
+    /// Maximum degree.
+    pub max_degree: u64,
+    /// Degree histogram in log2 buckets: bucket 0 counts degree-0 elements,
+    /// bucket `k ≥ 1` counts degrees in `[2^(k-1), 2^k)`. Doubles as a
+    /// coarse quantile sketch via [`Fingerprint::quantile`].
+    pub log2_hist: [u64; 64],
+    /// Fill-density class.
+    pub density_class: DensityClass,
+    /// Content digest: the structure digest mixed with the platform digest
+    /// and workload-configuration discriminants via [`mix64`].
+    pub digest: u64,
+}
+
+/// FNV-1a continuation: folds the little-endian bytes of `word` into `h`.
+/// Used to mix platform digests and configuration discriminants into a
+/// structure digest; order-sensitive, so mix fields in a fixed order.
+#[must_use]
+pub fn mix64(mut h: u64, word: u64) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn log2_class(x: usize) -> u32 {
+    // ⌈log2 x⌉ with 0 and 1 both mapping to class 0.
+    usize::BITS - x.saturating_sub(1).leading_zeros()
+}
+
+impl Fingerprint {
+    /// Exact-identity key (see module docs).
+    #[must_use]
+    pub fn exact_key(&self) -> ExactKey {
+        ExactKey {
+            kind: self.kind,
+            n: self.n,
+            m: self.m,
+            digest: self.digest,
+        }
+    }
+
+    /// Quantized similarity key (see module docs).
+    #[must_use]
+    pub fn near_key(&self) -> NearKey {
+        NearKey {
+            kind: self.kind,
+            log2_n: log2_class(self.n),
+            log2_m: log2_class(self.m),
+            cv_q: (self.degree_cv / 0.25).round() as i64,
+            density: self.density_class,
+        }
+    }
+
+    /// Approximate degree quantile from the log2 histogram: the lower bound
+    /// of the bucket containing the `q`-th fraction of elements. Exact to
+    /// within a factor of 2; `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.log2_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.log2_hist.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if k == 0 {
+                    0.0
+                } else {
+                    (1u64 << (k - 1)) as f64
+                };
+            }
+        }
+        self.max_degree as f64
+    }
+}
+
+/// Workloads that can describe their input with a [`Fingerprint`].
+///
+/// The fingerprint must be a pure function of everything that determines the
+/// estimator's output for this workload — input structure, platform, and any
+/// configuration that changes sampling or extrapolation — so that equal
+/// exact keys really do imply interchangeable estimates.
+pub trait Fingerprinted {
+    /// Returns the fingerprint of this workload's input. Implementations
+    /// should cache the underlying O(n + m) sketch so repeated calls are
+    /// cheap (the serving path fingerprints every request).
+    fn fingerprint(&self) -> Fingerprint;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: usize, m: usize, cv: f64, digest: u64) -> Fingerprint {
+        let mut hist = [0u64; 64];
+        hist[3] = n as u64; // all degrees in [4, 8)
+        Fingerprint {
+            kind: "test",
+            n,
+            m,
+            mean_degree: m as f64 / n.max(1) as f64,
+            degree_cv: cv,
+            max_degree: 7,
+            log2_hist: hist,
+            density_class: DensityClass::of(m as f64 / (n.max(1) as f64 * n.max(1) as f64)),
+            digest,
+        }
+    }
+
+    #[test]
+    fn density_classes() {
+        assert_eq!(DensityClass::of(1e-6), DensityClass::Sparse);
+        assert_eq!(DensityClass::of(0.01), DensityClass::Moderate);
+        assert_eq!(DensityClass::of(0.5), DensityClass::Dense);
+    }
+
+    #[test]
+    fn exact_key_tracks_digest() {
+        let a = fp(1000, 5000, 1.0, 42);
+        let b = fp(1000, 5000, 1.0, 42);
+        let c = fp(1000, 5000, 1.0, 43);
+        assert_eq!(a.exact_key(), b.exact_key());
+        assert_ne!(a.exact_key(), c.exact_key());
+    }
+
+    #[test]
+    fn near_key_quantizes() {
+        // Same log2 class and CV bucket → same near key despite different
+        // digests and slightly different sizes.
+        let a = fp(1000, 5000, 1.02, 1);
+        let b = fp(900, 4800, 0.98, 2);
+        assert_eq!(a.near_key(), b.near_key());
+        // Doubling n changes the size class.
+        let c = fp(2100, 5000, 1.0, 3);
+        assert_ne!(a.near_key(), c.near_key());
+        // A very different CV changes the class.
+        let d = fp(1000, 5000, 3.0, 4);
+        assert_ne!(a.near_key(), d.near_key());
+    }
+
+    #[test]
+    fn quantile_reads_histogram() {
+        let f = fp(100, 500, 1.0, 0);
+        // All mass in bucket 3 → every quantile reports its lower bound 4.
+        assert_eq!(f.quantile(0.1), 4.0);
+        assert_eq!(f.quantile(0.99), 4.0);
+        let mut g = f.clone();
+        g.log2_hist = [0; 64];
+        assert_eq!(g.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn mix64_is_order_sensitive() {
+        let h = 0xcbf2_9ce4_8422_2325;
+        assert_ne!(mix64(mix64(h, 1), 2), mix64(mix64(h, 2), 1));
+    }
+}

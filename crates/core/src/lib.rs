@@ -38,10 +38,12 @@ pub mod estimator;
 pub mod evalcache;
 pub mod experiment;
 pub mod extrapolate;
+pub mod fingerprint;
 pub mod framework;
 pub mod profile;
 pub mod report;
 pub mod search;
+pub mod threshold_cache;
 pub mod workloads;
 
 /// One-stop imports for examples, tests and harnesses.
@@ -61,6 +63,7 @@ pub mod prelude {
         Summary,
     };
     pub use crate::extrapolate::{calibrate_extrapolator, fit_power, Extrapolator};
+    pub use crate::fingerprint::{DensityClass, Fingerprint, Fingerprinted};
     pub use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
     pub use crate::profile::{Profilable, ProfiledWorkload, Resampleable};
     #[allow(deprecated)] // the shims stay importable through the prelude
@@ -74,6 +77,7 @@ pub mod prelude {
         gradient_descent_analytic, ProfiledSearcher, SearchOutcome, Searcher, Strategy,
         UnknownStrategy, DEFAULT_GRADIENT_EVALS,
     };
+    pub use crate::threshold_cache::{CacheStats, ThresholdCache};
     pub use crate::workloads::{
         CcSampler, CcWorkload, DenseGemmWorkload, HhSampler, HhWorkload, ListRankingWorkload,
         MultiPlatform, MultiRunReport, MultiSpmmWorkload, Shares, SortWorkload, SpmmWorkload,

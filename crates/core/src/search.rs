@@ -216,6 +216,7 @@ pub struct Searcher<'a> {
     strategy: Strategy,
     rec: Option<&'a Recorder>,
     pool: Option<&'a Pool>,
+    warm_hint: Option<f64>,
 }
 
 impl<'a> Searcher<'a> {
@@ -226,7 +227,24 @@ impl<'a> Searcher<'a> {
             strategy,
             rec: None,
             pool: None,
+            warm_hint: None,
         }
+    }
+
+    /// Warm-starts [`Strategy::Analytic`] from a previously found threshold
+    /// (ignored by every other strategy): instead of scanning the whole
+    /// subgradient domain for sign changes, the search hill-descends on the
+    /// curve totals from the candidate nearest `hint`, spending O(walk)
+    /// probes instead of O(m / stride + log m). When `hint` lies in the
+    /// basin of the cold argmin — always true when it *is* a cold result
+    /// for the same curve — the outcome is identical to the cold search;
+    /// for merely similar inputs it may settle on a different local
+    /// minimum of a multimodal curve (the near-hit serving trade-off, see
+    /// DESIGN.md "Fingerprints & amortized serving").
+    #[must_use]
+    pub fn warm_hint(mut self, hint: f64) -> Self {
+        self.warm_hint = Some(hint);
+        self
     }
 
     /// Traces candidate evaluations (and flushed profile metrics) into
@@ -307,9 +325,14 @@ impl ProfiledSearcher<'_> {
             Strategy::GradientDescent { max_evals } => {
                 gradient_descent_impl(&pw, max_evals, rec, pool)
             }
-            Strategy::Analytic { step } => {
-                analytic_impl(w, &pw, resolve_step(step, &pw.space()), rec, pool)
-            }
+            Strategy::Analytic { step } => analytic_impl(
+                w,
+                &pw,
+                resolve_step(step, &pw.space()),
+                self.inner.warm_hint,
+                rec,
+                pool,
+            ),
         };
         pw.flush_metrics(rec);
         out
@@ -612,6 +635,7 @@ fn analytic_impl<W: Profilable>(
     w: &W,
     pw: &ProfiledWorkload<'_, W>,
     step: f64,
+    warm: Option<f64>,
     rec: &Recorder,
     pool: &Pool,
 ) -> SearchOutcome {
@@ -640,6 +664,31 @@ fn analytic_impl<W: Profilable>(
     let mut chosen: Vec<usize> = Vec::new();
     if m == 1 {
         chosen.push(0);
+    } else if let Some(hint) = warm {
+        // Warm start: hill-descend on the curve totals from the candidate
+        // nearest the hint. Each right move strictly lowers the total and
+        // each left move lowers the index without raising it, so the
+        // lexicographic pair (total, index) strictly decreases — the walk
+        // terminates on the lowest-index point of its local plateau,
+        // matching the cold search's lowest-threshold tie-break. Starting
+        // inside the cold argmin's basin therefore reproduces the cold
+        // answer exactly; see `Searcher::warm_hint` for the caveat when it
+        // does not.
+        let hs = curve.split_for(space.clamp(hint));
+        let h = cands.partition_point(|&(_, s)| s < hs).min(m - 1);
+        let mut j = h;
+        loop {
+            if j + 1 < m && memo.total(j + 1) < memo.total(j) {
+                j += 1;
+                continue;
+            }
+            if j > 0 && memo.total(j - 1) <= memo.total(j) {
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        chosen.push(j);
     } else {
         // Subgradient domain: D(i) = total(i+1) - total(i), i in 0..=m-2.
         let last_d = m - 2;

@@ -1,0 +1,440 @@
+//! Bounded-LRU cache of partitioning decisions, keyed by input fingerprint.
+//!
+//! The cache holds two maps over the same bounded budget:
+//!
+//! * **exact** — [`CacheKey`] (fingerprint [`ExactKey`] + estimator
+//!   [`ConfigKey`]) → the full [`SamplingEstimate`]. A hit is served as a
+//!   clone, **bitwise-identical** to what the cold path would compute,
+//!   because equal exact keys certify interchangeable inputs under an
+//!   identical estimator configuration.
+//! * **near** — [`NearCacheKey`] (fingerprint [`NearKey`] + strategy
+//!   discriminant) → the cached split in sample space plus the cold probe
+//!   count. A hit does *not* skip the pipeline; it warm-starts
+//!   `Strategy::Analytic` from the cached split's bracket, which measurably
+//!   reduces `grad_probes`.
+//!
+//! Hit/miss/probe-savings counters are lock-free atomics, flushed to the
+//! `nbwp-trace` metrics registry by [`ThresholdCache::flush_metrics`]
+//! (reset-on-flush, so repeated flushes never double-count).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use nbwp_trace::Recorder;
+
+use crate::estimator::SamplingEstimate;
+use crate::fingerprint::{ExactKey, NearKey};
+use crate::framework::SampleSpec;
+use crate::search::Strategy;
+
+/// Default entry budget per map. Decisions are tiny (a few hundred bytes),
+/// so this comfortably covers a serving mix while bounding memory.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Estimator-configuration component of a cache key: everything besides the
+/// input that determines the estimate (strategy + parameters, sample spec,
+/// seed, repeat count). Two runs with equal [`ExactKey`] and equal
+/// `ConfigKey` are the same computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConfigKey {
+    strategy_disc: u8,
+    strategy_bits: u64,
+    factor_bits: u64,
+    seed: u64,
+    repeats: usize,
+}
+
+/// Stable discriminant for a [`Strategy`] (parameters excluded).
+fn strategy_disc(strategy: Strategy) -> u8 {
+    match strategy {
+        Strategy::Exhaustive { .. } => 0,
+        Strategy::CoarseToFine => 1,
+        Strategy::RaceThenFine => 2,
+        Strategy::GradientDescent { .. } => 3,
+        Strategy::Analytic { .. } => 4,
+    }
+}
+
+impl ConfigKey {
+    /// Builds the key for one estimator configuration.
+    #[must_use]
+    pub fn of(strategy: Strategy, spec: SampleSpec, seed: u64, repeats: usize) -> ConfigKey {
+        let strategy_bits = match strategy {
+            Strategy::Exhaustive { step } | Strategy::Analytic { step } => {
+                step.unwrap_or(f64::NAN).to_bits()
+            }
+            Strategy::GradientDescent { max_evals } => max_evals as u64,
+            Strategy::CoarseToFine | Strategy::RaceThenFine => 0,
+        };
+        ConfigKey {
+            strategy_disc: strategy_disc(strategy),
+            strategy_bits,
+            factor_bits: spec.factor.to_bits(),
+            seed,
+            repeats,
+        }
+    }
+}
+
+/// Exact-identity cache key: input fingerprint identity + configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint exact key of the input.
+    pub input: ExactKey,
+    /// Estimator configuration.
+    pub config: ConfigKey,
+}
+
+/// Similarity cache key: quantized fingerprint class + strategy kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NearCacheKey {
+    /// Quantized fingerprint class of the input.
+    pub input: NearKey,
+    /// Strategy discriminant (warm starts only transfer within a strategy).
+    pub strategy_disc: u8,
+}
+
+impl NearCacheKey {
+    /// Builds the near key for one input class + strategy.
+    #[must_use]
+    pub fn of(input: NearKey, strategy: Strategy) -> NearCacheKey {
+        NearCacheKey {
+            input,
+            strategy_disc: strategy_disc(strategy),
+        }
+    }
+}
+
+/// What a near-key hit supplies: a warm-start hint and the cold cost it
+/// replaces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WarmHint {
+    /// Cached split threshold in *sample space* — the bracket center the
+    /// analytic search descends from.
+    pub sample_threshold: f64,
+    /// `grad_probes` the cold search spent for this class, the baseline for
+    /// probe-savings accounting.
+    pub cold_probes: usize,
+}
+
+struct CacheInner {
+    capacity: usize,
+    tick: u64,
+    exact: HashMap<CacheKey, (SamplingEstimate, u64)>,
+    near: HashMap<NearCacheKey, (WarmHint, u64)>,
+}
+
+impl CacheInner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Evicts the least-recently-used entry when inserting a fresh key into a
+/// full map. O(len) scan — fine at the small bounded capacities used here
+/// (same policy as `EvalCache`).
+fn insert_lru<K: Copy + Eq + std::hash::Hash, V>(
+    map: &mut HashMap<K, (V, u64)>,
+    capacity: usize,
+    key: K,
+    value: V,
+    tick: u64,
+) {
+    if map.len() >= capacity && !map.contains_key(&key) {
+        if let Some(oldest) = map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| *k) {
+            map.remove(&oldest);
+        }
+    }
+    map.insert(key, (value, tick));
+}
+
+/// Aggregate counter snapshot (see [`ThresholdCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-key hits served bitwise-identically from cache.
+    pub exact_hits: u64,
+    /// Near-key hits that warm-started an analytic search.
+    pub near_hits: u64,
+    /// Requests that ran the full cold path.
+    pub misses: u64,
+    /// Decisions inserted.
+    pub insertions: u64,
+    /// `grad_probes` avoided by warm starts (cold − warm, summed).
+    pub probes_saved: u64,
+}
+
+/// Bounded-LRU decision cache shared across estimator runs. Thread-safe:
+/// the maps sit behind a mutex (critical sections are O(1) amortized) and
+/// the counters are lock-free atomics, so `run_batch` workers hit it
+/// concurrently without serializing their actual work.
+pub struct ThresholdCache {
+    inner: Mutex<CacheInner>,
+    exact_hits: AtomicU64,
+    near_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    probes_saved: AtomicU64,
+}
+
+impl Default for ThresholdCache {
+    fn default() -> Self {
+        ThresholdCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl ThresholdCache {
+    /// Creates a cache holding at most `capacity` entries per map
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ThresholdCache {
+        ThresholdCache {
+            inner: Mutex::new(CacheInner {
+                capacity: capacity.max(1),
+                tick: 0,
+                exact: HashMap::new(),
+                near: HashMap::new(),
+            }),
+            exact_hits: AtomicU64::new(0),
+            near_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            probes_saved: AtomicU64::new(0),
+        }
+    }
+
+    /// Exact-key lookup. A hit refreshes recency and returns a clone of the
+    /// cached estimate — bitwise-identical to the cold-path result.
+    #[must_use]
+    pub fn get_exact(&self, key: &CacheKey) -> Option<SamplingEstimate> {
+        let mut inner = self.inner.lock().expect("threshold cache poisoned");
+        let tick = inner.touch();
+        if let Some((est, t)) = inner.exact.get_mut(key) {
+            *t = tick;
+            let est = est.clone();
+            drop(inner);
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(est);
+        }
+        None
+    }
+
+    /// Near-key lookup. A hit refreshes recency and returns the warm-start
+    /// hint for `Strategy::Analytic`.
+    #[must_use]
+    pub fn get_near(&self, key: &NearCacheKey) -> Option<WarmHint> {
+        let mut inner = self.inner.lock().expect("threshold cache poisoned");
+        let tick = inner.touch();
+        if let Some((hint, t)) = inner.near.get_mut(key) {
+            *t = tick;
+            let hint = *hint;
+            drop(inner);
+            self.near_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hint);
+        }
+        None
+    }
+
+    /// Records that a request ran the full cold path.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `grad_probes` avoided by a warm start.
+    pub fn record_probes_saved(&self, saved: u64) {
+        self.probes_saved.fetch_add(saved, Ordering::Relaxed);
+    }
+
+    /// Inserts a freshly computed decision under both keys.
+    pub fn insert(&self, key: CacheKey, near: NearCacheKey, est: &SamplingEstimate) {
+        let mut inner = self.inner.lock().expect("threshold cache poisoned");
+        let tick = inner.touch();
+        let capacity = inner.capacity;
+        insert_lru(&mut inner.exact, capacity, key, est.clone(), tick);
+        let hint = WarmHint {
+            sample_threshold: est.sample_threshold,
+            cold_probes: est.grad_probes,
+        };
+        insert_lru(&mut inner.near, capacity, near, hint, tick);
+        drop(inner);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counter values (no reset).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            near_hits: self.near_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            probes_saved: self.probes_saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of exact entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("threshold cache poisoned")
+            .exact
+            .len()
+    }
+
+    /// Whether the cache holds no exact entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes the counters to the metrics registry and resets them, so a
+    /// later flush only reports activity since this one. Counter names:
+    /// `threshold_cache.hit`, `threshold_cache.near_hit`,
+    /// `threshold_cache.miss`, `threshold_cache.insert`,
+    /// `threshold_cache.probes_saved`.
+    pub fn flush_metrics(&self, rec: &Recorder) {
+        rec.counter_add(
+            "threshold_cache.hit",
+            self.exact_hits.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.near_hit",
+            self.near_hits.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.miss",
+            self.misses.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.insert",
+            self.insertions.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.probes_saved",
+            self.probes_saved.swap(0, Ordering::Relaxed),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::DensityClass;
+    use nbwp_sim::SimTime;
+
+    fn exact(digest: u64) -> ExactKey {
+        ExactKey {
+            kind: "test",
+            n: 100,
+            m: 500,
+            digest,
+        }
+    }
+
+    fn near(cv_q: i64) -> NearKey {
+        NearKey {
+            kind: "test",
+            log2_n: 7,
+            log2_m: 9,
+            cv_q,
+            density: DensityClass::Moderate,
+        }
+    }
+
+    fn key(digest: u64) -> CacheKey {
+        CacheKey {
+            input: exact(digest),
+            config: ConfigKey::of(Strategy::CoarseToFine, SampleSpec::default(), 7, 1),
+        }
+    }
+
+    fn est(threshold: f64) -> SamplingEstimate {
+        SamplingEstimate {
+            threshold,
+            sample_threshold: threshold / 2.0,
+            overhead: SimTime::from_millis(1.0),
+            evaluations: 9,
+            sample_size: 10,
+            grad_probes: 5,
+        }
+    }
+
+    #[test]
+    fn exact_roundtrip_is_bitwise() {
+        let cache = ThresholdCache::new(8);
+        assert!(cache.get_exact(&key(1)).is_none());
+        let e = est(42.0);
+        cache.insert(
+            key(1),
+            NearCacheKey::of(near(4), Strategy::CoarseToFine),
+            &e,
+        );
+        assert_eq!(cache.get_exact(&key(1)), Some(e));
+        assert!(cache.get_exact(&key(2)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.exact_hits, s.insertions), (1, 1));
+    }
+
+    #[test]
+    fn near_hit_returns_hint() {
+        let cache = ThresholdCache::new(8);
+        let nk = NearCacheKey::of(near(4), Strategy::Analytic { step: None });
+        cache.insert(key(1), nk, &est(42.0));
+        let hint = cache.get_near(&nk).expect("near hit");
+        assert_eq!(hint.sample_threshold, 21.0);
+        assert_eq!(hint.cold_probes, 5);
+        // Different strategy kind → different near key.
+        assert!(cache
+            .get_near(&NearCacheKey::of(near(4), Strategy::CoarseToFine))
+            .is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_exact_entry() {
+        let cache = ThresholdCache::new(2);
+        let nk = NearCacheKey::of(near(0), Strategy::CoarseToFine);
+        cache.insert(key(1), nk, &est(1.0));
+        cache.insert(key(2), nk, &est(2.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get_exact(&key(1)).is_some());
+        cache.insert(key(3), nk, &est(3.0));
+        assert!(cache.get_exact(&key(1)).is_some());
+        assert!(cache.get_exact(&key(2)).is_none());
+        assert!(cache.get_exact(&key(3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn config_key_separates_configurations() {
+        let spec = SampleSpec::default();
+        let base = ConfigKey::of(Strategy::CoarseToFine, spec, 7, 1);
+        assert_eq!(base, ConfigKey::of(Strategy::CoarseToFine, spec, 7, 1));
+        assert_ne!(base, ConfigKey::of(Strategy::CoarseToFine, spec, 8, 1));
+        assert_ne!(base, ConfigKey::of(Strategy::CoarseToFine, spec, 7, 3));
+        assert_ne!(base, ConfigKey::of(Strategy::RaceThenFine, spec, 7, 1));
+        assert_ne!(
+            ConfigKey::of(Strategy::Analytic { step: None }, spec, 7, 1),
+            ConfigKey::of(Strategy::Analytic { step: Some(1.0) }, spec, 7, 1)
+        );
+        assert_ne!(
+            base,
+            ConfigKey::of(Strategy::CoarseToFine, SampleSpec { factor: 2.0 }, 7, 1)
+        );
+    }
+
+    #[test]
+    fn flush_resets_counters() {
+        let cache = ThresholdCache::new(4);
+        cache.record_miss();
+        cache.record_probes_saved(12);
+        let rec = Recorder::new();
+        cache.flush_metrics(&rec);
+        assert_eq!(cache.stats(), CacheStats::default());
+        let again = Recorder::new();
+        cache.flush_metrics(&again);
+        // Second flush reports nothing new.
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -2,14 +2,16 @@
 //! workload. The threshold `t` is the percentage of vertices handed to the
 //! CPU (Algorithm 1, line 2).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use nbwp_graph::cc::{hybrid_cc, CcCostCurve, CcCostProfile};
+use nbwp_graph::features::degree_sketch;
 use nbwp_graph::{sample as gsample, Graph};
 use nbwp_par::Pool;
 use nbwp_sim::{CurveEval, KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
 
+use crate::fingerprint::{mix64, DensityClass, Fingerprint, Fingerprinted};
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 use crate::profile::Profilable;
 
@@ -33,6 +35,8 @@ pub struct CcWorkload {
     /// Host threads used to execute the (simulated-GPU) SV kernel — affects
     /// wall-clock only.
     host_threads: usize,
+    /// Lazily computed fingerprint, shared across clones of the same input.
+    fp: Arc<OnceLock<Fingerprint>>,
 }
 
 impl CcWorkload {
@@ -44,6 +48,7 @@ impl CcWorkload {
             platform,
             sampler: CcSampler::default(),
             host_threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            fp: Arc::new(OnceLock::new()),
         }
     }
 
@@ -51,6 +56,7 @@ impl CcWorkload {
     #[must_use]
     pub fn with_sampler(mut self, sampler: CcSampler) -> Self {
         self.sampler = sampler;
+        self.fp = Arc::new(OnceLock::new()); // the sampler is part of the key
         self
     }
 
@@ -96,6 +102,34 @@ impl Profilable for CcWorkload {
     }
 }
 
+impl Fingerprinted for CcWorkload {
+    fn fingerprint(&self) -> Fingerprint {
+        self.fp
+            .get_or_init(|| {
+                let sk = degree_sketch(&self.graph);
+                let density = sk.m as f64 / (sk.n.max(1) as f64 * sk.n.max(1) as f64);
+                Fingerprint {
+                    kind: "cc",
+                    n: sk.n,
+                    m: sk.m,
+                    mean_degree: sk.mean,
+                    degree_cv: sk.cv,
+                    max_degree: sk.max,
+                    log2_hist: sk.log2_hist,
+                    density_class: DensityClass::of(density),
+                    // Structure + platform + sampler mode. `host_threads` is
+                    // excluded: it changes host wall-clock, not the
+                    // simulated report the estimate is computed from.
+                    digest: mix64(
+                        mix64(sk.digest, self.platform.digest()),
+                        self.sampler as u64,
+                    ),
+                }
+            })
+            .clone()
+    }
+}
+
 impl PartitionedWorkload for CcWorkload {
     fn run(&self, t: f64) -> RunReport {
         self.run_full(t).report
@@ -133,6 +167,7 @@ impl Sampleable for CcWorkload {
             platform: self.platform.sample_scaled(ratio),
             sampler: self.sampler,
             host_threads: self.host_threads,
+            fp: Arc::new(OnceLock::new()),
         }
     }
 
@@ -223,6 +258,27 @@ mod tests {
             exhaustive.search_cost
         );
         assert!((0.0..=100.0).contains(&est.threshold));
+    }
+
+    #[test]
+    fn fingerprint_separates_inputs_platforms_and_samplers() {
+        let w = workload(gen::web(3000, 6, 1));
+        let fp = w.fingerprint();
+        assert_eq!(fp.kind, "cc");
+        assert_eq!(fp.n, 3000);
+        // Clones share the lazily computed fingerprint.
+        assert_eq!(w.clone().fingerprint(), fp);
+        // Same graph rebuilt from scratch digests identically.
+        assert_eq!(workload(gen::web(3000, 6, 1)).fingerprint(), fp);
+        // Different graph, platform, or sampler → different exact key.
+        assert_ne!(
+            workload(gen::web(3000, 6, 2)).fingerprint().digest,
+            fp.digest
+        );
+        let other_platform = CcWorkload::new(gen::web(3000, 6, 1), Platform::balanced());
+        assert_ne!(other_platform.fingerprint().digest, fp.digest);
+        let induced = w.clone().with_sampler(CcSampler::Induced);
+        assert_ne!(induced.fingerprint().digest, fp.digest);
     }
 
     #[test]

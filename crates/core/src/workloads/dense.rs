@@ -7,6 +7,7 @@ use nbwp_sim::{CurveEval, KernelStats, Platform, RunReport, SimTime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::fingerprint::{mix64, DensityClass, Fingerprint, Fingerprinted};
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 use crate::profile::{Profilable, Resampleable};
 
@@ -34,6 +35,33 @@ impl DenseGemmWorkload {
     #[must_use]
     pub fn n(&self) -> usize {
         self.n
+    }
+}
+
+impl Fingerprinted for DenseGemmWorkload {
+    fn fingerprint(&self) -> Fingerprint {
+        // Dense GEMM is fully described by `(n, platform)`: the fingerprint
+        // is O(1) fresh arithmetic, so the workload stays `Copy` with no
+        // cached sketch. Every "row" has degree `n`.
+        let n = self.n;
+        let d = n as u64;
+        let mut hist = [0u64; 64];
+        let bucket = usize::try_from(64 - d.leading_zeros())
+            .expect("bucket fits")
+            .min(63);
+        hist[bucket] = n as u64;
+        let digest = mix64(mix64(0xcbf2_9ce4_8422_2325, d), self.platform.digest());
+        Fingerprint {
+            kind: "dense_gemm",
+            n,
+            m: n * n,
+            mean_degree: n as f64,
+            degree_cv: 0.0,
+            max_degree: d,
+            log2_hist: hist,
+            density_class: DensityClass::Dense,
+            digest,
+        }
     }
 }
 
@@ -187,5 +215,17 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dimension_rejected() {
         let _ = workload(0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_dimension_and_platform() {
+        use crate::fingerprint::Fingerprinted;
+        let fp = workload(2048).fingerprint();
+        assert_eq!(fp.kind, "dense_gemm");
+        assert_eq!((fp.n, fp.m), (2048, 2048 * 2048));
+        assert_eq!(fp, workload(2048).fingerprint());
+        assert_ne!(fp.digest, workload(4096).fingerprint().digest);
+        let other = DenseGemmWorkload::new(2048, Platform::balanced()).fingerprint();
+        assert_ne!(fp.digest, other.digest);
     }
 }

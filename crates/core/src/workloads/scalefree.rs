@@ -4,10 +4,11 @@
 //! GPU, with the four masked partial products of Phases II/III.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use nbwp_par::Pool;
 use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sparse::features::structure_sketch;
 use nbwp_sparse::masked::{hh_row_profiles, DensitySplit, HhProducts};
 use nbwp_sparse::sample::{sample_rows_contract, sample_rows_importance};
 use nbwp_sparse::spgemm::{spgemm, stats_for_rows, ENTRY_BYTES};
@@ -15,6 +16,7 @@ use nbwp_sparse::Csr;
 use rand::rngs::SmallRng;
 
 use crate::extrapolate::Extrapolator;
+use crate::fingerprint::{mix64, DensityClass, Fingerprint, Fingerprinted};
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 use crate::profile::Profilable;
 
@@ -95,6 +97,8 @@ pub struct HhWorkload {
     platform: Platform,
     extrapolator: Extrapolator,
     sampler: HhSampler,
+    /// Lazily computed fingerprint, shared across clones of the same input.
+    fp: Arc<OnceLock<Fingerprint>>,
 }
 
 impl HhWorkload {
@@ -120,6 +124,7 @@ impl HhWorkload {
             platform,
             extrapolator: Extrapolator::DegreeQuantile,
             sampler: HhSampler::default(),
+            fp: Arc::new(OnceLock::new()),
         }
     }
 
@@ -127,6 +132,7 @@ impl HhWorkload {
     #[must_use]
     pub fn with_extrapolator(mut self, e: Extrapolator) -> Self {
         self.extrapolator = e;
+        self.fp = Arc::new(OnceLock::new()); // the extrapolator is part of the key
         self
     }
 
@@ -134,6 +140,7 @@ impl HhWorkload {
     #[must_use]
     pub fn with_sampler(mut self, sampler: HhSampler) -> Self {
         self.sampler = sampler;
+        self.fp = Arc::new(OnceLock::new()); // the sampler is part of the key
         self
     }
 
@@ -249,6 +256,40 @@ impl HhWorkload {
             cpu_stats,
             gpu_stats,
         }
+    }
+}
+
+impl Fingerprinted for HhWorkload {
+    fn fingerprint(&self) -> Fingerprint {
+        self.fp
+            .get_or_init(|| {
+                let sk = structure_sketch(&self.a);
+                let density = sk.m as f64 / (sk.n.max(1) as f64 * self.a.cols().max(1) as f64);
+                // Extrapolator identity folds in its parameters: Power fits
+                // with different exponents are different configurations.
+                let (e_disc, e_a, e_b) = match self.extrapolator {
+                    Extrapolator::Identity => (0u64, 0, 0),
+                    Extrapolator::Square => (1, 0, 0),
+                    Extrapolator::Power { a, b } => (2, a.to_bits(), b.to_bits()),
+                    Extrapolator::DegreeQuantile => (3, 0, 0),
+                };
+                let mut digest = mix64(sk.digest, self.platform.digest());
+                for word in [e_disc, e_a, e_b, self.sampler as u64] {
+                    digest = mix64(digest, word);
+                }
+                Fingerprint {
+                    kind: "hh",
+                    n: sk.n,
+                    m: sk.m,
+                    mean_degree: sk.mean,
+                    degree_cv: sk.cv,
+                    max_degree: sk.max,
+                    log2_hist: sk.log2_hist,
+                    density_class: DensityClass::of(density),
+                    digest,
+                }
+            })
+            .clone()
     }
 }
 

@@ -3,10 +3,11 @@
 //! the percentage of *work volume* (not rows) assigned to the CPU; the
 //! load vector `L_AB` maps it to a split row index.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use nbwp_par::Pool;
 use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sparse::features::structure_sketch;
 use nbwp_sparse::ops::{load_vector, prefix_sums, split_row_for_load};
 use nbwp_sparse::sample::sample_submatrix_frac;
 use nbwp_sparse::spgemm::{
@@ -15,6 +16,7 @@ use nbwp_sparse::spgemm::{
 use nbwp_sparse::{Csr, SpmmCostCurve};
 use rand::rngs::SmallRng;
 
+use crate::fingerprint::{mix64, DensityClass, Fingerprint, Fingerprinted};
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 use crate::profile::{Profilable, Resampleable};
 
@@ -29,6 +31,8 @@ pub struct SpmmWorkload {
     profile: Arc<Vec<RowCost>>,
     load_prefix: Arc<Vec<u64>>,
     platform: Platform,
+    /// Lazily computed fingerprint, shared across clones of the same input.
+    fp: Arc<OnceLock<Fingerprint>>,
 }
 
 impl SpmmWorkload {
@@ -46,6 +50,7 @@ impl SpmmWorkload {
             profile: Arc::new(profile),
             load_prefix: Arc::new(prefix_sums(&load)),
             platform,
+            fp: Arc::new(OnceLock::new()),
         }
     }
 
@@ -307,6 +312,31 @@ impl Resampleable for SpmmWorkload {
             partition,
             platform,
         }
+    }
+}
+
+impl Fingerprinted for SpmmWorkload {
+    fn fingerprint(&self) -> Fingerprint {
+        self.fp
+            .get_or_init(|| {
+                let sk = structure_sketch(&self.a);
+                let density = sk.m as f64 / (sk.n.max(1) as f64 * self.a.cols().max(1) as f64);
+                Fingerprint {
+                    kind: "spmm",
+                    n: sk.n,
+                    m: sk.m,
+                    mean_degree: sk.mean,
+                    degree_cv: sk.cv,
+                    max_degree: sk.max,
+                    log2_hist: sk.log2_hist,
+                    density_class: DensityClass::of(density),
+                    // Structure + platform; the row profile and load prefix
+                    // are derived deterministically from `a`, so the pattern
+                    // digest already covers them.
+                    digest: mix64(sk.digest, self.platform.digest()),
+                }
+            })
+            .clone()
     }
 }
 

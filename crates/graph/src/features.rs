@@ -49,6 +49,92 @@ impl GraphFeatures {
     }
 }
 
+/// One-pass structural sketch of a graph, the raw material for the
+/// fingerprint-keyed decision caches upstream (`nbwp-core`): degree moments,
+/// a log2-bucketed degree histogram (a coarse quantile sketch), and an
+/// FNV-1a digest of the full adjacency structure. Everything is computed in
+/// a single O(n + m) pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeSketch {
+    /// Vertex count.
+    pub n: usize,
+    /// Arc count.
+    pub m: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Coefficient of variation of the degree distribution.
+    pub cv: f64,
+    /// Maximum degree.
+    pub max: u64,
+    /// Degree histogram in log2 buckets: bucket 0 counts degree-0 vertices,
+    /// bucket `k ≥ 1` counts degrees in `[2^(k-1), 2^k)`.
+    pub log2_hist: [u64; 64],
+    /// FNV-1a digest of the adjacency structure (`n`, every degree, every
+    /// neighbor id, in order). Two graphs digest equally iff their CSR
+    /// renderings are byte-identical (modulo astronomically unlikely hash
+    /// collisions), so the digest can stand in for content equality.
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_mix(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Computes the [`DegreeSketch`] of `g` in one O(n + m) pass.
+#[must_use]
+pub fn degree_sketch(g: &Graph) -> DegreeSketch {
+    let n = g.n();
+    let mut hist = [0u64; 64];
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut max = 0u64;
+    let mut m = 0usize;
+    let mut h = fnv_mix(FNV_OFFSET, n as u64);
+    for v in 0..n {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len() as u64;
+        m += nbrs.len();
+        let bucket = if d == 0 {
+            0
+        } else {
+            (64 - d.leading_zeros()) as usize
+        }
+        .min(63);
+        hist[bucket] += 1;
+        sum += d as f64;
+        sum_sq += (d as f64) * (d as f64);
+        max = max.max(d);
+        h = fnv_mix(h, d);
+        for &w in nbrs {
+            h = fnv_mix(h, u64::from(w));
+        }
+    }
+    let mean = if n > 0 { sum / n as f64 } else { 0.0 };
+    let var = if n > 0 {
+        (sum_sq / n as f64 - mean * mean).max(0.0)
+    } else {
+        0.0
+    };
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    DegreeSketch {
+        n,
+        m,
+        mean,
+        cv,
+        max,
+        log2_hist: hist,
+        digest: h,
+    }
+}
+
 /// BFS from `start`; returns (farthest vertex, its distance).
 fn bfs_far(g: &Graph, start: usize) -> (usize, usize) {
     let mut dist = vec![usize::MAX; g.n()];
@@ -127,5 +213,37 @@ mod tests {
     fn empty_graph_features() {
         let g = Graph::from_edges(0, &[]);
         assert_eq!(approx_diameter(&g), 0);
+    }
+
+    #[test]
+    fn degree_sketch_matches_features() {
+        let g = gen::web(2000, 6, 5);
+        let f = GraphFeatures::of(&g);
+        let s = degree_sketch(&g);
+        assert_eq!(s.n, g.n());
+        assert_eq!(s.max, f.max_degree as u64);
+        assert!((s.mean - f.mean_degree).abs() < 1e-9);
+        assert!((s.cv - f.degree_cv).abs() < 1e-9);
+        assert_eq!(s.log2_hist.iter().sum::<u64>(), g.n() as u64);
+    }
+
+    #[test]
+    fn degree_sketch_digest_separates_structures() {
+        let a = gen::web(1000, 6, 5);
+        let b = gen::web(1000, 6, 6); // same family, different seed
+        let c = gen::road(1000, 5);
+        let sa = degree_sketch(&a);
+        assert_eq!(sa.digest, degree_sketch(&a).digest);
+        assert_ne!(sa.digest, degree_sketch(&b).digest);
+        assert_ne!(sa.digest, degree_sketch(&c).digest);
+    }
+
+    #[test]
+    fn degree_sketch_of_empty_graph() {
+        let s = degree_sketch(&Graph::from_edges(0, &[]));
+        assert_eq!(s.n, 0);
+        assert_eq!(s.m, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv, 0.0);
     }
 }

@@ -8,22 +8,33 @@
 //! spmm (§V.A.1) — which preserves degree structure on expectation. See
 //! `DESIGN.md`, "CC sampling".
 
-use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
 use rand::Rng;
 
 use crate::Graph;
 
 /// Picks `count` distinct vertices uniformly at random, sorted ascending.
+///
+/// Uses Floyd's algorithm: O(count) time and allocation regardless of `n`,
+/// so sampling 100 vertices of a billion-vertex id space never materializes
+/// a `0..n` index vector. Seed-deterministic: the same `(n, count, rng
+/// state)` always yields the same set.
 #[must_use]
 pub fn uniform_vertex_sample<R: Rng>(n: usize, count: usize, rng: &mut R) -> Vec<usize> {
     let count = count.min(n);
-    let mut idx: Vec<usize> = (0..n).collect();
-    // partial_shuffle places `count` uniformly chosen elements in the
-    // *first returned slice* (they live at the tail of `idx`).
-    let (chosen, _) = idx.partial_shuffle(rng, count);
-    let mut picked = chosen.to_vec();
-    picked.sort_unstable();
-    picked
+    let mut picked: HashSet<usize> = HashSet::with_capacity(count);
+    // Floyd: for j in n-count..n, draw t ∈ [0, j]; insert t, or j when t is
+    // already present. Every count-subset is produced with equal probability.
+    for j in (n - count)..n {
+        let t = rng.gen_range(0..=j);
+        if !picked.insert(t) {
+            picked.insert(j);
+        }
+    }
+    let mut out: Vec<usize> = picked.into_iter().collect();
+    out.sort_unstable();
+    out
 }
 
 /// Faithful paper sampler: the induced subgraph on `s` uniformly chosen
@@ -92,6 +103,17 @@ mod tests {
         assert!(*s.last().unwrap() < 1000);
         // Requesting more than n clamps.
         assert_eq!(uniform_vertex_sample(10, 100, &mut rng(2)).len(), 10);
+    }
+
+    #[test]
+    fn vertex_sample_is_o_s_not_o_n() {
+        // Floyd's algorithm never materializes `0..n`: drawing 100 ids from
+        // a billion-vertex id space finishes instantly, where the previous
+        // shuffle-based sampler would have allocated an 8 GB index vector.
+        let s = uniform_vertex_sample(1_000_000_000, 100, &mut rng(6));
+        assert_eq!(s.len(), 100);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(*s.last().unwrap() < 1_000_000_000);
     }
 
     #[test]

@@ -117,6 +117,26 @@ impl Platform {
         self
     }
 
+    /// Stable 64-bit digest of every platform parameter (FNV-1a over the
+    /// canonical field rendering). Two platforms digest equally iff they are
+    /// bitwise-equal, so the digest can key caches of platform-dependent
+    /// decisions (threshold estimates must never be served across platforms).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        // All fields are plain numbers, so the derived `Debug` rendering is a
+        // canonical byte representation (f64 formatting is shortest-roundtrip
+        // and injective on non-NaN values).
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let repr = format!("{self:?}");
+        let mut h = FNV_OFFSET;
+        for b in repr.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// Fraction of total spec-sheet FLOPS contributed by the GPU, in
     /// `[0, 1]`. This is what the paper's *NaiveStatic* partitioner uses.
     #[must_use]
@@ -406,6 +426,17 @@ mod tests {
         // Device assignment.
         assert!(!Lane::Partition.on_gpu() && !Lane::CpuCompute.on_gpu());
         assert!(Lane::TransferIn.on_gpu() && Lane::TransferOut.on_gpu());
+    }
+
+    #[test]
+    fn platform_digest_separates_platforms() {
+        let a = Platform::k40c_xeon_e5_2650();
+        let b = Platform::balanced();
+        assert_eq!(a.digest(), Platform::k40c_xeon_e5_2650().digest());
+        assert_ne!(a.digest(), b.digest());
+        // Any parameter change moves the digest.
+        let scaled = a.scaled_for(0.5);
+        assert_ne!(a.digest(), scaled.digest());
     }
 
     #[test]

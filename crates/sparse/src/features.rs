@@ -66,6 +66,91 @@ impl Features {
     }
 }
 
+/// One-pass structural sketch of a sparse matrix, the raw material for the
+/// fingerprint-keyed decision caches upstream (`nbwp-core`): row-degree
+/// moments, a log2-bucketed degree histogram (a coarse quantile sketch), and
+/// an FNV-1a digest of the sparsity pattern. Computed in a single
+/// O(rows + nnz) pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeSketch {
+    /// Row count.
+    pub n: usize,
+    /// Nonzero count.
+    pub m: usize,
+    /// Mean nonzeros per row.
+    pub mean: f64,
+    /// Coefficient of variation of the row-degree distribution.
+    pub cv: f64,
+    /// Maximum row degree.
+    pub max: u64,
+    /// Row-degree histogram in log2 buckets: bucket 0 counts empty rows,
+    /// bucket `k ≥ 1` counts degrees in `[2^(k-1), 2^k)`.
+    pub log2_hist: [u64; 64],
+    /// FNV-1a digest of the sparsity pattern (`rows`, `cols`, every row
+    /// degree, every column index, in order). Numeric values are excluded:
+    /// heterogeneous cost depends on the pattern, not the entries. Two
+    /// matrices digest equally iff their patterns are identical (modulo
+    /// astronomically unlikely hash collisions).
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_mix(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Computes the [`DegreeSketch`] of `m` in one O(rows + nnz) pass.
+#[must_use]
+pub fn structure_sketch(m: &Csr) -> DegreeSketch {
+    let n = m.rows();
+    let mut hist = [0u64; 64];
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut max = 0u64;
+    let mut h = fnv_mix(fnv_mix(FNV_OFFSET, n as u64), m.cols() as u64);
+    for r in 0..n {
+        let (cols, _) = m.row(r);
+        let d = cols.len() as u64;
+        let bucket = if d == 0 {
+            0
+        } else {
+            (64 - d.leading_zeros()) as usize
+        }
+        .min(63);
+        hist[bucket] += 1;
+        sum += d as f64;
+        sum_sq += (d as f64) * (d as f64);
+        max = max.max(d);
+        h = fnv_mix(h, d);
+        for &c in cols {
+            h = fnv_mix(h, u64::from(c));
+        }
+    }
+    let mean = if n > 0 { sum / n as f64 } else { 0.0 };
+    let var = if n > 0 {
+        (sum_sq / n as f64 - mean * mean).max(0.0)
+    } else {
+        0.0
+    };
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    DegreeSketch {
+        n,
+        m: m.nnz(),
+        mean,
+        cv,
+        max,
+        log2_hist: hist,
+        digest: h,
+    }
+}
+
 /// Gini coefficient of a non-negative distribution. Returns 0 for empty or
 /// all-zero input.
 #[must_use]
@@ -211,6 +296,28 @@ mod tests {
         assert_eq!(f.mean_degree, 0.0);
         assert_eq!(f.max_degree, 0);
         assert_eq!(f.density, 0.0);
+    }
+
+    #[test]
+    fn structure_sketch_matches_features() {
+        let m = gen::power_law(5000, 10, 2.0, 3);
+        let f = Features::of(&m);
+        let s = structure_sketch(&m);
+        assert_eq!(s.n, m.rows());
+        assert_eq!(s.m, m.nnz());
+        assert_eq!(s.max, f.max_degree);
+        assert!((s.mean - f.mean_degree).abs() < 1e-9);
+        assert!((s.cv - f.degree_cv).abs() < 1e-9);
+        assert_eq!(s.log2_hist.iter().sum::<u64>(), m.rows() as u64);
+    }
+
+    #[test]
+    fn structure_sketch_digest_ignores_values_but_not_pattern() {
+        let a = gen::banded_fem(1000, 20, 8, 3);
+        let b = gen::banded_fem(1000, 20, 8, 4); // different seed
+        let sa = structure_sketch(&a);
+        assert_eq!(sa.digest, structure_sketch(&a).digest);
+        assert_ne!(sa.digest, structure_sketch(&b).digest);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!
 //! All samplers take an explicit RNG so experiments are seed-reproducible.
 
-use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
 use rand::Rng;
 
 use crate::{Coo, Csr};
@@ -31,16 +32,21 @@ fn contract(j: u32, from: usize, to: usize) -> u32 {
 }
 
 /// Chooses `count` distinct indices from `0..n`, sorted ascending.
+///
+/// Floyd's algorithm: O(count) time and allocation regardless of `n`, so
+/// row selection never materializes a `0..n` index vector. Seed-deterministic.
 fn choose_sorted<R: Rng>(n: usize, count: usize, rng: &mut R) -> Vec<usize> {
     let count = count.min(n);
-    // Partial Fisher–Yates over an index vector: O(n) memory, O(n) time —
-    // acceptable because n is the row count of an in-memory matrix. The
-    // uniformly chosen elements are the *first returned slice*.
-    let mut idx: Vec<usize> = (0..n).collect();
-    let (chosen, _) = idx.partial_shuffle(rng, count);
-    let mut picked = chosen.to_vec();
-    picked.sort_unstable();
-    picked
+    let mut picked: HashSet<usize> = HashSet::with_capacity(count);
+    for j in (n - count)..n {
+        let t = rng.gen_range(0..=j);
+        if !picked.insert(t) {
+            picked.insert(j);
+        }
+    }
+    let mut out: Vec<usize> = picked.into_iter().collect();
+    out.sort_unstable();
+    out
 }
 
 /// Paper §IV.A(a): samples an `⌈n/k⌉ × ⌈n/k⌉` submatrix `A'` of `A`
@@ -133,7 +139,6 @@ pub fn sample_rows_sqrt_compress<R: Rng>(a: &Csr, s: usize, rng: &mut R) -> Csr 
     let s = s.min(n);
     let picked = choose_sorted(n, s, rng);
     let mut coo = Coo::new(s, s);
-    let mut scratch: Vec<usize> = Vec::new();
     for (new_i, &i) in picked.iter().enumerate() {
         let (cols, vals) = a.row(i);
         let d = cols.len();
@@ -141,10 +146,9 @@ pub fn sample_rows_sqrt_compress<R: Rng>(a: &Csr, s: usize, rng: &mut R) -> Csr 
             continue;
         }
         let keep = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
-        scratch.clear();
-        scratch.extend(0..d);
-        let (chosen, _) = scratch.partial_shuffle(rng, keep);
-        for &pos in chosen.iter() {
+        // Floyd again: O(√d) entry selection instead of an O(d) scratch
+        // shuffle per row.
+        for pos in choose_sorted(d, keep, rng) {
             coo.push(new_i, contract(cols[pos], a.cols(), s) as usize, vals[pos]);
         }
     }
@@ -233,6 +237,17 @@ mod tests {
                 assert!(contract(j - 1, 1000, 100) <= c);
             }
         }
+    }
+
+    #[test]
+    fn choose_sorted_is_o_s_not_o_n() {
+        // Floyd's algorithm never materializes `0..n`: picking 100 rows out
+        // of a billion-row id space completes instantly, where the previous
+        // partial-shuffle version would have allocated an 8 GB index vector.
+        let s = choose_sorted(1_000_000_000, 100, &mut rng(8));
+        assert_eq!(s.len(), 100);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(*s.last().unwrap() < 1_000_000_000);
     }
 
     #[test]

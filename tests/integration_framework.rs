@@ -77,7 +77,12 @@ fn history_baseline_ports_badly_across_families() {
     let reused = history.threshold_for(&web);
     assert_eq!(trained, reused, "history reuses its training threshold");
     // Input-aware sampling on the web matrix should do at least as well.
-    let est = Estimator::new(Strategy::RaceThenFine).seed(SEED).run(&web);
+    // Median of three sampling repeats: robust to a single unlucky draw
+    // (the Floyd sampler's per-seed stream differs from the old shuffle).
+    let est = Estimator::new(Strategy::RaceThenFine)
+        .seed(SEED)
+        .repeats(3)
+        .run(&web);
     assert!(web.time_at(est.threshold) <= web.time_at(reused) * 1.10);
 }
 
