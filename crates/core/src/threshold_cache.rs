@@ -32,6 +32,11 @@ use crate::search::Strategy;
 /// so this comfortably covers a serving mix while bounding memory.
 pub const DEFAULT_CAPACITY: usize = 256;
 
+/// Bound on retained shadow-regret observations. Older observations are
+/// overwritten ring-style once the buffer is full; the running count keeps
+/// going.
+pub const SHADOW_REGRET_CAPACITY: usize = 4096;
+
 /// Estimator-configuration component of a cache key: everything besides the
 /// input that determines the estimate (strategy + parameters, sample spec,
 /// seed, repeat count). Two runs with equal [`ExactKey`] and equal
@@ -163,6 +168,8 @@ pub struct CacheStats {
     pub insertions: u64,
     /// `grad_probes` avoided by warm starts (cold − warm, summed).
     pub probes_saved: u64,
+    /// Warm hits that were shadow-priced against the cold path.
+    pub shadow_runs: u64,
 }
 
 /// Bounded-LRU decision cache shared across estimator runs. Thread-safe:
@@ -176,6 +183,9 @@ pub struct ThresholdCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     probes_saved: AtomicU64,
+    shadow_runs: AtomicU64,
+    shadow_tick: AtomicU64,
+    regrets: Mutex<Vec<f64>>,
 }
 
 impl Default for ThresholdCache {
@@ -201,6 +211,9 @@ impl ThresholdCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             probes_saved: AtomicU64::new(0),
+            shadow_runs: AtomicU64::new(0),
+            shadow_tick: AtomicU64::new(0),
+            regrets: Mutex::new(Vec::new()),
         }
     }
 
@@ -246,6 +259,48 @@ impl ThresholdCache {
         self.probes_saved.fetch_add(saved, Ordering::Relaxed);
     }
 
+    /// Deterministic stride gate for the shadow-regret sampler: advances
+    /// the shadow tick and reports whether this warm hit should also run
+    /// the cold path. A `rate` of `r` samples every `round(1/r)`-th warm
+    /// hit, starting with the first (so even short streams produce at least
+    /// one observation); `rate ≤ 0` never samples, `rate ≥ 1` always does.
+    #[must_use]
+    pub fn shadow_due(&self, rate: f64) -> bool {
+        if rate <= 0.0 || rate.is_nan() {
+            return false;
+        }
+        if rate >= 1.0 {
+            self.shadow_tick.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let stride = (1.0 / rate).round().max(1.0) as u64;
+        let tick = self.shadow_tick.fetch_add(1, Ordering::Relaxed);
+        tick.is_multiple_of(stride)
+    }
+
+    /// Records one observed shadow regret (percent, warm over cold minus
+    /// one). Retains at most [`SHADOW_REGRET_CAPACITY`] observations,
+    /// overwriting the oldest ring-style.
+    pub fn record_shadow(&self, regret_pct: f64) {
+        let count = self.shadow_runs.fetch_add(1, Ordering::Relaxed);
+        let mut regrets = self.regrets.lock().expect("shadow regrets poisoned");
+        if regrets.len() < SHADOW_REGRET_CAPACITY {
+            regrets.push(regret_pct);
+        } else {
+            regrets[(count as usize) % SHADOW_REGRET_CAPACITY] = regret_pct;
+        }
+    }
+
+    /// Clones the retained shadow-regret observations (recording order up
+    /// to [`SHADOW_REGRET_CAPACITY`], ring-overwritten past it).
+    #[must_use]
+    pub fn shadow_regrets(&self) -> Vec<f64> {
+        self.regrets
+            .lock()
+            .expect("shadow regrets poisoned")
+            .clone()
+    }
+
     /// Inserts a freshly computed decision under both keys.
     pub fn insert(&self, key: CacheKey, near: NearCacheKey, est: &SamplingEstimate) {
         let mut inner = self.inner.lock().expect("threshold cache poisoned");
@@ -270,6 +325,7 @@ impl ThresholdCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             probes_saved: self.probes_saved.load(Ordering::Relaxed),
+            shadow_runs: self.shadow_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -293,7 +349,9 @@ impl ThresholdCache {
     /// later flush only reports activity since this one. Counter names:
     /// `threshold_cache.hit`, `threshold_cache.near_hit`,
     /// `threshold_cache.miss`, `threshold_cache.insert`,
-    /// `threshold_cache.probes_saved`.
+    /// `threshold_cache.probes_saved`, `threshold_cache.shadow_runs`;
+    /// retained shadow-regret observations drain into the
+    /// `threshold_cache.regret_pct` histogram.
     pub fn flush_metrics(&self, rec: &Recorder) {
         rec.counter_add(
             "threshold_cache.hit",
@@ -315,6 +373,17 @@ impl ThresholdCache {
             "threshold_cache.probes_saved",
             self.probes_saved.swap(0, Ordering::Relaxed),
         );
+        rec.counter_add(
+            "threshold_cache.shadow_runs",
+            self.shadow_runs.swap(0, Ordering::Relaxed),
+        );
+        let drained: Vec<f64> = {
+            let mut regrets = self.regrets.lock().expect("shadow regrets poisoned");
+            std::mem::take(&mut *regrets)
+        };
+        for regret in drained {
+            rec.histogram_record("threshold_cache.regret_pct", regret);
+        }
     }
 }
 
@@ -429,12 +498,57 @@ mod tests {
         let cache = ThresholdCache::new(4);
         cache.record_miss();
         cache.record_probes_saved(12);
+        cache.record_shadow(2.5);
         let rec = Recorder::new();
         cache.flush_metrics(&rec);
         assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.shadow_regrets().is_empty());
+        let m = rec.finish().metrics;
+        assert_eq!(m.counter("threshold_cache.shadow_runs"), Some(1));
+        let h = m
+            .histogram("threshold_cache.regret_pct")
+            .expect("regret histogram");
+        assert_eq!((h.count, h.min, h.max), (1, 2.5, 2.5));
         let again = Recorder::new();
         cache.flush_metrics(&again);
         // Second flush reports nothing new.
         assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(
+            again
+                .finish()
+                .metrics
+                .counter("threshold_cache.shadow_runs"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn shadow_gate_follows_the_sampling_stride() {
+        let cache = ThresholdCache::new(4);
+        let due: Vec<bool> = (0..8).map(|_| cache.shadow_due(0.25)).collect();
+        assert_eq!(due, [true, false, false, false, true, false, false, false]);
+        let never = ThresholdCache::new(4);
+        assert!((0..8).all(|_| !never.shadow_due(0.0)));
+        assert!((0..8).all(|_| !never.shadow_due(-1.0)));
+        let always = ThresholdCache::new(4);
+        assert!((0..8).all(|_| always.shadow_due(1.0)));
+    }
+
+    #[test]
+    fn shadow_regrets_are_bounded_ring_style() {
+        let cache = ThresholdCache::new(4);
+        for i in 0..(SHADOW_REGRET_CAPACITY + 10) {
+            cache.record_shadow(i as f64);
+        }
+        let regrets = cache.shadow_regrets();
+        assert_eq!(regrets.len(), SHADOW_REGRET_CAPACITY);
+        // The newest observations overwrote the oldest slots.
+        assert_eq!(regrets[0], SHADOW_REGRET_CAPACITY as f64);
+        assert_eq!(regrets[9], (SHADOW_REGRET_CAPACITY + 9) as f64);
+        assert_eq!(regrets[10], 10.0);
+        assert_eq!(
+            cache.stats().shadow_runs,
+            (SHADOW_REGRET_CAPACITY + 10) as u64
+        );
     }
 }

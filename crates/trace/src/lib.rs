@@ -51,14 +51,23 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod audit;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 
 use nbwp_sim::SimTime;
 
+pub use audit::{
+    validate_audit_jsonl, AuditCheck, AuditEvent, AuditTotals, CacheDecision, FlightRecorder,
+    LoggedEvent, AUDIT_SCHEMA, DEFAULT_RING_CAPACITY, DEFAULT_TIMING_STRIDE,
+};
 pub use export::{chrome_trace, jsonl, summary, validate_chrome_trace, ChromeCheck};
-pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    bucket_index, metrics_json, parse_metrics_json, prometheus_text, validate_prometheus,
+    HistogramSummary, MetricsRegistry, MetricsSnapshot, PromCheck, BUCKET_BOUNDS, BUCKET_COUNT,
+    METRICS_SCHEMA,
+};
 pub use recorder::{ArgValue, Recorder, Span, SpanId, Track};
 
 /// A finished recording: every span, the final metrics snapshot, and the
