@@ -40,6 +40,11 @@ struct WorkloadInfo {
     workload: String,
     size: usize,
     profile_build_ms: f64,
+    /// Heap allocation calls performed while building the profile (counted
+    /// by the crate-wide `alloc_meter` global allocator).
+    build_allocs: u64,
+    /// Heap bytes requested while building the profile.
+    build_alloc_bytes: u64,
     parity_points: usize,
 }
 
@@ -235,13 +240,16 @@ fn sweep_workload<W: Profilable>(
     let pool = Pool::global();
 
     let started = Instant::now();
-    let pw = ProfiledWorkload::with_pool(w, pool);
+    let (pw, build_allocs, build_alloc_bytes) =
+        nbwp_bench::alloc_meter::measure(|| ProfiledWorkload::with_pool(w, pool));
     let profile_build_ms = started.elapsed().as_secs_f64() * 1e3;
     let parity_points = parity_check(name, w, &pw, mismatches);
     workloads.push(WorkloadInfo {
         workload: name.to_string(),
         size: w.size(),
         profile_build_ms,
+        build_allocs,
+        build_alloc_bytes,
         parity_points,
     });
 
@@ -408,7 +416,7 @@ fn main() {
     });
 
     let report = Report {
-        schema: "nbwp-bench-eval/v2",
+        schema: "nbwp-bench-eval/v3",
         quick: args.quick,
         seed: args.seed,
         repetitions: reps,

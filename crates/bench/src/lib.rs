@@ -14,6 +14,64 @@ use std::path::PathBuf;
 use nbwp_core::prelude::*;
 use nbwp_datasets::Dataset;
 
+pub mod alloc_meter {
+    //! A counting global allocator for the whole bench suite.
+    //!
+    //! Every harness binary linking this crate allocates through a thin
+    //! [`System`] wrapper that keeps two relaxed atomic counters, so
+    //! profile-build allocation traffic can be reported (`bench_eval`) and
+    //! gated (`bench_profile`) without changing how anything allocates.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// [`System`], plus relaxed counters for allocation calls and bytes.
+    pub struct CountingAlloc;
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Cumulative `(allocation calls, allocated bytes)` since process start.
+    #[must_use]
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs `f` and returns `(result, allocation calls, allocated bytes)`
+    /// attributed to it. Attribution is process-wide: run measured sections
+    /// single-threaded for exact counts.
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+        let (a0, b0) = snapshot();
+        let out = f();
+        let (a1, b1) = snapshot();
+        (out, a1 - a0, b1 - b0)
+    }
+}
+
 /// Default dataset scale for harness binaries: large enough that device
 /// ratios are representative, small enough that a full figure regenerates
 /// in tens of seconds.

@@ -34,10 +34,10 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
-use nbwp_par::Pool;
-use nbwp_sim::{CurveEval, Platform, RunReport};
+use nbwp_par::{Pool, SlotPool};
+use nbwp_sim::{CurveEval, Platform, ProfileScratch, RunReport};
 use nbwp_trace::Recorder;
 
 use crate::evalcache::{self, EvalCache};
@@ -62,6 +62,24 @@ pub trait Profilable: PartitionedWorkload {
     /// must not change the profile (the `nbwp-par` determinism contract).
     fn build_profile(&self, pool: &Pool) -> Self::Profile;
 
+    /// Builds the profile drawing reusable buffers from `scratch`, so a
+    /// warmed arena makes the steady-state rebuild allocation-free. Must
+    /// produce a profile bitwise identical to [`Profilable::build_profile`]
+    /// — scratch reuse may only change *where* the curve arrays live, never
+    /// a single value in them. The default ignores the arena (correct for
+    /// workloads whose profile holds no buffers).
+    fn build_profile_in(&self, pool: &Pool, scratch: &mut ProfileScratch) -> Self::Profile {
+        let _ = scratch;
+        self.build_profile(pool)
+    }
+
+    /// Returns a finished profile's reusable buffers to `scratch` so the
+    /// next [`Profilable::build_profile_in`] can run allocation-free. The
+    /// default just drops the profile.
+    fn recycle_profile(&self, profile: Self::Profile, scratch: &mut ProfileScratch) {
+        let _ = (profile, scratch);
+    }
+
     /// Prices one run at threshold `t` from the profile. Must be bitwise
     /// equal to [`PartitionedWorkload::run`] at the same `t`.
     fn run_profiled(&self, profile: &Self::Profile, t: f64) -> RunReport;
@@ -76,6 +94,17 @@ pub trait Profilable: PartitionedWorkload {
         let _ = profile;
         None
     }
+}
+
+/// The process-wide arena pool profile builds draw their scratch from:
+/// one slot per global-pool worker, so concurrent builds each check out
+/// their own arena (per-worker ownership, no sharing) and recycled
+/// buffers survive across [`ProfiledWorkload`] lifetimes. Exposed so
+/// benchmarks and allocation tests can pre-warm or inspect reuse counts.
+#[must_use]
+pub fn profile_scratch_pool() -> &'static SlotPool<ProfileScratch> {
+    static POOL: OnceLock<SlotPool<ProfileScratch>> = OnceLock::new();
+    POOL.get_or_init(|| SlotPool::for_pool(Pool::global()))
 }
 
 /// A [`Sampleable`] workload whose miniature can be *derived from the
@@ -116,7 +145,12 @@ pub trait Resampleable: Profilable + Sampleable {
 /// therefore flushed metrics) are identical for every `NBWP_THREADS`.
 pub struct ProfiledWorkload<'w, W: Profilable> {
     inner: &'w W,
-    profile: W::Profile,
+    /// `Some` for the whole life of the wrapper; taken by `Drop` so the
+    /// profile's buffers can be recycled into the global scratch pool.
+    profile: Option<W::Profile>,
+    /// Whether the build checked out a warm arena (exported as the
+    /// `profile.scratch_reuse` metric).
+    scratch_reused: bool,
     space: ThresholdSpace,
     cache: Mutex<EvalCache<RunReport>>,
     hits: AtomicU64,
@@ -142,8 +176,13 @@ impl<'w, W: Profilable> ProfiledWorkload<'w, W> {
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn with_capacity(workload: &'w W, pool: &Pool, capacity: usize) -> Self {
+        let (mut scratch, _) = profile_scratch_pool().take();
+        let scratch_reused = scratch.is_warm();
+        let profile = workload.build_profile_in(pool, &mut scratch);
+        profile_scratch_pool().put(scratch);
         ProfiledWorkload {
-            profile: workload.build_profile(pool),
+            profile: Some(profile),
+            scratch_reused,
             space: workload.space(),
             inner: workload,
             cache: Mutex::new(EvalCache::new(capacity)),
@@ -161,7 +200,14 @@ impl<'w, W: Profilable> ProfiledWorkload<'w, W> {
     /// The built profile.
     #[must_use]
     pub fn profile(&self) -> &W::Profile {
-        &self.profile
+        self.profile.as_ref().expect("profile present until drop")
+    }
+
+    /// Whether this wrapper's profile build reused a warm scratch arena
+    /// (true once the global pool has seen at least one recycled profile).
+    #[must_use]
+    pub fn scratch_reused(&self) -> bool {
+        self.scratch_reused
     }
 
     /// Evaluations answered from the cache so far.
@@ -185,8 +231,22 @@ impl<'w, W: Profilable> ProfiledWorkload<'w, W> {
     /// inside the pooled evaluations).
     pub fn flush_metrics(&self, rec: &Recorder) {
         rec.counter_add("profile.builds", 1);
+        rec.counter_add("profile.scratch_reuse", u64::from(self.scratch_reused));
         rec.counter_add("profile.cache_hit", self.cache_hits());
         rec.counter_add("profile.cache_miss", self.cache_misses());
+    }
+}
+
+impl<W: Profilable> Drop for ProfiledWorkload<'_, W> {
+    fn drop(&mut self) {
+        // Recycle the profile's buffers into the global arena pool so the
+        // next build (same workload or another of the same shape) runs on
+        // retained capacity.
+        if let Some(profile) = self.profile.take() {
+            let (mut scratch, _) = profile_scratch_pool().take();
+            self.inner.recycle_profile(profile, &mut scratch);
+            profile_scratch_pool().put(scratch);
+        }
     }
 }
 
@@ -197,7 +257,7 @@ impl<W: Profilable> PartitionedWorkload for ProfiledWorkload<'_, W> {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return report;
         }
-        let report = self.inner.run_profiled(&self.profile, t);
+        let report = self.inner.run_profiled(self.profile(), t);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.cache
             .lock()

@@ -8,7 +8,7 @@ use nbwp_graph::cc::{hybrid_cc, CcCostCurve, CcCostProfile};
 use nbwp_graph::features::degree_sketch;
 use nbwp_graph::{sample as gsample, Graph};
 use nbwp_par::Pool;
-use nbwp_sim::{CurveEval, KernelStats, Platform, RunReport, SimTime};
+use nbwp_sim::{CurveEval, KernelStats, Platform, ProfileScratch, RunReport, SimTime};
 use rand::rngs::SmallRng;
 
 use crate::fingerprint::{mix64, DensityClass, Fingerprint, Fingerprinted};
@@ -87,6 +87,14 @@ impl Profilable for CcWorkload {
         // the per-split control-flow residuals (SV rounds, DFS chunk
         // balance) are replayed lazily and memoized inside the profile.
         CcCostProfile::new(&self.graph)
+    }
+
+    fn build_profile_in(&self, _pool: &Pool, scratch: &mut ProfileScratch) -> CcCostProfile {
+        CcCostProfile::new_in(&self.graph, scratch)
+    }
+
+    fn recycle_profile(&self, profile: CcCostProfile, scratch: &mut ProfileScratch) {
+        profile.recycle(scratch);
     }
 
     fn run_profiled(&self, profile: &CcCostProfile, t: f64) -> RunReport {
@@ -218,6 +226,24 @@ mod tests {
         let p = w.build_profile(nbwp_par::Pool::global());
         for t in [0.0, 1.0, 12.5, 40.0, 77.7, 100.0] {
             assert_eq!(w.run_profiled(&p, t), w.run(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn scratch_profile_is_bitwise_equal_to_pooled_build() {
+        let w = workload(gen::web(1200, 5, 11));
+        let fresh = w.build_profile(nbwp_par::Pool::global());
+        let mut scratch = ProfileScratch::new();
+        // Cold and warm scratch builds must both match the pooled build on
+        // every curve entry and every replayed report.
+        for _ in 0..2 {
+            let p = w.build_profile_in(nbwp_par::Pool::global(), &mut scratch);
+            assert_eq!(p.raw_curves(), fresh.raw_curves());
+            for t in [0.0, 12.5, 40.0, 100.0] {
+                assert_eq!(w.run_profiled(&p, t), w.run_profiled(&fresh, t), "t = {t}");
+            }
+            w.recycle_profile(p, &mut scratch);
+            assert!(scratch.is_warm());
         }
     }
 

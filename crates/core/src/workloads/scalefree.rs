@@ -7,11 +7,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use nbwp_par::Pool;
-use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sim::{
+    AlignedU64s, CurveEval, KernelStats, Platform, ProfileScratch, RunBreakdown, RunReport, SimTime,
+};
 use nbwp_sparse::features::structure_sketch;
-use nbwp_sparse::masked::{hh_row_profiles, DensitySplit, HhProducts};
+use nbwp_sparse::masked::{hh_row_profiles_in, DensitySplit, HhProducts, HhRowProfiles};
 use nbwp_sparse::sample::{sample_rows_contract, sample_rows_importance};
-use nbwp_sparse::spgemm::{spgemm, stats_for_rows, ENTRY_BYTES};
+use nbwp_sparse::spgemm::{spgemm, stats_for_rows_where, RowCost, ENTRY_BYTES};
 use nbwp_sparse::Csr;
 use rand::rngs::SmallRng;
 
@@ -178,30 +180,36 @@ impl HhWorkload {
     /// constant on each interval between consecutive distinct row degrees —
     /// the fact [`HhProfile`] exploits to memoize per degree class.
     fn report_for_threshold(&self, t: u64) -> RunReport {
+        self.report_for_threshold_in(t, &mut HhRowProfiles::default(), &mut ProfileScratch::new())
+    }
+
+    /// [`Self::report_for_threshold`] with the fused row profiles and the
+    /// filtered-stats flops buffer drawn from caller-owned storage:
+    /// allocation-light when the buffers are warm, bitwise identical to a
+    /// fresh pricing pass either way.
+    fn report_for_threshold_in(
+        &self,
+        t: u64,
+        rows: &mut HhRowProfiles,
+        scratch: &mut ProfileScratch,
+    ) -> RunReport {
         let split = DensitySplit::at_threshold(&self.a, t);
-        let hi = split.high.clone();
         let b_bytes = self.a.size_bytes();
 
         // Phase II: A_H×B_H on CPU, A_L×B_L on GPU.
         // Phase III: A_H×B_L on CPU, A_L×B_H on GPU.
         // One fused traversal prices all four masked products.
-        let profiles = hh_row_profiles(&self.a, &self.a, &hi, &hi);
-        let (p_hh, p_hl, p_lh, p_ll) = (profiles.hh, profiles.hl, profiles.lh, profiles.ll);
+        hh_row_profiles_in(&self.a, &self.a, &split.high, &split.high, rows, scratch);
 
-        let nonzero_rows = |p: &[nbwp_sparse::spgemm::RowCost]| {
-            p.iter()
-                .filter(|c| c.a_nnz > 0)
-                .cloned()
-                .collect::<Vec<_>>()
-        };
-        let mut cpu_stats = stats_for_rows(&nonzero_rows(&p_hh), b_bytes)
-            + stats_for_rows(&nonzero_rows(&p_hl), b_bytes);
+        let live = |c: &RowCost| c.a_nnz > 0;
+        let mut cpu_stats = stats_for_rows_where(&rows.hh, b_bytes, live, scratch)
+            + stats_for_rows_where(&rows.hl, b_bytes, live, scratch);
         // The CPU side may hold only a handful of (very dense) rows, but a
         // CPU SpGEMM splits rows across cores by nonzero ranges — its
         // parallel slack is work-bound, not row-bound.
         cpu_stats.parallel_items = cpu_stats.parallel_items.max(cpu_stats.flops / 1024);
-        let gpu_stats = stats_for_rows(&nonzero_rows(&p_ll), b_bytes)
-            + stats_for_rows(&nonzero_rows(&p_lh), b_bytes);
+        let gpu_stats = stats_for_rows_where(&rows.ll, b_bytes, live, scratch)
+            + stats_for_rows_where(&rows.lh, b_bytes, live, scratch);
 
         // Phase I: classify rows by degree, on the GPU (one pass over the
         // row-pointer array plus a compaction).
@@ -227,14 +235,19 @@ impl HhWorkload {
         } else {
             SimTime::ZERO
         };
-        let gpu_c_bytes = (p_ll.iter().chain(&p_lh))
+        let gpu_c_bytes = (rows.ll.iter().chain(&rows.lh))
             .map(|c| c.c_nnz * ENTRY_BYTES)
             .sum::<u64>();
 
         // Phase IV: four-way CSR addition on the CPU (streaming merge).
-        let total_c: u64 = (p_hh.iter().chain(&p_hl).chain(&p_lh).chain(&p_ll))
-            .map(|c| c.c_nnz)
-            .sum();
+        let total_c: u64 = (rows
+            .hh
+            .iter()
+            .chain(&rows.hl)
+            .chain(&rows.lh)
+            .chain(&rows.ll))
+        .map(|c| c.c_nnz)
+        .sum();
         let merge_stats = KernelStats {
             int_ops: 4 * total_c,
             mem_read_bytes: 2 * total_c * ENTRY_BYTES,
@@ -321,9 +334,21 @@ impl PartitionedWorkload for HhWorkload {
 /// run.
 pub struct HhProfile {
     /// Sorted, deduplicated row degrees of `A`.
-    classes: Vec<u64>,
+    classes: AlignedU64s,
     /// Reports memoized per degree class (key: `partition_point` index).
     memo: Mutex<HashMap<usize, RunReport>>,
+    /// Reusable fused-pricing buffers for memo-miss evaluations: every
+    /// threshold class priced after the first reuses the same row-profile
+    /// vectors and flops arena instead of reallocating them.
+    workspace: Mutex<HhWorkspace>,
+}
+
+/// The buffers a memo-miss pricing pass churns through, kept warm between
+/// evaluations.
+#[derive(Default)]
+struct HhWorkspace {
+    rows: HhRowProfiles,
+    scratch: ProfileScratch,
 }
 
 impl HhProfile {
@@ -353,9 +378,39 @@ impl Profilable for HhWorkload {
         classes.sort_unstable();
         classes.dedup();
         HhProfile {
+            classes: AlignedU64s::from(&classes[..]),
+            memo: Mutex::new(HashMap::new()),
+            workspace: Mutex::new(HhWorkspace::default()),
+        }
+    }
+
+    fn build_profile_in(&self, _pool: &Pool, scratch: &mut ProfileScratch) -> HhProfile {
+        // Serial fill + in-place sort + in-place dedup: the pooled path's
+        // per-chunk collects would allocate, defeating the arena. The class
+        // list is identical either way (same degrees, same sorted order).
+        let mut classes = scratch.take(self.a.rows());
+        for (r, slot) in classes.iter_mut().enumerate() {
+            *slot = self.a.row_nnz(r) as u64;
+        }
+        classes.sort_unstable();
+        let mut kept = 0usize;
+        for i in 0..classes.len() {
+            let v = classes[i];
+            if kept == 0 || classes[kept - 1] != v {
+                classes[kept] = v;
+                kept += 1;
+            }
+        }
+        classes.truncate(kept);
+        HhProfile {
             classes,
             memo: Mutex::new(HashMap::new()),
+            workspace: Mutex::new(HhWorkspace::default()),
         }
+    }
+
+    fn recycle_profile(&self, profile: HhProfile, scratch: &mut ProfileScratch) {
+        scratch.give(profile.classes);
     }
 
     fn run_profiled(&self, profile: &HhProfile, t: f64) -> RunReport {
@@ -366,7 +421,11 @@ impl Profilable for HhWorkload {
         if let Some(report) = profile.memo.lock().unwrap().get(&class) {
             return report.clone();
         }
-        let report = self.report_for_threshold(t);
+        let report = {
+            let mut ws = profile.workspace.lock().unwrap();
+            let HhWorkspace { rows, scratch } = &mut *ws;
+            self.report_for_threshold_in(t, rows, scratch)
+        };
         profile.memo.lock().unwrap().insert(class, report.clone());
         report
     }
@@ -525,6 +584,26 @@ mod tests {
         let max = w.max_degree() as f64;
         for t in [0.0, 1.0, 2.0, 3.7, 9.0, max / 2.0, max, max + 5.0] {
             assert_eq!(w.run_profiled(&p, t), w.run(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn scratch_profile_is_bitwise_equal_to_pooled_build() {
+        let w = workload(gen::power_law(500, 9, 2.1, 13));
+        let fresh = w.build_profile(nbwp_par::Pool::global());
+        let mut scratch = ProfileScratch::new();
+        let max = w.max_degree() as f64;
+        // Cold and warm scratch builds must both reproduce the pooled
+        // profile's class list and every memoized report bit for bit.
+        for _ in 0..2 {
+            let p = w.build_profile_in(nbwp_par::Pool::global(), &mut scratch);
+            assert_eq!(p.classes, fresh.classes);
+            for t in [0.0, 1.0, 3.7, max / 2.0, max + 5.0] {
+                assert_eq!(w.run_profiled(&p, t), w.run_profiled(&fresh, t), "t = {t}");
+                assert_eq!(w.run_profiled(&p, t), w.run(t), "t = {t}");
+            }
+            w.recycle_profile(p, &mut scratch);
+            assert!(scratch.is_warm());
         }
     }
 

@@ -6,7 +6,9 @@
 use std::sync::{Arc, OnceLock};
 
 use nbwp_par::Pool;
-use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sim::{
+    CurveEval, KernelStats, Platform, ProfileScratch, RunBreakdown, RunReport, SimTime,
+};
 use nbwp_sparse::features::structure_sketch;
 use nbwp_sparse::ops::{load_vector, prefix_sums, split_row_for_load};
 use nbwp_sparse::sample::sample_submatrix_frac;
@@ -202,6 +204,21 @@ impl Profilable for SpmmWorkload {
             || self.partition_cost(),
         );
         SpmmProfile { curves, partition }
+    }
+
+    fn build_profile_in(&self, _pool: &Pool, scratch: &mut ProfileScratch) -> SpmmProfile {
+        // Serial on purpose: the build is one fused pass over the borrowed
+        // cost slice, and the scratch arena is single-owner. The two halves
+        // of the `join` above are independent, so computing them in
+        // sequence yields the identical profile.
+        SpmmProfile {
+            curves: RowCurves::new_in(&self.profile, self.a.size_bytes(), scratch),
+            partition: self.partition_cost(),
+        }
+    }
+
+    fn recycle_profile(&self, profile: SpmmProfile, scratch: &mut ProfileScratch) {
+        profile.curves.recycle(scratch);
     }
 
     fn run_profiled(&self, profile: &SpmmProfile, r: f64) -> RunReport {
@@ -449,6 +466,22 @@ mod tests {
         let p = w.build_profile(Pool::global());
         for r in [0.0, 0.5, 12.5, 33.0, 50.0, 66.6, 99.0, 100.0] {
             assert_eq!(w.run_profiled(&p, r), w.run(r), "split {r}");
+        }
+    }
+
+    #[test]
+    fn scratch_profile_is_bitwise_equal_to_pooled_build() {
+        let w = workload(gen::power_law(400, 9, 2.1, 7));
+        let pooled = w.build_profile(Pool::global());
+        let mut scratch = ProfileScratch::new();
+        let built = w.build_profile_in(Pool::global(), &mut scratch);
+        assert_eq!(built.curves(), pooled.curves());
+        assert_eq!(built.partition(), pooled.partition());
+        w.recycle_profile(built, &mut scratch);
+        let warm = w.build_profile_in(Pool::global(), &mut scratch);
+        assert_eq!(warm.curves(), pooled.curves());
+        for r in [0.0, 12.5, 50.0, 100.0] {
+            assert_eq!(w.run_profiled(&warm, r), w.run(r), "split {r}");
         }
     }
 

@@ -22,7 +22,9 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use nbwp_sim::{CurveEval, KernelStats, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sim::{
+    AlignedU64s, CurveEval, KernelStats, Platform, ProfileScratch, RunBreakdown, RunReport, SimTime,
+};
 
 use crate::cc::dfs::{dfs_prefix_cost, DfsPrefixCost};
 use crate::cc::sv::{sv_stats_closed_form, sv_suffix_counts};
@@ -37,10 +39,10 @@ pub struct CcCostProfile {
     arcs: u64,
     size_bytes: u64,
     /// `arcs_gpu[s]` = directed arcs internal to the vertex suffix `s..n`.
-    arcs_gpu: Vec<u64>,
+    arcs_gpu: AlignedU64s,
     /// `cross[s]` = directed arcs from `0..s` into `s..n` (one per
     /// boundary-crossing undirected edge, from the lower endpoint's side).
-    cross: Vec<u64>,
+    cross: AlignedU64s,
     /// DFS residual memo keyed by `(split, chunks)`.
     dfs_memo: Mutex<HashMap<(usize, usize), DfsPrefixCost>>,
     /// SV `(rounds, doubling_passes)` memo keyed by split.
@@ -51,29 +53,50 @@ impl CcCostProfile {
     /// Builds the curves in one `O(n + arcs)` pass over `g`.
     #[must_use]
     pub fn new(g: &Graph) -> Self {
+        CcCostProfile::new_in(g, &mut ProfileScratch::new())
+    }
+
+    /// Builds the curves with both stored buffers drawn from `scratch`
+    /// (allocation-free when the arena is warm). Bitwise identical to the
+    /// per-arc histogram construction of [`CcCostProfile::new`]'s original
+    /// formulation, exploiting the [`Graph`] invariants (symmetric, sorted,
+    /// self-loop-free, duplicate-free adjacency):
+    ///
+    /// * arcs `u→v` and `v→u` of an edge `{u, v}` with `u < v` both have
+    ///   min endpoint `u`, so `min_hist[u]` is exactly `2·|{v ∈ adj(u) :
+    ///   v > u}|` — one batched store per vertex, no per-arc walk;
+    /// * an edge crosses boundary `s` iff `u < s <= v`, so `cross[s]` is
+    ///   the running sum over `w < s` of `greater(w) − lesser(w)` (edges
+    ///   opened at their lower endpoint minus edges closed at their upper
+    ///   endpoint) — a plain prefix sum in wrapping `u64`, two's-complement
+    ///   identical to the signed difference-array accumulation it replaces.
+    ///
+    /// Both passes are linear scans with no data-dependent branches, so the
+    /// whole build is `O(n log d)` sequential memory traffic.
+    #[must_use]
+    pub fn new_in(g: &Graph, scratch: &mut ProfileScratch) -> Self {
         let n = g.n();
-        let mut min_hist = vec![0u64; n + 1];
-        let mut cross_diff = vec![0i64; n + 2];
-        for u in 0..n {
-            for &v in g.neighbors(u) {
-                let v = v as usize;
-                min_hist[u.min(v)] += 1;
-                if u < v {
-                    // Arc (u, v) crosses every split s with u < s <= v.
-                    cross_diff[u + 1] += 1;
-                    cross_diff[v + 1] -= 1;
-                }
+        let mut arcs_gpu = scratch.take(n + 1);
+        let mut cross = scratch.take(n + 1);
+        {
+            let ag = arcs_gpu.as_mut_slice();
+            let cx = cross.as_mut_slice();
+            let mut acc = 0u64;
+            for u in 0..n {
+                let adj = g.neighbors(u);
+                let lesser = adj.partition_point(|&v| (v as usize) <= u);
+                let greater = (adj.len() - lesser) as u64;
+                ag[u] = 2 * greater;
+                acc = acc.wrapping_add(greater).wrapping_sub(lesser as u64);
+                cx[u + 1] = acc;
             }
-        }
-        let mut arcs_gpu = vec![0u64; n + 1];
-        for s in (0..n).rev() {
-            arcs_gpu[s] = arcs_gpu[s + 1] + min_hist[s];
-        }
-        let mut cross = vec![0u64; n + 1];
-        let mut acc = 0i64;
-        for (s, slot) in cross.iter_mut().enumerate() {
-            acc += cross_diff[s];
-            *slot = acc as u64;
+            // In-place suffix sum turns the per-vertex min-histogram into
+            // arcs internal to the suffix (ag[n] is the zeroed sentinel).
+            let mut suffix = 0u64;
+            for slot in ag[..n].iter_mut().rev() {
+                suffix += *slot;
+                *slot = suffix;
+            }
         }
         CcCostProfile {
             n,
@@ -84,6 +107,22 @@ impl CcCostProfile {
             dfs_memo: Mutex::new(HashMap::new()),
             sv_memo: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Returns the profile's curve buffers to `scratch` for reuse by the
+    /// next build (the control-flow memos are dropped — they key on the
+    /// graph and cannot be reused across inputs).
+    pub fn recycle(self, scratch: &mut ProfileScratch) {
+        scratch.give(self.arcs_gpu);
+        scratch.give(self.cross);
+    }
+
+    /// Raw split-indexed curve arrays `(arcs_gpu, cross)`, for benchmark
+    /// parity gates comparing against an independently built profile.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn raw_curves(&self) -> (&[u64], &[u64]) {
+        (&self.arcs_gpu, &self.cross)
     }
 
     /// Number of vertices the CPU takes at threshold `t_pct` — the same
@@ -272,6 +311,29 @@ mod tests {
                     assert_eq!(profiled, direct, "n = {}, t = {t}", g.n());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scratch_build_matches_fresh_on_every_curve_entry() {
+        let mut scratch = ProfileScratch::new();
+        for g in graphs() {
+            let fresh = CcCostProfile::new(&g);
+            let built = CcCostProfile::new_in(&g, &mut scratch);
+            assert_eq!(built.raw_curves(), fresh.raw_curves(), "n = {}", g.n());
+            built.recycle(&mut scratch);
+            let warm = CcCostProfile::new_in(&g, &mut scratch);
+            assert_eq!(warm.raw_curves(), fresh.raw_curves(), "warm n = {}", g.n());
+            let platform = Platform::k40c_xeon_e5_2650();
+            for t in [0.0, 37.5, 100.0] {
+                assert_eq!(
+                    warm.report_at(&g, t, &platform),
+                    fresh.report_at(&g, t, &platform),
+                    "n = {}, t = {t}",
+                    g.n()
+                );
+            }
+            warm.recycle(&mut scratch);
         }
     }
 

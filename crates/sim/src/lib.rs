@@ -40,6 +40,7 @@ mod gpu;
 mod pcie;
 mod platform;
 pub mod profile;
+pub mod scratch;
 mod time;
 pub mod timeline;
 
@@ -50,4 +51,5 @@ pub use gpu::GpuModel;
 pub use pcie::PcieModel;
 pub use platform::{Lane, Platform, RunBreakdown, RunReport};
 pub use profile::{PrefixCurve, WarpPadCurve};
+pub use scratch::{AlignedU64s, ProfileScratch};
 pub use time::SimTime;

@@ -16,8 +16,16 @@
 //!   a warp-stride suffix DP (suffix side), so both
 //!   `warp_padded_cost(&work[..s], w)` and `warp_padded_cost(&work[s..], w)`
 //!   are reproduced **bitwise** for every split `s` in O(1).
+//!
+//! Both curves store their arrays in 64-byte-aligned [`AlignedU64s`]
+//! buffers and offer `*_in` constructors that draw those buffers from a
+//! [`ProfileScratch`] arena, so steady-state rebuilds are allocation-free
+//! (see the `scratch` module docs). The `_in` builders write exactly the
+//! values the plain constructors compute — same adds in the same order —
+//! so curves are bitwise identical regardless of how they were built.
 
 use crate::counters::warp_padded_cost;
+use crate::scratch::{AlignedU64s, ProfileScratch};
 
 /// Inclusive prefix sums of a per-item `u64` counter; any contiguous range
 /// sum is O(1). Sums are exact (no floating point), so a range sum is
@@ -25,21 +33,66 @@ use crate::counters::warp_padded_cost;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PrefixCurve {
     /// `prefix[i]` = sum of items `0..i`; `prefix[0] == 0`.
-    prefix: Vec<u64>,
+    prefix: AlignedU64s,
 }
 
 impl PrefixCurve {
     /// Builds the curve in one pass over the per-item values.
     #[must_use]
     pub fn new(items: &[u64]) -> Self {
-        let mut prefix = Vec::with_capacity(items.len() + 1);
+        PrefixCurve::new_in(items, &mut ProfileScratch::new())
+    }
+
+    /// Builds the curve using buffers from `scratch` (allocation-free when
+    /// the arena holds a large-enough recycled buffer).
+    #[must_use]
+    pub fn new_in(items: &[u64], scratch: &mut ProfileScratch) -> Self {
+        let mut prefix = scratch.take(items.len() + 1);
+        // prefix[0] is already 0 from the zeroed take. The scan is a serial
+        // dependency chain, but a 4-way unroll keeps the loop body branch
+        // free and lets the stores retire as one aligned vector.
+        let out = &mut prefix.as_mut_slice()[1..];
         let mut acc = 0u64;
-        prefix.push(0);
-        for &v in items {
+        let mut i = 0;
+        let mut chunks = items.chunks_exact(4);
+        for c in chunks.by_ref() {
+            let a0 = acc + c[0];
+            let a1 = a0 + c[1];
+            let a2 = a1 + c[2];
+            let a3 = a2 + c[3];
+            out[i] = a0;
+            out[i + 1] = a1;
+            out[i + 2] = a2;
+            out[i + 3] = a3;
+            acc = a3;
+            i += 4;
+        }
+        for &v in chunks.remainder() {
             acc += v;
-            prefix.push(acc);
+            out[i] = acc;
+            i += 1;
         }
         PrefixCurve { prefix }
+    }
+
+    /// Wraps an already-computed inclusive prefix array (`len + 1` entries,
+    /// leading 0) without copying. Fused builders that accumulate several
+    /// counters in one pass use this to hand their buffers over directly.
+    ///
+    /// # Panics
+    /// Panics if `prefix` is empty or `prefix[0] != 0`.
+    #[must_use]
+    pub fn from_inclusive_prefix(prefix: AlignedU64s) -> Self {
+        assert!(
+            prefix.first() == Some(&0),
+            "inclusive prefix must start with a 0 sentinel"
+        );
+        PrefixCurve { prefix }
+    }
+
+    /// Returns the curve's buffer to `scratch` for reuse by a later build.
+    pub fn recycle(self, scratch: &mut ProfileScratch) {
+        scratch.give(self.prefix);
     }
 
     /// Number of items the curve was built from.
@@ -111,7 +164,12 @@ impl PrefixCurve {
 ///   mid-warp still pads its partial last warp to full width);
 /// * `suffix_pad[i]` — `warp_padded_cost(&work[i..])`, via the warp-stride
 ///   recurrence `suffix_pad[i] = warp·max(work[i..i+warp]) +
-///   suffix_pad[i+warp]` (sliding-window max, one O(n) backward pass).
+///   suffix_pad[i+warp]`. The window max is resolved by a branchless
+///   two-pass scan: a per-block reverse running max (`max(work[i..hi])`
+///   within `i`'s warp-aligned block) combined with the forward
+///   `running_max` of the window's tail in the next block. Every
+///   `suffix_pad[i]` only reads entries at `i + warp` and beyond, so the
+///   per-block fill loop carries no dependency and autovectorizes.
 ///
 /// All quantities are exact `u64` arithmetic, so both query methods return
 /// values bitwise equal to calling [`warp_padded_cost`] on the slice.
@@ -119,11 +177,11 @@ impl PrefixCurve {
 pub struct WarpPadCurve {
     warp: usize,
     /// Padded cost of the first `j` complete warps, `j = 0..=n/warp`.
-    full_warp_prefix: Vec<u64>,
+    full_warp_prefix: AlignedU64s,
     /// `running_max[i]` = max of `work[warp·(i/warp) ..= i]`.
-    running_max: Vec<u64>,
+    running_max: AlignedU64s,
     /// `suffix_pad[i]` = `warp_padded_cost(&work[i..])`; entry `n` is 0.
-    suffix_pad: Vec<u64>,
+    suffix_pad: AlignedU64s,
 }
 
 impl WarpPadCurve {
@@ -133,49 +191,82 @@ impl WarpPadCurve {
     /// Panics if `warp == 0`.
     #[must_use]
     pub fn new(work: &[u64], warp: usize) -> Self {
+        WarpPadCurve::new_in(work, warp, &mut ProfileScratch::new())
+    }
+
+    /// Builds the curve using buffers from `scratch` (allocation-free when
+    /// the arena is warm). Bitwise identical to [`WarpPadCurve::new`].
+    ///
+    /// # Panics
+    /// Panics if `warp == 0`.
+    #[must_use]
+    pub fn new_in(work: &[u64], warp: usize, scratch: &mut ProfileScratch) -> Self {
         assert!(warp > 0, "warp width must be positive");
         let n = work.len();
+        let warp_u = warp as u64;
 
-        let mut full_warp_prefix = Vec::with_capacity(n / warp + 1);
-        full_warp_prefix.push(0);
-        let mut running_max = Vec::with_capacity(n);
-        let mut chunk_max = 0u64;
-        for (i, &w) in work.iter().enumerate() {
-            if i % warp == 0 {
-                chunk_max = 0;
-            }
-            chunk_max = chunk_max.max(w);
-            running_max.push(chunk_max);
-            if (i + 1) % warp == 0 {
-                let prev = *full_warp_prefix.last().expect("seeded with 0");
-                full_warp_prefix.push(prev + chunk_max * warp as u64);
+        let mut full_warp_prefix = scratch.take(n / warp + 1);
+        let mut running_max = scratch.take(n);
+        // Forward pass, blocked on warp boundaries: no `%` in the body.
+        {
+            let fwp = full_warp_prefix.as_mut_slice();
+            let rm = running_max.as_mut_slice();
+            let mut acc = 0u64;
+            for (b, chunk) in work.chunks(warp).enumerate() {
+                let base = b * warp;
+                let mut chunk_max = 0u64;
+                for (j, &w) in chunk.iter().enumerate() {
+                    chunk_max = chunk_max.max(w);
+                    rm[base + j] = chunk_max;
+                }
+                if chunk.len() == warp {
+                    acc += chunk_max * warp_u;
+                    fwp[b + 1] = acc;
+                }
             }
         }
 
-        // Backward pass: sliding-window max over [i, i+warp) via a
-        // monotonically decreasing deque of indices, then the warp-stride DP.
-        let mut suffix_pad = vec![0u64; n + 1];
-        let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-        for i in (0..n).rev() {
-            while let Some(&back) = deque.back() {
-                if work[back] <= work[i] {
-                    deque.pop_back();
+        // Backward pass, two scans per block instead of a sliding-window
+        // deque. The window [i, min(i+warp, n)) splits at i's block end
+        // `hi` into a tail within the block (reverse running max `tail`)
+        // and a head of the next block (covered by `running_max[end-1]`,
+        // whose chunk starts exactly at `hi`). All reads of `suffix_pad`
+        // land at `end >= hi`, i.e. in already-filled later blocks, so the
+        // fill loops are dependency-free.
+        let mut suffix_pad = scratch.take(n + 1);
+        let mut tail = scratch.take(warp.min(n));
+        {
+            let sp = suffix_pad.as_mut_slice();
+            let rm = running_max.as_slice();
+            let tl = tail.as_mut_slice();
+            let n_blocks = n.div_ceil(warp);
+            for b in (0..n_blocks).rev() {
+                let lo = b * warp;
+                let hi = (lo + warp).min(n);
+                let mut m = 0u64;
+                for i in (lo..hi).rev() {
+                    m = m.max(work[i]);
+                    tl[i - lo] = m;
+                }
+                if hi == n {
+                    // Last block: every window [i, min(i+warp, n)) stays
+                    // inside the block, and its continuation is sp[n] == 0.
+                    for i in lo..hi {
+                        sp[i] = tl[i - lo] * warp_u;
+                    }
                 } else {
-                    break;
+                    // Full interior block: for i > lo the window crosses
+                    // into the next block; for i == lo it is the block.
+                    for i in lo + 1..hi {
+                        let end = (i + warp).min(n);
+                        let wm = tl[i - lo].max(rm[end - 1]);
+                        sp[i] = wm * warp_u + sp[end];
+                    }
+                    sp[lo] = tl[0] * warp_u + sp[hi];
                 }
             }
-            deque.push_back(i);
-            while let Some(&front) = deque.front() {
-                if front >= i + warp {
-                    deque.pop_front();
-                } else {
-                    break;
-                }
-            }
-            let window_max = work[*deque.front().expect("just pushed i")];
-            let next = (i + warp).min(n);
-            suffix_pad[i] = window_max * warp as u64 + suffix_pad[next];
         }
+        scratch.give(tail);
 
         WarpPadCurve {
             warp,
@@ -183,6 +274,13 @@ impl WarpPadCurve {
             running_max,
             suffix_pad,
         }
+    }
+
+    /// Returns the curve's buffers to `scratch` for reuse by a later build.
+    pub fn recycle(self, scratch: &mut ProfileScratch) {
+        scratch.give(self.full_warp_prefix);
+        scratch.give(self.running_max);
+        scratch.give(self.suffix_pad);
     }
 
     /// Number of items the curve was built from.
@@ -220,6 +318,15 @@ impl WarpPadCurve {
     #[must_use]
     pub fn suffix_cost(&self, split: usize) -> u64 {
         self.suffix_pad[split]
+    }
+
+    /// Raw internal arrays `(full_warp_prefix, running_max, suffix_pad)`,
+    /// for benchmark parity gates that compare against an independently
+    /// built curve array-by-array.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn raw_parts(&self) -> (&[u64], &[u64], &[u64]) {
+        (&self.full_warp_prefix, &self.running_max, &self.suffix_pad)
     }
 }
 
@@ -339,6 +446,55 @@ mod tests {
         for split in [0, 1, 31, 32, 33, 64, 65] {
             assert!(pad_curve_matches_direct(&work, 32, split));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical() {
+        // Build → recycle → rebuild through the same warm arena, for sizes
+        // straddling warp boundaries; the recycled curves must compare
+        // equal field-for-field to fresh ones.
+        let mut scratch = ProfileScratch::new();
+        for (n, warp, seed) in [
+            (0, 32, 1),
+            (31, 32, 2),
+            (64, 32, 3),
+            (100, 7, 4),
+            (97, 200, 5),
+        ] {
+            let work = pseudo_random_work(n, seed);
+            let fresh_pad = WarpPadCurve::new(&work, warp);
+            let fresh_sum = PrefixCurve::new(&work);
+
+            let pad = WarpPadCurve::new_in(&work, warp, &mut scratch);
+            let sum = PrefixCurve::new_in(&work, &mut scratch);
+            assert_eq!(pad, fresh_pad, "n={n} warp={warp}");
+            assert_eq!(sum, fresh_sum, "n={n}");
+            pad.recycle(&mut scratch);
+            sum.recycle(&mut scratch);
+            assert!(scratch.is_warm());
+
+            let warm_pad = WarpPadCurve::new_in(&work, warp, &mut scratch);
+            let warm_sum = PrefixCurve::new_in(&work, &mut scratch);
+            assert_eq!(warm_pad, fresh_pad, "warm n={n} warp={warp}");
+            assert_eq!(warm_sum, fresh_sum, "warm n={n}");
+            warm_pad.recycle(&mut scratch);
+            warm_sum.recycle(&mut scratch);
+        }
+    }
+
+    #[test]
+    fn from_inclusive_prefix_wraps_without_copying() {
+        let items = [3u64, 1, 4];
+        let direct = PrefixCurve::new(&items);
+        let buf = AlignedU64s::from(&[0u64, 3, 4, 8][..]);
+        let wrapped = PrefixCurve::from_inclusive_prefix(buf);
+        assert_eq!(wrapped, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 sentinel")]
+    fn from_inclusive_prefix_rejects_missing_sentinel() {
+        let _ = PrefixCurve::from_inclusive_prefix(AlignedU64s::from(&[1u64, 2][..]));
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Reusable, cache-line-aligned build buffers for profile construction.
+//!
+//! Profile builds ([`PrefixCurve`](crate::PrefixCurve),
+//! [`WarpPadCurve`](crate::WarpPadCurve), and the per-crate curve bundles
+//! built on them) are the dominant *cold* cost of the partitioning
+//! pipeline: every counter array they fill is written once, scanned once,
+//! and then either stored in the profile or thrown away. Allocating those
+//! arrays per build wastes the whole steady-state budget on the allocator,
+//! so this module provides the two pieces the zero-allocation contract
+//! (DESIGN.md, "Scratch arenas & the zero-allocation contract") rests on:
+//!
+//! * [`AlignedU64s`] — a `u64` buffer backed by 64-byte-aligned cache-line
+//!   lanes, so scan loops start on cache-line (and full-vector-register)
+//!   boundaries and the compiler can keep the unrolled bodies aligned;
+//! * [`ProfileScratch`] — a freelist arena of such buffers. Builders
+//!   [`take`](ProfileScratch::take) zeroed buffers and
+//!   [`give`](ProfileScratch::give) them back; finished profiles are
+//!   *recycled* into the same arena, so a steady-state rebuild of a
+//!   same-shaped profile performs **zero** heap allocations (asserted by a
+//!   counting allocator in `tests/property_scratch.rs`).
+//!
+//! Reuse never changes results: buffers are re-zeroed on `take`, and every
+//! builder writes the same values into them a fresh allocation would
+//! receive — the bitwise-exactness contract of the curve layer is
+//! preserved by construction and pinned by the parity property tests.
+
+/// One 64-byte cache line of `u64` counters — the allocation unit of
+/// [`AlignedU64s`].
+#[repr(C, align(64))]
+#[derive(Clone, Copy, Default)]
+struct Lane64([u64; 8]);
+
+/// A growable `u64` buffer whose storage is 64-byte aligned.
+///
+/// Behaves like a `Vec<u64>` for the access patterns profile builders
+/// need (deref to `&[u64]` / `&mut [u64]`), but the backing store is a
+/// `Vec` of whole cache lines, so `as_ptr()` is always 64-byte aligned
+/// and resizing within the retained capacity never reallocates.
+#[derive(Clone, Default)]
+pub struct AlignedU64s {
+    lanes: Vec<Lane64>,
+    len: usize,
+}
+
+impl AlignedU64s {
+    /// An empty buffer (no allocation until first resize).
+    #[must_use]
+    pub fn new() -> Self {
+        AlignedU64s::default()
+    }
+
+    /// A zero-filled buffer of `len` entries.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        let mut buf = AlignedU64s::new();
+        buf.reset_zeroed(len);
+        buf
+    }
+
+    /// Number of `u64` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `u64` entries the retained storage can hold without
+    /// reallocating (whole cache lines, so always a multiple of 8).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lanes.capacity() * 8
+    }
+
+    /// Discards the contents and resizes to `len` zeroed entries. Reuses
+    /// the existing lane storage when capacity allows (the steady-state
+    /// path: one memset, no allocation).
+    pub fn reset_zeroed(&mut self, len: usize) {
+        self.lanes.clear();
+        self.lanes.resize(len.div_ceil(8), Lane64::default());
+        self.len = len;
+    }
+
+    /// Shortens the buffer to `len` entries (no effect when already
+    /// shorter). Used by builders that overshoot (e.g. dedup-in-place).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+        }
+    }
+
+    /// The entries as a plain slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        // SAFETY: `lanes` holds `len.div_ceil(8)` contiguous `Lane64`s,
+        // i.e. at least `len` initialized `u64`s; `Lane64` is `repr(C)`
+        // over `[u64; 8]`, so the cast preserves layout and provenance.
+        unsafe { std::slice::from_raw_parts(self.lanes.as_ptr().cast::<u64>(), self.len) }
+    }
+
+    /// The entries as a mutable slice.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        // SAFETY: as in `as_slice`, plus exclusive access through `&mut`.
+        unsafe { std::slice::from_raw_parts_mut(self.lanes.as_mut_ptr().cast::<u64>(), self.len) }
+    }
+}
+
+impl std::ops::Deref for AlignedU64s {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedU64s {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for AlignedU64s {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for AlignedU64s {}
+
+impl std::fmt::Debug for AlignedU64s {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl From<&[u64]> for AlignedU64s {
+    fn from(items: &[u64]) -> Self {
+        let mut buf = AlignedU64s::zeroed(items.len());
+        buf.as_mut_slice().copy_from_slice(items);
+        buf
+    }
+}
+
+/// A freelist arena of reusable build buffers.
+///
+/// Curve builders take zeroed buffers out, fill them, and either give
+/// them back (intermediate arrays) or move them into the finished profile
+/// (stored arrays). Recycling a profile returns its stored buffers here,
+/// so the next same-shaped build runs entirely on retained capacity.
+///
+/// The arena is deliberately *not* thread-safe: each worker owns its own
+/// scratch (`nbwp-par` pools them in per-worker slots), so takes and
+/// gives are plain vector operations with no synchronization.
+#[derive(Debug, Default)]
+pub struct ProfileScratch {
+    free_u64: Vec<AlignedU64s>,
+    free_u32: Vec<Vec<u32>>,
+}
+
+impl ProfileScratch {
+    /// An empty arena (buffers are created on demand).
+    #[must_use]
+    pub fn new() -> Self {
+        ProfileScratch::default()
+    }
+
+    /// True when the arena holds at least one recycled buffer — i.e. a
+    /// build through it can reuse storage instead of allocating.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        !self.free_u64.is_empty() || !self.free_u32.is_empty()
+    }
+
+    /// Takes a zero-filled `u64` buffer of `len` entries, reusing a
+    /// recycled buffer when one is available.
+    ///
+    /// Selection is best-fit on retained capacity: the smallest recycled
+    /// buffer that already holds `len` entries wins, so a small take cannot
+    /// consume (and force the regrowth of) a large buffer another take in
+    /// the same build cycle needs. When nothing fits, the largest buffer is
+    /// grown — after one warm build/recycle cycle of a fixed shape, every
+    /// take is satisfied without allocating.
+    #[must_use]
+    pub fn take(&mut self, len: usize) -> AlignedU64s {
+        let mut pick: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, b) in self.free_u64.iter().enumerate() {
+            let cap = b.capacity();
+            let better = match pick {
+                None => true,
+                Some((_, best)) if best >= len => cap >= len && cap < best,
+                Some((_, best)) => cap > best,
+            };
+            if better {
+                pick = Some((i, cap));
+            }
+        }
+        let mut buf = pick.map_or_else(AlignedU64s::default, |(i, _)| self.free_u64.swap_remove(i));
+        buf.reset_zeroed(len);
+        buf
+    }
+
+    /// Returns a `u64` buffer to the arena for reuse.
+    pub fn give(&mut self, buf: AlignedU64s) {
+        self.free_u64.push(buf);
+    }
+
+    /// Takes a zero-filled `u32` buffer of `len` entries (generation-stamp
+    /// arrays of the symbolic SpGEMM passes), reusing a recycled buffer
+    /// when one is available. Best-fit on capacity, like [`Self::take`].
+    #[must_use]
+    pub fn take_u32(&mut self, len: usize) -> Vec<u32> {
+        let mut pick: Option<(usize, usize)> = None;
+        for (i, b) in self.free_u32.iter().enumerate() {
+            let cap = b.capacity();
+            let better = match pick {
+                None => true,
+                Some((_, best)) if best >= len => cap >= len && cap < best,
+                Some((_, best)) => cap > best,
+            };
+            if better {
+                pick = Some((i, cap));
+            }
+        }
+        let mut buf = pick.map_or_else(Vec::new, |(i, _)| self.free_u32.swap_remove(i));
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a `u32` buffer to the arena for reuse.
+    pub fn give_u32(&mut self, buf: Vec<u32>) {
+        self.free_u32.push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_buffer_is_64_byte_aligned_and_zeroed() {
+        let mut buf = AlignedU64s::zeroed(100);
+        assert_eq!(buf.as_ptr() as usize % 64, 0);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.iter().all(|&v| v == 0));
+        buf[99] = 7;
+        assert_eq!(buf.as_slice()[99], 7);
+    }
+
+    #[test]
+    fn reset_rezeroes_and_reuses_capacity() {
+        let mut buf = AlignedU64s::zeroed(64);
+        buf.as_mut_slice().fill(u64::MAX);
+        let ptr = buf.as_ptr();
+        buf.reset_zeroed(32);
+        assert_eq!(buf.as_ptr(), ptr, "shrinking reuses the lanes");
+        assert!(buf.iter().all(|&v| v == 0));
+        assert_eq!(buf.len(), 32);
+    }
+
+    #[test]
+    fn truncate_only_shortens() {
+        let mut buf = AlignedU64s::from(&[1u64, 2, 3, 4][..]);
+        buf.truncate(10);
+        assert_eq!(buf.len(), 4);
+        buf.truncate(2);
+        assert_eq!(buf.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn equality_ignores_lane_padding() {
+        let a = AlignedU64s::from(&[5u64, 6, 7][..]);
+        let mut b = AlignedU64s::zeroed(9);
+        b.as_mut_slice().fill(u64::MAX);
+        b.reset_zeroed(3);
+        b.as_mut_slice().copy_from_slice(&[5, 6, 7]);
+        assert_eq!(a, b);
+        b.truncate(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuses_recycled_buffers() {
+        let mut scratch = ProfileScratch::new();
+        assert!(!scratch.is_warm());
+        let buf = scratch.take(128);
+        let ptr = buf.as_ptr();
+        scratch.give(buf);
+        assert!(scratch.is_warm());
+        let again = scratch.take(64);
+        assert_eq!(again.as_ptr(), ptr, "recycled buffer is reused");
+        assert!(again.iter().all(|&v| v == 0), "reuse re-zeroes");
+    }
+
+    #[test]
+    fn scratch_u32_stamps_are_zeroed_on_reuse() {
+        let mut scratch = ProfileScratch::new();
+        let mut s = scratch.take_u32(16);
+        s.fill(9);
+        scratch.give_u32(s);
+        let s = scratch.take_u32(16);
+        assert!(s.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn empty_buffers_are_safe() {
+        let buf = AlignedU64s::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice(), &[] as &[u64]);
+        let mut scratch = ProfileScratch::new();
+        let b = scratch.take(0);
+        assert!(b.is_empty());
+    }
+}

@@ -101,7 +101,7 @@ impl CurveEval for SpmmCostCurve<'_> {
 mod tests {
     use super::*;
     use crate::gen;
-    use crate::ops::{load_vector, prefix_sums};
+    use crate::ops::load_vector;
     use crate::spgemm::row_profile;
 
     #[test]
@@ -109,10 +109,11 @@ mod tests {
         let a = gen::power_law(300, 8, 2.2, 5);
         let costs = row_profile(&a, &a);
         let curves = RowCurves::new(&costs, a.size_bytes());
-        let load: Vec<u64> = costs.iter().map(|c| c.b_entries).collect();
-        let prefix = prefix_sums(&load);
+        // The b_entries curve *is* the inclusive load prefix (minus its
+        // leading 0 sentinel) — no collected load vector needed.
+        let prefix = &curves.b_entries().as_prefix_slice()[1..];
         let platform = Platform::k40c_xeon_e5_2650();
-        let curve = SpmmCostCurve::new(&curves, &prefix, SimTime::from_millis(1.0), &platform);
+        let curve = SpmmCostCurve::new(&curves, prefix, SimTime::from_millis(1.0), &platform);
         let mut last = 0usize;
         for pct in 0..=100 {
             let s = curve.split_for(pct as f64);
@@ -131,14 +132,11 @@ mod tests {
         let a = gen::uniform_random(200, 6, 9);
         let costs = row_profile(&a, &a);
         let curves = RowCurves::new(&costs, a.size_bytes());
-        let load: Vec<u64> = costs.iter().map(|c| c.b_entries).collect();
-        let prefix = prefix_sums(&load);
+        let prefix = &curves.b_entries().as_prefix_slice()[1..];
         let platform = Platform::k40c_xeon_e5_2650();
-        let curve = SpmmCostCurve::new(&curves, &prefix, SimTime::ZERO, &platform);
+        let curve = SpmmCostCurve::new(&curves, prefix, SimTime::ZERO, &platform);
         // Interior argmin over all splits (skip the all-CPU transfer cliff).
-        let interior = 1..curves.rows();
-        let best = interior
-            .clone()
+        let best = (1..curves.rows())
             .min_by(|&x, &y| curve.total_at(x).cmp(&curve.total_at(y)))
             .expect("non-empty");
         if best > 1 {

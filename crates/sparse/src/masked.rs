@@ -14,6 +14,8 @@
 //! different term). The four terms therefore partition the multiply-add
 //! work exactly — property-tested in `tests/masked_props.rs`.
 
+use nbwp_sim::ProfileScratch;
+
 use crate::spgemm::RowCost;
 use crate::Csr;
 
@@ -179,7 +181,7 @@ pub fn masked_row_profile(a: &Csr, b: &Csr, a_keep: &[bool], b_keep: &[bool]) ->
 
 /// The four per-row cost profiles of Algorithm HH-CPU's masked products,
 /// computed by [`hh_row_profiles`] in a single fused traversal.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HhRowProfiles {
     /// Costs of `A_H × B_H`.
     pub hh: Vec<RowCost>,
@@ -206,19 +208,37 @@ pub struct HhRowProfiles {
 /// Panics on shape mismatch or wrong mask lengths.
 #[must_use]
 pub fn hh_row_profiles(a: &Csr, b: &Csr, a_high: &[bool], b_high: &[bool]) -> HhRowProfiles {
+    let mut out = HhRowProfiles::default();
+    hh_row_profiles_in(a, b, a_high, b_high, &mut out, &mut ProfileScratch::new());
+    out
+}
+
+/// [`hh_row_profiles`] writing into a caller-owned [`HhRowProfiles`] with
+/// stamp arrays drawn from `scratch` — the per-eval form of the fused
+/// pass. The output vectors are cleared and refilled (capacity retained),
+/// so repeated evaluations over the same matrix allocate nothing once
+/// warm. Element-wise identical to [`hh_row_profiles`].
+///
+/// # Panics
+/// Panics on shape mismatch or wrong mask lengths.
+pub fn hh_row_profiles_in(
+    a: &Csr,
+    b: &Csr,
+    a_high: &[bool],
+    b_high: &[bool],
+    out: &mut HhRowProfiles,
+    scratch: &mut ProfileScratch,
+) {
     assert_eq!(a.cols(), b.rows(), "incompatible shapes in fused profile");
     assert_eq!(a_high.len(), a.rows(), "a_high length mismatch");
     assert_eq!(b_high.len(), b.rows(), "b_high length mismatch");
-    let mut stamp_hi = vec![0u32; b.cols()];
-    let mut stamp_lo = vec![0u32; b.cols()];
+    let mut stamp_hi = scratch.take_u32(b.cols());
+    let mut stamp_lo = scratch.take_u32(b.cols());
     let mut generation = 0u32;
-    let n = a.rows();
-    let mut out = HhRowProfiles {
-        hh: Vec::with_capacity(n),
-        hl: Vec::with_capacity(n),
-        lh: Vec::with_capacity(n),
-        ll: Vec::with_capacity(n),
-    };
+    out.hh.clear();
+    out.hl.clear();
+    out.lh.clear();
+    out.ll.clear();
     for (i, &row_high) in a_high.iter().enumerate() {
         generation = generation.wrapping_add(1);
         if generation == 0 {
@@ -258,7 +278,8 @@ pub fn hh_row_profiles(a: &Csr, b: &Csr, a_high: &[bool], b_high: &[bool]) -> Hh
             out.ll.push(cost_lo);
         }
     }
-    out
+    scratch.give_u32(stamp_hi);
+    scratch.give_u32(stamp_lo);
 }
 
 /// The four partial products of Algorithm HH-CPU for one threshold pair.
@@ -416,6 +437,21 @@ mod tests {
             assert_eq!(fused.lh, masked_row_profile(&a, &a, &lo, &hi), "t {t}");
             assert_eq!(fused.ll, masked_row_profile(&a, &a, &lo, &lo), "t {t}");
         }
+    }
+
+    #[test]
+    fn fused_in_reuses_buffers_and_stays_identical() {
+        let a = crate::gen::power_law(80, 6, 2.0, 5);
+        let mut out = HhRowProfiles::default();
+        let mut scratch = ProfileScratch::new();
+        for t in [0u64, 1, 4, 100] {
+            let s = DensitySplit::at_threshold(&a, t);
+            let fresh = hh_row_profiles(&a, &a, &s.high, &s.high);
+            // Same `out` and scratch reused across thresholds.
+            hh_row_profiles_in(&a, &a, &s.high, &s.high, &mut out, &mut scratch);
+            assert_eq!(out, fresh, "t {t}");
+        }
+        assert!(scratch.is_warm());
     }
 
     #[test]

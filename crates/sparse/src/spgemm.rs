@@ -12,7 +12,7 @@
 //! sweep thresholds in O(rows) instead of re-running the multiply.
 
 use nbwp_par::Pool;
-use nbwp_sim::{warp_padded_cost, KernelStats, PrefixCurve, WarpPadCurve};
+use nbwp_sim::{warp_padded_cost, KernelStats, PrefixCurve, ProfileScratch, WarpPadCurve};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -226,24 +226,59 @@ pub fn row_profile(a: &Csr, b: &Csr) -> Vec<RowCost> {
 /// * divergence: warp-padded per-row flops at width [`WARP`].
 #[must_use]
 pub fn stats_for_rows(costs: &[RowCost], b_bytes: u64) -> KernelStats {
+    stats_for_rows_in(costs, b_bytes, &mut ProfileScratch::new())
+}
+
+/// [`stats_for_rows`] with the per-row flops buffer drawn from `scratch`
+/// (allocation-free when the arena is warm). Bitwise identical.
+#[must_use]
+pub fn stats_for_rows_in(
+    costs: &[RowCost],
+    b_bytes: u64,
+    scratch: &mut ProfileScratch,
+) -> KernelStats {
+    let s = stats_for_rows_where(costs, b_bytes, |_| true, scratch);
+    debug_assert_eq!(s.parallel_items, costs.len() as u64);
+    s
+}
+
+/// [`stats_for_rows`] over the subsequence of `costs` selected by `keep`,
+/// without materializing the filtered slice: bitwise identical to
+/// collecting the kept rows into a `Vec` and calling [`stats_for_rows`] on
+/// it (same rows, same order, same adds), but the only buffer used is the
+/// per-row flops array drawn from `scratch`.
+#[must_use]
+pub fn stats_for_rows_where<F>(
+    costs: &[RowCost],
+    b_bytes: u64,
+    keep: F,
+    scratch: &mut ProfileScratch,
+) -> KernelStats
+where
+    F: Fn(&RowCost) -> bool,
+{
     let mut s = KernelStats::new();
-    let mut per_row_flops = Vec::with_capacity(costs.len());
+    let mut per_row_flops = scratch.take(costs.len());
+    let mut kept = 0usize;
+    let mut partition_bytes = 0u64;
     for c in costs {
+        if !keep(c) {
+            continue;
+        }
         s.flops += c.flops();
         s.int_ops += 2 * c.a_nnz + 2 * c.b_entries + c.c_nnz;
         s.mem_read_bytes += (c.a_nnz + c.b_entries) * ENTRY_BYTES;
         s.irregular_bytes += c.a_nnz * ENTRY_BYTES;
         s.mem_write_bytes += c.c_nnz * ENTRY_BYTES;
-        per_row_flops.push(c.flops());
+        partition_bytes += (c.a_nnz + c.c_nnz) * ENTRY_BYTES;
+        per_row_flops[kept] = c.flops();
+        kept += 1;
     }
-    s.simd_padded_flops = warp_padded_cost(&per_row_flops, WARP);
-    s.kernel_launches = u64::from(!costs.is_empty());
-    s.parallel_items = costs.len() as u64;
-    let partition_bytes: u64 = costs
-        .iter()
-        .map(|c| (c.a_nnz + c.c_nnz) * ENTRY_BYTES)
-        .sum();
+    s.simd_padded_flops = warp_padded_cost(&per_row_flops[..kept], WARP);
+    s.kernel_launches = u64::from(kept > 0);
+    s.parallel_items = kept as u64;
     s.working_set_bytes = b_bytes + partition_bytes;
+    scratch.give(per_row_flops);
     s
 }
 
@@ -281,18 +316,57 @@ impl RowCurves {
     /// Builds all curves in one O(rows) pass over the profile.
     #[must_use]
     pub fn new(costs: &[RowCost], b_bytes: u64) -> Self {
-        let a_nnz: Vec<u64> = costs.iter().map(|c| c.a_nnz).collect();
-        let b_entries: Vec<u64> = costs.iter().map(|c| c.b_entries).collect();
-        let c_nnz: Vec<u64> = costs.iter().map(|c| c.c_nnz).collect();
-        let per_row_flops: Vec<u64> = costs.iter().map(RowCost::flops).collect();
-        RowCurves {
-            a_nnz: PrefixCurve::new(&a_nnz),
-            b_entries: PrefixCurve::new(&b_entries),
-            c_nnz: PrefixCurve::new(&c_nnz),
-            pad: WarpPadCurve::new(&per_row_flops, WARP),
-            b_bytes,
-            rows: costs.len(),
+        RowCurves::new_in(costs, b_bytes, &mut ProfileScratch::new())
+    }
+
+    /// Builds all curves fused in one pass over the borrowed cost slice,
+    /// with every buffer drawn from `scratch` (allocation-free when the
+    /// arena is warm). Bitwise identical to [`RowCurves::new`]: the three
+    /// prefix arrays receive exactly the sums `PrefixCurve::new` would
+    /// compute from collected counter vectors, without materializing those
+    /// vectors.
+    #[must_use]
+    pub fn new_in(costs: &[RowCost], b_bytes: u64, scratch: &mut ProfileScratch) -> Self {
+        let n = costs.len();
+        let mut a_nnz = scratch.take(n + 1);
+        let mut b_entries = scratch.take(n + 1);
+        let mut c_nnz = scratch.take(n + 1);
+        let mut per_row_flops = scratch.take(n);
+        {
+            let ap = a_nnz.as_mut_slice();
+            let bp = b_entries.as_mut_slice();
+            let cp = c_nnz.as_mut_slice();
+            let fp = per_row_flops.as_mut_slice();
+            let (mut aa, mut ba, mut ca) = (0u64, 0u64, 0u64);
+            for (i, c) in costs.iter().enumerate() {
+                aa += c.a_nnz;
+                ba += c.b_entries;
+                ca += c.c_nnz;
+                ap[i + 1] = aa;
+                bp[i + 1] = ba;
+                cp[i + 1] = ca;
+                fp[i] = c.flops();
+            }
         }
+        let pad = WarpPadCurve::new_in(&per_row_flops, WARP, scratch);
+        scratch.give(per_row_flops);
+        RowCurves {
+            a_nnz: PrefixCurve::from_inclusive_prefix(a_nnz),
+            b_entries: PrefixCurve::from_inclusive_prefix(b_entries),
+            c_nnz: PrefixCurve::from_inclusive_prefix(c_nnz),
+            pad,
+            b_bytes,
+            rows: n,
+        }
+    }
+
+    /// Returns every buffer of these curves to `scratch` for reuse by the
+    /// next build.
+    pub fn recycle(self, scratch: &mut ProfileScratch) {
+        self.a_nnz.recycle(scratch);
+        self.b_entries.recycle(scratch);
+        self.c_nnz.recycle(scratch);
+        self.pad.recycle(scratch);
     }
 
     /// Number of rows the curves cover.
@@ -323,6 +397,13 @@ impl RowCurves {
     #[must_use]
     pub fn b_bytes(&self) -> u64 {
         self.b_bytes
+    }
+
+    /// The warp-padding curve over per-row flops (exposed so external
+    /// harnesses can compare rebuilt curves entry by entry).
+    #[must_use]
+    pub fn pad(&self) -> &WarpPadCurve {
+        &self.pad
     }
 
     /// Recovers the exact [`RowCost`] of row `i` by differencing the
@@ -617,6 +698,44 @@ mod tests {
                 "suffix split {split}"
             );
         }
+    }
+
+    #[test]
+    fn row_curves_scratch_build_is_bitwise_identical() {
+        let a = crate::gen::power_law(130, 7, 2.1, 5);
+        let costs = row_profile(&a, &a);
+        let b_bytes = a.size_bytes();
+        let fresh = RowCurves::new(&costs, b_bytes);
+        let mut scratch = ProfileScratch::new();
+        let first = RowCurves::new_in(&costs, b_bytes, &mut scratch);
+        assert_eq!(first, fresh);
+        first.recycle(&mut scratch);
+        assert!(scratch.is_warm());
+        let warm = RowCurves::new_in(&costs, b_bytes, &mut scratch);
+        assert_eq!(warm, fresh, "warm rebuild must be bitwise identical");
+    }
+
+    #[test]
+    fn filtered_stats_match_collected_filter() {
+        let a = crate::gen::power_law(200, 6, 2.2, 9);
+        let costs = row_profile(&a, &a);
+        let b_bytes = a.size_bytes();
+        let mut scratch = ProfileScratch::new();
+        let keep = |c: &RowCost| c.b_entries > 0;
+        let collected: Vec<RowCost> = costs.iter().copied().filter(|c| keep(c)).collect();
+        assert_eq!(
+            stats_for_rows_where(&costs, b_bytes, keep, &mut scratch),
+            stats_for_rows(&collected, b_bytes)
+        );
+        // Degenerate filters: everything and nothing.
+        assert_eq!(
+            stats_for_rows_where(&costs, b_bytes, |_| true, &mut scratch),
+            stats_for_rows(&costs, b_bytes)
+        );
+        assert_eq!(
+            stats_for_rows_where(&costs, b_bytes, |_| false, &mut scratch),
+            stats_for_rows(&[], b_bytes)
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Property tests for the scratch-arena zero-allocation contract (the
+//! allocation-free profile-build PR's satellite): steady-state profile
+//! rebuilds through a warmed [`ProfileScratch`] must perform **no heap
+//! allocation**, and scratch-built profiles must price every threshold
+//! **bitwise equal** to pool-built ones — including warp-boundary splits
+//! and empty CPU/GPU bands.
+//!
+//! Allocation counting is per-thread (a thread-local counter inside a
+//! `#[global_allocator]` wrapper), so concurrently running tests in this
+//! binary cannot leak their allocations into a measured region.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use nbwp_core::prelude::*;
+use nbwp_graph::gen as ggen;
+use nbwp_sim::ProfileScratch;
+use nbwp_sparse::gen as sgen;
+use proptest::prelude::*;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// [`System`] plus per-thread allocation counters. `try_with` keeps the
+/// hooks safe during thread-local teardown (uncounted, not unsafe).
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = BYTES.try_with(|c| c.set(c.get() + new_size as u64));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation calls and bytes charged to the current thread while running
+/// `f`.
+fn allocations_of<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let (a0, b0) = (ALLOCS.with(Cell::get), BYTES.with(Cell::get));
+    let out = f();
+    let (a1, b1) = (ALLOCS.with(Cell::get), BYTES.with(Cell::get));
+    (out, a1 - a0, b1 - b0)
+}
+
+fn platform() -> Platform {
+    Platform::k40c_xeon_e5_2650()
+}
+
+/// Warms `scratch` with `cycles` build/recycle rounds, then asserts that
+/// one more full round (build and recycle) allocates nothing.
+fn assert_steady_state_allocation_free<W: Profilable>(name: &str, w: &W) {
+    let pool = Pool::global();
+    let mut scratch = ProfileScratch::new();
+    // Two warm-up cycles: the first populates the freelist, the second lets
+    // best-fit take() settle every buffer at its final capacity.
+    for _ in 0..2 {
+        let p = w.build_profile_in(pool, &mut scratch);
+        w.recycle_profile(p, &mut scratch);
+    }
+    assert!(
+        scratch.is_warm(),
+        "{name}: scratch must be warm after warm-up"
+    );
+    let ((), allocs, bytes) = allocations_of(|| {
+        let p = w.build_profile_in(pool, &mut scratch);
+        w.recycle_profile(p, &mut scratch);
+    });
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "{name}: steady-state rebuild allocated {allocs} time(s) / {bytes} bytes"
+    );
+}
+
+#[test]
+fn steady_state_cc_rebuild_is_allocation_free() {
+    let w = CcWorkload::new(ggen::web(3000, 6, 1), platform());
+    assert_steady_state_allocation_free("cc", &w);
+}
+
+#[test]
+fn steady_state_spmm_rebuild_is_allocation_free() {
+    let w = SpmmWorkload::new(sgen::power_law(2000, 8, 2.1, 2), platform());
+    assert_steady_state_allocation_free("spmm", &w);
+}
+
+#[test]
+fn steady_state_hh_rebuild_is_allocation_free() {
+    let w = HhWorkload::new(sgen::power_law(1500, 8, 2.1, 3), platform());
+    assert_steady_state_allocation_free("hh", &w);
+}
+
+/// Thresholds exercising the interesting corners of a percentage space on
+/// `n` rows/vertices: both empty bands, near-boundary splits, and splits
+/// landing exactly on warp (32-row) boundaries of the GPU suffix.
+fn corner_thresholds(n: usize) -> Vec<f64> {
+    let mut ts = vec![0.0, 100.0];
+    if n > 0 {
+        ts.push(100.0 / n as f64);
+        ts.push(100.0 * (n as f64 - 1.0) / n as f64);
+        for k in [1usize, 2, 4] {
+            let rows_gpu = 32 * k;
+            if rows_gpu < n {
+                ts.push(100.0 * (n - rows_gpu) as f64 / n as f64);
+            }
+        }
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scratch_cc_profile_is_bitwise_equal_to_pooled(
+        n in 64usize..1000,
+        deg in 1usize..8,
+        seed in 0u64..1000,
+        t_rand in 0.0f64..100.0,
+    ) {
+        let w = CcWorkload::new(ggen::web(n, deg, seed), platform());
+        let fresh = w.build_profile(Pool::global());
+        let mut scratch = ProfileScratch::new();
+        // Cold take and warm reuse must both match the pooled build.
+        for round in 0..2 {
+            let p = w.build_profile_in(Pool::global(), &mut scratch);
+            let mut ts = corner_thresholds(n);
+            ts.push(t_rand);
+            for t in ts {
+                prop_assert_eq!(
+                    w.run_profiled(&p, t),
+                    w.run_profiled(&fresh, t),
+                    "cc round = {} t = {}", round, t
+                );
+            }
+            w.recycle_profile(p, &mut scratch);
+        }
+    }
+
+    #[test]
+    fn scratch_spmm_profile_is_bitwise_equal_to_pooled(
+        n in 64usize..800,
+        avg in 2usize..10,
+        seed in 0u64..1000,
+        t_rand in 0.0f64..100.0,
+    ) {
+        let w = SpmmWorkload::new(sgen::power_law(n, avg, 2.1, seed), platform());
+        let fresh = w.build_profile(Pool::global());
+        let mut scratch = ProfileScratch::new();
+        for round in 0..2 {
+            let p = w.build_profile_in(Pool::global(), &mut scratch);
+            let mut ts = corner_thresholds(n);
+            ts.push(t_rand);
+            for t in ts {
+                prop_assert_eq!(
+                    w.run_profiled(&p, t),
+                    w.run_profiled(&fresh, t),
+                    "spmm round = {} t = {}", round, t
+                );
+            }
+            w.recycle_profile(p, &mut scratch);
+        }
+    }
+
+    #[test]
+    fn scratch_hh_profile_is_bitwise_equal_to_pooled(
+        n in 64usize..500,
+        avg in 2usize..10,
+        seed in 0u64..1000,
+        t_frac in 0.0f64..1.2,
+    ) {
+        let w = HhWorkload::new(sgen::power_law(n, avg, 2.1, seed), platform());
+        let fresh = w.build_profile(Pool::global());
+        let max = w.max_degree() as f64;
+        let mut scratch = ProfileScratch::new();
+        // Degree thresholds: empty-band extremes plus a point inside (and
+        // slightly beyond) the degree range.
+        for round in 0..2 {
+            let p = w.build_profile_in(Pool::global(), &mut scratch);
+            for t in [0.0, 1.0, max * t_frac, max, max + 1.0] {
+                prop_assert_eq!(
+                    w.run_profiled(&p, t),
+                    w.run_profiled(&fresh, t),
+                    "hh round = {} t = {}", round, t
+                );
+            }
+            w.recycle_profile(p, &mut scratch);
+        }
+    }
+}
