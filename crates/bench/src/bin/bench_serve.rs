@@ -42,9 +42,12 @@
 //!
 //! Usage: `bench_serve [--quick] [--out <path>] [--audit-out <path>] [--seed <u64>]`
 
-use std::path::PathBuf;
 use std::time::Instant;
 
+use nbwp_bench::harness::{
+    available_parallelism, estimate_bits as bits, finish, gate_max, gate_min, percentile,
+    write_report, GateOpts, GateResult,
+};
 use nbwp_core::prelude::*;
 use nbwp_graph::gen as graph_gen;
 use serde::Serialize;
@@ -94,58 +97,10 @@ struct Report {
     available_parallelism: usize,
     stream: StreamInfo,
     pipelines: Vec<PipelineEntry>,
+    gates: Vec<GateResult>,
     audit_log: String,
     exact: bool,
     mismatches: Vec<String>,
-}
-
-struct Args {
-    quick: bool,
-    out: PathBuf,
-    audit_out: PathBuf,
-    seed: u64,
-}
-
-fn parse_args() -> Args {
-    let mut parsed = Args {
-        quick: false,
-        out: PathBuf::from("BENCH_serve.json"),
-        audit_out: PathBuf::from("BENCH_serve_audit.jsonl"),
-        seed: 42,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => parsed.quick = true,
-            "--out" => parsed.out = PathBuf::from(args.next().expect("--out needs a path")),
-            "--audit-out" => {
-                parsed.audit_out = PathBuf::from(args.next().expect("--audit-out needs a path"));
-            }
-            "--seed" => {
-                let v = args.next().expect("--seed needs a value");
-                parsed.seed = v.parse().expect("--seed must be an integer");
-            }
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: bench_serve [--quick] [--out path] [--audit-out path] [--seed u64]"
-                );
-                std::process::exit(0);
-            }
-            other => panic!("unknown argument {other}; try --help"),
-        }
-    }
-    parsed
-}
-
-/// Nearest-rank percentile over a copy of `values` (`q` in `[0, 1]`).
-fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut v = values.to_vec();
-    v.sort_by(f64::total_cmp);
-    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
-    v[rank - 1]
 }
 
 /// Steady-state warm per-request cost, unaudited and audited: pure
@@ -205,18 +160,6 @@ fn steady_per_request_ms(
     )
 }
 
-/// Bitwise digest of a full estimate (decision + accounting).
-fn bits(e: &SamplingEstimate) -> (u64, u64, SimTime, usize, usize, usize) {
-    (
-        e.threshold.to_bits(),
-        e.sample_threshold.to_bits(),
-        e.overhead,
-        e.evaluations,
-        e.sample_size,
-        e.grad_probes,
-    )
-}
-
 /// One request in the stream: the workload plus which unique input it
 /// refers to and whether it is a repeat (2nd+ occurrence of that input).
 struct Request {
@@ -234,6 +177,7 @@ fn run_pipeline(
     distinct: usize,
     seed: u64,
     audit_out: Option<&std::path::Path>,
+    gates: &mut Vec<GateResult>,
     mismatches: &mut Vec<String>,
 ) -> PipelineEntry {
     let strategy = if analytic {
@@ -375,12 +319,14 @@ fn run_pipeline(
             (steady_warm, steady_audited, audit_overhead_ratio) = (w, a, ratio);
         }
     }
-    if audit_overhead_ratio > 1.10 {
-        mismatches.push(format!(
-            "{name}: audited steady-state per-request cost is x{audit_overhead_ratio:.3} the \
-             unaudited warm path (> 1.10)"
-        ));
-    }
+    gates.push(gate_max(
+        &format!("{name}.audit_overhead"),
+        audit_overhead_ratio,
+        1.10,
+        true,
+        "",
+        mismatches,
+    ));
 
     // Batch parity (no cache): `run_batch` must equal the cold
     // single-request path bitwise, item by item, for any pool size.
@@ -422,11 +368,14 @@ fn run_pipeline(
     }
     let sequential_cold_wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
-    if warm_speedup < 10.0 {
-        mismatches.push(format!(
-            "{name}: warm per-request cost only x{warm_speedup:.1} cheaper than cold (< 10)"
-        ));
-    }
+    gates.push(gate_min(
+        &format!("{name}.warm_speedup"),
+        warm_speedup,
+        10.0,
+        true,
+        "",
+        mismatches,
+    ));
     let mean_regret = regrets.iter().sum::<f64>() / regrets.len().max(1) as f64;
     let max_regret = regrets.iter().copied().fold(0.0f64, f64::max);
     eprintln!(
@@ -469,9 +418,14 @@ fn run_pipeline(
 }
 
 fn main() {
-    let args = parse_args();
+    let args = GateOpts::parse(
+        "bench_serve",
+        "BENCH_serve.json",
+        &[("--audit-out", "BENCH_serve_audit.jsonl")],
+    );
+    let audit_path = args.path("--audit-out").to_path_buf();
     let (n, rounds) = if args.quick { (12_000, 4) } else { (40_000, 6) };
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = available_parallelism();
     eprintln!(
         "bench_serve: {} mode, seed {}, {} hardware thread(s)",
         if args.quick { "quick" } else { "full" },
@@ -539,12 +493,13 @@ fn main() {
     );
 
     let mut mismatches = Vec::new();
+    let mut gates = Vec::new();
     let mut pipelines = Vec::new();
     for (name, analytic) in [("coarse_to_fine", false), ("analytic_profiled", true)] {
         let before = mismatches.len();
         // Only the analytic pipeline warm-starts (and shadow-prices), so
         // its audit log is the one committed alongside the JSON.
-        let audit_out = analytic.then_some(args.audit_out.as_path());
+        let audit_out = analytic.then_some(audit_path.as_path());
         let mut entry = run_pipeline(
             name,
             analytic,
@@ -553,6 +508,7 @@ fn main() {
             distinct,
             args.seed,
             audit_out,
+            &mut gates,
             &mut mismatches,
         );
         entry.parity = mismatches.len() == before;
@@ -566,19 +522,15 @@ fn main() {
         available_parallelism: cores,
         stream: stream_info,
         pipelines,
-        audit_log: args.audit_out.display().to_string(),
+        gates,
+        audit_log: audit_path.display().to_string(),
         exact: mismatches.is_empty(),
         mismatches: mismatches.clone(),
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&args.out, json + "\n").expect("failed to write report");
-    eprintln!("wrote {}", args.out.display());
-
-    if !mismatches.is_empty() {
-        for m in &mismatches {
-            eprintln!("SERVING VIOLATION: {m}");
-        }
-        std::process::exit(1);
-    }
-    eprintln!("all served estimates honor the exactness contract");
+    write_report(&args.out, &report);
+    finish(
+        &mismatches,
+        "SERVING VIOLATION",
+        "all served estimates honor the exactness contract",
+    );
 }

@@ -36,7 +36,9 @@ use std::path::Path;
 
 use nbwp_core::prelude::*;
 use nbwp_datasets::Dataset;
+use nbwp_graph::delta::GraphDelta;
 use nbwp_graph::Graph;
+use nbwp_sparse::delta::{CsrDelta, RowOp};
 use nbwp_sparse::{io, Csr};
 
 /// A CLI failure with a user-facing message.
@@ -107,6 +109,10 @@ pub enum Command {
         /// Record every served request in a flight recorder and dump the
         /// audit log (JSONL) to this path.
         audit_out: Option<String>,
+        /// Replay a JSONL delta script against `--input` through the
+        /// incremental drift server, printing one decision line per step
+        /// (patched / nudged / rebuilt, probes saved, staleness regret).
+        drift: Option<String>,
     },
     /// Validate a captured artifact: a Chrome trace from `--trace-out`, an
     /// audit JSONL log from `--audit-out`, or a `.prom` metrics export from
@@ -177,6 +183,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut metrics = false;
             let mut metrics_out = None;
             let mut audit_out = None;
+            let mut drift = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--input" => input = Some(next_val(&mut it, flag)?),
@@ -190,6 +197,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--metrics" => metrics = true,
                     "--metrics-out" => metrics_out = Some(next_val(&mut it, flag)?),
                     "--audit-out" => audit_out = Some(next_val(&mut it, flag)?),
+                    "--drift" => drift = Some(next_val(&mut it, flag)?),
                     other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
                 }
             }
@@ -201,6 +209,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             if exhaustive && batch.is_some() {
                 return Err(err("--exhaustive applies to a single --input"));
+            }
+            if drift.is_some() && batch.is_some() {
+                return Err(err("--drift replays against a single --input"));
+            }
+            if drift.is_some() && (exhaustive || strategy.is_some() || analytic) {
+                return Err(err("--drift serves through the incremental drift server; \
+                     it takes no --exhaustive/--strategy/--analytic"));
             }
             Ok(Command::Estimate {
                 workload,
@@ -215,6 +230,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 metrics,
                 metrics_out,
                 audit_out,
+                drift,
             })
         }
         "trace" => {
@@ -255,6 +271,7 @@ pub const USAGE: &str = "usage:
                 [--strategy <exhaustive|coarse_to_fine|race_then_fine|gradient_descent|analytic>]
                 [--analytic] [--trace-out <trace.json|trace.jsonl>] [--metrics]
                 [--metrics-out <metrics.json|metrics.prom>] [--audit-out <audit.jsonl>]
+                [--drift <deltas.jsonl>]
   nbwp trace <trace.json | audit.jsonl | metrics.prom>
   nbwp report <audit.jsonl> [--metrics <metrics.json|metrics.prom>]";
 
@@ -294,6 +311,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             metrics,
             metrics_out,
             audit_out,
+            drift,
         } => {
             let sinks = Sinks {
                 trace_out: trace_out.as_deref(),
@@ -302,15 +320,18 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 audit_out: audit_out.as_deref(),
             };
             match (input, batch) {
-                (Some(input), None) => estimate_cmd(
-                    workload,
-                    input,
-                    *seed,
-                    *exhaustive,
-                    strategy.as_deref(),
-                    *analytic,
-                    &sinks,
-                ),
+                (Some(input), None) => match drift {
+                    Some(ops) => drift_cmd(workload, input, ops, &sinks),
+                    None => estimate_cmd(
+                        workload,
+                        input,
+                        *seed,
+                        *exhaustive,
+                        strategy.as_deref(),
+                        *analytic,
+                        &sinks,
+                    ),
+                },
                 (None, Some(batch)) => batch_cmd(
                     workload,
                     batch,
@@ -729,6 +750,231 @@ fn batch_cmd(
     Ok(out)
 }
 
+/// `estimate --drift`: replay a JSONL delta script against one input
+/// through the incremental [`DriftServer`], one decision line per step.
+///
+/// Script format — one JSON object per line (blank lines and `#` comments
+/// skipped):
+/// - cc: `{"insert": [[u, v], ...], "delete": [[u, v], ...]}` (either key
+///   optional; duplicate inserts and absent deletes are legal no-ops)
+/// - spmm: `{"replace": [{"row": r, "cols": [...], "vals": [...]}, ...],
+///   "scale": [{"row": r, "factor": f}, ...]}` (either key optional;
+///   `vals` defaults to ones; replaces apply before scales within a line)
+fn drift_cmd(
+    workload: &str,
+    input: &str,
+    ops: &str,
+    sinks: &Sinks<'_>,
+) -> Result<String, CliError> {
+    let a = load_square(input)?;
+    let text = std::fs::read_to_string(Path::new(ops))
+        .map_err(|e| err(format!("cannot read {ops}: {e}")))?;
+    let platform = Platform::k40c_xeon_e5_2650();
+    let rec = sinks.recorder();
+    let audit = sinks.flight_recorder();
+    // The cache is the metrics sink for patched/nudged/rebuilt counters and
+    // the shadow-regret histogram; the drift server bumps its generation.
+    let cache = ThresholdCache::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{input}: {} rows, {} nonzeros — {workload} drift replay of {ops} on the simulated K40c + Xeon",
+        a.rows(),
+        a.nnz()
+    );
+    match workload {
+        "cc" => {
+            let deltas = parse_graph_deltas(&text)?;
+            let w = CcWorkload::new(Graph::from_matrix(&a), platform);
+            replay_drift(&mut out, w, &deltas, &cache, &audit, "CPU vertex share %");
+        }
+        "spmm" => {
+            let deltas = parse_csr_deltas(&text)?;
+            let w = SpmmWorkload::new(a, platform);
+            replay_drift(&mut out, w, &deltas, &cache, &audit, "CPU work share %");
+        }
+        other => {
+            return Err(err(format!(
+                "--drift supports cc | spmm (got {other}: hh has no delta form)"
+            )))
+        }
+    }
+    cache.flush_metrics(&rec);
+    audit.flush_metrics(&rec);
+    let trace = rec.finish();
+    sinks.write(&mut out, &trace, &audit)?;
+    Ok(out)
+}
+
+/// Serves `deltas` through a [`DriftServer`] with cache + audit hooks
+/// attached, appending one line per step and a decision summary.
+fn replay_drift<W: DriftWorkload>(
+    out: &mut String,
+    w: W,
+    deltas: &[W::Delta],
+    cache: &ThresholdCache,
+    audit: &FlightRecorder,
+    unit: &str,
+) {
+    let mut server = DriftServer::new(w).with_cache(cache).with_audit(audit);
+    let _ = writeln!(
+        out,
+        "base: threshold {:.1} ({unit}), predicted total {}",
+        server.threshold(),
+        server.total()
+    );
+    for (i, d) in deltas.iter().enumerate() {
+        let step = server.apply(d);
+        let _ = writeln!(
+            out,
+            "step {i:>3}: {:<8} span {}..{} ({} units), threshold {:.1}, total {}, probes saved {}, staleness regret {:.2}%",
+            step.decision.name(),
+            step.span.start,
+            step.span.end,
+            step.span.len(),
+            step.threshold,
+            step.total,
+            step.probes_saved,
+            step.regret_pct
+        );
+    }
+    let st = cache.stats();
+    let _ = writeln!(
+        out,
+        "drift: {} steps — {} patched, {} nudged, {} rebuilt; {} probes saved, {} stale cache entries evicted",
+        server.steps(),
+        st.patched_hits,
+        st.patched_nudges,
+        st.patched_rebuilds,
+        st.probes_saved,
+        st.stale_evictions
+    );
+}
+
+/// Parses the payload lines of a delta script (blanks / `#` comments out).
+fn script_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// One parsed JSONL line, with the line number folded into any error.
+fn script_value(lineno: usize, line: &str) -> Result<serde_json::Value, CliError> {
+    serde_json::from_str(line).map_err(|e| err(format!("drift script line {lineno}: {e}")))
+}
+
+/// Extracts `key` as an array, defaulting to empty when absent.
+fn script_list<'v>(
+    v: &'v serde_json::Value,
+    key: &str,
+    lineno: usize,
+) -> Result<&'v [serde_json::Value], CliError> {
+    match v.get(key) {
+        None => Ok(&[]),
+        Some(serde_json::Value::Array(items)) => Ok(items),
+        Some(_) => Err(err(format!(
+            "drift script line {lineno}: \"{key}\" must be an array"
+        ))),
+    }
+}
+
+fn script_u64(v: &serde_json::Value, what: &str, lineno: usize) -> Result<u64, CliError> {
+    v.as_u64().ok_or_else(|| {
+        err(format!(
+            "drift script line {lineno}: {what} must be an integer"
+        ))
+    })
+}
+
+/// `{"insert": [[u, v], ...], "delete": [[u, v], ...]}` per line.
+fn parse_graph_deltas(text: &str) -> Result<Vec<GraphDelta>, CliError> {
+    let pair = |v: &serde_json::Value, lineno: usize| -> Result<(u32, u32), CliError> {
+        match v.as_array() {
+            Some([u, v]) => Ok((
+                script_u64(u, "edge endpoint", lineno)? as u32,
+                script_u64(v, "edge endpoint", lineno)? as u32,
+            )),
+            _ => Err(err(format!(
+                "drift script line {lineno}: edges must be [u, v] pairs"
+            ))),
+        }
+    };
+    script_lines(text)
+        .map(|(lineno, line)| {
+            let v = script_value(lineno, line)?;
+            let mut d = GraphDelta::default();
+            for e in script_list(&v, "insert", lineno)? {
+                d.insert.push(pair(e, lineno)?);
+            }
+            for e in script_list(&v, "delete", lineno)? {
+                d.delete.push(pair(e, lineno)?);
+            }
+            Ok(d)
+        })
+        .collect()
+}
+
+/// `{"replace": [{"row", "cols", "vals"?}], "scale": [{"row", "factor"}]}`
+/// per line.
+fn parse_csr_deltas(text: &str) -> Result<Vec<CsrDelta>, CliError> {
+    script_lines(text)
+        .map(|(lineno, line)| {
+            let v = script_value(lineno, line)?;
+            let mut ops = Vec::new();
+            for r in script_list(&v, "replace", lineno)? {
+                let row = script_u64(
+                    r.get("row").unwrap_or(&serde_json::Value::Null),
+                    "replace.row",
+                    lineno,
+                )? as usize;
+                let cols = script_list(r, "cols", lineno)?
+                    .iter()
+                    .map(|c| script_u64(c, "replace.cols", lineno).map(|c| c as u32))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let vals = match r.get("vals") {
+                    None => vec![1.0; cols.len()],
+                    Some(_) => script_list(r, "vals", lineno)?
+                        .iter()
+                        .map(|x| {
+                            x.as_f64().ok_or_else(|| {
+                                err(format!(
+                                    "drift script line {lineno}: replace.vals must be numbers"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                if vals.len() != cols.len() {
+                    return Err(err(format!(
+                        "drift script line {lineno}: replace row {row} has {} cols but {} vals",
+                        cols.len(),
+                        vals.len()
+                    )));
+                }
+                ops.push(RowOp::Replace { row, cols, vals });
+            }
+            for s in script_list(&v, "scale", lineno)? {
+                let row = script_u64(
+                    s.get("row").unwrap_or(&serde_json::Value::Null),
+                    "scale.row",
+                    lineno,
+                )? as usize;
+                let factor = s
+                    .get("factor")
+                    .and_then(serde_json::Value::as_f64)
+                    .ok_or_else(|| {
+                        err(format!(
+                            "drift script line {lineno}: scale.factor must be a number"
+                        ))
+                    })?;
+                ops.push(RowOp::Scale { row, factor });
+            }
+            Ok(CsrDelta { ops })
+        })
+        .collect()
+}
+
 /// Lane and pipeline span names every `estimate --trace-out` capture must
 /// contain (checked by `nbwp trace`, exercised in CI).
 const REQUIRED_SPANS: [&str; 11] = [
@@ -756,10 +1002,12 @@ fn trace_cmd(input: &str) -> Result<String, CliError> {
         let t = check.totals;
         return Ok(format!(
             "{input}: valid audit log — {} events retained of {} requests \
-             ({} exact hits, {} warm starts, {} cold, {} shadow runs, {} dropped)\n",
+             ({} exact hits, {} drift-patched, {} warm starts, {} cold, {} shadow runs, \
+             {} dropped)\n",
             check.events.len(),
             t.requests,
             t.exact_hits,
+            t.patched,
             t.near_hits,
             t.cold,
             t.shadow_runs,
@@ -823,6 +1071,7 @@ fn percentile(values: &[f64], q: f64) -> f64 {
 struct KindAgg {
     requests: u64,
     exact: u64,
+    patched: u64,
     near: u64,
     cold: u64,
     latencies: Vec<f64>,
@@ -841,14 +1090,15 @@ fn report_cmd(audit_path: &str, metrics_path: Option<&str>) -> Result<String, Cl
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "audit: {} requests — {} exact hits, {} warm starts, {} cold ({} events retained, {} dropped)",
-        t.requests, t.exact_hits, t.near_hits, t.cold, check.events.len(), t.dropped
+        "audit: {} requests — {} exact hits, {} drift-patched, {} warm starts, {} cold ({} events retained, {} dropped)",
+        t.requests, t.exact_hits, t.patched, t.near_hits, t.cold, check.events.len(), t.dropped
     );
     let served = t.requests.max(1) as f64;
     let _ = writeln!(
         out,
-        "  hit rate {:.1}% exact / {:.1}% warm; {} evaluations, {} curve probes across the stream",
+        "  hit rate {:.1}% exact / {:.1}% patched / {:.1}% warm; {} evaluations, {} curve probes across the stream",
         100.0 * t.exact_hits as f64 / served,
+        100.0 * t.patched as f64 / served,
         100.0 * t.near_hits as f64 / served,
         t.evaluations,
         t.grad_probes
@@ -861,6 +1111,7 @@ fn report_cmd(audit_path: &str, metrics_path: Option<&str>) -> Result<String, Cl
         agg.requests += 1;
         match ev.decision {
             CacheDecision::ExactHit => agg.exact += 1,
+            CacheDecision::Patched => agg.patched += 1,
             CacheDecision::NearHit => agg.near += 1,
             CacheDecision::Cold => agg.cold += 1,
         }
@@ -874,16 +1125,26 @@ fn report_cmd(audit_path: &str, metrics_path: Option<&str>) -> Result<String, Cl
     }
     let _ = writeln!(
         out,
-        "\n{:<6} {:>6} {:>6} {:>5} {:>5} {:>11} {:>11} {:>11} {:>11}",
-        "kind", "reqs", "exact", "warm", "cold", "lat p50 µs", "lat p95 µs", "lat max µs", "sim ms"
+        "\n{:<6} {:>6} {:>6} {:>5} {:>5} {:>5} {:>11} {:>11} {:>11} {:>11}",
+        "kind",
+        "reqs",
+        "exact",
+        "patch",
+        "warm",
+        "cold",
+        "lat p50 µs",
+        "lat p95 µs",
+        "lat max µs",
+        "sim ms"
     );
     for (kind, agg) in &kinds {
         let _ = writeln!(
             out,
-            "{:<6} {:>6} {:>6} {:>5} {:>5} {:>11.2} {:>11.2} {:>11.2} {:>11.3}",
+            "{:<6} {:>6} {:>6} {:>5} {:>5} {:>5} {:>11.2} {:>11.2} {:>11.2} {:>11.3}",
             kind,
             agg.requests,
             agg.exact,
+            agg.patched,
             agg.near,
             agg.cold,
             percentile(&agg.latencies, 0.5),
@@ -1014,7 +1275,8 @@ mod tests {
                 trace_out: None,
                 metrics: false,
                 metrics_out: None,
-                audit_out: None
+                audit_out: None,
+                drift: None
             }
         );
         let t = parse_args(&args(
@@ -1035,7 +1297,8 @@ mod tests {
                 trace_out: Some("t.json".into()),
                 metrics: true,
                 metrics_out: None,
-                audit_out: None
+                audit_out: None,
+                drift: None
             }
         );
         assert_eq!(
@@ -1066,7 +1329,8 @@ mod tests {
                 trace_out: None,
                 metrics: false,
                 metrics_out: None,
-                audit_out: None
+                audit_out: None,
+                drift: None
             }
         );
         let a = parse_args(&args("estimate spmm --input x.mtx --analytic")).unwrap();
@@ -1084,7 +1348,8 @@ mod tests {
                 trace_out: None,
                 metrics: false,
                 metrics_out: None,
-                audit_out: None
+                audit_out: None,
+                drift: None
             }
         );
     }
@@ -1136,7 +1401,8 @@ mod tests {
                 trace_out: None,
                 metrics: false,
                 metrics_out: None,
-                audit_out: None
+                audit_out: None,
+                drift: None
             }
         );
         // --input and --batch are mutually exclusive; one is required.
@@ -1145,6 +1411,131 @@ mod tests {
         // --cache-size and --exhaustive are single/batch specific.
         assert!(parse_args(&args("estimate cc --input x.mtx --cache-size 8")).is_err());
         assert!(parse_args(&args("estimate cc --batch b.txt --exhaustive")).is_err());
+    }
+
+    #[test]
+    fn parse_drift_flags() {
+        let d = parse_args(&args("estimate cc --input x.mtx --drift ops.jsonl")).unwrap();
+        assert_eq!(
+            d,
+            Command::Estimate {
+                workload: "cc".into(),
+                input: Some("x.mtx".into()),
+                batch: None,
+                cache_size: None,
+                seed: 42,
+                exhaustive: false,
+                strategy: None,
+                analytic: false,
+                trace_out: None,
+                metrics: false,
+                metrics_out: None,
+                audit_out: None,
+                drift: Some("ops.jsonl".into()),
+            }
+        );
+        // --drift replays one input and owns the search path.
+        assert!(parse_args(&args("estimate cc --batch b.txt --drift ops.jsonl")).is_err());
+        assert!(parse_args(&args(
+            "estimate cc --input x.mtx --drift o.jsonl --exhaustive"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "estimate cc --input x.mtx --drift o.jsonl --analytic"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "estimate cc --input x.mtx --drift o.jsonl --strategy analytic"
+        ))
+        .is_err());
+    }
+
+    /// End-to-end `estimate --drift`: replay JSONL delta scripts for cc and
+    /// spmm, check the per-step decision lines and summary, round-trip the
+    /// audit log through `nbwp trace` + `nbwp report`, and fail loudly on
+    /// malformed scripts and unsupported workloads.
+    #[test]
+    fn drift_replay_reports_decisions() {
+        let dir = std::env::temp_dir().join("nbwp_cli_drift_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("rma10.mtx");
+        run(&Command::Gen {
+            dataset: "rma10".into(),
+            scale: 0.005,
+            seed: 3,
+            out: mtx.to_str().unwrap().into(),
+        })
+        .unwrap();
+        let estimate = |workload: &str, drift: &std::path::Path, audit: Option<String>| {
+            run(&Command::Estimate {
+                workload: workload.into(),
+                input: Some(mtx.to_str().unwrap().into()),
+                batch: None,
+                cache_size: None,
+                seed: 3,
+                exhaustive: false,
+                strategy: None,
+                analytic: false,
+                trace_out: None,
+                metrics: false,
+                metrics_out: None,
+                audit_out: audit,
+                drift: Some(drift.to_str().unwrap().into()),
+            })
+        };
+
+        // cc: local edge edits, a deletion, and an empty step (a no-op the
+        // server must still serve as a patched decision).
+        let cc_ops = dir.join("cc.jsonl");
+        std::fs::write(
+            &cc_ops,
+            "# cc deltas\n{\"insert\": [[1, 2], [2, 3]]}\n\n{\"delete\": [[1, 2]]}\n{}\n",
+        )
+        .unwrap();
+        let text = estimate("cc", &cc_ops, None).unwrap();
+        assert!(text.contains("drift replay"), "{text}");
+        assert!(text.contains("base: threshold"), "{text}");
+        assert_eq!(text.matches("step ").count(), 3, "{text}");
+        assert!(text.contains("3 steps"), "{text}");
+        assert!(text.contains("patched"), "{text}");
+
+        // spmm: replaces (vals defaulting to ones) and a value-only scale;
+        // the audit log round-trips through trace validation + report.
+        let sp_ops = dir.join("spmm.jsonl");
+        std::fs::write(
+            &sp_ops,
+            "{\"replace\": [{\"row\": 1, \"cols\": [0, 2], \"vals\": [1.5, 2.0]}]}\n\
+             {\"replace\": [{\"row\": 4, \"cols\": [1]}], \"scale\": [{\"row\": 0, \"factor\": 2.0}]}\n",
+        )
+        .unwrap();
+        let audit = dir.join("drift.jsonl");
+        let text = estimate("spmm", &sp_ops, Some(audit.to_str().unwrap().into())).unwrap();
+        assert_eq!(text.matches("step ").count(), 2, "{text}");
+        assert!(text.contains("wrote audit log (2 events"), "{text}");
+        let checked = run(&Command::Trace {
+            input: audit.to_str().unwrap().into(),
+        })
+        .unwrap();
+        assert!(checked.contains("valid audit log"), "{checked}");
+        let report = run(&Command::Report {
+            audit: audit.to_str().unwrap().into(),
+            metrics: None,
+        })
+        .unwrap();
+        assert!(report.contains("drift-patched"), "{report}");
+        assert!(report.contains("spmm"), "{report}");
+
+        // Malformed scripts name the offending line; hh has no delta form.
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"insert\": [[1, 2]]}\nnonsense\n").unwrap();
+        let e = estimate("cc", &bad, None).unwrap_err();
+        assert!(e.0.contains("line 2"), "{}", e.0);
+        let e = estimate("hh", &cc_ops, None).unwrap_err();
+        assert!(e.0.contains("no delta form"), "{}", e.0);
+
+        for f in [&mtx, &cc_ops, &sp_ops, &audit, &bad] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]
@@ -1181,6 +1572,7 @@ mod tests {
                 metrics: false,
                 metrics_out: None,
                 audit_out: None,
+                drift: None,
             })
             .unwrap();
             assert!(text.contains("4 requests"), "{text}");
@@ -1205,6 +1597,7 @@ mod tests {
             metrics: false,
             metrics_out: None,
             audit_out: None,
+            drift: None
         })
         .is_err());
         let empty = dir.join("empty.txt");
@@ -1222,6 +1615,7 @@ mod tests {
             metrics: false,
             metrics_out: None,
             audit_out: None,
+            drift: None
         })
         .is_err());
         for f in [&m1, &m2, &reqs, &empty] {
@@ -1249,7 +1643,8 @@ mod tests {
                 trace_out: None,
                 metrics: false,
                 metrics_out: Some("m.prom".into()),
-                audit_out: Some("a.jsonl".into())
+                audit_out: Some("a.jsonl".into()),
+                drift: None,
             }
         );
         assert_eq!(
@@ -1307,6 +1702,7 @@ mod tests {
             metrics: false,
             metrics_out: Some(prom.to_str().unwrap().into()),
             audit_out: Some(audit.to_str().unwrap().into()),
+            drift: None,
         })
         .unwrap();
         assert!(text.contains("wrote audit log (1 events"), "{text}");
@@ -1343,6 +1739,7 @@ mod tests {
             metrics: false,
             metrics_out: Some(bmetrics.to_str().unwrap().into()),
             audit_out: Some(baudit.to_str().unwrap().into()),
+            drift: None,
         })
         .unwrap();
         assert!(text.contains("wrote audit log (2 events"), "{text}");
@@ -1420,6 +1817,7 @@ mod tests {
                 metrics: false,
                 metrics_out: None,
                 audit_out: None,
+                drift: None,
             })
             .unwrap();
             assert!(text.contains("estimated threshold"), "{wl}: {text}");
@@ -1441,6 +1839,7 @@ mod tests {
                 metrics: false,
                 metrics_out: None,
                 audit_out: None,
+                drift: None,
             })
             .unwrap();
             assert!(text.contains("(analytic)"), "{wl}: {text}");
@@ -1477,6 +1876,7 @@ mod tests {
                 metrics: true,
                 metrics_out: None,
                 audit_out: None,
+                drift: None,
             })
             .unwrap();
             assert!(text.contains("wrote trace"), "{text}");
@@ -1567,7 +1967,8 @@ mod tests {
             trace_out: None,
             metrics: false,
             metrics_out: None,
-            audit_out: None
+            audit_out: None,
+            drift: None
         })
         .is_err());
     }

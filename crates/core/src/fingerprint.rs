@@ -87,6 +87,11 @@ pub struct Fingerprint {
     pub degree_cv: f64,
     /// Maximum degree.
     pub max_degree: u64,
+    /// Exact sum of squared degrees — the integer second moment behind
+    /// `degree_cv`, carried so [`Fingerprint::apply_delta`] can adjust it
+    /// in O(|delta|) and re-derive `mean_degree`/`degree_cv` bitwise (the
+    /// first moment is `m`).
+    pub degree_sq_sum: u64,
     /// Degree histogram in log2 buckets: bucket 0 counts degree-0 elements,
     /// bucket `k ≥ 1` counts degrees in `[2^(k-1), 2^k)`. Doubles as a
     /// coarse quantile sketch via [`Fingerprint::quantile`].
@@ -116,6 +121,44 @@ fn log2_class(x: usize) -> u32 {
     usize::BITS - x.saturating_sub(1).leading_zeros()
 }
 
+/// Histogram bucket of a degree: bucket 0 for degree 0, else
+/// `⌊log2 d⌋ + 1`, capped at 63. Must match the sketch builders in
+/// nbwp-graph/nbwp-sparse bit-for-bit, or delta-patched histograms drift
+/// from fresh ones.
+fn log2_bucket(d: u64) -> usize {
+    if d == 0 {
+        0
+    } else {
+        ((64 - d.leading_zeros()) as usize).min(63)
+    }
+}
+
+/// The O(|delta|) summary a workload mutation feeds into
+/// [`Fingerprint::apply_delta`]: per-element degree transitions plus the
+/// already-known aggregate effects of the delta.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FingerprintDelta<'a> {
+    /// `(old degree, new degree)` for every touched element. Entries with
+    /// `old == new` are no-ops on the statistics (but the commit still
+    /// advances the digest chain).
+    pub degree_changes: &'a [(u64, u64)],
+    /// Maximum degree of the mutated input (the applier tracks it during
+    /// its compacting rebuild; a pure histogram can't recover a lowered
+    /// max).
+    pub new_max_degree: u64,
+    /// Change in the work count `m` (arcs / nonzeros). Must equal
+    /// `Σ (new − old)` over `degree_changes`.
+    pub m_delta: i64,
+    /// Denominator of the fill-density formula for this workload kind,
+    /// evaluated exactly as the fresh fingerprint path evaluates it (e.g.
+    /// `n.max(1) as f64 * cols.max(1) as f64` for spmm) so the patched
+    /// [`DensityClass`] matches bitwise.
+    pub density_denom: f64,
+    /// Order-sensitive commitment to the mutation script (from the delta
+    /// applier), mixed into the digest chain.
+    pub commit: u64,
+}
+
 impl Fingerprint {
     /// Exact-identity key (see module docs).
     #[must_use]
@@ -138,6 +181,50 @@ impl Fingerprint {
             cv_q: (self.degree_cv / 0.25).round() as i64,
             density: self.density_class,
         }
+    }
+
+    /// Updates every statistic in O(|delta|) after an input mutation,
+    /// without rescanning the input: histogram buckets move per degree
+    /// transition, the integer moments adjust exactly, `mean`/`cv` are
+    /// re-derived through [`nbwp_sim::degree_moments`] (the same float
+    /// sequence the sketch builders use), and the density class is
+    /// re-classified from the updated `m`. Every statistic is therefore
+    /// **bitwise equal** to a fresh fingerprint of the mutated input.
+    ///
+    /// The digest is the exception by design: it advances along a *delta
+    /// chain* — `digest' = mix64(digest, commit)` — rather than re-hashing
+    /// the input, so drifted-digest equality means "same base input and
+    /// same mutation script", which is exactly the identity the serving
+    /// cache needs (an O(m) re-hash would defeat the O(|delta|) budget).
+    ///
+    /// Precondition: `m` is the degree sum (true for every workload kind
+    /// here: arcs for cc, nonzeros for spmm/hh, `n·d` for dense).
+    pub fn apply_delta(&mut self, d: &FingerprintDelta<'_>) {
+        let mut checked: i64 = 0;
+        for &(old, new) in d.degree_changes {
+            if old != new {
+                self.log2_hist[log2_bucket(old)] -= 1;
+                self.log2_hist[log2_bucket(new)] += 1;
+            }
+            // Wrapping keeps the subtract-after-add panic-free in debug
+            // builds when a degree shrinks; the net result is exact.
+            self.degree_sq_sum = self
+                .degree_sq_sum
+                .wrapping_add(new * new)
+                .wrapping_sub(old * old);
+            checked += new as i64 - old as i64;
+        }
+        debug_assert_eq!(
+            checked, d.m_delta,
+            "m_delta inconsistent with degree_changes"
+        );
+        self.m = usize::try_from(self.m as i64 + d.m_delta).expect("delta drove m negative");
+        self.max_degree = d.new_max_degree;
+        let (mean, cv) = nbwp_sim::degree_moments(self.n, self.m as u64, self.degree_sq_sum);
+        self.mean_degree = mean;
+        self.degree_cv = cv;
+        self.density_class = DensityClass::of(self.m as f64 / d.density_denom);
+        self.digest = mix64(self.digest, d.commit);
     }
 
     /// Approximate degree quantile from the log2 histogram: the lower bound
@@ -192,6 +279,7 @@ mod tests {
             mean_degree: m as f64 / n.max(1) as f64,
             degree_cv: cv,
             max_degree: 7,
+            degree_sq_sum: 49 * n as u64,
             log2_hist: hist,
             density_class: DensityClass::of(m as f64 / (n.max(1) as f64 * n.max(1) as f64)),
             digest,
@@ -244,5 +332,42 @@ mod tests {
     fn mix64_is_order_sensitive() {
         let h = 0xcbf2_9ce4_8422_2325;
         assert_ne!(mix64(mix64(h, 1), 2), mix64(mix64(h, 2), 1));
+    }
+
+    #[test]
+    fn apply_delta_moves_histogram_and_moments() {
+        // 1000 elements of degree 7 (bucket 3); one grows to 20 (bucket 5),
+        // one shrinks to 0 (bucket 0).
+        let mut f = fp(1000, 7000, 0.0, 99);
+        let delta = FingerprintDelta {
+            degree_changes: &[(7, 20), (7, 0)],
+            new_max_degree: 20,
+            m_delta: 6,
+            density_denom: 1000.0 * 1000.0,
+            commit: 0xDEAD,
+        };
+        let before_digest = f.digest;
+        f.apply_delta(&delta);
+        assert_eq!(f.m, 7006);
+        assert_eq!(f.max_degree, 20);
+        assert_eq!(f.log2_hist[3], 998);
+        assert_eq!(f.log2_hist[5], 1);
+        assert_eq!(f.log2_hist[0], 1);
+        assert_eq!(f.degree_sq_sum, 49 * 998 + 400);
+        // Moments re-derived through the shared helper.
+        let (mean, cv) = nbwp_sim::degree_moments(1000, 7006, f.degree_sq_sum);
+        assert_eq!(f.mean_degree, mean);
+        assert_eq!(f.degree_cv, cv);
+        assert_eq!(f.digest, mix64(before_digest, 0xDEAD));
+        // A second delta chains the digest.
+        let d2 = FingerprintDelta {
+            degree_changes: &[],
+            new_max_degree: 20,
+            m_delta: 0,
+            density_denom: 1000.0 * 1000.0,
+            commit: 0xBEEF,
+        };
+        f.apply_delta(&d2);
+        assert_eq!(f.digest, mix64(mix64(before_digest, 0xDEAD), 0xBEEF));
     }
 }

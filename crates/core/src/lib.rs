@@ -33,6 +33,7 @@
 #![warn(clippy::all)]
 
 pub mod baselines;
+pub mod drift;
 pub mod energy;
 pub mod estimator;
 pub mod evalcache;
@@ -49,6 +50,9 @@ pub mod workloads;
 /// One-stop imports for examples, tests and harnesses.
 pub mod prelude {
     pub use crate::baselines::{self, naive_average, naive_static};
+    pub use crate::drift::{
+        DriftDecision, DriftServer, DriftStep, DriftWorkload, PATCH_CROSSOVER_FRACTION,
+    };
     pub use crate::energy::{exhaustive_energy, EnergySweep, PowerModel};
     #[allow(deprecated)] // the shims stay importable through the prelude
     pub use crate::estimator::{
@@ -65,7 +69,7 @@ pub mod prelude {
         Summary,
     };
     pub use crate::extrapolate::{calibrate_extrapolator, fit_power, Extrapolator};
-    pub use crate::fingerprint::{DensityClass, Fingerprint, Fingerprinted};
+    pub use crate::fingerprint::{DensityClass, Fingerprint, FingerprintDelta, Fingerprinted};
     pub use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
     pub use crate::profile::{Profilable, ProfiledWorkload, Resampleable};
     #[allow(deprecated)] // the shims stay importable through the prelude
@@ -76,8 +80,8 @@ pub mod prelude {
         race_then_fine_pooled, race_then_fine_profiled, race_then_fine_with,
     };
     pub use crate::search::{
-        gradient_descent_analytic, ProfiledSearcher, SearchOutcome, Searcher, Strategy,
-        UnknownStrategy, DEFAULT_GRADIENT_EVALS,
+        gradient_descent_analytic, minimize_curve, CurveMinimum, ProfiledSearcher, SearchOutcome,
+        Searcher, Strategy, UnknownStrategy, DEFAULT_GRADIENT_EVALS,
     };
     pub use crate::threshold_cache::{CacheStats, ThresholdCache, SHADOW_REGRET_CAPACITY};
     pub use crate::workloads::{

@@ -625,30 +625,24 @@ impl<'c> CurveMemo<'c> {
     }
 }
 
-/// Subgradient descent on the cost curve: the candidate grid collapses
-/// onto distinct splits, a stride scan of the adjacent-candidate
-/// subgradient sign finds every descending→ascending bracket, and each
-/// bracket bisects to a local minimum in O(log) probes. Only the surviving
-/// candidates (plus descending/ascending boundary ends) are evaluated as
-/// real candidates through the profiled workload.
-fn analytic_impl<W: Profilable>(
-    w: &W,
-    pw: &ProfiledWorkload<'_, W>,
+/// Shared candidate-selection core of [`Strategy::Analytic`] and
+/// [`minimize_curve`]: collapses the threshold grid onto distinct splits
+/// and locates the local-minimum candidates on the curve — via warm
+/// hill-descent when a hint is given, via the stride scan + sign-change
+/// bisection otherwise. Returns the collapsed candidates, the chosen
+/// indices (sorted, deduplicated), and the memo holding every curve total
+/// probed along the way.
+fn select_on_curve<'c>(
+    curve: &'c dyn CurveEval,
+    space: &ThresholdSpace,
     step: f64,
     warm: Option<f64>,
-    rec: &Recorder,
-    pool: &Pool,
-) -> SearchOutcome {
-    let curve = w
-        .curve(pw.profile())
-        .expect("workload exposes no cost curve; use a profile-free strategy");
-    let space = w.space();
-
+) -> (Vec<(f64, usize)>, Vec<usize>, CurveMemo<'c>) {
     // Collapse the threshold grid onto distinct splits, keeping the lowest
     // threshold of each run of equal splits (the exhaustive tie-break
     // prefers it on the flat stretch they share).
     let mut cands: Vec<(f64, usize)> = Vec::new();
-    for t in grid_points(&space, step) {
+    for t in grid_points(space, step) {
         let s = curve.split_for(t);
         debug_assert!(
             cands.last().is_none_or(|&(_, prev)| prev <= s),
@@ -660,7 +654,7 @@ fn analytic_impl<W: Profilable>(
     }
 
     let m = cands.len();
-    let mut memo = CurveMemo::new(curve.as_ref(), &cands);
+    let mut memo = CurveMemo::new(curve, &cands);
     let mut chosen: Vec<usize> = Vec::new();
     if m == 1 {
         chosen.push(0);
@@ -727,6 +721,79 @@ fn analytic_impl<W: Profilable>(
         chosen.sort_unstable();
         chosen.dedup();
     }
+    (cands, chosen, memo)
+}
+
+/// A curve-level minimum located by [`minimize_curve`]: the argmin
+/// threshold/split, the curve total there, and the probe count spent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurveMinimum {
+    /// Argmin threshold (lowest threshold of its flat stretch — the same
+    /// tie-break [`SearchOutcome::from_evals`] applies).
+    pub threshold: f64,
+    /// Split index the argmin threshold maps to.
+    pub split: usize,
+    /// Curve total at the argmin.
+    pub total: SimTime,
+    /// Curve-total probes spent (the analytic strategy's `grad_probes`
+    /// currency).
+    pub probes: usize,
+}
+
+/// Minimizes a cost curve directly — no workload evaluations, totals come
+/// straight from [`CurveEval::total_at`]. The same candidate collapse and
+/// warm/cold selection as [`Strategy::Analytic`]: with `warm`, hill-descend
+/// from the hint (the drift-serving nudge path); without it, the stride
+/// scan + bisection cold search. Among the surviving local minima the
+/// lowest `(total, threshold)` wins, matching the exhaustive tie-break, so
+/// a warm call started inside the cold argmin's basin returns the cold
+/// answer exactly.
+#[must_use]
+pub fn minimize_curve(
+    curve: &dyn CurveEval,
+    space: &ThresholdSpace,
+    step: f64,
+    warm: Option<f64>,
+) -> CurveMinimum {
+    let (cands, chosen, mut memo) = select_on_curve(curve, space, step, warm);
+    let mut best = chosen[0];
+    let mut best_total = memo.total(best);
+    for &i in &chosen[1..] {
+        let t = memo.total(i);
+        // Candidates are threshold-sorted, so strict `<` keeps the lowest
+        // threshold on ties.
+        if t < best_total {
+            best = i;
+            best_total = t;
+        }
+    }
+    CurveMinimum {
+        threshold: cands[best].0,
+        split: cands[best].1,
+        total: best_total,
+        probes: memo.probes,
+    }
+}
+
+/// Subgradient descent on the cost curve: the candidate grid collapses
+/// onto distinct splits, a stride scan of the adjacent-candidate
+/// subgradient sign finds every descending→ascending bracket, and each
+/// bracket bisects to a local minimum in O(log) probes. Only the surviving
+/// candidates (plus descending/ascending boundary ends) are evaluated as
+/// real candidates through the profiled workload.
+fn analytic_impl<W: Profilable>(
+    w: &W,
+    pw: &ProfiledWorkload<'_, W>,
+    step: f64,
+    warm: Option<f64>,
+    rec: &Recorder,
+    pool: &Pool,
+) -> SearchOutcome {
+    let curve = w
+        .curve(pw.profile())
+        .expect("workload exposes no cost curve; use a profile-free strategy");
+    let space = w.space();
+    let (cands, chosen, memo) = select_on_curve(curve.as_ref(), &space, step, warm);
 
     let thresholds: Vec<f64> = chosen.iter().map(|&i| cands[i].0).collect();
     let mut out = SearchOutcome::from_evals(eval_grid(pw, &thresholds, rec, pool));

@@ -123,10 +123,21 @@ pub struct WarmHint {
     pub cold_probes: usize,
 }
 
+/// An exact entry with the drift generation it was computed at.
+struct Stamped {
+    est: SamplingEstimate,
+    generation: u64,
+}
+
 struct CacheInner {
     capacity: usize,
     tick: u64,
-    exact: HashMap<CacheKey, (SamplingEstimate, u64)>,
+    /// Monotone drift epoch: bumped by [`ThresholdCache::advance_generation`]
+    /// whenever a workload delta lands. Exact entries stamped with an older
+    /// generation are invalid — generations only grow, so a stale entry can
+    /// never become fresh again.
+    generation: u64,
+    exact: HashMap<CacheKey, (Stamped, u64)>,
     near: HashMap<NearCacheKey, (WarmHint, u64)>,
 }
 
@@ -170,6 +181,14 @@ pub struct CacheStats {
     pub probes_saved: u64,
     /// Warm hits that were shadow-priced against the cold path.
     pub shadow_runs: u64,
+    /// Drift servings where the patched curve kept the cached threshold.
+    pub patched_hits: u64,
+    /// Drift servings where the warm hill-descent nudged the threshold.
+    pub patched_nudges: u64,
+    /// Drift servings that crossed over to a full rebuild + cold search.
+    pub patched_rebuilds: u64,
+    /// Exact entries dropped by a generation advance (lazily, on lookup).
+    pub stale_evictions: u64,
 }
 
 /// Bounded-LRU decision cache shared across estimator runs. Thread-safe:
@@ -185,6 +204,10 @@ pub struct ThresholdCache {
     probes_saved: AtomicU64,
     shadow_runs: AtomicU64,
     shadow_tick: AtomicU64,
+    patched_hits: AtomicU64,
+    patched_nudges: AtomicU64,
+    patched_rebuilds: AtomicU64,
+    stale_evictions: AtomicU64,
     regrets: Mutex<Vec<f64>>,
 }
 
@@ -203,6 +226,7 @@ impl ThresholdCache {
             inner: Mutex::new(CacheInner {
                 capacity: capacity.max(1),
                 tick: 0,
+                generation: 0,
                 exact: HashMap::new(),
                 near: HashMap::new(),
             }),
@@ -213,19 +237,53 @@ impl ThresholdCache {
             probes_saved: AtomicU64::new(0),
             shadow_runs: AtomicU64::new(0),
             shadow_tick: AtomicU64::new(0),
+            patched_hits: AtomicU64::new(0),
+            patched_nudges: AtomicU64::new(0),
+            patched_rebuilds: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
             regrets: Mutex::new(Vec::new()),
         }
     }
 
+    /// Current drift generation (0 until the first delta lands).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("threshold cache poisoned")
+            .generation
+    }
+
+    /// Advances the drift generation, returning the new value. Exact
+    /// entries stamped with an older generation become permanently invalid
+    /// (dropped lazily on their next lookup); near-key warm hints survive —
+    /// they are advisory starting points, not served results, so a slightly
+    /// stale hint still saves probes while the pipeline recomputes the
+    /// decision on the patched curves.
+    pub fn advance_generation(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("threshold cache poisoned");
+        inner.generation += 1;
+        inner.generation
+    }
+
     /// Exact-key lookup. A hit refreshes recency and returns a clone of the
-    /// cached estimate — bitwise-identical to the cold-path result.
+    /// cached estimate — bitwise-identical to the cold-path result. Entries
+    /// stamped with an older drift generation than the cache's current one
+    /// are dropped here instead of served (monotone invalidation).
     #[must_use]
     pub fn get_exact(&self, key: &CacheKey) -> Option<SamplingEstimate> {
         let mut inner = self.inner.lock().expect("threshold cache poisoned");
         let tick = inner.touch();
-        if let Some((est, t)) = inner.exact.get_mut(key) {
+        let generation = inner.generation;
+        if let Some((stamped, t)) = inner.exact.get_mut(key) {
+            if stamped.generation < generation {
+                inner.exact.remove(key);
+                drop(inner);
+                self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
             *t = tick;
-            let est = est.clone();
+            let est = stamped.est.clone();
             drop(inner);
             self.exact_hits.fetch_add(1, Ordering::Relaxed);
             return Some(est);
@@ -301,12 +359,32 @@ impl ThresholdCache {
             .clone()
     }
 
-    /// Inserts a freshly computed decision under both keys.
+    /// Records how a drift serving resolved (see [`CacheStats`]).
+    pub fn record_patched_hit(&self) {
+        self.patched_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a drift serving whose warm hill-descent moved the threshold.
+    pub fn record_patched_nudge(&self) {
+        self.patched_nudges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a drift serving that crossed over to a full rebuild.
+    pub fn record_patched_rebuild(&self) {
+        self.patched_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts a freshly computed decision under both keys, stamped with
+    /// the current drift generation.
     pub fn insert(&self, key: CacheKey, near: NearCacheKey, est: &SamplingEstimate) {
         let mut inner = self.inner.lock().expect("threshold cache poisoned");
         let tick = inner.touch();
         let capacity = inner.capacity;
-        insert_lru(&mut inner.exact, capacity, key, est.clone(), tick);
+        let stamped = Stamped {
+            est: est.clone(),
+            generation: inner.generation,
+        };
+        insert_lru(&mut inner.exact, capacity, key, stamped, tick);
         let hint = WarmHint {
             sample_threshold: est.sample_threshold,
             cold_probes: est.grad_probes,
@@ -326,6 +404,10 @@ impl ThresholdCache {
             insertions: self.insertions.load(Ordering::Relaxed),
             probes_saved: self.probes_saved.load(Ordering::Relaxed),
             shadow_runs: self.shadow_runs.load(Ordering::Relaxed),
+            patched_hits: self.patched_hits.load(Ordering::Relaxed),
+            patched_nudges: self.patched_nudges.load(Ordering::Relaxed),
+            patched_rebuilds: self.patched_rebuilds.load(Ordering::Relaxed),
+            stale_evictions: self.stale_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -349,7 +431,9 @@ impl ThresholdCache {
     /// later flush only reports activity since this one. Counter names:
     /// `threshold_cache.hit`, `threshold_cache.near_hit`,
     /// `threshold_cache.miss`, `threshold_cache.insert`,
-    /// `threshold_cache.probes_saved`, `threshold_cache.shadow_runs`;
+    /// `threshold_cache.probes_saved`, `threshold_cache.shadow_runs`,
+    /// `threshold_cache.patched_hit`, `threshold_cache.patched_nudge`,
+    /// `threshold_cache.patched_rebuild`, `threshold_cache.stale_evictions`;
     /// retained shadow-regret observations drain into the
     /// `threshold_cache.regret_pct` histogram.
     pub fn flush_metrics(&self, rec: &Recorder) {
@@ -376,6 +460,22 @@ impl ThresholdCache {
         rec.counter_add(
             "threshold_cache.shadow_runs",
             self.shadow_runs.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.patched_hit",
+            self.patched_hits.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.patched_nudge",
+            self.patched_nudges.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.patched_rebuild",
+            self.patched_rebuilds.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.stale_evictions",
+            self.stale_evictions.swap(0, Ordering::Relaxed),
         );
         let drained: Vec<f64> = {
             let mut regrets = self.regrets.lock().expect("shadow regrets poisoned");
@@ -473,6 +573,53 @@ mod tests {
         assert!(cache.get_exact(&key(2)).is_none());
         assert!(cache.get_exact(&key(3)).is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn generation_advance_invalidates_exact_entries_monotonically() {
+        let cache = ThresholdCache::new(8);
+        let nk = NearCacheKey::of(near(4), Strategy::Analytic { step: None });
+        cache.insert(key(1), nk, &est(42.0));
+        assert_eq!(cache.generation(), 0);
+        assert!(cache.get_exact(&key(1)).is_some());
+
+        // A delta lands: the stale exact entry is dropped on lookup, but
+        // the advisory near-key hint survives as a warm start.
+        assert_eq!(cache.advance_generation(), 1);
+        assert!(cache.get_exact(&key(1)).is_none());
+        assert!(cache.get_exact(&key(1)).is_none()); // stays gone
+        assert!(cache.get_near(&nk).is_some());
+        assert_eq!(cache.stats().stale_evictions, 1);
+
+        // Re-inserting stamps the current generation; a further advance
+        // invalidates again — staleness is monotone, never reversible.
+        cache.insert(key(1), nk, &est(43.0));
+        assert!(cache.get_exact(&key(1)).is_some());
+        cache.advance_generation();
+        cache.advance_generation();
+        assert!(cache.get_exact(&key(1)).is_none());
+        assert_eq!(cache.stats().stale_evictions, 2);
+    }
+
+    #[test]
+    fn patched_counters_flush_as_metrics() {
+        let cache = ThresholdCache::new(4);
+        cache.record_patched_hit();
+        cache.record_patched_hit();
+        cache.record_patched_nudge();
+        cache.record_patched_rebuild();
+        let s = cache.stats();
+        assert_eq!(
+            (s.patched_hits, s.patched_nudges, s.patched_rebuilds),
+            (2, 1, 1)
+        );
+        let rec = Recorder::new();
+        cache.flush_metrics(&rec);
+        assert_eq!(cache.stats(), CacheStats::default());
+        let m = rec.finish().metrics;
+        assert_eq!(m.counter("threshold_cache.patched_hit"), Some(2));
+        assert_eq!(m.counter("threshold_cache.patched_nudge"), Some(1));
+        assert_eq!(m.counter("threshold_cache.patched_rebuild"), Some(1));
     }
 
     #[test]

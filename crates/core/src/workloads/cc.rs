@@ -4,14 +4,18 @@
 
 use std::sync::{Arc, OnceLock};
 
+use std::ops::Range;
+
 use nbwp_graph::cc::{hybrid_cc, CcCostCurve, CcCostProfile};
+use nbwp_graph::delta::GraphDelta;
 use nbwp_graph::features::degree_sketch;
 use nbwp_graph::{sample as gsample, Graph};
 use nbwp_par::Pool;
 use nbwp_sim::{CurveEval, KernelStats, Platform, ProfileScratch, RunReport, SimTime};
 use rand::rngs::SmallRng;
 
-use crate::fingerprint::{mix64, DensityClass, Fingerprint, Fingerprinted};
+use crate::drift::DriftWorkload;
+use crate::fingerprint::{mix64, DensityClass, Fingerprint, FingerprintDelta, Fingerprinted};
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 use crate::profile::Profilable;
 
@@ -123,6 +127,7 @@ impl Fingerprinted for CcWorkload {
                     mean_degree: sk.mean,
                     degree_cv: sk.cv,
                     max_degree: sk.max,
+                    degree_sq_sum: sk.sum_sq,
                     log2_hist: sk.log2_hist,
                     density_class: DensityClass::of(density),
                     // Structure + platform + sampler mode. `host_threads` is
@@ -153,6 +158,56 @@ impl PartitionedWorkload for CcWorkload {
 
     fn platform(&self) -> &Platform {
         &self.platform
+    }
+}
+
+impl DriftWorkload for CcWorkload {
+    type Delta = GraphDelta;
+
+    fn apply_delta(&self, delta: &GraphDelta) -> (CcWorkload, Range<usize>) {
+        // Force the base fingerprint *before* mutating so the chained
+        // digest is well-defined over (base input, delta script).
+        let mut fp = self.fingerprint();
+        let (g2, info) = delta.apply(&self.graph);
+        let n = g2.n();
+        fp.apply_delta(&FingerprintDelta {
+            degree_changes: &info.degree_changes,
+            new_max_degree: info.new_max_degree,
+            m_delta: info.arcs_delta,
+            // Same fill-density denominator the fresh path uses above.
+            density_denom: n.max(1) as f64 * n.max(1) as f64,
+            commit: info.commit,
+        });
+        let span = match (info.touched.first(), info.touched.last()) {
+            (Some(&a), Some(&b)) => a..b + 1,
+            _ => 0..0,
+        };
+        let cell = OnceLock::new();
+        cell.set(fp).expect("freshly created OnceLock");
+        let next = CcWorkload {
+            graph: Arc::new(g2),
+            platform: self.platform,
+            sampler: self.sampler,
+            host_threads: self.host_threads,
+            fp: Arc::new(cell),
+        };
+        (next, span)
+    }
+
+    fn patch_profile(
+        &self,
+        profile: &mut CcCostProfile,
+        span: Range<usize>,
+        _scratch: &mut ProfileScratch,
+    ) {
+        // The profile's curves live in plain vectors (no arena views), so
+        // the span patch needs no scratch; a whole-input span is the full
+        // in-place rebuild.
+        profile.patch(&self.graph, span.start, span.end);
+    }
+
+    fn units(&self) -> usize {
+        self.graph.n()
     }
 }
 

@@ -58,6 +58,7 @@ impl Fingerprinted for DenseGemmWorkload {
             mean_degree: n as f64,
             degree_cv: 0.0,
             max_degree: d,
+            degree_sq_sum: n as u64 * d * d,
             log2_hist: hist,
             density_class: DensityClass::Dense,
             digest,

@@ -297,6 +297,7 @@ impl Fingerprinted for HhWorkload {
                     mean_degree: sk.mean,
                     degree_cv: sk.cv,
                     max_degree: sk.max,
+                    degree_sq_sum: sk.sum_sq,
                     log2_hist: sk.log2_hist,
                     density_class: DensityClass::of(density),
                     digest,

@@ -3,22 +3,25 @@
 //! the percentage of *work volume* (not rows) assigned to the CPU; the
 //! load vector `L_AB` maps it to a split row index.
 
+use std::ops::Range;
 use std::sync::{Arc, OnceLock};
 
 use nbwp_par::Pool;
 use nbwp_sim::{
     CurveEval, KernelStats, Platform, ProfileScratch, RunBreakdown, RunReport, SimTime,
 };
+use nbwp_sparse::delta::CsrDelta;
 use nbwp_sparse::features::structure_sketch;
 use nbwp_sparse::ops::{load_vector, prefix_sums, split_row_for_load};
 use nbwp_sparse::sample::sample_submatrix_frac;
 use nbwp_sparse::spgemm::{
-    row_profile, spgemm_range, stats_for_rows, RowCost, RowCurves, ENTRY_BYTES,
+    row_profile, row_profile_range, spgemm_range, stats_for_rows, RowCost, RowCurves, ENTRY_BYTES,
 };
 use nbwp_sparse::{Csr, SpmmCostCurve};
 use rand::rngs::SmallRng;
 
-use crate::fingerprint::{mix64, DensityClass, Fingerprint, Fingerprinted};
+use crate::drift::DriftWorkload;
+use crate::fingerprint::{mix64, DensityClass, Fingerprint, FingerprintDelta, Fingerprinted};
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
 use crate::profile::{Profilable, Resampleable};
 
@@ -244,6 +247,103 @@ impl Profilable for SpmmWorkload {
     }
 }
 
+impl DriftWorkload for SpmmWorkload {
+    type Delta = CsrDelta;
+
+    fn apply_delta(&self, delta: &CsrDelta) -> (SpmmWorkload, Range<usize>) {
+        // Force the base fingerprint *before* mutating so the chained
+        // digest is well-defined over (base input, delta script).
+        let mut fp = self.fingerprint();
+        let (a2, info) = delta.apply(&self.a);
+        let n = a2.rows();
+        fp.apply_delta(&FingerprintDelta {
+            degree_changes: &info.degree_changes,
+            new_max_degree: info.new_max_degree,
+            m_delta: info.nnz_delta,
+            // Same fill-density denominator the fresh path uses above.
+            density_denom: n.max(1) as f64 * a2.cols().max(1) as f64,
+            commit: info.commit,
+        });
+        // A×A coupling: row i's cost reads the B (= A) rows its columns
+        // name, so rows *referencing* an edited row are affected too. One
+        // O(nnz) mark scan over the mutated matrix finds them — unedited
+        // rows kept their column lists, so scanning `a2` is exact.
+        let mut edited = vec![false; n];
+        for &r in &info.touched_rows {
+            edited[r] = true;
+        }
+        let (mut lo, mut hi) = (0, 0);
+        for i in 0..n {
+            let (cols, _) = a2.row(i);
+            if edited[i] || cols.iter().any(|&k| edited[k as usize]) {
+                if hi == 0 {
+                    lo = i;
+                }
+                hi = i + 1;
+            }
+        }
+        let span = lo..hi;
+        // Re-profile only the affected span; rows outside it kept both
+        // their own pattern and every referenced row's pattern.
+        let mut profile = (*self.profile).clone();
+        profile[span.clone()].copy_from_slice(&row_profile_range(&a2, &a2, span.start, span.end));
+        // Patch the load prefix (inclusive layout, no leading zero):
+        // recompute the span sequentially, then shift the untouched tail
+        // by the net change.
+        let mut load_prefix = (*self.load_prefix).clone();
+        if !span.is_empty() {
+            let old_tail = load_prefix[span.end - 1];
+            let mut acc = if span.start > 0 {
+                load_prefix[span.start - 1]
+            } else {
+                0
+            };
+            for i in span.clone() {
+                acc += profile[i].b_entries;
+                load_prefix[i] = acc;
+            }
+            let shift = acc.wrapping_sub(old_tail);
+            if shift != 0 {
+                for slot in &mut load_prefix[span.end..] {
+                    *slot = slot.wrapping_add(shift);
+                }
+            }
+        }
+        let cell = OnceLock::new();
+        cell.set(fp).expect("freshly created OnceLock");
+        let next = SpmmWorkload {
+            a: Arc::new(a2),
+            profile: Arc::new(profile),
+            load_prefix: Arc::new(load_prefix),
+            platform: self.platform,
+            fp: Arc::new(cell),
+        };
+        (next, span)
+    }
+
+    fn patch_profile(
+        &self,
+        profile: &mut SpmmProfile,
+        span: Range<usize>,
+        scratch: &mut ProfileScratch,
+    ) {
+        // A whole-input span is the crossover fallback: `patch_in` over
+        // `0..rows` recomputes every curve in place, reusing the arenas.
+        profile.curves.patch_in(
+            &self.profile,
+            span.start,
+            span.end,
+            self.a.size_bytes(),
+            scratch,
+        );
+        profile.partition = self.partition_cost();
+    }
+
+    fn units(&self) -> usize {
+        self.a.rows()
+    }
+}
+
 /// A miniature spmm workload derived from a full [`SpmmProfile`] by
 /// [`Resampleable::resample`] — the subset's curves, load vector, and
 /// Phase I price, with fixed costs rescaled to the subset's measured work
@@ -345,6 +445,7 @@ impl Fingerprinted for SpmmWorkload {
                     mean_degree: sk.mean,
                     degree_cv: sk.cv,
                     max_degree: sk.max,
+                    degree_sq_sum: sk.sum_sq,
                     log2_hist: sk.log2_hist,
                     density_class: DensityClass::of(density),
                     // Structure + platform; the row profile and load prefix

@@ -109,6 +109,76 @@ impl CcCostProfile {
         }
     }
 
+    /// Rewrites the profile in place after vertices `lo..hi` changed
+    /// adjacency (e.g. via `GraphDelta::apply` — an edge `{u, v}` only
+    /// changes the adjacency lists of `u` and `v`, so the touched-vertex
+    /// interval bounds the span). `g` is the **mutated** graph. Runs in
+    /// O(Σ degree over the span + shift) entirely in place — no scratch
+    /// arena needed:
+    ///
+    /// * `cross` recomputes its span from `cross[lo]` and shifts the tail
+    ///   by the span delta (wrapping, two's-complement identical to the
+    ///   rebuild);
+    /// * `arcs_gpu` is a suffix sum: its span recomputes backwards from
+    ///   the unchanged `arcs_gpu[hi]` and the prefix `0..lo` shifts;
+    /// * the control-flow memos are cleared — they key on graph content.
+    ///
+    /// The patched curves are **bitwise identical** to
+    /// `CcCostProfile::new_in(g, ..)` (the patch-equals-rebuild contract);
+    /// `patch(g, 0, n)` is the crossover fallback — a full in-place
+    /// rebuild.
+    ///
+    /// # Panics
+    /// Panics if `g.n() != n`, `lo > hi`, or `hi > n`.
+    pub fn patch(&mut self, g: &Graph, lo: usize, hi: usize) {
+        assert_eq!(g.n(), self.n, "patch graph has a different vertex count");
+        assert!(
+            lo <= hi && hi <= self.n,
+            "patch span {lo}..{hi} out of bounds"
+        );
+        self.arcs = g.arcs() as u64;
+        self.size_bytes = g.size_bytes();
+        self.dfs_memo.lock().expect("dfs memo poisoned").clear();
+        self.sv_memo.lock().expect("sv memo poisoned").clear();
+        if lo == hi {
+            return;
+        }
+        let ag = self.arcs_gpu.as_mut_slice();
+        let cx = self.cross.as_mut_slice();
+        let old_cx_hi = cx[hi];
+        let old_ag_lo = ag[lo];
+        // Forward span pass: cross prefix values, with the per-vertex
+        // min-histogram (2·greater) parked in ag for the reverse pass.
+        let mut acc = cx[lo];
+        for u in lo..hi {
+            let adj = g.neighbors(u);
+            let lesser = adj.partition_point(|&v| (v as usize) <= u);
+            let greater = (adj.len() - lesser) as u64;
+            ag[u] = 2 * greater;
+            acc = acc.wrapping_add(greater).wrapping_sub(lesser as u64);
+            cx[u + 1] = acc;
+        }
+        let delta_cx = cx[hi].wrapping_sub(old_cx_hi);
+        if delta_cx != 0 {
+            for slot in &mut cx[hi + 1..] {
+                *slot = slot.wrapping_add(delta_cx);
+            }
+        }
+        // Reverse span pass: fold the parked histogram into suffix sums
+        // starting from the untouched ag[hi] (ag[n] is the 0 sentinel).
+        let mut suffix = ag[hi];
+        for u in (lo..hi).rev() {
+            suffix += ag[u];
+            ag[u] = suffix;
+        }
+        let delta_ag = ag[lo].wrapping_sub(old_ag_lo);
+        if delta_ag != 0 {
+            for slot in &mut ag[..lo] {
+                *slot = slot.wrapping_add(delta_ag);
+            }
+        }
+    }
+
     /// Returns the profile's curve buffers to `scratch` for reuse by the
     /// next build (the control-flow memos are dropped — they key on the
     /// graph and cannot be reused across inputs).
@@ -335,6 +405,46 @@ mod tests {
             }
             warm.recycle(&mut scratch);
         }
+    }
+
+    #[test]
+    fn patch_equals_rebuild_after_graph_delta() {
+        use crate::delta::GraphDelta;
+        let platform = Platform::k40c_xeon_e5_2650();
+        let base = gen::web(800, 4, 7);
+        let deltas = vec![
+            GraphDelta::default(),
+            GraphDelta::inserts(vec![(0, 799), (13, 14)]),
+            GraphDelta::deletes(vec![base.edges().next().unwrap()]),
+            GraphDelta {
+                insert: vec![(100, 200), (100, 201), (5, 6)],
+                delete: vec![(100, 200), (700, 701)],
+            },
+        ];
+        for delta in deltas {
+            let mut profile = CcCostProfile::new(&base);
+            let (g2, info) = delta.apply(&base);
+            let (lo, hi) = match (info.touched.first(), info.touched.last()) {
+                (Some(&a), Some(&b)) => (a, b + 1),
+                _ => (0, 0),
+            };
+            profile.patch(&g2, lo, hi);
+            let fresh = CcCostProfile::new(&g2);
+            assert_eq!(profile.raw_curves(), fresh.raw_curves(), "span {lo}..{hi}");
+            for t in [0.0, 12.5, 50.0, 99.6, 100.0] {
+                assert_eq!(
+                    profile.report_at(&g2, t, &platform),
+                    fresh.report_at(&g2, t, &platform),
+                    "span {lo}..{hi}, t = {t}"
+                );
+            }
+        }
+        // Full-span patch is the crossover fallback: an in-place rebuild.
+        let mut profile = CcCostProfile::new(&base);
+        let (g2, _) = GraphDelta::inserts(vec![(1, 790)]).apply(&base);
+        profile.patch(&g2, 0, g2.n());
+        let fresh = CcCostProfile::new(&g2);
+        assert_eq!(profile.raw_curves(), fresh.raw_curves());
     }
 
     #[test]

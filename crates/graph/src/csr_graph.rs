@@ -63,6 +63,21 @@ impl Graph {
         Graph::from_edges(m.rows(), &edges)
     }
 
+    /// Builds a graph directly from CSR adjacency arrays the caller has
+    /// already put into invariant form (symmetric, per-vertex sorted,
+    /// duplicate- and self-loop-free). Used by the delta applier, which
+    /// produces merged adjacency without going back through an edge list.
+    pub(crate) fn from_sorted_parts(n: usize, adj_ptr: Vec<usize>, adj: Vec<u32>) -> Self {
+        debug_assert_eq!(adj_ptr.len(), n + 1);
+        debug_assert_eq!(*adj_ptr.last().unwrap_or(&0), adj.len());
+        debug_assert!((0..n).all(|v| {
+            let nbrs = &adj[adj_ptr[v]..adj_ptr[v + 1]];
+            nbrs.windows(2).all(|w| w[0] < w[1])
+                && nbrs.iter().all(|&w| (w as usize) < n && w as usize != v)
+        }));
+        Graph { n, adj_ptr, adj }
+    }
+
     /// Number of vertices.
     #[must_use]
     pub fn n(&self) -> usize {

@@ -22,6 +22,7 @@
 
 pub mod cc;
 mod csr_graph;
+pub mod delta;
 pub mod features;
 pub mod gen;
 pub mod list;

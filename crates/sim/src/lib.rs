@@ -44,7 +44,7 @@ pub mod scratch;
 mod time;
 pub mod timeline;
 
-pub use counters::{warp_padded_cost, KernelStats};
+pub use counters::{degree_moments, warp_padded_cost, KernelStats};
 pub use cpu::CpuModel;
 pub use curve::CurveEval;
 pub use gpu::GpuModel;

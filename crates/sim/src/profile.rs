@@ -148,6 +148,56 @@ impl PrefixCurve {
     pub fn as_prefix_slice(&self) -> &[u64] {
         &self.prefix
     }
+
+    /// Rewrites the curve in place after items `lo..hi` changed to
+    /// `new_items`, in O(|span| + shift): the span's prefix entries are
+    /// recomputed from `prefix[lo]` and everything past `hi` is shifted by
+    /// the span's sum delta. Because every entry is an exact integer sum,
+    /// the patched array is **bitwise identical** to rebuilding from the
+    /// full mutated item vector (the patch-equals-rebuild contract).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`, `hi > len`, or `new_items.len() != hi - lo`.
+    pub fn patch(&mut self, lo: usize, hi: usize, new_items: &[u64]) {
+        assert_eq!(
+            new_items.len(),
+            hi - lo,
+            "patch span / items length mismatch"
+        );
+        self.patch_with(lo, hi, new_items.iter().copied());
+    }
+
+    /// [`PrefixCurve::patch`] from an iterator of the span's new values —
+    /// lets fused callers (e.g. `RowCurves`) patch several curves from one
+    /// cost slice without materializing per-counter vectors.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`, `hi > len`, or the iterator yields a number of
+    /// items different from `hi - lo`.
+    pub fn patch_with<I: IntoIterator<Item = u64>>(&mut self, lo: usize, hi: usize, new_items: I) {
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "patch span {lo}..{hi} out of bounds"
+        );
+        let p = self.prefix.as_mut_slice();
+        let old_hi = p[hi];
+        let mut acc = p[lo];
+        let mut it = new_items.into_iter();
+        for slot in p[lo + 1..=hi].iter_mut() {
+            acc += it.next().expect("patch iterator yielded too few items");
+            *slot = acc;
+        }
+        assert!(it.next().is_none(), "patch iterator yielded too many items");
+        // Entries past the span are old sums plus the span's delta; wrapping
+        // ops keep the (negative-delta) shift panic-free in debug builds
+        // while agreeing with the non-overflowing rebuild bit-for-bit.
+        let delta = p[hi].wrapping_sub(old_hi);
+        if delta != 0 {
+            for slot in &mut p[hi + 1..] {
+                *slot = slot.wrapping_add(delta);
+            }
+        }
+    }
 }
 
 /// O(1) reproduction of [`warp_padded_cost`] for every prefix and suffix
@@ -327,6 +377,145 @@ impl WarpPadCurve {
     #[must_use]
     pub fn raw_parts(&self) -> (&[u64], &[u64], &[u64]) {
         (&self.full_warp_prefix, &self.running_max, &self.suffix_pad)
+    }
+
+    /// Rewrites the curve in place after items `lo..hi` of the work vector
+    /// changed; `work` is the **full mutated** vector (the patch needs to
+    /// re-max windows that straddle the span's edges). Runs in
+    /// O(|span| + warp + shift) and reads `work` only inside
+    /// `[lo − warp + 1, hi)` rounded out to warp blocks:
+    ///
+    /// * `running_max` — warp-aligned forward chunk scans over the touched
+    ///   blocks only;
+    /// * `full_warp_prefix` — per-warp sums recomputed over the touched
+    ///   blocks, later entries shifted by the span delta (exact integers);
+    /// * `suffix_pad` — every window `[i, i+warp)` meeting the span is
+    ///   re-solved by replaying the builder's per-block two-scan pass from
+    ///   the last touched block backwards; for `i` below the first touched
+    ///   block the window is disjoint from the span, so the recurrence
+    ///   `sp[i] = max·warp + sp[i+warp]` shifts each entry by a constant
+    ///   per residue class mod `warp` — applied as one vectorizable
+    ///   per-block add.
+    ///
+    /// Every entry is an exact integer, so the patched curve is **bitwise
+    /// identical** to `WarpPadCurve::new(work, warp)` (the
+    /// patch-equals-rebuild contract); `patch_in(work, 0, n, ..)` *is* the
+    /// crossover fallback — a full in-place rebuild with zero allocation.
+    ///
+    /// # Panics
+    /// Panics if `work.len() != len`, `lo > hi`, or `hi > len`.
+    pub fn patch_in(&mut self, work: &[u64], lo: usize, hi: usize, scratch: &mut ProfileScratch) {
+        let n = self.len();
+        assert_eq!(work.len(), n, "patch work vector length mismatch");
+        assert!(lo <= hi && hi <= n, "patch span {lo}..{hi} out of bounds");
+        if lo == hi {
+            return;
+        }
+        let warp = self.warp;
+        let warp_u = warp as u64;
+
+        // Forward pass over the touched blocks: running max, then the
+        // full-warp prefix with a constant shift past the span.
+        let b_lo = lo / warp;
+        let b_hi = hi.div_ceil(warp); // exclusive block bound
+        {
+            let rm = self.running_max.as_mut_slice();
+            for b in b_lo..b_hi {
+                let base = b * warp;
+                let end = (base + warp).min(n);
+                let mut chunk_max = 0u64;
+                for (slot, &w) in rm[base..end].iter_mut().zip(&work[base..end]) {
+                    chunk_max = chunk_max.max(w);
+                    *slot = chunk_max;
+                }
+            }
+        }
+        {
+            let nf = n / warp;
+            let e = b_hi.min(nf);
+            let fwp = self.full_warp_prefix.as_mut_slice();
+            let rm = self.running_max.as_slice();
+            let old_e = fwp[e];
+            for b in b_lo..e {
+                // rm of a full block's last element is the block max.
+                fwp[b + 1] = fwp[b] + rm[(b + 1) * warp - 1] * warp_u;
+            }
+            let delta = fwp[e].wrapping_sub(old_e);
+            if delta != 0 {
+                for slot in &mut fwp[e + 1..=nf] {
+                    *slot = slot.wrapping_add(delta);
+                }
+            }
+        }
+
+        // Backward pass: recompute suffix_pad for every block whose windows
+        // can reach the span — from `first` (the block holding index
+        // lo − warp + 1) through `last` (the block holding hi − 1). Blocks
+        // after `last` only see work in [hi, n): untouched. Blocks before
+        // `first` have windows entirely below lo, so their entries shift by
+        // the per-residue delta observed at block `first`.
+        let first = lo.saturating_sub(warp - 1) / warp;
+        let last = (hi - 1) / warp;
+        let mut saved = if first > 0 {
+            // `first` having a predecessor block forces block `first` to be
+            // full (its last index ≤ lo < n), so `warp` entries exist.
+            let mut s = scratch.take(warp);
+            let base = first * warp;
+            s.as_mut_slice()
+                .copy_from_slice(&self.suffix_pad[base..base + warp]);
+            Some(s)
+        } else {
+            None
+        };
+        let mut tail = scratch.take(warp.min(n));
+        {
+            let sp = self.suffix_pad.as_mut_slice();
+            let rm = self.running_max.as_slice();
+            let tl = tail.as_mut_slice();
+            for b in (first..=last).rev() {
+                let blo = b * warp;
+                let bhi = (blo + warp).min(n);
+                let mut m = 0u64;
+                for i in (blo..bhi).rev() {
+                    m = m.max(work[i]);
+                    tl[i - blo] = m;
+                }
+                if bhi == n {
+                    for i in blo..bhi {
+                        sp[i] = tl[i - blo] * warp_u;
+                    }
+                } else {
+                    for i in blo + 1..bhi {
+                        let end = (i + warp).min(n);
+                        let wm = tl[i - blo].max(rm[end - 1]);
+                        sp[i] = wm * warp_u + sp[end];
+                    }
+                    sp[blo] = tl[0] * warp_u + sp[bhi];
+                }
+            }
+            if let Some(dl) = saved.as_mut() {
+                let base = first * warp;
+                let dl = dl.as_mut_slice();
+                for (r, d) in dl.iter_mut().enumerate() {
+                    *d = sp[base + r].wrapping_sub(*d);
+                }
+                for b in 0..first {
+                    let bb = b * warp;
+                    for (r, &d) in dl.iter().enumerate() {
+                        sp[bb + r] = sp[bb + r].wrapping_add(d);
+                    }
+                }
+            }
+        }
+        scratch.give(tail);
+        if let Some(s) = saved {
+            scratch.give(s);
+        }
+    }
+
+    /// [`WarpPadCurve::patch_in`] through a throwaway arena.
+    pub fn patch(&mut self, work: &[u64], lo: usize, hi: usize) {
+        self.patch_in(work, lo, hi, &mut ProfileScratch::new());
     }
 }
 
@@ -508,5 +697,82 @@ mod tests {
     fn prefix_cost_bounds_checked() {
         let curve = WarpPadCurve::new(&[1, 2, 3], 2);
         let _ = curve.prefix_cost(4);
+    }
+
+    #[test]
+    fn prefix_patch_equals_rebuild() {
+        let base = pseudo_random_work(257, 21);
+        for (lo, hi, seed) in [
+            (0, 0, 1),
+            (0, 257, 2),
+            (0, 31, 3),
+            (31, 33, 4),
+            (128, 129, 5),
+            (200, 257, 6),
+            (256, 257, 7),
+            (40, 40, 8),
+        ] {
+            let mut items = base.clone();
+            let repl = pseudo_random_work(hi - lo, seed ^ 0xABCD);
+            items[lo..hi].copy_from_slice(&repl);
+            let mut patched = PrefixCurve::new(&base);
+            patched.patch(lo, hi, &repl);
+            assert_eq!(patched, PrefixCurve::new(&items), "span {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn warp_pad_patch_equals_rebuild() {
+        // Spans crossing warp boundaries, touching the ends, empty, and the
+        // full-span crossover fallback — for several warp widths including
+        // ones larger than n.
+        let mut scratch = ProfileScratch::new();
+        for warp in [1, 2, 7, 32, 33, 200] {
+            let base = pseudo_random_work(161, warp as u64 + 40);
+            for (lo, hi, seed) in [
+                (0, 0, 1),
+                (0, 161, 2),
+                (0, 1, 3),
+                (0, 33, 4),
+                (31, 32, 5),
+                (31, 33, 6),
+                (64, 96, 7),
+                (95, 97, 8),
+                (100, 101, 9),
+                (130, 161, 10),
+                (160, 161, 11),
+                (77, 77, 12),
+            ] {
+                let mut work = base.clone();
+                let repl = pseudo_random_work(hi - lo, seed * 31 + warp as u64);
+                work[lo..hi].copy_from_slice(&repl);
+                let mut patched = WarpPadCurve::new(&base, warp);
+                patched.patch_in(&work, lo, hi, &mut scratch);
+                assert_eq!(
+                    patched,
+                    WarpPadCurve::new(&work, warp),
+                    "warp={warp} span {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warp_pad_patch_chain_stays_exact() {
+        // Repeated patches accumulate no drift: after k patches the curve
+        // still bitwise-matches a fresh build of the current vector.
+        let mut work = pseudo_random_work(200, 77);
+        let mut curve = WarpPadCurve::new(&work, 32);
+        let mut sums = PrefixCurve::new(&work);
+        for step in 0..12u64 {
+            let lo = ((step * 37) % 190) as usize;
+            let hi = (lo + 1 + ((step * 13) % 10) as usize).min(200);
+            let repl = pseudo_random_work(hi - lo, step + 500);
+            work[lo..hi].copy_from_slice(&repl);
+            curve.patch(&work, lo, hi);
+            sums.patch(lo, hi, &repl);
+            assert_eq!(curve, WarpPadCurve::new(&work, 32), "step {step}");
+            assert_eq!(sums, PrefixCurve::new(&work), "step {step}");
+        }
     }
 }

@@ -83,6 +83,11 @@ pub struct DegreeSketch {
     pub cv: f64,
     /// Maximum row degree.
     pub max: u64,
+    /// Exact sum of squared row degrees. Kept alongside the float moments
+    /// so a delta update can adjust the second moment in O(|delta|) and
+    /// re-derive `mean`/`cv` bitwise via [`nbwp_sim::degree_moments`] (the
+    /// first moment is recoverable from `m`).
+    pub sum_sq: u64,
     /// Row-degree histogram in log2 buckets: bucket 0 counts empty rows,
     /// bucket `k ≥ 1` counts degrees in `[2^(k-1), 2^k)`.
     pub log2_hist: [u64; 64],
@@ -111,8 +116,11 @@ fn fnv_mix(mut h: u64, word: u64) -> u64 {
 pub fn structure_sketch(m: &Csr) -> DegreeSketch {
     let n = m.rows();
     let mut hist = [0u64; 64];
-    let mut sum = 0.0f64;
-    let mut sum_sq = 0.0f64;
+    // Integer moment accumulators: partial sums stay far below 2^53, so the
+    // final conversion in `degree_moments` reproduces the old f64-accumulated
+    // values bitwise while staying patchable in O(|delta|) under drift.
+    let mut sum = 0u64;
+    let mut sum_sq = 0u64;
     let mut max = 0u64;
     let mut h = fnv_mix(fnv_mix(FNV_OFFSET, n as u64), m.cols() as u64);
     for r in 0..n {
@@ -125,27 +133,22 @@ pub fn structure_sketch(m: &Csr) -> DegreeSketch {
         }
         .min(63);
         hist[bucket] += 1;
-        sum += d as f64;
-        sum_sq += (d as f64) * (d as f64);
+        sum += d;
+        sum_sq += d * d;
         max = max.max(d);
         h = fnv_mix(h, d);
         for &c in cols {
             h = fnv_mix(h, u64::from(c));
         }
     }
-    let mean = if n > 0 { sum / n as f64 } else { 0.0 };
-    let var = if n > 0 {
-        (sum_sq / n as f64 - mean * mean).max(0.0)
-    } else {
-        0.0
-    };
-    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    let (mean, cv) = nbwp_sim::degree_moments(n, sum, sum_sq);
     DegreeSketch {
         n,
         m: m.nnz(),
         mean,
         cv,
         max,
+        sum_sq,
         log2_hist: hist,
         digest: h,
     }

@@ -23,6 +23,7 @@
 mod coo;
 mod csr;
 pub mod curve;
+pub mod delta;
 pub mod features;
 pub mod gen;
 pub mod io;

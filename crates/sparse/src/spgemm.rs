@@ -177,11 +177,25 @@ pub fn spgemm_range(a: &Csr, b: &Csr, lo: usize, hi: usize) -> (Csr, Vec<RowCost
 /// rely on, and it is tested in `tests/` and in `nbwp-core`.
 #[must_use]
 pub fn row_profile(a: &Csr, b: &Csr) -> Vec<RowCost> {
+    row_profile_range(a, b, 0, a.rows())
+}
+
+/// Computes the per-row cost profile for rows `lo..hi` only.
+///
+/// Each row's cost depends only on that row of `A` (plus the referenced
+/// rows of `B`), so this is bitwise-equal to `row_profile(a, b)[lo..hi]` —
+/// the property the drift layer's span re-profiling relies on.
+#[must_use]
+pub fn row_profile_range(a: &Csr, b: &Csr, lo: usize, hi: usize) -> Vec<RowCost> {
     assert_eq!(a.cols(), b.rows(), "incompatible shapes for row profile");
+    assert!(
+        lo <= hi && hi <= a.rows(),
+        "row range {lo}..{hi} out of bounds"
+    );
     let mut stamp = vec![0u32; b.cols()];
     let mut generation = 0u32;
-    let mut costs = Vec::with_capacity(a.rows());
-    for i in 0..a.rows() {
+    let mut costs = Vec::with_capacity(hi - lo);
+    for i in lo..hi {
         generation = generation.wrapping_add(1);
         if generation == 0 {
             stamp.fill(0);
@@ -358,6 +372,51 @@ impl RowCurves {
             b_bytes,
             rows: n,
         }
+    }
+
+    /// Rewrites the curves in place after rows `lo..hi` of the profile
+    /// changed; `costs` is the **full mutated** profile (the warp-padding
+    /// patch re-maxes windows straddling the span edges) and `b_bytes` the
+    /// mutated operand's byte size. The three prefix curves recompute only
+    /// the span and shift their tails; the pad curve patches per
+    /// [`WarpPadCurve::patch_in`]. The result is **bitwise identical** to
+    /// `RowCurves::new_in(costs, b_bytes, ..)` — the patch-equals-rebuild
+    /// contract — and `patch_in(costs, 0, rows, ..)` doubles as the
+    /// crossover fallback: a full in-place rebuild with zero allocation.
+    ///
+    /// # Panics
+    /// Panics if `costs.len() != rows`, `lo > hi`, or `hi > rows`.
+    pub fn patch_in(
+        &mut self,
+        costs: &[RowCost],
+        lo: usize,
+        hi: usize,
+        b_bytes: u64,
+        scratch: &mut ProfileScratch,
+    ) {
+        assert_eq!(costs.len(), self.rows, "patch profile length mismatch");
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "patch span {lo}..{hi} out of bounds"
+        );
+        self.b_bytes = b_bytes;
+        if lo == hi {
+            return;
+        }
+        let span = &costs[lo..hi];
+        self.a_nnz.patch_with(lo, hi, span.iter().map(|c| c.a_nnz));
+        self.b_entries
+            .patch_with(lo, hi, span.iter().map(|c| c.b_entries));
+        self.c_nnz.patch_with(lo, hi, span.iter().map(|c| c.c_nnz));
+        let mut per_row_flops = scratch.take(costs.len());
+        {
+            let fp = per_row_flops.as_mut_slice();
+            for (slot, c) in fp.iter_mut().zip(costs) {
+                *slot = c.flops();
+            }
+        }
+        self.pad.patch_in(&per_row_flops, lo, hi, scratch);
+        scratch.give(per_row_flops);
     }
 
     /// Returns every buffer of these curves to `scratch` for reuse by the
@@ -713,6 +772,64 @@ mod tests {
         assert!(scratch.is_warm());
         let warm = RowCurves::new_in(&costs, b_bytes, &mut scratch);
         assert_eq!(warm, fresh, "warm rebuild must be bitwise identical");
+    }
+
+    #[test]
+    fn row_curves_patch_equals_rebuild() {
+        // Mutate a few rows of A, recompute those rows' costs symbolically,
+        // patch the curves over the touched span, and demand bitwise
+        // equality with a fresh build from the mutated profile.
+        let a = crate::gen::power_law(130, 7, 2.1, 5);
+        let base_costs = row_profile(&a, &a);
+        let mut scratch = ProfileScratch::new();
+        for (lo, hi) in [
+            (0, 130),
+            (0, 1),
+            (30, 34),
+            (31, 32),
+            (64, 97),
+            (129, 130),
+            (50, 50),
+        ] {
+            let delta = crate::delta::CsrDelta {
+                ops: (lo..hi)
+                    .map(|r| crate::delta::RowOp::Replace {
+                        row: r,
+                        cols: vec![(r % 40) as u32, 60 + (r % 30) as u32],
+                        vals: vec![1.0, 2.0],
+                    })
+                    .collect(),
+            };
+            let (a2, _) = delta.apply(&a);
+            let new_costs = row_profile(&a2, &a2);
+            // Rows outside the span whose costs changed (A×A coupling)
+            // widen the patched span to cover them.
+            let (mut plo, mut phi) = (lo.min(130), hi);
+            for (r, (old, new)) in base_costs.iter().zip(&new_costs).enumerate() {
+                if old != new {
+                    plo = plo.min(r);
+                    phi = phi.max(r + 1);
+                }
+            }
+            let mut patched = RowCurves::new(&base_costs, a.size_bytes());
+            patched.patch_in(&new_costs, plo, phi.min(130), a2.size_bytes(), &mut scratch);
+            let fresh = RowCurves::new(&new_costs, a2.size_bytes());
+            assert_eq!(patched, fresh, "span {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn row_profile_range_matches_full_profile_slice() {
+        let a = crate::gen::power_law(150, 6, 2.1, 11);
+        let b = crate::gen::power_law(150, 5, 2.4, 3);
+        let full = row_profile(&a, &b);
+        for (lo, hi) in [(0, 150), (0, 1), (17, 83), (149, 150), (40, 40)] {
+            assert_eq!(
+                row_profile_range(&a, &b, lo, hi),
+                full[lo..hi],
+                "range {lo}..{hi}"
+            );
+        }
     }
 
     #[test]

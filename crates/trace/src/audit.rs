@@ -32,7 +32,7 @@ use serde::Value;
 use crate::Recorder;
 
 /// Schema tag on the JSONL header line (see [`FlightRecorder::to_jsonl`]).
-pub const AUDIT_SCHEMA: &str = "nbwp-audit/v1";
+pub const AUDIT_SCHEMA: &str = "nbwp-audit/v2";
 
 /// Default ring capacity: enough to hold a full benchmark stream while
 /// bounding memory (~100 bytes per event).
@@ -53,6 +53,10 @@ pub const DEFAULT_TIMING_STRIDE: usize = 64;
 pub enum CacheDecision {
     /// Exact-key hit: the cached estimate was returned bitwise.
     ExactHit,
+    /// Drift-patched serving: the curves were patched in place after a
+    /// workload delta and the cached threshold survived as the curve
+    /// argmin — no search ran.
+    Patched,
     /// Near-key hit: the pipeline ran, warm-started from a cached hint.
     NearHit,
     /// Full cold path (miss, or no cache attached).
@@ -61,8 +65,9 @@ pub enum CacheDecision {
 
 impl CacheDecision {
     /// All decisions, in severity order (cheapest first).
-    pub const ALL: [CacheDecision; 3] = [
+    pub const ALL: [CacheDecision; 4] = [
         CacheDecision::ExactHit,
+        CacheDecision::Patched,
         CacheDecision::NearHit,
         CacheDecision::Cold,
     ];
@@ -72,6 +77,7 @@ impl CacheDecision {
     pub fn name(self) -> &'static str {
         match self {
             CacheDecision::ExactHit => "exact_hit",
+            CacheDecision::Patched => "patched",
             CacheDecision::NearHit => "near_hit",
             CacheDecision::Cold => "cold",
         }
@@ -125,6 +131,8 @@ pub struct AuditTotals {
     pub requests: u64,
     /// Exact-key hits.
     pub exact_hits: u64,
+    /// Drift-patched servings (curve patched, cached threshold kept).
+    pub patched: u64,
     /// Near-key (warm-started) hits.
     pub near_hits: u64,
     /// Cold-path requests.
@@ -144,6 +152,7 @@ impl AuditTotals {
         AuditTotals {
             requests: self.requests - earlier.requests,
             exact_hits: self.exact_hits - earlier.exact_hits,
+            patched: self.patched - earlier.patched,
             near_hits: self.near_hits - earlier.near_hits,
             cold: self.cold - earlier.cold,
             shadow_runs: self.shadow_runs - earlier.shadow_runs,
@@ -161,7 +170,7 @@ impl AuditTotals {
 #[derive(Copy, Clone, Default)]
 struct TotalsAcc {
     requests: u64,
-    by_decision: [u64; 3],
+    by_decision: [u64; 4],
     shadow_runs: u64,
     evaluations: u64,
     grad_probes: u64,
@@ -182,6 +191,7 @@ impl TotalsAcc {
         AuditTotals {
             requests: self.requests,
             exact_hits: self.by_decision[CacheDecision::ExactHit as usize],
+            patched: self.by_decision[CacheDecision::Patched as usize],
             near_hits: self.by_decision[CacheDecision::NearHit as usize],
             cold: self.by_decision[CacheDecision::Cold as usize],
             shadow_runs: self.shadow_runs,
@@ -383,7 +393,7 @@ impl FlightRecorder {
     }
 
     /// Serializes the retained window as JSONL: one header line
-    /// (`{"type":"audit","schema":"nbwp-audit/v1",…}` with the running
+    /// (`{"type":"audit","schema":"nbwp-audit/v2",…}` with the running
     /// totals) followed by one `{"type":"event",…}` line per retained
     /// event, sequence numbers contiguous. Parses back through
     /// [`validate_audit_jsonl`]. A disabled recorder serializes as an empty
@@ -398,6 +408,7 @@ impl FlightRecorder {
             ("events", Value::U64(events.len() as u64)),
             ("requests", Value::U64(totals.requests)),
             ("exact_hits", Value::U64(totals.exact_hits)),
+            ("patched", Value::U64(totals.patched)),
             ("near_hits", Value::U64(totals.near_hits)),
             ("cold", Value::U64(totals.cold)),
             ("shadow_runs", Value::U64(totals.shadow_runs)),
@@ -458,6 +469,7 @@ impl FlightRecorder {
         };
         rec.counter_add("audit.requests", delta.requests);
         rec.counter_add("audit.exact_hit", delta.exact_hits);
+        rec.counter_add("audit.patched", delta.patched);
         rec.counter_add("audit.near_hit", delta.near_hits);
         rec.counter_add("audit.cold", delta.cold);
         rec.counter_add("audit.shadow_runs", delta.shadow_runs);
@@ -541,6 +553,7 @@ impl AuditCheck {
             t.requests += 1;
             match ev.decision {
                 CacheDecision::ExactHit => t.exact_hits += 1,
+                CacheDecision::Patched => t.patched += 1,
                 CacheDecision::NearHit => t.near_hits += 1,
                 CacheDecision::Cold => t.cold += 1,
             }
@@ -612,6 +625,7 @@ pub fn validate_audit_jsonl(text: &str) -> Result<AuditCheck, String> {
     let totals = AuditTotals {
         requests: get_u64(&header, "requests", "header")?,
         exact_hits: get_u64(&header, "exact_hits", "header")?,
+        patched: get_u64(&header, "patched", "header")?,
         near_hits: get_u64(&header, "near_hits", "header")?,
         cold: get_u64(&header, "cold", "header")?,
         shadow_runs: get_u64(&header, "shadow_runs", "header")?,
@@ -688,6 +702,7 @@ pub fn validate_audit_jsonl(text: &str) -> Result<AuditCheck, String> {
     } else {
         let within = replay.requests <= totals.requests
             && replay.exact_hits <= totals.exact_hits
+            && replay.patched <= totals.patched
             && replay.near_hits <= totals.near_hits
             && replay.cold <= totals.cold
             && replay.shadow_runs <= totals.shadow_runs

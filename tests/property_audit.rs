@@ -64,7 +64,7 @@ proptest! {
     fn replay_reconstructs_counter_totals(
         capacity in 1usize..12,
         shapes in prop::collection::vec(
-            (0usize..3, 0u64..50, 0u64..20, any::<bool>(), any::<bool>()),
+            (0usize..4, 0u64..50, 0u64..20, any::<bool>(), any::<bool>()),
             0..40,
         ),
     ) {
@@ -74,6 +74,7 @@ proptest! {
             let ev = event(d, e, p, sh, t);
             match ev.decision {
                 CacheDecision::ExactHit => want.exact_hits += 1,
+                CacheDecision::Patched => want.patched += 1,
                 CacheDecision::NearHit => want.near_hits += 1,
                 CacheDecision::Cold => want.cold += 1,
             }
@@ -107,6 +108,7 @@ proptest! {
         let m = rec.finish().metrics;
         prop_assert_eq!(m.counter("audit.requests"), Some(want.requests));
         prop_assert_eq!(m.counter("audit.exact_hit"), Some(want.exact_hits));
+        prop_assert_eq!(m.counter("audit.patched"), Some(want.patched));
         prop_assert_eq!(m.counter("audit.near_hit"), Some(want.near_hits));
         prop_assert_eq!(m.counter("audit.cold"), Some(want.cold));
         prop_assert_eq!(m.counter("audit.shadow_runs"), Some(want.shadow_runs));
