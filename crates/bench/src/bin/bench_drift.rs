@@ -224,7 +224,14 @@ where
             // threshold costs (almost) nothing over the cold minimum.
             let space = server.workload().space();
             let curve = server.workload().curve(&fresh).expect("curve");
-            let cold = minimize_curve(curve.as_ref(), &space, space.fine_step, None);
+            let cold = minimize_partition(
+                curve.as_ref(),
+                DeviceSet::cpu_gpu_static(),
+                &space,
+                space.fine_step,
+                None,
+            )
+            .expect("the canonical pair prices every curve");
             let served = curve.total_at(curve.split_for(space.clamp(step.threshold)));
             let regret = if cold.total.as_secs() > 0.0 {
                 (served.as_secs() / cold.total.as_secs() - 1.0) * 100.0
@@ -266,8 +273,9 @@ where
             let profile = fresh.build_profile(pool);
             let space = fresh.space();
             let curve = fresh.curve(&profile).expect("curve");
-            std::hint::black_box(minimize_curve(
+            std::hint::black_box(minimize_partition(
                 curve.as_ref(),
+                DeviceSet::cpu_gpu_static(),
                 &space,
                 space.fine_step,
                 None,

@@ -73,6 +73,28 @@ struct SensitivityInfo {
     profile_builds: u64,
 }
 
+/// One k-way partition-search gate row: coordinate descent vs an
+/// exhaustive enumeration of every non-decreasing cut tuple over the same
+/// collapsed candidate grid. `argmin_match` is gated for every `k`;
+/// `eval_ratio` (exhaustive tuples over descent probes) is gated at >= 5
+/// for `k > 2`; `scalar_parity` (bitwise equality with the deprecated
+/// scalar minimizer) is gated on the canonical pair.
+#[derive(Serialize)]
+struct KwayEntry {
+    workload: String,
+    devices: String,
+    k: usize,
+    step: f64,
+    candidates: usize,
+    cd_probes: usize,
+    cd_sweeps: usize,
+    exhaustive_tuples: usize,
+    argmin_match: bool,
+    scalar_parity: Option<bool>,
+    eval_ratio: f64,
+    wall_ms: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     schema: &'static str,
@@ -85,6 +107,7 @@ struct Report {
     workloads: Vec<WorkloadInfo>,
     entries: Vec<Entry>,
     analytic: Vec<AnalyticEntry>,
+    kway: Vec<KwayEntry>,
     sensitivity: Vec<SensitivityInfo>,
 }
 
@@ -192,6 +215,150 @@ fn analytic_gate<W: Profilable>(
         eval_ratio,
         wall_ms,
     });
+}
+
+/// Steps per arity keep the exhaustive tuple count `C(m + k - 2, k - 1)`
+/// tractable while still covering the full threshold range: the canonical
+/// pair sweeps the fine grid, k = 4 a half-coarse grid, k = 8 the coarse
+/// grid. Logarithmic strides are multiplicative, so "half" is a square
+/// root there.
+fn kway_step(space: &ThresholdSpace, k: usize) -> f64 {
+    match k {
+        2 => space.fine_step,
+        4 if space.logarithmic => space.coarse_step.sqrt(),
+        4 => space.coarse_step / 2.0,
+        _ => space.coarse_step,
+    }
+}
+
+/// The k-way acceptance row: coordinate descent over the collapsed
+/// candidate grid must land on the exhaustive argmin (every non-decreasing
+/// cut tuple priced via [`CurveEval::partition_total`], strict `<` keeping
+/// the first — lexicographically lowest — winner, matching the descent's
+/// tie-break) using at least 5x fewer objective probes for `k > 2`. On the
+/// canonical pair the partition minimizer must reproduce the deprecated
+/// scalar minimizer bitwise.
+fn kway_gate<W: Profilable>(
+    name: &str,
+    w: &W,
+    sets: &[DeviceSet],
+    pool: &Pool,
+    kway: &mut Vec<KwayEntry>,
+    mismatches: &mut Vec<String>,
+) {
+    let profile = w.build_profile(pool);
+    let curve = w
+        .curve(&profile)
+        .expect("k-way gate workloads expose a cost curve");
+    let space = w.space();
+    let units = curve
+        .splits()
+        .checked_sub(1)
+        .expect("a curve exposes at least one split");
+
+    for set in sets {
+        let k = set.len();
+        let step = kway_step(&space, k);
+
+        let started = Instant::now();
+        let cd = minimize_partition(curve.as_ref(), set, &space, step, None)
+            .expect("the cost curve prices bands for this device set");
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Exhaustive baseline: a non-decreasing odometer over candidate
+        // indices enumerates every cut tuple the descent could reach.
+        let cands = candidate_splits(curve.as_ref(), &space, step);
+        let m = cands.len();
+        let kc = k - 1;
+        let mut idx = vec![0usize; kc];
+        let mut tuples = 0usize;
+        let mut best: Option<(SimTime, Vec<usize>)> = None;
+        let mut done = m == 0;
+        while !done {
+            let cuts: Vec<usize> = idx.iter().map(|&i| cands[i].1).collect();
+            let p = Partition::new(units, cuts);
+            if let Some(total) = curve.partition_total(set, &p) {
+                tuples += 1;
+                if best.as_ref().is_none_or(|(t, _)| total < *t) {
+                    best = Some((total, p.cuts().to_vec()));
+                }
+            }
+            done = true;
+            let mut j = kc;
+            while j > 0 {
+                j -= 1;
+                if idx[j] + 1 < m {
+                    let v = idx[j] + 1;
+                    for x in &mut idx[j..] {
+                        *x = v;
+                    }
+                    done = false;
+                    break;
+                }
+            }
+        }
+        let (best_total, best_cuts) = best.expect("exhaustive baseline priced at least one tuple");
+
+        let argmin_match = cd.total == best_total && cd.partition.cuts() == best_cuts.as_slice();
+        if !argmin_match {
+            mismatches.push(format!(
+                "{name}/{}: descent argmin {:?} ({}) != exhaustive argmin {:?} ({})",
+                set.name(),
+                cd.partition.cuts(),
+                cd.total,
+                best_cuts,
+                best_total
+            ));
+        }
+        let eval_ratio = tuples as f64 / cd.probes.max(1) as f64;
+        if k > 2 && eval_ratio < 5.0 {
+            mismatches.push(format!(
+                "{name}/{}: descent used {} probes vs {tuples} exhaustive tuples (ratio {eval_ratio:.1} < 5)",
+                set.name(),
+                cd.probes
+            ));
+        }
+        let scalar_parity = set.is_canonical_pair().then(|| {
+            #[allow(deprecated)] // pinning the scalar shim against the partition path
+            let scalar = minimize_curve(curve.as_ref(), &space, step, None);
+            let parity = cd.thresholds.len() == 1
+                && cd.thresholds[0].to_bits() == scalar.threshold.to_bits()
+                && cd.partition.cuts() == [scalar.split]
+                && cd.total == scalar.total;
+            if !parity {
+                mismatches.push(format!(
+                    "{name}/{}: partition minimum (t = {:?}, total {}) is not bitwise the scalar minimum (t = {}, total {})",
+                    set.name(),
+                    cd.thresholds,
+                    cd.total,
+                    scalar.threshold,
+                    scalar.total
+                ));
+            }
+            parity
+        });
+
+        eprintln!(
+            "  {name:<10} {:<18} k={k}: {} probes, {} sweeps vs {tuples} tuples ({m} candidates) | argmin match: {argmin_match} | x{eval_ratio:.1}",
+            set.name(),
+            cd.probes,
+            cd.sweeps,
+        );
+        kway.push(KwayEntry {
+            workload: name.to_string(),
+            devices: set.name().to_string(),
+            k,
+            step,
+            candidates: m,
+            cd_probes: cd.probes,
+            cd_sweeps: cd.sweeps,
+            exhaustive_tuples: tuples,
+            argmin_match,
+            scalar_parity,
+            eval_ratio,
+            wall_ms,
+        });
+    }
 }
 
 /// Exactness gate: profiled reports must equal direct reports bitwise over
@@ -376,6 +543,16 @@ fn main() {
     analytic_gate("scalefree", &hh, pool, &mut analytic, &mut mismatches);
     analytic_gate("gemm", &gemm, pool, &mut analytic, &mut mismatches);
 
+    eprintln!("k-way coordinate descent vs exhaustive cut enumeration...");
+    let mut kway = Vec::new();
+    let pair = DeviceSet::cpu_gpu();
+    let dual = DeviceSet::dual_cpu_dual_gpu();
+    let quad = DeviceSet::quad_cpu_quad_gpu();
+    let all_sets = [pair.clone(), dual.clone(), quad];
+    kway_gate("spmm", &spmm, &all_sets, pool, &mut kway, &mut mismatches);
+    kway_gate("gemm", &gemm, &all_sets, pool, &mut kway, &mut mismatches);
+    kway_gate("cc", &cc, &[pair, dual], pool, &mut kway, &mut mismatches);
+
     eprintln!("sensitivity sweep via Profile::resample...");
     let factors = [0.25, 0.5, 1.0, 2.0, 4.0];
     let rec = Recorder::new();
@@ -416,7 +593,7 @@ fn main() {
     });
 
     let report = Report {
-        schema: "nbwp-bench-eval/v3",
+        schema: "nbwp-bench-eval/v4",
         quick: args.quick,
         seed: args.seed,
         repetitions: reps,
@@ -426,6 +603,7 @@ fn main() {
         workloads,
         entries,
         analytic,
+        kway,
         sensitivity,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

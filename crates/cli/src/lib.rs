@@ -10,6 +10,8 @@
 //! nbwp estimate cc   --input cant.mtx
 //! nbwp estimate spmm --input cant.mtx --seed 7
 //! nbwp estimate hh   --input web.mtx
+//! # Partition across a k-way device topology (per-device work fractions):
+//! nbwp estimate spmm --input cant.mtx --devices dual-cpu-dual-gpu
 //! # Serve many requests through the fingerprint-deduped batch path with
 //! # a shared threshold cache (one Matrix Market path per line):
 //! nbwp estimate spmm --batch requests.txt --cache-size 64
@@ -113,6 +115,12 @@ pub enum Command {
         /// incremental drift server, printing one decision line per step
         /// (patched / nudged / rebuilt, probes saved, staleness regret).
         drift: Option<String>,
+        /// Device topology preset (`cpu-gpu`, `dual-cpu-dual-gpu`,
+        /// `quad-cpu-quad-gpu`). The canonical pair keeps the scalar
+        /// pipeline (it only widens the cache key); larger sets run the
+        /// k-way analytic partition search and print per-device work
+        /// fractions.
+        devices: Option<Box<DeviceSet>>,
     },
     /// Validate a captured artifact: a Chrome trace from `--trace-out`, an
     /// audit JSONL log from `--audit-out`, or a `.prom` metrics export from
@@ -184,6 +192,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut metrics_out = None;
             let mut audit_out = None;
             let mut drift = None;
+            let mut devices = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--input" => input = Some(next_val(&mut it, flag)?),
@@ -198,6 +207,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--metrics-out" => metrics_out = Some(next_val(&mut it, flag)?),
                     "--audit-out" => audit_out = Some(next_val(&mut it, flag)?),
                     "--drift" => drift = Some(next_val(&mut it, flag)?),
+                    "--devices" => {
+                        let name = next_val(&mut it, flag)?;
+                        // 1-based position of the value in the argument
+                        // vector, so a typo in a long command line is easy
+                        // to find.
+                        let pos = args.len() - it.len();
+                        devices = Some(Box::new(name.parse::<DeviceSet>().map_err(|e| {
+                            err(format!("argument {pos} (--devices): {e}\n{USAGE}"))
+                        })?));
+                    }
                     other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
                 }
             }
@@ -217,6 +236,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(err("--drift serves through the incremental drift server; \
                      it takes no --exhaustive/--strategy/--analytic"));
             }
+            if drift.is_some() && devices.is_some() {
+                return Err(err(
+                    "--drift serves the canonical CPU+GPU pair; it takes no --devices",
+                ));
+            }
+            if let Some(set) = devices.as_ref().filter(|s| !s.is_canonical_pair()) {
+                if batch.is_some() {
+                    return Err(err(format!(
+                        "--devices {} partitions a single --input; --batch serves \
+                         the canonical pair only",
+                        set.name()
+                    )));
+                }
+                if exhaustive {
+                    return Err(err(
+                        "--exhaustive sweeps the scalar threshold; it takes no k-way --devices",
+                    ));
+                }
+            }
             Ok(Command::Estimate {
                 workload,
                 input,
@@ -231,6 +269,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 metrics_out,
                 audit_out,
                 drift,
+                devices,
             })
         }
         "trace" => {
@@ -272,6 +311,7 @@ pub const USAGE: &str = "usage:
                 [--analytic] [--trace-out <trace.json|trace.jsonl>] [--metrics]
                 [--metrics-out <metrics.json|metrics.prom>] [--audit-out <audit.jsonl>]
                 [--drift <deltas.jsonl>]
+                [--devices <cpu-gpu|dual-cpu-dual-gpu|quad-cpu-quad-gpu>]
   nbwp trace <trace.json | audit.jsonl | metrics.prom>
   nbwp report <audit.jsonl> [--metrics <metrics.json|metrics.prom>]";
 
@@ -312,6 +352,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             metrics_out,
             audit_out,
             drift,
+            devices,
         } => {
             let sinks = Sinks {
                 trace_out: trace_out.as_deref(),
@@ -329,6 +370,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                         *exhaustive,
                         strategy.as_deref(),
                         *analytic,
+                        devices.as_deref(),
                         &sinks,
                     ),
                 },
@@ -339,6 +381,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     *seed,
                     strategy.as_deref(),
                     *analytic,
+                    devices.as_deref(),
                     &sinks,
                 ),
                 _ => Err(err("estimate requires exactly one of --input or --batch")),
@@ -523,6 +566,7 @@ fn run_estimator<W>(
     w: &W,
     strategy: Strategy,
     seed: u64,
+    devices: Option<&DeviceSet>,
     rec: &Recorder,
     audit: &FlightRecorder,
 ) -> SamplingEstimate
@@ -530,10 +574,13 @@ where
     W: Sampleable + Fingerprinted,
     W::Sample: Profilable,
 {
-    let e = Estimator::new(strategy)
+    let mut e = Estimator::new(strategy)
         .seed(seed)
         .recorder(rec)
         .audit(audit);
+    if let Some(set) = devices {
+        e = e.devices(set);
+    }
     match (
         matches!(strategy, Strategy::Analytic { .. }),
         audit.is_enabled(),
@@ -545,6 +592,7 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn estimate_cmd(
     workload: &str,
     input: &str,
@@ -552,10 +600,28 @@ fn estimate_cmd(
     exhaustive: bool,
     strategy: Option<&str>,
     analytic: bool,
+    devices: Option<&DeviceSet>,
     sinks: &Sinks<'_>,
 ) -> Result<String, CliError> {
     let a = load_square(input)?;
-    let strategy = resolve_strategy(workload, strategy, analytic)?;
+    // A k-way device set routes through the analytic partition search (it
+    // prices bands off the cost curve); an explicit non-analytic strategy
+    // therefore conflicts. The canonical pair keeps the scalar pipeline.
+    let kway = devices.filter(|s| !s.is_canonical_pair());
+    let resolved = resolve_strategy(workload, strategy, analytic)?;
+    let strategy = match kway {
+        Some(set) => {
+            if strategy.is_some() && !matches!(resolved, Strategy::Analytic { .. }) {
+                return Err(err(format!(
+                    "--devices {} prices bands from the cost curve; \
+                     use --analytic (or drop --strategy)",
+                    set.name()
+                )));
+            }
+            Strategy::Analytic { step: None }
+        }
+        None => resolved,
+    };
     let platform = Platform::k40c_xeon_e5_2650();
     let rec = sinks.recorder();
     let audit = sinks.flight_recorder();
@@ -568,20 +634,35 @@ fn estimate_cmd(
         workload,
         strategy.name()
     );
-    match workload {
-        "cc" => {
+    match (workload, kway) {
+        ("cc", Some(set)) => {
             let w = CcWorkload::new(Graph::from_matrix(&a), platform);
-            let est = run_estimator(&w, strategy, seed, &rec, &audit);
+            report_partition(&mut out, &w, set, &rec);
+        }
+        ("spmm", Some(set)) => {
+            let w = SpmmWorkload::new(a, platform);
+            report_partition(&mut out, &w, set, &rec);
+        }
+        ("hh", Some(set)) => {
+            return Err(err(format!(
+                "hh partitions rows by a density predicate, not by contiguous \
+                 spans; --devices {} supports cc | spmm",
+                set.name()
+            )));
+        }
+        ("cc", None) => {
+            let w = CcWorkload::new(Graph::from_matrix(&a), platform);
+            let est = run_estimator(&w, strategy, seed, devices, &rec, &audit);
             report_scalar(&mut out, &w, &est, "CPU vertex share %", exhaustive, &rec);
         }
-        "spmm" => {
+        ("spmm", None) => {
             let w = SpmmWorkload::new(a, platform);
-            let est = run_estimator(&w, strategy, seed, &rec, &audit);
+            let est = run_estimator(&w, strategy, seed, devices, &rec, &audit);
             report_scalar(&mut out, &w, &est, "CPU work share %", exhaustive, &rec);
         }
-        "hh" => {
+        ("hh", None) => {
             let w = HhWorkload::new(a, platform);
-            let est = run_estimator(&w, strategy, seed, &rec, &audit);
+            let est = run_estimator(&w, strategy, seed, devices, &rec, &audit);
             report_scalar(
                 &mut out,
                 &w,
@@ -591,12 +672,47 @@ fn estimate_cmd(
                 &rec,
             );
         }
-        other => return Err(err(format!("unknown workload {other}"))),
+        (other, _) => return Err(err(format!("unknown workload {other}"))),
     }
     audit.flush_metrics(&rec);
     let trace = rec.finish();
     sinks.write(&mut out, &trace, &audit)?;
     Ok(out)
+}
+
+/// Runs the k-way analytic partition search over the full input and
+/// appends the cut vector plus one work-fraction row per device. The
+/// fractions are also exported as `partition.fraction.d<i>` gauges, which
+/// `nbwp report --metrics` renders as a dedicated row.
+fn report_partition<W: Profilable>(out: &mut String, w: &W, set: &DeviceSet, rec: &Recorder) {
+    let o = Searcher::new(Strategy::Analytic { step: None })
+        .recorder(rec)
+        .profiled()
+        .run_partition(w, set);
+    let cuts: Vec<String> = o.cuts.iter().map(|c| format!("{c:.1}")).collect();
+    let _ = writeln!(
+        out,
+        "k-way partition over {} (k = {}): predicted total {}\n  cut thresholds [{}] — {} curve probes, {} descent sweeps",
+        set.name(),
+        set.len(),
+        o.total,
+        cuts.join(", "),
+        o.probes,
+        o.sweeps
+    );
+    for (i, (d, f)) in set.devices().iter().zip(&o.fractions).enumerate() {
+        let kind = match d.kind {
+            DeviceKind::Cpu => "cpu",
+            DeviceKind::Gpu => "gpu",
+        };
+        let _ = writeln!(
+            out,
+            "  device {i} ({kind} ×{:.2}): {:.1}% of the work",
+            d.speed,
+            f * 100.0
+        );
+        rec.gauge_set(&format!("partition.fraction.d{i}"), f * 100.0);
+    }
 }
 
 /// Serves every workload in `ws` through [`Estimator::run_batch`] behind
@@ -608,6 +724,7 @@ fn serve_batch<W>(
     ws: &[W],
     strategy: Strategy,
     seed: u64,
+    devices: Option<&DeviceSet>,
     cache: &ThresholdCache,
     rec: &Recorder,
     audit: &FlightRecorder,
@@ -619,10 +736,13 @@ fn serve_batch<W>(
     // No recorder on the estimator: `run_batch` would flush (reset) the
     // cache counters into it before the summary below reads them. The
     // totals are read first, then flushed to the metrics view by hand.
-    let e = Estimator::new(strategy)
+    let mut e = Estimator::new(strategy)
         .seed(seed)
         .cache(cache)
         .audit(audit);
+    if let Some(set) = devices {
+        e = e.devices(set);
+    }
     let ests = if matches!(strategy, Strategy::Analytic { .. }) {
         e.profiled().run_batch(ws)
     } else {
@@ -654,6 +774,7 @@ fn serve_batch<W>(
 
 /// `estimate --batch`: one Matrix Market path per line, served through the
 /// fingerprint-deduped batch path with a shared threshold cache.
+#[allow(clippy::too_many_arguments)]
 fn batch_cmd(
     workload: &str,
     batch: &str,
@@ -661,6 +782,7 @@ fn batch_cmd(
     seed: u64,
     strategy: Option<&str>,
     analytic: bool,
+    devices: Option<&DeviceSet>,
     sinks: &Sinks<'_>,
 ) -> Result<String, CliError> {
     let text = std::fs::read_to_string(Path::new(batch))
@@ -703,6 +825,7 @@ fn batch_cmd(
                 &ws,
                 strategy,
                 seed,
+                devices,
                 &cache,
                 &rec,
                 &audit,
@@ -720,6 +843,7 @@ fn batch_cmd(
                 &ws,
                 strategy,
                 seed,
+                devices,
                 &cache,
                 &rec,
                 &audit,
@@ -737,6 +861,7 @@ fn batch_cmd(
                 &ws,
                 strategy,
                 seed,
+                devices,
                 &cache,
                 &rec,
                 &audit,
@@ -1188,6 +1313,19 @@ fn report_cmd(audit_path: &str, metrics_path: Option<&str>) -> Result<String, Cl
             for (name, v) in &snap.counters {
                 let _ = writeln!(out, "  {name} = {v}");
             }
+            // The k-way estimate path exports per-device work fractions as
+            // `partition.fraction.d<i>` gauges; render them as one row.
+            let fractions: Vec<String> = snap
+                .gauges
+                .iter()
+                .filter_map(|(name, v)| {
+                    name.strip_prefix("partition.fraction.")
+                        .map(|d| format!("{d} {v:.1}%"))
+                })
+                .collect();
+            if !fractions.is_empty() {
+                let _ = writeln!(out, "  work fractions: {}", fractions.join("  "));
+            }
             for (name, h) in &snap.histograms {
                 let _ = writeln!(
                     out,
@@ -1276,7 +1414,8 @@ mod tests {
                 metrics: false,
                 metrics_out: None,
                 audit_out: None,
-                drift: None
+                drift: None,
+                devices: None
             }
         );
         let t = parse_args(&args(
@@ -1298,7 +1437,8 @@ mod tests {
                 metrics: true,
                 metrics_out: None,
                 audit_out: None,
-                drift: None
+                drift: None,
+                devices: None
             }
         );
         assert_eq!(
@@ -1330,7 +1470,8 @@ mod tests {
                 metrics: false,
                 metrics_out: None,
                 audit_out: None,
-                drift: None
+                drift: None,
+                devices: None
             }
         );
         let a = parse_args(&args("estimate spmm --input x.mtx --analytic")).unwrap();
@@ -1349,7 +1490,8 @@ mod tests {
                 metrics: false,
                 metrics_out: None,
                 audit_out: None,
-                drift: None
+                drift: None,
+                devices: None
             }
         );
     }
@@ -1402,7 +1544,8 @@ mod tests {
                 metrics: false,
                 metrics_out: None,
                 audit_out: None,
-                drift: None
+                drift: None,
+                devices: None
             }
         );
         // --input and --batch are mutually exclusive; one is required.
@@ -1432,6 +1575,7 @@ mod tests {
                 metrics_out: None,
                 audit_out: None,
                 drift: Some("ops.jsonl".into()),
+                devices: None,
             }
         );
         // --drift replays one input and owns the search path.
@@ -1481,6 +1625,7 @@ mod tests {
                 metrics_out: None,
                 audit_out: audit,
                 drift: Some(drift.to_str().unwrap().into()),
+                devices: None,
             })
         };
 
@@ -1573,6 +1718,7 @@ mod tests {
                 metrics_out: None,
                 audit_out: None,
                 drift: None,
+                devices: None,
             })
             .unwrap();
             assert!(text.contains("4 requests"), "{text}");
@@ -1597,7 +1743,8 @@ mod tests {
             metrics: false,
             metrics_out: None,
             audit_out: None,
-            drift: None
+            drift: None,
+            devices: None
         })
         .is_err());
         let empty = dir.join("empty.txt");
@@ -1615,7 +1762,8 @@ mod tests {
             metrics: false,
             metrics_out: None,
             audit_out: None,
-            drift: None
+            drift: None,
+            devices: None
         })
         .is_err());
         for f in [&m1, &m2, &reqs, &empty] {
@@ -1645,6 +1793,7 @@ mod tests {
                 metrics_out: Some("m.prom".into()),
                 audit_out: Some("a.jsonl".into()),
                 drift: None,
+                devices: None,
             }
         );
         assert_eq!(
@@ -1703,6 +1852,7 @@ mod tests {
             metrics_out: Some(prom.to_str().unwrap().into()),
             audit_out: Some(audit.to_str().unwrap().into()),
             drift: None,
+            devices: None,
         })
         .unwrap();
         assert!(text.contains("wrote audit log (1 events"), "{text}");
@@ -1740,6 +1890,7 @@ mod tests {
             metrics_out: Some(bmetrics.to_str().unwrap().into()),
             audit_out: Some(baudit.to_str().unwrap().into()),
             drift: None,
+            devices: None,
         })
         .unwrap();
         assert!(text.contains("wrote audit log (2 events"), "{text}");
@@ -1761,6 +1912,162 @@ mod tests {
         .is_err());
 
         for f in [&m1, &m2, &audit, &prom, &reqs, &baudit, &bmetrics] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn parse_devices_flag() {
+        let e = parse_args(&args(
+            "estimate spmm --input x.mtx --devices dual-cpu-dual-gpu",
+        ))
+        .unwrap();
+        match e {
+            Command::Estimate { devices, .. } => {
+                assert_eq!(devices, Some(Box::new(DeviceSet::dual_cpu_dual_gpu())));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Underscores are accepted interchangeably with hyphens.
+        let e = parse_args(&args("estimate cc --input x.mtx --devices cpu_gpu")).unwrap();
+        match e {
+            Command::Estimate { devices, .. } => {
+                assert_eq!(devices, Some(Box::new(DeviceSet::cpu_gpu())));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+
+        // An unknown preset names its argument position and the valid names.
+        let bad = parse_args(&args("estimate spmm --input x.mtx --devices warp-pool")).unwrap_err();
+        assert!(bad.0.contains("argument 6 (--devices)"), "{}", bad.0);
+        assert!(bad.0.contains("warp-pool"), "{}", bad.0);
+        assert!(bad.0.contains("dual-cpu-dual-gpu"), "{}", bad.0);
+        let bad =
+            parse_args(&args("estimate spmm --seed 9 --input x.mtx --devices nope")).unwrap_err();
+        assert!(bad.0.contains("argument 8 (--devices)"), "{}", bad.0);
+
+        // k-way sets conflict with the scalar-only modes.
+        assert!(parse_args(&args(
+            "estimate spmm --batch b.txt --devices dual-cpu-dual-gpu"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "estimate spmm --input x.mtx --devices dual-cpu-dual-gpu --exhaustive"
+        ))
+        .is_err());
+        assert!(parse_args(&args(
+            "estimate cc --input x.mtx --drift o.jsonl --devices cpu-gpu"
+        ))
+        .is_err());
+        // ... but the canonical pair rides along with --batch (cache key).
+        assert!(parse_args(&args("estimate spmm --batch b.txt --devices cpu-gpu")).is_ok());
+    }
+
+    /// End-to-end `estimate --devices`: the k-way analytic path prints the
+    /// cut vector and one work-fraction row per device, exports the
+    /// fractions as gauges, and `nbwp report --metrics` renders them as a
+    /// dedicated row. hh has no contiguous-span curve and fails loudly.
+    #[test]
+    fn kway_estimate_reports_per_device_fractions() {
+        let dir = std::env::temp_dir().join("nbwp_cli_kway_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("rma10.mtx");
+        run(&Command::Gen {
+            dataset: "rma10".into(),
+            scale: 0.005,
+            seed: 3,
+            out: mtx.to_str().unwrap().into(),
+        })
+        .unwrap();
+        let estimate =
+            |workload: &str, set: DeviceSet, audit: Option<String>, m: Option<String>| {
+                run(&Command::Estimate {
+                    workload: workload.into(),
+                    input: Some(mtx.to_str().unwrap().into()),
+                    batch: None,
+                    cache_size: None,
+                    seed: 3,
+                    exhaustive: false,
+                    strategy: None,
+                    analytic: false,
+                    trace_out: None,
+                    metrics: false,
+                    metrics_out: m,
+                    audit_out: audit,
+                    drift: None,
+                    devices: Some(Box::new(set)),
+                })
+            };
+
+        let metrics = dir.join("kway.json");
+        let text = estimate(
+            "spmm",
+            DeviceSet::dual_cpu_dual_gpu(),
+            None,
+            Some(metrics.to_str().unwrap().into()),
+        )
+        .unwrap();
+        assert!(
+            text.contains("k-way partition over dual-cpu-dual-gpu (k = 4)"),
+            "{text}"
+        );
+        assert!(text.contains("cut thresholds ["), "{text}");
+        for row in [
+            "device 0 (cpu ×1.00)",
+            "device 1 (cpu ×0.50)",
+            "device 2 (gpu ×1.00)",
+            "device 3 (gpu ×0.75)",
+        ] {
+            assert!(text.contains(row), "{text}");
+        }
+        assert_eq!(text.matches("% of the work").count(), 4, "{text}");
+
+        // cc prices bands too (k = 8 preset).
+        let text = estimate("cc", DeviceSet::quad_cpu_quad_gpu(), None, None).unwrap();
+        assert_eq!(text.matches("% of the work").count(), 8, "{text}");
+
+        // The gauges landed in the snapshot and the dashboard renders the
+        // dedicated work-fraction row (needs an audit log for the report).
+        let audit = dir.join("kway-audit.jsonl");
+        estimate(
+            "spmm",
+            DeviceSet::cpu_gpu(), // canonical: serving path records audit
+            Some(audit.to_str().unwrap().into()),
+            None,
+        )
+        .unwrap();
+        let dash = run(&Command::Report {
+            audit: audit.to_str().unwrap().into(),
+            metrics: Some(metrics.to_str().unwrap().into()),
+        })
+        .unwrap();
+        assert!(dash.contains("work fractions: d0"), "{dash}");
+        assert!(dash.contains("d3"), "{dash}");
+
+        // hh partitions by a predicate, not contiguous spans.
+        let e = estimate("hh", DeviceSet::dual_cpu_dual_gpu(), None, None).unwrap_err();
+        assert!(e.0.contains("cc | spmm"), "{}", e.0);
+        // An explicit non-analytic strategy conflicts with a k-way set.
+        let e = run(&Command::Estimate {
+            workload: "spmm".into(),
+            input: Some(mtx.to_str().unwrap().into()),
+            batch: None,
+            cache_size: None,
+            seed: 3,
+            exhaustive: false,
+            strategy: Some("coarse_to_fine".into()),
+            analytic: false,
+            trace_out: None,
+            metrics: false,
+            metrics_out: None,
+            audit_out: None,
+            drift: None,
+            devices: Some(Box::new(DeviceSet::dual_cpu_dual_gpu())),
+        })
+        .unwrap_err();
+        assert!(e.0.contains("--analytic"), "{}", e.0);
+
+        for f in [&mtx, &metrics, &audit] {
             std::fs::remove_file(f).ok();
         }
     }
@@ -1818,6 +2125,7 @@ mod tests {
                 metrics_out: None,
                 audit_out: None,
                 drift: None,
+                devices: None,
             })
             .unwrap();
             assert!(text.contains("estimated threshold"), "{wl}: {text}");
@@ -1840,6 +2148,7 @@ mod tests {
                 metrics_out: None,
                 audit_out: None,
                 drift: None,
+                devices: None,
             })
             .unwrap();
             assert!(text.contains("(analytic)"), "{wl}: {text}");
@@ -1877,6 +2186,7 @@ mod tests {
                 metrics_out: None,
                 audit_out: None,
                 drift: None,
+                devices: None,
             })
             .unwrap();
             assert!(text.contains("wrote trace"), "{text}");
@@ -1968,7 +2278,8 @@ mod tests {
             metrics: false,
             metrics_out: None,
             audit_out: None,
-            drift: None
+            drift: None,
+            devices: None
         })
         .is_err());
     }

@@ -19,8 +19,8 @@
 //!    scratch.
 //! 3. [`DriftServer`] holds the live profile, applies deltas, and
 //!    re-minimizes the patched curve with a *warm* hill-descent from the
-//!    previous threshold ([`minimize_curve`]) instead of a cold bracketing
-//!    search. When the span exceeds [`PATCH_CROSSOVER_FRACTION`] of the
+//!    previous threshold ([`minimize_partition`] on the canonical device
+//!    pair) instead of a cold bracketing search. When the span exceeds [`PATCH_CROSSOVER_FRACTION`] of the
 //!    input, it falls back to a full in-place rebuild (a whole-input
 //!    patch) and a cold search.
 //!
@@ -41,13 +41,13 @@
 use std::ops::Range;
 
 use nbwp_par::Pool;
-use nbwp_sim::{ProfileScratch, SimTime};
+use nbwp_sim::{DeviceSet, ProfileScratch, SimTime};
 use nbwp_trace::{AuditEvent, CacheDecision, FlightRecorder};
 
 use crate::fingerprint::Fingerprinted;
 use crate::framework::PartitionedWorkload;
 use crate::profile::Profilable;
-use crate::search::minimize_curve;
+use crate::search::minimize_partition;
 use crate::threshold_cache::ThresholdCache;
 
 /// Span fraction (touched units over total units) above which the server
@@ -188,8 +188,15 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
             let curve = workload
                 .curve(&profile)
                 .expect("drift serving needs an analytic cost curve");
-            let m = minimize_curve(curve.as_ref(), &space, step, None);
-            (m.threshold, m.total, m.probes)
+            let m = minimize_partition(
+                curve.as_ref(),
+                DeviceSet::cpu_gpu_static(),
+                &space,
+                step,
+                None,
+            )
+            .expect("the canonical pair prices every curve");
+            (m.thresholds[0], m.total, m.probes)
         };
         DriftServer {
             workload,
@@ -290,8 +297,19 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
             let curve = next
                 .curve(&self.profile)
                 .expect("drift serving needs an analytic cost curve");
-            let warm = if rebuild { None } else { Some(prev_threshold) };
-            let m = minimize_curve(curve.as_ref(), &space, self.step, warm);
+            let warm_buf = if rebuild {
+                None
+            } else {
+                Some([prev_threshold])
+            };
+            let m = minimize_partition(
+                curve.as_ref(),
+                DeviceSet::cpu_gpu_static(),
+                &space,
+                self.step,
+                warm_buf.as_ref().map(<[f64; 1]>::as_slice),
+            )
+            .expect("the canonical pair prices every curve");
             // Staleness regret: what serving the *old* threshold on the
             // *new* curve would cost over the fresh minimum.
             let stale = curve.total_at(curve.split_for(space.clamp(prev_threshold)));
@@ -302,10 +320,11 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
             };
             (m, regret)
         };
+        let new_threshold = minimum.thresholds[0];
 
         let decision = if rebuild {
             DriftDecision::Rebuilt
-        } else if minimum.threshold == prev_threshold {
+        } else if new_threshold == prev_threshold {
             DriftDecision::Patched
         } else {
             DriftDecision::Nudged
@@ -335,7 +354,7 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
                 kind: fp.kind,
                 digest: fp.digest,
                 decision: decision.cache_decision(),
-                threshold: minimum.threshold,
+                threshold: new_threshold,
                 evaluations: 0,
                 grad_probes: probes,
                 sim_cost_ms: 0.0,
@@ -345,12 +364,12 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
         }
 
         self.workload = next;
-        self.threshold = minimum.threshold;
+        self.threshold = new_threshold;
         self.total = minimum.total;
         self.steps += 1;
         DriftStep {
             decision,
-            threshold: minimum.threshold,
+            threshold: new_threshold,
             total: minimum.total,
             probes: minimum.probes,
             probes_saved,
@@ -363,7 +382,6 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::search::minimize_curve;
     use crate::workloads::{CcWorkload, SpmmWorkload};
     use nbwp_graph::delta::GraphDelta;
     use nbwp_graph::gen as ggen;
@@ -387,8 +405,15 @@ mod tests {
         let profile = w.build_profile(Pool::global());
         let space = w.space();
         let curve = w.curve(&profile).expect("curve");
-        let m = minimize_curve(curve.as_ref(), &space, space.fine_step, None);
-        (m.threshold, m.total)
+        let m = minimize_partition(
+            curve.as_ref(),
+            DeviceSet::cpu_gpu_static(),
+            &space,
+            space.fine_step,
+            None,
+        )
+        .expect("the canonical pair prices every curve");
+        (m.thresholds[0], m.total)
     }
 
     #[test]

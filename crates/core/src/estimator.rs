@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use nbwp_par::Pool;
-use nbwp_sim::SimTime;
+use nbwp_sim::{DeviceSet, SimTime};
 use nbwp_trace::{ArgValue, AuditEvent, CacheDecision, FlightRecorder, Recorder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -126,6 +126,7 @@ pub struct Estimator<'a> {
     cache: Option<&'a ThresholdCache>,
     audit: Option<&'a FlightRecorder>,
     shadow_rate: f64,
+    devices: Option<&'a DeviceSet>,
 }
 
 impl<'a> Estimator<'a> {
@@ -143,7 +144,31 @@ impl<'a> Estimator<'a> {
             cache: None,
             audit: None,
             shadow_rate: DEFAULT_SHADOW_RATE,
+            devices: None,
         }
+    }
+
+    /// Declares the device topology the estimate is destined for (default:
+    /// the canonical CPU+GPU pair). This widens the cache key — estimates
+    /// for different topologies never alias — but does **not** change the
+    /// estimation itself, which stays the scalar canonical-pair pipeline;
+    /// k-way cut search runs on the full input via
+    /// [`ProfiledSearcher::run_partition`](crate::search::ProfiledSearcher::run_partition).
+    #[must_use]
+    pub fn devices(mut self, set: &'a DeviceSet) -> Self {
+        self.devices = Some(set);
+        self
+    }
+
+    /// The configuration component of this estimator's cache key.
+    fn config_key(&self) -> ConfigKey {
+        ConfigKey::with_devices(
+            self.strategy,
+            self.spec,
+            self.seed,
+            self.repeats,
+            self.devices.unwrap_or(DeviceSet::cpu_gpu_static()),
+        )
     }
 
     /// Attaches a [`FlightRecorder`]: the serving paths
@@ -276,7 +301,7 @@ impl<'a> Estimator<'a> {
         };
         let key = CacheKey {
             input: workload.fingerprint().exact_key(),
-            config: ConfigKey::of(self.strategy, self.spec, self.seed, self.repeats),
+            config: self.config_key(),
         };
         // Exact hit: record-and-return inside the arm — the hot path stays
         // a short straight line, with the µs-scale miss machinery outlined
@@ -372,7 +397,7 @@ impl<'a> Estimator<'a> {
         workloads: &[W],
     ) -> Vec<SamplingEstimate> {
         let pool = self.pool.unwrap_or(Pool::global());
-        let config = ConfigKey::of(self.strategy, self.spec, self.seed, self.repeats);
+        let config = self.config_key();
         let (reps, group_of) = batch_groups(workloads, config);
         let results = if active_audit(self.audit).is_some() {
             let mut e = *self;
@@ -382,13 +407,14 @@ impl<'a> Estimator<'a> {
         } else {
             // Rebuild a recorder-free estimator inside the closure: the
             // recorders are single-threaded, everything else is `Sync`.
-            let (strategy, spec, seed, repeats, cache, shadow_rate) = (
+            let (strategy, spec, seed, repeats, cache, shadow_rate, devices) = (
                 self.strategy,
                 self.spec,
                 self.seed,
                 self.repeats,
                 self.cache,
                 self.shadow_rate,
+                self.devices,
             );
             pool.map(&reps, |&i| {
                 let e = Estimator {
@@ -401,6 +427,7 @@ impl<'a> Estimator<'a> {
                     cache,
                     audit: None,
                     shadow_rate,
+                    devices,
                 };
                 e.run_cached(&workloads[i])
             })
@@ -546,7 +573,7 @@ impl ProfiledEstimator<'_> {
         };
         let key = CacheKey {
             input: workload.fingerprint().exact_key(),
-            config: ConfigKey::of(cfg.strategy, cfg.spec, cfg.seed, cfg.repeats),
+            config: cfg.config_key(),
         };
         // Exact hit: record-and-return inside the arm — the hot path stays
         // a short straight line, with the µs-scale miss machinery outlined
@@ -693,7 +720,7 @@ impl ProfiledEstimator<'_> {
     {
         let cfg = &self.inner;
         let pool = cfg.pool.unwrap_or(Pool::global());
-        let config = ConfigKey::of(cfg.strategy, cfg.spec, cfg.seed, cfg.repeats);
+        let config = cfg.config_key();
         let (reps, group_of) = batch_groups(workloads, config);
         let results = if active_audit(cfg.audit).is_some() {
             // Audited batches serve representatives sequentially: the
@@ -706,13 +733,14 @@ impl ProfiledEstimator<'_> {
         } else {
             // Rebuild a recorder-free estimator inside the closure: the
             // recorders are single-threaded, everything else is `Sync`.
-            let (strategy, spec, seed, repeats, cache, shadow_rate) = (
+            let (strategy, spec, seed, repeats, cache, shadow_rate, devices) = (
                 cfg.strategy,
                 cfg.spec,
                 cfg.seed,
                 cfg.repeats,
                 cfg.cache,
                 cfg.shadow_rate,
+                cfg.devices,
             );
             pool.map(&reps, |&i| {
                 let e = ProfiledEstimator {
@@ -726,6 +754,7 @@ impl ProfiledEstimator<'_> {
                         cache,
                         audit: None,
                         shadow_rate,
+                        devices,
                     },
                 };
                 e.run_cached(&workloads[i])
@@ -793,10 +822,11 @@ where
     W: Sampleable,
     W::Sample: Profilable,
 {
+    let warm_cuts = warm.map(|hint| [hint]);
     estimate_core(workload, spec, strategy.name(), seed, rec, |sample, rec| {
         let mut searcher = Searcher::new(strategy).recorder(rec).pool(pool);
-        if let Some(hint) = warm {
-            searcher = searcher.warm_hint(hint);
+        if let Some(cuts) = warm_cuts.as_ref() {
+            searcher = searcher.warm_cuts(cuts);
         }
         searcher.profiled().run(sample)
     })

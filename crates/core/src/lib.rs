@@ -72,16 +72,19 @@ pub mod prelude {
     pub use crate::fingerprint::{DensityClass, Fingerprint, FingerprintDelta, Fingerprinted};
     pub use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable, ThresholdSpace};
     pub use crate::profile::{Profilable, ProfiledWorkload, Resampleable};
+    #[allow(deprecated)] // the scalar minimizer stays importable through the prelude
+    pub use crate::search::minimize_curve;
+    pub use crate::search::{
+        candidate_splits, gradient_descent_analytic, minimize_partition, CurveMinimum,
+        PartitionMinimum, PartitionOutcome, ProfiledSearcher, SearchOutcome, Searcher, Strategy,
+        UnknownStrategy, DEFAULT_GRADIENT_EVALS,
+    };
     #[allow(deprecated)] // the shims stay importable through the prelude
     pub use crate::search::{
         coarse_to_fine, coarse_to_fine_pooled, coarse_to_fine_profiled, coarse_to_fine_with,
         exhaustive, exhaustive_pooled, exhaustive_profiled, exhaustive_with, gradient_descent,
         gradient_descent_pooled, gradient_descent_profiled, gradient_descent_with, race_then_fine,
         race_then_fine_pooled, race_then_fine_profiled, race_then_fine_with,
-    };
-    pub use crate::search::{
-        gradient_descent_analytic, minimize_curve, CurveMinimum, ProfiledSearcher, SearchOutcome,
-        Searcher, Strategy, UnknownStrategy, DEFAULT_GRADIENT_EVALS,
     };
     pub use crate::threshold_cache::{CacheStats, ThresholdCache, SHADOW_REGRET_CAPACITY};
     pub use crate::workloads::{
@@ -90,7 +93,9 @@ pub mod prelude {
         SpmvWorkload,
     };
     pub use nbwp_par::Pool;
-    pub use nbwp_sim::{CurveEval, Platform, SimTime};
+    pub use nbwp_sim::{
+        CurveEval, Device, DeviceKind, DeviceSet, Link, Partition, Platform, SimTime,
+    };
     pub use nbwp_trace::{
         validate_audit_jsonl, AuditCheck, AuditEvent, AuditTotals, CacheDecision, FlightRecorder,
         Recorder, Trace,

@@ -53,11 +53,12 @@
 //! `gradient_descent_profiled`, …) remain as deprecated shims delegating
 //! to the builder — see the README migration table.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 
 use nbwp_par::Pool;
-use nbwp_sim::{CurveEval, RunReport, SimTime};
+use nbwp_sim::{CurveEval, Device, DeviceSet, Partition, RunReport, SimTime};
 use nbwp_trace::{ArgValue, Recorder};
 
 use crate::evalcache::quantize;
@@ -217,6 +218,7 @@ pub struct Searcher<'a> {
     rec: Option<&'a Recorder>,
     pool: Option<&'a Pool>,
     warm_hint: Option<f64>,
+    warm_cuts: Option<&'a [f64]>,
 }
 
 impl<'a> Searcher<'a> {
@@ -228,6 +230,7 @@ impl<'a> Searcher<'a> {
             rec: None,
             pool: None,
             warm_hint: None,
+            warm_cuts: None,
         }
     }
 
@@ -241,10 +244,31 @@ impl<'a> Searcher<'a> {
     /// for merely similar inputs it may settle on a different local
     /// minimum of a multimodal curve (the near-hit serving trade-off, see
     /// DESIGN.md "Fingerprints & amortized serving").
+    #[deprecated(since = "0.3.0", note = "use Searcher::warm_cuts(&[hint])")]
     #[must_use]
     pub fn warm_hint(mut self, hint: f64) -> Self {
         self.warm_hint = Some(hint);
         self
+    }
+
+    /// Warm-starts the search from a previously found cut vector. For the
+    /// scalar strategies and the canonical two-device pipeline only the
+    /// first cut is consulted — it is exactly the old `warm_hint`, with
+    /// the same basin caveat. [`ProfiledSearcher::run_partition`] at
+    /// `k > 2` seeds its coordinate descent from the full vector instead
+    /// of the speed-proportional split.
+    #[must_use]
+    pub fn warm_cuts(mut self, cuts: &'a [f64]) -> Self {
+        self.warm_cuts = Some(cuts);
+        self
+    }
+
+    /// The scalar warm hint the analytic strategy descends from: the first
+    /// warm cut when one is set, else the deprecated scalar hint.
+    fn effective_warm(&self) -> Option<f64> {
+        self.warm_cuts
+            .and_then(|cuts| cuts.first().copied())
+            .or(self.warm_hint)
     }
 
     /// Traces candidate evaluations (and flushed profile metrics) into
@@ -316,27 +340,145 @@ impl ProfiledSearcher<'_> {
         let rec = self.inner.rec.unwrap_or(&disabled);
         let pool = self.inner.pool.unwrap_or(Pool::global());
         let pw = ProfiledWorkload::with_pool(w, pool);
-        let out = match self.inner.strategy {
+        let out = self.run_on_profile(w, &pw, rec, pool);
+        pw.flush_metrics(rec);
+        out
+    }
+
+    /// Strategy dispatch over an already-built profile (shared by
+    /// [`ProfiledSearcher::run`] and the canonical-pair arm of
+    /// [`ProfiledSearcher::run_partition`], which must not profile twice).
+    fn run_on_profile<W: Profilable>(
+        &self,
+        w: &W,
+        pw: &ProfiledWorkload<'_, W>,
+        rec: &Recorder,
+        pool: &Pool,
+    ) -> SearchOutcome {
+        match self.inner.strategy {
             Strategy::Exhaustive { step } => {
-                exhaustive_impl(&pw, resolve_step(step, &pw.space()), rec, pool)
+                exhaustive_impl(pw, resolve_step(step, &pw.space()), rec, pool)
             }
-            Strategy::CoarseToFine => coarse_to_fine_impl(&pw, rec, pool),
-            Strategy::RaceThenFine => race_then_fine_impl(&pw, rec, pool),
+            Strategy::CoarseToFine => coarse_to_fine_impl(pw, rec, pool),
+            Strategy::RaceThenFine => race_then_fine_impl(pw, rec, pool),
             Strategy::GradientDescent { max_evals } => {
-                gradient_descent_impl(&pw, max_evals, rec, pool)
+                gradient_descent_impl(pw, max_evals, rec, pool)
             }
             Strategy::Analytic { step } => analytic_impl(
                 w,
-                &pw,
+                pw,
                 resolve_step(step, &pw.space()),
-                self.inner.warm_hint,
+                self.inner.effective_warm(),
                 rec,
                 pool,
             ),
+        }
+    }
+
+    /// Searches for the best k-way [`Partition`] of `w` over `set`.
+    ///
+    /// The canonical CPU+GPU pair routes through the configured scalar
+    /// strategy — the returned cut, total, and evaluation log (in
+    /// `scalar`) are bitwise identical to [`ProfiledSearcher::run`], and
+    /// the partition view is derived from the same cost curve. Any other
+    /// set requires [`Strategy::Analytic`]: cut points are located by
+    /// coordinate descent on the curve's band prices
+    /// ([`minimize_partition`]), seeded from the speed-proportional split
+    /// (or [`Searcher::warm_cuts`] when set).
+    ///
+    /// # Panics
+    /// Panics for non-canonical sets when the strategy is not
+    /// [`Strategy::Analytic`], when the workload exposes no cost curve, or
+    /// when its curve does not price device bands (degree-cutoff curves
+    /// like scale-free HH partition by a predicate, not by contiguous
+    /// spans — see DESIGN.md).
+    #[must_use]
+    pub fn run_partition<W: Profilable>(&self, w: &W, set: &DeviceSet) -> PartitionOutcome {
+        let disabled = Recorder::disabled();
+        let rec = self.inner.rec.unwrap_or(&disabled);
+        let pool = self.inner.pool.unwrap_or(Pool::global());
+        let pw = ProfiledWorkload::with_pool(w, pool);
+        let space = w.space();
+        let out = if set.is_canonical_pair() {
+            let scalar = self.run_on_profile(w, &pw, rec, pool);
+            let partition = w.curve(pw.profile()).map(|curve| {
+                let units = curve.splits() - 1;
+                Partition::two_way(units, curve.split_for(space.clamp(scalar.best_t)))
+            });
+            PartitionOutcome {
+                cuts: vec![scalar.best_t],
+                fractions: partition
+                    .as_ref()
+                    .map(Partition::fractions)
+                    .unwrap_or_default(),
+                partition,
+                total: scalar.best_time,
+                probes: scalar.grad_probes,
+                sweeps: 0,
+                scalar: Some(scalar),
+            }
+        } else {
+            let Strategy::Analytic { step } = self.inner.strategy else {
+                panic!(
+                    "k-way partition search prices bands from the cost curve; \
+                     use Strategy::Analytic"
+                )
+            };
+            let curve = w
+                .curve(pw.profile())
+                .expect("workload exposes no cost curve; k-way partitioning needs one");
+            let minimum = minimize_partition(
+                curve.as_ref(),
+                set,
+                &space,
+                resolve_step(step, &space),
+                self.inner.warm_cuts,
+            )
+            .expect(
+                "curve does not price device bands; k-way partitioning needs \
+                 a contiguous-span cost curve (spmm, gemm, cc)",
+            );
+            if rec.is_enabled() {
+                rec.counter_add("search.grad_probes", minimum.probes as u64);
+            }
+            PartitionOutcome {
+                cuts: minimum.thresholds,
+                fractions: minimum.partition.fractions(),
+                partition: Some(minimum.partition),
+                total: minimum.total,
+                probes: minimum.probes,
+                sweeps: minimum.sweeps,
+                scalar: None,
+            }
         };
         pw.flush_metrics(rec);
         out
     }
+}
+
+/// Outcome of a k-way partition search ([`ProfiledSearcher::run_partition`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionOutcome {
+    /// Cut thresholds in threshold space, ascending — one per device
+    /// boundary (`k − 1` of them).
+    pub cuts: Vec<f64>,
+    /// Per-device work fractions of the chosen partition (sums to 1 on
+    /// non-empty inputs; empty when no curve was available to derive the
+    /// partition).
+    pub fractions: Vec<f64>,
+    /// The chosen partition over the curve's unit domain, when a cost
+    /// curve was available.
+    pub partition: Option<Partition>,
+    /// Priced total of the chosen partition.
+    pub total: SimTime,
+    /// Curve probes spent locating the cuts (partition totals at `k > 2`,
+    /// scalar curve totals on the canonical pair).
+    pub probes: usize,
+    /// Coordinate-descent sweeps spent (0 on the canonical scalar path).
+    pub sweeps: usize,
+    /// The full scalar search outcome when the canonical pair routed
+    /// through the scalar strategy; `None` for true k-way searches.
+    pub scalar: Option<SearchOutcome>,
 }
 
 /// `None` grid steps resolve to the space's fine step (linear or
@@ -587,6 +729,14 @@ fn gradient_descent_impl(
     SearchOutcome::from_evals(evals)
 }
 
+/// A memoized 1-D objective the cold minimum finder can probe by candidate
+/// index. Implemented by [`CurveMemo`] (scalar curve totals) and
+/// [`CoordMemo`] (one coordinate of a k-way cut vector, every other cut
+/// held fixed).
+trait TotalFn {
+    fn total(&mut self, i: usize) -> SimTime;
+}
+
 /// Memoized curve-total lookups over the candidate list, counting probes.
 struct CurveMemo<'c> {
     curve: &'c dyn CurveEval,
@@ -605,7 +755,9 @@ impl<'c> CurveMemo<'c> {
             probes: 0,
         }
     }
+}
 
+impl TotalFn for CurveMemo<'_> {
     fn total(&mut self, i: usize) -> SimTime {
         if let Some(v) = self.totals[i] {
             return v;
@@ -615,32 +767,76 @@ impl<'c> CurveMemo<'c> {
         self.probes += 1;
         v
     }
-
-    /// True when the curve strictly descends from candidate `i` to
-    /// `i + 1`. Plateaus count as non-descending so bisection settles on
-    /// the *lowest* threshold of a flat minimum — the exhaustive
-    /// tie-break.
-    fn descending(&mut self, i: usize) -> bool {
-        self.total(i + 1) < self.total(i)
-    }
 }
 
-/// Shared candidate-selection core of [`Strategy::Analytic`] and
-/// [`minimize_curve`]: collapses the threshold grid onto distinct splits
-/// and locates the local-minimum candidates on the curve — via warm
-/// hill-descent when a hint is given, via the stride scan + sign-change
-/// bisection otherwise. Returns the collapsed candidates, the chosen
-/// indices (sorted, deduplicated), and the memo holding every curve total
-/// probed along the way.
-fn select_on_curve<'c>(
-    curve: &'c dyn CurveEval,
+/// True when the objective strictly descends from candidate `i` to
+/// `i + 1`. Plateaus count as non-descending so bisection settles on the
+/// *lowest* index of a flat minimum — the exhaustive tie-break.
+fn descending<M: TotalFn + ?Sized>(memo: &mut M, i: usize) -> bool {
+    memo.total(i + 1) < memo.total(i)
+}
+
+/// The cold subgradient search over candidate indices `lo..=hi`: a stride
+/// scan of the adjacent-candidate subgradient sign locates every
+/// descending→ascending bracket, each bracket bisects to a local minimum,
+/// and the boundary indices join when the curve does not descend into (or
+/// keeps descending out of) the range. Returns the local-minimum
+/// candidates, sorted and deduplicated. Over the full range `[0, m − 1]`
+/// this is exactly the scalar analytic cold search; [`minimize_partition`]
+/// reuses it per coordinate over the bracket its neighbours allow.
+fn cold_minima<M: TotalFn + ?Sized>(memo: &mut M, lo: usize, hi: usize) -> Vec<usize> {
+    let mut chosen: Vec<usize> = Vec::new();
+    if lo == hi {
+        chosen.push(lo);
+        return chosen;
+    }
+    // Subgradient domain: D(i) = total(i+1) - total(i), i in lo..=hi-1.
+    let last_d = hi - 1;
+    if !descending(memo, lo) {
+        // Non-descending start: the left edge is a local minimum.
+        chosen.push(lo);
+    }
+    if descending(memo, last_d) {
+        // Still descending at the end: the right edge is one.
+        chosen.push(hi);
+    }
+    // Scan at a stride comparable to the coarse-grid granularity, then
+    // bisect every sign change. Basins narrower than the stride are
+    // the same ones a coarse-to-fine sweep would miss.
+    let stride = ((last_d - lo) / 12).max(1);
+    let mut scan: Vec<usize> = (lo..=last_d).step_by(stride).collect();
+    if *scan.last().expect("non-empty") != last_d {
+        scan.push(last_d);
+    }
+    for pair in scan.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if descending(memo, a) && !descending(memo, b) {
+            let (mut bis_lo, mut bis_hi) = (a, b);
+            while bis_hi - bis_lo > 1 {
+                let mid = bis_lo + (bis_hi - bis_lo) / 2;
+                if descending(memo, mid) {
+                    bis_lo = mid;
+                } else {
+                    bis_hi = mid;
+                }
+            }
+            // total falls into `bis_hi` and does not fall out of it.
+            chosen.push(bis_hi);
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+/// Collapses the threshold grid onto distinct splits, keeping the lowest
+/// threshold of each run of equal splits (the exhaustive tie-break prefers
+/// it on the flat stretch they share).
+fn collapse_candidates(
+    curve: &dyn CurveEval,
     space: &ThresholdSpace,
     step: f64,
-    warm: Option<f64>,
-) -> (Vec<(f64, usize)>, Vec<usize>, CurveMemo<'c>) {
-    // Collapse the threshold grid onto distinct splits, keeping the lowest
-    // threshold of each run of equal splits (the exhaustive tie-break
-    // prefers it on the flat stretch they share).
+) -> Vec<(f64, usize)> {
     let mut cands: Vec<(f64, usize)> = Vec::new();
     for t in grid_points(space, step) {
         let s = curve.split_for(t);
@@ -652,7 +848,37 @@ fn select_on_curve<'c>(
             cands.push((t, s));
         }
     }
+    cands
+}
 
+/// The collapsed `(threshold, split)` candidate grid shared by the scalar
+/// minimizer and every [`minimize_partition`] coordinate: one candidate
+/// per distinct split the step-grid reaches, keeping the lowest threshold
+/// naming each split. Public so exhaustive baselines (`bench_eval`'s
+/// k-way gate) can enumerate exactly the grid the searches optimize over.
+#[must_use]
+pub fn candidate_splits(
+    curve: &dyn CurveEval,
+    space: &ThresholdSpace,
+    step: f64,
+) -> Vec<(f64, usize)> {
+    collapse_candidates(curve, space, step)
+}
+
+/// Shared candidate-selection core of [`Strategy::Analytic`] and the
+/// scalar curve minimizer: collapses the threshold grid onto distinct
+/// splits and locates the local-minimum candidates on the curve — via warm
+/// hill-descent when a hint is given, via the stride scan + sign-change
+/// bisection ([`cold_minima`]) otherwise. Returns the collapsed
+/// candidates, the chosen indices (sorted, deduplicated), and the memo
+/// holding every curve total probed along the way.
+fn select_on_curve<'c>(
+    curve: &'c dyn CurveEval,
+    space: &ThresholdSpace,
+    step: f64,
+    warm: Option<f64>,
+) -> (Vec<(f64, usize)>, Vec<usize>, CurveMemo<'c>) {
+    let cands = collapse_candidates(curve, space, step);
     let m = cands.len();
     let mut memo = CurveMemo::new(curve, &cands);
     let mut chosen: Vec<usize> = Vec::new();
@@ -666,7 +892,7 @@ fn select_on_curve<'c>(
         // terminates on the lowest-index point of its local plateau,
         // matching the cold search's lowest-threshold tie-break. Starting
         // inside the cold argmin's basin therefore reproduces the cold
-        // answer exactly; see `Searcher::warm_hint` for the caveat when it
+        // answer exactly; see `Searcher::warm_cuts` for the caveat when it
         // does not.
         let hs = curve.split_for(space.clamp(hint));
         let h = cands.partition_point(|&(_, s)| s < hs).min(m - 1);
@@ -684,42 +910,7 @@ fn select_on_curve<'c>(
         }
         chosen.push(j);
     } else {
-        // Subgradient domain: D(i) = total(i+1) - total(i), i in 0..=m-2.
-        let last_d = m - 2;
-        if !memo.descending(0) {
-            // Non-descending start: the left edge is a local minimum.
-            chosen.push(0);
-        }
-        if memo.descending(last_d) {
-            // Still descending at the end: the right edge is one.
-            chosen.push(m - 1);
-        }
-        // Scan at a stride comparable to the coarse-grid granularity, then
-        // bisect every sign change. Basins narrower than the stride are
-        // the same ones a coarse-to-fine sweep would miss.
-        let stride = (last_d / 12).max(1);
-        let mut scan: Vec<usize> = (0..=last_d).step_by(stride).collect();
-        if *scan.last().expect("non-empty") != last_d {
-            scan.push(last_d);
-        }
-        for pair in scan.windows(2) {
-            let (a, b) = (pair[0], pair[1]);
-            if memo.descending(a) && !memo.descending(b) {
-                let (mut lo, mut hi) = (a, b);
-                while hi - lo > 1 {
-                    let mid = lo + (hi - lo) / 2;
-                    if memo.descending(mid) {
-                        lo = mid;
-                    } else {
-                        hi = mid;
-                    }
-                }
-                // total falls into `hi` and does not fall out of it.
-                chosen.push(hi);
-            }
-        }
-        chosen.sort_unstable();
-        chosen.dedup();
+        chosen = cold_minima(&mut memo, 0, m - 1);
     }
     (cands, chosen, memo)
 }
@@ -748,8 +939,25 @@ pub struct CurveMinimum {
 /// lowest `(total, threshold)` wins, matching the exhaustive tie-break, so
 /// a warm call started inside the cold argmin's basin returns the cold
 /// answer exactly.
+#[deprecated(
+    since = "0.3.0",
+    note = "use minimize_partition(curve, DeviceSet::cpu_gpu_static(), ...) — \
+            the canonical two-device arm is this function, bitwise"
+)]
 #[must_use]
 pub fn minimize_curve(
+    curve: &dyn CurveEval,
+    space: &ThresholdSpace,
+    step: f64,
+    warm: Option<f64>,
+) -> CurveMinimum {
+    minimize_curve_impl(curve, space, step, warm)
+}
+
+/// The scalar curve minimizer (see the deprecated [`minimize_curve`] for
+/// the contract). Kept as the canonical-pair arm of
+/// [`minimize_partition`], which is what pins k=2 parity by construction.
+fn minimize_curve_impl(
     curve: &dyn CurveEval,
     space: &ThresholdSpace,
     step: f64,
@@ -773,6 +981,424 @@ pub fn minimize_curve(
         total: best_total,
         probes: memo.probes,
     }
+}
+
+/// A partition-level minimum located by [`minimize_partition`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionMinimum {
+    /// Cut thresholds in threshold space, ascending (`k − 1` of them;
+    /// each is the lowest threshold of its candidate's flat stretch).
+    pub thresholds: Vec<f64>,
+    /// The chosen partition over the curve's unit domain.
+    pub partition: Partition,
+    /// Priced total of the chosen partition.
+    pub total: SimTime,
+    /// Objective probes spent: scalar curve totals on the canonical pair,
+    /// distinct cut vectors priced via [`CurveEval::partition_total`]
+    /// otherwise.
+    pub probes: usize,
+    /// Coordinate-descent sweeps spent (0 on the canonical scalar path).
+    pub sweeps: usize,
+}
+
+/// Coordinate descent gives up after this many full sweeps without
+/// reaching a fixpoint. Accepted moves never increase the partition total
+/// and strictly improve their coordinate's adjacent-band objective, so in
+/// practice the search converges in a handful of sweeps; the cap bounds
+/// the plateau walks where cuts rebalance under a flat makespan.
+const MAX_CD_SWEEPS: usize = 32;
+
+/// How many distinct cold-sweep winners the coordinate descent polishes.
+/// Near-flat makespans can hide the global basin behind a neighbour that
+/// prices marginally cheaper at the sweep's resolution, so the descent
+/// runs from the best few basins and keeps the lowest `(total, cuts)`;
+/// memoized pricing makes the overlap between their paths free.
+const CD_SEEDS: usize = 3;
+
+/// Memoized pricing for coordinate descent. `priced` keys are vectors of
+/// candidate *indices* (not splits) valued by
+/// [`CurveEval::partition_total`]; `pairs` memoizes the adjacent-band pair
+/// objective by `(coordinate, band_lo, band_hi, split)` so re-visiting a
+/// coordinate under the same neighbours — which every later sweep and
+/// every overlapping seed does — costs nothing. `probes` counts distinct
+/// pricings of either kind — the k-way analogue of the scalar search's
+/// `grad_probes`.
+struct CdMemo<'c> {
+    curve: &'c dyn CurveEval,
+    set: &'c DeviceSet,
+    units: usize,
+    splits_of: Vec<usize>,
+    priced: HashMap<Vec<usize>, SimTime>,
+    pairs: HashMap<(usize, usize, usize, usize), SimTime>,
+    probes: usize,
+}
+
+impl CdMemo<'_> {
+    fn total(&mut self, cut_idx: &[usize]) -> Option<SimTime> {
+        if let Some(&v) = self.priced.get(cut_idx) {
+            return Some(v);
+        }
+        let cuts: Vec<usize> = cut_idx.iter().map(|&i| self.splits_of[i]).collect();
+        let p = Partition::new(self.units, cuts);
+        let v = self.curve.partition_total(self.set, &p)?;
+        self.priced.insert(cut_idx.to_vec(), v);
+        self.probes += 1;
+        Some(v)
+    }
+}
+
+/// One coordinate of the cut vector as a 1-D objective: the **max of the
+/// two bands adjacent to the cut**, at candidate index `base + i`, the
+/// neighbouring cuts held fixed. Moving a cut only changes those two
+/// bands, so this is the exact coordinate subproblem of the makespan —
+/// and unlike the full `max` over all bands it is not flat when the
+/// slowest band lies elsewhere, which is what lets the descent walk out
+/// of plateaus a whole-partition objective would strand it on. Lets
+/// [`cold_minima`] — the exact scalar cold search — run over the bracket
+/// the neighbouring cuts allow.
+struct CoordMemo<'m, 'c> {
+    cd: &'m mut CdMemo<'c>,
+    /// Which cut this coordinate moves — fixes the device pair and keys
+    /// the shared pair memo.
+    coord: usize,
+    left: Device,
+    right: Device,
+    /// Split where the left band starts (the previous cut, or 0).
+    band_lo: usize,
+    /// Split where the right band ends (the next cut, or `units`).
+    band_hi: usize,
+    base: usize,
+}
+
+impl TotalFn for CoordMemo<'_, '_> {
+    fn total(&mut self, i: usize) -> SimTime {
+        let s = self.cd.splits_of[self.base + i];
+        let key = (self.coord, self.band_lo, self.band_hi, s);
+        if let Some(&v) = self.cd.pairs.get(&key) {
+            return v;
+        }
+        let msg = "curve priced the seed partition but declined a band";
+        let l = self
+            .cd
+            .curve
+            .device_band(&self.left, self.band_lo, s)
+            .expect(msg);
+        let r = self
+            .cd
+            .curve
+            .device_band(&self.right, s, self.band_hi)
+            .expect(msg);
+        self.cd.probes += 1;
+        let v = l.max(r);
+        self.cd.pairs.insert(key, v);
+        v
+    }
+}
+
+/// Minimizes a cost curve over a k-way [`DeviceSet`] — the partition-vector
+/// generalization of the scalar curve minimizer.
+///
+/// * The **canonical CPU+GPU pair** routes through the scalar cold/warm
+///   search on [`CurveEval::total_at`] — the returned cut, total, and
+///   probe count are bitwise identical to the deprecated
+///   [`minimize_curve`], for *every* curve (including ones that do not
+///   price bands).
+/// * Any **other set** runs coordinate descent on the curve's band
+///   prices: cut points live on the same collapsed candidate grid as the
+///   scalar search, and each coordinate solves its *exact* subproblem —
+///   the max of the two bands adjacent to the cut, the only bands the cut
+///   touches — with the scalar cold search ([`cold_minima`]) over the
+///   bracket its neighbours allow. A move commits only if the full
+///   [`CurveEval::partition_total`] does not regress, so the makespan is
+///   non-increasing sweep over sweep; ties break toward lower cuts,
+///   matching the scalar lowest-threshold tie-break. Sweeps repeat to a
+///   fixpoint (capped), and a final plateau walk lowers each cut while
+///   the makespan holds bitwise, so equal-cost argmins resolve to the
+///   lexicographically lowest cut vector — the same answer an exhaustive
+///   enumeration's keep-first rule produces. The descent seeds from `warm` when it supplies all
+///   `k − 1` cuts (the serving path); cold, it prices every non-decreasing
+///   cut tuple on a *coarse* sub-grid — the k-way analogue of the scalar
+///   coarse-to-fine pass, with the speed-proportional Lagrangian split
+///   joining the pool — and descends from the best few basins
+///   ([`CD_SEEDS`] of them), which keeps it out of the local minima a
+///   single-seed descent can fall into. Returns `None` when the curve
+///   does not price device bands.
+#[must_use]
+pub fn minimize_partition(
+    curve: &dyn CurveEval,
+    set: &DeviceSet,
+    space: &ThresholdSpace,
+    step: f64,
+    warm: Option<&[f64]>,
+) -> Option<PartitionMinimum> {
+    let units = curve
+        .splits()
+        .checked_sub(1)
+        .expect("a curve exposes at least one split");
+    if set.is_canonical_pair() {
+        let m = minimize_curve_impl(curve, space, step, warm.and_then(|c| c.first().copied()));
+        return Some(PartitionMinimum {
+            thresholds: vec![m.threshold],
+            partition: Partition::two_way(units, m.split),
+            total: m.total,
+            probes: m.probes,
+            sweeps: 0,
+        });
+    }
+
+    let cands = collapse_candidates(curve, space, step);
+    let m = cands.len();
+    let k = set.len();
+    let kc = k - 1;
+    // Snap a target split to its candidate index — the same
+    // partition-point rule the scalar warm start uses.
+    let snap = |s: usize| cands.partition_point(|&(_, c)| c < s).min(m - 1);
+    let nondecreasing = |mut v: Vec<usize>| {
+        for j in 1..v.len() {
+            v[j] = v[j].max(v[j - 1]);
+        }
+        v
+    };
+    // Speed-proportional split: the Lagrangian balance point under
+    // uniform per-unit work. Transfer-bound inputs can sit far from it,
+    // so it is only ever a seed, never the answer.
+    let proportional = nondecreasing(
+        Partition::proportional(units, &set.weights(0.5))
+            .cuts()
+            .iter()
+            .map(|&c| snap(c))
+            .collect(),
+    );
+
+    let mut cd = CdMemo {
+        curve,
+        set,
+        units,
+        splits_of: cands.iter().map(|&(_, s)| s).collect(),
+        priced: HashMap::new(),
+        pairs: HashMap::new(),
+        probes: 0,
+    };
+    // Scalar-only curves decline the probe here and the search reports
+    // "unsupported" instead of panicking mid-descent.
+    cd.total(&proportional)?;
+
+    let seeds: Vec<Vec<usize>> = match warm {
+        Some(ts) if ts.len() == kc => vec![nondecreasing(
+            ts.iter()
+                .map(|&t| snap(curve.split_for(space.clamp(t))))
+                .collect(),
+        )],
+        _ => {
+            // Cold: sweep every non-decreasing cut tuple on a coarse
+            // sub-grid of the candidates and keep the best few basins.
+            // Tuple counts are combinatorial in k, so the sub-grid thins
+            // as arity grows.
+            let g = match kc {
+                0..=3 => 8,
+                4..=5 => 6,
+                _ => 5,
+            };
+            let stride = m.div_ceil(g).max(1);
+            let mut pts: Vec<usize> = (0..m).step_by(stride).collect();
+            if *pts.last().expect("grid is non-empty") != m - 1 {
+                pts.push(m - 1);
+            }
+            let mut pool = vec![(
+                cd.total(&proportional).expect("already priced"),
+                proportional.clone(),
+            )];
+            let mut odo = vec![0usize; kc];
+            loop {
+                let tuple: Vec<usize> = odo.iter().map(|&i| pts[i]).collect();
+                let t = cd.total(&tuple).expect("already priced the seed");
+                pool.push((t, tuple));
+                let mut advanced = false;
+                for j in (0..kc).rev() {
+                    if odo[j] + 1 < pts.len() {
+                        odo[j] += 1;
+                        let v = odo[j];
+                        for slot in odo.iter_mut().skip(j + 1) {
+                            *slot = v;
+                        }
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+            // `(total, cuts)` order keeps the lowest cuts first on ties,
+            // matching the exhaustive tie-break.
+            pool.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let mut seeds: Vec<Vec<usize>> = Vec::new();
+            for (_, s) in pool {
+                if seeds.len() == CD_SEEDS {
+                    break;
+                }
+                if !seeds.contains(&s) {
+                    seeds.push(s);
+                }
+            }
+            seeds
+        }
+    };
+
+    let mut best: Option<(SimTime, Vec<usize>)> = None;
+    let mut sweeps_spent = 0;
+    for seed in seeds {
+        let mut cut_idx = seed;
+        let mut sweeps = 0;
+        while sweeps < MAX_CD_SWEEPS {
+            sweeps += 1;
+            let mut moved = false;
+            for j in 0..kc {
+                let lo = if j == 0 { 0 } else { cut_idx[j - 1] };
+                let hi = if j == kc - 1 { m - 1 } else { cut_idx[j + 1] };
+                let devices = set.devices();
+                let mut coord = CoordMemo {
+                    coord: j,
+                    band_lo: if j == 0 {
+                        0
+                    } else {
+                        cd.splits_of[cut_idx[j - 1]]
+                    },
+                    band_hi: if j == kc - 1 {
+                        units
+                    } else {
+                        cd.splits_of[cut_idx[j + 1]]
+                    },
+                    left: devices[j],
+                    right: devices[j + 1],
+                    cd: &mut cd,
+                    base: lo,
+                };
+                let cur_pair = coord.total(cut_idx[j] - lo);
+                let chosen = cold_minima(&mut coord, 0, hi - lo);
+                let mut best_rel = chosen[0];
+                let mut best_pair = coord.total(best_rel);
+                for &c in &chosen[1..] {
+                    let t = coord.total(c);
+                    // Chosen indices ascend, so strict `<` keeps the lowest
+                    // cut on ties.
+                    if t < best_pair {
+                        best_rel = c;
+                        best_pair = t;
+                    }
+                }
+                let next = lo + best_rel;
+                let improves = best_pair < cur_pair || (best_pair == cur_pair && next < cut_idx[j]);
+                if improves && next != cut_idx[j] {
+                    // A pair improvement can still lose globally when the
+                    // merge cost depends on where the cuts sit — check the
+                    // full total before committing.
+                    let current = cd.total(&cut_idx).expect("already priced");
+                    let mut candidate = cut_idx.clone();
+                    candidate[j] = next;
+                    let candidate_total = cd
+                        .total(&candidate)
+                        .expect("curve priced the seed partition but declined a band");
+                    if candidate_total <= current {
+                        cut_idx = candidate;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                // Per-coordinate fixpoint. Single-cut moves cannot shift work
+                // *through* a band (growing one neighbour to relieve the one
+                // beyond it), so before giving up, try shifting every
+                // contiguous block of cuts one candidate step left or right —
+                // re-clamped to non-decreasing, which cancels the part of a
+                // shift that would cross a neighbour — committing the first
+                // strict global improvement, then let the descent re-polish.
+                // This subsumes the prefix/suffix cascades around a bottleneck
+                // band and also reaches joint moves like "both cuts left of
+                // the fast device step down together". Leftward shifts go
+                // first so an improving escape lands on the lower cuts,
+                // matching the lexicographic tie-break everywhere else.
+                let msg = "curve priced the seed partition but declined a band";
+                let current = cd.total(&cut_idx).expect("already priced");
+                let mut escaped = false;
+                'blocks: for leftward in [true, false] {
+                    for i in 0..kc {
+                        for j in i..kc {
+                            let mut candidate = cut_idx.clone();
+                            if leftward {
+                                for c in &mut candidate[i..=j] {
+                                    *c = c.saturating_sub(1);
+                                }
+                                for l in 1..kc {
+                                    candidate[l] = candidate[l].max(candidate[l - 1]);
+                                }
+                            } else {
+                                for c in &mut candidate[i..=j] {
+                                    *c = (*c + 1).min(m - 1);
+                                }
+                                for l in (0..kc.saturating_sub(1)).rev() {
+                                    candidate[l] = candidate[l].min(candidate[l + 1]);
+                                }
+                            }
+                            if candidate == cut_idx {
+                                continue;
+                            }
+                            if cd.total(&candidate).expect(msg) < current {
+                                cut_idx = candidate;
+                                escaped = true;
+                                break 'blocks;
+                            }
+                        }
+                    }
+                }
+                if !escaped {
+                    break;
+                }
+            }
+        }
+
+        sweeps_spent += sweeps;
+        let total = cd.total(&cut_idx).expect("already priced");
+        let better = match &best {
+            None => true,
+            Some((bt, bc)) => total < *bt || (total == *bt && cut_idx < *bc),
+        };
+        if better {
+            best = Some((total, cut_idx));
+        }
+    }
+    let (total, mut cut_idx) = best.expect("at least one seed descended");
+
+    // The exhaustive oracle keeps the lexicographically lowest cuts among
+    // equal-makespan argmins, but the descent only lowers a cut when its
+    // *pair* objective allows it — which can strand the winner on a
+    // plateau where a worse-balanced yet lex-lower vector prices the same
+    // makespan (the only thing served). Walk each cut down, left to
+    // right, while the full total holds bitwise; one pass suffices
+    // because a cut's lower bound is its already-finalized left
+    // neighbour.
+    for j in 0..kc {
+        while cut_idx[j] > if j == 0 { 0 } else { cut_idx[j - 1] } {
+            let mut candidate = cut_idx.clone();
+            candidate[j] -= 1;
+            let t = cd
+                .total(&candidate)
+                .expect("curve priced the seed partition but declined a band");
+            if t != total {
+                break;
+            }
+            cut_idx = candidate;
+        }
+    }
+
+    let cuts: Vec<usize> = cut_idx.iter().map(|&i| cands[i].1).collect();
+    Some(PartitionMinimum {
+        thresholds: cut_idx.iter().map(|&i| cands[i].0).collect(),
+        partition: Partition::new(units, cuts),
+        total,
+        probes: cd.probes,
+        sweeps: sweeps_spent,
+    })
 }
 
 /// Subgradient descent on the cost curve: the candidate grid collapses
@@ -1340,5 +1966,155 @@ mod tests {
             "gradient descent found {}",
             gd.best_t
         );
+    }
+
+    #[test]
+    fn minimize_partition_on_the_canonical_pair_is_minimize_curve_bitwise() {
+        let w = valley(37.0);
+        let curve = ValleyCurve(&w);
+        let space = w.space();
+        for warm in [None, Some(61.0)] {
+            #[allow(deprecated)]
+            let scalar = minimize_curve(&curve, &space, 1.0, warm);
+            let warm_buf = warm.map(|h| [h]);
+            let part = minimize_partition(
+                &curve,
+                DeviceSet::cpu_gpu_static(),
+                &space,
+                1.0,
+                warm_buf.as_ref().map(<[f64; 1]>::as_slice),
+            )
+            .expect("the canonical pair prices every curve");
+            assert_eq!(part.thresholds, vec![scalar.threshold]);
+            assert_eq!(part.partition.cuts(), &[scalar.split]);
+            assert_eq!(part.total, scalar.total);
+            assert_eq!(part.probes, scalar.probes);
+            assert_eq!(part.sweeps, 0);
+        }
+    }
+
+    #[test]
+    fn minimize_partition_declines_scalar_only_curves() {
+        // ValleyCurve never implements device_band, so a non-canonical set
+        // has nothing to price bands with — the search reports that
+        // instead of panicking.
+        let w = valley(37.0);
+        let curve = ValleyCurve(&w);
+        let set = nbwp_sim::DeviceSet::dual_cpu_dual_gpu();
+        assert!(minimize_partition(&curve, &set, &w.space(), 1.0, None).is_none());
+    }
+
+    /// A band-priceable synthetic curve over 40 units: unit `u` costs
+    /// `1 + (u mod 7)` ms, a device runs a band at its relative speed, and
+    /// GPU-class devices pay a flat per-unit link toll. `total_at` prices
+    /// the canonical pair at the same cut, keeping the scalar and banded
+    /// views of the curve consistent.
+    struct BandCurve;
+
+    const BAND_UNITS: usize = 40;
+
+    impl BandCurve {
+        fn band_ms(lo: usize, hi: usize) -> f64 {
+            (lo..hi).map(|u| 1.0 + (u % 7) as f64).sum()
+        }
+
+        fn space() -> ThresholdSpace {
+            ThresholdSpace {
+                lo: 0.0,
+                hi: BAND_UNITS as f64,
+                coarse_step: 8.0,
+                fine_step: 1.0,
+                logarithmic: false,
+            }
+        }
+    }
+
+    impl CurveEval for BandCurve {
+        fn splits(&self) -> usize {
+            BAND_UNITS + 1
+        }
+        fn split_for(&self, t: f64) -> usize {
+            t.clamp(0.0, BAND_UNITS as f64).round() as usize
+        }
+        fn total_at(&self, split: usize) -> SimTime {
+            let cpu = self
+                .device_band(&nbwp_sim::Device::cpu(), 0, split)
+                .expect("band curve prices every band");
+            let gpu = self
+                .device_band(&nbwp_sim::Device::gpu(), split, BAND_UNITS)
+                .expect("band curve prices every band");
+            cpu.max(gpu)
+        }
+        fn device_band(&self, device: &nbwp_sim::Device, lo: usize, hi: usize) -> Option<SimTime> {
+            let compute = device.scale(SimTime::from_millis(Self::band_ms(lo, hi)));
+            let toll = match device.kind {
+                nbwp_sim::DeviceKind::Cpu => SimTime::ZERO,
+                nbwp_sim::DeviceKind::Gpu => SimTime::from_millis(0.05 * (hi - lo) as f64),
+            };
+            Some(compute + toll)
+        }
+    }
+
+    #[test]
+    fn coordinate_descent_matches_exhaustive_enumeration_on_a_band_curve() {
+        let curve = BandCurve;
+        let space = BandCurve::space();
+        let set = nbwp_sim::DeviceSet::dual_cpu_dual_gpu();
+        let k = set.len();
+
+        let cd = minimize_partition(&curve, &set, &space, 1.0, None)
+            .expect("band curve prices every band");
+        assert_eq!(cd.thresholds.len(), k - 1);
+        assert_eq!(cd.partition.arity(), k);
+        assert!(cd.sweeps >= 1);
+
+        // Exhaustive oracle: every non-decreasing cut triple on the unit
+        // grid, lexicographic order with strict `<` so ties keep the
+        // lowest cuts.
+        let mut best: Option<(SimTime, Vec<usize>)> = None;
+        let mut enumerated = 0usize;
+        for a in 0..=BAND_UNITS {
+            for b in a..=BAND_UNITS {
+                for c in b..=BAND_UNITS {
+                    let p = Partition::new(BAND_UNITS, vec![a, b, c]);
+                    let total = curve
+                        .partition_total(&set, &p)
+                        .expect("band curve prices every band");
+                    enumerated += 1;
+                    if best.as_ref().is_none_or(|(t, _)| total < *t) {
+                        best = Some((total, vec![a, b, c]));
+                    }
+                }
+            }
+        }
+        let (best_total, best_cuts) = best.expect("grid is non-empty");
+        assert_eq!(cd.total, best_total, "descent missed the global argmin");
+        assert_eq!(cd.partition.cuts(), &best_cuts[..]);
+        assert!(
+            cd.probes * 5 <= enumerated,
+            "coordinate descent spent {} probes vs {} exhaustive pricings",
+            cd.probes,
+            enumerated
+        );
+    }
+
+    #[test]
+    fn run_partition_lifts_the_scalar_outcome_on_the_canonical_pair() {
+        let w = valley(37.0);
+        let scalar = Searcher::new(Strategy::Analytic { step: None })
+            .profiled()
+            .run(&w);
+        let out = Searcher::new(Strategy::Analytic { step: None })
+            .profiled()
+            .run_partition(&w, DeviceSet::cpu_gpu_static());
+        assert_eq!(out.cuts, vec![scalar.best_t]);
+        assert_eq!(out.total, scalar.best_time);
+        assert_eq!(out.probes, scalar.grad_probes);
+        assert_eq!(out.scalar.as_ref(), Some(&scalar));
+        let p = out.partition.expect("valley exposes a curve");
+        assert_eq!(p.arity(), 2);
+        assert_eq!(out.fractions.len(), 2);
+        let total_frac: f64 = out.fractions.iter().sum();
+        assert!((total_frac - 1.0).abs() < 1e-12);
     }
 }

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use nbwp_sim::DeviceSet;
 use nbwp_trace::Recorder;
 
 use crate::estimator::SamplingEstimate;
@@ -48,6 +49,13 @@ pub struct ConfigKey {
     factor_bits: u64,
     seed: u64,
     repeats: usize,
+    /// Partition arity (device count) the estimate targets. A k=2 and a
+    /// k=4 run over the same input are different computations and must
+    /// never alias.
+    arity: u8,
+    /// [`DeviceSet::digest`] of the topology, so two distinct sets of the
+    /// same arity (say, different link speeds) key separately too.
+    devices_digest: u64,
 }
 
 /// Stable discriminant for a [`Strategy`] (parameters excluded).
@@ -62,9 +70,29 @@ fn strategy_disc(strategy: Strategy) -> u8 {
 }
 
 impl ConfigKey {
-    /// Builds the key for one estimator configuration.
+    /// Builds the key for one estimator configuration on the canonical
+    /// CPU+GPU pair.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use ConfigKey::with_devices; this is with_devices(.., DeviceSet::cpu_gpu())"
+    )]
     #[must_use]
     pub fn of(strategy: Strategy, spec: SampleSpec, seed: u64, repeats: usize) -> ConfigKey {
+        ConfigKey::with_devices(strategy, spec, seed, repeats, DeviceSet::cpu_gpu_static())
+    }
+
+    /// Builds the key for one estimator configuration over a device
+    /// topology. The key carries the partition arity and the set's digest,
+    /// so estimates for different topologies — even of equal arity — can
+    /// never alias.
+    #[must_use]
+    pub fn with_devices(
+        strategy: Strategy,
+        spec: SampleSpec,
+        seed: u64,
+        repeats: usize,
+        set: &DeviceSet,
+    ) -> ConfigKey {
         let strategy_bits = match strategy {
             Strategy::Exhaustive { step } | Strategy::Analytic { step } => {
                 step.unwrap_or(f64::NAN).to_bits()
@@ -78,6 +106,8 @@ impl ConfigKey {
             factor_bits: spec.factor.to_bits(),
             seed,
             repeats,
+            arity: u8::try_from(set.len()).expect("device sets are tiny"),
+            devices_digest: set.digest(),
         }
     }
 }
@@ -515,7 +545,13 @@ mod tests {
     fn key(digest: u64) -> CacheKey {
         CacheKey {
             input: exact(digest),
-            config: ConfigKey::of(Strategy::CoarseToFine, SampleSpec::default(), 7, 1),
+            config: ConfigKey::with_devices(
+                Strategy::CoarseToFine,
+                SampleSpec::default(),
+                7,
+                1,
+                DeviceSet::cpu_gpu_static(),
+            ),
         }
     }
 
@@ -625,19 +661,40 @@ mod tests {
     #[test]
     fn config_key_separates_configurations() {
         let spec = SampleSpec::default();
-        let base = ConfigKey::of(Strategy::CoarseToFine, spec, 7, 1);
-        assert_eq!(base, ConfigKey::of(Strategy::CoarseToFine, spec, 7, 1));
-        assert_ne!(base, ConfigKey::of(Strategy::CoarseToFine, spec, 8, 1));
-        assert_ne!(base, ConfigKey::of(Strategy::CoarseToFine, spec, 7, 3));
-        assert_ne!(base, ConfigKey::of(Strategy::RaceThenFine, spec, 7, 1));
+        let pair = DeviceSet::cpu_gpu_static();
+        let k = |s, spec, seed, reps| ConfigKey::with_devices(s, spec, seed, reps, pair);
+        let base = k(Strategy::CoarseToFine, spec, 7, 1);
+        assert_eq!(base, k(Strategy::CoarseToFine, spec, 7, 1));
+        assert_ne!(base, k(Strategy::CoarseToFine, spec, 8, 1));
+        assert_ne!(base, k(Strategy::CoarseToFine, spec, 7, 3));
+        assert_ne!(base, k(Strategy::RaceThenFine, spec, 7, 1));
         assert_ne!(
-            ConfigKey::of(Strategy::Analytic { step: None }, spec, 7, 1),
-            ConfigKey::of(Strategy::Analytic { step: Some(1.0) }, spec, 7, 1)
+            k(Strategy::Analytic { step: None }, spec, 7, 1),
+            k(Strategy::Analytic { step: Some(1.0) }, spec, 7, 1)
         );
         assert_ne!(
             base,
-            ConfigKey::of(Strategy::CoarseToFine, SampleSpec { factor: 2.0 }, 7, 1)
+            k(Strategy::CoarseToFine, SampleSpec { factor: 2.0 }, 7, 1)
         );
+    }
+
+    #[test]
+    fn config_key_separates_device_topologies() {
+        // Regression: the key must carry partition arity AND the set digest,
+        // so k=2 and k>2 estimates (or two different k=4 topologies) can
+        // never alias in the exact map.
+        let spec = SampleSpec::default();
+        let s = Strategy::Analytic { step: None };
+        let pair = ConfigKey::with_devices(s, spec, 7, 1, DeviceSet::cpu_gpu_static());
+        let dual = ConfigKey::with_devices(s, spec, 7, 1, &DeviceSet::dual_cpu_dual_gpu());
+        let quad = ConfigKey::with_devices(s, spec, 7, 1, &DeviceSet::quad_cpu_quad_gpu());
+        assert_ne!(pair, dual);
+        assert_ne!(pair, quad);
+        assert_ne!(dual, quad);
+        // The deprecated scalar constructor is the canonical-pair key, bitwise.
+        #[allow(deprecated)]
+        let legacy = ConfigKey::of(s, spec, 7, 1);
+        assert_eq!(legacy, pair);
     }
 
     #[test]

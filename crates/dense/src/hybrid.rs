@@ -6,7 +6,7 @@
 //! ([`crate::gemm::stats_for_rows`]) and the FLOPS-ratio split is already
 //! near-optimal — the contrast the paper draws with irregular workloads.
 
-use nbwp_sim::{CurveEval, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sim::{CurveEval, Device, DeviceKind, Platform, RunBreakdown, RunReport, SimTime};
 
 use crate::gemm::{gemm_range, stats_for_rows};
 use crate::DenseMatrix;
@@ -115,6 +115,34 @@ impl CurveEval for GemmCostCurve<'_> {
     fn total_at(&self, split: usize) -> SimTime {
         hybrid_gemm_cost_rows(self.n, self.k, self.m, split, self.platform).total()
     }
+
+    /// Closed-form band price: the workload is regular, so a band's stats
+    /// depend only on its row count ([`stats_for_rows`] is
+    /// position-independent). CPU-class devices are host-resident; GPU
+    /// bands ship `B` plus their `A` rows in and their `C` rows out over
+    /// the device's link, mirroring [`hybrid_gemm_cost_rows`] term by
+    /// term — bitwise at the canonical two-device split.
+    fn device_band(&self, device: &Device, lo: usize, hi: usize) -> Option<SimTime> {
+        let rows = hi - lo;
+        let b_bytes = (8 * self.k * self.m) as u64;
+        let stats = stats_for_rows(rows, self.k, self.m, b_bytes);
+        match device.kind {
+            DeviceKind::Cpu => Some(device.scale(self.platform.cpu_time(&stats))),
+            DeviceKind::Gpu => {
+                let in_bytes = if rows == 0 {
+                    0
+                } else {
+                    b_bytes + (8 * rows * self.k) as u64
+                };
+                let out_bytes = (8 * rows * self.m) as u64;
+                Some(
+                    device.transfer(self.platform, in_bytes)
+                        + device.scale(self.platform.gpu_time(&stats))
+                        + device.transfer(self.platform, out_bytes),
+                )
+            }
+        }
+    }
 }
 
 /// Executes the hybrid GEMM numerically (both parts run on the host; the
@@ -205,5 +233,44 @@ mod tests {
         let small = hybrid_gemm_cost(256, 256, 256, 50.0, &p);
         let big = hybrid_gemm_cost(1024, 256, 256, 50.0, &p);
         assert!(big.total() > small.total());
+    }
+
+    #[test]
+    fn canonical_two_way_partition_is_bitwise_the_scalar_total() {
+        use nbwp_sim::{DeviceSet, Partition};
+        let p = platform();
+        let curve = GemmCostCurve::new(97, 64, 48, &p);
+        let set = DeviceSet::cpu_gpu();
+        for split in 0..curve.splits() {
+            let part = Partition::two_way(97, split);
+            assert_eq!(
+                curve.partition_total(&set, &part).expect("band-priceable"),
+                curve.total_at(split),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn kway_partition_balances_across_speeds() {
+        use nbwp_sim::{DeviceSet, Partition};
+        let p = platform();
+        let curve = GemmCostCurve::new(1000, 128, 128, &p);
+        let set = DeviceSet::dual_cpu_dual_gpu();
+        // A proportional seed beats shoving everything onto one slow,
+        // slow-linked device. (It is only a *seed*: at transfer-bound
+        // sizes coordinate descent still has real work to do.)
+        let seed = Partition::proportional(1000, &set.weights(p.gpu_flops_share()));
+        let all_slow_gpu = Partition::new(1000, vec![0, 0, 0]);
+        let seeded = curve.partition_total(&set, &seed).expect("priceable");
+        let dumped = curve
+            .partition_total(&set, &all_slow_gpu)
+            .expect("priceable");
+        assert!(seeded < dumped);
+        // Empty bands price to zero compute on CPU devices.
+        assert_eq!(
+            curve.device_band(&set.devices()[1], 40, 40).unwrap(),
+            SimTime::ZERO
+        );
     }
 }

@@ -148,40 +148,56 @@ pub struct DfsPrefixCost {
 /// Panics if `chunks == 0` or `split > g.n()`.
 #[must_use]
 pub fn dfs_prefix_cost(g: &Graph, split: usize, chunks: usize) -> DfsPrefixCost {
+    dfs_band_cost(g, 0, split, chunks)
+}
+
+/// Generalizes [`dfs_prefix_cost`] to an arbitrary contiguous vertex band:
+/// prices `cc_dfs_chunked(&g.vertex_interval_subgraph(lo, hi).0, chunks)`
+/// exactly from the parent graph. At `lo == 0` this *is* the prefix cost
+/// (the degree binary searches collapse to the same expressions, all in
+/// exact `u64` arithmetic), which is how the scalar path delegates here
+/// without any bitwise drift.
+///
+/// # Panics
+/// Panics if `chunks == 0`, `lo > hi`, or `hi > g.n()`.
+#[must_use]
+pub fn dfs_band_cost(g: &Graph, lo: usize, hi: usize, chunks: usize) -> DfsPrefixCost {
     assert!(chunks > 0, "need at least one chunk");
-    assert!(split <= g.n(), "prefix split out of bounds");
+    assert!(lo <= hi && hi <= g.n(), "band out of bounds");
+    let len = hi - lo;
     let mut stats = KernelStats::new();
-    if split == 0 {
+    if len == 0 {
         return DfsPrefixCost {
             stats,
             deferred_edges: 0,
         };
     }
-    let chunks = chunks.min(split);
-    let chunk_len = split.div_ceil(chunks);
+    let chunks = chunks.min(len);
+    let chunk_len = len.div_ceil(chunks);
     let mut arcs_internal = 0u64;
     let mut deferred = 0u64;
     let mut chunk_work = vec![0u64; chunks];
     for (c, work) in chunk_work.iter_mut().enumerate() {
-        let lo = c * chunk_len;
-        let hi = ((c + 1) * chunk_len).min(split);
-        for u in lo..hi {
+        let c_lo = lo + c * chunk_len;
+        let c_hi = (c_lo + chunk_len).min(hi);
+        for u in c_lo..c_hi {
             let adj = g.neighbors(u);
-            // Internal degree: neighbors inside the prefix. Deferred edges
+            // Internal degree: neighbors inside the band. Deferred edges
             // are the internal neighbors at or past the chunk end (those
-            // below `lo` are reported from the other endpoint's side, and
-            // a prefix neighbor v ≥ hi always satisfies u < v).
-            let d_int = adj.partition_point(|&v| (v as usize) < split) as u64;
-            let d_below_hi = adj.partition_point(|&v| (v as usize) < hi) as u64;
+            // below `c_lo` are reported from the other endpoint's side,
+            // and a band neighbor v ≥ c_hi always satisfies u < v).
+            let d_below_band = adj.partition_point(|&v| (v as usize) < lo) as u64;
+            let d_int = adj.partition_point(|&v| (v as usize) < hi) as u64 - d_below_band;
+            let d_below_hi = adj.partition_point(|&v| (v as usize) < c_hi) as u64 - d_below_band;
             arcs_internal += d_int;
             deferred += d_int - d_below_hi;
             *work += 2 + d_int;
         }
     }
-    // Per popped vertex (each prefix vertex is popped exactly once).
-    stats.int_ops = 4 * split as u64 + 2 * arcs_internal;
-    stats.mem_read_bytes = 16 * split as u64 + ARC_IRREGULAR_BYTES * arcs_internal;
-    stats.mem_write_bytes = 4 * split as u64;
+    // Per popped vertex (each band vertex is popped exactly once).
+    stats.int_ops = 4 * len as u64 + 2 * arcs_internal;
+    stats.mem_read_bytes = 16 * len as u64 + ARC_IRREGULAR_BYTES * arcs_internal;
+    stats.mem_write_bytes = 4 * len as u64;
     stats.irregular_bytes = ARC_IRREGULAR_BYTES * arcs_internal;
     let total_work: u64 = chunk_work.iter().sum();
     let max_work = chunk_work.iter().copied().max().unwrap_or(0);
@@ -190,9 +206,9 @@ pub fn dfs_prefix_cost(g: &Graph, split: usize, chunks: usize) -> DfsPrefixCost 
     } else {
         (total_work as f64 / max_work as f64).round().max(1.0) as u64
     };
-    // Prefix CSR footprint: (split + 1) row pointers + internal arcs.
-    let prefix_size_bytes = 8 * (split as u64 + 1) + 4 * arcs_internal;
-    stats.working_set_bytes = prefix_size_bytes + 5 * split as u64;
+    // Band CSR footprint: (len + 1) row pointers + internal arcs.
+    let band_size_bytes = 8 * (len as u64 + 1) + 4 * arcs_internal;
+    stats.working_set_bytes = band_size_bytes + 5 * len as u64;
     DfsPrefixCost {
         stats,
         deferred_edges: deferred,
@@ -285,6 +301,39 @@ mod tests {
                     priced.deferred_edges,
                     direct.deferred_edges.len() as u64,
                     "split = {split}, chunks = {chunks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn band_cost_matches_materialized_run() {
+        let n = 500;
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        for i in (0..n as u32).step_by(13) {
+            edges.push((i, (i * 29 + 3) % n as u32));
+        }
+        let g = Graph::from_edges(n, &edges);
+        for (lo, hi) in [
+            (0, 0),
+            (0, 500),
+            (100, 400),
+            (250, 250),
+            (1, 499),
+            (480, 500),
+        ] {
+            for chunks in [1, 3, 8] {
+                let (band, _) = g.vertex_interval_subgraph(lo, hi);
+                let direct = cc_dfs_chunked(&band, chunks);
+                let priced = dfs_band_cost(&g, lo, hi, chunks);
+                assert_eq!(
+                    priced.stats, direct.stats,
+                    "band {lo}..{hi}, chunks {chunks}"
+                );
+                assert_eq!(
+                    priced.deferred_edges,
+                    direct.deferred_edges.len() as u64,
+                    "band {lo}..{hi}, chunks {chunks}"
                 );
             }
         }

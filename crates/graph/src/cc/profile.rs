@@ -23,11 +23,12 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use nbwp_sim::{
-    AlignedU64s, CurveEval, KernelStats, Platform, ProfileScratch, RunBreakdown, RunReport, SimTime,
+    AlignedU64s, CurveEval, Device, DeviceKind, DeviceSet, KernelStats, Partition, Platform,
+    ProfileScratch, RunBreakdown, RunReport, SimTime,
 };
 
-use crate::cc::dfs::{dfs_prefix_cost, DfsPrefixCost};
-use crate::cc::sv::{sv_stats_closed_form, sv_suffix_counts};
+use crate::cc::dfs::{dfs_band_cost, DfsPrefixCost};
+use crate::cc::sv::{sv_band_counts, sv_stats_closed_form};
 use crate::Graph;
 
 /// Split-indexed cost curves plus memoized control-flow residuals for
@@ -43,11 +44,17 @@ pub struct CcCostProfile {
     /// `cross[s]` = directed arcs from `0..s` into `s..n` (one per
     /// boundary-crossing undirected edge, from the lower endpoint's side).
     cross: AlignedU64s,
-    /// DFS residual memo keyed by `(split, chunks)`.
-    dfs_memo: Mutex<HashMap<(usize, usize), DfsPrefixCost>>,
-    /// SV `(rounds, doubling_passes)` memo keyed by split.
-    sv_memo: Mutex<HashMap<usize, (u32, u32)>>,
+    /// DFS residual memo keyed by `(band_lo, band_hi, chunks)` — the
+    /// scalar CPU prefix is the `(0, split, chunks)` entry.
+    dfs_memo: Mutex<HashMap<(usize, usize, usize), DfsPrefixCost>>,
+    /// SV `(rounds, doubling_passes, internal_arcs)` memo keyed by
+    /// `(band_lo, band_hi)` — the scalar GPU suffix is `(split, n)`.
+    sv_memo: Mutex<HashMap<(usize, usize), SvBandCounts>>,
 }
+
+/// SV replay residuals for one vertex band: `(rounds, doubling_passes,
+/// internal_arcs)`.
+type SvBandCounts = (u32, u32, u64);
 
 impl CcCostProfile {
     /// Builds the curves in one `O(n + arcs)` pass over `g`.
@@ -233,62 +240,23 @@ impl CcCostProfile {
         let n = self.n;
         let n_gpu = n - n_cpu;
 
-        // Phase I: the partition pass streams the whole graph regardless of
-        // the split, so its counters come straight from the scalars.
-        let partition_stats = KernelStats {
-            int_ops: self.arcs,
-            mem_read_bytes: 4 * self.arcs + 8 * (n as u64 + 1),
-            mem_write_bytes: 4 * self.arcs,
-            parallel_items: platform.cpu.cores as u64,
-            working_set_bytes: 2 * self.size_bytes,
-            ..KernelStats::default()
-        };
-        let partition = platform.cpu_time(&partition_stats);
+        let partition = self.partition_cost(platform);
 
         // Phase II, CPU side: chunked-DFS counters plus the deferred-edge
-        // surcharge the hybrid driver adds before pricing.
-        let chunks = platform.cpu.cores;
-        let dfs = {
-            let mut memo = self.dfs_memo.lock().expect("dfs memo poisoned");
-            memo.entry((n_cpu, chunks))
-                .or_insert_with(|| dfs_prefix_cost(g, n_cpu, chunks))
-                .clone()
-        };
-        let mut cpu_stats = dfs.stats;
-        cpu_stats.int_ops += 8 * dfs.deferred_edges;
-        cpu_stats.mem_read_bytes += 8 * dfs.deferred_edges;
-        cpu_stats.irregular_bytes += 8 * dfs.deferred_edges;
+        // surcharge the hybrid driver adds before pricing. The CPU prefix
+        // is the `0..n_cpu` band.
+        let cpu_stats = self.cpu_band_stats(g, 0, n_cpu, platform.cpu.cores);
         let cpu_compute = platform.cpu_time(&cpu_stats);
 
-        // Phase II, GPU side: replayed SV control flow + closed-form stats.
-        let (rounds, passes) = {
-            let mut memo = self.sv_memo.lock().expect("sv memo poisoned");
-            *memo
-                .entry(n_cpu)
-                .or_insert_with(|| sv_suffix_counts(g, n_cpu))
-        };
-        let arcs_gpu = self.arcs_gpu[n_cpu];
-        // Suffix CSR footprint: (n_gpu + 1) row pointers + internal arcs.
-        let gpu_size_bytes = 8 * (n_gpu as u64 + 1) + 4 * arcs_gpu;
-        let gpu_stats = sv_stats_closed_form(n_gpu, arcs_gpu, gpu_size_bytes, rounds, passes);
+        // Phase II, GPU side: replayed SV control flow + closed-form stats
+        // on the `n_cpu..n` band.
+        let (gpu_stats, gpu_size_bytes) = self.gpu_band_stats(g, n_cpu, n);
         let gpu_compute = platform.gpu_time(&gpu_stats);
         let transfer_in = platform.transfer(gpu_size_bytes);
 
         // Merge: cross-edge union + relabel on the GPU after the CPU labels
         // travel over.
-        let merge_edges = self.cross[n_cpu];
-        let merge_stats = KernelStats {
-            int_ops: 8 * merge_edges + 2 * n as u64,
-            mem_read_bytes: 8 * merge_edges + 8 * n as u64,
-            irregular_bytes: 8 * merge_edges + 4 * n as u64,
-            mem_write_bytes: 4 * n as u64,
-            atomic_ops: 2 * merge_edges,
-            kernel_launches: u64::from(merge_edges > 0 || n > 0),
-            parallel_items: merge_edges.max(n as u64).max(1),
-            working_set_bytes: 8 * n as u64,
-            ..KernelStats::default()
-        };
-        let merge = platform.transfer(4 * n_cpu as u64) + platform.gpu_time(&merge_stats);
+        let merge = self.merge_cost_for(self.cross[n_cpu], n_cpu as u64, platform);
 
         RunReport {
             breakdown: RunBreakdown {
@@ -302,6 +270,97 @@ impl CcCostProfile {
             cpu_stats,
             gpu_stats,
         }
+    }
+
+    /// Phase I price: the partition pass streams the whole graph
+    /// regardless of the cut vector, so its counters come straight from
+    /// the scalars. Shared by the scalar report and the k-way curve.
+    #[must_use]
+    pub fn partition_cost(&self, platform: &Platform) -> SimTime {
+        let partition_stats = KernelStats {
+            int_ops: self.arcs,
+            mem_read_bytes: 4 * self.arcs + 8 * (self.n as u64 + 1),
+            mem_write_bytes: 4 * self.arcs,
+            parallel_items: platform.cpu.cores as u64,
+            working_set_bytes: 2 * self.size_bytes,
+            ..KernelStats::default()
+        };
+        platform.cpu_time(&partition_stats)
+    }
+
+    /// Chunked-DFS counters for the CPU band `lo..hi` (memoized), with the
+    /// deferred-edge surcharge the hybrid driver adds before pricing. The
+    /// scalar CPU side is the `0..split` call.
+    #[must_use]
+    pub fn cpu_band_stats(&self, g: &Graph, lo: usize, hi: usize, chunks: usize) -> KernelStats {
+        let dfs = {
+            let mut memo = self.dfs_memo.lock().expect("dfs memo poisoned");
+            memo.entry((lo, hi, chunks))
+                .or_insert_with(|| dfs_band_cost(g, lo, hi, chunks))
+                .clone()
+        };
+        let mut stats = dfs.stats;
+        stats.int_ops += 8 * dfs.deferred_edges;
+        stats.mem_read_bytes += 8 * dfs.deferred_edges;
+        stats.irregular_bytes += 8 * dfs.deferred_edges;
+        stats
+    }
+
+    /// Closed-form SV counters for the GPU band `lo..hi` (control-flow
+    /// replay memoized), returned with the band CSR footprint in bytes —
+    /// the quantity shipped over the device link. The scalar GPU side is
+    /// the `split..n` call, where the replayed internal-arc count equals
+    /// the `arcs_gpu` curve entry exactly.
+    #[must_use]
+    pub fn gpu_band_stats(&self, g: &Graph, lo: usize, hi: usize) -> (KernelStats, u64) {
+        let (rounds, passes, arcs) = {
+            let mut memo = self.sv_memo.lock().expect("sv memo poisoned");
+            *memo
+                .entry((lo, hi))
+                .or_insert_with(|| sv_band_counts(g, lo, hi))
+        };
+        let len = hi - lo;
+        // Band CSR footprint: (len + 1) row pointers + internal arcs.
+        let size_bytes = 8 * (len as u64 + 1) + 4 * arcs;
+        (
+            sv_stats_closed_form(len, arcs, size_bytes, rounds, passes),
+            size_bytes,
+        )
+    }
+
+    /// Merge price for `merge_edges` deferred cross edges with
+    /// `cpu_label_units` CPU-resident labels to ship to the device:
+    /// cross-edge union + relabel on the GPU after the CPU labels travel
+    /// over. The scalar merge is the `(cross[split], split)` call; a k-way
+    /// cut sums `cross` over its interior cuts (each band boundary defers
+    /// its own crossing edges) and ships every CPU band's labels.
+    #[must_use]
+    pub fn merge_cost_for(
+        &self,
+        merge_edges: u64,
+        cpu_label_units: u64,
+        platform: &Platform,
+    ) -> SimTime {
+        let n = self.n;
+        let merge_stats = KernelStats {
+            int_ops: 8 * merge_edges + 2 * n as u64,
+            mem_read_bytes: 8 * merge_edges + 8 * n as u64,
+            irregular_bytes: 8 * merge_edges + 4 * n as u64,
+            mem_write_bytes: 4 * n as u64,
+            atomic_ops: 2 * merge_edges,
+            kernel_launches: u64::from(merge_edges > 0 || n > 0),
+            parallel_items: merge_edges.max(n as u64).max(1),
+            working_set_bytes: 8 * n as u64,
+            ..KernelStats::default()
+        };
+        platform.transfer(4 * cpu_label_units) + platform.gpu_time(&merge_stats)
+    }
+
+    /// The `cross` curve entry at `cut`: directed arcs from `0..cut` into
+    /// `cut..n` (one per boundary-crossing undirected edge).
+    #[must_use]
+    pub fn cross_at(&self, cut: usize) -> u64 {
+        self.cross[cut]
     }
 }
 
@@ -344,6 +403,53 @@ impl CurveEval for CcCostCurve<'_> {
         self.profile
             .report_at_split(self.graph, split, self.platform)
             .total()
+    }
+
+    /// Prices the vertex band `lo..hi` on `device`: CPU-class devices run
+    /// the chunked DFS (host-resident, compute only, scaled by speed);
+    /// GPU-class devices replay Shiloach–Vishkin on the band and pay
+    /// their link's transfer of the band CSR in and the band labels out.
+    /// Mirrors [`CcCostProfile::report_at_split`] term by term, so the
+    /// canonical two-device split reproduces the scalar lanes bitwise —
+    /// including the no-special-case empty GPU band, which still ships
+    /// its 8-byte row-pointer sentinel like the scalar path does.
+    fn device_band(&self, device: &Device, lo: usize, hi: usize) -> Option<SimTime> {
+        match device.kind {
+            DeviceKind::Cpu => {
+                let stats =
+                    self.profile
+                        .cpu_band_stats(self.graph, lo, hi, self.platform.cpu.cores);
+                Some(device.scale(self.platform.cpu_time(&stats)))
+            }
+            DeviceKind::Gpu => {
+                let (stats, size_bytes) = self.profile.gpu_band_stats(self.graph, lo, hi);
+                let transfer_in = device.transfer(self.platform, size_bytes);
+                let transfer_out = device.transfer(self.platform, 4 * (hi - lo) as u64);
+                Some(transfer_in + device.scale(self.platform.gpu_time(&stats)) + transfer_out)
+            }
+        }
+    }
+
+    /// Phase I streams the whole graph regardless of the cut vector.
+    fn partition_overhead(&self) -> SimTime {
+        self.profile.partition_cost(self.platform)
+    }
+
+    /// k-way merge: each interior cut defers its own crossing edges (the
+    /// `cross` curve entry at that cut), and every CPU band's labels ship
+    /// to the device before the union+relabel kernel. At k = 2 this is
+    /// exactly the scalar merge — `cross[split]` edges and `split` labels.
+    fn merge_cost(&self, set: &DeviceSet, p: &Partition) -> SimTime {
+        let merge_edges: u64 = p.cuts().iter().map(|&c| self.profile.cross_at(c)).sum();
+        let cpu_label_units: u64 = set
+            .devices()
+            .iter()
+            .zip(p.bands())
+            .filter(|(d, _)| d.kind == DeviceKind::Cpu)
+            .map(|(_, (lo, hi))| (hi - lo) as u64)
+            .sum();
+        self.profile
+            .merge_cost_for(merge_edges, cpu_label_units, self.platform)
     }
 }
 
@@ -457,6 +563,88 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(profile.sv_memo.lock().unwrap().len(), 1);
         assert_eq!(profile.dfs_memo.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn canonical_two_way_partition_is_bitwise_the_scalar_total() {
+        let set = DeviceSet::cpu_gpu();
+        for g in graphs() {
+            let profile = CcCostProfile::new(&g);
+            for platform in platforms() {
+                let curve = CcCostCurve::new(&profile, &g, &platform);
+                for split in 0..curve.splits() {
+                    let p = Partition::two_way(g.n(), split);
+                    assert_eq!(
+                        curve.partition_total(&set, &p).expect("band-priceable"),
+                        curve.total_at(split),
+                        "n = {}, split = {split}",
+                        g.n()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kway_partition_total_matches_direct_banded_execution() {
+        use crate::cc::dfs::cc_dfs_chunked;
+        use crate::cc::sv::cc_sv;
+        let g = gen::web(400, 4, 7);
+        let profile = CcCostProfile::new(&g);
+        let platform = Platform::k40c_xeon_e5_2650();
+        let curve = CcCostCurve::new(&profile, &g, &platform);
+        let set = DeviceSet::dual_cpu_dual_gpu();
+        let n = g.n();
+        for cuts in [
+            vec![100, 200, 300],
+            vec![0, 200, 200],   // empty first CPU band + empty first GPU band
+            vec![150, 150, 150], // everything on the last GPU
+            vec![400, 400, 400], // everything on the first CPU
+            vec![32, 64, 224],   // warp-boundary cuts
+        ] {
+            let p = Partition::new(n, cuts);
+            let total = curve.partition_total(&set, &p).expect("band-priceable");
+            // Direct k-banded execution: materialize every band subgraph,
+            // run its kernel for real, price the same way.
+            let mut slowest = SimTime::ZERO;
+            for (d, (lo, hi)) in set.devices().iter().zip(p.bands()) {
+                let (sub, _) = g.vertex_interval_subgraph(lo, hi);
+                let t = match d.kind {
+                    DeviceKind::Cpu => {
+                        let run = cc_dfs_chunked(&sub, platform.cpu.cores);
+                        let deferred = run.deferred_edges.len() as u64;
+                        let mut stats = run.stats;
+                        stats.int_ops += 8 * deferred;
+                        stats.mem_read_bytes += 8 * deferred;
+                        stats.irregular_bytes += 8 * deferred;
+                        d.scale(platform.cpu_time(&stats))
+                    }
+                    DeviceKind::Gpu => {
+                        let run = cc_sv(&sub, 1);
+                        d.transfer(&platform, sub.size_bytes())
+                            + d.scale(platform.gpu_time(&run.stats))
+                            + d.transfer(&platform, 4 * sub.n() as u64)
+                    }
+                };
+                slowest = slowest.max(t);
+            }
+            // Direct cross-edge count per interior cut, straight off the
+            // edge list (arcs from the lower side crossing the cut).
+            let merge_edges: u64 = p
+                .cuts()
+                .iter()
+                .map(|&c| {
+                    g.edges()
+                        .filter(|&(u, v)| (u as usize) < c && c <= (v as usize))
+                        .count() as u64
+                })
+                .sum();
+            let cpu_units: u64 = p.band(0).1 as u64 + (p.band(1).1 - p.band(1).0) as u64;
+            let direct = profile.partition_cost(&platform)
+                + slowest
+                + profile.merge_cost_for(merge_edges, cpu_units, &platform);
+            assert_eq!(total, direct, "cuts {:?}", p.cuts());
+        }
     }
 
     #[test]

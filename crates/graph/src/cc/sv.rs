@@ -165,20 +165,41 @@ pub fn cc_sv(g: &Graph, threads: usize) -> SvOutcome {
 /// run (and it is memoized per split on top).
 #[must_use]
 pub fn sv_suffix_counts(g: &Graph, start: usize) -> (u32, u32) {
-    let total = g.n();
-    assert!(start <= total, "suffix start out of bounds");
-    let n = total - start;
+    let (rounds, passes, _) = sv_band_counts(g, start, g.n());
+    (rounds, passes)
+}
+
+/// Generalizes [`sv_suffix_counts`] to an arbitrary contiguous vertex band
+/// `lo..hi`: replays the Shiloach–Vishkin control flow on the band-induced
+/// subgraph and returns `(rounds, doubling_passes, internal_arcs)`. The
+/// internal directed-arc count comes out of the same binary searches that
+/// build the adjacency slices, and is exactly
+/// `g.vertex_interval_subgraph(lo, hi).0.arcs()` — band-internal arcs are
+/// *not* derivable from the profile's suffix curves, so the replay reports
+/// them alongside the counts for closed-form stat pricing. At `lo == 0`
+/// the slices and the id shift collapse to the suffix case bitwise.
+///
+/// # Panics
+/// Panics if `lo > hi` or `hi > g.n()`.
+#[must_use]
+pub fn sv_band_counts(g: &Graph, lo: usize, hi: usize) -> (u32, u32, u64) {
+    assert!(lo <= hi && hi <= g.n(), "band out of bounds");
+    let n = hi - lo;
     if n == 0 {
-        return (0, 0);
+        return (0, 0, 0);
     }
-    // Tail slice of each suffix vertex's adjacency: neighbors >= start.
-    let tails: Vec<&[u32]> = (start..total)
+    // Slice of each band vertex's adjacency internal to the band.
+    let mut arcs = 0u64;
+    let tails: Vec<&[u32]> = (lo..hi)
         .map(|u| {
             let adj = g.neighbors(u);
-            let cut = adj.partition_point(|&v| (v as usize) < start);
-            &adj[cut..]
+            let from = adj.partition_point(|&v| (v as usize) < lo);
+            let to = adj.partition_point(|&v| (v as usize) < hi);
+            arcs += (to - from) as u64;
+            &adj[from..to]
         })
         .collect();
+    let start = lo;
     let mut parent: Vec<u32> = (0..n as u32).collect();
     let mut cand: Vec<u32> = vec![0; n];
     let mut rounds = 0u32;
@@ -223,7 +244,7 @@ pub fn sv_suffix_counts(g: &Graph, start: usize) -> (u32, u32) {
             break;
         }
     }
-    (rounds, doubling_passes)
+    (rounds, doubling_passes, arcs)
 }
 
 /// Closed-form [`cc_sv`] counters for a graph with `n` vertices, `arcs`
@@ -420,6 +441,36 @@ mod tests {
             let closed =
                 sv_stats_closed_form(sub.n(), sub.arcs() as u64, sub.size_bytes(), rounds, passes);
             assert_eq!(closed, direct.stats, "start = {start}");
+        }
+    }
+
+    #[test]
+    fn band_counts_and_closed_form_match_materialized_run() {
+        let n = 600;
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        for i in (0..n as u32).step_by(17) {
+            edges.push((i, (i * 23 + 11) % n as u32));
+        }
+        let g = Graph::from_edges(n, &edges);
+        for (lo, hi) in [
+            (0, 0),
+            (0, 600),
+            (150, 450),
+            (300, 300),
+            (1, 599),
+            (580, 600),
+        ] {
+            let (sub, _) = g.vertex_interval_subgraph(lo, hi);
+            let direct = cc_sv(&sub, 1);
+            let (rounds, passes, arcs) = sv_band_counts(&g, lo, hi);
+            assert_eq!(
+                (rounds, passes),
+                (direct.rounds, direct.doubling_passes),
+                "band {lo}..{hi}"
+            );
+            assert_eq!(arcs, sub.arcs() as u64, "band {lo}..{hi}");
+            let closed = sv_stats_closed_form(sub.n(), arcs, sub.size_bytes(), rounds, passes);
+            assert_eq!(closed, direct.stats, "band {lo}..{hi}");
         }
     }
 

@@ -36,6 +36,7 @@
 mod counters;
 mod cpu;
 pub mod curve;
+pub mod device;
 mod gpu;
 mod pcie;
 mod platform;
@@ -47,6 +48,7 @@ pub mod timeline;
 pub use counters::{degree_moments, warp_padded_cost, KernelStats};
 pub use cpu::CpuModel;
 pub use curve::CurveEval;
+pub use device::{Device, DeviceKind, DeviceSet, Link, Partition, UnknownPreset};
 pub use gpu::GpuModel;
 pub use pcie::PcieModel;
 pub use platform::{Lane, Platform, RunBreakdown, RunReport};

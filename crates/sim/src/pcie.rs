@@ -36,6 +36,17 @@ impl PcieModel {
         }
     }
 
+    /// 10 GbE NIC modeled as a transfer link: ~1.1 GB/s sustained with
+    /// network-stack latency. Used by device presets that place an
+    /// accelerator on a remote node.
+    #[must_use]
+    pub fn nic_10g() -> Self {
+        PcieModel {
+            latency_us: 50.0,
+            bw_gbs: 1.1,
+        }
+    }
+
     /// Time to move `bytes` in one transfer. Zero bytes cost zero (no
     /// transfer is issued at all).
     #[must_use]

@@ -7,7 +7,7 @@
 //! pricing here, which keeps the curve bitwise equal to both `run()` and
 //! `run_profiled()` by construction.
 
-use nbwp_sim::{CurveEval, Platform, RunBreakdown, RunReport, SimTime};
+use nbwp_sim::{CurveEval, Device, DeviceKind, Platform, RunBreakdown, RunReport, SimTime};
 
 use crate::ops::split_row_for_load;
 use crate::spgemm::{RowCurves, ENTRY_BYTES};
@@ -95,6 +95,37 @@ impl CurveEval for SpmmCostCurve<'_> {
     fn total_at(&self, split: usize) -> SimTime {
         self.report_at(split).total()
     }
+
+    /// Prices the row band `lo..hi` on `device`. CPU-class devices are
+    /// host-resident (compute only, scaled by speed); GPU-class devices
+    /// pay their link's transfers around the scaled compute, mirroring
+    /// [`SpmmCostCurve::report_at`]'s structure term by term — at the
+    /// canonical two-device split this reproduces the scalar lanes
+    /// bitwise (speed-1 scaling and platform-PCIe transfers are
+    /// identities).
+    fn device_band(&self, device: &Device, lo: usize, hi: usize) -> Option<SimTime> {
+        let stats = self.curves.stats_range(lo, hi);
+        match device.kind {
+            DeviceKind::Cpu => Some(device.scale(self.platform.cpu_time(&stats))),
+            DeviceKind::Gpu => {
+                let rows = hi - lo;
+                let transfer_in = if rows == 0 {
+                    SimTime::ZERO
+                } else {
+                    let a2_bytes =
+                        self.curves.a_nnz().range_sum(lo, hi) * ENTRY_BYTES + 8 * rows as u64;
+                    device.transfer(self.platform, a2_bytes + self.curves.b_bytes())
+                };
+                let c2_bytes = self.curves.c_nnz().range_sum(lo, hi) * ENTRY_BYTES;
+                let transfer_out = device.transfer(self.platform, c2_bytes);
+                Some(transfer_in + device.scale(self.platform.gpu_time(&stats)) + transfer_out)
+            }
+        }
+    }
+
+    fn partition_overhead(&self) -> SimTime {
+        self.partition
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +134,7 @@ mod tests {
     use crate::gen;
     use crate::ops::load_vector;
     use crate::spgemm::row_profile;
+    use nbwp_sim::{DeviceSet, Link, Partition, PcieModel};
 
     #[test]
     fn split_map_is_monotone_and_totals_are_finite() {
@@ -145,5 +177,70 @@ mod tests {
         if best + 2 < curve.splits() {
             assert!(curve.grad_right(best).expect("interior") >= 0.0);
         }
+    }
+
+    #[test]
+    fn canonical_two_way_partition_is_bitwise_the_scalar_total() {
+        let a = gen::power_law(300, 8, 2.2, 11);
+        let costs = row_profile(&a, &a);
+        let curves = RowCurves::new(&costs, a.size_bytes());
+        let prefix = &curves.b_entries().as_prefix_slice()[1..];
+        let platform = Platform::k40c_xeon_e5_2650();
+        let curve = SpmmCostCurve::new(&curves, prefix, SimTime::from_millis(1.0), &platform);
+        let set = DeviceSet::cpu_gpu();
+        // Every split, including both empty bands and warp boundaries.
+        for split in 0..curve.splits() {
+            let p = Partition::two_way(curves.rows(), split);
+            assert_eq!(
+                curve.partition_total(&set, &p).expect("band-priceable"),
+                curve.total_at(split),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn kway_bands_price_like_standalone_slices() {
+        let a = gen::power_law(250, 7, 2.0, 3);
+        let costs = row_profile(&a, &a);
+        let curves = RowCurves::new(&costs, a.size_bytes());
+        let prefix = &curves.b_entries().as_prefix_slice()[1..];
+        let platform = Platform::k40c_xeon_e5_2650();
+        let curve = SpmmCostCurve::new(&curves, prefix, SimTime::ZERO, &platform);
+        let set = DeviceSet::dual_cpu_dual_gpu();
+        // Cuts include an empty band and a warp-boundary (multiple of 32).
+        let p = Partition::new(curves.rows(), vec![64, 64, 150]);
+        let total = curve.partition_total(&set, &p).expect("band-priceable");
+        // Recompute by hand from the device bands.
+        let bands: Vec<SimTime> = set
+            .devices()
+            .iter()
+            .zip(p.bands())
+            .map(|(d, (lo, hi))| curve.device_band(d, lo, hi).expect("priceable"))
+            .collect();
+        let slowest = bands.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        assert_eq!(total, curve.partition_overhead() + slowest);
+        // The empty CPU band costs nothing; the empty-GPU case keeps the
+        // no-transfer special case.
+        assert_eq!(bands[1], SimTime::ZERO);
+        let empty_gpu = curve
+            .device_band(&set.devices()[2], 10, 10)
+            .expect("priceable");
+        assert_eq!(empty_gpu, SimTime::ZERO);
+    }
+
+    #[test]
+    fn slow_links_surcharge_gpu_bands() {
+        let a = gen::uniform_random(200, 6, 9);
+        let costs = row_profile(&a, &a);
+        let curves = RowCurves::new(&costs, a.size_bytes());
+        let prefix = &curves.b_entries().as_prefix_slice()[1..];
+        let platform = Platform::k40c_xeon_e5_2650();
+        let curve = SpmmCostCurve::new(&curves, prefix, SimTime::ZERO, &platform);
+        let fast = nbwp_sim::Device::gpu();
+        let slow = nbwp_sim::Device::gpu().with_link(Link::Pcie(PcieModel::nic_10g()));
+        let f = curve.device_band(&fast, 50, 150).expect("priceable");
+        let s = curve.device_band(&slow, 50, 150).expect("priceable");
+        assert!(s > f, "NIC-attached GPU must pay more for the same band");
     }
 }

@@ -546,6 +546,45 @@ impl RowCurves {
             self.pad.suffix_cost(split),
         )
     }
+
+    /// `stats_for_rows(&costs[lo..hi], b_bytes)`, bitwise. Prefix and
+    /// suffix bands stay O(1); an interior band pays an O(hi − lo) walk
+    /// to rebuild its warp padding, because warp grouping restarts at
+    /// `lo` and the pad curve only stores prefix/suffix breakpoints.
+    /// Per-row flops are recovered losslessly from the `b_entries` curve
+    /// (`flops = 2 · b_entries`, see [`RowCost::flops`]), so the walk
+    /// reproduces [`warp_padded_cost`] on the slice exactly.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > rows`.
+    #[must_use]
+    pub fn stats_range(&self, lo: usize, hi: usize) -> KernelStats {
+        assert!(lo <= hi && hi <= self.rows, "band out of range");
+        if lo == 0 {
+            return self.stats_prefix(hi);
+        }
+        if hi == self.rows {
+            return self.stats_suffix(lo);
+        }
+        let mut simd_padded = 0u64;
+        let mut warp_start = lo;
+        while warp_start < hi {
+            let warp_end = (warp_start + WARP).min(hi);
+            let mut slowest = 0u64;
+            for row in warp_start..warp_end {
+                slowest = slowest.max(2 * self.b_entries.range_sum(row, row + 1));
+            }
+            simd_padded += slowest * WARP as u64;
+            warp_start = warp_end;
+        }
+        self.assemble(
+            (hi - lo) as u64,
+            self.a_nnz.range_sum(lo, hi),
+            self.b_entries.range_sum(lo, hi),
+            self.c_nnz.range_sum(lo, hi),
+            simd_padded,
+        )
+    }
 }
 
 /// Seeded, sorted row subset used by [`RowCurves::resample`]: a partial
@@ -755,6 +794,34 @@ mod tests {
                 curves.stats_suffix(split),
                 stats_for_rows(&costs[split..], b_bytes),
                 "suffix split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_range_matches_sliced_stats_on_arbitrary_bands() {
+        let a = crate::gen::power_law(130, 7, 2.1, 5);
+        let costs = row_profile(&a, &a);
+        let b_bytes = a.size_bytes();
+        let curves = RowCurves::new(&costs, b_bytes);
+        // Interior bands (warp grouping restarts at lo), bands landing
+        // exactly on warp boundaries, empty bands, and the two O(1)
+        // prefix/suffix fast paths.
+        for (lo, hi) in [
+            (0, 0),
+            (0, 130),
+            (0, 57),
+            (57, 130),
+            (1, 129),
+            (32, 96),
+            (31, 33),
+            (40, 40),
+            (17, 111),
+        ] {
+            assert_eq!(
+                curves.stats_range(lo, hi),
+                stats_for_rows(&costs[lo..hi], b_bytes),
+                "band {lo}..{hi}"
             );
         }
     }

@@ -1,11 +1,14 @@
-//! Parity suite for the 0.2.0 API redesign: every deprecated free-function
-//! shim must return a **bitwise identical** outcome to its
-//! [`Searcher`]/[`Estimator`] builder equivalent. `SearchOutcome` and
-//! `SamplingEstimate` both derive `PartialEq`, so one `assert_eq!` covers
-//! thresholds, simulated times, and the full evaluation logs.
+//! Parity suite for the deprecated-shim contract: every deprecated entry
+//! point — the 0.2.0 free-function shims and the 0.3.0 scalar-threshold
+//! shims superseded by the k-way `Partition` API — must return a
+//! **bitwise identical** outcome to its builder/partition equivalent.
+//! `SearchOutcome` and `SamplingEstimate` both derive `PartialEq`, so one
+//! `assert_eq!` covers thresholds, simulated times, and the full
+//! evaluation logs.
 #![allow(deprecated)]
 
 use nbwp_core::prelude::*;
+use nbwp_core::threshold_cache::ConfigKey;
 
 fn workload() -> SpmmWorkload {
     SpmmWorkload::new(
@@ -245,6 +248,76 @@ fn estimate_shims_match_the_estimator_builder() {
     ];
     for (name, shim, builder) in cases {
         assert_eq!(shim, builder, "{name}");
+    }
+}
+
+/// The 0.3.0 scalar shims: `minimize_curve` is the canonical-pair arm of
+/// `minimize_partition`, bitwise, warm or cold.
+#[test]
+fn minimize_curve_shim_matches_minimize_partition_on_the_canonical_pair() {
+    let w = workload();
+    let pool = Pool::new(2);
+    let profile = w.build_profile(&pool);
+    let space = w.space();
+    let curve = w.curve(&profile).expect("spmm exposes a cost curve");
+
+    for warm in [None, Some(42.0)] {
+        let scalar = minimize_curve(curve.as_ref(), &space, STEP, warm);
+        let warm_buf = warm.map(|h| [h]);
+        let part = minimize_partition(
+            curve.as_ref(),
+            DeviceSet::cpu_gpu_static(),
+            &space,
+            STEP,
+            warm_buf.as_ref().map(<[f64; 1]>::as_slice),
+        )
+        .expect("the canonical pair prices every curve");
+        assert_eq!(part.thresholds.len(), 1);
+        assert_eq!(part.thresholds[0].to_bits(), scalar.threshold.to_bits());
+        assert_eq!(part.partition.cuts(), &[scalar.split]);
+        assert_eq!(part.total, scalar.total);
+        assert_eq!(part.probes, scalar.probes);
+        assert_eq!(part.sweeps, 0);
+    }
+}
+
+/// `Searcher::warm_hint(h)` is `Searcher::warm_cuts(&[h])`, bitwise.
+#[test]
+fn warm_hint_shim_matches_warm_cuts() {
+    let w = workload();
+    let cold = Searcher::new(Strategy::Analytic { step: None })
+        .profiled()
+        .run(&w);
+    let hint = cold.best_t;
+    let via_hint = Searcher::new(Strategy::Analytic { step: None })
+        .warm_hint(hint)
+        .profiled()
+        .run(&w);
+    let cuts = [hint];
+    let via_cuts = Searcher::new(Strategy::Analytic { step: None })
+        .warm_cuts(&cuts)
+        .profiled()
+        .run(&w);
+    assert_eq!(via_hint, via_cuts);
+}
+
+/// `ConfigKey::of` is `ConfigKey::with_devices` on the canonical pair.
+#[test]
+fn config_key_shim_matches_with_devices_on_the_canonical_pair() {
+    let spec = SampleSpec::default();
+    for strategy in [
+        Strategy::Exhaustive { step: Some(STEP) },
+        Strategy::CoarseToFine,
+        Strategy::RaceThenFine,
+        Strategy::GradientDescent {
+            max_evals: MAX_EVALS,
+        },
+        Strategy::Analytic { step: None },
+    ] {
+        assert_eq!(
+            ConfigKey::of(strategy, spec, SEED, 2),
+            ConfigKey::with_devices(strategy, spec, SEED, 2, DeviceSet::cpu_gpu_static()),
+        );
     }
 }
 

@@ -180,8 +180,15 @@ proptest! {
             let profile = w.build_profile(Pool::global());
             let space = w.space();
             let curve = w.curve(&profile).expect("curve");
-            let cold = minimize_curve(curve.as_ref(), &space, space.fine_step, None);
-            prop_assert_eq!(step.threshold.to_bits(), cold.threshold.to_bits(), "step {}", i);
+            let cold = minimize_partition(
+                curve.as_ref(),
+                DeviceSet::cpu_gpu_static(),
+                &space,
+                space.fine_step,
+                None,
+            )
+            .expect("the canonical pair prices every curve");
+            prop_assert_eq!(step.threshold.to_bits(), cold.thresholds[0].to_bits(), "step {}", i);
             prop_assert_eq!(step.total, cold.total, "step {}", i);
         }
     }
@@ -232,7 +239,13 @@ proptest! {
         let fp = w.fingerprint();
         let key = CacheKey {
             input: fp.exact_key(),
-            config: ConfigKey::of(Strategy::CoarseToFine, SampleSpec::default(), 7, 1),
+            config: ConfigKey::with_devices(
+                Strategy::CoarseToFine,
+                SampleSpec::default(),
+                7,
+                1,
+                DeviceSet::cpu_gpu_static(),
+            ),
         };
         let near = NearCacheKey::of(fp.near_key(), Strategy::CoarseToFine);
         let est = SamplingEstimate {

@@ -1,0 +1,143 @@
+//! Property tests for the k-way `Partition` API (the partition PR's
+//! satellite): for random inputs,
+//!
+//! * the canonical-pair arm of [`minimize_partition`] is **bitwise equal**
+//!   to the scalar analytic bisection (`minimize_curve`) — threshold,
+//!   split, total, and probe count — cold and warm-started alike, and
+//!   two-way partition pricing reproduces `total_at` bitwise (which the
+//!   existing curve properties tie to a direct `run()`);
+//! * the k-way priced cost of an arbitrary cut vector equals a direct
+//!   k-banded execution recomputed from the raw per-row cost profile —
+//!   per-band kernel stats, per-link transfers, speed scaling, and the
+//!   `partition + slowest band + merge` composition — including empty
+//!   bands (duplicate cuts) and cuts landing on warp (32-row) boundaries.
+
+use nbwp_core::prelude::*;
+use nbwp_sparse::gen as sgen;
+use nbwp_sparse::spgemm::{row_profile, stats_for_rows, RowCurves, ENTRY_BYTES};
+use nbwp_sparse::SpmmCostCurve;
+use proptest::prelude::*;
+
+fn platform() -> Platform {
+    Platform::k40c_xeon_e5_2650()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// k=2 through the partition API is the scalar analytic bisection,
+    /// bitwise, for random spmm inputs, with and without a warm start.
+    #[test]
+    fn canonical_pair_partition_minimum_is_bitwise_scalar(
+        n in 96usize..400,
+        deg in 2usize..8,
+        seed in 0u64..1000,
+        warm_t in 0f64..100.0,
+    ) {
+        let w = SpmmWorkload::new(sgen::power_law(n, deg, 2.1, seed), platform());
+        let profile = w.build_profile(Pool::global());
+        let space = w.space();
+        let curve = w.curve(&profile).expect("spmm exposes a cost curve");
+        let pair = DeviceSet::cpu_gpu_static();
+
+        for warm in [None, Some(warm_t)] {
+            #[allow(deprecated)]
+            let scalar = minimize_curve(curve.as_ref(), &space, space.fine_step, warm);
+            let warm_buf = warm.map(|h| [h]);
+            let part = minimize_partition(
+                curve.as_ref(),
+                pair,
+                &space,
+                space.fine_step,
+                warm_buf.as_ref().map(<[f64; 1]>::as_slice),
+            )
+            .expect("the canonical pair prices every curve");
+            prop_assert_eq!(part.thresholds.len(), 1);
+            prop_assert_eq!(part.thresholds[0].to_bits(), scalar.threshold.to_bits());
+            prop_assert_eq!(part.partition.cuts(), &[scalar.split][..]);
+            prop_assert_eq!(part.total, scalar.total);
+            prop_assert_eq!(part.probes, scalar.probes);
+            prop_assert_eq!(part.sweeps, 0);
+
+            // Two-way pricing at the argmin (and the scalar split it
+            // names) is the scalar total, bitwise.
+            let p = Partition::two_way(curve.splits() - 1, scalar.split);
+            prop_assert_eq!(
+                curve.partition_total(pair, &p).expect("pair prices bands"),
+                curve.total_at(scalar.split)
+            );
+        }
+    }
+
+    /// k-way pricing is a direct k-banded execution: every band's cost is
+    /// recomputed here from the raw per-row profile (kernel stats over
+    /// the exact row slice, per-device speed scaling, per-link transfers
+    /// with the `B` operand shipped to non-empty GPU bands only), and the
+    /// composition is `partition + max(bands) + merge`. Cut vectors
+    /// include duplicate cuts (empty bands) and warp-aligned cuts.
+    #[test]
+    fn kway_priced_cost_matches_direct_banded_execution(
+        n in 64usize..320,
+        deg in 2usize..8,
+        seed in 0u64..1000,
+        raw in proptest::collection::vec(0usize..320, 3),
+        warp_align in 0usize..2,
+        force_empty in 0usize..2,
+    ) {
+        let a = sgen::power_law(n, deg, 2.1, seed);
+        let costs = row_profile(&a, &a);
+        let b_bytes = a.size_bytes();
+        let curves = RowCurves::new(&costs, b_bytes);
+        let prefix = &curves.b_entries().as_prefix_slice()[1..];
+        let platform = platform();
+        let part_lane = SimTime::from_millis(0.37);
+        let curve = SpmmCostCurve::new(&curves, prefix, part_lane, &platform);
+        let set = DeviceSet::dual_cpu_dual_gpu();
+
+        let mut cuts: Vec<usize> = raw
+            .iter()
+            .map(|&c| {
+                let c = c % (n + 1);
+                if warp_align == 1 { (c / 32) * 32 } else { c }
+            })
+            .collect();
+        cuts.sort_unstable();
+        if force_empty == 1 {
+            cuts[1] = cuts[0]; // a guaranteed empty band
+        }
+        let p = Partition::new(n, cuts);
+
+        let priced = curve
+            .partition_total(&set, &p)
+            .expect("spmm prices every band");
+
+        let mut slowest = SimTime::ZERO;
+        for (device, (lo, hi)) in set.devices().iter().zip(p.bands()) {
+            let stats = stats_for_rows(&costs[lo..hi], b_bytes);
+            let direct = match device.kind {
+                DeviceKind::Cpu => device.scale(platform.cpu_time(&stats)),
+                DeviceKind::Gpu => {
+                    let rows = (hi - lo) as u64;
+                    let transfer_in = if rows == 0 {
+                        SimTime::ZERO
+                    } else {
+                        let a2_bytes: u64 = costs[lo..hi]
+                            .iter()
+                            .map(|c| c.a_nnz)
+                            .sum::<u64>()
+                            * ENTRY_BYTES
+                            + 8 * rows;
+                        device.transfer(&platform, a2_bytes + b_bytes)
+                    };
+                    let c2_bytes: u64 =
+                        costs[lo..hi].iter().map(|c| c.c_nnz).sum::<u64>() * ENTRY_BYTES;
+                    transfer_in
+                        + device.scale(platform.gpu_time(&stats))
+                        + device.transfer(&platform, c2_bytes)
+                }
+            };
+            slowest = slowest.max(direct);
+        }
+        prop_assert_eq!(priced, part_lane + slowest);
+    }
+}

@@ -94,8 +94,9 @@ proptest! {
             let cold = Searcher::new(SearchStrategy::Analytic { step: None })
                 .profiled()
                 .run(w);
+            let warm_cuts = [cold.best_t];
             let warm = Searcher::new(SearchStrategy::Analytic { step: None })
-                .warm_hint(cold.best_t)
+                .warm_cuts(&warm_cuts)
                 .profiled()
                 .run(w);
             prop_assert_eq!(
