@@ -28,6 +28,15 @@
 //! The measured span fractions land in the JSON — they are the
 //! measurement behind `PATCH_CROSSOVER_FRACTION` (see DESIGN.md).
 //!
+//! Schema v2 adds the patch-vs-rebuild **policy comparison**: every
+//! scenario is replayed under the adaptive crossover (the default), the
+//! fixed patch-at-`PATCH_CROSSOVER_FRACTION` policy, and rebuild-always,
+//! and their total work — the deterministic unit the adaptive policy
+//! itself optimizes, `touched span + curve probes` summed over the steps
+//! — is compared. The `adaptive_vs_best_fixed` gate (enforced in every
+//! mode; work units are deterministic) requires the adaptive policy to
+//! match or beat the better fixed policy on every scenario.
+//!
 //! Usage: `bench_drift [--quick] [--out <path>] [--seed <u64>]`
 
 use std::time::Instant;
@@ -68,6 +77,18 @@ struct Entry {
     decisions_patched: u64,
     decisions_nudged: u64,
     decisions_rebuilt: u64,
+    /// Total deterministic work (touched span + curve probes, summed over
+    /// the steps) under the adaptive crossover — the unit the policy
+    /// itself optimizes, so the comparison is exact and machine-independent.
+    adaptive_work_units: u64,
+    /// Same stream under the fixed patch-at-[`PATCH_CROSSOVER_FRACTION`]
+    /// policy (the pre-adaptive default).
+    fixed_patch_work_units: u64,
+    /// Same stream under rebuild-always (`with_crossover(0.0)`).
+    rebuild_always_work_units: u64,
+    /// `adaptive_work_units / min(fixed policies)` — ≤ 1.0 means the
+    /// adaptive crossover matched or beat the better fixed policy.
+    adaptive_vs_best_fixed: f64,
     parity: bool,
 }
 
@@ -250,6 +271,28 @@ where
         }
     }
 
+    // Policy comparison: the same delta stream under the adaptive
+    // crossover and under both fixed policies, scored in the
+    // deterministic work unit the adaptive policy minimizes — touched
+    // span plus curve probes per step. The initial cold search inside
+    // `DriftServer::new` is identical across policies and excluded by
+    // summing only the per-step costs.
+    let replay_work = |mut server: DriftServer<W>| -> u64 {
+        deltas
+            .iter()
+            .map(|d| {
+                let step = server.apply(d);
+                (step.span.len() + step.probes) as u64
+            })
+            .sum()
+    };
+    let adaptive_work = replay_work(DriftServer::new(base.clone()));
+    let fixed_patch_work =
+        replay_work(DriftServer::new(base.clone()).with_crossover(PATCH_CROSSOVER_FRACTION));
+    let rebuild_always_work = replay_work(DriftServer::new(base.clone()).with_crossover(0.0));
+    let best_fixed = fixed_patch_work.min(rebuild_always_work);
+    let adaptive_vs_best_fixed = adaptive_work as f64 / best_fixed.max(1) as f64;
+
     // Timed patched replay: the steady mutate-estimate loop.
     let mut patched_best = f64::INFINITY;
     for _ in 0..reps {
@@ -292,9 +335,10 @@ where
     let speedup = cold_step_ms / patched_step_ms.max(1e-9);
     let mean_span_fraction = span_sum as f64 / steps as f64 / units.max(1) as f64;
     eprintln!(
-        "  {name:<5} {:>5.1}% drift | span {:>5.2}% | patched {patched_step_ms:8.4} ms/step | cold {cold_step_ms:8.4} ms/step | x{speedup:<6.1} | regret {max_regret:.4}% | {n_patched} patched / {n_nudged} nudged / {n_rebuilt} rebuilt",
+        "  {name:<5} {:>5.1}% drift | span {:>5.2}% | patched {patched_step_ms:8.4} ms/step | cold {cold_step_ms:8.4} ms/step | x{speedup:<6.1} | regret {max_regret:.4}% | {n_patched} patched / {n_nudged} nudged / {n_rebuilt} rebuilt | work adaptive {adaptive_work} vs fixed {fixed_patch_work}/{rebuild_always_work} ({:.3})",
         fraction * 100.0,
         mean_span_fraction * 100.0,
+        adaptive_vs_best_fixed,
     );
     Entry {
         workload: name.to_string(),
@@ -309,14 +353,19 @@ where
         decisions_patched: n_patched,
         decisions_nudged: n_nudged,
         decisions_rebuilt: n_rebuilt,
+        adaptive_work_units: adaptive_work,
+        fixed_patch_work_units: fixed_patch_work,
+        rebuild_always_work_units: rebuild_always_work,
+        adaptive_vs_best_fixed,
         parity,
     }
 }
 
 /// Gates for one entry: the served threshold must always stay within 1%
-/// of the cold minimum (quality, enforced in every mode), and at the
-/// gated fraction the patched step must be ≥5x cheaper than a cold
-/// re-estimation (wall clock, enforced in full mode only).
+/// of the cold minimum and the adaptive crossover must match or beat the
+/// better fixed policy in deterministic work units (both enforced in
+/// every mode), and at the gated fraction the patched step must be ≥5x
+/// cheaper than a cold re-estimation (wall clock, full mode only).
 fn push_gates(
     name: &str,
     fraction: f64,
@@ -328,6 +377,14 @@ fn push_gates(
     gates.push(gate_max(
         &format!("{name}.serve_regret@{}%", fraction * 100.0),
         entry.max_serve_vs_cold_regret_pct,
+        1.0,
+        true,
+        "",
+        mismatches,
+    ));
+    gates.push(gate_max(
+        &format!("{name}.adaptive_vs_best_fixed@{}%", fraction * 100.0),
+        entry.adaptive_vs_best_fixed,
         1.0,
         true,
         "",
@@ -428,7 +485,7 @@ fn main() {
     }
 
     let report = Report {
-        schema: "nbwp-bench-drift/v1",
+        schema: "nbwp-bench-drift/v2",
         quick: args.quick,
         seed: args.seed,
         repetitions: reps,

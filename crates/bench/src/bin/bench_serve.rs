@@ -36,6 +36,17 @@
 //! the replay checker before it is committed; shadow-regret p50/p95/max
 //! land in the JSON.
 //!
+//! Schema v3 adds a `kway_warm` section: partition-aware serving at
+//! k = 4 and k = 8. An exact-key partition hit must return the stored
+//! cut vector bitwise (cuts, fractions, total, probes, sweeps), and a
+//! perturbed sibling sharing the base's near key must warm-descend from
+//! the cached seed with at least 3× fewer curve probes while serving a
+//! cut vector priced within 1% of the cold search's total (a warm start
+//! outside the cold argmin's basin legally serves a nearby local
+//! minimum, as with scalar near hits). All three gates are deterministic
+//! (probe counts and priced totals, not wall clock) and enforce
+//! everywhere.
+//!
 //! `available_parallelism` is recorded so single-core containers are
 //! legible in the JSON: fingerprint dedup still pays there, pool fan-out
 //! does not.
@@ -49,7 +60,10 @@ use nbwp_bench::harness::{
     write_report, GateOpts, GateResult,
 };
 use nbwp_core::prelude::*;
+use nbwp_graph::delta::GraphDelta;
 use nbwp_graph::gen as graph_gen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -90,6 +104,21 @@ struct PipelineEntry {
 }
 
 #[derive(Serialize)]
+struct KwayEntry {
+    device_set: String,
+    arity: usize,
+    base_cold_probes: usize,
+    sibling_cold_probes: usize,
+    sibling_warm_probes: usize,
+    warm_probe_ratio: f64,
+    warm_regret_pct: f64,
+    kway_exact_hits: u64,
+    kway_near_hits: u64,
+    kway_misses: u64,
+    probes_saved: u64,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: &'static str,
     quick: bool,
@@ -97,10 +126,121 @@ struct Report {
     available_parallelism: usize,
     stream: StreamInfo,
     pipelines: Vec<PipelineEntry>,
+    kway_warm: Vec<KwayEntry>,
     gates: Vec<GateResult>,
     audit_log: String,
     exact: bool,
     mismatches: Vec<String>,
+}
+
+/// Every float the partition serving contract covers, as raw bits: an
+/// exact-key partition hit must reproduce all of them.
+fn partition_bits(o: &PartitionOutcome) -> Vec<u64> {
+    let mut bits: Vec<u64> = o.cuts.iter().map(|c| c.to_bits()).collect();
+    bits.extend(o.fractions.iter().map(|f| f.to_bits()));
+    bits.push(o.total.as_secs().to_bits());
+    bits.push(o.probes as u64);
+    bits.push(o.sweeps as u64);
+    bits
+}
+
+/// Warm k-way serving at one arity: a base input populates the partition
+/// cache, a repeat must return the stored cut vector bitwise (exact-hit
+/// gate), and a perturbed sibling sharing the base's near key must reach
+/// the cold argmin from the cached warm seed with ≥ 3× fewer curve
+/// probes (warm-descent gate). Probe counts are deterministic, so both
+/// gates enforce even on single-core containers.
+fn run_kway(
+    set: &DeviceSet,
+    n: usize,
+    seed: u64,
+    gates: &mut Vec<GateResult>,
+    mismatches: &mut Vec<String>,
+) -> KwayEntry {
+    let k = set.len();
+    let platform = Platform::k40c_xeon_e5_2650();
+    let base = CcWorkload::new(graph_gen::web(n, 6, seed), platform);
+    // The sibling is the base drifted by a small windowed edge edit
+    // (~0.5% of the vertices) — the registry-of-known-inputs scenario a
+    // near hit is built for, where the cached cuts are a tight warm seed.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let window = (n / 200).max(2);
+    let lo = rng.gen_range(0..=n - window);
+    let mut delta = GraphDelta::default();
+    for _ in 0..(window / 3).max(1) {
+        let u = lo + rng.gen_range(0..window);
+        let v = lo + rng.gen_range(0..window);
+        if u != v {
+            delta.insert.push((u.min(v) as u32, u.max(v) as u32));
+        }
+    }
+    let (sibling, _span) = base.apply_delta(&delta);
+    if base.fingerprint().near_key() != sibling.fingerprint().near_key() {
+        mismatches.push(format!(
+            "kway{k}: the perturbed sibling does not share the base's near key"
+        ));
+    }
+
+    let cache = ThresholdCache::new(64);
+    let served = Estimator::new(Strategy::Analytic { step: None })
+        .seed(seed)
+        .cache(&cache)
+        .devices(set)
+        .profiled();
+    let first = served.run_partition_cached(&base);
+    let hit = served.run_partition_cached(&base);
+    if partition_bits(&hit) != partition_bits(&first) {
+        mismatches.push(format!(
+            "kway{k}: exact-key partition hit is not bitwise identical to the populating run"
+        ));
+    }
+
+    // Cold baseline for the sibling (no cache), then the warm near-hit
+    // through the cache. A warm start outside the cold argmin's basin
+    // legally serves a nearby local minimum (same contract as scalar
+    // near hits), so the cut vector is priced, not compared bitwise: the
+    // served total must stay within 1% of the cold search's.
+    let cold = Searcher::new(Strategy::Analytic { step: None })
+        .profiled()
+        .run_partition(&sibling, set);
+    let warm = served.run_partition_cached(&sibling);
+    let warm_regret_pct = (warm.total.as_secs() / cold.total.as_secs() - 1.0) * 100.0;
+    gates.push(gate_max(
+        &format!("kway{k}.warm_regret_pct"),
+        warm_regret_pct,
+        1.0,
+        true,
+        "",
+        mismatches,
+    ));
+    let warm_probe_ratio = cold.probes as f64 / warm.probes.max(1) as f64;
+    gates.push(gate_min(
+        &format!("kway{k}.warm_probe_ratio"),
+        warm_probe_ratio,
+        3.0,
+        true,
+        "",
+        mismatches,
+    ));
+
+    let st = cache.stats();
+    eprintln!(
+        "  kway{k:<15} base cold {} probes | sibling cold {} probes | warm {} probes (x{warm_probe_ratio:.1} fewer, regret {warm_regret_pct:+.2}%) | {} exact hits, {} warm starts, {} misses",
+        first.probes, cold.probes, warm.probes, st.kway_exact_hits, st.kway_near_hits, st.kway_misses,
+    );
+    KwayEntry {
+        device_set: set.name().to_string(),
+        arity: k,
+        base_cold_probes: first.probes,
+        sibling_cold_probes: cold.probes,
+        sibling_warm_probes: warm.probes,
+        warm_probe_ratio,
+        warm_regret_pct,
+        kway_exact_hits: st.kway_exact_hits,
+        kway_near_hits: st.kway_near_hits,
+        kway_misses: st.kway_misses,
+        probes_saved: st.probes_saved,
+    }
 }
 
 /// Steady-state warm per-request cost, unaudited and audited: pure
@@ -515,13 +655,25 @@ fn main() {
         pipelines.push(entry);
     }
 
+    // Warm k-way partition serving: exact hits bitwise, near-hit warm
+    // descent at a fraction of the cold probe budget, at k = 4 and k = 8.
+    eprintln!("k-way warm partition serving...");
+    let mut kway_warm = Vec::new();
+    for set in [
+        DeviceSet::dual_cpu_dual_gpu(),
+        DeviceSet::quad_cpu_quad_gpu(),
+    ] {
+        kway_warm.push(run_kway(&set, n, args.seed, &mut gates, &mut mismatches));
+    }
+
     let report = Report {
-        schema: "nbwp-bench-serve/v2",
+        schema: "nbwp-bench-serve/v3",
         quick: args.quick,
         seed: args.seed,
         available_parallelism: cores,
         stream: stream_info,
         pipelines,
+        kway_warm,
         gates,
         audit_log: audit_path.display().to_string(),
         exact: mismatches.is_empty(),

@@ -40,6 +40,7 @@ use nbwp_core::prelude::*;
 use nbwp_datasets::Dataset;
 use nbwp_graph::delta::GraphDelta;
 use nbwp_graph::Graph;
+use nbwp_sim::PcieModel;
 use nbwp_sparse::delta::{CsrDelta, RowOp};
 use nbwp_sparse::{io, Csr};
 
@@ -115,11 +116,13 @@ pub enum Command {
         /// incremental drift server, printing one decision line per step
         /// (patched / nudged / rebuilt, probes saved, staleness regret).
         drift: Option<String>,
-        /// Device topology preset (`cpu-gpu`, `dual-cpu-dual-gpu`,
-        /// `quad-cpu-quad-gpu`). The canonical pair keeps the scalar
-        /// pipeline (it only widens the cache key); larger sets run the
-        /// k-way analytic partition search and print per-device work
-        /// fractions.
+        /// Device topology: a preset name (`cpu-gpu`, `dual-cpu-dual-gpu`,
+        /// `quad-cpu-quad-gpu`) or a `.json` topology file with per-link
+        /// transfer models. The canonical pair keeps the scalar pipeline
+        /// (it only widens the cache key); larger sets run the k-way
+        /// analytic partition search — per-device work fractions on a
+        /// single `--input`, partition-aware cache serving with `--batch`,
+        /// and warm cut-vector serving with `--drift`.
         devices: Option<Box<DeviceSet>>,
     },
     /// Validate a captured artifact: a Chrome trace from `--trace-out`, an
@@ -213,9 +216,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         // vector, so a typo in a long command line is easy
                         // to find.
                         let pos = args.len() - it.len();
-                        devices = Some(Box::new(name.parse::<DeviceSet>().map_err(|e| {
-                            err(format!("argument {pos} (--devices): {e}\n{USAGE}"))
-                        })?));
+                        let set = if name.ends_with(".json") {
+                            load_device_set_json(&name)
+                        } else {
+                            name.parse::<DeviceSet>().map_err(|e| e.to_string())
+                        }
+                        .map_err(|e| err(format!("argument {pos} (--devices): {e}\n{USAGE}")))?;
+                        devices = Some(Box::new(set));
                     }
                     other => return Err(err(format!("unknown flag {other}\n{USAGE}"))),
                 }
@@ -236,24 +243,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(err("--drift serves through the incremental drift server; \
                      it takes no --exhaustive/--strategy/--analytic"));
             }
-            if drift.is_some() && devices.is_some() {
+            if exhaustive && devices.as_ref().is_some_and(|s| !s.is_canonical_pair()) {
                 return Err(err(
-                    "--drift serves the canonical CPU+GPU pair; it takes no --devices",
+                    "--exhaustive sweeps the scalar threshold; it takes no k-way --devices",
                 ));
-            }
-            if let Some(set) = devices.as_ref().filter(|s| !s.is_canonical_pair()) {
-                if batch.is_some() {
-                    return Err(err(format!(
-                        "--devices {} partitions a single --input; --batch serves \
-                         the canonical pair only",
-                        set.name()
-                    )));
-                }
-                if exhaustive {
-                    return Err(err(
-                        "--exhaustive sweeps the scalar threshold; it takes no k-way --devices",
-                    ));
-                }
             }
             Ok(Command::Estimate {
                 workload,
@@ -311,7 +304,7 @@ pub const USAGE: &str = "usage:
                 [--analytic] [--trace-out <trace.json|trace.jsonl>] [--metrics]
                 [--metrics-out <metrics.json|metrics.prom>] [--audit-out <audit.jsonl>]
                 [--drift <deltas.jsonl>]
-                [--devices <cpu-gpu|dual-cpu-dual-gpu|quad-cpu-quad-gpu>]
+                [--devices <cpu-gpu|dual-cpu-dual-gpu|quad-cpu-quad-gpu|topology.json>]
   nbwp trace <trace.json | audit.jsonl | metrics.prom>
   nbwp report <audit.jsonl> [--metrics <metrics.json|metrics.prom>]";
 
@@ -323,6 +316,96 @@ fn next_val<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result
 
 fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, CliError> {
     s.parse().map_err(|_| err(format!("bad numeric value {s}")))
+}
+
+/// Loads a device topology from a JSON file:
+///
+/// ```json
+/// {"name": "my-rig", "devices": [
+///   {"kind": "cpu"},
+///   {"kind": "cpu", "speed": 0.5},
+///   {"kind": "gpu", "link": "platform-pcie"},
+///   {"kind": "gpu", "speed": 0.75, "link": {"latency_us": 5.0, "bw_gbs": 8.0}}
+/// ]}
+/// ```
+///
+/// `name` defaults to the file stem, `speed` to `1.0`, and `link` to
+/// `"host"` for CPUs and `"platform-pcie"` for GPUs; an object link is a
+/// dedicated transfer model (a second PCIe slot, or a NIC-attached remote
+/// accelerator). Every structural error names the offending device
+/// position (`devices[i]: ...`), including the ordering and range rules
+/// enforced by [`DeviceSet::try_new`].
+fn load_device_set_json(path: &str) -> Result<DeviceSet, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let name = match v.get("name") {
+        None => Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("custom")
+            .to_string(),
+        Some(n) => n
+            .as_str()
+            .ok_or_else(|| "\"name\" must be a string".to_string())?
+            .to_string(),
+    };
+    let list = v
+        .get("devices")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| format!("{path}: a topology needs a \"devices\" array"))?;
+    let mut devices = Vec::with_capacity(list.len());
+    for (i, d) in list.iter().enumerate() {
+        let kind = d
+            .get("kind")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("devices[{i}]: \"kind\" must be \"cpu\" or \"gpu\""))?;
+        let mut dev = match kind {
+            "cpu" => Device::cpu(),
+            "gpu" => Device::gpu(),
+            other => {
+                return Err(format!(
+                    "devices[{i}]: unknown kind \"{other}\" (expected \"cpu\" or \"gpu\")"
+                ))
+            }
+        };
+        if let Some(s) = d.get("speed") {
+            // Range rules live in `try_new`, which reports them with the
+            // same position; only the type is checked here.
+            dev.speed = s
+                .as_f64()
+                .ok_or_else(|| format!("devices[{i}]: \"speed\" must be a number"))?;
+        }
+        if let Some(l) = d.get("link") {
+            dev.link = parse_link_json(l, i)?;
+        }
+        devices.push(dev);
+    }
+    DeviceSet::try_new(name, devices)
+}
+
+/// One device's `link` field: a preset name or a `{latency_us, bw_gbs}`
+/// transfer model.
+fn parse_link_json(v: &serde_json::Value, i: usize) -> Result<Link, String> {
+    if let Some(name) = v.as_str() {
+        return match name {
+            "host" => Ok(Link::Host),
+            "platform-pcie" => Ok(Link::PlatformPcie),
+            other => Err(format!(
+                "devices[{i}]: unknown link \"{other}\" (expected \"host\", \
+                 \"platform-pcie\", or {{\"latency_us\", \"bw_gbs\"}})"
+            )),
+        };
+    }
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("devices[{i}]: a link object needs a numeric \"{key}\""))
+    };
+    Ok(Link::Pcie(PcieModel {
+        latency_us: field("latency_us")?,
+        bw_gbs: field("bw_gbs")?,
+    }))
 }
 
 /// Executes a command, returning the text to print.
@@ -362,7 +445,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             };
             match (input, batch) {
                 (Some(input), None) => match drift {
-                    Some(ops) => drift_cmd(workload, input, ops, &sinks),
+                    Some(ops) => drift_cmd(workload, input, ops, devices.as_deref(), &sinks),
                     None => estimate_cmd(
                         workload,
                         input,
@@ -637,11 +720,11 @@ fn estimate_cmd(
     match (workload, kway) {
         ("cc", Some(set)) => {
             let w = CcWorkload::new(Graph::from_matrix(&a), platform);
-            report_partition(&mut out, &w, set, &rec);
+            report_partition(&mut out, &w, set, seed, &rec, &audit);
         }
         ("spmm", Some(set)) => {
             let w = SpmmWorkload::new(a, platform);
-            report_partition(&mut out, &w, set, &rec);
+            report_partition(&mut out, &w, set, seed, &rec, &audit);
         }
         ("hh", Some(set)) => {
             return Err(err(format!(
@@ -683,20 +766,40 @@ fn estimate_cmd(
 /// Runs the k-way analytic partition search over the full input and
 /// appends the cut vector plus one work-fraction row per device. The
 /// fractions are also exported as `partition.fraction.d<i>` gauges, which
-/// `nbwp report --metrics` renders as a dedicated row.
-fn report_partition<W: Profilable>(out: &mut String, w: &W, set: &DeviceSet, rec: &Recorder) {
-    let o = Searcher::new(Strategy::Analytic { step: None })
-        .recorder(rec)
-        .profiled()
-        .run_partition(w, set);
-    let cuts: Vec<String> = o.cuts.iter().map(|c| format!("{c:.1}")).collect();
+/// `nbwp report --metrics` renders as a dedicated row. With an enabled
+/// flight recorder the request goes through the partition serving path
+/// (`run_partition_cached`; no cache attached, so it runs cold) and
+/// records one arity-`k` audit event — the partition is identical either
+/// way.
+fn report_partition<W: Profilable + Fingerprinted>(
+    out: &mut String,
+    w: &W,
+    set: &DeviceSet,
+    seed: u64,
+    rec: &Recorder,
+    audit: &FlightRecorder,
+) {
+    let o = if audit.is_enabled() {
+        Estimator::new(Strategy::Analytic { step: None })
+            .seed(seed)
+            .recorder(rec)
+            .audit(audit)
+            .devices(set)
+            .profiled()
+            .run_partition_cached(w)
+    } else {
+        Searcher::new(Strategy::Analytic { step: None })
+            .recorder(rec)
+            .profiled()
+            .run_partition(w, set)
+    };
     let _ = writeln!(
         out,
         "k-way partition over {} (k = {}): predicted total {}\n  cut thresholds [{}] — {} curve probes, {} descent sweeps",
         set.name(),
         set.len(),
         o.total,
-        cuts.join(", "),
+        fmt_cuts(&o.cuts),
         o.probes,
         o.sweeps
     );
@@ -772,6 +875,51 @@ fn serve_batch<W>(
     audit.flush_metrics(rec);
 }
 
+/// Serves every workload in `ws` through the partition-aware cache
+/// (`run_partition_cached`) against a k-way device set, appending one cut
+/// vector per request plus the k-way cache totals. Unlike the scalar
+/// batch path there is no in-batch dedup: repeated inputs hit the cache
+/// as exact partition hits and return the stored cut vector bitwise.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch_kway<W>(
+    out: &mut String,
+    paths: &[String],
+    ws: &[W],
+    set: &DeviceSet,
+    seed: u64,
+    cache: &ThresholdCache,
+    rec: &Recorder,
+    audit: &FlightRecorder,
+) where
+    W: Profilable + Fingerprinted,
+{
+    let served = Estimator::new(Strategy::Analytic { step: None })
+        .seed(seed)
+        .cache(cache)
+        .audit(audit)
+        .devices(set)
+        .profiled();
+    for (path, w) in paths.iter().zip(ws) {
+        let o = served.run_partition_cached(w);
+        let _ = writeln!(
+            out,
+            "{path}: cuts [{}] (k = {}), predicted total {}, {} curve probes",
+            fmt_cuts(&o.cuts),
+            set.len(),
+            o.total,
+            o.probes
+        );
+    }
+    let st = cache.stats();
+    let _ = writeln!(
+        out,
+        "cache: {} k-way exact hits, {} warm starts, {} misses; {} probes saved",
+        st.kway_exact_hits, st.kway_near_hits, st.kway_misses, st.probes_saved
+    );
+    cache.flush_metrics(rec);
+    audit.flush_metrics(rec);
+}
+
 /// `estimate --batch`: one Matrix Market path per line, served through the
 /// fingerprint-deduped batch path with a shared threshold cache.
 #[allow(clippy::too_many_arguments)]
@@ -796,7 +944,23 @@ fn batch_cmd(
     if paths.is_empty() {
         return Err(err(format!("{batch} lists no inputs")));
     }
-    let strategy = resolve_strategy(workload, strategy, analytic)?;
+    // As in `estimate_cmd`: a k-way set routes through the analytic
+    // partition search, so an explicit non-analytic strategy conflicts.
+    let kway = devices.filter(|s| !s.is_canonical_pair());
+    let resolved = resolve_strategy(workload, strategy, analytic)?;
+    let strategy = match kway {
+        Some(set) => {
+            if strategy.is_some() && !matches!(resolved, Strategy::Analytic { .. }) {
+                return Err(err(format!(
+                    "--devices {} prices bands from the cost curve; \
+                     use --analytic (or drop --strategy)",
+                    set.name()
+                )));
+            }
+            Strategy::Analytic { step: None }
+        }
+        None => resolved,
+    };
     let platform = Platform::k40c_xeon_e5_2650();
     let cache = cache_size.map_or_else(ThresholdCache::default, ThresholdCache::new);
     let rec = sinks.recorder();
@@ -813,8 +977,29 @@ fn batch_cmd(
         .iter()
         .map(|p| load_square(p))
         .collect::<Result<Vec<_>, _>>()?;
-    match workload {
-        "cc" => {
+    match (workload, kway) {
+        ("cc", Some(set)) => {
+            let ws: Vec<CcWorkload> = mats
+                .into_iter()
+                .map(|a| CcWorkload::new(Graph::from_matrix(&a), platform))
+                .collect();
+            serve_batch_kway(&mut out, &paths, &ws, set, seed, &cache, &rec, &audit);
+        }
+        ("spmm", Some(set)) => {
+            let ws: Vec<SpmmWorkload> = mats
+                .into_iter()
+                .map(|a| SpmmWorkload::new(a, platform))
+                .collect();
+            serve_batch_kway(&mut out, &paths, &ws, set, seed, &cache, &rec, &audit);
+        }
+        ("hh", Some(set)) => {
+            return Err(err(format!(
+                "hh partitions rows by a density predicate, not by contiguous \
+                 spans; --devices {} supports cc | spmm",
+                set.name()
+            )));
+        }
+        ("cc", None) => {
             let ws: Vec<CcWorkload> = mats
                 .into_iter()
                 .map(|a| CcWorkload::new(Graph::from_matrix(&a), platform))
@@ -832,7 +1017,7 @@ fn batch_cmd(
                 "CPU vertex share %",
             );
         }
-        "spmm" => {
+        ("spmm", None) => {
             let ws: Vec<SpmmWorkload> = mats
                 .into_iter()
                 .map(|a| SpmmWorkload::new(a, platform))
@@ -850,7 +1035,7 @@ fn batch_cmd(
                 "CPU work share %",
             );
         }
-        "hh" => {
+        ("hh", None) => {
             let ws: Vec<HhWorkload> = mats
                 .into_iter()
                 .map(|a| HhWorkload::new(a, platform))
@@ -868,7 +1053,7 @@ fn batch_cmd(
                 "row-density threshold",
             );
         }
-        other => return Err(err(format!("unknown workload {other}"))),
+        (other, _) => return Err(err(format!("unknown workload {other}"))),
     }
     let trace = rec.finish();
     sinks.write(&mut out, &trace, &audit)?;
@@ -889,6 +1074,7 @@ fn drift_cmd(
     workload: &str,
     input: &str,
     ops: &str,
+    devices: Option<&DeviceSet>,
     sinks: &Sinks<'_>,
 ) -> Result<String, CliError> {
     let a = load_square(input)?;
@@ -911,12 +1097,28 @@ fn drift_cmd(
         "cc" => {
             let deltas = parse_graph_deltas(&text)?;
             let w = CcWorkload::new(Graph::from_matrix(&a), platform);
-            replay_drift(&mut out, w, &deltas, &cache, &audit, "CPU vertex share %");
+            replay_drift(
+                &mut out,
+                w,
+                &deltas,
+                devices,
+                &cache,
+                &audit,
+                "CPU vertex share %",
+            );
         }
         "spmm" => {
             let deltas = parse_csr_deltas(&text)?;
             let w = SpmmWorkload::new(a, platform);
-            replay_drift(&mut out, w, &deltas, &cache, &audit, "CPU work share %");
+            replay_drift(
+                &mut out,
+                w,
+                &deltas,
+                devices,
+                &cache,
+                &audit,
+                "CPU work share %",
+            );
         }
         other => {
             return Err(err(format!(
@@ -932,32 +1134,57 @@ fn drift_cmd(
 }
 
 /// Serves `deltas` through a [`DriftServer`] with cache + audit hooks
-/// attached, appending one line per step and a decision summary.
+/// attached, appending one line per step and a decision summary. A k-way
+/// `devices` set swaps the scalar threshold column for the served cut
+/// vector; every step also carries its patch-vs-rebuild reason (the
+/// delta's span fraction against the policy's crossover estimate).
 fn replay_drift<W: DriftWorkload>(
     out: &mut String,
     w: W,
     deltas: &[W::Delta],
+    devices: Option<&DeviceSet>,
     cache: &ThresholdCache,
     audit: &FlightRecorder,
     unit: &str,
 ) {
     let mut server = DriftServer::new(w).with_cache(cache).with_audit(audit);
-    let _ = writeln!(
-        out,
-        "base: threshold {:.1} ({unit}), predicted total {}",
-        server.threshold(),
-        server.total()
-    );
-    for (i, d) in deltas.iter().enumerate() {
-        let step = server.apply(d);
+    if let Some(set) = devices {
+        server = server.with_devices(set.clone());
+    }
+    let kway = server.devices().len() > 2;
+    if kway {
         let _ = writeln!(
             out,
-            "step {i:>3}: {:<8} span {}..{} ({} units), threshold {:.1}, total {}, probes saved {}, staleness regret {:.2}%",
+            "base: cuts [{}] over {} (k = {}), predicted total {}",
+            fmt_cuts(server.cuts()),
+            server.devices().name(),
+            server.devices().len(),
+            server.total()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "base: threshold {:.1} ({unit}), predicted total {}",
+            server.threshold(),
+            server.total()
+        );
+    }
+    for (i, d) in deltas.iter().enumerate() {
+        let step = server.apply(d);
+        let position = if kway {
+            format!("cuts [{}]", fmt_cuts(&step.cuts))
+        } else {
+            format!("threshold {:.1}", step.threshold)
+        };
+        let _ = writeln!(
+            out,
+            "step {i:>3}: {:<8} span {}..{} ({} units, {:.1}% vs crossover {:.1}%), {position}, total {}, probes saved {}, staleness regret {:.2}%",
             step.decision.name(),
             step.span.start,
             step.span.end,
             step.span.len(),
-            step.threshold,
+            100.0 * step.span_fraction,
+            100.0 * step.crossover_estimate,
             step.total,
             step.probes_saved,
             step.regret_pct
@@ -974,6 +1201,12 @@ fn replay_drift<W: DriftWorkload>(
         st.probes_saved,
         st.stale_evictions
     );
+}
+
+/// Formats a cut-threshold vector as `a, b, c` with one decimal.
+fn fmt_cuts(cuts: &[f64]) -> String {
+    let v: Vec<String> = cuts.iter().map(|c| format!("{c:.1}")).collect();
+    v.join(", ")
 }
 
 /// Parses the payload lines of a delta script (blanks / `#` comments out).
@@ -1277,6 +1510,51 @@ fn report_cmd(audit_path: &str, metrics_path: Option<&str>) -> Result<String, Cl
             percentile(&agg.latencies, 1.0),
             agg.sim_cost_ms
         );
+    }
+
+    // Drift steps carry their patch-vs-rebuild reason: the delta's span
+    // fraction against the policy's crossover estimate at decision time.
+    // Rebuilds are rare enough to explain individually.
+    let reasons: Vec<(f64, f64, CacheDecision, u64)> = check
+        .events
+        .iter()
+        .filter_map(|ev| {
+            Some((
+                ev.span_fraction?,
+                ev.crossover_estimate.unwrap_or(f64::NAN),
+                ev.decision,
+                ev.arity,
+            ))
+        })
+        .collect();
+    if !reasons.is_empty() {
+        let spans: Vec<f64> = reasons.iter().map(|r| 100.0 * r.0).collect();
+        let _ = writeln!(
+            out,
+            "\ndrift decisions ({} audited steps): span fraction p50 {:.1}% / max {:.1}%",
+            reasons.len(),
+            percentile(&spans, 0.5),
+            percentile(&spans, 1.0)
+        );
+        let mut rebuilds = 0;
+        for (span, crossover, decision, arity) in &reasons {
+            if *decision == CacheDecision::Cold {
+                rebuilds += 1;
+                let _ = writeln!(
+                    out,
+                    "  rebuild (arity {arity}): span {:.1}% of the input exceeded the \
+                     crossover estimate {:.1}%",
+                    100.0 * span,
+                    100.0 * crossover
+                );
+            }
+        }
+        if rebuilds == 0 {
+            let _ = writeln!(
+                out,
+                "  no rebuilds: every span stayed under the crossover estimate"
+            );
+        }
     }
 
     let all_regrets: Vec<f64> = kinds.values().flat_map(|a| a.regrets.clone()).collect();
@@ -1946,21 +2224,239 @@ mod tests {
             parse_args(&args("estimate spmm --seed 9 --input x.mtx --devices nope")).unwrap_err();
         assert!(bad.0.contains("argument 8 (--devices)"), "{}", bad.0);
 
-        // k-way sets conflict with the scalar-only modes.
+        // k-way sets ride along with --batch (partition-aware cache
+        // serving) and --drift (warm cut-vector serving); only the scalar
+        // --exhaustive sweep still conflicts.
         assert!(parse_args(&args(
             "estimate spmm --batch b.txt --devices dual-cpu-dual-gpu"
         ))
-        .is_err());
+        .is_ok());
+        assert!(parse_args(&args(
+            "estimate cc --input x.mtx --drift o.jsonl --devices quad-cpu-quad-gpu"
+        ))
+        .is_ok());
         assert!(parse_args(&args(
             "estimate spmm --input x.mtx --devices dual-cpu-dual-gpu --exhaustive"
         ))
         .is_err());
-        assert!(parse_args(&args(
-            "estimate cc --input x.mtx --drift o.jsonl --devices cpu-gpu"
-        ))
-        .is_err());
-        // ... but the canonical pair rides along with --batch (cache key).
         assert!(parse_args(&args("estimate spmm --batch b.txt --devices cpu-gpu")).is_ok());
+    }
+
+    /// Renders a [`DeviceSet`] in the `--devices <file.json>` topology
+    /// format (the test-side inverse of `load_device_set_json`).
+    fn device_set_to_json(set: &DeviceSet) -> String {
+        let devices: Vec<String> = set
+            .devices()
+            .iter()
+            .map(|d| {
+                let kind = match d.kind {
+                    DeviceKind::Cpu => "cpu",
+                    DeviceKind::Gpu => "gpu",
+                };
+                let link = match d.link {
+                    Link::Host => "\"host\"".to_string(),
+                    Link::PlatformPcie => "\"platform-pcie\"".to_string(),
+                    Link::Pcie(m) => format!(
+                        "{{\"latency_us\": {}, \"bw_gbs\": {}}}",
+                        m.latency_us, m.bw_gbs
+                    ),
+                };
+                format!(
+                    "{{\"kind\": \"{kind}\", \"speed\": {}, \"link\": {link}}}",
+                    d.speed
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\": \"{}\", \"devices\": [{}]}}",
+            set.name(),
+            devices.join(", ")
+        )
+    }
+
+    /// `--devices <file.json>`: a serialized topology loads back equal
+    /// (round trip through the JSON format), defaults apply, and every
+    /// structural error names the argument position and the offending
+    /// device index.
+    #[test]
+    fn device_set_json_round_trips_and_validates() {
+        let dir = std::env::temp_dir().join("nbwp_cli_devices_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let parse_with = |path: &std::path::Path| {
+            parse_args(&args(&format!(
+                "estimate spmm --input x.mtx --devices {}",
+                path.to_str().unwrap()
+            )))
+        };
+        let loaded = |cmd: Command| match cmd {
+            Command::Estimate { devices, .. } => *devices.expect("--devices parsed"),
+            other => panic!("parsed {other:?}"),
+        };
+
+        // Round trip: custom speeds and a dedicated NIC-style link survive
+        // serialization → file → loader bitwise (DeviceSet is PartialEq).
+        let set = DeviceSet::new(
+            "bench-rig",
+            vec![
+                Device::cpu(),
+                Device::cpu().with_speed(0.5),
+                Device::gpu(),
+                Device::gpu()
+                    .with_speed(0.75)
+                    .with_link(Link::Pcie(PcieModel {
+                        latency_us: 5.0,
+                        bw_gbs: 8.0,
+                    })),
+            ],
+        );
+        let rig = dir.join("rig.json");
+        std::fs::write(&rig, device_set_to_json(&set)).unwrap();
+        assert_eq!(loaded(parse_with(&rig).unwrap()), set);
+
+        // Defaults: name falls back to the file stem, speed to 1.0, link to
+        // host (CPU) / platform PCIe (GPU).
+        let pairish = dir.join("pairish.json");
+        std::fs::write(
+            &pairish,
+            "{\"devices\": [{\"kind\": \"cpu\"}, {\"kind\": \"gpu\"}]}",
+        )
+        .unwrap();
+        assert_eq!(
+            loaded(parse_with(&pairish).unwrap()),
+            DeviceSet::new("pairish", vec![Device::cpu(), Device::gpu()])
+        );
+
+        // Structural errors carry the argument position and the device
+        // index (the loader's own checks and `DeviceSet::try_new`'s alike).
+        let bad = dir.join("bad.json");
+        let cases = [
+            (
+                "{\"devices\": [{\"kind\": \"cpu\"}, {\"kind\": \"tpu\"}]}",
+                "devices[1]: unknown kind \"tpu\"",
+            ),
+            (
+                "{\"devices\": [{\"kind\": \"cpu\", \"speed\": -1}, {\"kind\": \"gpu\"}]}",
+                "devices[0]: speed must be finite and positive",
+            ),
+            (
+                "{\"devices\": [{\"kind\": \"gpu\"}, {\"kind\": \"cpu\"}]}",
+                "devices[1]: CPU-class devices must precede GPU-class",
+            ),
+            (
+                "{\"devices\": [{\"kind\": \"cpu\"}, {\"kind\": \"gpu\", \
+                 \"link\": {\"latency_us\": 5.0}}]}",
+                "devices[1]: a link object needs a numeric \"bw_gbs\"",
+            ),
+            ("{\"name\": \"x\"}", "needs a \"devices\" array"),
+        ];
+        for (text, needle) in cases {
+            std::fs::write(&bad, text).unwrap();
+            let e = parse_with(&bad).unwrap_err();
+            assert!(e.0.contains("(--devices)"), "{}", e.0);
+            assert!(e.0.contains(needle), "{needle} not in: {}", e.0);
+        }
+        let e = parse_with(&dir.join("missing.json")).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{}", e.0);
+
+        for f in [&rig, &pairish, &bad] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    /// End-to-end warm k-way serving through the CLI: `--batch` with a
+    /// k-way set serves repeats as exact partition hits from the cache,
+    /// and `--drift` with a k-way set serves cut vectors with per-step
+    /// patch-vs-rebuild reasons that `nbwp report` renders.
+    #[test]
+    fn kway_batch_and_drift_serve_partitions() {
+        let dir = std::env::temp_dir().join("nbwp_cli_kway_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = dir.join("rma10.mtx");
+        let m2 = dir.join("cant.mtx");
+        for (name, path) in [("rma10", &m1), ("cant", &m2)] {
+            run(&Command::Gen {
+                dataset: name.into(),
+                scale: 0.005,
+                seed: 3,
+                out: path.to_str().unwrap().into(),
+            })
+            .unwrap();
+        }
+        let (p1, p2) = (m1.to_str().unwrap(), m2.to_str().unwrap());
+
+        // Batch: the duplicate request returns the cached partition as an
+        // exact hit (no dedup on this path — the cache itself serves it).
+        let reqs = dir.join("reqs.txt");
+        std::fs::write(&reqs, format!("{p1}\n{p1}\n{p2}\n")).unwrap();
+        let batch = |workload: &str| {
+            run(&Command::Estimate {
+                workload: workload.into(),
+                input: None,
+                batch: Some(reqs.to_str().unwrap().into()),
+                cache_size: Some(8),
+                seed: 3,
+                exhaustive: false,
+                strategy: None,
+                analytic: false,
+                trace_out: None,
+                metrics: false,
+                metrics_out: None,
+                audit_out: None,
+                drift: None,
+                devices: Some(Box::new(DeviceSet::dual_cpu_dual_gpu())),
+            })
+        };
+        let text = batch("spmm").unwrap();
+        assert_eq!(text.matches("cuts [").count(), 3, "{text}");
+        assert!(text.contains("(k = 4)"), "{text}");
+        assert!(text.contains("1 k-way exact hits"), "{text}");
+        let e = batch("hh").unwrap_err();
+        assert!(e.0.contains("cc | spmm"), "{}", e.0);
+
+        // Drift: k-way steps print the served cut vector and the decision
+        // reason; the audit log feeds the report's drift-decision section.
+        let ops = dir.join("cc.jsonl");
+        std::fs::write(
+            &ops,
+            "{\"insert\": [[1, 2], [2, 3]]}\n{\"delete\": [[1, 2]]}\n",
+        )
+        .unwrap();
+        let audit = dir.join("kway-drift.jsonl");
+        let text = run(&Command::Estimate {
+            workload: "cc".into(),
+            input: Some(p1.into()),
+            batch: None,
+            cache_size: None,
+            seed: 3,
+            exhaustive: false,
+            strategy: None,
+            analytic: false,
+            trace_out: None,
+            metrics: false,
+            metrics_out: None,
+            audit_out: Some(audit.to_str().unwrap().into()),
+            drift: Some(ops.to_str().unwrap().into()),
+            devices: Some(Box::new(DeviceSet::dual_cpu_dual_gpu())),
+        })
+        .unwrap();
+        assert!(text.contains("base: cuts ["), "{text}");
+        assert!(text.contains("(k = 4)"), "{text}");
+        assert_eq!(text.matches("vs crossover").count(), 2, "{text}");
+        assert!(text.contains("2 steps"), "{text}");
+        let report = run(&Command::Report {
+            audit: audit.to_str().unwrap().into(),
+            metrics: None,
+        })
+        .unwrap();
+        assert!(
+            report.contains("drift decisions (2 audited steps)"),
+            "{report}"
+        );
+        assert!(report.contains("span fraction p50"), "{report}");
+
+        for f in [&m1, &m2, &reqs, &ops, &audit] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     /// End-to-end `estimate --devices`: the k-way analytic path prints the

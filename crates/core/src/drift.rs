@@ -18,11 +18,17 @@
 //!    result is bitwise-identical to profiling the mutated input from
 //!    scratch.
 //! 3. [`DriftServer`] holds the live profile, applies deltas, and
-//!    re-minimizes the patched curve with a *warm* hill-descent from the
-//!    previous threshold ([`minimize_partition`] on the canonical device
-//!    pair) instead of a cold bracketing search. When the span exceeds [`PATCH_CROSSOVER_FRACTION`] of the
-//!    input, it falls back to a full in-place rebuild (a whole-input
-//!    patch) and a cold search.
+//!    re-minimizes the patched curve with a *warm* descent from the
+//!    previous cut vector ([`minimize_partition`] on the configured
+//!    [`DeviceSet`] — the canonical pair by default, any band-priced
+//!    topology via [`DriftServer::with_devices`]) instead of a cold
+//!    multi-seed search. Patch-vs-rebuild is decided online by an
+//!    *adaptive crossover*: the server keeps deterministic work-unit
+//!    EWMAs of what patched steps and whole-input rebuilds actually cost
+//!    and rebuilds only when the predicted patch cost exceeds the
+//!    measured rebuild cost. [`DriftServer::with_crossover`] pins the
+//!    historical fixed-fraction policy instead
+//!    ([`PATCH_CROSSOVER_FRACTION`] was the old default).
 //!
 //! Every step is scored: staleness regret (the patched curve's cost at the
 //! previous threshold over the new minimum) flows into the
@@ -41,7 +47,7 @@
 use std::ops::Range;
 
 use nbwp_par::Pool;
-use nbwp_sim::{DeviceSet, ProfileScratch, SimTime};
+use nbwp_sim::{DeviceSet, Partition, ProfileScratch, SimTime};
 use nbwp_trace::{AuditEvent, CacheDecision, FlightRecorder};
 
 use crate::fingerprint::Fingerprinted;
@@ -50,9 +56,12 @@ use crate::profile::Profilable;
 use crate::search::minimize_partition;
 use crate::threshold_cache::ThresholdCache;
 
-/// Span fraction (touched units over total units) above which the server
-/// abandons span patching for a full in-place rebuild plus cold search.
+/// Span fraction (touched units over total units) above which the
+/// *fixed-fraction* crossover policy abandons span patching for a full
+/// in-place rebuild plus cold search.
 ///
+/// This was the default policy before the adaptive crossover landed and
+/// remains the fixed-policy baseline `bench_drift` compares against.
 /// Measured with `bench_drift`: at the 0.1% and 1% delta fractions the
 /// patched path wins by well over the gated 5×, while at 10% the widened
 /// spans (SpGEMM's A×A coupling spreads edits across referencing rows)
@@ -60,6 +69,79 @@ use crate::threshold_cache::ThresholdCache;
 /// passes stop paying for themselves well before half the input is
 /// touched.
 pub const PATCH_CROSSOVER_FRACTION: f64 = 0.25;
+
+/// EWMA smoothing factor for the adaptive crossover's work observations.
+/// Recent steps dominate (drifting inputs change regime), but one
+/// outlier delta cannot flip the policy on its own.
+const CROSSOVER_EWMA_ALPHA: f64 = 0.3;
+
+fn ewma(old: f64, new: f64) -> f64 {
+    old + CROSSOVER_EWMA_ALPHA * (new - old)
+}
+
+/// Patch-vs-rebuild decision policy.
+///
+/// Costs are measured in deterministic *work units* — profile entries
+/// touched plus curve probes spent — never wall-clock, so an audited
+/// server replays bitwise-identically to an unaudited one and the policy
+/// is reproducible across machines and thread counts.
+#[derive(Copy, Clone, Debug)]
+enum CrossoverPolicy {
+    /// Rebuild whenever the span exceeds a fixed fraction of the input.
+    Fixed(f64),
+    /// Rebuild whenever the predicted patched-step work (span length +
+    /// EWMA of warm-descent probes) exceeds the EWMA of measured
+    /// whole-input rebuild work (units + cold-search probes).
+    Adaptive {
+        /// EWMA of warm-descent probe counts on patched steps, seeded
+        /// from the initial cold search (an upper bound on warm work).
+        patch_probes: f64,
+        /// EWMA of measured rebuild work, seeded from the initial
+        /// profile build + cold search.
+        rebuild_work: f64,
+    },
+}
+
+impl CrossoverPolicy {
+    /// Decides one step: returns whether to rebuild and the policy's
+    /// current crossover estimate as a span fraction (the span fraction
+    /// at which predicted patch and rebuild work break even; the fixed
+    /// fraction itself for the fixed policy).
+    fn decide(&self, span_len: usize, units: usize) -> (bool, f64) {
+        match *self {
+            CrossoverPolicy::Fixed(f) => (span_len as f64 > f * units as f64, f),
+            CrossoverPolicy::Adaptive {
+                patch_probes,
+                rebuild_work,
+            } => {
+                let predicted_patch = span_len as f64 + patch_probes;
+                let estimate = if units == 0 {
+                    1.0
+                } else {
+                    ((rebuild_work - patch_probes) / units as f64).clamp(0.0, 1.0)
+                };
+                (predicted_patch > rebuild_work, estimate)
+            }
+        }
+    }
+
+    /// Feeds one measured step back into the EWMAs (no-op for the fixed
+    /// policy).
+    fn observe(&mut self, rebuilt: bool, units: usize, probes: usize) {
+        let CrossoverPolicy::Adaptive {
+            patch_probes,
+            rebuild_work,
+        } = self
+        else {
+            return;
+        };
+        if rebuilt {
+            *rebuild_work = ewma(*rebuild_work, (units + probes) as f64);
+        } else {
+            *patch_probes = ewma(*patch_probes, probes as f64);
+        }
+    }
+}
 
 /// A workload that can evolve under typed input deltas while keeping its
 /// fingerprint and cost profile incrementally up to date.
@@ -136,9 +218,12 @@ impl DriftDecision {
 pub struct DriftStep {
     /// How the step was resolved.
     pub decision: DriftDecision,
-    /// Threshold now being served.
+    /// First cut of the served partition (the scalar threshold on the
+    /// canonical pair).
     pub threshold: f64,
-    /// Curve total at the served threshold.
+    /// Full cut vector now being served (`k − 1` thresholds, ascending).
+    pub cuts: Vec<f64>,
+    /// Curve total at the served partition.
     pub total: SimTime,
     /// Curve probes this step spent.
     pub probes: usize,
@@ -146,10 +231,17 @@ pub struct DriftStep {
     /// lineage (zero for a rebuild — it *is* the cold search).
     pub probes_saved: u64,
     /// Staleness regret in percent: the patched curve's cost at the
-    /// previous threshold over the new minimum, minus one.
+    /// previous cut vector over the new minimum, minus one.
     pub regret_pct: f64,
     /// Span actually re-profiled (whole input after a crossover rebuild).
     pub span: Range<usize>,
+    /// The delta's span over the unit count — what the crossover policy
+    /// compared against (the *pre-widening* fraction on a rebuild).
+    pub span_fraction: f64,
+    /// The policy's break-even span fraction at decision time: spans
+    /// above it rebuild. Together with `span_fraction` this is the
+    /// decision reason an audit consumer needs to explain a rebuild.
+    pub crossover_estimate: f64,
 }
 
 /// Serves thresholds for a workload drifting under a stream of deltas.
@@ -163,18 +255,21 @@ pub struct DriftServer<'a, W: DriftWorkload> {
     workload: W,
     profile: W::Profile,
     scratch: ProfileScratch,
+    set: DeviceSet,
     step: f64,
-    crossover: f64,
+    policy: CrossoverPolicy,
     cache: Option<&'a ThresholdCache>,
     audit: Option<&'a FlightRecorder>,
-    threshold: f64,
+    thresholds: Vec<f64>,
     total: SimTime,
     cold_probes: u64,
     steps: u64,
 }
 
 impl<'a, W: DriftWorkload> DriftServer<'a, W> {
-    /// Builds the profile and runs the initial cold curve minimization.
+    /// Builds the profile and runs the initial cold curve minimization
+    /// for the canonical CPU+GPU pair ([`DriftServer::with_devices`]
+    /// re-targets any band-priced topology).
     ///
     /// # Panics
     /// Panics if the workload exposes no cost curve.
@@ -182,35 +277,46 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
     pub fn new(workload: W) -> Self {
         let mut scratch = ProfileScratch::new();
         let profile = workload.build_profile_in(Pool::global(), &mut scratch);
-        let space = workload.space();
-        let step = space.fine_step;
-        let (threshold, total, probes) = {
-            let curve = workload
-                .curve(&profile)
-                .expect("drift serving needs an analytic cost curve");
-            let m = minimize_partition(
-                curve.as_ref(),
-                DeviceSet::cpu_gpu_static(),
-                &space,
-                step,
-                None,
-            )
-            .expect("the canonical pair prices every curve");
-            (m.thresholds[0], m.total, m.probes)
-        };
+        let step = workload.space().fine_step;
+        let set = DeviceSet::cpu_gpu_static().clone();
+        let (thresholds, total, probes) = Self::cold_minimize(&workload, &profile, &set, step);
+        let units = workload.units();
         DriftServer {
             workload,
             profile,
             scratch,
+            set,
             step,
-            crossover: PATCH_CROSSOVER_FRACTION,
+            // Seed the adaptive EWMAs from the one measurement `new`
+            // already made: the cold search's probes (an upper bound on
+            // warm-descent work) and the whole-input build it descended on.
+            policy: CrossoverPolicy::Adaptive {
+                patch_probes: probes as f64,
+                rebuild_work: (units + probes) as f64,
+            },
             cache: None,
             audit: None,
-            threshold,
+            thresholds,
             total,
             cold_probes: probes as u64,
             steps: 0,
         }
+    }
+
+    /// One cold multi-seed minimization of the curve over `set`.
+    fn cold_minimize(
+        workload: &W,
+        profile: &W::Profile,
+        set: &DeviceSet,
+        step: f64,
+    ) -> (Vec<f64>, SimTime, usize) {
+        let space = workload.space();
+        let curve = workload
+            .curve(profile)
+            .expect("drift serving needs an analytic cost curve");
+        let m = minimize_partition(curve.as_ref(), set, &space, step, None)
+            .expect("drift serving at k > 2 needs a band-priced cost curve");
+        (m.thresholds, m.total, m.probes)
     }
 
     /// Overrides the search step (defaults to the space's fine step).
@@ -220,10 +326,41 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
         self
     }
 
-    /// Overrides the patch-vs-rebuild crossover fraction.
+    /// Serves full k-way cut vectors for `set` instead of the canonical
+    /// pair: re-runs the initial cold minimization (the profile is
+    /// topology-independent and is reused) and re-seeds the adaptive
+    /// crossover's work priors from it.
+    ///
+    /// # Panics
+    /// Panics at `k > 2` if the workload's curve does not price device
+    /// bands (see [`minimize_partition`]).
+    #[must_use]
+    pub fn with_devices(mut self, set: DeviceSet) -> Self {
+        self.set = set;
+        let (thresholds, total, probes) =
+            Self::cold_minimize(&self.workload, &self.profile, &self.set, self.step);
+        self.thresholds = thresholds;
+        self.total = total;
+        self.cold_probes = probes as u64;
+        if let CrossoverPolicy::Adaptive {
+            patch_probes,
+            rebuild_work,
+        } = &mut self.policy
+        {
+            *patch_probes = probes as f64;
+            *rebuild_work = (self.workload.units() + probes) as f64;
+        }
+        self
+    }
+
+    /// Pins the fixed-fraction crossover policy: rebuild whenever the
+    /// span exceeds `fraction` of the input (the pre-adaptive behavior;
+    /// `0.0` rebuilds always, [`PATCH_CROSSOVER_FRACTION`] is the
+    /// historical default). Without this override the server decides
+    /// adaptively from measured step costs.
     #[must_use]
     pub fn with_crossover(mut self, fraction: f64) -> Self {
-        self.crossover = fraction;
+        self.policy = CrossoverPolicy::Fixed(fraction);
         self
     }
 
@@ -246,10 +383,23 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
         self
     }
 
-    /// Threshold currently being served.
+    /// First cut of the served partition (the scalar threshold on the
+    /// canonical pair).
     #[must_use]
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.thresholds[0]
+    }
+
+    /// Full cut vector currently being served (`k − 1` thresholds).
+    #[must_use]
+    pub fn cuts(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// The device topology being served.
+    #[must_use]
+    pub fn devices(&self) -> &DeviceSet {
+        &self.set
     }
 
     /// Curve total at the served threshold.
@@ -277,12 +427,18 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
     }
 
     /// Applies one delta: patch (or rebuild past the crossover), advance
-    /// the cache generation, re-minimize warm (or cold after a rebuild),
-    /// and record the decision.
+    /// the cache generation, re-minimize warm from the previous cut
+    /// vector (or cold after a rebuild), record the decision, and feed
+    /// the measured step cost back into the adaptive crossover.
     pub fn apply(&mut self, delta: &W::Delta) -> DriftStep {
         let (next, span) = self.workload.apply_delta(delta);
         let units = next.units();
-        let rebuild = span.len() as f64 > self.crossover * units as f64;
+        let (rebuild, crossover_estimate) = self.policy.decide(span.len(), units);
+        let span_fraction = if units == 0 {
+            0.0
+        } else {
+            span.len() as f64 / units as f64
+        };
         let span = if rebuild { 0..units } else { span };
         next.patch_profile(&mut self.profile, span.clone(), &mut self.scratch);
         if let Some(cache) = self.cache {
@@ -292,27 +448,37 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
         }
 
         let space = next.space();
-        let prev_threshold = self.threshold;
+        let prev_cuts = self.thresholds.clone();
         let (minimum, regret_pct) = {
             let curve = next
                 .curve(&self.profile)
                 .expect("drift serving needs an analytic cost curve");
-            let warm_buf = if rebuild {
+            let warm = if rebuild {
                 None
             } else {
-                Some([prev_threshold])
+                Some(prev_cuts.as_slice())
             };
-            let m = minimize_partition(
-                curve.as_ref(),
-                DeviceSet::cpu_gpu_static(),
-                &space,
-                self.step,
-                warm_buf.as_ref().map(<[f64; 1]>::as_slice),
-            )
-            .expect("the canonical pair prices every curve");
-            // Staleness regret: what serving the *old* threshold on the
-            // *new* curve would cost over the fresh minimum.
-            let stale = curve.total_at(curve.split_for(space.clamp(prev_threshold)));
+            let m = minimize_partition(curve.as_ref(), &self.set, &space, self.step, warm)
+                .expect("drift serving at k > 2 needs a band-priced cost curve");
+            // Staleness regret: what serving the *old* cut vector on the
+            // *new* curve would cost over the fresh minimum. On the
+            // canonical pair this prices through the scalar lane (exact
+            // for every curve); at k > 2 through the band prices.
+            let stale = if self.set.is_canonical_pair() {
+                curve.total_at(curve.split_for(space.clamp(prev_cuts[0])))
+            } else {
+                let curve_units = curve.splits() - 1;
+                let mut splits: Vec<usize> = prev_cuts
+                    .iter()
+                    .map(|&t| curve.split_for(space.clamp(t)))
+                    .collect();
+                for j in 1..splits.len() {
+                    splits[j] = splits[j].max(splits[j - 1]);
+                }
+                curve
+                    .partition_total(&self.set, &Partition::new(curve_units, splits))
+                    .expect("band-priced curve prices every partition")
+            };
             let regret = if m.total.as_secs() > 0.0 {
                 (stale.as_secs() / m.total.as_secs() - 1.0) * 100.0
             } else {
@@ -320,11 +486,11 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
             };
             (m, regret)
         };
-        let new_threshold = minimum.thresholds[0];
+        let new_cuts = minimum.thresholds.clone();
 
         let decision = if rebuild {
             DriftDecision::Rebuilt
-        } else if new_threshold == prev_threshold {
+        } else if new_cuts == prev_cuts {
             DriftDecision::Patched
         } else {
             DriftDecision::Nudged
@@ -336,6 +502,7 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
         } else {
             self.cold_probes.saturating_sub(probes)
         };
+        self.policy.observe(rebuild, units, minimum.probes);
 
         if let Some(cache) = self.cache {
             match decision {
@@ -354,27 +521,33 @@ impl<'a, W: DriftWorkload> DriftServer<'a, W> {
                 kind: fp.kind,
                 digest: fp.digest,
                 decision: decision.cache_decision(),
-                threshold: new_threshold,
+                threshold: new_cuts[0],
                 evaluations: 0,
                 grad_probes: probes,
                 sim_cost_ms: 0.0,
                 latency_us: f64::NAN,
                 shadow_regret_pct: regret_pct,
+                arity: self.set.len() as u64,
+                span_fraction,
+                crossover_estimate,
             });
         }
 
         self.workload = next;
-        self.threshold = new_threshold;
+        self.thresholds = new_cuts.clone();
         self.total = minimum.total;
         self.steps += 1;
         DriftStep {
             decision,
-            threshold: new_threshold,
+            threshold: new_cuts[0],
+            cuts: new_cuts,
             total: minimum.total,
             probes: minimum.probes,
             probes_saved,
             regret_pct,
             span,
+            span_fraction,
+            crossover_estimate,
         }
     }
 }
@@ -473,6 +646,82 @@ mod tests {
         let (t, total) = cold(server.workload());
         assert_eq!(step.threshold, t);
         assert_eq!(step.total, total);
+    }
+
+    #[test]
+    fn kway_drift_serves_warm_cut_vectors_matching_cold() {
+        let set = DeviceSet::dual_cpu_dual_gpu();
+        let mut server = DriftServer::new(cc_workload()).with_devices(set.clone());
+        assert_eq!(server.cuts().len(), set.len() - 1);
+        let deltas = [
+            GraphDelta::inserts(vec![(10, 11), (10, 12), (40, 95)]),
+            GraphDelta::deletes(vec![(10, 11)]),
+        ];
+        for (i, d) in deltas.iter().enumerate() {
+            let step = server.apply(d);
+            assert_eq!(step.cuts.len(), set.len() - 1, "step {i}");
+            assert_ne!(step.decision, DriftDecision::Rebuilt, "step {i}");
+            // Cold oracle: fresh profile, cold multi-seed search.
+            let w = server.workload();
+            let profile = w.build_profile(Pool::global());
+            let space = w.space();
+            let curve = w.curve(&profile).expect("curve");
+            let m = minimize_partition(curve.as_ref(), &set, &space, space.fine_step, None)
+                .expect("cc curves price bands");
+            assert_eq!(step.cuts, m.thresholds, "step {i}");
+            assert_eq!(step.total, m.total, "step {i}");
+            assert!(
+                step.probes < m.probes,
+                "step {i}: warm descent must beat the cold multi-seed sweep \
+                 ({} vs {} probes)",
+                step.probes,
+                m.probes
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_learns_the_break_even_point() {
+        let mut p = CrossoverPolicy::Adaptive {
+            patch_probes: 10.0,
+            rebuild_work: 110.0,
+        };
+        // Break-even at (110 − 10) / 200 = half of a 200-unit input.
+        let (rebuild, est) = p.decide(90, 200);
+        assert!(!rebuild);
+        assert_eq!(est, 0.5);
+        let (rebuild, _) = p.decide(101, 200);
+        assert!(rebuild);
+        // A measured rebuild costlier than the prior drags the EWMA up,
+        // widening the patch region.
+        p.observe(true, 200, 40);
+        let (_, est) = p.decide(0, 200);
+        assert!(est > 0.5);
+        // Fixed policies never adapt.
+        let mut f = CrossoverPolicy::Fixed(0.25);
+        f.observe(true, 200, 40);
+        assert_eq!(f.decide(51, 200), (true, 0.25));
+        assert_eq!(f.decide(50, 200), (false, 0.25));
+    }
+
+    #[test]
+    fn drift_steps_report_the_decision_reason() {
+        let mut server = DriftServer::new(cc_workload());
+        let step = server.apply(&GraphDelta::inserts(vec![(10, 11)]));
+        assert!(step.span_fraction > 0.0 && step.span_fraction < 1.0);
+        assert!((0.0..=1.0).contains(&step.crossover_estimate));
+        assert!(
+            step.span_fraction <= step.crossover_estimate,
+            "patched step"
+        );
+        let mut forced = DriftServer::new(cc_workload()).with_crossover(0.0);
+        let step = forced.apply(&GraphDelta::inserts(vec![(1, 2)]));
+        assert_eq!(step.decision, DriftDecision::Rebuilt);
+        assert_eq!(step.crossover_estimate, 0.0);
+        assert!(
+            step.span_fraction > step.crossover_estimate,
+            "rebuild reason"
+        );
     }
 
     #[test]

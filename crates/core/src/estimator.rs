@@ -30,8 +30,8 @@ use serde::{Deserialize, Serialize};
 use crate::fingerprint::Fingerprinted;
 use crate::framework::{PartitionedWorkload, SampleSpec, Sampleable};
 use crate::profile::Profilable;
-use crate::search::{SearchOutcome, Searcher, Strategy};
-use crate::threshold_cache::{CacheKey, ConfigKey, NearCacheKey, ThresholdCache};
+use crate::search::{PartitionOutcome, SearchOutcome, Searcher, Strategy};
+use crate::threshold_cache::{CacheKey, ConfigKey, NearCacheKey, PartitionNearKey, ThresholdCache};
 
 /// Default shadow-regret sampling rate: every 16th near-key warm hit also
 /// runs the cold path and prices both decisions on the full input (see
@@ -515,6 +515,44 @@ fn audit_event(
         sim_cost_ms: if spent { est.overhead.as_millis() } else { 0.0 },
         latency_us,
         shadow_regret_pct,
+        // A scalar estimate is a two-way split regardless of the cache
+        // key's configured topology.
+        arity: 2,
+        span_fraction: f64::NAN,
+        crossover_estimate: f64::NAN,
+    }
+}
+
+/// Builds the audit event for one served k-way partition request. Same
+/// work-counter convention as [`audit_event`]: an exact hit returned a
+/// clone, so it spent nothing.
+fn partition_audit_event(
+    exact: crate::fingerprint::ExactKey,
+    decision: CacheDecision,
+    out: &PartitionOutcome,
+    arity: u64,
+    latency_us: Option<f64>,
+    shadow_regret_pct: Option<f64>,
+) -> AuditEvent {
+    let spent = decision != CacheDecision::ExactHit;
+    let evaluations = out.scalar.as_ref().map_or(0, |s| s.evaluations() as u64);
+    let sim_cost_ms = out
+        .scalar
+        .as_ref()
+        .map_or(0.0, |s| s.search_cost.as_millis());
+    AuditEvent {
+        kind: exact.kind,
+        digest: exact.digest,
+        decision,
+        threshold: out.cuts.first().copied().unwrap_or(f64::NAN),
+        evaluations: if spent { evaluations } else { 0 },
+        grad_probes: if spent { out.probes as u64 } else { 0 },
+        sim_cost_ms: if spent { sim_cost_ms } else { 0.0 },
+        latency_us: latency_us.unwrap_or(f64::NAN),
+        shadow_regret_pct: shadow_regret_pct.unwrap_or(f64::NAN),
+        arity,
+        span_fraction: f64::NAN,
+        crossover_estimate: f64::NAN,
     }
 }
 
@@ -764,6 +802,201 @@ impl ProfiledEstimator<'_> {
             cache.flush_metrics(rec);
         }
         group_of.into_iter().map(|g| results[g].clone()).collect()
+    }
+
+    /// Serves one full k-way partition request behind the attached
+    /// [`ThresholdCache`] — the partition-vector counterpart of
+    /// [`ProfiledEstimator::run_cached`]. The topology comes from
+    /// [`Estimator::devices`] (default: the canonical CPU+GPU pair). An
+    /// exact-key hit returns the cached [`PartitionOutcome`]
+    /// bitwise-identically and skips descent entirely; on a miss, a
+    /// near-key hit under [`Strategy::Analytic`] seeds
+    /// `minimize_partition` with the cached cut vector — warm descent
+    /// skips the coarse odometer multi-seed sweep and starts coordinate
+    /// descent from the hint — with probe savings credited and shadow
+    /// regret stride-sampled exactly like the scalar path. Without an
+    /// attached cache this is one cold
+    /// [`ProfiledSearcher::run_partition`](crate::search::ProfiledSearcher::run_partition)
+    /// plus one audit event.
+    ///
+    /// # Panics
+    /// Same contract as `run_partition`: non-canonical topologies require
+    /// [`Strategy::Analytic`] and a workload whose curve prices device
+    /// bands.
+    #[must_use]
+    pub fn run_partition_cached<W>(&self, workload: &W) -> PartitionOutcome
+    where
+        W: Profilable + Fingerprinted,
+    {
+        let cfg = &self.inner;
+        let set = cfg.devices.unwrap_or(DeviceSet::cpu_gpu_static());
+        let audit = active_audit(cfg.audit);
+        let timer = start_if(audit.is_some_and(FlightRecorder::timing_due));
+        let Some(cache) = cfg.cache else {
+            return self.serve_partition_uncached(workload, set, timer, audit);
+        };
+        let key = CacheKey {
+            input: workload.fingerprint().exact_key(),
+            config: cfg.config_key(),
+        };
+        // Exact hit: record-and-return inside the arm, miss machinery
+        // outlined — same shape as the scalar serving path (see the audit
+        // module's overhead contract).
+        if let Some(out) = cache.get_partition(&key) {
+            if let Some(a) = audit {
+                a.record(partition_audit_event(
+                    key.input,
+                    CacheDecision::ExactHit,
+                    &out,
+                    set.len() as u64,
+                    finish_us(timer),
+                    None,
+                ));
+            }
+            if let Some(rec) = cfg.rec {
+                cache.flush_metrics(rec);
+            }
+            return out;
+        }
+        self.serve_partition_miss(workload, set, cache, key, timer, audit)
+    }
+
+    /// Cold partition serve without a cache — one `run_partition` plus one
+    /// audit event. Outlined: see [`ProfiledEstimator::run_partition_cached`].
+    #[inline(never)]
+    fn serve_partition_uncached<W>(
+        &self,
+        workload: &W,
+        set: &DeviceSet,
+        mut timer: Option<Instant>,
+        audit: Option<&FlightRecorder>,
+    ) -> PartitionOutcome
+    where
+        W: Profilable + Fingerprinted,
+    {
+        arm_slow_timer(&mut timer, audit.is_some());
+        let out = self.run_partition_with(workload, set, None);
+        if let Some(a) = audit {
+            a.record(partition_audit_event(
+                workload.fingerprint().exact_key(),
+                CacheDecision::Cold,
+                &out,
+                set.len() as u64,
+                finish_us(timer),
+                None,
+            ));
+        }
+        out
+    }
+
+    /// The exact-miss half of [`ProfiledEstimator::run_partition_cached`]:
+    /// near-hit warm descent, shadow-regret sampling, insert, audit.
+    /// Outlined so the exact-hit path stays small.
+    #[inline(never)]
+    fn serve_partition_miss<W>(
+        &self,
+        workload: &W,
+        set: &DeviceSet,
+        cache: &ThresholdCache,
+        key: CacheKey,
+        mut timer: Option<Instant>,
+        audit: Option<&FlightRecorder>,
+    ) -> PartitionOutcome
+    where
+        W: Profilable + Fingerprinted,
+    {
+        let cfg = &self.inner;
+        arm_slow_timer(&mut timer, audit.is_some());
+        cache.record_kway_miss();
+        let near = PartitionNearKey::of(workload.fingerprint().near_key(), set);
+        let mut shadow_regret = None;
+        // Warm cut vectors only transfer under the analytic strategy —
+        // it is the only one that descends from a seed (and the only one
+        // `run_partition` accepts at k > 2).
+        let warm = if matches!(cfg.strategy, Strategy::Analytic { .. }) {
+            cache
+                .get_partition_hint(&near)
+                .filter(|hint| hint.cuts.len() + 1 == set.len())
+        } else {
+            None
+        };
+        let (out, decision) = match warm {
+            Some(hint) => {
+                let out = self.run_partition_with(workload, set, Some(&hint.cuts));
+                cache.record_probes_saved(hint.cold_probes.saturating_sub(out.probes) as u64);
+                // Shadow-regret sampling (stride-gated): also run the cold
+                // multi-seed search and compare priced totals. Curve totals
+                // are exact, so no re-pricing pass is needed. Pure
+                // observation — the warm outcome below is returned
+                // untouched.
+                if cache.shadow_due(cfg.shadow_rate) {
+                    let regret = self.shadow_price_partition(workload, set, &out);
+                    cache.record_shadow(regret);
+                    shadow_regret = Some(regret);
+                }
+                (out, CacheDecision::NearHit)
+            }
+            None => (
+                self.run_partition_with(workload, set, None),
+                CacheDecision::Cold,
+            ),
+        };
+        cache.insert_partition(key, near, &out);
+        if let Some(a) = audit {
+            a.record(partition_audit_event(
+                key.input,
+                decision,
+                &out,
+                set.len() as u64,
+                finish_us(timer),
+                shadow_regret,
+            ));
+        }
+        if let Some(rec) = cfg.rec {
+            cache.flush_metrics(rec);
+        }
+        out
+    }
+
+    /// The shadow half of the k-way regret sampler: reruns the request
+    /// cold (no warm seed, no recorders) and compares the warm and cold
+    /// priced totals. Returns the warm decision's regret in percent.
+    fn shadow_price_partition<W: Profilable>(
+        &self,
+        workload: &W,
+        set: &DeviceSet,
+        warm: &PartitionOutcome,
+    ) -> f64 {
+        let pool = self.inner.pool.unwrap_or(Pool::global());
+        let cold = Searcher::new(self.inner.strategy)
+            .pool(pool)
+            .profiled()
+            .run_partition(workload, set);
+        let warm_cost = warm.total.as_millis();
+        let cold_cost = cold.total.as_millis();
+        if cold_cost > 0.0 {
+            (warm_cost / cold_cost - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Shared body of the cold (no seed) and warm-started k-way paths.
+    fn run_partition_with<W: Profilable>(
+        &self,
+        workload: &W,
+        set: &DeviceSet,
+        warm: Option<&[f64]>,
+    ) -> PartitionOutcome {
+        let cfg = &self.inner;
+        let disabled = Recorder::disabled();
+        let rec = cfg.rec.unwrap_or(&disabled);
+        let pool = cfg.pool.unwrap_or(Pool::global());
+        let mut searcher = Searcher::new(cfg.strategy).recorder(rec).pool(pool);
+        if let Some(cuts) = warm {
+            searcher = searcher.warm_cuts(cuts);
+        }
+        searcher.profiled().run_partition(workload, set)
     }
 
     /// Shared body of [`ProfiledEstimator::run`] (no hint) and the

@@ -27,7 +27,7 @@ use nbwp_trace::Recorder;
 use crate::estimator::SamplingEstimate;
 use crate::fingerprint::{ExactKey, NearKey};
 use crate::framework::SampleSpec;
-use crate::search::Strategy;
+use crate::search::{PartitionOutcome, Strategy};
 
 /// Default entry budget per map. Decisions are tiny (a few hundred bytes),
 /// so this comfortably covers a serving mix while bounding memory.
@@ -153,9 +153,53 @@ pub struct WarmHint {
     pub cold_probes: usize,
 }
 
+/// Similarity key for k-way partition hints: quantized fingerprint class +
+/// the topology identity. Warm cut vectors only transfer between requests
+/// for the *same* device set — a k=4 vector cannot seed a k=8 descent, and
+/// two k=4 topologies with different link speeds have different optima.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PartitionNearKey {
+    /// Quantized fingerprint class of the input.
+    pub input: NearKey,
+    /// Partition arity (device count).
+    pub arity: u8,
+    /// [`DeviceSet::digest`] of the topology.
+    pub devices_digest: u64,
+}
+
+impl PartitionNearKey {
+    /// Builds the near key for one input class + topology.
+    #[must_use]
+    pub fn of(input: NearKey, set: &DeviceSet) -> PartitionNearKey {
+        PartitionNearKey {
+            input,
+            arity: u8::try_from(set.len()).expect("device sets are tiny"),
+            devices_digest: set.digest(),
+        }
+    }
+}
+
+/// What a k-way partition near-hit supplies: the cached cut vector (a
+/// single-seed warm start for `minimize_partition`, which skips the coarse
+/// odometer sweep) and the cold probe count it replaces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionHint {
+    /// Cached cut thresholds (`k − 1` of them, ascending).
+    pub cuts: Vec<f64>,
+    /// Probes the cold multi-seed search spent for this class — the
+    /// baseline for probe-savings accounting.
+    pub cold_probes: usize,
+}
+
 /// An exact entry with the drift generation it was computed at.
 struct Stamped {
     est: SamplingEstimate,
+    generation: u64,
+}
+
+/// A cached partition outcome with its drift generation.
+struct StampedPartition {
+    out: PartitionOutcome,
     generation: u64,
 }
 
@@ -169,6 +213,8 @@ struct CacheInner {
     generation: u64,
     exact: HashMap<CacheKey, (Stamped, u64)>,
     near: HashMap<NearCacheKey, (WarmHint, u64)>,
+    partitions: HashMap<CacheKey, (StampedPartition, u64)>,
+    near_partitions: HashMap<PartitionNearKey, (PartitionHint, u64)>,
 }
 
 impl CacheInner {
@@ -219,6 +265,12 @@ pub struct CacheStats {
     pub patched_rebuilds: u64,
     /// Exact entries dropped by a generation advance (lazily, on lookup).
     pub stale_evictions: u64,
+    /// K-way exact hits: cached partitions served bitwise-identically.
+    pub kway_exact_hits: u64,
+    /// K-way near hits: warm cut vectors that seeded a single-seed descent.
+    pub kway_near_hits: u64,
+    /// K-way requests that ran the full cold multi-seed search.
+    pub kway_misses: u64,
 }
 
 /// Bounded-LRU decision cache shared across estimator runs. Thread-safe:
@@ -238,6 +290,9 @@ pub struct ThresholdCache {
     patched_nudges: AtomicU64,
     patched_rebuilds: AtomicU64,
     stale_evictions: AtomicU64,
+    kway_exact_hits: AtomicU64,
+    kway_near_hits: AtomicU64,
+    kway_misses: AtomicU64,
     regrets: Mutex<Vec<f64>>,
 }
 
@@ -259,6 +314,8 @@ impl ThresholdCache {
                 generation: 0,
                 exact: HashMap::new(),
                 near: HashMap::new(),
+                partitions: HashMap::new(),
+                near_partitions: HashMap::new(),
             }),
             exact_hits: AtomicU64::new(0),
             near_hits: AtomicU64::new(0),
@@ -271,6 +328,9 @@ impl ThresholdCache {
             patched_nudges: AtomicU64::new(0),
             patched_rebuilds: AtomicU64::new(0),
             stale_evictions: AtomicU64::new(0),
+            kway_exact_hits: AtomicU64::new(0),
+            kway_near_hits: AtomicU64::new(0),
+            kway_misses: AtomicU64::new(0),
             regrets: Mutex::new(Vec::new()),
         }
     }
@@ -335,6 +395,75 @@ impl ThresholdCache {
             return Some(hint);
         }
         None
+    }
+
+    /// K-way exact lookup. A hit refreshes recency and returns a clone of
+    /// the cached [`PartitionOutcome`] — bitwise-identical to the cold
+    /// `minimize_partition` result that populated it. Stale-generation
+    /// entries are dropped here, same monotone invalidation as
+    /// [`ThresholdCache::get_exact`].
+    #[must_use]
+    pub fn get_partition(&self, key: &CacheKey) -> Option<PartitionOutcome> {
+        let mut inner = self.inner.lock().expect("threshold cache poisoned");
+        let tick = inner.touch();
+        let generation = inner.generation;
+        if let Some((stamped, t)) = inner.partitions.get_mut(key) {
+            if stamped.generation < generation {
+                inner.partitions.remove(key);
+                drop(inner);
+                self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            *t = tick;
+            let out = stamped.out.clone();
+            drop(inner);
+            self.kway_exact_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(out);
+        }
+        None
+    }
+
+    /// K-way near lookup. A hit refreshes recency and returns the cached
+    /// cut vector, which seeds `minimize_partition` as a single warm seed —
+    /// coordinate descent starts from the hint instead of sweeping the
+    /// coarse odometer grid.
+    #[must_use]
+    pub fn get_partition_hint(&self, key: &PartitionNearKey) -> Option<PartitionHint> {
+        let mut inner = self.inner.lock().expect("threshold cache poisoned");
+        let tick = inner.touch();
+        if let Some((hint, t)) = inner.near_partitions.get_mut(key) {
+            *t = tick;
+            let hint = hint.clone();
+            drop(inner);
+            self.kway_near_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hint);
+        }
+        None
+    }
+
+    /// Inserts a freshly computed k-way partition under both keys, stamped
+    /// with the current drift generation.
+    pub fn insert_partition(&self, key: CacheKey, near: PartitionNearKey, out: &PartitionOutcome) {
+        let mut inner = self.inner.lock().expect("threshold cache poisoned");
+        let tick = inner.touch();
+        let capacity = inner.capacity;
+        let stamped = StampedPartition {
+            out: out.clone(),
+            generation: inner.generation,
+        };
+        insert_lru(&mut inner.partitions, capacity, key, stamped, tick);
+        let hint = PartitionHint {
+            cuts: out.cuts.clone(),
+            cold_probes: out.probes,
+        };
+        insert_lru(&mut inner.near_partitions, capacity, near, hint, tick);
+        drop(inner);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a k-way request ran the full cold multi-seed search.
+    pub fn record_kway_miss(&self) {
+        self.kway_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records that a request ran the full cold path.
@@ -438,6 +567,9 @@ impl ThresholdCache {
             patched_nudges: self.patched_nudges.load(Ordering::Relaxed),
             patched_rebuilds: self.patched_rebuilds.load(Ordering::Relaxed),
             stale_evictions: self.stale_evictions.load(Ordering::Relaxed),
+            kway_exact_hits: self.kway_exact_hits.load(Ordering::Relaxed),
+            kway_near_hits: self.kway_near_hits.load(Ordering::Relaxed),
+            kway_misses: self.kway_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -463,9 +595,10 @@ impl ThresholdCache {
     /// `threshold_cache.miss`, `threshold_cache.insert`,
     /// `threshold_cache.probes_saved`, `threshold_cache.shadow_runs`,
     /// `threshold_cache.patched_hit`, `threshold_cache.patched_nudge`,
-    /// `threshold_cache.patched_rebuild`, `threshold_cache.stale_evictions`;
-    /// retained shadow-regret observations drain into the
-    /// `threshold_cache.regret_pct` histogram.
+    /// `threshold_cache.patched_rebuild`, `threshold_cache.stale_evictions`,
+    /// `threshold_cache.kway_hit`, `threshold_cache.kway_near_hit`,
+    /// `threshold_cache.kway_miss`; retained shadow-regret observations
+    /// drain into the `threshold_cache.regret_pct` histogram.
     pub fn flush_metrics(&self, rec: &Recorder) {
         rec.counter_add(
             "threshold_cache.hit",
@@ -506,6 +639,18 @@ impl ThresholdCache {
         rec.counter_add(
             "threshold_cache.stale_evictions",
             self.stale_evictions.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.kway_hit",
+            self.kway_exact_hits.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.kway_near_hit",
+            self.kway_near_hits.swap(0, Ordering::Relaxed),
+        );
+        rec.counter_add(
+            "threshold_cache.kway_miss",
+            self.kway_misses.swap(0, Ordering::Relaxed),
         );
         let drained: Vec<f64> = {
             let mut regrets = self.regrets.lock().expect("shadow regrets poisoned");
@@ -564,6 +709,87 @@ mod tests {
             sample_size: 10,
             grad_probes: 5,
         }
+    }
+
+    fn partition_out(cuts: Vec<f64>) -> PartitionOutcome {
+        let fractions = vec![1.0 / (cuts.len() + 1) as f64; cuts.len() + 1];
+        PartitionOutcome {
+            cuts,
+            fractions,
+            partition: None,
+            total: SimTime::from_millis(3.0),
+            probes: 120,
+            sweeps: 4,
+            scalar: None,
+        }
+    }
+
+    fn kway_key(digest: u64, set: &DeviceSet) -> CacheKey {
+        CacheKey {
+            input: exact(digest),
+            config: ConfigKey::with_devices(
+                Strategy::Analytic { step: None },
+                SampleSpec::default(),
+                7,
+                1,
+                set,
+            ),
+        }
+    }
+
+    #[test]
+    fn partition_roundtrip_is_bitwise_and_keys_by_topology() {
+        let cache = ThresholdCache::new(8);
+        let k4 = DeviceSet::dual_cpu_dual_gpu();
+        let k8 = DeviceSet::quad_cpu_quad_gpu();
+        let out = partition_out(vec![10.0, 30.0, 55.0]);
+        assert!(cache.get_partition(&kway_key(1, &k4)).is_none());
+        cache.insert_partition(kway_key(1, &k4), PartitionNearKey::of(near(4), &k4), &out);
+        assert_eq!(cache.get_partition(&kway_key(1, &k4)), Some(out.clone()));
+        // Same input under a different topology never aliases.
+        assert!(cache.get_partition(&kway_key(1, &k8)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.kway_exact_hits, s.insertions), (1, 1));
+    }
+
+    #[test]
+    fn partition_hint_transfers_within_topology_only() {
+        let cache = ThresholdCache::new(8);
+        let k4 = DeviceSet::dual_cpu_dual_gpu();
+        let k8 = DeviceSet::quad_cpu_quad_gpu();
+        let out = partition_out(vec![12.5, 25.0, 62.5]);
+        cache.insert_partition(kway_key(1, &k4), PartitionNearKey::of(near(4), &k4), &out);
+        let hint = cache
+            .get_partition_hint(&PartitionNearKey::of(near(4), &k4))
+            .expect("near hit");
+        assert_eq!(hint.cuts, out.cuts);
+        assert_eq!(hint.cold_probes, 120);
+        // A k=8 request for the same input class misses.
+        assert!(cache
+            .get_partition_hint(&PartitionNearKey::of(near(4), &k8))
+            .is_none());
+        cache.record_kway_miss();
+        let s = cache.stats();
+        assert_eq!((s.kway_near_hits, s.kway_misses), (1, 1));
+        let rec = Recorder::new();
+        cache.flush_metrics(&rec);
+        let m = rec.finish().metrics;
+        assert_eq!(m.counter("threshold_cache.kway_near_hit"), Some(1));
+        assert_eq!(m.counter("threshold_cache.kway_miss"), Some(1));
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn partition_entries_invalidate_on_generation_advance() {
+        let cache = ThresholdCache::new(8);
+        let k4 = DeviceSet::dual_cpu_dual_gpu();
+        let nk = PartitionNearKey::of(near(4), &k4);
+        cache.insert_partition(kway_key(1, &k4), nk, &partition_out(vec![10.0, 30.0, 55.0]));
+        cache.advance_generation();
+        // The served partition is stale; the advisory cut vector survives.
+        assert!(cache.get_partition(&kway_key(1, &k4)).is_none());
+        assert!(cache.get_partition_hint(&nk).is_some());
+        assert_eq!(cache.stats().stale_evictions, 1);
     }
 
     #[test]

@@ -159,21 +159,62 @@ impl DeviceSet {
     /// follows a GPU-class one (the ordering convention above).
     #[must_use]
     pub fn new(name: impl Into<String>, devices: Vec<Device>) -> Self {
-        assert!(devices.len() >= 2, "a device set needs at least 2 devices");
+        match DeviceSet::try_new(name, devices) {
+            Ok(set) => set,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`DeviceSet::new`] for loaders of user-supplied topologies
+    /// (the CLI's `--devices file.json`): every structural rule is reported
+    /// as an error naming the offending device position instead of
+    /// panicking.
+    pub fn try_new(name: impl Into<String>, devices: Vec<Device>) -> Result<Self, String> {
+        if devices.len() < 2 {
+            return Err(format!(
+                "a device set needs at least 2 devices, got {}",
+                devices.len()
+            ));
+        }
+        for (i, d) in devices.iter().enumerate() {
+            if !(d.speed.is_finite() && d.speed > 0.0) {
+                return Err(format!(
+                    "devices[{i}]: speed must be finite and positive, got {}",
+                    d.speed
+                ));
+            }
+            if let Link::Pcie(model) = d.link {
+                if !(model.bw_gbs.is_finite() && model.bw_gbs > 0.0) {
+                    return Err(format!(
+                        "devices[{i}]: link bandwidth must be finite and positive, got {}",
+                        model.bw_gbs
+                    ));
+                }
+                if !(model.latency_us.is_finite() && model.latency_us >= 0.0) {
+                    return Err(format!(
+                        "devices[{i}]: link latency must be finite and non-negative, got {}",
+                        model.latency_us
+                    ));
+                }
+            }
+        }
         let first_gpu = devices
             .iter()
             .position(|d| d.kind == DeviceKind::Gpu)
             .unwrap_or(devices.len());
-        assert!(
-            devices[first_gpu..]
-                .iter()
-                .all(|d| d.kind == DeviceKind::Gpu),
-            "CPU-class devices must precede GPU-class devices"
-        );
-        DeviceSet {
+        if let Some(off) = devices[first_gpu..]
+            .iter()
+            .position(|d| d.kind == DeviceKind::Cpu)
+        {
+            return Err(format!(
+                "devices[{}]: CPU-class devices must precede GPU-class devices",
+                first_gpu + off
+            ));
+        }
+        Ok(DeviceSet {
             name: name.into(),
             devices,
-        }
+        })
     }
 
     /// The canonical two-device set: the scalar CPU+GPU pipeline as a
@@ -501,6 +542,33 @@ mod tests {
     #[should_panic(expected = "precede GPU-class")]
     fn rejects_gpu_before_cpu() {
         let _ = DeviceSet::new("bad", vec![Device::gpu(), Device::cpu()]);
+    }
+
+    #[test]
+    fn try_new_reports_position_numbered_errors() {
+        let err = DeviceSet::try_new("tiny", vec![Device::cpu()]).unwrap_err();
+        assert!(err.contains("at least 2"), "{err}");
+        let err = DeviceSet::try_new("bad", vec![Device::cpu(), Device::gpu(), Device::cpu()])
+            .unwrap_err();
+        assert!(err.contains("devices[2]"), "{err}");
+        let mut slow = Device::gpu();
+        slow.speed = -1.0;
+        let err = DeviceSet::try_new("bad", vec![Device::cpu(), slow]).unwrap_err();
+        assert!(err.contains("devices[1]") && err.contains("speed"), "{err}");
+        let dead_link = Device::gpu().with_link(Link::Pcie(PcieModel {
+            latency_us: 10.0,
+            bw_gbs: 0.0,
+        }));
+        let err = DeviceSet::try_new("bad", vec![Device::cpu(), dead_link]).unwrap_err();
+        assert!(
+            err.contains("devices[1]") && err.contains("bandwidth"),
+            "{err}"
+        );
+        let ok = DeviceSet::try_new("pair", vec![Device::cpu(), Device::gpu()]).unwrap();
+        assert_eq!(
+            ok,
+            DeviceSet::new("pair", vec![Device::cpu(), Device::gpu()])
+        );
     }
 
     #[test]

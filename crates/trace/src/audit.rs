@@ -32,7 +32,7 @@ use serde::Value;
 use crate::Recorder;
 
 /// Schema tag on the JSONL header line (see [`FlightRecorder::to_jsonl`]).
-pub const AUDIT_SCHEMA: &str = "nbwp-audit/v2";
+pub const AUDIT_SCHEMA: &str = "nbwp-audit/v3";
 
 /// Default ring capacity: enough to hold a full benchmark stream while
 /// bounding memory (~100 bytes per event).
@@ -120,6 +120,18 @@ pub struct AuditEvent {
     /// one — when the shadow sampler priced this request; `NaN` otherwise
     /// (same sentinel convention as `latency_us`).
     pub shadow_regret_pct: f64,
+    /// Partition arity the request was served at (2 on the scalar
+    /// canonical-pair path, the device count for k-way servings).
+    pub arity: u64,
+    /// Drift steps only: the delta span as a fraction of the input (touched
+    /// units over total units). `NaN` for non-drift events (same sentinel
+    /// convention as `latency_us`).
+    pub span_fraction: f64,
+    /// Drift steps only: the crossover the patch-vs-rebuild policy used —
+    /// the span fraction above which a rebuild is estimated cheaper than
+    /// patching. Comparing it against `span_fraction` explains why a
+    /// rebuild (`decision: cold`) fired. `NaN` for non-drift events.
+    pub crossover_estimate: f64,
 }
 
 /// Running totals over *all* events ever recorded (not just the retained
@@ -393,7 +405,7 @@ impl FlightRecorder {
     }
 
     /// Serializes the retained window as JSONL: one header line
-    /// (`{"type":"audit","schema":"nbwp-audit/v2",…}` with the running
+    /// (`{"type":"audit","schema":"nbwp-audit/v3",…}` with the running
     /// totals) followed by one `{"type":"event",…}` line per retained
     /// event, sequence numbers contiguous. Parses back through
     /// [`validate_audit_jsonl`]. A disabled recorder serializes as an empty
@@ -431,6 +443,9 @@ impl FlightRecorder {
                 ("sim_cost_ms", Value::F64(ev.sim_cost_ms)),
                 ("latency_us", nan_to_null(ev.latency_us)),
                 ("shadow_regret_pct", nan_to_null(ev.shadow_regret_pct)),
+                ("arity", Value::U64(ev.arity)),
+                ("span_fraction", nan_to_null(ev.span_fraction)),
+                ("crossover_estimate", nan_to_null(ev.crossover_estimate)),
             ]);
             out.push_str(&serde_json::to_string(&line).expect("infallible"));
             out.push('\n');
@@ -527,6 +542,12 @@ pub struct LoggedEvent {
     pub latency_us: Option<f64>,
     /// Observed shadow regret (%), when shadow-priced.
     pub shadow_regret_pct: Option<f64>,
+    /// Partition arity the request was served at.
+    pub arity: u64,
+    /// Delta span fraction, for drift steps.
+    pub span_fraction: Option<f64>,
+    /// Patch-vs-rebuild crossover the drift policy used, for drift steps.
+    pub crossover_estimate: Option<f64>,
 }
 
 /// Validation result from [`validate_audit_jsonl`]: the header totals and
@@ -669,12 +690,21 @@ pub fn validate_audit_jsonl(text: &str) -> Result<AuditCheck, String> {
             sim_cost_ms: get_f64(&v, "sim_cost_ms", &ctx)?,
             latency_us: get_opt_f64(&v, "latency_us", &ctx)?,
             shadow_regret_pct: get_opt_f64(&v, "shadow_regret_pct", &ctx)?,
+            arity: get_u64(&v, "arity", &ctx)?,
+            span_fraction: get_opt_f64(&v, "span_fraction", &ctx)?,
+            crossover_estimate: get_opt_f64(&v, "crossover_estimate", &ctx)?,
         };
         if !ev.threshold.is_finite() {
             return Err(format!("{ctx}: non-finite threshold"));
         }
         if ev.sim_cost_ms < 0.0 || ev.latency_us.is_some_and(|l| l < 0.0) {
             return Err(format!("{ctx}: negative cost or latency"));
+        }
+        if ev.arity < 2 {
+            return Err(format!("{ctx}: arity below 2"));
+        }
+        if ev.span_fraction.is_some_and(|f| !(0.0..=1.0).contains(&f)) {
+            return Err(format!("{ctx}: span_fraction outside [0, 1]"));
         }
         let expected_seq = totals.dropped + check.events.len() as u64;
         if ev.seq != expected_seq {
@@ -737,6 +767,9 @@ mod tests {
             },
             latency_us: 0.8,
             shadow_regret_pct: f64::NAN,
+            arity: 2,
+            span_fraction: f64::NAN,
+            crossover_estimate: f64::NAN,
         }
     }
 
@@ -826,6 +859,33 @@ mod tests {
         assert_eq!(check.events[2].kind, "cc");
         // Deterministic serialization.
         assert_eq!(text, fr.to_jsonl());
+    }
+
+    #[test]
+    fn drift_fields_round_trip_and_validate() {
+        let fr = FlightRecorder::new();
+        // A k-way drift rebuild: the span crossed the policy's crossover.
+        fr.record(AuditEvent {
+            arity: 4,
+            span_fraction: 0.4,
+            crossover_estimate: 0.25,
+            ..ev(CacheDecision::Cold, 3)
+        });
+        fr.record(ev(CacheDecision::ExactHit, 0)); // non-drift: both null
+        let text = fr.to_jsonl();
+        let check = validate_audit_jsonl(&text).expect("valid log");
+        assert_eq!(check.events[0].arity, 4);
+        assert_eq!(check.events[0].span_fraction, Some(0.4));
+        assert_eq!(check.events[0].crossover_estimate, Some(0.25));
+        assert_eq!(check.events[1].arity, 2);
+        assert_eq!(check.events[1].span_fraction, None);
+        assert_eq!(check.events[1].crossover_estimate, None);
+        // Out-of-range fields are rejected.
+        assert!(validate_audit_jsonl(&text.replace("\"arity\":4", "\"arity\":1")).is_err());
+        assert!(validate_audit_jsonl(
+            &text.replace("\"span_fraction\":0.4", "\"span_fraction\":1.5")
+        )
+        .is_err());
     }
 
     #[test]

@@ -50,6 +50,9 @@ fn event(decision: usize, evals: u64, probes: u64, shadow: bool, timed: bool) ->
         sim_cost_ms: 0.25 * probes as f64,
         latency_us: if timed { 0.5 + evals as f64 } else { f64::NAN },
         shadow_regret_pct: if shadow { 1.5 } else { f64::NAN },
+        arity: 2 + (probes % 7),
+        span_fraction: if shadow { 0.125 } else { f64::NAN },
+        crossover_estimate: if shadow { 0.25 } else { f64::NAN },
     }
 }
 

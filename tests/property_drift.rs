@@ -45,6 +45,35 @@ fn assert_fingerprint_stats_match(drifted: &Fingerprint, fresh: &Fingerprint) {
     assert_eq!(drifted.density_class, fresh.density_class);
 }
 
+/// Asserts a span-patched profile prices k-way device bands exactly like
+/// the fresh build it must equal: every band of a k=4 partition, plus the
+/// composed partition total, bitwise — the contract the warm k-way drift
+/// path descends on.
+fn assert_kway_band_pricing_parity<W: DriftWorkload>(
+    w: &W,
+    patched: &W::Profile,
+    fresh: &W::Profile,
+) {
+    let set = DeviceSet::dual_cpu_dual_gpu();
+    let (Some(pc), Some(fc)) = (w.curve(patched), w.curve(fresh)) else {
+        return;
+    };
+    let units = pc.splits() - 1;
+    let part = Partition::new(units, vec![units / 4, units / 2, 3 * units / 4]);
+    assert_eq!(
+        pc.partition_total(&set, &part),
+        fc.partition_total(&set, &part),
+        "patched k-way total diverged from fresh"
+    );
+    for (device, (lo, hi)) in set.devices().iter().zip(part.bands()) {
+        assert_eq!(
+            pc.device_band(device, lo, hi),
+            fc.device_band(device, lo, hi),
+            "patched band {lo}..{hi} diverged from fresh"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -100,6 +129,7 @@ proptest! {
             );
             let resketch = CcWorkload::new(next.graph().clone(), platform()).fingerprint();
             assert_fingerprint_stats_match(&next.fingerprint(), &resketch);
+            assert_kway_band_pricing_parity(&next, &profile, &fresh);
             w = next;
         }
     }
@@ -154,6 +184,7 @@ proptest! {
             prop_assert_eq!(profile.partition(), fresh.partition());
             let resketch = SpmmWorkload::new(next.matrix().clone(), platform()).fingerprint();
             assert_fingerprint_stats_match(&next.fingerprint(), &resketch);
+            assert_kway_band_pricing_parity(&next, &profile, &fresh);
             w = next;
         }
     }
@@ -225,6 +256,55 @@ proptest! {
         }
         prop_assert_eq!(cache.generation(), deltas.len() as u64);
         prop_assert_eq!(audit.totals().requests, deltas.len() as u64);
+    }
+
+    /// The adaptive patch-vs-rebuild crossover never loses to either fixed
+    /// policy on a recorded drift trace: every policy serves the same cut
+    /// vector and total per step (patch ≡ rebuild bitwise, warm ≡ cold
+    /// argmin), and the adaptive replay's accumulated work — profile units
+    /// touched plus curve probes spent — is no more than the better fixed
+    /// policy's (patch-at-0.25, the old default, and rebuild-always).
+    #[test]
+    fn adaptive_crossover_never_loses_on_recorded_traces(
+        seed in 0u64..200,
+        base in 0u32..600,
+        width in 2u32..12,
+        extra in 0u32..40,
+    ) {
+        let n = 700u32;
+        let make = || CcWorkload::new(ggen::web(n as usize, 4, seed), platform());
+        let a = base % (n - width);
+        let b = (a + extra) % (n - width);
+        let trace = [
+            GraphDelta::inserts(vec![(a, a + 1), (a, a + width)]),
+            GraphDelta::inserts(vec![(b, b + 2), (b, b + width)]),
+            GraphDelta::deletes(vec![(a, a + 1)]),
+            GraphDelta::default(),
+        ];
+
+        let mut adaptive = DriftServer::new(make());
+        let mut fixed_patch = DriftServer::new(make()).with_crossover(PATCH_CROSSOVER_FRACTION);
+        let mut rebuild_always = DriftServer::new(make()).with_crossover(0.0);
+        let (mut w_a, mut w_p, mut w_r) = (0usize, 0usize, 0usize);
+        let work = |s: &DriftStep| s.span.len() + s.probes;
+        for (i, d) in trace.iter().enumerate() {
+            let sa = adaptive.apply(d);
+            let sp = fixed_patch.apply(d);
+            let sr = rebuild_always.apply(d);
+            // Identical decisions served, whatever the policy paid.
+            prop_assert_eq!(&sa.cuts, &sp.cuts, "step {}", i);
+            prop_assert_eq!(&sa.cuts, &sr.cuts, "step {}", i);
+            prop_assert_eq!(sa.total, sp.total, "step {}", i);
+            prop_assert_eq!(sa.total, sr.total, "step {}", i);
+            w_a += work(&sa);
+            w_p += work(&sp);
+            w_r += work(&sr);
+        }
+        prop_assert!(
+            w_a <= w_p.min(w_r),
+            "adaptive spent {} work units vs fixed-patch {} / rebuild-always {}",
+            w_a, w_p, w_r
+        );
     }
 
     /// Generation invalidation is monotone: once a delta generation passes

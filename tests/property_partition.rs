@@ -13,6 +13,9 @@
 //!   bands (duplicate cuts) and cuts landing on warp (32-row) boundaries.
 
 use nbwp_core::prelude::*;
+use nbwp_graph::delta::GraphDelta;
+use nbwp_graph::gen as ggen;
+use nbwp_sparse::delta::CsrDelta;
 use nbwp_sparse::gen as sgen;
 use nbwp_sparse::spgemm::{row_profile, stats_for_rows, RowCurves, ENTRY_BYTES};
 use nbwp_sparse::SpmmCostCurve;
@@ -139,5 +142,103 @@ proptest! {
             slowest = slowest.max(direct);
         }
         prop_assert_eq!(priced, part_lane + slowest);
+    }
+
+    /// Warm k-way descent reaches the cold argmin: seeding
+    /// `minimize_partition` with the cut vector a serving cache would hold
+    /// — the argmin of the same input (an exact-class warm start) or of a
+    /// locally perturbed sibling (a near-hit warm start) — produces the
+    /// cold search's cuts and total bitwise, spending no more probes, for
+    /// random spmm inputs at k = 4 and k = 8.
+    #[test]
+    fn warm_kway_descent_matches_cold_argmin_spmm(
+        n in 96usize..320,
+        deg in 2usize..7,
+        seed in 0u64..1000,
+        wide in any::<bool>(),
+        row in 0usize..96,
+        cols in proptest::collection::vec(0u32..96, 1..5),
+    ) {
+        let set = if wide {
+            DeviceSet::quad_cpu_quad_gpu()
+        } else {
+            DeviceSet::dual_cpu_dual_gpu()
+        };
+        let base = SpmmWorkload::new(sgen::power_law(n, deg, 2.1, seed), platform());
+        let space = base.space();
+        let minimize = |w: &SpmmWorkload, warm: Option<&[f64]>| {
+            let profile = w.build_profile(Pool::global());
+            let curve = w.curve(&profile).expect("spmm exposes a cost curve");
+            minimize_partition(curve.as_ref(), &set, &space, space.fine_step, warm)
+                .expect("spmm prices every band")
+        };
+        let base_cold = minimize(&base, None);
+
+        // The drifted sibling whose request the cached cuts warm-start.
+        let mut cols: Vec<u32> = cols.iter().map(|&c| c % n as u32).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let vals = vec![1.5; cols.len()];
+        let (sibling, _span) = base.apply_delta(&CsrDelta::replace(row % n, cols, vals));
+        let cold = minimize(&sibling, None);
+
+        // Exact-class seed (the input's own argmin) and near-hit seed
+        // (the undrifted base's argmin).
+        for warm_cuts in [&cold.thresholds, &base_cold.thresholds] {
+            let warm = minimize(&sibling, Some(warm_cuts.as_slice()));
+            prop_assert_eq!(&warm.thresholds, &cold.thresholds);
+            prop_assert_eq!(warm.partition.cuts(), cold.partition.cuts());
+            prop_assert_eq!(warm.total, cold.total);
+            prop_assert!(
+                warm.probes <= cold.probes,
+                "warm spent {} probes, cold {}", warm.probes, cold.probes
+            );
+        }
+    }
+
+    /// The cc counterpart of the spmm warm-descent property, over graph
+    /// deltas.
+    #[test]
+    fn warm_kway_descent_matches_cold_argmin_cc(
+        n in 128usize..400,
+        deg in 2usize..6,
+        seed in 0u64..1000,
+        wide in any::<bool>(),
+        a in 0u32..96,
+        b in 0u32..96,
+    ) {
+        let set = if wide {
+            DeviceSet::quad_cpu_quad_gpu()
+        } else {
+            DeviceSet::dual_cpu_dual_gpu()
+        };
+        let base = CcWorkload::new(ggen::web(n, deg, seed), platform());
+        let space = base.space();
+        let minimize = |w: &CcWorkload, warm: Option<&[f64]>| {
+            let profile = w.build_profile(Pool::global());
+            let curve = w.curve(&profile).expect("cc exposes a cost curve");
+            minimize_partition(curve.as_ref(), &set, &space, space.fine_step, warm)
+                .expect("cc prices every band")
+        };
+        let base_cold = minimize(&base, None);
+
+        let (a, b) = (a % n as u32, b % n as u32);
+        let delta = if a == b {
+            GraphDelta::inserts(vec![(a, a.wrapping_add(1) % n as u32)])
+        } else {
+            GraphDelta::inserts(vec![(a, b)])
+        };
+        let (sibling, _span) = base.apply_delta(&delta);
+        let cold = minimize(&sibling, None);
+
+        for warm_cuts in [&cold.thresholds, &base_cold.thresholds] {
+            let warm = minimize(&sibling, Some(warm_cuts.as_slice()));
+            prop_assert_eq!(&warm.thresholds, &cold.thresholds);
+            prop_assert_eq!(warm.total, cold.total);
+            prop_assert!(
+                warm.probes <= cold.probes,
+                "warm spent {} probes, cold {}", warm.probes, cold.probes
+            );
+        }
     }
 }

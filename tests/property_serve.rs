@@ -167,6 +167,59 @@ proptest! {
         );
     }
 
+    /// (b'') k-way partition serving end to end: an exact hit returns the
+    /// cached `PartitionOutcome` bitwise and skips descent; a same-class
+    /// sibling's request warm-starts the k-way descent from the cached cut
+    /// vector, credits the probe savings, and still reaches that input's
+    /// own cold argmin (cuts and total bitwise).
+    #[test]
+    fn kway_partition_serving_exact_and_near_hits(
+        n in 128usize..320,
+        deg in 2usize..6,
+        seed in 0u64..500,
+        wide in any::<bool>(),
+    ) {
+        let p = platform();
+        let set = if wide {
+            DeviceSet::quad_cpu_quad_gpu()
+        } else {
+            DeviceSet::dual_cpu_dual_gpu()
+        };
+        let a = CcWorkload::new(ggen::web(n, deg, seed), p);
+        let b = CcWorkload::new(ggen::web(n, deg, seed + 1), p);
+        prop_assume!(a.fingerprint().near_key() == b.fingerprint().near_key());
+
+        let est = Estimator::new(SearchStrategy::Analytic { step: None })
+            .seed(seed)
+            .devices(&set);
+        let cold_a = est.profiled().run_partition_cached(&a); // uncached = cold
+        let cold_b = est.profiled().run_partition_cached(&b);
+
+        let cache = ThresholdCache::new(8);
+        let cached = est.cache(&cache).profiled();
+        let first = cached.run_partition_cached(&a); // k-way miss: populates
+        let hit = cached.run_partition_cached(&a); // exact hit: bitwise clone
+        prop_assert_eq!(&first, &cold_a);
+        prop_assert_eq!(&hit, &cold_a);
+
+        let warm_b = cached.run_partition_cached(&b); // near hit: warm descent
+        prop_assert_eq!(&warm_b.cuts, &cold_b.cuts);
+        prop_assert_eq!(warm_b.total, cold_b.total);
+        prop_assert!(
+            warm_b.probes <= cold_b.probes,
+            "warm spent {} probes vs cold {}",
+            warm_b.probes,
+            cold_b.probes
+        );
+
+        let st = cache.stats();
+        prop_assert_eq!((st.kway_exact_hits, st.kway_near_hits, st.kway_misses), (1, 1, 2));
+        prop_assert_eq!(
+            st.probes_saved,
+            first.probes.saturating_sub(warm_b.probes) as u64
+        );
+    }
+
     /// (c) `run_batch` equals a sequential `run` per item for any pool
     /// size, duplicates included, with and without a cache attached.
     #[test]
